@@ -1,0 +1,59 @@
+#ifndef AUTOAC_BENCH_ABLATION_IMPL_H_
+#define AUTOAC_BENCH_ABLATION_IMPL_H_
+
+// Shared driver for the completion-operation ablations (Tables VI and VII):
+// one host model, rows = baseline / each single operation / random / AutoAC.
+
+#include "bench_common.h"
+
+namespace autoac::bench {
+
+inline int RunCompletionAblation(int argc, char** argv,
+                                 const std::string& default_model,
+                                 const char* table_name) {
+  Flags flags(argc, argv);
+  BenchOptions options = BenchOptions::FromFlags(flags);
+  std::string model = flags.GetString("model", default_model);
+  std::vector<std::string> datasets = {"dblp", "acm", "imdb"};
+  if (flags.Has("dataset")) datasets = {flags.GetString("dataset", "dblp")};
+
+  std::printf("%s: completion operation ablation on %s "
+              "(scale=%.2f, seeds=%lld)\n\n",
+              table_name, model.c_str(), options.scale,
+              static_cast<long long>(options.seeds));
+
+  for (const std::string& name : datasets) {
+    Dataset dataset = options.LoadDataset(name);
+    TaskData task = MakeNodeTask(dataset);
+    ModelContext ctx = BuildModelContext(dataset.graph);
+    ExperimentConfig config = options.BaseConfig();
+    ApplyModelDefaults(config, model);
+
+    std::vector<MethodSpec> rows = {
+        {"Baseline (" + model + ")", MethodKind::kBaseline, model,
+         CompletionOpType::kOneHot},
+        {"GCN_AC", MethodKind::kSingleOp, model, CompletionOpType::kGcn},
+        {"PPNP_AC", MethodKind::kSingleOp, model, CompletionOpType::kPpnp},
+        {"MEAN_AC", MethodKind::kSingleOp, model, CompletionOpType::kMean},
+        {"One-hot_AC", MethodKind::kSingleOp, model,
+         CompletionOpType::kOneHot},
+        {"Random_AC", MethodKind::kRandomOp, model, CompletionOpType::kMean},
+        {"AutoAC", MethodKind::kAutoAc, model, CompletionOpType::kMean},
+    };
+    TablePrinter table({"Model \\ Metrics", "Macro-F1", "Micro-F1"});
+    for (const MethodSpec& spec : rows) {
+      AggregateResult result =
+          EvaluateMethod(task, ctx, config, spec, options.seeds);
+      table.AddRow({spec.display_name, Cell(result.macro_f1),
+                    Cell(result.micro_f1)});
+    }
+    std::printf("Dataset: %s\n", dataset.name.c_str());
+    table.Print(std::cout);
+    std::printf("\n");
+  }
+  return 0;
+}
+
+}  // namespace autoac::bench
+
+#endif  // AUTOAC_BENCH_ABLATION_IMPL_H_

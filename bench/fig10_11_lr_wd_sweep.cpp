@@ -1,0 +1,61 @@
+// Reproduces Figures 10 and 11 (appendix): sensitivity of AutoAC to the
+// learning rate and weight decay used when optimizing the completion
+// parameters alpha. Expected shape: robust across both sweeps.
+
+#include "bench_common.h"
+
+using namespace autoac;
+using bench::BenchOptions;
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  BenchOptions options = BenchOptions::FromFlags(flags);
+  std::string model = flags.GetString("model", "SimpleHGN");
+  std::string dataset_name = flags.GetString("dataset", "acm");
+
+  std::printf(
+      "Figures 10-11: sensitivity to alpha learning rate / weight decay "
+      "(%s on %s, scale=%.2f, seeds=%lld)\n\n",
+      model.c_str(), dataset_name.c_str(), options.scale,
+      static_cast<long long>(options.seeds));
+
+  Dataset dataset = options.LoadDataset(dataset_name);
+  TaskData task = MakeNodeTask(dataset);
+  ModelContext ctx = BuildModelContext(dataset.graph);
+
+  // The paper sweeps 3e-3..7e-3 around its default 5e-3; this
+  // implementation's compressed search budget uses a proportionally larger
+  // default (see ExperimentConfig), so the sweep brackets that default.
+  TablePrinter lr_table({"alpha lr", "Macro-F1", "Micro-F1"});
+  for (float lr : {0.8e-2f, 1.4e-2f, 2e-2f, 2.6e-2f, 3.2e-2f}) {
+    ExperimentConfig config = options.BaseConfig();
+    bench::ApplyModelDefaults(config, model);
+    config.lr_alpha = lr;
+    MethodSpec spec{model + "-AutoAC", MethodKind::kAutoAc, model,
+                    CompletionOpType::kOneHot};
+    AggregateResult result =
+        EvaluateMethod(task, ctx, config, spec, options.seeds);
+    char label[16];
+    std::snprintf(label, sizeof(label), "%.1e", lr);
+    lr_table.AddRow({label, Cell(result.macro_f1), Cell(result.micro_f1)});
+  }
+  std::printf("Figure 10 (learning rate sweep):\n");
+  lr_table.Print(std::cout);
+
+  TablePrinter wd_table({"alpha weight decay", "Macro-F1", "Micro-F1"});
+  for (float wd : {5e-6f, 1e-5f, 2e-5f, 3e-5f, 4e-3f}) {
+    ExperimentConfig config = options.BaseConfig();
+    bench::ApplyModelDefaults(config, model);
+    config.wd_alpha = wd;
+    MethodSpec spec{model + "-AutoAC", MethodKind::kAutoAc, model,
+                    CompletionOpType::kOneHot};
+    AggregateResult result =
+        EvaluateMethod(task, ctx, config, spec, options.seeds);
+    char label[16];
+    std::snprintf(label, sizeof(label), "%.1e", wd);
+    wd_table.AddRow({label, Cell(result.macro_f1), Cell(result.micro_f1)});
+  }
+  std::printf("\nFigure 11 (weight decay sweep):\n");
+  wd_table.Print(std::cout);
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Reproduces Figure 5: the distribution of searched completion operations
+// per dataset and host model (SimpleHGN-AutoAC and MAGNN-AutoAC).
+
+#include "bench_common.h"
+
+using namespace autoac;
+using bench::BenchOptions;
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  BenchOptions options = BenchOptions::FromFlags(flags);
+  std::vector<std::string> datasets = {"dblp", "acm", "imdb"};
+  if (flags.Has("dataset")) datasets = {flags.GetString("dataset", "dblp")};
+
+  std::printf(
+      "Figure 5: distribution of searched completion operations "
+      "(scale=%.2f)\n\n",
+      options.scale);
+
+  TablePrinter table({"Dataset", "Model", "MEAN_AC", "GCN_AC", "PPNP_AC",
+                      "One-hot_AC"});
+  for (const std::string& name : datasets) {
+    Dataset dataset = options.LoadDataset(name);
+    TaskData task = MakeNodeTask(dataset);
+    ModelContext ctx = BuildModelContext(dataset.graph);
+    for (const std::string& host : {"SimpleHGN", "MAGNN"}) {
+      ExperimentConfig config = options.BaseConfig();
+      bench::ApplyModelDefaults(config, host);
+      MethodSpec spec{host + "-AutoAC", MethodKind::kAutoAc, host,
+                      CompletionOpType::kOneHot};
+      AggregateResult result = EvaluateMethod(task, ctx, config, spec, 1);
+      int64_t counts[kNumCompletionOps] = {0};
+      for (CompletionOpType op : result.last_ops) {
+        ++counts[static_cast<int>(op)];
+      }
+      double total = std::max<double>(1.0, result.last_ops.size());
+      std::vector<std::string> row = {dataset.name, host + "-AutoAC"};
+      for (int o : {static_cast<int>(CompletionOpType::kMean),
+                    static_cast<int>(CompletionOpType::kGcn),
+                    static_cast<int>(CompletionOpType::kPpnp),
+                    static_cast<int>(CompletionOpType::kOneHot)}) {
+        row.push_back(bench::Pct(counts[o] / total));
+      }
+      table.AddRow(row);
+    }
+    table.AddSeparator();
+  }
+  table.Print(std::cout);
+  return 0;
+}

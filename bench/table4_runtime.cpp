@@ -1,0 +1,59 @@
+// Reproduces Table IV: end-to-end runtime breakdown (pre-learn / search /
+// train) of AutoAC vs HGNN-AC on both host models, with the speedup factor.
+// The expected shape: HGNN-AC's topological-embedding pre-learning dominates
+// its end-to-end cost while AutoAC has no pre-learning stage at all.
+
+#include "bench_common.h"
+
+using namespace autoac;
+using bench::BenchOptions;
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  BenchOptions options = BenchOptions::FromFlags(flags);
+  std::vector<std::string> datasets = {"dblp", "acm", "imdb"};
+  if (flags.Has("dataset")) datasets = {flags.GetString("dataset", "dblp")};
+
+  std::printf(
+      "Table IV: end-to-end runtime overhead of AutoAC and HGNN-AC "
+      "(scale=%.2f, seeds=%lld)\n\n",
+      options.scale, static_cast<long long>(options.seeds));
+
+  TablePrinter table({"Dataset", "Model", "Pre-learn(s)", "Search(s)",
+                      "Train/Retrain(s)", "Total(s)", "Speedup"});
+  for (const std::string& name : datasets) {
+    Dataset dataset = options.LoadDataset(name);
+    TaskData task = MakeNodeTask(dataset);
+    ModelContext ctx = BuildModelContext(dataset.graph);
+    for (const std::string& host : {"SimpleHGN", "MAGNN"}) {
+      ExperimentConfig config = options.BaseConfig();
+      bench::ApplyModelDefaults(config, host);
+
+      MethodSpec hgnnac{host + "-HGNNAC", MethodKind::kHgnnAc, host,
+                        CompletionOpType::kOneHot};
+      AggregateResult hg =
+          EvaluateMethod(task, ctx, config, hgnnac, options.seeds);
+      MethodSpec autoac_spec{host + "-AutoAC", MethodKind::kAutoAc, host,
+                             CompletionOpType::kOneHot};
+      AggregateResult au =
+          EvaluateMethod(task, ctx, config, autoac_spec, options.seeds);
+
+      double hg_total = hg.mean_times.Total();
+      double au_total = au.mean_times.Total();
+      char speedup[32];
+      std::snprintf(speedup, sizeof(speedup), "%.1fx",
+                    au_total > 0 ? hg_total / au_total : 0.0);
+      table.AddRow({dataset.name, hgnnac.display_name,
+                    bench::Secs(hg.mean_times.prelearn_seconds), "/",
+                    bench::Secs(hg.mean_times.train_seconds),
+                    bench::Secs(hg_total), ""});
+      table.AddRow({dataset.name, autoac_spec.display_name, "/",
+                    bench::Secs(au.mean_times.search_seconds),
+                    bench::Secs(au.mean_times.train_seconds),
+                    bench::Secs(au_total), speedup});
+    }
+    table.AddSeparator();
+  }
+  table.Print(std::cout);
+  return 0;
+}

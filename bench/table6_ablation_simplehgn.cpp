@@ -1,0 +1,8 @@
+// Reproduces Table VI: completion-operation ablation hosted in SimpleHGN.
+
+#include "ablation_impl.h"
+
+int main(int argc, char** argv) {
+  return autoac::bench::RunCompletionAblation(argc, argv, "SimpleHGN",
+                                              "Table VI");
+}

@@ -1,0 +1,8 @@
+// Reproduces Table VII: completion-operation ablation hosted in MAGNN.
+
+#include "ablation_impl.h"
+
+int main(int argc, char** argv) {
+  return autoac::bench::RunCompletionAblation(argc, argv, "MAGNN",
+                                              "Table VII");
+}

@@ -1,0 +1,159 @@
+// autoac_run: command-line driver for single experiments.
+//
+//   autoac_run --task=node --dataset=dblp --model=SimpleHGN --method=autoac
+//   autoac_run --task=link --dataset=lastfm --method=baseline --seeds=5
+//   autoac_run --dataset=acm --method=gcn --save_dataset=acm.aacd
+//   autoac_run --load_dataset=acm.aacd --method=autoac
+//
+// Methods: autoac | baseline | hgnnac | hgca | random | mean | gcn | ppnp |
+// onehot. Every ExperimentConfig knob is exposed as a flag; defaults match
+// the library defaults.
+
+#include <cstdio>
+#include <string>
+
+#include "autoac/evaluator.h"
+#include "data/serialization.h"
+#include "util/flags.h"
+#include "util/logging.h"
+
+namespace autoac {
+namespace {
+
+MethodSpec SpecFromName(const std::string& method, const std::string& model) {
+  if (method == "autoac") {
+    return {model + "-AutoAC", MethodKind::kAutoAc, model,
+            CompletionOpType::kOneHot};
+  }
+  if (method == "baseline") {
+    return {model, MethodKind::kBaseline, model, CompletionOpType::kOneHot};
+  }
+  if (method == "hgnnac") {
+    return {model + "-HGNNAC", MethodKind::kHgnnAc, model,
+            CompletionOpType::kOneHot};
+  }
+  if (method == "hgca") {
+    return {"HGCA", MethodKind::kHgca, "GCN", CompletionOpType::kMean};
+  }
+  if (method == "random") {
+    return {"Random_AC", MethodKind::kRandomOp, model,
+            CompletionOpType::kMean};
+  }
+  // Otherwise a single-op name: mean/gcn/ppnp/onehot (aborts on unknown).
+  CompletionOpType op = CompletionOpFromString(method);
+  return {std::string(CompletionOpName(op)), MethodKind::kSingleOp, model, op};
+}
+
+int Run(int argc, char** argv) {
+  Flags flags(argc, argv);
+  if (flags.GetBool("help", false)) {
+    std::printf(
+        "usage: autoac_run [--task=node|link] [--dataset=dblp|acm|imdb|"
+        "lastfm]\n"
+        "  [--method=autoac|baseline|hgnnac|hgca|random|mean|gcn|ppnp|"
+        "onehot]\n"
+        "  [--model=SimpleHGN] [--scale=0.25] [--seeds=3] [--epochs=N]\n"
+        "  [--search_epochs=N] [--clusters=M] [--lambda=F] [--lr=F]\n"
+        "  [--lr_alpha=F] [--mask_rate=0.1] [--no_discrete]\n"
+        "  [--save_dataset=PATH] [--load_dataset=PATH]\n");
+    return 0;
+  }
+
+  // Dataset: generated or loaded from a frozen file.
+  Dataset dataset;
+  if (flags.Has("load_dataset")) {
+    StatusOr<Dataset> loaded =
+        LoadDataset(flags.GetString("load_dataset", ""));
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "error: %s\n", loaded.status().message().c_str());
+      return 1;
+    }
+    dataset = loaded.TakeValue();
+  } else {
+    DatasetOptions options;
+    options.scale = flags.GetDouble("scale", 0.25);
+    options.seed = flags.GetInt("seed", 7);
+    dataset = MakeDataset(flags.GetString("dataset", "dblp"), options);
+  }
+  if (flags.Has("save_dataset")) {
+    Status saved = SaveDataset(dataset, flags.GetString("save_dataset", ""));
+    if (!saved.ok()) {
+      std::fprintf(stderr, "error: %s\n", saved.message().c_str());
+      return 1;
+    }
+    std::printf("dataset written to %s\n",
+                flags.GetString("save_dataset", "").c_str());
+  }
+
+  // Task.
+  bool link = flags.GetString("task", "node") == "link";
+  TaskData task;
+  if (link) {
+    Rng rng(flags.GetInt("seed", 7) + 500);
+    task = MakeLinkTask(dataset, flags.GetDouble("mask_rate", 0.1), rng);
+  } else {
+    task = MakeNodeTask(dataset);
+  }
+  ModelContext ctx = BuildModelContext(task.graph);
+
+  // Configuration.
+  ExperimentConfig config;
+  config.task = link ? TaskKind::kLinkPrediction
+                     : TaskKind::kNodeClassification;
+  std::string model = flags.GetString("model", "SimpleHGN");
+  config.model_name = model;
+  config.train_epochs = flags.GetInt("epochs", config.train_epochs);
+  config.search_epochs =
+      flags.GetInt("search_epochs", config.search_epochs);
+  config.num_clusters = flags.GetInt("clusters", config.num_clusters);
+  config.lambda = static_cast<float>(flags.GetDouble("lambda", config.lambda));
+  config.lr_w = static_cast<float>(flags.GetDouble("lr", config.lr_w));
+  config.lr_alpha =
+      static_cast<float>(flags.GetDouble("lr_alpha", config.lr_alpha));
+  config.seed = flags.GetInt("train_seed", 1);
+  if (flags.GetBool("no_discrete", false)) {
+    config.discrete_constraints = false;
+  }
+
+  MethodSpec spec = SpecFromName(flags.GetString("method", "autoac"), model);
+  int64_t seeds = flags.GetInt("seeds", 3);
+  std::printf("%s on %s (%s task, %lld seeds)\n", spec.display_name.c_str(),
+              dataset.name.c_str(), link ? "link" : "node",
+              static_cast<long long>(seeds));
+  AggregateResult result = EvaluateMethod(task, ctx, config, spec, seeds);
+  if (result.out_of_memory) {
+    std::printf("out of memory (tape exceeded --memory limit)\n");
+    return 2;
+  }
+  if (link) {
+    std::printf("ROC-AUC %s  MRR %s\n", Cell(result.roc_auc).c_str(),
+                Cell(result.mrr).c_str());
+  } else {
+    std::printf("Macro-F1 %s  Micro-F1 %s\n", Cell(result.macro_f1).c_str(),
+                Cell(result.micro_f1).c_str());
+  }
+  std::printf("mean wall time per run: %.1fs (pre-learn %.1f / search %.1f / "
+              "train %.1f)\n",
+              result.total_seconds, result.mean_times.prelearn_seconds,
+              result.mean_times.search_seconds,
+              result.mean_times.train_seconds);
+  if (!result.last_ops.empty()) {
+    int64_t counts[kNumCompletionOps] = {0};
+    for (CompletionOpType op : result.last_ops) {
+      ++counts[static_cast<int>(op)];
+    }
+    std::printf("searched operations:");
+    for (int o = 0; o < kNumCompletionOps; ++o) {
+      std::printf(" %s=%.1f%%",
+                  CompletionOpName(static_cast<CompletionOpType>(o)),
+                  100.0 * counts[o] / result.last_ops.size());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace autoac
+
+int main(int argc, char** argv) { return autoac::Run(argc, argv); }

@@ -1,0 +1,53 @@
+// Link prediction on the LastFM-style benchmark (predict user-artist
+// edges): mask 10% of the target edges, train with the dot-product decoder,
+// and compare the SimpleHGN baseline against SimpleHGN-AutoAC on ROC-AUC
+// and MRR — the Table V protocol as a runnable example.
+//
+//   ./examples/link_prediction_lastfm [--scale=0.1] [--mask_rate=0.1]
+
+#include <cstdio>
+
+#include "autoac/evaluator.h"
+#include "data/hgb_datasets.h"
+#include "util/flags.h"
+
+using namespace autoac;  // Example code; the library itself never does this.
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  DatasetOptions options;
+  options.scale = flags.GetDouble("scale", 0.1);
+  options.seed = flags.GetInt("seed", 7);
+  Dataset dataset = MakeDataset("lastfm", options);
+
+  double mask_rate = flags.GetDouble("mask_rate", 0.1);
+  Rng rng(options.seed + 500);
+  TaskData task = MakeLinkTask(dataset, mask_rate, rng);
+  std::printf(
+      "LastFM link prediction: %zu train / %zu val / %zu test positives "
+      "(%.0f%% of user-artist edges masked)\n",
+      task.train_pos.size(), task.val_pos.size(), task.test_pos.size(),
+      100 * mask_rate);
+
+  ModelContext ctx = BuildModelContext(task.graph);
+  ExperimentConfig config;
+  config.task = TaskKind::kLinkPrediction;
+  config.model_name = "SimpleHGN";
+  config.train_epochs = flags.GetInt("epochs", 60);
+  config.search_epochs = flags.GetInt("search_epochs", 24);
+  int64_t seeds = flags.GetInt("seeds", 2);
+
+  MethodSpec baseline{"SimpleHGN", MethodKind::kBaseline, "SimpleHGN",
+                      CompletionOpType::kOneHot};
+  AggregateResult base = EvaluateMethod(task, ctx, config, baseline, seeds);
+  std::printf("\nSimpleHGN:        ROC-AUC %s  MRR %s\n",
+              Cell(base.roc_auc).c_str(), Cell(base.mrr).c_str());
+
+  MethodSpec autoac_spec{"SimpleHGN-AutoAC", MethodKind::kAutoAc, "SimpleHGN",
+                         CompletionOpType::kOneHot};
+  AggregateResult searched =
+      EvaluateMethod(task, ctx, config, autoac_spec, seeds);
+  std::printf("SimpleHGN-AutoAC: ROC-AUC %s  MRR %s\n",
+              Cell(searched.roc_auc).c_str(), Cell(searched.mrr).c_str());
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Node classification on the DBLP-style benchmark, end to end:
+//  - build the dataset (authors are the unlabeled-attribute target type),
+//  - train a SimpleHGN baseline with handcrafted one-hot completion,
+//  - run AutoAC's bi-level search and retrain with the found operations,
+//  - report both, plus the per-node-type view of what the search selected.
+//
+//   ./examples/node_classification_dblp [--scale=0.15] [--seeds=2]
+
+#include <cstdio>
+
+#include "autoac/evaluator.h"
+#include "completion/completion_module.h"
+#include "data/hgb_datasets.h"
+#include "util/flags.h"
+
+using namespace autoac;  // Example code; the library itself never does this.
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  DatasetOptions options;
+  options.scale = flags.GetDouble("scale", 0.15);
+  options.seed = flags.GetInt("seed", 7);
+  Dataset dataset = MakeDataset("dblp", options);
+  const HeteroGraph& graph = *dataset.graph;
+
+  std::printf("DBLP: %lld nodes / %lld edges\n",
+              static_cast<long long>(graph.num_nodes()),
+              static_cast<long long>(graph.num_edges()));
+  for (int64_t t = 0; t < graph.num_node_types(); ++t) {
+    std::printf("  %-8s %6lld nodes, attributes: %s\n",
+                graph.node_type(t).name.c_str(),
+                static_cast<long long>(graph.node_type(t).count),
+                graph.node_type(t).attributes.numel() > 0 ? "raw" : "missing");
+  }
+
+  TaskData task = MakeNodeTask(dataset);
+  ModelContext ctx = BuildModelContext(dataset.graph);
+  ExperimentConfig config;
+  config.model_name = "SimpleHGN";
+  config.train_epochs = flags.GetInt("epochs", 80);
+  config.search_epochs = flags.GetInt("search_epochs", 30);
+  int64_t seeds = flags.GetInt("seeds", 2);
+
+  MethodSpec baseline{"SimpleHGN", MethodKind::kBaseline, "SimpleHGN",
+                      CompletionOpType::kOneHot};
+  AggregateResult base = EvaluateMethod(task, ctx, config, baseline, seeds);
+  std::printf("\nSimpleHGN (one-hot completion): Macro-F1 %s  Micro-F1 %s\n",
+              Cell(base.macro_f1).c_str(), Cell(base.micro_f1).c_str());
+
+  MethodSpec searched{"SimpleHGN-AutoAC", MethodKind::kAutoAc, "SimpleHGN",
+                      CompletionOpType::kOneHot};
+  AggregateResult autoac_result =
+      EvaluateMethod(task, ctx, config, searched, seeds);
+  std::printf("SimpleHGN-AutoAC:               Macro-F1 %s  Micro-F1 %s\n",
+              Cell(autoac_result.macro_f1).c_str(),
+              Cell(autoac_result.micro_f1).c_str());
+
+  // Which operation did each node type end up with?
+  Rng rng(0);
+  CompletionConfig completion_config;
+  completion_config.hidden_dim = 8;
+  CompletionModule module(dataset.graph, completion_config, rng);
+  std::printf("\nSearched operations by node type (last seed):\n");
+  for (int64_t t = 0; t < graph.num_node_types(); ++t) {
+    std::vector<int64_t> positions = module.MissingPositionsOfType(t);
+    if (positions.empty()) continue;
+    int64_t counts[kNumCompletionOps] = {0};
+    for (int64_t pos : positions) {
+      ++counts[static_cast<int>(autoac_result.last_ops[pos])];
+    }
+    std::printf("  %-8s", graph.node_type(t).name.c_str());
+    for (int o = 0; o < kNumCompletionOps; ++o) {
+      std::printf(" %s=%5.1f%%",
+                  CompletionOpName(static_cast<CompletionOpType>(o)),
+                  100.0 * counts[o] / positions.size());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

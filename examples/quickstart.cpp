@@ -1,0 +1,76 @@
+// Quickstart: build a small IMDB-like heterogeneous graph with missing
+// attributes, run AutoAC's completion-operation search with SimpleHGN, and
+// compare against the handcrafted one-hot completion baseline.
+//
+//   ./examples/quickstart [--scale=0.15] [--epochs=80] [--search_epochs=30]
+
+#include <cstdio>
+
+#include "autoac/evaluator.h"
+#include "autoac/search.h"
+#include "autoac/trainer.h"
+#include "completion/op.h"
+#include "data/hgb_datasets.h"
+#include "util/flags.h"
+#include "util/logging.h"
+
+using namespace autoac;  // Example code; the library itself never does this.
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+
+  // 1. Load a dataset. The generator reproduces IMDB's Table I schema:
+  //    movies carry raw attributes; directors, actors and keywords do not.
+  DatasetOptions options;
+  options.scale = flags.GetDouble("scale", 0.15);
+  options.seed = flags.GetInt("seed", 7);
+  Dataset dataset =
+      MakeDataset(flags.GetString("dataset", "imdb"), options);
+  std::printf("Loaded %s: %lld nodes, %lld edges, %lld classes\n",
+              dataset.name.c_str(),
+              static_cast<long long>(dataset.graph->num_nodes()),
+              static_cast<long long>(dataset.graph->num_edges()),
+              static_cast<long long>(dataset.graph->num_classes()));
+
+  // 2. Wrap it for node classification and precompute adjacencies.
+  TaskData task = MakeNodeTask(dataset);
+  ModelContext ctx = BuildModelContext(dataset.graph);
+
+  ExperimentConfig config;
+  config.model_name = "SimpleHGN";
+  config.train_epochs = flags.GetInt("epochs", 80);
+  config.search_epochs = flags.GetInt("search_epochs", 30);
+  config.num_clusters = 8;
+  config.lambda = 0.4f;
+
+  // 3. Baseline: complete every missing node with the handcrafted one-hot
+  //    operation, as HGB's feature preprocessing does.
+  MethodSpec baseline{"SimpleHGN (one-hot completion)", MethodKind::kBaseline,
+                      "SimpleHGN", CompletionOpType::kOneHot};
+  AggregateResult base = EvaluateMethod(task, ctx, config, baseline, 2);
+  std::printf("Baseline      Macro-F1 %s  Micro-F1 %s\n",
+              Cell(base.macro_f1).c_str(), Cell(base.micro_f1).c_str());
+
+  // 4. AutoAC: search the completion operation for each cluster of missing
+  //    nodes jointly with training (Algorithm 1), then retrain.
+  MethodSpec autoac_spec{"SimpleHGN-AutoAC", MethodKind::kAutoAc, "SimpleHGN",
+                         CompletionOpType::kOneHot};
+  AggregateResult searched = EvaluateMethod(task, ctx, config, autoac_spec, 2);
+  std::printf("AutoAC        Macro-F1 %s  Micro-F1 %s\n",
+              Cell(searched.macro_f1).c_str(), Cell(searched.micro_f1).c_str());
+
+  // 5. Inspect what the search chose.
+  if (!searched.last_ops.empty()) {
+    int counts[kNumCompletionOps] = {0};
+    for (CompletionOpType op : searched.last_ops) {
+      ++counts[static_cast<int>(op)];
+    }
+    std::printf("Searched operation distribution:\n");
+    for (int o = 0; o < kNumCompletionOps; ++o) {
+      std::printf("  %-12s %5.1f%%\n",
+                  CompletionOpName(static_cast<CompletionOpType>(o)),
+                  100.0 * counts[o] / searched.last_ops.size());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,25 @@
+#!/bin/bash
+# Regenerates test_output.txt and bench_output.txt: the full test suite,
+# then every table/figure bench. Pass heavier budgets for paper-scale runs,
+# e.g.:  scripts/run_benchmarks.sh --scale=1.0 --seeds=5 --epochs=300
+set -u
+cd "$(dirname "$0")/.."
+FLAGS="${@:---epochs=50 --search_epochs=16 --seeds=2 --scale=0.15}"
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+{
+  for b in table2_node_classification table3_vs_hgnnac table4_runtime \
+           table5_link_prediction table6_ablation_simplehgn \
+           table7_ablation_magnn table8_discrete_constraints \
+           table9_missing_rates table10_masked_edges \
+           fig3_clustering_methods fig4_gmoc_convergence \
+           fig5_op_distribution fig6_7_op_by_type fig8_cluster_sweep \
+           fig9_lambda_sweep fig10_11_lr_wd_sweep; do
+    echo "===== $b ====="
+    ./build/bench/$b $FLAGS
+    echo
+  done
+  echo "===== micro_kernels ====="
+  ./build/bench/micro_kernels
+} 2>&1 | tee bench_output.txt

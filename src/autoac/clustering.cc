@@ -1,0 +1,126 @@
+#include "autoac/clustering.h"
+
+#include <cmath>
+#include <limits>
+
+namespace autoac {
+
+ClusterHead::ClusterHead(HeteroGraphPtr graph, int64_t input_dim,
+                         int64_t num_clusters, Rng& rng)
+    : graph_(std::move(graph)),
+      head_(input_dim, num_clusters, rng),
+      num_clusters_(num_clusters) {
+  adjacency_ =
+      graph_->FullAdjacency(AdjNorm::kNone, /*add_self_loops=*/false);
+  Tensor degrees(graph_->num_nodes(), 1);
+  double total = 0.0;
+  for (int64_t i = 0; i < graph_->num_nodes(); ++i) {
+    degrees.at(i, 0) = static_cast<float>(graph_->degrees()[i]);
+    total += graph_->degrees()[i];
+  }
+  degree_col_ = MakeConst(std::move(degrees));
+  two_edges_ = static_cast<float>(total);  // sum of degrees = 2|E|
+  AUTOAC_CHECK_GT(two_edges_, 0.0f);
+}
+
+VarPtr ClusterHead::Assignments(const VarPtr& hidden) const {
+  return RowSoftmax(head_.Apply(hidden));
+}
+
+VarPtr ClusterHead::ModularityLoss(const VarPtr& assignments) const {
+  // Tr(C^T A C) = sum(C * (A C)); Tr(C^T d d^T C) = ||C^T d||^2.
+  VarPtr ac = SpMM(adjacency_, assignments);
+  VarPtr tr_cac = SumAll(Mul(assignments, ac));
+  VarPtr ctd = MatMul(Transpose(assignments), degree_col_);  // [M, 1]
+  VarPtr tr_cddc = SumSquares(ctd);
+  VarPtr modularity = Scale(
+      Sub(tr_cac, Scale(tr_cddc, 1.0f / two_edges_)), 1.0f / two_edges_);
+
+  // Collapse regularization: sqrt(M)/|V| * || sum_i C_i ||_F, where the
+  // column sums form an M-vector.
+  int64_t n = graph_->num_nodes();
+  VarPtr ones = MakeConst(Tensor::Full({1, n}, 1.0f));
+  VarPtr column_sums = MatMul(ones, assignments);  // [1, M]
+  VarPtr collapse = Scale(
+      Sqrt(SumSquares(column_sums)),
+      std::sqrt(static_cast<float>(num_clusters_)) / static_cast<float>(n));
+
+  return Add(Scale(modularity, -1.0f), collapse);
+}
+
+std::vector<int64_t> ClusterHead::HardClusters(
+    const VarPtr& assignments, const std::vector<int64_t>& nodes) const {
+  std::vector<int64_t> clusters;
+  clusters.reserve(nodes.size());
+  const Tensor& c = assignments->value;
+  for (int64_t node : nodes) {
+    int64_t best = 0;
+    for (int64_t m = 1; m < c.cols(); ++m) {
+      if (c.at(node, m) > c.at(node, best)) best = m;
+    }
+    clusters.push_back(best);
+  }
+  return clusters;
+}
+
+std::vector<int64_t> KMeansCluster(const Tensor& features, int64_t k,
+                                   int64_t iterations, Rng& rng) {
+  AUTOAC_CHECK_EQ(features.dim(), 2);
+  int64_t n = features.rows();
+  int64_t d = features.cols();
+  AUTOAC_CHECK_GT(k, 0);
+  if (n == 0) return {};
+
+  // Initialize centers from random distinct points.
+  std::vector<int64_t> seeds =
+      Rng(rng.UniformInt(0, 1 << 30)).SampleWithoutReplacement(
+          n, std::min(k, n));
+  Tensor centers(k, d);
+  for (int64_t c = 0; c < k; ++c) {
+    int64_t src = seeds[c % seeds.size()];
+    for (int64_t j = 0; j < d; ++j) centers.at(c, j) = features.at(src, j);
+  }
+
+  std::vector<int64_t> assignment(n, 0);
+  for (int64_t it = 0; it < iterations; ++it) {
+    // Assign step.
+    for (int64_t i = 0; i < n; ++i) {
+      float best = std::numeric_limits<float>::max();
+      int64_t best_c = 0;
+      for (int64_t c = 0; c < k; ++c) {
+        float dist = 0.0f;
+        for (int64_t j = 0; j < d; ++j) {
+          float diff = features.at(i, j) - centers.at(c, j);
+          dist += diff * diff;
+        }
+        if (dist < best) {
+          best = dist;
+          best_c = c;
+        }
+      }
+      assignment[i] = best_c;
+    }
+    // Update step.
+    centers.Fill(0.0f);
+    std::vector<int64_t> counts(k, 0);
+    for (int64_t i = 0; i < n; ++i) {
+      ++counts[assignment[i]];
+      for (int64_t j = 0; j < d; ++j) {
+        centers.at(assignment[i], j) += features.at(i, j);
+      }
+    }
+    for (int64_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        // Re-seed empty clusters from a random point.
+        int64_t src = rng.UniformInt(0, n - 1);
+        for (int64_t j = 0; j < d; ++j) centers.at(c, j) = features.at(src, j);
+        continue;
+      }
+      float inv = 1.0f / static_cast<float>(counts[c]);
+      for (int64_t j = 0; j < d; ++j) centers.at(c, j) *= inv;
+    }
+  }
+  return assignment;
+}
+
+}  // namespace autoac

@@ -1,0 +1,55 @@
+#ifndef AUTOAC_AUTOAC_CLUSTERING_H_
+#define AUTOAC_AUTOAC_CLUSTERING_H_
+
+#include <vector>
+
+#include "graph/hetero_graph.h"
+#include "graph/sparse_ops.h"
+#include "models/layers.h"
+#include "tensor/ops.h"
+
+namespace autoac {
+
+/// The auxiliary unsupervised clustering head of Section IV-D: a soft
+/// assignment matrix C = softmax(H W_c + b) over M clusters, trained by
+/// maximizing the spectral-relaxed modularity (Eq. 10) with the collapse
+/// regularizer (Eq. 11). Because C is produced from the GNN's hidden states,
+/// the clustering sharpens jointly with representation quality — the
+/// property that makes it preferable to post-hoc EM (Fig. 3).
+class ClusterHead {
+ public:
+  /// `graph` supplies the adjacency/degrees of the modularity matrix B.
+  ClusterHead(HeteroGraphPtr graph, int64_t input_dim, int64_t num_clusters,
+              Rng& rng);
+
+  /// Soft assignments C [N, M] from hidden states H [N, input_dim].
+  VarPtr Assignments(const VarPtr& hidden) const;
+
+  /// L_GmoC (Eq. 11): -1/(2|E|) Tr(C^T B C) + sqrt(M)/|V| ||sum_i C_i||_F.
+  /// Returns a scalar variable suitable for joint optimization.
+  VarPtr ModularityLoss(const VarPtr& assignments) const;
+
+  /// Hard cluster of each listed node: argmax over the assignment row.
+  std::vector<int64_t> HardClusters(const VarPtr& assignments,
+                                    const std::vector<int64_t>& nodes) const;
+
+  std::vector<VarPtr> Parameters() const { return head_.Parameters(); }
+  int64_t num_clusters() const { return num_clusters_; }
+
+ private:
+  HeteroGraphPtr graph_;
+  Linear head_;
+  int64_t num_clusters_;
+  SpMatPtr adjacency_;   // unnormalized, no self-loops
+  VarPtr degree_col_;    // const [N, 1] degree vector d
+  float two_edges_;      // 2|E| in the symmetrized graph
+};
+
+/// Plain k-means in feature space; the EM ablation baselines of Fig. 3
+/// re-cluster the GNN's hidden states with this between iterations.
+std::vector<int64_t> KMeansCluster(const Tensor& features, int64_t k,
+                                   int64_t iterations, Rng& rng);
+
+}  // namespace autoac
+
+#endif  // AUTOAC_AUTOAC_CLUSTERING_H_

@@ -1,0 +1,53 @@
+#include "autoac/completion_params.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace autoac {
+
+Tensor ProxC1(const Tensor& alpha) {
+  AUTOAC_CHECK_EQ(alpha.dim(), 2);
+  Tensor out(alpha.rows(), alpha.cols());
+  for (int64_t i = 0; i < alpha.rows(); ++i) {
+    int64_t best = 0;
+    for (int64_t j = 1; j < alpha.cols(); ++j) {
+      if (alpha.at(i, j) > alpha.at(i, best)) best = j;
+    }
+    out.at(i, best) = 1.0f;
+  }
+  return out;
+}
+
+void ProxC2(Tensor& alpha) {
+  float* data = alpha.data();
+  for (int64_t i = 0; i < alpha.numel(); ++i) {
+    data[i] = std::clamp(data[i], 0.0f, 1.0f);
+  }
+}
+
+std::vector<CompletionOpType> ArgmaxOps(const Tensor& alpha) {
+  AUTOAC_CHECK_EQ(alpha.cols(), kNumCompletionOps);
+  std::vector<CompletionOpType> ops(alpha.rows());
+  for (int64_t i = 0; i < alpha.rows(); ++i) {
+    int64_t best = 0;
+    for (int64_t j = 1; j < alpha.cols(); ++j) {
+      if (alpha.at(i, j) > alpha.at(i, best)) best = j;
+    }
+    ops[i] = static_cast<CompletionOpType>(best);
+  }
+  return ops;
+}
+
+Tensor InitCompletionParams(int64_t num_rows, Rng& rng) {
+  Tensor alpha(num_rows, kNumCompletionOps);
+  for (int64_t i = 0; i < num_rows; ++i) {
+    for (int64_t j = 0; j < kNumCompletionOps; ++j) {
+      alpha.at(i, j) =
+          0.5f + static_cast<float>(rng.Uniform(-0.05, 0.05));
+    }
+  }
+  return alpha;
+}
+
+}  // namespace autoac

@@ -1,0 +1,30 @@
+#ifndef AUTOAC_AUTOAC_COMPLETION_PARAMS_H_
+#define AUTOAC_AUTOAC_COMPLETION_PARAMS_H_
+
+#include <vector>
+
+#include "completion/op.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace autoac {
+
+/// Projection onto C1 = { a : ||a||_0 = 1 } applied row-wise: each row of
+/// `alpha` becomes the one-hot indicator of its largest entry (Proposition 1
+/// / Algorithm 1 lines 3 and 5). Ties break toward the lowest index.
+Tensor ProxC1(const Tensor& alpha);
+
+/// Projection onto C2 = { a : 0 <= a_i <= 1 } applied in place (Eq. 8).
+void ProxC2(Tensor& alpha);
+
+/// Per-row argmax of `alpha`, i.e. the discrete operation choice each
+/// cluster has converged to.
+std::vector<CompletionOpType> ArgmaxOps(const Tensor& alpha);
+
+/// Initial completion parameters: near-uniform with small random jitter so
+/// the initial argmax is unbiased across operations. Shape [num_rows, |O|].
+Tensor InitCompletionParams(int64_t num_rows, Rng& rng);
+
+}  // namespace autoac
+
+#endif  // AUTOAC_AUTOAC_COMPLETION_PARAMS_H_

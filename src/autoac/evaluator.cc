@@ -1,0 +1,100 @@
+#include "autoac/evaluator.h"
+
+#include "autoac/hgnn_ac.h"
+#include "autoac/search.h"
+#include "autoac/trainer.h"
+#include "completion/completion_module.h"
+
+namespace autoac {
+namespace {
+
+// Number of missing nodes for this graph (assignments need the count before
+// a CompletionModule exists).
+int64_t CountMissing(const HeteroGraph& graph) {
+  int64_t missing = 0;
+  for (int64_t t = 0; t < graph.num_node_types(); ++t) {
+    if (graph.node_type(t).attributes.numel() == 0) {
+      missing += graph.node_type(t).count;
+    }
+  }
+  return missing;
+}
+
+RunResult RunOne(const TaskData& data, const ModelContext& ctx,
+                 const ExperimentConfig& config, const MethodSpec& spec) {
+  int64_t n_missing = CountMissing(*data.graph);
+  switch (spec.kind) {
+    case MethodKind::kBaseline:
+      return TrainFixedCompletion(
+          data, ctx, config,
+          UniformAssignment(n_missing, CompletionOpType::kOneHot));
+    case MethodKind::kSingleOp:
+      return TrainFixedCompletion(
+          data, ctx, config, UniformAssignment(n_missing, spec.single_op));
+    case MethodKind::kRandomOp: {
+      Rng rng(config.seed * 31 + 5);
+      return TrainFixedCompletion(data, ctx, config,
+                                  RandomAssignment(n_missing, rng));
+    }
+    case MethodKind::kAutoAc:
+      return RunAutoAc(data, ctx, config);
+    case MethodKind::kHgnnAc:
+      return RunHgnnAc(data, ctx, config);
+    case MethodKind::kHgca:
+      // HGCA-lite: unsupervised attribute completion is approximated by
+      // topology-mean completion feeding a GCN (see DESIGN.md).
+      return TrainFixedCompletion(
+          data, ctx, config,
+          UniformAssignment(n_missing, CompletionOpType::kMean));
+  }
+  AUTOAC_CHECK(false) << "unreachable";
+  return {};
+}
+
+}  // namespace
+
+AggregateResult EvaluateMethod(const TaskData& data, const ModelContext& ctx,
+                               const ExperimentConfig& base_config,
+                               const MethodSpec& spec, int64_t num_seeds) {
+  AggregateResult aggregate;
+  double total_time = 0.0;
+  double epoch_time = 0.0;
+  for (int64_t s = 0; s < num_seeds; ++s) {
+    ExperimentConfig config = base_config;
+    config.seed = base_config.seed + static_cast<uint64_t>(s);
+    config.model_name = spec.model;
+    if (spec.kind == MethodKind::kHgca) config.model_name = "GCN";
+    RunResult run = RunOne(data, ctx, config, spec);
+    if (run.out_of_memory) {
+      aggregate.out_of_memory = true;
+      return aggregate;
+    }
+    aggregate.macro_samples.push_back(run.test.macro_f1 * 100.0);
+    aggregate.micro_samples.push_back(run.test.micro_f1 * 100.0);
+    aggregate.auc_samples.push_back(run.test.roc_auc * 100.0);
+    aggregate.mrr_samples.push_back(run.test.mrr * 100.0);
+    total_time += run.times.Total();
+    epoch_time += run.epoch_seconds;
+    aggregate.mean_times.prelearn_seconds += run.times.prelearn_seconds;
+    aggregate.mean_times.search_seconds += run.times.search_seconds;
+    aggregate.mean_times.train_seconds += run.times.train_seconds;
+    aggregate.last_ops = run.searched_ops;
+    if (!run.gmoc_trace.empty()) aggregate.gmoc_trace = run.gmoc_trace;
+  }
+  aggregate.macro_f1 = Summarize(aggregate.macro_samples);
+  aggregate.micro_f1 = Summarize(aggregate.micro_samples);
+  aggregate.roc_auc = Summarize(aggregate.auc_samples);
+  aggregate.mrr = Summarize(aggregate.mrr_samples);
+  aggregate.total_seconds = total_time / num_seeds;
+  aggregate.epoch_seconds = epoch_time / num_seeds;
+  aggregate.mean_times.prelearn_seconds /= num_seeds;
+  aggregate.mean_times.search_seconds /= num_seeds;
+  aggregate.mean_times.train_seconds /= num_seeds;
+  return aggregate;
+}
+
+std::string Cell(const RunSummary& summary) {
+  return FormatMeanStd(summary, 2);
+}
+
+}  // namespace autoac

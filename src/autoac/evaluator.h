@@ -1,0 +1,61 @@
+#ifndef AUTOAC_AUTOAC_EVALUATOR_H_
+#define AUTOAC_AUTOAC_EVALUATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "autoac/experiment.h"
+#include "models/model.h"
+#include "util/stats.h"
+
+namespace autoac {
+
+/// The completion strategies the benchmark tables compare.
+enum class MethodKind {
+  kBaseline,  // handcrafted completion: one-hot for every missing node
+  kSingleOp,  // one fixed operation for all nodes (Tables VI/VII)
+  kRandomOp,  // independently random per-node choice (Random_AC)
+  kAutoAc,    // the full search pipeline
+  kHgnnAc,    // attention completion with pre-learned embeddings
+  kHgca,      // HGCA-lite: unsupervised mean completion + GCN (see DESIGN.md)
+};
+
+/// One table row to evaluate.
+struct MethodSpec {
+  std::string display_name;
+  MethodKind kind = MethodKind::kBaseline;
+  std::string model = "SimpleHGN";
+  CompletionOpType single_op = CompletionOpType::kOneHot;
+};
+
+/// Multi-seed aggregation of one method on one task.
+struct AggregateResult {
+  RunSummary macro_f1;
+  RunSummary micro_f1;
+  RunSummary roc_auc;
+  RunSummary mrr;
+  std::vector<double> macro_samples;
+  std::vector<double> micro_samples;
+  std::vector<double> auc_samples;
+  std::vector<double> mrr_samples;
+  double total_seconds = 0.0;    // mean end-to-end wall time per run
+  double epoch_seconds = 0.0;    // mean per-epoch wall time
+  StageTimes mean_times;
+  bool out_of_memory = false;
+  std::vector<CompletionOpType> last_ops;  // searched ops of the last seed
+  std::vector<float> gmoc_trace;           // of the last seed
+};
+
+/// Runs `spec` for `num_seeds` seeds (config.seed + s) and aggregates.
+/// All F1/AUC/MRR samples are stored as percentages (x100), matching the
+/// paper's tables.
+AggregateResult EvaluateMethod(const TaskData& data, const ModelContext& ctx,
+                               const ExperimentConfig& base_config,
+                               const MethodSpec& spec, int64_t num_seeds);
+
+/// Convenience formatting for a mean±std cell, already in percent.
+std::string Cell(const RunSummary& summary);
+
+}  // namespace autoac
+
+#endif  // AUTOAC_AUTOAC_EVALUATOR_H_

@@ -1,0 +1,106 @@
+#ifndef AUTOAC_AUTOAC_EXPERIMENT_H_
+#define AUTOAC_AUTOAC_EXPERIMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "autoac/task.h"
+#include "completion/completion_module.h"
+
+namespace autoac {
+
+/// How the dimension of the completion parameters alpha is reduced
+/// (Section IV-D and the Fig. 3 ablation).
+enum class ClusterMode {
+  kModularity,  // AutoAC: joint spectral-modularity clustering head
+  kNone,        // per-node alpha (M = N^-), no clustering
+  kEm,          // k-means on hidden states after every iteration
+  kEmWarmup,    // k-means, but frozen clusters for the first epochs
+};
+
+/// Everything one experiment run needs. Field defaults follow Section V-B
+/// (Adam, lr/wd for w and alpha) with budgets sized for the scaled datasets.
+struct ExperimentConfig {
+  std::string model_name = "SimpleHGN";
+  TaskKind task = TaskKind::kNodeClassification;
+
+  // Model shape.
+  int64_t hidden_dim = 64;
+  int64_t num_layers = 2;
+  int64_t num_heads = 2;
+  float dropout = 0.1f;
+  float negative_slope = 0.05f;
+
+  // Optimization of the GNN weights w.
+  int64_t train_epochs = 150;
+  int64_t patience = 30;
+  /// Validation (and conditional test) evaluation cadence in epochs; larger
+  /// values trade early-stopping granularity for wall time.
+  int64_t eval_every = 2;
+  float lr_w = 3e-3f;
+  float wd_w = 1e-4f;
+
+  // Optimization of the completion parameters alpha. The paper uses
+  // lr 5e-3 over hundreds of alternating steps; with this implementation's
+  // compressed search budgets the default is proportionally larger (Fig. 10
+  // sweeps it and shows robustness across a 2x range).
+  float lr_alpha = 2e-2f;
+  float wd_alpha = 1e-5f;
+  int64_t search_epochs = 40;
+  /// Epochs at the start of the search that train only w (and refresh
+  /// clusters) before alpha updates begin: gradients of L_val w.r.t. alpha
+  /// are meaningless while the GNN is random, and NASP-style searches warm
+  /// the supernet up first.
+  int64_t alpha_warmup_epochs = -1;  // -1: search_epochs / 4
+
+  // AutoAC specifics.
+  int64_t num_clusters = 8;       // M
+  float lambda = 0.4f;            // loss weight of L_GmoC (Eq. 12)
+  ClusterMode cluster_mode = ClusterMode::kModularity;
+  bool discrete_constraints = true;
+  int64_t em_warmup_epochs = 10;  // kEmWarmup only
+
+  /// Tape-memory budget for the search stage. The no-discrete-constraint
+  /// mixture holds every candidate operation in the tape; when its measured
+  /// tape size exceeds this budget the search reports out-of-memory, which
+  /// reproduces Table VIII's '/' entries. 0 disables the check.
+  int64_t memory_limit_bytes = 0;
+
+  // Link prediction.
+  int64_t mrr_negatives = 20;
+
+  CompletionConfig completion;
+  uint64_t seed = 1;
+};
+
+/// Wall time attributed to each pipeline stage (Table IV's columns).
+struct StageTimes {
+  double prelearn_seconds = 0.0;
+  double search_seconds = 0.0;
+  double train_seconds = 0.0;
+  double Total() const {
+    return prelearn_seconds + search_seconds + train_seconds;
+  }
+};
+
+/// Result of one seeded run.
+struct RunResult {
+  TaskScores test;
+  /// Best validation primary metric observed (model-selection criterion).
+  double val_primary = 0.0;
+  /// Mean of the last few validation evaluations — a lower-variance score
+  /// for comparing candidate assignments under small validation splits.
+  double val_smoothed = 0.0;
+  StageTimes times;
+  double epoch_seconds = 0.0;  // mean wall time per training epoch
+  int64_t epochs_run = 0;
+  bool out_of_memory = false;
+
+  // Search artifacts (AutoAC runs only).
+  std::vector<CompletionOpType> searched_ops;  // per missing node
+  std::vector<float> gmoc_trace;               // L_GmoC per search epoch
+};
+
+}  // namespace autoac
+
+#endif  // AUTOAC_AUTOAC_EXPERIMENT_H_

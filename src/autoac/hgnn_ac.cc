@@ -1,0 +1,155 @@
+#include "autoac/hgnn_ac.h"
+
+#include <cmath>
+
+#include "graph/random_walk.h"
+#include "graph/sparse_ops.h"
+#include "models/factory.h"
+#include "tensor/init.h"
+#include "tensor/optimizer.h"
+#include "util/timer.h"
+
+namespace autoac {
+namespace {
+
+// Skip-gram with negative sampling over random walks; returns the learned
+// embedding table [N, dim]. Deliberately a full SGD loop over all pairs so
+// the pre-learning cost scales with graph size the way metapath2vec's does.
+Tensor PrelearnTopologicalEmbeddings(const HeteroGraph& graph,
+                                     const HgnnAcConfig& config, Rng& rng) {
+  int64_t n = graph.num_nodes();
+  int64_t dim = config.embedding_dim;
+  Tensor embedding = RandomNormal(
+      {n, dim}, 1.0f / std::sqrt(static_cast<float>(dim)), rng);
+  Tensor context = RandomNormal(
+      {n, dim}, 1.0f / std::sqrt(static_cast<float>(dim)), rng);
+
+  std::vector<std::vector<int64_t>> walks = UniformRandomWalks(
+      graph, config.walk_length, config.walks_per_node, rng);
+  std::vector<std::pair<int64_t, int64_t>> pairs =
+      SkipGramPairs(walks, config.window);
+
+  float lr = config.prelearn_lr;
+  for (int64_t epoch = 0; epoch < config.prelearn_epochs; ++epoch) {
+    for (const auto& [center, ctx_node] : pairs) {
+      // One positive and `negatives_per_pair` negative updates.
+      for (int64_t k = 0; k <= config.negatives_per_pair; ++k) {
+        int64_t other = k == 0 ? ctx_node : rng.UniformInt(0, n - 1);
+        float label = k == 0 ? 1.0f : 0.0f;
+        float* ec = embedding.data() + center * dim;
+        float* oc = context.data() + other * dim;
+        float dot = 0.0f;
+        for (int64_t j = 0; j < dim; ++j) dot += ec[j] * oc[j];
+        float sigma = 1.0f / (1.0f + std::exp(-dot));
+        float g = lr * (label - sigma);
+        for (int64_t j = 0; j < dim; ++j) {
+          float e_old = ec[j];
+          ec[j] += g * oc[j];
+          oc[j] += g * e_old;
+        }
+      }
+    }
+  }
+  return embedding;
+}
+
+}  // namespace
+
+RunResult RunHgnnAc(const TaskData& data, const ModelContext& ctx,
+                    const ExperimentConfig& config,
+                    const HgnnAcConfig& hgnn_config) {
+  Rng rng(config.seed * 7919 + 13);
+
+  // Stage 1: topological embedding pre-learning (timed separately).
+  WallTimer prelearn_timer;
+  Tensor topo = PrelearnTopologicalEmbeddings(*data.graph, hgnn_config, rng);
+  double prelearn_seconds = prelearn_timer.Seconds();
+
+  // Stage 2 + 3: attention completion from the fixed embeddings, then train
+  // the host model end-to-end.
+  WallTimer train_timer;
+  CompletionConfig completion_config = config.completion;
+  completion_config.hidden_dim = config.hidden_dim;
+  CompletionModule completion(data.graph, completion_config, rng);
+
+  // Per-edge attention logits over the attributed-neighbour adjacency:
+  // <topo[dst], topo[src]> for each stored edge, computed once (the
+  // embeddings are frozen after pre-learning, as in HGNN-AC).
+  SpMatPtr attributed_adj =
+      data.graph->AttributedNeighborAdjacency(AdjNorm::kNone);
+  const Csr& csr = attributed_adj->forward();
+  Tensor logits({csr.nnz()});
+  int64_t dim = topo.cols();
+  for (int64_t i = 0; i < csr.num_rows; ++i) {
+    const float* ti = topo.data() + i * dim;
+    for (int64_t k = csr.indptr[i]; k < csr.indptr[i + 1]; ++k) {
+      const float* tj = topo.data() + csr.indices[k] * dim;
+      float dot = 0.0f;
+      for (int64_t j = 0; j < dim; ++j) dot += ti[j] * tj[j];
+      logits.at(k) = dot;
+    }
+  }
+  VarPtr logits_const = MakeConst(std::move(logits));
+
+  ModelConfig model_config;
+  model_config.in_dim = config.hidden_dim;
+  model_config.hidden_dim = config.hidden_dim;
+  model_config.out_dim = config.hidden_dim;
+  model_config.num_layers = config.num_layers;
+  model_config.num_heads = config.num_heads;
+  model_config.dropout = config.dropout;
+  model_config.negative_slope = config.negative_slope;
+  ModelPtr model = MakeModel(config.model_name, model_config, ctx, rng);
+  TaskHead head(data, model_config.out_dim, config.mrr_negatives, rng);
+
+  std::vector<VarPtr> params = completion.Parameters();
+  for (const VarPtr& p : model->Parameters()) params.push_back(p);
+  for (const VarPtr& p : head.Parameters()) params.push_back(p);
+  Adam optimizer(params, config.lr_w, config.wd_w);
+
+  auto completed_h0 = [&]() {
+    VarPtr base = completion.BaseFeatures();
+    // Attention-weighted aggregation of attributed neighbours.
+    VarPtr aggregated =
+        EdgeSoftmaxAggregate(attributed_adj, logits_const, base);
+    VarPtr completed = GatherRows(aggregated, completion.missing_nodes());
+    return Add(base, ScatterRows(completed, completion.missing_nodes(),
+                                 data.graph->num_nodes()));
+  };
+
+  RunResult result;
+  result.times.prelearn_seconds = prelearn_seconds;
+  double best_val = -1.0;
+  int64_t since_best = 0;
+  for (int64_t epoch = 0; epoch < config.train_epochs; ++epoch) {
+    optimizer.ZeroGrad();
+    VarPtr h = model->Forward(ctx, completed_h0(), /*training=*/true, rng);
+    VarPtr loss = head.TrainLoss(h, rng);
+    Backward(loss);
+    ClipGradNorm(params, 5.0f);
+    optimizer.Step();
+    ++result.epochs_run;
+
+    if ((epoch + 1) % config.eval_every != 0 &&
+        epoch + 1 != config.train_epochs) {
+      continue;
+    }
+    VarPtr h_eval =
+        model->Forward(ctx, completed_h0(), /*training=*/false, rng);
+    TaskScores val = head.EvaluateVal(h_eval);
+    if (val.primary > best_val) {
+      best_val = val.primary;
+      since_best = 0;
+      result.test = head.EvaluateTest(h_eval);
+    } else if (++since_best >= config.patience / config.eval_every) {
+      break;
+    }
+  }
+  result.times.train_seconds = train_timer.Seconds();
+  result.epoch_seconds =
+      result.epochs_run > 0 ? result.times.train_seconds / result.epochs_run
+                            : 0.0;
+  return result;
+}
+
+}  // namespace autoac

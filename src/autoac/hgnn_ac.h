@@ -1,0 +1,36 @@
+#ifndef AUTOAC_AUTOAC_HGNN_AC_H_
+#define AUTOAC_AUTOAC_HGNN_AC_H_
+
+#include "autoac/experiment.h"
+#include "models/model.h"
+
+namespace autoac {
+
+/// Knobs of the HGNN-AC (Jin et al., WWW 2021) baseline.
+struct HgnnAcConfig {
+  /// Topological-embedding pre-learning (the metapath2vec-style stage whose
+  /// cost dominates HGNN-AC's end-to-end time in Table IV). Walk parameters
+  /// follow metapath2vec's published defaults: 40 walks per node of length
+  /// 100 with window 5 — this stage is *supposed* to be expensive.
+  int64_t embedding_dim = 32;
+  int64_t walk_length = 100;
+  int64_t walks_per_node = 40;
+  int64_t window = 5;
+  int64_t negatives_per_pair = 2;
+  int64_t prelearn_epochs = 2;
+  float prelearn_lr = 0.05f;
+};
+
+/// Runs the HGNN-AC pipeline: (1) pre-learn topological node embeddings with
+/// a random-walk skip-gram; (2) complete each missing attribute as the
+/// attention-weighted sum of its 1-hop attributed neighbours' features,
+/// where attention logits are dot products of the pre-learned embeddings;
+/// (3) train `config.model_name` on the completed features.
+/// `result.times.prelearn_seconds` captures stage (1).
+RunResult RunHgnnAc(const TaskData& data, const ModelContext& ctx,
+                    const ExperimentConfig& config,
+                    const HgnnAcConfig& hgnn_config = {});
+
+}  // namespace autoac
+
+#endif  // AUTOAC_AUTOAC_HGNN_AC_H_

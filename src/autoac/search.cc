@@ -1,0 +1,439 @@
+#include "autoac/search.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "autoac/clustering.h"
+#include "autoac/completion_params.h"
+#include "autoac/trainer.h"
+#include "models/factory.h"
+#include "tensor/optimizer.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace autoac {
+namespace {
+
+// Softmax over the rows of a plain tensor (no autograd).
+Tensor RowSoftmaxValues(const Tensor& x) {
+  Tensor out(x.rows(), x.cols());
+  for (int64_t i = 0; i < x.rows(); ++i) {
+    float max_value = x.at(i, 0);
+    for (int64_t j = 1; j < x.cols(); ++j) {
+      max_value = std::max(max_value, x.at(i, j));
+    }
+    float sum = 0.0f;
+    for (int64_t j = 0; j < x.cols(); ++j) {
+      out.at(i, j) = std::exp(x.at(i, j) - max_value);
+      sum += out.at(i, j);
+    }
+    for (int64_t j = 0; j < x.cols(); ++j) out.at(i, j) /= sum;
+  }
+  return out;
+}
+
+// Saves / restores / nudges parameter values for the DARTS second-order
+// finite difference.
+std::vector<Tensor> SnapshotValues(const std::vector<VarPtr>& params) {
+  std::vector<Tensor> saved;
+  saved.reserve(params.size());
+  for (const VarPtr& p : params) saved.push_back(p->value);
+  return saved;
+}
+
+void RestoreValues(const std::vector<VarPtr>& params,
+                   const std::vector<Tensor>& saved) {
+  for (size_t i = 0; i < params.size(); ++i) params[i]->value = saved[i];
+}
+
+void AxpyValues(const std::vector<VarPtr>& params,
+                const std::vector<Tensor>& direction, float scale) {
+  for (size_t i = 0; i < params.size(); ++i) {
+    float* w = params[i]->value.data();
+    const float* d = direction[i].data();
+    for (int64_t k = 0; k < params[i]->value.numel(); ++k) {
+      w[k] += scale * d[k];
+    }
+  }
+}
+
+std::vector<Tensor> SnapshotGrads(const std::vector<VarPtr>& params) {
+  std::vector<Tensor> grads;
+  grads.reserve(params.size());
+  for (const VarPtr& p : params) {
+    grads.push_back(p->grad.numel() > 0 ? p->grad
+                                        : Tensor::Zeros(p->value.shape()));
+  }
+  return grads;
+}
+
+double GradNorm(const std::vector<Tensor>& grads) {
+  double total = 0.0;
+  for (const Tensor& g : grads) {
+    for (int64_t i = 0; i < g.numel(); ++i) {
+      total += static_cast<double>(g.data()[i]) * g.data()[i];
+    }
+  }
+  return std::sqrt(total);
+}
+
+// Temporarily clears requires_grad on a parameter set: graphs built inside
+// the scope skip those parameters' gradient work entirely. Used by the
+// alpha step, which only needs d L_val / d alpha — the weight gradients of
+// the whole GNN would otherwise dominate its cost.
+class GradPause {
+ public:
+  explicit GradPause(const std::vector<VarPtr>& params) : params_(params) {
+    for (const VarPtr& p : params_) p->requires_grad = false;
+  }
+  ~GradPause() {
+    for (const VarPtr& p : params_) p->requires_grad = true;
+  }
+  GradPause(const GradPause&) = delete;
+  GradPause& operator=(const GradPause&) = delete;
+
+ private:
+  const std::vector<VarPtr>& params_;
+};
+
+}  // namespace
+
+SearchResult SearchCompletionOps(const TaskData& data,
+                                 const ModelContext& ctx,
+                                 const ExperimentConfig& config) {
+  Rng rng(config.seed * 2654435761u + 97);
+  WallTimer timer;
+
+  CompletionConfig completion_config = config.completion;
+  completion_config.hidden_dim = config.hidden_dim;
+  CompletionModule completion(data.graph, completion_config, rng);
+  int64_t n_missing = completion.num_missing();
+
+  ModelConfig model_config;
+  model_config.in_dim = config.hidden_dim;
+  model_config.hidden_dim = config.hidden_dim;
+  model_config.out_dim = config.hidden_dim;
+  model_config.num_layers = config.num_layers;
+  model_config.num_heads = config.num_heads;
+  model_config.dropout = config.dropout;
+  model_config.negative_slope = config.negative_slope;
+  ModelPtr model = MakeModel(config.model_name, model_config, ctx, rng);
+  TaskHead head(data, model_config.out_dim, config.mrr_negatives, rng);
+
+  bool clustered = config.cluster_mode != ClusterMode::kNone;
+  int64_t num_clusters = clustered ? config.num_clusters : n_missing;
+
+  ClusterHead cluster_head(data.graph, model_config.out_dim,
+                           std::max<int64_t>(2, config.num_clusters), rng);
+
+  VarPtr alpha = MakeParam(InitCompletionParams(num_clusters, rng));
+  Adam alpha_optimizer({alpha}, config.lr_alpha, config.wd_alpha);
+
+  std::vector<VarPtr> w_params = completion.Parameters();
+  for (const VarPtr& p : model->Parameters()) w_params.push_back(p);
+  for (const VarPtr& p : head.Parameters()) w_params.push_back(p);
+  if (config.cluster_mode == ClusterMode::kModularity) {
+    for (const VarPtr& p : cluster_head.Parameters()) w_params.push_back(p);
+  }
+  Adam w_optimizer(w_params, config.lr_w, config.wd_w);
+
+  // Initial clusters: random (refined from hidden states as training
+  // proceeds; kNone keeps the identity mapping).
+  std::vector<int64_t> cluster_of(n_missing);
+  for (int64_t i = 0; i < n_missing; ++i) {
+    cluster_of[i] =
+        clustered ? rng.UniformInt(0, num_clusters - 1) : i;
+  }
+
+  SearchResult result;
+  // Candidate assignments visited during the search. Validation scores
+  // measured under different supernet states are not comparable, so the
+  // final choice re-scores every candidate under the *trained* supernet
+  // (the checkpoint-selection analogue of early stopping; see DESIGN.md).
+  std::vector<std::vector<CompletionOpType>> candidates;
+  double best_track_val = -1.0;
+  std::vector<CompletionOpType> tracked_ops;
+  auto current_assignment = [&]() {
+    std::vector<CompletionOpType> cluster_ops = ArgmaxOps(ProxC1(alpha->value));
+    std::vector<CompletionOpType> op_of(n_missing);
+    for (int64_t i = 0; i < n_missing; ++i) {
+      op_of[i] = cluster_ops[cluster_of[i]];
+    }
+    return op_of;
+  };
+  auto finish = [&]() {
+    result.op_per_missing = current_assignment();
+    result.cluster_of = cluster_of;
+    result.final_alpha = alpha->value;
+    result.search_seconds = timer.Seconds();
+  };
+
+  int64_t warmup = config.alpha_warmup_epochs >= 0
+                       ? config.alpha_warmup_epochs
+                       : config.search_epochs / 4;
+  for (int64_t epoch = 0; epoch < config.search_epochs; ++epoch) {
+    // ----- upper level: update alpha on the validation loss -----
+    ZeroGrads(w_params);
+    alpha->ZeroGrad();
+    auto track_assignment = [&](const VarPtr& h_val) {
+      // Remember the assignment that looked best during the trajectory; it
+      // is re-scored against the final supernet with the other candidates.
+      double score = head.EvaluateVal(h_val).primary;
+      if (score > best_track_val) {
+        best_track_val = score;
+        tracked_ops = current_assignment();
+      }
+    };
+    if (epoch == warmup) {
+      // Warm-start alpha: probe every uniform single-operation assignment
+      // on the validation split under the warmed-up supernet and bias the
+      // initial completion parameters toward the stronger operations. This
+      // anchors the gradient search at (at least) the best single operation
+      // before per-cluster refinement begins.
+      double probe_scores[kNumCompletionOps];
+      double lo = 1.0, hi = 0.0;
+      for (int o = 0; o < kNumCompletionOps; ++o) {
+        auto op = static_cast<CompletionOpType>(o);
+        std::vector<CompletionOpType> uniform(n_missing, op);
+        VarPtr h0 = completion.CompleteDiscrete(uniform);
+        VarPtr h = model->Forward(ctx, h0, /*training=*/false, rng);
+        probe_scores[o] = head.EvaluateVal(h).primary;
+        lo = std::min(lo, probe_scores[o]);
+        hi = std::max(hi, probe_scores[o]);
+      }
+      double span = std::max(hi - lo, 1e-6);
+      for (int64_t m = 0; m < alpha->value.rows(); ++m) {
+        for (int o = 0; o < kNumCompletionOps; ++o) {
+          float bias = static_cast<float>(0.6 * (probe_scores[o] - lo) / span);
+          alpha->value.at(m, o) =
+              0.35f + bias + static_cast<float>(rng.Uniform(-0.03, 0.03));
+        }
+      }
+    }
+    if (epoch < warmup) {
+      // Warm-up: leave alpha untouched while w becomes informative.
+    } else if (config.discrete_constraints) {
+      // Algorithm 1: derive gradients at the one-hot projection alpha_bar,
+      // update the continuous alpha, re-project for the w step. Weight
+      // gradients are paused — only d L_val / d alpha_bar is needed.
+      GradPause pause(w_params);
+      VarPtr alpha_bar = MakeParam(ProxC1(alpha->value));
+      VarPtr h0 =
+          completion.CompleteWeighted(alpha_bar, cluster_of,
+                                      /*skip_zero_ops=*/false);
+      VarPtr h = model->Forward(ctx, h0, /*training=*/false, rng);
+      VarPtr loss_val = head.ValLoss(h);
+      if (config.memory_limit_bytes > 0 && epoch == warmup &&
+          EstimateTapeBytes(loss_val) > config.memory_limit_bytes) {
+        result.out_of_memory = true;
+        finish();
+        return result;
+      }
+      track_assignment(h);
+      Backward(loss_val);
+      alpha->EnsureGrad();
+      if (alpha_bar->grad.numel() > 0) {
+        std::copy(alpha_bar->grad.data(),
+                  alpha_bar->grad.data() + alpha_bar->grad.numel(),
+                  alpha->grad.data());
+      }
+      alpha_optimizer.Step();
+      ProxC2(alpha->value);
+    } else {
+      // DARTS-style mixture with the one-step-unrolled second-order term
+      // (Eq. 7), Hessian-vector product by central finite differences.
+      float xi = config.lr_w;
+
+      // (1) grad_w L_train at the mixture.
+      VarPtr mix = RowSoftmax(alpha);
+      VarPtr h0 = completion.CompleteWeighted(mix, cluster_of, false);
+      VarPtr h = model->Forward(ctx, h0, /*training=*/true, rng);
+      VarPtr loss_train = head.TrainLoss(h, rng);
+      if (config.memory_limit_bytes > 0 && epoch == warmup &&
+          EstimateTapeBytes(loss_train) > config.memory_limit_bytes) {
+        result.out_of_memory = true;
+        finish();
+        return result;
+      }
+      Backward(loss_train);
+      std::vector<Tensor> grad_w_train = SnapshotGrads(w_params);
+      std::vector<Tensor> w_saved = SnapshotValues(w_params);
+
+      // (2) L_val at w' = w - xi * grad_w: gradients w.r.t. alpha and w'.
+      AxpyValues(w_params, grad_w_train, -xi);
+      ZeroGrads(w_params);
+      alpha->ZeroGrad();
+      mix = RowSoftmax(alpha);
+      h0 = completion.CompleteWeighted(mix, cluster_of, false);
+      h = model->Forward(ctx, h0, /*training=*/false, rng);
+      VarPtr loss_val = head.ValLoss(h);
+      track_assignment(h);
+      Backward(loss_val);
+      Tensor alpha_grad = alpha->grad.numel() > 0
+                              ? alpha->grad
+                              : Tensor::Zeros(alpha->value.shape());
+      std::vector<Tensor> grad_wprime = SnapshotGrads(w_params);
+
+      // (3) finite-difference HVP: (dL_train/dalpha at w+) - (at w-).
+      double norm = GradNorm(grad_wprime);
+      if (norm > 1e-8) {
+        float eps = static_cast<float>(0.01 / norm);
+        for (int sign : {+1, -1}) {
+          RestoreValues(w_params, w_saved);
+          AxpyValues(w_params, grad_wprime, sign * eps);
+          ZeroGrads(w_params);
+          alpha->ZeroGrad();
+          mix = RowSoftmax(alpha);
+          h0 = completion.CompleteWeighted(mix, cluster_of, false);
+          h = model->Forward(ctx, h0, /*training=*/true, rng);
+          VarPtr perturbed = head.TrainLoss(h, rng);
+          Backward(perturbed);
+          const Tensor& g = alpha->grad.numel() > 0
+                                ? alpha->grad
+                                : Tensor::Zeros(alpha->value.shape());
+          float coeff = static_cast<float>(sign) * xi / (2.0f * eps);
+          for (int64_t i = 0; i < alpha_grad.numel(); ++i) {
+            alpha_grad.data()[i] -= coeff * g.data()[i];
+          }
+        }
+      }
+      RestoreValues(w_params, w_saved);
+      alpha->EnsureGrad();
+      std::copy(alpha_grad.data(), alpha_grad.data() + alpha_grad.numel(),
+                alpha->grad.data());
+      alpha_optimizer.Step();
+    }
+
+    // ----- lower level: update w on the training loss (+ lambda L_GmoC) ----
+    ZeroGrads(w_params);
+    VarPtr h0_train;
+    if (config.discrete_constraints) {
+      Tensor alpha_bar = ProxC1(alpha->value);
+      std::vector<CompletionOpType> cluster_ops = ArgmaxOps(alpha_bar);
+      std::vector<CompletionOpType> op_of(n_missing);
+      for (int64_t i = 0; i < n_missing; ++i) {
+        op_of[i] = cluster_ops[cluster_of[i]];
+      }
+      h0_train = completion.CompleteDiscrete(op_of);
+    } else {
+      VarPtr frozen_mix = MakeConst(RowSoftmaxValues(alpha->value));
+      h0_train = completion.CompleteWeighted(frozen_mix, cluster_of, false);
+    }
+    VarPtr h_train = model->Forward(ctx, h0_train, /*training=*/true, rng);
+    VarPtr loss = head.TrainLoss(h_train, rng);
+    VarPtr assignments;
+    if (config.cluster_mode == ClusterMode::kModularity) {
+      assignments = cluster_head.Assignments(h_train);
+      VarPtr gmoc = cluster_head.ModularityLoss(assignments);
+      result.gmoc_trace.push_back(gmoc->value.data()[0]);
+      loss = Add(loss, Scale(gmoc, config.lambda));
+    }
+    Backward(loss);
+    ClipGradNorm(w_params, 5.0f);
+    w_optimizer.Step();
+
+    // ----- cluster refresh -----
+    switch (config.cluster_mode) {
+      case ClusterMode::kNone:
+        break;
+      case ClusterMode::kModularity:
+        cluster_of =
+            cluster_head.HardClusters(assignments, completion.missing_nodes());
+        break;
+      case ClusterMode::kEmWarmup:
+        if (epoch < config.em_warmup_epochs) break;
+        [[fallthrough]];
+      case ClusterMode::kEm: {
+        const Tensor& hv = h_train->value;
+        Tensor missing_h(n_missing, hv.cols());
+        for (int64_t i = 0; i < n_missing; ++i) {
+          int64_t node = completion.missing_nodes()[i];
+          for (int64_t j = 0; j < hv.cols(); ++j) {
+            missing_h.at(i, j) = hv.at(node, j);
+          }
+        }
+        cluster_of = KMeansCluster(missing_h, num_clusters, 5, rng);
+        break;
+      }
+    }
+  }
+  // Final derivation: score the candidate assignments under the trained
+  // supernet and keep the winner. Candidates: the converged argmax
+  // assignment, the best assignment tracked along the trajectory, and the
+  // four uniform single-operation assignments (so the search never ships
+  // an assignment it could observe losing to a trivial one).
+  candidates.push_back(current_assignment());
+  if (!tracked_ops.empty()) candidates.push_back(tracked_ops);
+  for (int o = 0; o < kNumCompletionOps; ++o) {
+    candidates.emplace_back(n_missing, static_cast<CompletionOpType>(o));
+  }
+  std::vector<std::pair<double, size_t>> ranked;
+  for (size_t c = 0; c < candidates.size(); ++c) {
+    VarPtr h0 = completion.CompleteDiscrete(candidates[c]);
+    VarPtr h = model->Forward(ctx, h0, /*training=*/false, rng);
+    ranked.emplace_back(head.EvaluateVal(h).primary, c);
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  finish();
+  result.op_per_missing = candidates[ranked[0].second];
+  for (size_t r = 1; r < ranked.size(); ++r) {
+    // Skip duplicates of the winner or earlier runner-ups.
+    const auto& ops = candidates[ranked[r].second];
+    bool duplicate = ops == result.op_per_missing;
+    for (const auto& kept : result.runner_up_ops) {
+      duplicate = duplicate || ops == kept;
+    }
+    if (!duplicate) result.runner_up_ops.push_back(ops);
+  }
+  return result;
+}
+
+RunResult RunAutoAc(const TaskData& data, const ModelContext& ctx,
+                    const ExperimentConfig& config) {
+  WallTimer search_timer;
+  SearchResult search = SearchCompletionOps(data, ctx, config);
+  RunResult result;
+  result.gmoc_trace = search.gmoc_trace;
+  if (search.out_of_memory) {
+    result.times.search_seconds = search.search_seconds;
+    result.out_of_memory = true;
+    return result;
+  }
+
+  // Evaluation-stage assignment selection: the supernet's validation
+  // ranking is biased toward operations whose parameters co-adapted during
+  // the search (the one-hot embeddings especially), so the top candidates
+  // are re-ranked with short fresh retrains before the full retrain.
+  std::vector<std::vector<CompletionOpType>> finalists;
+  finalists.push_back(search.op_per_missing);
+  for (const auto& ops : search.runner_up_ops) finalists.push_back(ops);
+  result.times.search_seconds = search_timer.Seconds();
+
+  // Rank the finalists with short fresh retrains (one third of the budget,
+  // smoothed validation score), then fully retrain only the winner under
+  // the evaluation protocol — selection on validation, reporting on test.
+  // The probe retrains are billed to training time.
+  WallTimer train_timer;
+  std::vector<CompletionOpType> chosen = finalists[0];
+  if (finalists.size() > 1) {
+    ExperimentConfig probe_config = config;
+    probe_config.train_epochs = std::max<int64_t>(10, config.train_epochs / 3);
+    double best_val = -1.0;
+    for (const auto& ops : finalists) {
+      RunResult probe = TrainFixedCompletion(data, ctx, probe_config, ops);
+      if (probe.val_smoothed > best_val) {
+        best_val = probe.val_smoothed;
+        chosen = ops;
+      }
+    }
+  }
+  RunResult best_run = TrainFixedCompletion(data, ctx, config, chosen);
+  best_run.searched_ops = chosen;
+  best_run.times.search_seconds = result.times.search_seconds;
+  best_run.times.train_seconds = train_timer.Seconds();
+  best_run.gmoc_trace = result.gmoc_trace;
+  return best_run;
+}
+
+}  // namespace autoac

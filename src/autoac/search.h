@@ -1,0 +1,50 @@
+#ifndef AUTOAC_AUTOAC_SEARCH_H_
+#define AUTOAC_AUTOAC_SEARCH_H_
+
+#include "autoac/experiment.h"
+#include "models/model.h"
+
+namespace autoac {
+
+/// Output of the completion-operation search stage.
+struct SearchResult {
+  std::vector<CompletionOpType> op_per_missing;
+  std::vector<int64_t> cluster_of;  // per missing node
+  Tensor final_alpha;               // [M, |O|]
+  double search_seconds = 0.0;
+  std::vector<float> gmoc_trace;  // L_GmoC per search epoch (kModularity)
+  bool out_of_memory = false;
+  /// Runner-up assignments ranked by supernet validation score (the winner
+  /// is op_per_missing). RunAutoAc re-ranks the top few with short fresh
+  /// retrains to remove the supernet co-adaptation bias.
+  std::vector<std::vector<CompletionOpType>> runner_up_ops;
+};
+
+/// Runs the bi-level completion-operation search (Algorithm 1 + the
+/// Section IV-D clustering task):
+///
+///  - With `config.discrete_constraints`, each iteration proximal-projects
+///    alpha onto one-hot choices (prox_C1), derives the alpha gradient from
+///    the validation loss at the projected point, updates alpha under the
+///    box constraint (prox_C2), and trains the GNN weights with only the
+///    selected operations active.
+///  - Without them, the search is the DARTS-style weighted mixture with the
+///    one-step-unrolled second-order gradient of Eq. 7 (finite-difference
+///    Hessian-vector product), every candidate operation alive in the tape —
+///    the configuration whose cost and memory Table VIII ablates.
+///
+/// Cluster assignments follow `config.cluster_mode`; kModularity trains the
+/// soft assignment head jointly via L_GmoC (Eq. 12).
+SearchResult SearchCompletionOps(const TaskData& data,
+                                 const ModelContext& ctx,
+                                 const ExperimentConfig& config);
+
+/// Full AutoAC pipeline: search, then retrain from scratch with the
+/// discovered assignment (the paper's Search + Train/Retrain staging whose
+/// times Table IV reports).
+RunResult RunAutoAc(const TaskData& data, const ModelContext& ctx,
+                    const ExperimentConfig& config);
+
+}  // namespace autoac
+
+#endif  // AUTOAC_AUTOAC_SEARCH_H_

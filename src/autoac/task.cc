@@ -1,0 +1,193 @@
+#include "autoac/task.h"
+
+#include "data/metrics.h"
+#include "graph/sparse_ops.h"
+
+namespace autoac {
+namespace {
+
+// Scores pairs with the dot-product decoder.
+VarPtr PairScores(const VarPtr& h,
+                  const std::vector<std::pair<int64_t, int64_t>>& pairs) {
+  std::vector<int64_t> us, vs;
+  us.reserve(pairs.size());
+  vs.reserve(pairs.size());
+  for (const auto& [u, v] : pairs) {
+    us.push_back(u);
+    vs.push_back(v);
+  }
+  return PairDot(h, std::move(us), std::move(vs));
+}
+
+std::vector<float> PairScoreValues(
+    const VarPtr& h, const std::vector<std::pair<int64_t, int64_t>>& pairs) {
+  const Tensor& t = h->value;
+  int64_t d = t.cols();
+  std::vector<float> scores;
+  scores.reserve(pairs.size());
+  for (const auto& [u, v] : pairs) {
+    const float* hu = t.data() + u * d;
+    const float* hv = t.data() + v * d;
+    float acc = 0.0f;
+    for (int64_t j = 0; j < d; ++j) acc += hu[j] * hv[j];
+    scores.push_back(acc);
+  }
+  return scores;
+}
+
+}  // namespace
+
+TaskData MakeNodeTask(const Dataset& dataset) {
+  TaskData data;
+  data.task = TaskKind::kNodeClassification;
+  data.graph = dataset.graph;
+  data.node_split = dataset.split;
+  return data;
+}
+
+TaskData MakeLinkTask(const Dataset& dataset, double mask_rate, Rng& rng) {
+  LinkSplit split = MakeLinkSplit(*dataset.graph, mask_rate, rng);
+  TaskData data;
+  data.task = TaskKind::kLinkPrediction;
+  data.graph = split.train_graph;
+  data.train_pos = std::move(split.train_pos);
+  data.val_pos = std::move(split.val_pos);
+  data.test_pos = std::move(split.test_pos);
+  return data;
+}
+
+TaskHead::TaskHead(const TaskData& data, int64_t model_out_dim,
+                   int64_t mrr_negatives, Rng& rng)
+    : data_(&data) {
+  if (data.task == TaskKind::kNodeClassification) {
+    classifier_ = Linear(model_out_dim, data.graph->num_classes(), rng);
+    return;
+  }
+  // Fixed negative pools: one per validation/test positive for ROC-AUC, a
+  // candidate list per test positive for MRR, and a stable pool for L_val.
+  const HeteroGraph& g = *data.graph;
+  train_neg_val_ = SampleNegativeEdges(
+      g, static_cast<int64_t>(data.val_pos.size()), rng);
+  val_neg_ =
+      SampleNegativeEdges(g, static_cast<int64_t>(data.val_pos.size()), rng);
+  test_neg_ =
+      SampleNegativeEdges(g, static_cast<int64_t>(data.test_pos.size()), rng);
+  int64_t target = g.target_edge_type();
+  const HeteroGraph::NodeTypeInfo& dst_info =
+      g.node_type(g.edge_type(target).dst_type);
+  mrr_negatives_.reserve(data.test_pos.size());
+  for (const auto& [u, v] : data.test_pos) {
+    std::vector<std::pair<int64_t, int64_t>> candidates;
+    candidates.reserve(mrr_negatives);
+    for (int64_t k = 0; k < mrr_negatives; ++k) {
+      int64_t alt = dst_info.offset + rng.UniformInt(0, dst_info.count - 1);
+      if (alt == v) alt = dst_info.offset + (alt - dst_info.offset + 1) %
+                                                dst_info.count;
+      candidates.emplace_back(u, alt);
+    }
+    mrr_negatives_.push_back(std::move(candidates));
+  }
+}
+
+VarPtr TaskHead::Logits(const VarPtr& h) const {
+  return classifier_.Apply(h);
+}
+
+VarPtr TaskHead::LinkLoss(
+    const VarPtr& h, const std::vector<std::pair<int64_t, int64_t>>& pos,
+    const std::vector<std::pair<int64_t, int64_t>>& neg) const {
+  std::vector<std::pair<int64_t, int64_t>> all(pos);
+  all.insert(all.end(), neg.begin(), neg.end());
+  std::vector<float> targets(pos.size(), 1.0f);
+  targets.resize(all.size(), 0.0f);
+  return BceWithLogits(PairScores(h, all), targets);
+}
+
+VarPtr TaskHead::TrainLoss(const VarPtr& h, Rng& rng) const {
+  if (data_->task == TaskKind::kNodeClassification) {
+    return SoftmaxCrossEntropy(Logits(h), data_->graph->global_labels(),
+                               data_->node_split.train);
+  }
+  std::vector<std::pair<int64_t, int64_t>> neg = SampleNegativeEdges(
+      *data_->graph, static_cast<int64_t>(data_->train_pos.size()), rng);
+  return LinkLoss(h, data_->train_pos, neg);
+}
+
+VarPtr TaskHead::ValLoss(const VarPtr& h) const {
+  if (data_->task == TaskKind::kNodeClassification) {
+    return SoftmaxCrossEntropy(Logits(h), data_->graph->global_labels(),
+                               data_->node_split.val);
+  }
+  return LinkLoss(h, data_->val_pos, train_neg_val_);
+}
+
+TaskScores TaskHead::EvaluateNode(const VarPtr& h,
+                                  const std::vector<int64_t>& rows) const {
+  VarPtr logits = Logits(h);
+  const Tensor& l = logits->value;
+  std::vector<int64_t> preds, labels;
+  preds.reserve(rows.size());
+  labels.reserve(rows.size());
+  for (int64_t row : rows) {
+    int64_t best = 0;
+    for (int64_t c = 1; c < l.cols(); ++c) {
+      if (l.at(row, c) > l.at(row, best)) best = c;
+    }
+    preds.push_back(best);
+    labels.push_back(data_->graph->LabelOf(row));
+  }
+  TaskScores scores;
+  scores.micro_f1 = MicroF1(preds, labels);
+  scores.macro_f1 = MacroF1(preds, labels, data_->graph->num_classes());
+  scores.primary = scores.micro_f1;
+  return scores;
+}
+
+TaskScores TaskHead::EvaluateLink(
+    const VarPtr& h, const std::vector<std::pair<int64_t, int64_t>>& pos,
+    const std::vector<std::pair<int64_t, int64_t>>& neg,
+    const std::vector<std::vector<std::pair<int64_t, int64_t>>>* mrr_negs)
+    const {
+  std::vector<float> scores = PairScoreValues(h, pos);
+  std::vector<float> neg_scores = PairScoreValues(h, neg);
+  std::vector<float> all_scores(scores);
+  all_scores.insert(all_scores.end(), neg_scores.begin(), neg_scores.end());
+  std::vector<int64_t> labels(scores.size(), 1);
+  labels.resize(all_scores.size(), 0);
+
+  TaskScores result;
+  result.roc_auc = RocAuc(all_scores, labels);
+  if (mrr_negs != nullptr) {
+    std::vector<std::vector<float>> candidate_scores;
+    candidate_scores.reserve(mrr_negs->size());
+    for (const auto& candidates : *mrr_negs) {
+      candidate_scores.push_back(PairScoreValues(h, candidates));
+    }
+    result.mrr = MeanReciprocalRank(scores, candidate_scores);
+  }
+  result.primary = result.roc_auc;
+  return result;
+}
+
+TaskScores TaskHead::EvaluateVal(const VarPtr& h) const {
+  if (data_->task == TaskKind::kNodeClassification) {
+    return EvaluateNode(h, data_->node_split.val);
+  }
+  return EvaluateLink(h, data_->val_pos, val_neg_, nullptr);
+}
+
+TaskScores TaskHead::EvaluateTest(const VarPtr& h) const {
+  if (data_->task == TaskKind::kNodeClassification) {
+    return EvaluateNode(h, data_->node_split.test);
+  }
+  return EvaluateLink(h, data_->test_pos, test_neg_, &mrr_negatives_);
+}
+
+std::vector<VarPtr> TaskHead::Parameters() const {
+  if (data_->task == TaskKind::kNodeClassification) {
+    return classifier_.Parameters();
+  }
+  return {};
+}
+
+}  // namespace autoac

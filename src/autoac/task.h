@@ -1,0 +1,95 @@
+#ifndef AUTOAC_AUTOAC_TASK_H_
+#define AUTOAC_AUTOAC_TASK_H_
+
+#include <utility>
+#include <vector>
+
+#include "data/hgb_datasets.h"
+#include "models/layers.h"
+
+namespace autoac {
+
+/// The two downstream tasks the paper evaluates (Tables II-X).
+enum class TaskKind {
+  kNodeClassification,
+  kLinkPrediction,
+};
+
+/// Task-ready data: for node classification the original graph and HGB
+/// split; for link prediction the edge-masked training graph plus the
+/// positive-pair splits.
+struct TaskData {
+  TaskKind task = TaskKind::kNodeClassification;
+  HeteroGraphPtr graph;
+  NodeSplit node_split;
+  std::vector<std::pair<int64_t, int64_t>> train_pos;
+  std::vector<std::pair<int64_t, int64_t>> val_pos;
+  std::vector<std::pair<int64_t, int64_t>> test_pos;
+};
+
+/// Wraps a Dataset for the node-classification task.
+TaskData MakeNodeTask(const Dataset& dataset);
+
+/// Wraps a Dataset for the link-prediction task, masking `mask_rate` of the
+/// target edge type (Table V uses 0.10; Table X sweeps it).
+TaskData MakeLinkTask(const Dataset& dataset, double mask_rate, Rng& rng);
+
+/// Evaluation scores; `primary` is the early-stopping criterion
+/// (Micro-F1 for node classification, ROC-AUC for link prediction).
+struct TaskScores {
+  double primary = 0.0;
+  double macro_f1 = 0.0;
+  double micro_f1 = 0.0;
+  double roc_auc = 0.0;
+  double mrr = 0.0;
+};
+
+/// Owns the task-specific head: a linear classifier for node classification
+/// or the dot-product decoder plus fixed evaluation negatives for link
+/// prediction. Stateless across epochs except for its parameters.
+class TaskHead {
+ public:
+  TaskHead(const TaskData& data, int64_t model_out_dim, int64_t mrr_negatives,
+           Rng& rng);
+
+  /// Training loss from node representations `h` [N, out_dim]. Link
+  /// prediction resamples 1:1 negatives from `rng` each call.
+  VarPtr TrainLoss(const VarPtr& h, Rng& rng) const;
+
+  /// Validation loss (the upper-level objective L_val of Eq. 6). Uses fixed
+  /// negatives for the link task so alpha's objective is stable.
+  VarPtr ValLoss(const VarPtr& h) const;
+
+  /// Early-stopping score on the validation split.
+  TaskScores EvaluateVal(const VarPtr& h) const;
+
+  /// Final scores on the test split (Macro/Micro-F1 or ROC-AUC/MRR).
+  TaskScores EvaluateTest(const VarPtr& h) const;
+
+  std::vector<VarPtr> Parameters() const;
+
+ private:
+  VarPtr Logits(const VarPtr& h) const;
+  VarPtr LinkLoss(const VarPtr& h,
+                  const std::vector<std::pair<int64_t, int64_t>>& pos,
+                  const std::vector<std::pair<int64_t, int64_t>>& neg) const;
+  TaskScores EvaluateNode(const VarPtr& h,
+                          const std::vector<int64_t>& rows) const;
+  TaskScores EvaluateLink(
+      const VarPtr& h, const std::vector<std::pair<int64_t, int64_t>>& pos,
+      const std::vector<std::pair<int64_t, int64_t>>& neg,
+      const std::vector<std::vector<std::pair<int64_t, int64_t>>>* mrr_negs)
+      const;
+
+  const TaskData* data_;
+  Linear classifier_;  // node task only
+  std::vector<std::pair<int64_t, int64_t>> train_neg_val_;  // L_val negatives
+  std::vector<std::pair<int64_t, int64_t>> val_neg_;
+  std::vector<std::pair<int64_t, int64_t>> test_neg_;
+  // Per-test-positive candidate negatives for MRR.
+  std::vector<std::vector<std::pair<int64_t, int64_t>>> mrr_negatives_;
+};
+
+}  // namespace autoac
+
+#endif  // AUTOAC_AUTOAC_TASK_H_

@@ -1,0 +1,115 @@
+#include "autoac/trainer.h"
+
+#include "models/factory.h"
+#include "tensor/optimizer.h"
+#include "util/timer.h"
+
+namespace autoac {
+
+std::vector<CompletionOpType> UniformAssignment(int64_t num_missing,
+                                                CompletionOpType op) {
+  return std::vector<CompletionOpType>(num_missing, op);
+}
+
+std::vector<CompletionOpType> RandomAssignment(int64_t num_missing, Rng& rng) {
+  std::vector<CompletionOpType> ops(num_missing);
+  for (auto& op : ops) {
+    op = static_cast<CompletionOpType>(
+        rng.UniformInt(0, kNumCompletionOps - 1));
+  }
+  return ops;
+}
+
+int64_t EstimateTapeBytes(const VarPtr& root) {
+  int64_t total = 0;
+  for (Variable* node : TopologicalOrder(root)) {
+    // Forward value plus (for differentiable nodes) the gradient buffer.
+    int64_t numel = node->value.numel();
+    total += numel * static_cast<int64_t>(sizeof(float));
+    if (node->requires_grad) {
+      total += numel * static_cast<int64_t>(sizeof(float));
+    }
+  }
+  return total;
+}
+
+RunResult TrainFixedCompletion(const TaskData& data, const ModelContext& ctx,
+                               const ExperimentConfig& config,
+                               const std::vector<CompletionOpType>& op_of) {
+  Rng rng(config.seed);
+  CompletionConfig completion_config = config.completion;
+  completion_config.hidden_dim = config.hidden_dim;
+  CompletionModule completion(data.graph, completion_config, rng);
+  AUTOAC_CHECK_EQ(static_cast<int64_t>(op_of.size()),
+                  completion.num_missing());
+
+  ModelConfig model_config;
+  model_config.in_dim = config.hidden_dim;
+  model_config.hidden_dim = config.hidden_dim;
+  model_config.out_dim = config.hidden_dim;
+  model_config.num_layers = config.num_layers;
+  model_config.num_heads = config.num_heads;
+  model_config.dropout = config.dropout;
+  model_config.negative_slope = config.negative_slope;
+  ModelPtr model = MakeModel(
+      config.model_name, model_config, ctx, rng,
+      /*l2_normalize_output=*/data.task == TaskKind::kLinkPrediction &&
+          config.model_name == "SimpleHGN");
+
+  TaskHead head(data, model_config.out_dim, config.mrr_negatives, rng);
+
+  std::vector<VarPtr> params = completion.Parameters();
+  for (const VarPtr& p : model->Parameters()) params.push_back(p);
+  for (const VarPtr& p : head.Parameters()) params.push_back(p);
+  Adam optimizer(params, config.lr_w, config.wd_w);
+
+  RunResult result;
+  WallTimer train_timer;
+  double best_val = -1.0;
+  int64_t since_best = 0;
+  std::vector<double> val_history;
+  for (int64_t epoch = 0; epoch < config.train_epochs; ++epoch) {
+    optimizer.ZeroGrad();
+    VarPtr h0 = completion.CompleteDiscrete(op_of);
+    VarPtr h = model->Forward(ctx, h0, /*training=*/true, rng);
+    VarPtr loss = head.TrainLoss(h, rng);
+    Backward(loss);
+    ClipGradNorm(params, 5.0f);
+    optimizer.Step();
+    ++result.epochs_run;
+
+    if ((epoch + 1) % config.eval_every != 0 &&
+        epoch + 1 != config.train_epochs) {
+      continue;
+    }
+    // Evaluation forward (no dropout).
+    VarPtr h0_eval = completion.CompleteDiscrete(op_of);
+    VarPtr h_eval = model->Forward(ctx, h0_eval, /*training=*/false, rng);
+    TaskScores val = head.EvaluateVal(h_eval);
+    val_history.push_back(val.primary);
+    if (val.primary > best_val) {
+      best_val = val.primary;
+      since_best = 0;
+      result.test = head.EvaluateTest(h_eval);
+    } else if (++since_best >= config.patience / config.eval_every) {
+      break;
+    }
+  }
+  result.val_primary = best_val;
+  if (!val_history.empty()) {
+    size_t window = std::min<size_t>(5, val_history.size());
+    double sum = 0.0;
+    for (size_t i = val_history.size() - window; i < val_history.size(); ++i) {
+      sum += val_history[i];
+    }
+    result.val_smoothed = sum / window;
+  }
+  result.times.train_seconds = train_timer.Seconds();
+  result.epoch_seconds =
+      result.epochs_run > 0 ? result.times.train_seconds / result.epochs_run
+                            : 0.0;
+  result.searched_ops = op_of;
+  return result;
+}
+
+}  // namespace autoac

@@ -1,0 +1,35 @@
+#ifndef AUTOAC_AUTOAC_TRAINER_H_
+#define AUTOAC_AUTOAC_TRAINER_H_
+
+#include "autoac/experiment.h"
+#include "models/model.h"
+
+namespace autoac {
+
+/// Trains `config.model_name` end-to-end with a FIXED per-missing-node
+/// completion assignment (the lower-level problem with frozen alpha): this
+/// is the retraining stage of AutoAC and, with an all-one-hot assignment,
+/// the protocol for every handcrafted baseline row of Tables II/V-VII.
+///
+/// `ctx` must be built from `data.graph`. Early stopping tracks the
+/// validation primary metric; test scores are taken at the best-validation
+/// epoch.
+RunResult TrainFixedCompletion(const TaskData& data, const ModelContext& ctx,
+                               const ExperimentConfig& config,
+                               const std::vector<CompletionOpType>& op_of);
+
+/// Convenience: assignment filling every missing node with one operation.
+std::vector<CompletionOpType> UniformAssignment(int64_t num_missing,
+                                                CompletionOpType op);
+
+/// Convenience: independently random per-node assignment (Table VI/VII's
+/// Random_AC row).
+std::vector<CompletionOpType> RandomAssignment(int64_t num_missing, Rng& rng);
+
+/// Sums the value+gradient footprint of the tape reachable from `root`,
+/// in bytes. Used to enforce ExperimentConfig::memory_limit_bytes.
+int64_t EstimateTapeBytes(const VarPtr& root);
+
+}  // namespace autoac
+
+#endif  // AUTOAC_AUTOAC_TRAINER_H_

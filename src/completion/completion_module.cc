@@ -1,0 +1,212 @@
+#include "completion/completion_module.h"
+
+#include <algorithm>
+
+#include "tensor/init.h"
+
+namespace autoac {
+
+CompletionModule::CompletionModule(HeteroGraphPtr graph,
+                                   const CompletionConfig& config, Rng& rng)
+    : graph_(std::move(graph)), config_(config) {
+  const HeteroGraph& g = *graph_;
+  int64_t d = config_.hidden_dim;
+
+  for (int64_t t = 0; t < g.num_node_types(); ++t) {
+    const HeteroGraph::NodeTypeInfo& info = g.node_type(t);
+    if (info.attributes.numel() > 0) {
+      TypeProjection proj;
+      proj.node_type = t;
+      proj.raw = MakeConst(info.attributes);
+      proj.weight = MakeParam(XavierUniform(info.attributes.cols(), d, rng));
+      proj.global_ids.reserve(info.count);
+      for (int64_t i = 0; i < info.count; ++i) {
+        proj.global_ids.push_back(info.offset + i);
+      }
+      projections_.push_back(std::move(proj));
+    } else {
+      for (int64_t i = 0; i < info.count; ++i) {
+        missing_.push_back(info.offset + i);
+      }
+    }
+  }
+  std::sort(missing_.begin(), missing_.end());
+
+  mean_adj_ = g.AttributedNeighborAdjacency(AdjNorm::kRow);
+  gcn_adj_ = g.AttributedNeighborAdjacency(AdjNorm::kSym);
+  ppnp_adj_ = g.FullAdjacency(AdjNorm::kSym, /*add_self_loops=*/true);
+
+  // Near-identity initialization: an operation assigned to few nodes gets
+  // little gradient, and a random transform would inject noise into the
+  // graph through those nodes. Identity passes the aggregated base features
+  // through unchanged until training shapes the transform.
+  auto near_identity = [&](int64_t dim) {
+    Tensor w = RandomNormal({dim, dim}, 0.02f, rng);
+    for (int64_t i = 0; i < dim; ++i) w.at(i, i) += 1.0f;
+    return w;
+  };
+  mean_weight_ = MakeParam(near_identity(d));
+  gcn_weight_ = MakeParam(near_identity(d));
+  ppnp_weight_ = MakeParam(near_identity(d));
+
+  // One-hot tables: one embedding row per missing node, grouped by type.
+  std::unordered_map<int64_t, int64_t> position_of;
+  for (size_t i = 0; i < missing_.size(); ++i) {
+    position_of[missing_[i]] = static_cast<int64_t>(i);
+  }
+  for (int64_t t = 0; t < g.num_node_types(); ++t) {
+    const HeteroGraph::NodeTypeInfo& info = g.node_type(t);
+    if (info.attributes.numel() > 0) continue;
+    OneHotTable table;
+    table.node_type = t;
+    // Zero-initialized: embeddings that never receive gradient (nodes whose
+    // labels are unseen, or nodes assigned to other operations) then act as
+    // neutral features instead of random noise — random rows measurably
+    // poison mixed assignments at evaluation time.
+    table.embedding = MakeParam(Tensor::Zeros({info.count, d}));
+    table.positions.reserve(info.count);
+    for (int64_t i = 0; i < info.count; ++i) {
+      table.positions.push_back(position_of.at(info.offset + i));
+    }
+    onehot_tables_.push_back(std::move(table));
+  }
+}
+
+VarPtr CompletionModule::BaseFeatures() const {
+  int64_t n = graph_->num_nodes();
+  std::vector<VarPtr> pieces;
+  pieces.reserve(projections_.size());
+  for (const TypeProjection& proj : projections_) {
+    VarPtr projected = MatMul(proj.raw, proj.weight);
+    pieces.push_back(ScatterRows(projected, proj.global_ids, n));
+  }
+  AUTOAC_CHECK(!pieces.empty()) << "graph has no attributed node type";
+  return AddN(pieces);
+}
+
+VarPtr CompletionModule::CompletedMissingRows(CompletionOpType op,
+                                              const VarPtr& base) const {
+  switch (op) {
+    case CompletionOpType::kMean: {
+      VarPtr aggregated = SpMM(mean_adj_, base);
+      return MatMul(GatherRows(aggregated, missing_), mean_weight_);
+    }
+    case CompletionOpType::kGcn: {
+      VarPtr aggregated = SpMM(gcn_adj_, base);
+      return MatMul(GatherRows(aggregated, missing_), gcn_weight_);
+    }
+    case CompletionOpType::kPpnp: {
+      // Z^{(k+1)} = (1 - a) Â Z^{(k)} + a Z^{(0)}, Z^{(0)} = B W (Eq. 4 via
+      // the APPNP fixed-point iteration).
+      VarPtr z0 = MatMul(base, ppnp_weight_);
+      VarPtr z = z0;
+      float a = config_.ppnp_restart;
+      for (int64_t k = 0; k < config_.ppnp_steps; ++k) {
+        z = Add(Scale(SpMM(ppnp_adj_, z), 1.0f - a), Scale(z0, a));
+      }
+      return GatherRows(z, missing_);
+    }
+    case CompletionOpType::kOneHot: {
+      std::vector<VarPtr> pieces;
+      for (const OneHotTable& table : onehot_tables_) {
+        pieces.push_back(
+            ScatterRows(table.embedding, table.positions, num_missing()));
+      }
+      AUTOAC_CHECK(!pieces.empty());
+      return AddN(pieces);
+    }
+  }
+  AUTOAC_CHECK(false) << "unreachable";
+  return nullptr;
+}
+
+VarPtr CompletionModule::RunOp(CompletionOpType op, const VarPtr& base) const {
+  return CompletedMissingRows(op, base);
+}
+
+VarPtr CompletionModule::CompleteDiscrete(
+    const std::vector<CompletionOpType>& op_of) const {
+  AUTOAC_CHECK_EQ(static_cast<int64_t>(op_of.size()), num_missing());
+  VarPtr base = BaseFeatures();
+
+  // Group missing-list positions by chosen op; run only the ops in use.
+  std::vector<std::vector<int64_t>> positions_by_op(kNumCompletionOps);
+  for (size_t i = 0; i < op_of.size(); ++i) {
+    positions_by_op[static_cast<int>(op_of[i])].push_back(
+        static_cast<int64_t>(i));
+  }
+  std::vector<VarPtr> pieces;
+  for (int o = 0; o < kNumCompletionOps; ++o) {
+    if (positions_by_op[o].empty()) continue;
+    VarPtr completed =
+        CompletedMissingRows(static_cast<CompletionOpType>(o), base);
+    // Keep only this op's rows; gather + scatter keeps the op outputs for
+    // unassigned rows out of the graph entirely.
+    std::vector<int64_t> global_rows;
+    global_rows.reserve(positions_by_op[o].size());
+    for (int64_t pos : positions_by_op[o]) {
+      global_rows.push_back(missing_[pos]);
+    }
+    pieces.push_back(ScatterRows(GatherRows(completed, positions_by_op[o]),
+                                 global_rows, graph_->num_nodes()));
+  }
+  pieces.push_back(base);
+  return AddN(pieces);
+}
+
+VarPtr CompletionModule::CompleteWeighted(
+    const VarPtr& alpha, const std::vector<int64_t>& cluster_of,
+    bool skip_zero_ops) const {
+  AUTOAC_CHECK_EQ(static_cast<int64_t>(cluster_of.size()), num_missing());
+  AUTOAC_CHECK_EQ(alpha->value.cols(), kNumCompletionOps);
+  VarPtr base = BaseFeatures();
+
+  std::vector<VarPtr> pieces;
+  for (int o = 0; o < kNumCompletionOps; ++o) {
+    if (skip_zero_ops) {
+      bool any_nonzero = false;
+      for (int64_t m = 0; m < alpha->value.rows(); ++m) {
+        if (alpha->value.at(m, o) != 0.0f) {
+          any_nonzero = true;
+          break;
+        }
+      }
+      if (!any_nonzero) continue;
+    }
+    VarPtr completed =
+        CompletedMissingRows(static_cast<CompletionOpType>(o), base);
+    VarPtr weighted =
+        ScaleRowsByGather(completed, SliceCol(alpha, o), cluster_of);
+    pieces.push_back(ScatterRows(weighted, missing_, graph_->num_nodes()));
+  }
+  pieces.push_back(base);
+  return AddN(pieces);
+}
+
+std::vector<VarPtr> CompletionModule::Parameters() const {
+  std::vector<VarPtr> params;
+  for (const TypeProjection& proj : projections_) {
+    params.push_back(proj.weight);
+  }
+  params.push_back(mean_weight_);
+  params.push_back(gcn_weight_);
+  params.push_back(ppnp_weight_);
+  for (const OneHotTable& table : onehot_tables_) {
+    params.push_back(table.embedding);
+  }
+  return params;
+}
+
+std::vector<int64_t> CompletionModule::MissingPositionsOfType(
+    int64_t node_type) const {
+  const HeteroGraph::NodeTypeInfo& info = graph_->node_type(node_type);
+  std::vector<int64_t> positions;
+  for (size_t i = 0; i < missing_.size(); ++i) {
+    if (missing_[i] >= info.offset && missing_[i] < info.offset + info.count) {
+      positions.push_back(static_cast<int64_t>(i));
+    }
+  }
+  return positions;
+}
+
+}  // namespace autoac

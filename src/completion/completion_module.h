@@ -1,0 +1,126 @@
+#ifndef AUTOAC_COMPLETION_COMPLETION_MODULE_H_
+#define AUTOAC_COMPLETION_COMPLETION_MODULE_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "completion/op.h"
+#include "graph/hetero_graph.h"
+#include "graph/sparse_ops.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace autoac {
+
+/// Hyperparameters of the completion operations.
+struct CompletionConfig {
+  int64_t hidden_dim = 64;
+  /// PPNP restart probability (alpha in Eq. 4) and power-iteration depth.
+  /// The truncated iteration converges to the exact PPNP fixed point and
+  /// stays differentiable end-to-end.
+  float ppnp_restart = 0.15f;
+  int64_t ppnp_steps = 6;
+};
+
+/// Owns every trainable piece of the attribute completion pipeline:
+///  - per-attributed-type input projections W_t (raw attrs -> hidden dim);
+///  - the per-operation transforms W_o of MEAN/GCN/PPNP (Eqs. 2-4);
+///  - the per-missing-type one-hot embedding tables;
+/// and the cached adjacency structures the operations aggregate over.
+///
+/// The key identity making multi-attributed-type graphs work: Eq. 2's
+/// W * mean{x_u} equals mean{x_u W} by linearity, so the operations can
+/// aggregate *projected* features (one shared projection per source type)
+/// and remain exactly the paper's operations on single-attributed-type
+/// graphs while generalizing to Table IX's mixed configurations.
+///
+/// All completion parameters here belong to the lower-level variables w of
+/// the bi-level problem (Eq. 6); the upper-level completion parameters alpha
+/// live in autoac/completion_params.h.
+class CompletionModule {
+ public:
+  CompletionModule(HeteroGraphPtr graph, const CompletionConfig& config,
+                   Rng& rng);
+
+  /// Global ids of all attribute-less nodes, ascending. Search assignments
+  /// index into this list.
+  const std::vector<int64_t>& missing_nodes() const { return missing_; }
+  int64_t num_missing() const {
+    return static_cast<int64_t>(missing_.size());
+  }
+  int64_t hidden_dim() const { return config_.hidden_dim; }
+  const HeteroGraph& graph() const { return *graph_; }
+
+  /// Projected base features B [N, hidden]: row v is x_v W_{type(v)} for
+  /// attributed v and zero for missing v. Rebuilt per forward pass (the
+  /// projections are trainable).
+  VarPtr BaseFeatures() const;
+
+  /// Output of a single completion operation for all missing nodes:
+  /// [num_missing, hidden]. `base` must come from BaseFeatures().
+  VarPtr RunOp(CompletionOpType op, const VarPtr& base) const;
+
+  /// H0 under a hard per-node operation assignment (`op_of[i]` completes
+  /// missing_nodes()[i]): only the operations that actually appear are
+  /// executed — the saving that the discrete constraint C1 buys during GNN
+  /// training. Returns [N, hidden] = base + scattered completions.
+  VarPtr CompleteDiscrete(const std::vector<CompletionOpType>& op_of) const;
+
+  /// H0 under per-cluster operation weights: `alpha` is [M, |O|] (rows may
+  /// be a softmax distribution or a one-hot projection) and `cluster_of[i]`
+  /// maps missing node i to its cluster. Every operation with any nonzero
+  /// column weight is executed, and gradients flow into `alpha` — this is
+  /// Eq. 5's weighted mixture, used when optimizing the completion
+  /// parameters. With `skip_zero_ops`, operations whose alpha column is
+  /// entirely zero are not executed (their alpha gradient is then zero for
+  /// this step).
+  VarPtr CompleteWeighted(const VarPtr& alpha,
+                          const std::vector<int64_t>& cluster_of,
+                          bool skip_zero_ops) const;
+
+  /// All trainable parameters (projections, op transforms, embeddings).
+  std::vector<VarPtr> Parameters() const;
+
+  /// The operations a node of each type may use are identical; this helper
+  /// reports which missing-list positions belong to a node type (for the
+  /// per-type distribution analyses of Figs. 6-7).
+  std::vector<int64_t> MissingPositionsOfType(int64_t node_type) const;
+
+ private:
+  VarPtr CompletedMissingRows(CompletionOpType op, const VarPtr& base) const;
+
+  HeteroGraphPtr graph_;
+  CompletionConfig config_;
+  std::vector<int64_t> missing_;
+
+  SpMatPtr mean_adj_;  // row-normalized attributed-neighbour adjacency
+  SpMatPtr gcn_adj_;   // sym-normalized attributed-neighbour adjacency
+  SpMatPtr ppnp_adj_;  // sym-normalized full adjacency with self-loops
+
+  // Per-type raw attribute constants and projections (attributed types).
+  struct TypeProjection {
+    int64_t node_type;
+    VarPtr raw;  // const [count, raw_dim]
+    VarPtr weight;
+    std::vector<int64_t> global_ids;
+  };
+  std::vector<TypeProjection> projections_;
+
+  // Per-op transforms.
+  VarPtr mean_weight_;
+  VarPtr gcn_weight_;
+  VarPtr ppnp_weight_;
+
+  // One-hot embeddings per missing type: table plus the positions (within
+  // missing_) its rows complete.
+  struct OneHotTable {
+    int64_t node_type;
+    VarPtr embedding;  // [type_missing_count, hidden]
+    std::vector<int64_t> positions;
+  };
+  std::vector<OneHotTable> onehot_tables_;
+};
+
+}  // namespace autoac
+
+#endif  // AUTOAC_COMPLETION_COMPLETION_MODULE_H_

@@ -1,0 +1,30 @@
+#include "completion/op.h"
+
+#include "util/check.h"
+
+namespace autoac {
+
+const char* CompletionOpName(CompletionOpType type) {
+  switch (type) {
+    case CompletionOpType::kMean:
+      return "MEAN_AC";
+    case CompletionOpType::kGcn:
+      return "GCN_AC";
+    case CompletionOpType::kPpnp:
+      return "PPNP_AC";
+    case CompletionOpType::kOneHot:
+      return "One-hot_AC";
+  }
+  return "?";
+}
+
+CompletionOpType CompletionOpFromString(const std::string& name) {
+  if (name == "mean") return CompletionOpType::kMean;
+  if (name == "gcn") return CompletionOpType::kGcn;
+  if (name == "ppnp") return CompletionOpType::kPpnp;
+  if (name == "onehot") return CompletionOpType::kOneHot;
+  AUTOAC_CHECK(false) << "unknown completion op" << name;
+  return CompletionOpType::kMean;
+}
+
+}  // namespace autoac

@@ -1,0 +1,29 @@
+#ifndef AUTOAC_COMPLETION_OP_H_
+#define AUTOAC_COMPLETION_OP_H_
+
+#include <string>
+
+namespace autoac {
+
+/// The paper's completion operation search space O (Section IV-A):
+/// three topology-dependent operations (local MEAN/GCN aggregation, global
+/// PPNP aggregation) and the topology-independent one-hot operation.
+enum class CompletionOpType : int {
+  kMean = 0,    // Eq. 2: mean of 1-hop attributed neighbours, then W
+  kGcn = 1,     // Eq. 3: symmetric-normalized 1-hop aggregation, then W
+  kPpnp = 2,    // Eq. 4: personalized-PageRank diffusion of projected attrs
+  kOneHot = 3,  // learned per-node embedding (one-hot times a linear map)
+};
+
+inline constexpr int kNumCompletionOps = 4;
+
+/// Paper-style display name, e.g. "GCN_AC".
+const char* CompletionOpName(CompletionOpType type);
+
+/// Parses the names accepted on bench command lines ("mean", "gcn", "ppnp",
+/// "onehot"); aborts on unknown input.
+CompletionOpType CompletionOpFromString(const std::string& name);
+
+}  // namespace autoac
+
+#endif  // AUTOAC_COMPLETION_OP_H_

@@ -1,0 +1,178 @@
+#include "data/hgb_datasets.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace autoac {
+namespace {
+
+// Applies the missing-type override: a type is "missing" (attribute-less,
+// completion target) iff it is in `missing`; other non-raw types get manual
+// one-hot codes. With an empty override every non-raw type is missing.
+void ApplyMissingOverride(SyntheticGraphConfig& config,
+                          const std::vector<std::string>& missing) {
+  if (missing.empty()) return;
+  for (SyntheticTypeSpec& spec : config.types) {
+    if (spec.has_raw_attributes) continue;
+    bool is_missing = std::find(missing.begin(), missing.end(), spec.name) !=
+                      missing.end();
+    spec.manual_onehot = !is_missing;
+  }
+}
+
+SyntheticGraphConfig DblpConfig() {
+  SyntheticGraphConfig config;
+  config.name = "DBLP";
+  config.num_classes = 4;
+  config.label_fidelity = 0.95;
+  // Table I: author 4057 (target, missing), paper 14328 (raw), term 7723
+  // (missing), venue 20 (missing).
+  config.types = {
+      {"author", 4057, false, false, 0},
+      {"paper", 14328, true, false, 128},
+      {"term", 7723, false, false, 0},
+      {"venue", 20, false, false, 0},
+  };
+  config.target_type = 0;
+  config.edges = {
+      {"paper-author", 1, 0, 19645},
+      {"paper-term", 1, 2, 85810},
+      {"paper-venue", 1, 3, 14328},
+  };
+  config.target_edge_type = 0;  // paper-author (Table V link task)
+  return config;
+}
+
+SyntheticGraphConfig AcmConfig() {
+  SyntheticGraphConfig config;
+  config.name = "ACM";
+  config.num_classes = 3;
+  config.label_fidelity = 0.90;
+  // Table I: paper 3025 (target, raw), author 5959, subject 56, term 1902.
+  config.types = {
+      {"paper", 3025, true, false, 96},
+      {"author", 5959, false, false, 0},
+      {"subject", 56, false, false, 0},
+      {"term", 1902, false, false, 0},
+  };
+  config.target_type = 0;
+  // The real ACM's paper-term relation dominates its 547k edges; the budget
+  // here is trimmed to keep dense attention tractable while preserving the
+  // relation's relative dominance.
+  config.edges = {
+      {"paper-author", 0, 1, 9949},
+      {"paper-subject", 0, 2, 3025},
+      {"paper-term", 0, 3, 120000},
+      {"paper-cite-paper", 0, 0, 5343},
+  };
+  config.target_edge_type = 0;
+  return config;
+}
+
+SyntheticGraphConfig ImdbConfig() {
+  SyntheticGraphConfig config;
+  config.name = "IMDB";
+  config.num_classes = 5;
+  config.label_fidelity = 0.64;
+  // Table I: movie 4932 (target, raw), director 2393, actor 6124,
+  // keyword 7971.
+  config.types = {
+      {"movie", 4932, true, false, 96},
+      {"director", 2393, false, false, 0},
+      {"actor", 6124, false, false, 0},
+      {"keyword", 7971, false, false, 0},
+  };
+  config.target_type = 0;
+  config.edges = {
+      {"movie-director", 0, 1, 4932},
+      {"movie-actor", 0, 2, 14779},
+      {"movie-keyword", 0, 3, 23610},
+  };
+  config.target_edge_type = 2;  // movie-keyword (Table V link task)
+  return config;
+}
+
+SyntheticGraphConfig LastFmConfig() {
+  SyntheticGraphConfig config;
+  config.name = "LastFM";
+  // No node-classification labels are evaluated on LastFM; the classes act
+  // as latent communities that shape the topology.
+  config.num_classes = 6;
+  // Table I: user 1892 (missing), artist 17632 (raw), tag 2980 (missing).
+  // The real artist attribute is a one-hot; class-indicative codes are used
+  // instead so attribute completion can carry community signal (DESIGN.md).
+  config.types = {
+      {"user", 1892, false, false, 0},
+      {"artist", 17632, true, false, 64},
+      {"tag", 2980, false, false, 0},
+  };
+  config.target_type = 1;
+  config.edges = {
+      {"user-artist", 0, 1, 92834},
+      {"user-user", 0, 0, 25434},
+      {"artist-tag", 1, 2, 23253},
+  };
+  config.target_edge_type = 0;  // user-artist (Table V link task)
+  return config;
+}
+
+SyntheticGraphConfig ConfigByName(const std::string& name) {
+  if (name == "dblp") return DblpConfig();
+  if (name == "acm") return AcmConfig();
+  if (name == "imdb") return ImdbConfig();
+  if (name == "lastfm") return LastFmConfig();
+  AUTOAC_CHECK(false) << "unknown dataset" << name;
+  return {};
+}
+
+}  // namespace
+
+Dataset MakeDataset(const std::string& name, const DatasetOptions& options) {
+  SyntheticGraphConfig config = ConfigByName(name);
+  config.scale = options.scale;
+  config.seed = options.seed;
+  ApplyMissingOverride(config, options.missing_types);
+  SyntheticGraph generated = GenerateSyntheticGraph(config);
+
+  Dataset dataset;
+  dataset.name = config.name;
+  dataset.graph = generated.graph;
+  dataset.latent_class = std::move(generated.latent_class);
+  dataset.regime = std::move(generated.regime);
+  // HGB splits 24/6/70. At reduced --scale the 6% validation slice shrinks
+  // to a few dozen nodes — far too few for the validation-driven decisions
+  // AutoAC and early stopping make — so the test fraction is kept at 70%
+  // and the labelled 30% is rebalanced toward validation (see DESIGN.md).
+  Rng split_rng(options.seed + 1000003);
+  dataset.split =
+      MakeNodeSplit(*dataset.graph, /*train_frac=*/0.18, /*val_frac=*/0.12,
+                    split_rng);
+  return dataset;
+}
+
+std::vector<std::string> AllDatasetNames() {
+  return {"dblp", "acm", "imdb", "lastfm"};
+}
+
+std::vector<std::string> DefaultMissingTypes(const std::string& name) {
+  if (name == "dblp") return {"author", "term", "venue"};
+  if (name == "acm") return {"author", "subject", "term"};
+  if (name == "imdb") return {"director", "actor", "keyword"};
+  if (name == "lastfm") return {"user", "tag"};
+  AUTOAC_CHECK(false) << "unknown dataset" << name;
+  return {};
+}
+
+double MissingRate(const Dataset& dataset) {
+  int64_t missing = 0;
+  const HeteroGraph& graph = *dataset.graph;
+  for (int64_t t = 0; t < graph.num_node_types(); ++t) {
+    if (graph.node_type(t).attributes.numel() == 0) {
+      missing += graph.node_type(t).count;
+    }
+  }
+  return static_cast<double>(missing) / graph.num_nodes();
+}
+
+}  // namespace autoac

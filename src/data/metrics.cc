@@ -1,0 +1,104 @@
+#include "data/metrics.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace autoac {
+
+double MicroF1(const std::vector<int64_t>& predictions,
+               const std::vector<int64_t>& labels) {
+  AUTOAC_CHECK_EQ(predictions.size(), labels.size());
+  AUTOAC_CHECK(!predictions.empty());
+  int64_t correct = 0;
+  for (size_t i = 0; i < predictions.size(); ++i) {
+    if (predictions[i] == labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / predictions.size();
+}
+
+double MacroF1(const std::vector<int64_t>& predictions,
+               const std::vector<int64_t>& labels, int64_t num_classes) {
+  AUTOAC_CHECK_EQ(predictions.size(), labels.size());
+  AUTOAC_CHECK_GT(num_classes, 0);
+  std::vector<int64_t> tp(num_classes, 0), fp(num_classes, 0),
+      fn(num_classes, 0);
+  for (size_t i = 0; i < predictions.size(); ++i) {
+    int64_t p = predictions[i];
+    int64_t l = labels[i];
+    AUTOAC_DCHECK(p >= 0 && p < num_classes);
+    AUTOAC_DCHECK(l >= 0 && l < num_classes);
+    if (p == l) {
+      ++tp[p];
+    } else {
+      ++fp[p];
+      ++fn[l];
+    }
+  }
+  double sum_f1 = 0.0;
+  int64_t active_classes = 0;
+  for (int64_t c = 0; c < num_classes; ++c) {
+    int64_t support = tp[c] + fp[c] + fn[c];
+    if (support == 0) continue;  // Class never appears; skip.
+    ++active_classes;
+    double denom = 2.0 * tp[c] + fp[c] + fn[c];
+    sum_f1 += denom > 0 ? 2.0 * tp[c] / denom : 0.0;
+  }
+  return active_classes > 0 ? sum_f1 / active_classes : 0.0;
+}
+
+double RocAuc(const std::vector<float>& scores,
+              const std::vector<int64_t>& labels) {
+  AUTOAC_CHECK_EQ(scores.size(), labels.size());
+  size_t n = scores.size();
+  AUTOAC_CHECK_GT(n, 0u);
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return scores[a] < scores[b]; });
+
+  // Midranks handle ties: every member of a tied block receives the block's
+  // average rank.
+  std::vector<double> ranks(n);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && scores[order[j + 1]] == scores[order[i]]) ++j;
+    double midrank = 0.5 * static_cast<double>(i + j) + 1.0;
+    for (size_t k = i; k <= j; ++k) ranks[order[k]] = midrank;
+    i = j + 1;
+  }
+
+  double positive_rank_sum = 0.0;
+  int64_t num_positive = 0;
+  for (size_t k = 0; k < n; ++k) {
+    if (labels[k] == 1) {
+      positive_rank_sum += ranks[k];
+      ++num_positive;
+    }
+  }
+  int64_t num_negative = static_cast<int64_t>(n) - num_positive;
+  if (num_positive == 0 || num_negative == 0) return 0.5;
+  double u = positive_rank_sum -
+             static_cast<double>(num_positive) * (num_positive + 1) / 2.0;
+  return u / (static_cast<double>(num_positive) * num_negative);
+}
+
+double MeanReciprocalRank(
+    const std::vector<float>& positive_scores,
+    const std::vector<std::vector<float>>& negative_scores) {
+  AUTOAC_CHECK_EQ(positive_scores.size(), negative_scores.size());
+  AUTOAC_CHECK(!positive_scores.empty());
+  double total = 0.0;
+  for (size_t i = 0; i < positive_scores.size(); ++i) {
+    int64_t rank = 1;
+    for (float neg : negative_scores[i]) {
+      if (neg > positive_scores[i]) ++rank;
+    }
+    total += 1.0 / static_cast<double>(rank);
+  }
+  return total / positive_scores.size();
+}
+
+}  // namespace autoac

@@ -1,0 +1,34 @@
+#ifndef AUTOAC_DATA_METRICS_H_
+#define AUTOAC_DATA_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace autoac {
+
+/// Micro-averaged F1 over single-label multi-class predictions. With one
+/// label per example this equals accuracy; named Micro-F1 to match the
+/// paper's tables.
+double MicroF1(const std::vector<int64_t>& predictions,
+               const std::vector<int64_t>& labels);
+
+/// Macro-averaged F1: unweighted mean of the per-class F1 scores. Classes
+/// absent from both predictions and labels are skipped.
+double MacroF1(const std::vector<int64_t>& predictions,
+               const std::vector<int64_t>& labels, int64_t num_classes);
+
+/// Area under the ROC curve via the rank statistic
+/// (sum of positive ranks - n+(n+ + 1)/2) / (n+ n-), with midrank ties.
+double RocAuc(const std::vector<float>& scores,
+              const std::vector<int64_t>& labels);
+
+/// Mean reciprocal rank. `positive_scores[i]` is ranked against
+/// `negative_scores[i]` (its own candidate pool); rank counts negatives with
+/// a strictly higher score plus one.
+double MeanReciprocalRank(
+    const std::vector<float>& positive_scores,
+    const std::vector<std::vector<float>>& negative_scores);
+
+}  // namespace autoac
+
+#endif  // AUTOAC_DATA_METRICS_H_

@@ -1,0 +1,276 @@
+#include "data/serialization.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+
+namespace autoac {
+namespace {
+
+constexpr char kGraphMagic[4] = {'A', 'A', 'C', 'G'};
+constexpr char kDatasetMagic[4] = {'A', 'A', 'C', 'D'};
+constexpr uint32_t kVersion = 1;
+
+// --- primitive writers/readers (little-endian host assumed; the format is
+// for local experiment caching, not cross-platform interchange) ---
+
+void WriteU32(std::ostream& out, uint32_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void WriteI64(std::ostream& out, int64_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void WriteString(std::ostream& out, const std::string& s) {
+  WriteU32(out, static_cast<uint32_t>(s.size()));
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+void WriteI64Vector(std::ostream& out, const std::vector<int64_t>& v) {
+  WriteI64(out, static_cast<int64_t>(v.size()));
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(int64_t)));
+}
+
+void WriteTensor(std::ostream& out, const Tensor& t) {
+  WriteI64Vector(out, t.shape());
+  out.write(reinterpret_cast<const char*>(t.data()),
+            static_cast<std::streamsize>(t.numel() * sizeof(float)));
+}
+
+bool ReadU32(std::istream& in, uint32_t* v) {
+  in.read(reinterpret_cast<char*>(v), sizeof(*v));
+  return in.good();
+}
+
+bool ReadI64(std::istream& in, int64_t* v) {
+  in.read(reinterpret_cast<char*>(v), sizeof(*v));
+  return in.good();
+}
+
+bool ReadString(std::istream& in, std::string* s) {
+  uint32_t size = 0;
+  if (!ReadU32(in, &size) || size > (1u << 20)) return false;
+  s->resize(size);
+  in.read(s->data(), size);
+  return in.good();
+}
+
+bool ReadI64Vector(std::istream& in, std::vector<int64_t>* v) {
+  int64_t size = 0;
+  if (!ReadI64(in, &size) || size < 0 || size > (int64_t{1} << 32)) {
+    return false;
+  }
+  v->resize(size);
+  in.read(reinterpret_cast<char*>(v->data()),
+          static_cast<std::streamsize>(size * sizeof(int64_t)));
+  return in.good() || size == 0;
+}
+
+bool ReadTensor(std::istream& in, Tensor* t) {
+  std::vector<int64_t> shape;
+  if (!ReadI64Vector(in, &shape)) return false;
+  if (shape.empty()) {  // default-constructed tensor (e.g. no attributes)
+    *t = Tensor();
+    return true;
+  }
+  int64_t numel = 1;
+  for (int64_t extent : shape) {
+    if (extent < 0) return false;
+    numel *= extent;
+  }
+  std::vector<float> values(numel);
+  in.read(reinterpret_cast<char*>(values.data()),
+          static_cast<std::streamsize>(numel * sizeof(float)));
+  if (!in.good() && numel > 0) return false;
+  *t = Tensor::FromVector(std::move(shape), std::move(values));
+  return true;
+}
+
+void WriteGraphBody(std::ostream& out, const HeteroGraph& graph) {
+  WriteI64(out, graph.num_node_types());
+  for (int64_t t = 0; t < graph.num_node_types(); ++t) {
+    const HeteroGraph::NodeTypeInfo& info = graph.node_type(t);
+    WriteString(out, info.name);
+    WriteI64(out, info.count);
+    WriteTensor(out, info.attributes);
+  }
+  WriteI64(out, graph.num_edge_types());
+  for (int64_t e = 0; e < graph.num_edge_types(); ++e) {
+    const HeteroGraph::EdgeTypeInfo& info = graph.edge_type(e);
+    WriteString(out, info.name);
+    WriteI64(out, info.src_type);
+    WriteI64(out, info.dst_type);
+  }
+  WriteI64Vector(out, graph.edge_src());
+  WriteI64Vector(out, graph.edge_dst());
+  WriteI64Vector(out, graph.edge_type_ids());
+  WriteI64(out, graph.target_node_type());
+  WriteI64(out, graph.target_edge_type());
+  WriteI64(out, graph.num_classes());
+  // Target-type labels in local order.
+  std::vector<int64_t> labels;
+  if (graph.target_node_type() >= 0) {
+    const HeteroGraph::NodeTypeInfo& target =
+        graph.node_type(graph.target_node_type());
+    labels.reserve(target.count);
+    for (int64_t i = 0; i < target.count; ++i) {
+      labels.push_back(graph.LabelOf(target.offset + i));
+    }
+  }
+  WriteI64Vector(out, labels);
+}
+
+StatusOr<HeteroGraphPtr> ReadGraphBody(std::istream& in) {
+  auto fail = [](const char* what) {
+    return StatusOr<HeteroGraphPtr>(
+        Status::Error(std::string("malformed graph file: ") + what));
+  };
+  auto graph = std::make_shared<HeteroGraph>();
+  int64_t num_node_types = 0;
+  if (!ReadI64(in, &num_node_types) || num_node_types <= 0) {
+    return fail("node type count");
+  }
+  std::vector<Tensor> attributes(num_node_types);
+  for (int64_t t = 0; t < num_node_types; ++t) {
+    std::string name;
+    int64_t count = 0;
+    if (!ReadString(in, &name) || !ReadI64(in, &count) ||
+        !ReadTensor(in, &attributes[t])) {
+      return fail("node type");
+    }
+    graph->AddNodeType(name, count);
+  }
+  int64_t num_edge_types = 0;
+  if (!ReadI64(in, &num_edge_types) || num_edge_types < 0) {
+    return fail("edge type count");
+  }
+  for (int64_t e = 0; e < num_edge_types; ++e) {
+    std::string name;
+    int64_t src = 0, dst = 0;
+    if (!ReadString(in, &name) || !ReadI64(in, &src) || !ReadI64(in, &dst)) {
+      return fail("edge type");
+    }
+    graph->AddEdgeType(name, src, dst);
+  }
+  std::vector<int64_t> src, dst, type;
+  if (!ReadI64Vector(in, &src) || !ReadI64Vector(in, &dst) ||
+      !ReadI64Vector(in, &type) || src.size() != dst.size() ||
+      src.size() != type.size()) {
+    return fail("edges");
+  }
+  int64_t target_node_type = 0, target_edge_type = 0, num_classes = 0;
+  if (!ReadI64(in, &target_node_type) || !ReadI64(in, &target_edge_type) ||
+      !ReadI64(in, &num_classes)) {
+    return fail("task annotations");
+  }
+  std::vector<int64_t> labels;
+  if (!ReadI64Vector(in, &labels)) return fail("labels");
+
+  // Edge endpoints were stored as global ids; AddEdge wants type-local ids.
+  std::vector<int64_t> offsets(num_node_types, 0);
+  for (int64_t t = 1; t < num_node_types; ++t) {
+    offsets[t] = offsets[t - 1] + graph->node_type(t - 1).count;
+  }
+  auto to_local = [&](int64_t global, int64_t node_type) {
+    return global - offsets[node_type];
+  };
+  for (size_t e = 0; e < src.size(); ++e) {
+    if (type[e] < 0 || type[e] >= num_edge_types) return fail("edge type id");
+    const HeteroGraph::EdgeTypeInfo& et = graph->edge_type(type[e]);
+    graph->AddEdge(type[e], to_local(src[e], et.src_type),
+                   to_local(dst[e], et.dst_type));
+  }
+  for (int64_t t = 0; t < num_node_types; ++t) {
+    if (attributes[t].numel() > 0) {
+      graph->SetAttributes(t, std::move(attributes[t]));
+    }
+  }
+  if (target_node_type >= 0) {
+    graph->SetTargetNodeType(target_node_type);
+    graph->SetLabels(std::move(labels), num_classes);
+  }
+  if (target_edge_type >= 0) graph->SetTargetEdgeType(target_edge_type);
+  graph->Finalize();
+  return StatusOr<HeteroGraphPtr>(std::move(graph));
+}
+
+}  // namespace
+
+Status SaveGraph(const HeteroGraph& graph, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::Error("cannot open " + path + " for writing");
+  out.write(kGraphMagic, 4);
+  WriteU32(out, kVersion);
+  WriteGraphBody(out, graph);
+  if (!out.good()) return Status::Error("write failed for " + path);
+  return Status::Ok();
+}
+
+StatusOr<HeteroGraphPtr> LoadGraph(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::Error("cannot open " + path);
+  char magic[4];
+  in.read(magic, 4);
+  uint32_t version = 0;
+  if (!in.good() || std::memcmp(magic, kGraphMagic, 4) != 0 ||
+      !ReadU32(in, &version) || version != kVersion) {
+    return Status::Error(path + " is not an AutoAC graph file");
+  }
+  return ReadGraphBody(in);
+}
+
+Status SaveDataset(const Dataset& dataset, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::Error("cannot open " + path + " for writing");
+  out.write(kDatasetMagic, 4);
+  WriteU32(out, kVersion);
+  WriteString(out, dataset.name);
+  WriteGraphBody(out, *dataset.graph);
+  WriteI64Vector(out, dataset.split.train);
+  WriteI64Vector(out, dataset.split.val);
+  WriteI64Vector(out, dataset.split.test);
+  WriteI64Vector(out, dataset.latent_class);
+  std::vector<int64_t> regimes(dataset.regime.size());
+  for (size_t i = 0; i < dataset.regime.size(); ++i) {
+    regimes[i] = static_cast<int64_t>(dataset.regime[i]);
+  }
+  WriteI64Vector(out, regimes);
+  if (!out.good()) return Status::Error("write failed for " + path);
+  return Status::Ok();
+}
+
+StatusOr<Dataset> LoadDataset(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::Error("cannot open " + path);
+  char magic[4];
+  in.read(magic, 4);
+  uint32_t version = 0;
+  if (!in.good() || std::memcmp(magic, kDatasetMagic, 4) != 0 ||
+      !ReadU32(in, &version) || version != kVersion) {
+    return Status::Error(path + " is not an AutoAC dataset file");
+  }
+  Dataset dataset;
+  if (!ReadString(in, &dataset.name)) {
+    return Status::Error("malformed dataset file: name");
+  }
+  StatusOr<HeteroGraphPtr> graph = ReadGraphBody(in);
+  if (!graph.ok()) return graph.status();
+  dataset.graph = graph.TakeValue();
+  std::vector<int64_t> regimes;
+  if (!ReadI64Vector(in, &dataset.split.train) ||
+      !ReadI64Vector(in, &dataset.split.val) ||
+      !ReadI64Vector(in, &dataset.split.test) ||
+      !ReadI64Vector(in, &dataset.latent_class) ||
+      !ReadI64Vector(in, &regimes)) {
+    return Status::Error("malformed dataset file: split/ground truth");
+  }
+  dataset.regime.resize(regimes.size());
+  for (size_t i = 0; i < regimes.size(); ++i) {
+    dataset.regime[i] = static_cast<CompletionRegime>(regimes[i]);
+  }
+  return dataset;
+}
+
+}  // namespace autoac

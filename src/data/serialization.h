@@ -1,0 +1,40 @@
+#ifndef AUTOAC_DATA_SERIALIZATION_H_
+#define AUTOAC_DATA_SERIALIZATION_H_
+
+#include <string>
+
+#include "data/hgb_datasets.h"
+#include "graph/hetero_graph.h"
+#include "util/status.h"
+
+namespace autoac {
+
+/// Binary serialization of heterogeneous graphs and datasets, so generated
+/// benchmarks can be frozen to disk, shared between runs, or inspected with
+/// external tooling. The format is a little-endian tagged container:
+///
+///   magic "AACG" | version u32
+///   node types: count, then per type {name, count, raw attribute tensor}
+///   edge types: count, then per type {name, src_type, dst_type}
+///   edges: count, then src/dst/type arrays (global ids)
+///   task annotations: target node type, target edge type, labels,
+///                     num_classes
+///
+/// Datasets additionally carry the split and the generator's planted
+/// ground truth (latent classes, regimes).
+
+/// Writes `graph` to `path`. Returns an error status on IO failure.
+Status SaveGraph(const HeteroGraph& graph, const std::string& path);
+
+/// Reads a graph written by SaveGraph. The returned graph is finalized.
+StatusOr<HeteroGraphPtr> LoadGraph(const std::string& path);
+
+/// Writes a full dataset (graph + split + planted ground truth).
+Status SaveDataset(const Dataset& dataset, const std::string& path);
+
+/// Reads a dataset written by SaveDataset.
+StatusOr<Dataset> LoadDataset(const std::string& path);
+
+}  // namespace autoac
+
+#endif  // AUTOAC_DATA_SERIALIZATION_H_

@@ -1,0 +1,133 @@
+#include "data/split.h"
+
+#include <unordered_set>
+
+#include "util/check.h"
+
+namespace autoac {
+namespace {
+
+// Packs an edge's endpoints into one key for duplicate detection.
+int64_t PairKey(int64_t u, int64_t v, int64_t n) { return u * n + v; }
+
+}  // namespace
+
+NodeSplit MakeNodeSplit(const HeteroGraph& graph, double train_frac,
+                        double val_frac, Rng& rng) {
+  AUTOAC_CHECK_GT(train_frac, 0.0);
+  AUTOAC_CHECK_GT(val_frac, 0.0);
+  AUTOAC_CHECK_LT(train_frac + val_frac, 1.0);
+  std::vector<int64_t> ids = graph.TargetGlobalIds();
+  rng.Shuffle(ids);
+  int64_t n = static_cast<int64_t>(ids.size());
+  int64_t n_train = std::max<int64_t>(1, static_cast<int64_t>(n * train_frac));
+  int64_t n_val = std::max<int64_t>(1, static_cast<int64_t>(n * val_frac));
+  AUTOAC_CHECK_LT(n_train + n_val, n);
+  NodeSplit split;
+  split.train.assign(ids.begin(), ids.begin() + n_train);
+  split.val.assign(ids.begin() + n_train, ids.begin() + n_train + n_val);
+  split.test.assign(ids.begin() + n_train + n_val, ids.end());
+  return split;
+}
+
+LinkSplit MakeLinkSplit(const HeteroGraph& graph, double mask_rate, Rng& rng) {
+  AUTOAC_CHECK(mask_rate > 0.0 && mask_rate < 1.0);
+  int64_t target = graph.target_edge_type();
+  AUTOAC_CHECK_GE(target, 0) << "graph has no target edge type";
+
+  // Collect indices of target-type edges and choose the masked subset.
+  std::vector<int64_t> target_edges;
+  for (int64_t e = 0; e < graph.num_edges(); ++e) {
+    if (graph.edge_type_ids()[e] == target) target_edges.push_back(e);
+  }
+  AUTOAC_CHECK_GT(target_edges.size(), 4u);
+  rng.Shuffle(target_edges);
+  int64_t n_masked = std::max<int64_t>(
+      2, static_cast<int64_t>(target_edges.size() * mask_rate));
+  std::unordered_set<int64_t> masked(target_edges.begin(),
+                                     target_edges.begin() + n_masked);
+
+  // Rebuild the graph without the masked edges.
+  auto train_graph = std::make_shared<HeteroGraph>();
+  for (int64_t t = 0; t < graph.num_node_types(); ++t) {
+    const HeteroGraph::NodeTypeInfo& info = graph.node_type(t);
+    train_graph->AddNodeType(info.name, info.count);
+    if (info.attributes.numel() > 0) {
+      train_graph->SetAttributes(t, info.attributes);
+    }
+  }
+  for (int64_t e = 0; e < graph.num_edge_types(); ++e) {
+    const HeteroGraph::EdgeTypeInfo& info = graph.edge_type(e);
+    train_graph->AddEdgeType(info.name, info.src_type, info.dst_type);
+  }
+
+  LinkSplit split;
+  split.src_type = graph.edge_type(target).src_type;
+  split.dst_type = graph.edge_type(target).dst_type;
+  for (int64_t e = 0; e < graph.num_edges(); ++e) {
+    int64_t etype = graph.edge_type_ids()[e];
+    int64_t src_global = graph.edge_src()[e];
+    int64_t dst_global = graph.edge_dst()[e];
+    if (etype == target) {
+      if (masked.count(e) > 0) continue;
+      split.train_pos.emplace_back(src_global, dst_global);
+    }
+    train_graph->AddEdge(etype, graph.LocalId(src_global),
+                         graph.LocalId(dst_global));
+  }
+  if (graph.target_node_type() >= 0) {
+    train_graph->SetTargetNodeType(graph.target_node_type());
+    std::vector<int64_t> labels;
+    const HeteroGraph::NodeTypeInfo& tinfo =
+        graph.node_type(graph.target_node_type());
+    labels.reserve(tinfo.count);
+    for (int64_t i = 0; i < tinfo.count; ++i) {
+      labels.push_back(graph.LabelOf(tinfo.offset + i));
+    }
+    train_graph->SetLabels(std::move(labels), graph.num_classes());
+  }
+  train_graph->SetTargetEdgeType(target);
+  train_graph->Finalize();
+  split.train_graph = std::move(train_graph);
+
+  // Split the masked positives: half validation, half test.
+  std::vector<std::pair<int64_t, int64_t>> masked_pairs;
+  for (int64_t i = 0; i < n_masked; ++i) {
+    int64_t e = target_edges[i];
+    masked_pairs.emplace_back(graph.edge_src()[e], graph.edge_dst()[e]);
+  }
+  int64_t n_val = n_masked / 2;
+  split.val_pos.assign(masked_pairs.begin(), masked_pairs.begin() + n_val);
+  split.test_pos.assign(masked_pairs.begin() + n_val, masked_pairs.end());
+  return split;
+}
+
+std::vector<std::pair<int64_t, int64_t>> SampleNegativeEdges(
+    const HeteroGraph& graph, int64_t count, Rng& rng) {
+  int64_t target = graph.target_edge_type();
+  AUTOAC_CHECK_GE(target, 0);
+  const HeteroGraph::EdgeTypeInfo& et = graph.edge_type(target);
+  const HeteroGraph::NodeTypeInfo& src_info = graph.node_type(et.src_type);
+  const HeteroGraph::NodeTypeInfo& dst_info = graph.node_type(et.dst_type);
+
+  std::unordered_set<int64_t> existing;
+  for (int64_t e = 0; e < graph.num_edges(); ++e) {
+    if (graph.edge_type_ids()[e] != target) continue;
+    existing.insert(PairKey(graph.edge_src()[e], graph.edge_dst()[e],
+                            graph.num_nodes()));
+  }
+  std::vector<std::pair<int64_t, int64_t>> negatives;
+  negatives.reserve(count);
+  int64_t attempts = 0;
+  while (static_cast<int64_t>(negatives.size()) < count &&
+         attempts < count * 50) {
+    ++attempts;
+    int64_t u = src_info.offset + rng.UniformInt(0, src_info.count - 1);
+    int64_t v = dst_info.offset + rng.UniformInt(0, dst_info.count - 1);
+    if (existing.count(PairKey(u, v, graph.num_nodes())) > 0) continue;
+    negatives.emplace_back(u, v);
+  }
+  return negatives;
+}
+
+}  // namespace autoac

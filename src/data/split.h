@@ -1,0 +1,49 @@
+#ifndef AUTOAC_DATA_SPLIT_H_
+#define AUTOAC_DATA_SPLIT_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "graph/hetero_graph.h"
+#include "util/rng.h"
+
+namespace autoac {
+
+/// Node-classification split over the target type, in global node ids.
+/// HGB's protocol: 24% train / 6% validation / 70% test.
+struct NodeSplit {
+  std::vector<int64_t> train;
+  std::vector<int64_t> val;
+  std::vector<int64_t> test;
+};
+
+/// Randomly splits the target-type nodes of `graph`.
+NodeSplit MakeNodeSplit(const HeteroGraph& graph, double train_frac,
+                        double val_frac, Rng& rng);
+
+/// Link-prediction split: `mask_rate` of the target edge type's edges are
+/// removed from the training graph and divided evenly into validation and
+/// test positives. Pairs are (src global id, dst global id).
+struct LinkSplit {
+  HeteroGraphPtr train_graph;
+  std::vector<std::pair<int64_t, int64_t>> train_pos;
+  std::vector<std::pair<int64_t, int64_t>> val_pos;
+  std::vector<std::pair<int64_t, int64_t>> test_pos;
+  int64_t src_type = 0;
+  int64_t dst_type = 0;
+};
+
+/// Builds the masked training graph (node types, attributes, labels and all
+/// non-masked edges are copied) plus the positive-edge splits.
+LinkSplit MakeLinkSplit(const HeteroGraph& graph, double mask_rate, Rng& rng);
+
+/// Samples `count` negative pairs for the target edge type: uniformly random
+/// (src, dst) endpoint pairs that do not appear among the graph's target
+/// edges. Returned in global ids.
+std::vector<std::pair<int64_t, int64_t>> SampleNegativeEdges(
+    const HeteroGraph& graph, int64_t count, Rng& rng);
+
+}  // namespace autoac
+
+#endif  // AUTOAC_DATA_SPLIT_H_

@@ -1,0 +1,85 @@
+#include "graph/csr.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace autoac {
+
+Csr Csr::FromCoo(int64_t num_rows, int64_t num_cols,
+                 const std::vector<int64_t>& rows,
+                 const std::vector<int64_t>& cols,
+                 const std::vector<float>& values,
+                 const std::vector<int64_t>& edge_ids) {
+  AUTOAC_CHECK_EQ(rows.size(), cols.size());
+  if (!values.empty()) AUTOAC_CHECK_EQ(values.size(), rows.size());
+  if (!edge_ids.empty()) AUTOAC_CHECK_EQ(edge_ids.size(), rows.size());
+  int64_t nnz = static_cast<int64_t>(rows.size());
+
+  Csr csr;
+  csr.num_rows = num_rows;
+  csr.num_cols = num_cols;
+  csr.indptr.assign(num_rows + 1, 0);
+  for (int64_t e = 0; e < nnz; ++e) {
+    AUTOAC_CHECK(rows[e] >= 0 && rows[e] < num_rows)
+        << "row " << rows[e] << " out of range";
+    AUTOAC_CHECK(cols[e] >= 0 && cols[e] < num_cols)
+        << "col " << cols[e] << " out of range";
+    ++csr.indptr[rows[e] + 1];
+  }
+  for (int64_t i = 0; i < num_rows; ++i) csr.indptr[i + 1] += csr.indptr[i];
+
+  csr.indices.resize(nnz);
+  csr.values.resize(nnz);
+  if (!edge_ids.empty()) csr.edge_id.resize(nnz);
+  std::vector<int64_t> cursor(csr.indptr.begin(), csr.indptr.end() - 1);
+  for (int64_t e = 0; e < nnz; ++e) {
+    int64_t slot = cursor[rows[e]]++;
+    csr.indices[slot] = cols[e];
+    csr.values[slot] = values.empty() ? 1.0f : values[e];
+    if (!edge_ids.empty()) csr.edge_id[slot] = edge_ids[e];
+  }
+  return csr;
+}
+
+Csr Csr::Transposed() const {
+  Csr t;
+  t.num_rows = num_cols;
+  t.num_cols = num_rows;
+  t.indptr.assign(num_cols + 1, 0);
+  for (int64_t col : indices) ++t.indptr[col + 1];
+  for (int64_t i = 0; i < num_cols; ++i) t.indptr[i + 1] += t.indptr[i];
+  t.indices.resize(nnz());
+  t.values.resize(nnz());
+  if (!edge_id.empty()) t.edge_id.resize(nnz());
+  std::vector<int64_t> cursor(t.indptr.begin(), t.indptr.end() - 1);
+  for (int64_t row = 0; row < num_rows; ++row) {
+    for (int64_t k = indptr[row]; k < indptr[row + 1]; ++k) {
+      int64_t slot = cursor[indices[k]]++;
+      t.indices[slot] = row;
+      t.values[slot] = values[k];
+      if (!edge_id.empty()) t.edge_id[slot] = edge_id[k];
+    }
+  }
+  return t;
+}
+
+void Csr::CheckInvariants() const {
+  AUTOAC_CHECK_EQ(static_cast<int64_t>(indptr.size()), num_rows + 1);
+  AUTOAC_CHECK_EQ(indptr[0], 0);
+  AUTOAC_CHECK_EQ(indptr[num_rows], nnz());
+  for (int64_t i = 0; i < num_rows; ++i) {
+    AUTOAC_CHECK_LE(indptr[i], indptr[i + 1]);
+  }
+  for (int64_t col : indices) {
+    AUTOAC_CHECK(col >= 0 && col < num_cols);
+  }
+  AUTOAC_CHECK_EQ(values.size(), indices.size());
+  if (!edge_id.empty()) AUTOAC_CHECK_EQ(edge_id.size(), indices.size());
+}
+
+SpMatPtr MakeSparse(Csr forward) {
+  return std::make_shared<SparseMatrix>(std::move(forward));
+}
+
+}  // namespace autoac

@@ -1,0 +1,77 @@
+#ifndef AUTOAC_GRAPH_CSR_H_
+#define AUTOAC_GRAPH_CSR_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace autoac {
+
+/// Compressed-sparse-row matrix. The graph convention throughout this
+/// library is destination-major: row i lists the *incoming* neighbours of
+/// node i, so `Y = A @ X` aggregates source features into destinations.
+///
+/// `edge_id` optionally maps each stored nonzero back to the original edge
+/// index in the heterogeneous graph (used to look up edge types for
+/// attention models); it may be empty.
+struct Csr {
+  int64_t num_rows = 0;
+  int64_t num_cols = 0;
+  std::vector<int64_t> indptr;   // size num_rows + 1
+  std::vector<int64_t> indices;  // column of each nonzero
+  std::vector<float> values;     // weight of each nonzero
+  std::vector<int64_t> edge_id;  // optional original edge index per nonzero
+
+  int64_t nnz() const { return static_cast<int64_t>(indices.size()); }
+
+  /// Builds from COO triples. Entries are bucketed by row; duplicates are
+  /// kept (parallel edges contribute separately to aggregation sums).
+  /// `values` may be empty (defaults to all-ones); `edge_ids` may be empty.
+  static Csr FromCoo(int64_t num_rows, int64_t num_cols,
+                     const std::vector<int64_t>& rows,
+                     const std::vector<int64_t>& cols,
+                     const std::vector<float>& values = {},
+                     const std::vector<int64_t>& edge_ids = {});
+
+  /// Returns the transpose (num_cols x num_rows), carrying values and edge
+  /// ids through.
+  Csr Transposed() const;
+
+  /// Number of stored entries in row i.
+  int64_t RowDegree(int64_t row) const {
+    return indptr[row + 1] - indptr[row];
+  }
+
+  /// Verifies structural invariants (monotone indptr, in-range indices,
+  /// consistent array lengths). Aborts on violation; used by tests and the
+  /// graph builders.
+  void CheckInvariants() const;
+};
+
+/// A CSR matrix paired with its transpose so differentiable SpMM can run
+/// the backward pass (`dX = A^T dY`) without recomputing the transpose on
+/// every step. Immutable after construction; ops capture it by shared_ptr.
+class SparseMatrix {
+ public:
+  explicit SparseMatrix(Csr forward)
+      : forward_(std::move(forward)), backward_(forward_.Transposed()) {}
+
+  const Csr& forward() const { return forward_; }
+  const Csr& backward() const { return backward_; }
+  int64_t num_rows() const { return forward_.num_rows; }
+  int64_t num_cols() const { return forward_.num_cols; }
+  int64_t nnz() const { return forward_.nnz(); }
+
+ private:
+  Csr forward_;
+  Csr backward_;
+};
+
+using SpMatPtr = std::shared_ptr<const SparseMatrix>;
+
+/// Convenience constructor.
+SpMatPtr MakeSparse(Csr forward);
+
+}  // namespace autoac
+
+#endif  // AUTOAC_GRAPH_CSR_H_

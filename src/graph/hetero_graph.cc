@@ -1,0 +1,286 @@
+#include "graph/hetero_graph.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace autoac {
+namespace {
+
+// Applies the requested normalization to CSR values in place, using the
+// provided degree vectors for destination (rows) and source (columns).
+void NormalizeValues(Csr& csr, AdjNorm norm,
+                     const std::vector<int64_t>& dst_degree,
+                     const std::vector<int64_t>& src_degree) {
+  if (norm == AdjNorm::kNone) return;
+  for (int64_t i = 0; i < csr.num_rows; ++i) {
+    for (int64_t k = csr.indptr[i]; k < csr.indptr[i + 1]; ++k) {
+      int64_t j = csr.indices[k];
+      if (norm == AdjNorm::kRow) {
+        int64_t d = dst_degree[i];
+        csr.values[k] = d > 0 ? 1.0f / static_cast<float>(d) : 0.0f;
+      } else {  // kSym
+        double d = static_cast<double>(dst_degree[i]) * src_degree[j];
+        csr.values[k] =
+            d > 0 ? static_cast<float>(1.0 / std::sqrt(d)) : 0.0f;
+      }
+    }
+  }
+}
+
+// Row degrees of a CSR (number of stored entries per row).
+std::vector<int64_t> RowDegrees(const Csr& csr) {
+  std::vector<int64_t> deg(csr.num_rows);
+  for (int64_t i = 0; i < csr.num_rows; ++i) deg[i] = csr.RowDegree(i);
+  return deg;
+}
+
+// Column occurrence counts of a CSR.
+std::vector<int64_t> ColDegrees(const Csr& csr) {
+  std::vector<int64_t> deg(csr.num_cols, 0);
+  for (int64_t col : csr.indices) ++deg[col];
+  return deg;
+}
+
+}  // namespace
+
+int64_t HeteroGraph::AddNodeType(const std::string& name, int64_t count) {
+  AUTOAC_CHECK(!finalized_);
+  AUTOAC_CHECK_GE(count, 0);
+  NodeTypeInfo info;
+  info.name = name;
+  info.count = count;
+  node_types_.push_back(std::move(info));
+  return static_cast<int64_t>(node_types_.size()) - 1;
+}
+
+void HeteroGraph::SetAttributes(int64_t node_type, Tensor attributes) {
+  AUTOAC_CHECK(node_type >= 0 && node_type < num_node_types());
+  AUTOAC_CHECK_EQ(attributes.rows(), node_types_[node_type].count);
+  node_types_[node_type].attributes = std::move(attributes);
+}
+
+int64_t HeteroGraph::AddEdgeType(const std::string& name, int64_t src_type,
+                                 int64_t dst_type) {
+  AUTOAC_CHECK(!finalized_);
+  AUTOAC_CHECK(src_type >= 0 && src_type < num_node_types());
+  AUTOAC_CHECK(dst_type >= 0 && dst_type < num_node_types());
+  edge_types_.push_back({name, src_type, dst_type});
+  return static_cast<int64_t>(edge_types_.size()) - 1;
+}
+
+void HeteroGraph::AddEdge(int64_t edge_type, int64_t src_local,
+                          int64_t dst_local) {
+  AUTOAC_CHECK(!finalized_);
+  AUTOAC_CHECK(edge_type >= 0 && edge_type < num_edge_types());
+  const EdgeTypeInfo& et = edge_types_[edge_type];
+  AUTOAC_DCHECK(src_local >= 0 && src_local < node_types_[et.src_type].count);
+  AUTOAC_DCHECK(dst_local >= 0 && dst_local < node_types_[et.dst_type].count);
+  // Offsets are not assigned until Finalize(); store local ids with the
+  // type id and translate there. To keep AddEdge O(1) we store the local
+  // ids encoded against the type info instead: translate later.
+  edge_src_.push_back(src_local);
+  edge_dst_.push_back(dst_local);
+  edge_type_of_.push_back(edge_type);
+}
+
+void HeteroGraph::SetTargetNodeType(int64_t node_type) {
+  AUTOAC_CHECK(node_type >= 0 && node_type < num_node_types());
+  target_node_type_ = node_type;
+}
+
+void HeteroGraph::SetTargetEdgeType(int64_t edge_type) {
+  AUTOAC_CHECK(edge_type >= 0 && edge_type < num_edge_types());
+  target_edge_type_ = edge_type;
+}
+
+void HeteroGraph::SetLabels(std::vector<int64_t> labels, int64_t num_classes) {
+  labels_ = std::move(labels);
+  num_classes_ = num_classes;
+}
+
+void HeteroGraph::Finalize() {
+  AUTOAC_CHECK(!finalized_);
+  int64_t offset = 0;
+  for (NodeTypeInfo& info : node_types_) {
+    info.offset = offset;
+    offset += info.count;
+  }
+  num_nodes_ = offset;
+
+  // Translate stored local endpoints to global ids.
+  for (size_t e = 0; e < edge_src_.size(); ++e) {
+    const EdgeTypeInfo& et = edge_types_[edge_type_of_[e]];
+    edge_src_[e] += node_types_[et.src_type].offset;
+    edge_dst_[e] += node_types_[et.dst_type].offset;
+  }
+
+  degrees_.assign(num_nodes_, 0);
+  for (size_t e = 0; e < edge_src_.size(); ++e) {
+    ++degrees_[edge_src_[e]];
+    ++degrees_[edge_dst_[e]];
+  }
+
+  if (target_node_type_ >= 0 && !labels_.empty()) {
+    AUTOAC_CHECK_EQ(static_cast<int64_t>(labels_.size()),
+                    node_types_[target_node_type_].count);
+  }
+  global_labels_.assign(num_nodes_, -1);
+  if (target_node_type_ >= 0) {
+    int64_t base = node_types_[target_node_type_].offset;
+    for (size_t i = 0; i < labels_.size(); ++i) {
+      global_labels_[base + static_cast<int64_t>(i)] = labels_[i];
+    }
+  }
+  finalized_ = true;
+}
+
+int64_t HeteroGraph::GlobalId(int64_t node_type, int64_t local) const {
+  CheckFinalized();
+  AUTOAC_DCHECK(node_type >= 0 && node_type < num_node_types());
+  AUTOAC_DCHECK(local >= 0 && local < node_types_[node_type].count);
+  return node_types_[node_type].offset + local;
+}
+
+int64_t HeteroGraph::TypeOf(int64_t global_id) const {
+  CheckFinalized();
+  AUTOAC_DCHECK(global_id >= 0 && global_id < num_nodes_);
+  // Few node types (<= 4 in the paper's datasets): linear scan is fastest.
+  for (int64_t t = num_node_types() - 1; t >= 0; --t) {
+    if (global_id >= node_types_[t].offset) return t;
+  }
+  return 0;
+}
+
+int64_t HeteroGraph::LocalId(int64_t global_id) const {
+  return global_id - node_types_[TypeOf(global_id)].offset;
+}
+
+int64_t HeteroGraph::LabelOf(int64_t global_id) const {
+  CheckFinalized();
+  return global_labels_[global_id];
+}
+
+std::vector<int64_t> HeteroGraph::TargetGlobalIds() const {
+  CheckFinalized();
+  AUTOAC_CHECK_GE(target_node_type_, 0);
+  const NodeTypeInfo& info = node_types_[target_node_type_];
+  std::vector<int64_t> ids(info.count);
+  for (int64_t i = 0; i < info.count; ++i) ids[i] = info.offset + i;
+  return ids;
+}
+
+SpMatPtr HeteroGraph::FullAdjacency(AdjNorm norm, bool add_self_loops) const {
+  CheckFinalized();
+  std::vector<int64_t> rows, cols;
+  int64_t reserve = 2 * num_edges() + (add_self_loops ? num_nodes_ : 0);
+  rows.reserve(reserve);
+  cols.reserve(reserve);
+  for (size_t e = 0; e < edge_src_.size(); ++e) {
+    rows.push_back(edge_dst_[e]);
+    cols.push_back(edge_src_[e]);
+    rows.push_back(edge_src_[e]);
+    cols.push_back(edge_dst_[e]);
+  }
+  if (add_self_loops) {
+    for (int64_t i = 0; i < num_nodes_; ++i) {
+      rows.push_back(i);
+      cols.push_back(i);
+    }
+  }
+  Csr csr = Csr::FromCoo(num_nodes_, num_nodes_, rows, cols);
+  std::vector<int64_t> deg = RowDegrees(csr);
+  NormalizeValues(csr, norm, deg, deg);
+  return MakeSparse(std::move(csr));
+}
+
+TypedAdjacency HeteroGraph::FullTypedAdjacency(bool add_self_loops) const {
+  CheckFinalized();
+  int64_t r = num_edge_types();
+  std::vector<int64_t> rows, cols, dir_types;
+  int64_t reserve = 2 * num_edges() + (add_self_loops ? num_nodes_ : 0);
+  rows.reserve(reserve);
+  cols.reserve(reserve);
+  dir_types.reserve(reserve);
+  for (size_t e = 0; e < edge_src_.size(); ++e) {
+    rows.push_back(edge_dst_[e]);
+    cols.push_back(edge_src_[e]);
+    dir_types.push_back(edge_type_of_[e]);
+    rows.push_back(edge_src_[e]);
+    cols.push_back(edge_dst_[e]);
+    dir_types.push_back(edge_type_of_[e] + r);
+  }
+  if (add_self_loops) {
+    for (int64_t i = 0; i < num_nodes_; ++i) {
+      rows.push_back(i);
+      cols.push_back(i);
+      dir_types.push_back(2 * r);
+    }
+  }
+  // Route the directed type through the edge_id channel so it survives the
+  // CSR bucketing permutation.
+  Csr csr = Csr::FromCoo(num_nodes_, num_nodes_, rows, cols, {}, dir_types);
+  TypedAdjacency typed;
+  typed.edge_types = csr.edge_id;
+  csr.edge_id.clear();
+  typed.num_edge_types = 2 * r + (add_self_loops ? 1 : 0);
+  typed.adj = MakeSparse(std::move(csr));
+  return typed;
+}
+
+SpMatPtr HeteroGraph::RelationAdjacency(int64_t directed_relation,
+                                        AdjNorm norm) const {
+  CheckFinalized();
+  int64_t r = num_edge_types();
+  AUTOAC_CHECK(directed_relation >= 0 && directed_relation < 2 * r);
+  bool reverse = directed_relation >= r;
+  int64_t base = reverse ? directed_relation - r : directed_relation;
+  std::vector<int64_t> rows, cols;
+  for (size_t e = 0; e < edge_src_.size(); ++e) {
+    if (edge_type_of_[e] != base) continue;
+    if (reverse) {
+      // Reverse direction: aggregate dst -> src.
+      rows.push_back(edge_src_[e]);
+      cols.push_back(edge_dst_[e]);
+    } else {
+      rows.push_back(edge_dst_[e]);
+      cols.push_back(edge_src_[e]);
+    }
+  }
+  Csr csr = Csr::FromCoo(num_nodes_, num_nodes_, rows, cols);
+  std::vector<int64_t> dst_deg = RowDegrees(csr);
+  std::vector<int64_t> src_deg = ColDegrees(csr);
+  NormalizeValues(csr, norm, dst_deg, src_deg);
+  return MakeSparse(std::move(csr));
+}
+
+SpMatPtr HeteroGraph::AttributedNeighborAdjacency(AdjNorm norm) const {
+  CheckFinalized();
+  std::vector<bool> attributed(num_nodes_, false);
+  for (const NodeTypeInfo& info : node_types_) {
+    if (info.attributes.numel() == 0) continue;
+    for (int64_t i = 0; i < info.count; ++i) attributed[info.offset + i] = true;
+  }
+  std::vector<int64_t> rows, cols;
+  for (size_t e = 0; e < edge_src_.size(); ++e) {
+    if (attributed[edge_src_[e]]) {
+      rows.push_back(edge_dst_[e]);
+      cols.push_back(edge_src_[e]);
+    }
+    if (attributed[edge_dst_[e]]) {
+      rows.push_back(edge_src_[e]);
+      cols.push_back(edge_dst_[e]);
+    }
+  }
+  Csr csr = Csr::FromCoo(num_nodes_, num_nodes_, rows, cols);
+  // For the GCN-style completion (Eq. 3), degrees are the full-graph
+  // degrees of the endpoints, matching (deg(v) deg(u))^{-1/2}.
+  if (norm == AdjNorm::kSym) {
+    NormalizeValues(csr, norm, degrees_, degrees_);
+  } else {
+    std::vector<int64_t> dst_deg = RowDegrees(csr);
+    NormalizeValues(csr, norm, dst_deg, dst_deg);
+  }
+  return MakeSparse(std::move(csr));
+}
+
+}  // namespace autoac

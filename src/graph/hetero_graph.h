@@ -1,0 +1,171 @@
+#ifndef AUTOAC_GRAPH_HETERO_GRAPH_H_
+#define AUTOAC_GRAPH_HETERO_GRAPH_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/csr.h"
+#include "tensor/tensor.h"
+
+namespace autoac {
+
+/// Normalization applied to adjacency values when building a sparse matrix.
+enum class AdjNorm {
+  kNone,  // all ones
+  kSym,   // 1 / sqrt(deg(dst) * deg(src))   (GCN renormalization)
+  kRow,   // 1 / deg(dst)                    (mean aggregation)
+};
+
+/// A sparse adjacency together with the per-stored-edge directed type ids
+/// that attention models (SimpleHGN, HGT) embed. `edge_types[k]` corresponds
+/// to the k-th stored nonzero of `adj->forward()`; type ids cover forward
+/// relations [0, R), reverse relations [R, 2R), and the self-loop type 2R.
+struct TypedAdjacency {
+  SpMatPtr adj;
+  std::vector<int64_t> edge_types;
+  int64_t num_edge_types = 0;
+};
+
+/// Heterogeneous graph: multiple node types (each a contiguous block of the
+/// global id space), undirected typed edges, optional per-type raw attribute
+/// matrices, and task annotations (target node type, labels, target edge
+/// type). Build with AddNodeType / AddEdgeType / AddEdge, then Finalize().
+///
+/// Message passing treats every undirected edge as two directed edges; the
+/// reverse direction carries a distinct relation id so type-aware models can
+/// distinguish e.g. paper->author from author->paper.
+class HeteroGraph {
+ public:
+  struct NodeTypeInfo {
+    std::string name;
+    int64_t count = 0;
+    int64_t offset = 0;   // first global id of this type
+    Tensor attributes;    // [count, raw_dim]; empty when the type has none
+  };
+
+  struct EdgeTypeInfo {
+    std::string name;
+    int64_t src_type = 0;
+    int64_t dst_type = 0;
+  };
+
+  HeteroGraph() = default;
+
+  // --- construction ---
+
+  /// Registers a node type; returns its type id. Must precede Finalize().
+  int64_t AddNodeType(const std::string& name, int64_t count);
+
+  /// Attaches raw attributes ([count, raw_dim]) to a node type.
+  void SetAttributes(int64_t node_type, Tensor attributes);
+
+  /// Registers an edge type between two node types; returns its type id.
+  int64_t AddEdgeType(const std::string& name, int64_t src_type,
+                      int64_t dst_type);
+
+  /// Adds one undirected edge using type-local node indices.
+  void AddEdge(int64_t edge_type, int64_t src_local, int64_t dst_local);
+
+  /// Marks the node type the classification task predicts labels for.
+  void SetTargetNodeType(int64_t node_type);
+
+  /// Marks the edge type the link-prediction task scores.
+  void SetTargetEdgeType(int64_t edge_type);
+
+  /// Sets per-node labels for the target type (type-local order) and the
+  /// number of classes.
+  void SetLabels(std::vector<int64_t> labels, int64_t num_classes);
+
+  /// Freezes the structure and computes offsets/degrees. Must be called
+  /// before any adjacency accessor.
+  void Finalize();
+
+  // --- basic queries ---
+
+  int64_t num_nodes() const { return num_nodes_; }
+  int64_t num_edges() const { return static_cast<int64_t>(edge_src_.size()); }
+  int64_t num_node_types() const {
+    return static_cast<int64_t>(node_types_.size());
+  }
+  int64_t num_edge_types() const {
+    return static_cast<int64_t>(edge_types_.size());
+  }
+  const NodeTypeInfo& node_type(int64_t i) const { return node_types_[i]; }
+  const EdgeTypeInfo& edge_type(int64_t i) const { return edge_types_[i]; }
+
+  int64_t GlobalId(int64_t node_type, int64_t local) const;
+  int64_t TypeOf(int64_t global_id) const;
+  int64_t LocalId(int64_t global_id) const;
+
+  int64_t target_node_type() const { return target_node_type_; }
+  int64_t target_edge_type() const { return target_edge_type_; }
+  int64_t num_classes() const { return num_classes_; }
+
+  /// Label of a target-type node addressed by *global* id; nodes of other
+  /// types return -1.
+  int64_t LabelOf(int64_t global_id) const;
+
+  /// Labels indexed by global id (-1 for non-target nodes). Sized
+  /// num_nodes(); convenient for loss construction.
+  const std::vector<int64_t>& global_labels() const { return global_labels_; }
+
+  /// Global ids of all target-type nodes, in local order.
+  std::vector<int64_t> TargetGlobalIds() const;
+
+  /// Undirected edge arrays in global ids (one entry per undirected edge).
+  const std::vector<int64_t>& edge_src() const { return edge_src_; }
+  const std::vector<int64_t>& edge_dst() const { return edge_dst_; }
+  const std::vector<int64_t>& edge_type_ids() const { return edge_type_of_; }
+
+  /// Degree of every node in the symmetrized graph (no self-loops).
+  const std::vector<int64_t>& degrees() const { return degrees_; }
+
+  // --- adjacency builders (cached by argument) ---
+
+  /// Full symmetrized adjacency over all nodes. Both directions of every
+  /// undirected edge are present; `add_self_loops` appends the diagonal.
+  SpMatPtr FullAdjacency(AdjNorm norm, bool add_self_loops) const;
+
+  /// Full symmetrized adjacency plus the per-stored-edge directed relation
+  /// ids (forward r, reverse r + R, self-loop 2R).
+  TypedAdjacency FullTypedAdjacency(bool add_self_loops) const;
+
+  /// Single-direction relation adjacency over global ids: for directed
+  /// relation id r in [0, 2R) (reverse directions occupy [R, 2R)), entries
+  /// (dst <- src) of that relation only.
+  SpMatPtr RelationAdjacency(int64_t directed_relation, AdjNorm norm) const;
+
+  /// Adjacency restricted to attributed sources: row = global id of any
+  /// node, columns = global ids, entries only for edges whose source node
+  /// belongs to a type with attributes. This is the N_v^+ neighbourhood used
+  /// by the MEAN/GCN completion operations (Eq. 2-3).
+  SpMatPtr AttributedNeighborAdjacency(AdjNorm norm) const;
+
+  /// Total number of directed relations (2R) not counting the self type.
+  int64_t num_directed_relations() const { return 2 * num_edge_types(); }
+
+ private:
+  void CheckFinalized() const { AUTOAC_CHECK(finalized_) << "call Finalize()"; }
+
+  std::vector<NodeTypeInfo> node_types_;
+  std::vector<EdgeTypeInfo> edge_types_;
+  std::vector<int64_t> edge_src_;      // global ids
+  std::vector<int64_t> edge_dst_;      // global ids
+  std::vector<int64_t> edge_type_of_;  // undirected edge type per edge
+  std::vector<int64_t> labels_;        // target-type local order
+  std::vector<int64_t> global_labels_;
+  std::vector<int64_t> degrees_;
+  int64_t num_nodes_ = 0;
+  int64_t num_classes_ = 0;
+  int64_t target_node_type_ = -1;
+  int64_t target_edge_type_ = -1;
+  bool finalized_ = false;
+};
+
+using HeteroGraphPtr = std::shared_ptr<HeteroGraph>;
+
+}  // namespace autoac
+
+#endif  // AUTOAC_GRAPH_HETERO_GRAPH_H_

@@ -1,0 +1,115 @@
+#include "graph/metapath.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/check.h"
+
+namespace autoac {
+namespace {
+
+// Sparse-sparse product C = A @ B with per-row nnz cap. Rows accumulate into
+// a hash map; when a row exceeds the cap, the strongest entries are kept.
+Csr SpGemmCapped(const Csr& a, const Csr& b, int64_t max_row_nnz) {
+  AUTOAC_CHECK_EQ(a.num_cols, b.num_rows);
+  Csr c;
+  c.num_rows = a.num_rows;
+  c.num_cols = b.num_cols;
+  c.indptr.assign(a.num_rows + 1, 0);
+
+  std::vector<std::pair<int64_t, float>> row_entries;
+  std::unordered_map<int64_t, float> accumulator;
+  std::vector<int64_t> all_cols;
+  std::vector<float> all_vals;
+  std::vector<int64_t> all_rows;
+  for (int64_t i = 0; i < a.num_rows; ++i) {
+    accumulator.clear();
+    for (int64_t ka = a.indptr[i]; ka < a.indptr[i + 1]; ++ka) {
+      int64_t mid = a.indices[ka];
+      float wa = a.values[ka];
+      for (int64_t kb = b.indptr[mid]; kb < b.indptr[mid + 1]; ++kb) {
+        accumulator[b.indices[kb]] += wa * b.values[kb];
+      }
+    }
+    row_entries.assign(accumulator.begin(), accumulator.end());
+    if (static_cast<int64_t>(row_entries.size()) > max_row_nnz) {
+      std::nth_element(row_entries.begin(),
+                       row_entries.begin() + max_row_nnz, row_entries.end(),
+                       [](const auto& x, const auto& y) {
+                         return x.second > y.second;
+                       });
+      row_entries.resize(max_row_nnz);
+    }
+    std::sort(row_entries.begin(), row_entries.end());
+    for (const auto& [col, val] : row_entries) {
+      all_rows.push_back(i);
+      all_cols.push_back(col);
+      all_vals.push_back(val);
+    }
+  }
+  return Csr::FromCoo(a.num_rows, b.num_cols, all_rows, all_cols, all_vals);
+}
+
+void RowNormalize(Csr& csr) {
+  for (int64_t i = 0; i < csr.num_rows; ++i) {
+    double sum = 0.0;
+    for (int64_t k = csr.indptr[i]; k < csr.indptr[i + 1]; ++k) {
+      sum += csr.values[k];
+    }
+    if (sum <= 0.0) continue;
+    float inv = static_cast<float>(1.0 / sum);
+    for (int64_t k = csr.indptr[i]; k < csr.indptr[i + 1]; ++k) {
+      csr.values[k] *= inv;
+    }
+  }
+}
+
+}  // namespace
+
+SpMatPtr ComposeMetapath(const HeteroGraph& graph, const Metapath& path,
+                         int64_t max_row_nnz) {
+  AUTOAC_CHECK(!path.relations.empty());
+  // Compose right-to-left so the result maps source features to the path's
+  // start type: A_meta = A_{r1} ... A_{rk}.
+  SpMatPtr first = graph.RelationAdjacency(path.relations[0], AdjNorm::kNone);
+  Csr result = first->forward();
+  for (size_t i = 1; i < path.relations.size(); ++i) {
+    SpMatPtr next =
+        graph.RelationAdjacency(path.relations[i], AdjNorm::kNone);
+    result = SpGemmCapped(result, next->forward(), max_row_nnz);
+  }
+  RowNormalize(result);
+  return MakeSparse(std::move(result));
+}
+
+std::vector<Metapath> DefaultMetapaths(const HeteroGraph& graph) {
+  std::vector<Metapath> paths;
+  int64_t target = graph.target_node_type();
+  AUTOAC_CHECK_GE(target, 0);
+  int64_t r = graph.num_edge_types();
+  for (int64_t e = 0; e < r; ++e) {
+    const HeteroGraph::EdgeTypeInfo& info = graph.edge_type(e);
+    // Relations touching the target type yield a T-X-T loop: go out along
+    // one direction and come back along the other.
+    if (info.src_type == target && info.dst_type != target) {
+      // target --e--> X (forward aggregates src->dst i.e. rows=dst).
+      // T <- X uses reverse (e + r), X <- T uses forward (e).
+      Metapath p;
+      p.name = graph.node_type(target).name + "-" +
+               graph.node_type(info.dst_type).name + "-" +
+               graph.node_type(target).name;
+      p.relations = {e + r, e};
+      paths.push_back(std::move(p));
+    } else if (info.dst_type == target && info.src_type != target) {
+      Metapath p;
+      p.name = graph.node_type(target).name + "-" +
+               graph.node_type(info.src_type).name + "-" +
+               graph.node_type(target).name;
+      p.relations = {e, e + r};
+      paths.push_back(std::move(p));
+    }
+  }
+  return paths;
+}
+
+}  // namespace autoac

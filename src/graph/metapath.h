@@ -1,0 +1,35 @@
+#ifndef AUTOAC_GRAPH_METAPATH_H_
+#define AUTOAC_GRAPH_METAPATH_H_
+
+#include <vector>
+
+#include "graph/hetero_graph.h"
+
+namespace autoac {
+
+/// A metapath is a sequence of directed relation ids (values in
+/// [0, 2R) — see HeteroGraph::RelationAdjacency) whose composition connects
+/// target-type nodes through intermediate types, e.g. Author-Paper-Author on
+/// DBLP is {paper->author, author->paper} composed.
+struct Metapath {
+  std::string name;
+  std::vector<int64_t> relations;
+};
+
+/// Composes the relation adjacencies of `path` into a single sparse matrix
+/// A_meta = A_{r1} @ A_{r2} @ ... @ A_{rk} over global node ids, then
+/// row-normalizes it. To bound density, each intermediate row keeps at most
+/// `max_row_nnz` strongest entries. The result aggregates metapath-neighbour
+/// features the way HAN/MAGNN's metapath-based neighbourhoods do.
+SpMatPtr ComposeMetapath(const HeteroGraph& graph, const Metapath& path,
+                         int64_t max_row_nnz = 64);
+
+/// Default metapaths for a graph: for every non-target node type X adjacent
+/// to the target type T via relations, emits the symmetric 2-hop path
+/// T <- X <- T. This mirrors the APA/APTPA-style metapaths HGB configures,
+/// without dataset-specific hand tuning.
+std::vector<Metapath> DefaultMetapaths(const HeteroGraph& graph);
+
+}  // namespace autoac
+
+#endif  // AUTOAC_GRAPH_METAPATH_H_

@@ -1,0 +1,48 @@
+#include "graph/random_walk.h"
+
+namespace autoac {
+
+std::vector<std::vector<int64_t>> UniformRandomWalks(const HeteroGraph& graph,
+                                                     int64_t walk_length,
+                                                     int64_t walks_per_node,
+                                                     Rng& rng) {
+  SpMatPtr adj = graph.FullAdjacency(AdjNorm::kNone, /*add_self_loops=*/false);
+  const Csr& csr = adj->forward();
+  std::vector<std::vector<int64_t>> walks;
+  walks.reserve(graph.num_nodes() * walks_per_node);
+  for (int64_t start = 0; start < graph.num_nodes(); ++start) {
+    for (int64_t w = 0; w < walks_per_node; ++w) {
+      std::vector<int64_t> walk;
+      walk.reserve(walk_length);
+      int64_t current = start;
+      walk.push_back(current);
+      for (int64_t step = 1; step < walk_length; ++step) {
+        int64_t degree = csr.RowDegree(current);
+        if (degree == 0) break;
+        int64_t pick = rng.UniformInt(0, degree - 1);
+        current = csr.indices[csr.indptr[current] + pick];
+        walk.push_back(current);
+      }
+      walks.push_back(std::move(walk));
+    }
+  }
+  return walks;
+}
+
+std::vector<std::pair<int64_t, int64_t>> SkipGramPairs(
+    const std::vector<std::vector<int64_t>>& walks, int64_t window) {
+  std::vector<std::pair<int64_t, int64_t>> pairs;
+  for (const auto& walk : walks) {
+    int64_t n = static_cast<int64_t>(walk.size());
+    for (int64_t i = 0; i < n; ++i) {
+      int64_t lo = std::max<int64_t>(0, i - window);
+      int64_t hi = std::min(n - 1, i + window);
+      for (int64_t j = lo; j <= hi; ++j) {
+        if (j != i) pairs.emplace_back(walk[i], walk[j]);
+      }
+    }
+  }
+  return pairs;
+}
+
+}  // namespace autoac

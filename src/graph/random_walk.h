@@ -1,0 +1,29 @@
+#ifndef AUTOAC_GRAPH_RANDOM_WALK_H_
+#define AUTOAC_GRAPH_RANDOM_WALK_H_
+
+#include <vector>
+
+#include "graph/hetero_graph.h"
+#include "util/rng.h"
+
+namespace autoac {
+
+/// Uniform random walks on the symmetrized heterogeneous graph. Returns
+/// `walks_per_node` sequences of length `walk_length` from every node (walks
+/// stop early at isolated nodes). This is the substrate of the
+/// metapath2vec-style topological-embedding pre-learning that HGNN-AC
+/// requires (the stage Table IV bills as the dominant cost) and of the
+/// HetGNN-style neighbour sampling.
+std::vector<std::vector<int64_t>> UniformRandomWalks(const HeteroGraph& graph,
+                                                     int64_t walk_length,
+                                                     int64_t walks_per_node,
+                                                     Rng& rng);
+
+/// Skip-gram positive pairs from walks: all (center, context) pairs within
+/// `window` of each other. Pair order is (center, context).
+std::vector<std::pair<int64_t, int64_t>> SkipGramPairs(
+    const std::vector<std::vector<int64_t>>& walks, int64_t window);
+
+}  // namespace autoac
+
+#endif  // AUTOAC_GRAPH_RANDOM_WALK_H_

@@ -1,0 +1,228 @@
+#include "graph/sparse_ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/op_helpers.h"
+
+namespace autoac {
+
+using internal::MakeOp;
+using internal::NeedsGrad;
+
+VarPtr SpMM(const SpMatPtr& a, const VarPtr& x) {
+  AUTOAC_CHECK(a != nullptr);
+  AUTOAC_CHECK_EQ(x->value.dim(), 2);
+  AUTOAC_CHECK_EQ(a->num_cols(), x->value.rows());
+  const Csr& csr = a->forward();
+  int64_t m = csr.num_rows;
+  int64_t d = x->value.cols();
+  Tensor out(m, d);
+  const float* px = x->value.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < m; ++i) {
+    float* orow = po + i * d;
+    for (int64_t k = csr.indptr[i]; k < csr.indptr[i + 1]; ++k) {
+      float w = csr.values[k];
+      const float* xrow = px + csr.indices[k] * d;
+      for (int64_t j = 0; j < d; ++j) orow[j] += w * xrow[j];
+    }
+  }
+  return MakeOp("SpMM", std::move(out), {x}, [a, d](Variable& self) {
+    if (!NeedsGrad(self.parents[0])) return;
+    // dX = A^T dY, computed with the cached transpose.
+    const Csr& csr_t = a->backward();
+    float* gx = self.parents[0]->EnsureGrad().data();
+    const float* g = self.grad.data();
+    for (int64_t i = 0; i < csr_t.num_rows; ++i) {
+      float* gxrow = gx + i * d;
+      for (int64_t k = csr_t.indptr[i]; k < csr_t.indptr[i + 1]; ++k) {
+        float w = csr_t.values[k];
+        const float* grow = g + csr_t.indices[k] * d;
+        for (int64_t j = 0; j < d; ++j) gxrow[j] += w * grow[j];
+      }
+    }
+  });
+}
+
+VarPtr EdgeSoftmaxAggregate(const SpMatPtr& a, const VarPtr& logits,
+                            const VarPtr& h) {
+  AUTOAC_CHECK(a != nullptr);
+  const Csr& csr = a->forward();
+  AUTOAC_CHECK_EQ(logits->value.dim(), 1);
+  AUTOAC_CHECK_EQ(logits->value.numel(), csr.nnz());
+  AUTOAC_CHECK_EQ(h->value.dim(), 2);
+  AUTOAC_CHECK_EQ(h->value.rows(), csr.num_cols);
+
+  int64_t m = csr.num_rows;
+  int64_t d = h->value.cols();
+  Tensor out(m, d);
+  // Per-edge attention weights after the row-wise softmax; cached for the
+  // backward pass.
+  std::vector<float> attention(csr.nnz());
+  const float* pl = logits->value.data();
+  const float* ph = h->value.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < m; ++i) {
+    int64_t begin = csr.indptr[i];
+    int64_t end = csr.indptr[i + 1];
+    if (begin == end) continue;
+    float max_logit = pl[begin];
+    for (int64_t k = begin + 1; k < end; ++k) {
+      max_logit = std::max(max_logit, pl[k]);
+    }
+    float sum = 0.0f;
+    for (int64_t k = begin; k < end; ++k) {
+      attention[k] = std::exp(pl[k] - max_logit);
+      sum += attention[k];
+    }
+    float inv = 1.0f / sum;
+    float* orow = po + i * d;
+    for (int64_t k = begin; k < end; ++k) {
+      attention[k] *= inv;
+      const float* hrow = ph + csr.indices[k] * d;
+      float w = attention[k];
+      for (int64_t j = 0; j < d; ++j) orow[j] += w * hrow[j];
+    }
+  }
+  return MakeOp(
+      "EdgeSoftmaxAggregate", std::move(out), {logits, h},
+      [a, d, attention = std::move(attention)](Variable& self) {
+        const VarPtr& logits = self.parents[0];
+        const VarPtr& h = self.parents[1];
+        const Csr& csr = a->forward();
+        const float* g = self.grad.data();
+        const float* ph = h->value.data();
+        bool need_logits = NeedsGrad(logits);
+        bool need_h = NeedsGrad(h);
+        float* gl = need_logits ? logits->EnsureGrad().data() : nullptr;
+        float* gh = need_h ? h->EnsureGrad().data() : nullptr;
+        std::vector<float> da;  // d loss / d attention weight per edge.
+        if (need_logits) da.resize(csr.nnz());
+        for (int64_t i = 0; i < csr.num_rows; ++i) {
+          int64_t begin = csr.indptr[i];
+          int64_t end = csr.indptr[i + 1];
+          if (begin == end) continue;
+          const float* grow = g + i * d;
+          for (int64_t k = begin; k < end; ++k) {
+            const float* hrow = ph + csr.indices[k] * d;
+            if (need_h) {
+              float w = attention[k];
+              float* ghrow = gh + csr.indices[k] * d;
+              for (int64_t j = 0; j < d; ++j) ghrow[j] += w * grow[j];
+            }
+            if (need_logits) {
+              float acc = 0.0f;
+              for (int64_t j = 0; j < d; ++j) acc += grow[j] * hrow[j];
+              da[k] = acc;
+            }
+          }
+          if (need_logits) {
+            // Softmax Jacobian: de_k = a_k (da_k - sum_k' a_k' da_k').
+            float dot = 0.0f;
+            for (int64_t k = begin; k < end; ++k) {
+              dot += attention[k] * da[k];
+            }
+            for (int64_t k = begin; k < end; ++k) {
+              gl[k] += attention[k] * (da[k] - dot);
+            }
+          }
+        }
+      });
+}
+
+VarPtr GatherEdgeSrc(const SpMatPtr& a, const VarPtr& x) {
+  const Csr& csr = a->forward();
+  AUTOAC_CHECK_EQ(x->value.dim(), 1);
+  AUTOAC_CHECK_EQ(x->value.numel(), csr.num_cols);
+  Tensor out({csr.nnz()});
+  const float* px = x->value.data();
+  for (int64_t k = 0; k < csr.nnz(); ++k) out.at(k) = px[csr.indices[k]];
+  return MakeOp("GatherEdgeSrc", std::move(out), {x}, [a](Variable& self) {
+    if (!NeedsGrad(self.parents[0])) return;
+    const Csr& csr = a->forward();
+    float* gx = self.parents[0]->EnsureGrad().data();
+    const float* g = self.grad.data();
+    for (int64_t k = 0; k < csr.nnz(); ++k) gx[csr.indices[k]] += g[k];
+  });
+}
+
+VarPtr GatherEdgeDst(const SpMatPtr& a, const VarPtr& x) {
+  const Csr& csr = a->forward();
+  AUTOAC_CHECK_EQ(x->value.dim(), 1);
+  AUTOAC_CHECK_EQ(x->value.numel(), csr.num_rows);
+  Tensor out({csr.nnz()});
+  const float* px = x->value.data();
+  for (int64_t i = 0; i < csr.num_rows; ++i) {
+    for (int64_t k = csr.indptr[i]; k < csr.indptr[i + 1]; ++k) {
+      out.at(k) = px[i];
+    }
+  }
+  return MakeOp("GatherEdgeDst", std::move(out), {x}, [a](Variable& self) {
+    if (!NeedsGrad(self.parents[0])) return;
+    const Csr& csr = a->forward();
+    float* gx = self.parents[0]->EnsureGrad().data();
+    const float* g = self.grad.data();
+    for (int64_t i = 0; i < csr.num_rows; ++i) {
+      for (int64_t k = csr.indptr[i]; k < csr.indptr[i + 1]; ++k) {
+        gx[i] += g[k];
+      }
+    }
+  });
+}
+
+VarPtr Gather1d(const VarPtr& x, std::vector<int64_t> ids) {
+  AUTOAC_CHECK_EQ(x->value.dim(), 1);
+  int64_t n = x->value.numel();
+  Tensor out({static_cast<int64_t>(ids.size())});
+  for (size_t i = 0; i < ids.size(); ++i) {
+    AUTOAC_DCHECK(ids[i] >= 0 && ids[i] < n);
+    out.at(static_cast<int64_t>(i)) = x->value.at(ids[i]);
+  }
+  return MakeOp("Gather1d", std::move(out), {x},
+                [ids = std::move(ids)](Variable& self) {
+                  if (!NeedsGrad(self.parents[0])) return;
+                  float* gx = self.parents[0]->EnsureGrad().data();
+                  const float* g = self.grad.data();
+                  for (size_t i = 0; i < ids.size(); ++i) gx[ids[i]] += g[i];
+                });
+}
+
+VarPtr PairDot(const VarPtr& h, std::vector<int64_t> us,
+               std::vector<int64_t> vs) {
+  AUTOAC_CHECK_EQ(h->value.dim(), 2);
+  AUTOAC_CHECK_EQ(us.size(), vs.size());
+  int64_t n = h->value.rows();
+  int64_t d = h->value.cols();
+  int64_t m = static_cast<int64_t>(us.size());
+  Tensor out({m});
+  const float* ph = h->value.data();
+  for (int64_t i = 0; i < m; ++i) {
+    AUTOAC_DCHECK(us[i] >= 0 && us[i] < n);
+    AUTOAC_DCHECK(vs[i] >= 0 && vs[i] < n);
+    const float* hu = ph + us[i] * d;
+    const float* hv = ph + vs[i] * d;
+    float acc = 0.0f;
+    for (int64_t j = 0; j < d; ++j) acc += hu[j] * hv[j];
+    out.at(i) = acc;
+  }
+  return MakeOp("PairDot", std::move(out), {h},
+                [us = std::move(us), vs = std::move(vs), d](Variable& self) {
+                  if (!NeedsGrad(self.parents[0])) return;
+                  const float* ph = self.parents[0]->value.data();
+                  float* gh = self.parents[0]->EnsureGrad().data();
+                  const float* g = self.grad.data();
+                  for (size_t i = 0; i < us.size(); ++i) {
+                    const float* hu = ph + us[i] * d;
+                    const float* hv = ph + vs[i] * d;
+                    float* gu = gh + us[i] * d;
+                    float* gv = gh + vs[i] * d;
+                    for (int64_t j = 0; j < d; ++j) {
+                      gu[j] += g[i] * hv[j];
+                      gv[j] += g[i] * hu[j];
+                    }
+                  }
+                });
+}
+
+}  // namespace autoac

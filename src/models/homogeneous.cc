@@ -1,0 +1,82 @@
+#include "models/homogeneous.h"
+
+namespace autoac {
+
+GcnModel::GcnModel(const ModelConfig& config, Rng& rng)
+    : dropout_(config.dropout), out_dim_(config.out_dim) {
+  int64_t in = config.in_dim;
+  for (int64_t l = 0; l < config.num_layers; ++l) {
+    int64_t out =
+        l + 1 == config.num_layers ? config.out_dim : config.hidden_dim;
+    layers_.emplace_back(in, out, rng);
+    in = out;
+  }
+}
+
+VarPtr GcnModel::Forward(const ModelContext& ctx, const VarPtr& h0,
+                         bool training, Rng& rng) {
+  VarPtr h = h0;
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    h = Dropout(h, dropout_, training, rng);
+    h = layers_[l].Apply(SpMM(ctx.sym_adj, h));
+    if (l + 1 < layers_.size()) h = Relu(h);
+  }
+  return h;
+}
+
+std::vector<VarPtr> GcnModel::Parameters() const {
+  std::vector<VarPtr> params;
+  for (const Linear& layer : layers_) {
+    for (const VarPtr& p : layer.Parameters()) params.push_back(p);
+  }
+  return params;
+}
+
+GatModel::GatModel(const ModelConfig& config, Rng& rng)
+    : dropout_(config.dropout), out_dim_(config.out_dim) {
+  int64_t in = config.in_dim;
+  for (int64_t l = 0; l < config.num_layers; ++l) {
+    bool last = l + 1 == config.num_layers;
+    int64_t head_out = last ? config.out_dim
+                            : config.hidden_dim / config.num_heads;
+    std::vector<GraphAttentionHead> heads;
+    for (int64_t h = 0; h < config.num_heads; ++h) {
+      heads.emplace_back(in, head_out, config.negative_slope, rng);
+    }
+    layer_heads_.push_back(std::move(heads));
+    in = last ? config.out_dim : head_out * config.num_heads;
+  }
+}
+
+VarPtr GatModel::Forward(const ModelContext& ctx, const VarPtr& h0,
+                         bool training, Rng& rng) {
+  VarPtr h = h0;
+  for (size_t l = 0; l < layer_heads_.size(); ++l) {
+    h = Dropout(h, dropout_, training, rng);
+    bool last = l + 1 == layer_heads_.size();
+    std::vector<VarPtr> head_outputs;
+    for (const GraphAttentionHead& head : layer_heads_[l]) {
+      head_outputs.push_back(head.Apply(ctx.sym_adj, h));
+    }
+    if (last) {
+      // Final layer averages heads (GAT's output convention).
+      h = Scale(AddN(head_outputs),
+                1.0f / static_cast<float>(head_outputs.size()));
+    } else {
+      h = Elu(ConcatCols(head_outputs));
+    }
+  }
+  return h;
+}
+
+std::vector<VarPtr> GatModel::Parameters() const {
+  std::vector<VarPtr> params;
+  for (const auto& heads : layer_heads_) {
+    for (const GraphAttentionHead& head : heads) {
+      for (const VarPtr& p : head.Parameters()) params.push_back(p);
+    }
+  }
+  return params;
+}
+
+}  // namespace autoac

@@ -1,0 +1,50 @@
+#ifndef AUTOAC_MODELS_HOMOGENEOUS_H_
+#define AUTOAC_MODELS_HOMOGENEOUS_H_
+
+#include "models/layers.h"
+#include "models/model.h"
+
+namespace autoac {
+
+/// Kipf & Welling GCN applied to the symmetrized heterogeneous graph: a
+/// standard strong general-purpose baseline in HGB's comparisons.
+class GcnModel : public Model {
+ public:
+  GcnModel(const ModelConfig& config, Rng& rng);
+
+  VarPtr Forward(const ModelContext& ctx, const VarPtr& h0, bool training,
+                 Rng& rng) override;
+  std::vector<VarPtr> Parameters() const override;
+  const std::string& name() const override { return name_; }
+  int64_t output_dim() const override { return out_dim_; }
+
+ private:
+  std::string name_ = "GCN";
+  std::vector<Linear> layers_;
+  float dropout_;
+  int64_t out_dim_;
+};
+
+/// Velickovic et al. GAT on the symmetrized graph; heads are independent
+/// attention layers whose outputs are concatenated (last layer averages).
+class GatModel : public Model {
+ public:
+  GatModel(const ModelConfig& config, Rng& rng);
+
+  VarPtr Forward(const ModelContext& ctx, const VarPtr& h0, bool training,
+                 Rng& rng) override;
+  std::vector<VarPtr> Parameters() const override;
+  const std::string& name() const override { return name_; }
+  int64_t output_dim() const override { return out_dim_; }
+
+ private:
+  std::string name_ = "GAT";
+  // layer_heads_[l] holds the heads of layer l.
+  std::vector<std::vector<GraphAttentionHead>> layer_heads_;
+  float dropout_;
+  int64_t out_dim_;
+};
+
+}  // namespace autoac
+
+#endif  // AUTOAC_MODELS_HOMOGENEOUS_H_

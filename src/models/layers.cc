@@ -1,0 +1,84 @@
+#include "models/layers.h"
+
+#include "tensor/init.h"
+
+namespace autoac {
+
+Linear::Linear(int64_t in_dim, int64_t out_dim, Rng& rng)
+    : weight_(MakeParam(XavierUniform(in_dim, out_dim, rng))),
+      bias_(MakeParam(Tensor::Zeros({out_dim}))) {}
+
+VarPtr Linear::Apply(const VarPtr& x) const {
+  return AddBias(MatMul(x, weight_), bias_);
+}
+
+std::vector<VarPtr> Linear::Parameters() const { return {weight_, bias_}; }
+
+GraphAttentionHead::GraphAttentionHead(int64_t in_dim, int64_t out_dim,
+                                       float negative_slope, Rng& rng)
+    : weight_(MakeParam(XavierUniform(in_dim, out_dim, rng))),
+      attn_src_(MakeParam(XavierUniform(out_dim, 1, rng))),
+      attn_dst_(MakeParam(XavierUniform(out_dim, 1, rng))),
+      negative_slope_(negative_slope) {}
+
+VarPtr GraphAttentionHead::Apply(const SpMatPtr& adj, const VarPtr& x,
+                                 const VarPtr& edge_type_logits) const {
+  VarPtr h = MatMul(x, weight_);
+  VarPtr el = SliceCol(MatMul(h, attn_src_), 0);  // [N]
+  VarPtr er = SliceCol(MatMul(h, attn_dst_), 0);  // [N]
+  VarPtr logits =
+      Add(GatherEdgeSrc(adj, el), GatherEdgeDst(adj, er));  // [nnz]
+  if (edge_type_logits != nullptr) {
+    logits = Add(logits, edge_type_logits);
+  }
+  logits = LeakyRelu(logits, negative_slope_);
+  return EdgeSoftmaxAggregate(adj, logits, h);
+}
+
+std::vector<VarPtr> GraphAttentionHead::Parameters() const {
+  return {weight_, attn_src_, attn_dst_};
+}
+
+SemanticAttention::SemanticAttention(int64_t dim, int64_t attn_dim, Rng& rng)
+    : transform_(dim, attn_dim, rng),
+      query_(MakeParam(XavierUniform(attn_dim, 1, rng))) {}
+
+VarPtr SemanticAttention::Apply(const std::vector<VarPtr>& embeddings,
+                                const std::vector<int64_t>& target_rows,
+                                std::vector<float>* out_weights) const {
+  AUTOAC_CHECK(!embeddings.empty());
+  if (embeddings.size() == 1) {
+    if (out_weights != nullptr) out_weights->assign(1, 1.0f);
+    return embeddings[0];
+  }
+  // Score each metapath embedding: mean over target nodes of q^T tanh(Wz+b).
+  std::vector<VarPtr> scores;
+  scores.reserve(embeddings.size());
+  for (const VarPtr& z : embeddings) {
+    VarPtr projected = Tanh(transform_.Apply(GatherRows(z, target_rows)));
+    VarPtr per_node = MatMul(projected, query_);  // [T, 1]
+    scores.push_back(Reshape(MeanAll(per_node), {1, 1}));
+  }
+  VarPtr stacked = Transpose(ConcatRows(scores));  // [1, P]
+  VarPtr beta = Reshape(RowSoftmax(stacked),
+                        {static_cast<int64_t>(embeddings.size())});  // [P]
+  if (out_weights != nullptr) {
+    out_weights->assign(beta->value.data(),
+                        beta->value.data() + beta->value.numel());
+  }
+  std::vector<VarPtr> weighted;
+  weighted.reserve(embeddings.size());
+  for (size_t p = 0; p < embeddings.size(); ++p) {
+    weighted.push_back(
+        ScaleByVar(embeddings[p], SliceElement(beta, static_cast<int64_t>(p))));
+  }
+  return AddN(weighted);
+}
+
+std::vector<VarPtr> SemanticAttention::Parameters() const {
+  std::vector<VarPtr> params = transform_.Parameters();
+  params.push_back(query_);
+  return params;
+}
+
+}  // namespace autoac

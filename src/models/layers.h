@@ -1,0 +1,78 @@
+#ifndef AUTOAC_MODELS_LAYERS_H_
+#define AUTOAC_MODELS_LAYERS_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/hetero_graph.h"
+#include "graph/sparse_ops.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace autoac {
+
+/// Dense affine layer y = x W + b.
+class Linear {
+ public:
+  Linear() = default;
+  Linear(int64_t in_dim, int64_t out_dim, Rng& rng);
+
+  VarPtr Apply(const VarPtr& x) const;
+  std::vector<VarPtr> Parameters() const;
+
+  const VarPtr& weight() const { return weight_; }
+
+ private:
+  VarPtr weight_;
+  VarPtr bias_;
+};
+
+/// Single-head graph attention layer (GAT-style): projects inputs, scores
+/// each stored edge with a_src^T h_src + a_dst^T h_dst (optionally plus a
+/// per-edge-type term), applies LeakyReLU and an edge softmax per
+/// destination, and aggregates. This is the shared engine of GAT, HetSANN
+/// and SimpleHGN.
+class GraphAttentionHead {
+ public:
+  GraphAttentionHead(int64_t in_dim, int64_t out_dim, float negative_slope,
+                     Rng& rng);
+
+  /// `edge_type_logits`, when non-null, is a rank-1 variable with one entry
+  /// per stored edge of `adj` (SimpleHGN's learnable edge-type term).
+  VarPtr Apply(const SpMatPtr& adj, const VarPtr& x,
+               const VarPtr& edge_type_logits = nullptr) const;
+
+  std::vector<VarPtr> Parameters() const;
+
+ private:
+  VarPtr weight_;    // [in, out]
+  VarPtr attn_src_;  // [out, 1]
+  VarPtr attn_dst_;  // [out, 1]
+  float negative_slope_;
+};
+
+/// Semantic-level attention (HAN / MAGNN): scores each per-metapath
+/// embedding with mean_v q^T tanh(W z_v + b) over the target nodes, softmaxes
+/// across metapaths, and returns the weighted sum of the embeddings.
+class SemanticAttention {
+ public:
+  SemanticAttention(int64_t dim, int64_t attn_dim, Rng& rng);
+
+  /// `target_rows` restricts the score average to target-type nodes.
+  /// Returns a pair-free combined embedding with the same shape as each
+  /// input. Also exposes the attention weights via `out_weights` (size =
+  /// embeddings.size()) when non-null.
+  VarPtr Apply(const std::vector<VarPtr>& embeddings,
+               const std::vector<int64_t>& target_rows,
+               std::vector<float>* out_weights = nullptr) const;
+
+  std::vector<VarPtr> Parameters() const;
+
+ private:
+  Linear transform_;
+  VarPtr query_;  // [attn_dim, 1]
+};
+
+}  // namespace autoac
+
+#endif  // AUTOAC_MODELS_LAYERS_H_

@@ -1,0 +1,78 @@
+#include "models/metapath_models.h"
+
+namespace autoac {
+
+HanModel::HanModel(const ModelConfig& config, const ModelContext& ctx,
+                   Rng& rng)
+    : semantic_(config.out_dim, config.hidden_dim, rng),
+      dropout_(config.dropout),
+      out_dim_(config.out_dim) {
+  AUTOAC_CHECK(!ctx.metapath_adjs.empty()) << "HAN requires metapaths";
+  for (size_t p = 0; p < ctx.metapath_adjs.size(); ++p) {
+    metapath_heads_.emplace_back(config.in_dim, config.out_dim,
+                                 config.negative_slope, rng);
+  }
+}
+
+VarPtr HanModel::Forward(const ModelContext& ctx, const VarPtr& h0,
+                         bool training, Rng& rng) {
+  VarPtr input = Dropout(h0, dropout_, training, rng);
+  std::vector<VarPtr> per_metapath;
+  for (size_t p = 0; p < ctx.metapath_adjs.size(); ++p) {
+    per_metapath.push_back(
+        Elu(metapath_heads_[p].Apply(ctx.metapath_adjs[p], input)));
+  }
+  return semantic_.Apply(per_metapath, ctx.target_ids);
+}
+
+std::vector<VarPtr> HanModel::Parameters() const {
+  std::vector<VarPtr> params;
+  for (const GraphAttentionHead& head : metapath_heads_) {
+    for (const VarPtr& p : head.Parameters()) params.push_back(p);
+  }
+  for (const VarPtr& p : semantic_.Parameters()) params.push_back(p);
+  return params;
+}
+
+MagnnModel::MagnnModel(const ModelConfig& config, const ModelContext& ctx,
+                       Rng& rng)
+    : input_proj_(config.in_dim, config.hidden_dim, rng),
+      semantic_(config.hidden_dim, config.hidden_dim, rng),
+      output_proj_(config.hidden_dim, config.out_dim, rng),
+      dropout_(config.dropout),
+      out_dim_(config.out_dim) {
+  AUTOAC_CHECK(!ctx.metapath_adjs.empty()) << "MAGNN requires metapaths";
+  for (size_t p = 0; p < ctx.metapath_adjs.size(); ++p) {
+    metapath_transforms_.emplace_back(config.hidden_dim, config.hidden_dim,
+                                      rng);
+  }
+}
+
+VarPtr MagnnModel::Forward(const ModelContext& ctx, const VarPtr& h0,
+                           bool training, Rng& rng) {
+  VarPtr h = Elu(input_proj_.Apply(Dropout(h0, dropout_, training, rng)));
+  std::vector<VarPtr> per_metapath;
+  for (size_t p = 0; p < ctx.metapath_adjs.size(); ++p) {
+    // Mean metapath-instance encoding: average of the neighbourhood
+    // aggregation along the composed metapath and the node's own features
+    // (the metapath instance always contains its endpoint).
+    VarPtr aggregated = SpMM(ctx.metapath_adjs[p], h);
+    VarPtr instance_mean = Scale(Add(aggregated, h), 0.5f);
+    per_metapath.push_back(
+        Elu(metapath_transforms_[p].Apply(instance_mean)));
+  }
+  VarPtr combined = semantic_.Apply(per_metapath, ctx.target_ids);
+  return output_proj_.Apply(combined);
+}
+
+std::vector<VarPtr> MagnnModel::Parameters() const {
+  std::vector<VarPtr> params = input_proj_.Parameters();
+  for (const Linear& t : metapath_transforms_) {
+    for (const VarPtr& p : t.Parameters()) params.push_back(p);
+  }
+  for (const VarPtr& p : semantic_.Parameters()) params.push_back(p);
+  for (const VarPtr& p : output_proj_.Parameters()) params.push_back(p);
+  return params;
+}
+
+}  // namespace autoac

@@ -1,0 +1,57 @@
+#ifndef AUTOAC_MODELS_METAPATH_MODELS_H_
+#define AUTOAC_MODELS_METAPATH_MODELS_H_
+
+#include "models/layers.h"
+#include "models/model.h"
+
+namespace autoac {
+
+/// HAN (Wang et al., WWW 2019): one attention layer per metapath-induced
+/// neighbourhood followed by semantic-level attention across metapaths.
+/// Only target-type rows of the output are meaningful (as in the original).
+class HanModel : public Model {
+ public:
+  HanModel(const ModelConfig& config, const ModelContext& ctx, Rng& rng);
+
+  VarPtr Forward(const ModelContext& ctx, const VarPtr& h0, bool training,
+                 Rng& rng) override;
+  std::vector<VarPtr> Parameters() const override;
+  const std::string& name() const override { return name_; }
+  int64_t output_dim() const override { return out_dim_; }
+
+ private:
+  std::string name_ = "HAN";
+  std::vector<GraphAttentionHead> metapath_heads_;  // one per metapath
+  SemanticAttention semantic_;
+  float dropout_;
+  int64_t out_dim_;
+};
+
+/// MAGNN (Fu et al., WWW 2020), simplified to its load-bearing parts: each
+/// metapath embedding is a mean encoding of metapath instances — here the
+/// average of the composed-metapath aggregation and the node's own projected
+/// features, standing in for RotatE instance encoding — followed by the same
+/// semantic attention as HAN. See DESIGN.md for the substitution note.
+class MagnnModel : public Model {
+ public:
+  MagnnModel(const ModelConfig& config, const ModelContext& ctx, Rng& rng);
+
+  VarPtr Forward(const ModelContext& ctx, const VarPtr& h0, bool training,
+                 Rng& rng) override;
+  std::vector<VarPtr> Parameters() const override;
+  const std::string& name() const override { return name_; }
+  int64_t output_dim() const override { return out_dim_; }
+
+ private:
+  std::string name_ = "MAGNN";
+  Linear input_proj_;
+  std::vector<Linear> metapath_transforms_;
+  SemanticAttention semantic_;
+  Linear output_proj_;
+  float dropout_;
+  int64_t out_dim_;
+};
+
+}  // namespace autoac
+
+#endif  // AUTOAC_MODELS_METAPATH_MODELS_H_

@@ -1,0 +1,64 @@
+#include "models/model.h"
+
+namespace autoac {
+namespace {
+
+// Row-normalized adjacency keeping only edges whose source node belongs to
+// `node_type`.
+SpMatPtr SourceTypeAdjacency(const HeteroGraph& graph, int64_t node_type) {
+  const HeteroGraph::NodeTypeInfo& info = graph.node_type(node_type);
+  std::vector<int64_t> rows, cols;
+  auto in_type = [&](int64_t g) {
+    return g >= info.offset && g < info.offset + info.count;
+  };
+  for (int64_t e = 0; e < graph.num_edges(); ++e) {
+    int64_t s = graph.edge_src()[e];
+    int64_t d = graph.edge_dst()[e];
+    if (in_type(s)) {
+      rows.push_back(d);
+      cols.push_back(s);
+    }
+    if (in_type(d)) {
+      rows.push_back(s);
+      cols.push_back(d);
+    }
+  }
+  Csr csr = Csr::FromCoo(graph.num_nodes(), graph.num_nodes(), rows, cols);
+  for (int64_t i = 0; i < csr.num_rows; ++i) {
+    int64_t deg = csr.RowDegree(i);
+    if (deg == 0) continue;
+    float inv = 1.0f / static_cast<float>(deg);
+    for (int64_t k = csr.indptr[i]; k < csr.indptr[i + 1]; ++k) {
+      csr.values[k] = inv;
+    }
+  }
+  return MakeSparse(std::move(csr));
+}
+
+}  // namespace
+
+ModelContext BuildModelContext(HeteroGraphPtr graph) {
+  ModelContext ctx;
+  ctx.graph = graph;
+  ctx.sym_adj = graph->FullAdjacency(AdjNorm::kSym, /*add_self_loops=*/true);
+  ctx.mean_adj = graph->FullAdjacency(AdjNorm::kRow, /*add_self_loops=*/true);
+  ctx.raw_adj = graph->FullAdjacency(AdjNorm::kNone, /*add_self_loops=*/false);
+  ctx.typed_adj = graph->FullTypedAdjacency(/*add_self_loops=*/true);
+
+  for (int64_t r = 0; r < graph->num_directed_relations(); ++r) {
+    ctx.relation_adjs.push_back(graph->RelationAdjacency(r, AdjNorm::kRow));
+  }
+  for (int64_t t = 0; t < graph->num_node_types(); ++t) {
+    ctx.src_type_adjs.push_back(SourceTypeAdjacency(*graph, t));
+  }
+  if (graph->target_node_type() >= 0) {
+    for (const Metapath& path : DefaultMetapaths(*graph)) {
+      ctx.metapath_adjs.push_back(ComposeMetapath(*graph, path));
+      ctx.metapath_names.push_back(path.name);
+    }
+    ctx.target_ids = graph->TargetGlobalIds();
+  }
+  return ctx;
+}
+
+}  // namespace autoac

@@ -1,0 +1,78 @@
+#ifndef AUTOAC_MODELS_MODEL_H_
+#define AUTOAC_MODELS_MODEL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/hetero_graph.h"
+#include "graph/metapath.h"
+#include "graph/sparse_ops.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace autoac {
+
+/// Precomputed adjacency structures shared by all models on one graph.
+/// Building them once per dataset keeps the per-epoch cost down and mirrors
+/// how GNN frameworks cache normalized adjacencies.
+struct ModelContext {
+  HeteroGraphPtr graph;
+
+  SpMatPtr sym_adj;   // full graph, GCN normalization, self-loops
+  SpMatPtr mean_adj;  // full graph, row normalization, self-loops
+  SpMatPtr raw_adj;   // full graph, unnormalized, no self-loops
+
+  TypedAdjacency typed_adj;  // full graph + directed relation ids
+
+  /// Row-normalized single-direction relation adjacencies, indexed by
+  /// directed relation id in [0, 2R).
+  std::vector<SpMatPtr> relation_adjs;
+
+  /// Row-normalized adjacencies restricted to source nodes of one type,
+  /// indexed by node type (HetGNN's per-type neighbour aggregation).
+  std::vector<SpMatPtr> src_type_adjs;
+
+  /// Composed target-to-target metapath adjacencies (HAN / MAGNN).
+  std::vector<SpMatPtr> metapath_adjs;
+  std::vector<std::string> metapath_names;
+
+  std::vector<int64_t> target_ids;  // global ids of target-type nodes
+};
+
+/// Builds every cached structure for `graph`.
+ModelContext BuildModelContext(HeteroGraphPtr graph);
+
+/// Shared hyperparameters. Individual models read what they need.
+struct ModelConfig {
+  int64_t in_dim = 64;
+  int64_t hidden_dim = 64;
+  int64_t out_dim = 64;
+  int64_t num_layers = 2;
+  int64_t num_heads = 2;
+  float dropout = 0.3f;
+  float negative_slope = 0.05f;
+  int64_t edge_embedding_dim = 16;  // SimpleHGN edge-type embeddings
+};
+
+/// A graph neural network mapping initial node features to node
+/// representations. Task heads (classification linear / link decoder) are
+/// applied by the trainer on top of Forward()'s output.
+class Model {
+ public:
+  virtual ~Model() = default;
+
+  /// h0 is [num_nodes, in_dim]; the result is [num_nodes, out_dim].
+  virtual VarPtr Forward(const ModelContext& ctx, const VarPtr& h0,
+                         bool training, Rng& rng) = 0;
+
+  virtual std::vector<VarPtr> Parameters() const = 0;
+  virtual const std::string& name() const = 0;
+  virtual int64_t output_dim() const = 0;
+};
+
+using ModelPtr = std::unique_ptr<Model>;
+
+}  // namespace autoac
+
+#endif  // AUTOAC_MODELS_MODEL_H_

@@ -1,0 +1,249 @@
+#include "models/relation_models.h"
+
+#include "tensor/init.h"
+
+namespace autoac {
+namespace {
+
+// Combines per-relation aggregations with softmax-normalized importance
+// weights: sum_r softmax(logits)_r * SpMM(A_r, X_r). `inputs[r]` may differ
+// per relation (already transformed) or be shared.
+VarPtr WeightedRelationSum(const ModelContext& ctx, const VarPtr& logits,
+                           const std::vector<VarPtr>& inputs) {
+  int64_t num_relations = static_cast<int64_t>(ctx.relation_adjs.size());
+  AUTOAC_CHECK_EQ(static_cast<int64_t>(inputs.size()), num_relations);
+  VarPtr weights = Reshape(RowSoftmax(logits), {num_relations});  // [2R]
+  std::vector<VarPtr> pieces;
+  pieces.reserve(num_relations);
+  for (int64_t r = 0; r < num_relations; ++r) {
+    VarPtr aggregated = SpMM(ctx.relation_adjs[r], inputs[r]);
+    pieces.push_back(ScaleByVar(aggregated, SliceElement(weights, r)));
+  }
+  return AddN(pieces);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// HGT
+// ---------------------------------------------------------------------------
+
+HgtModel::HgtModel(const ModelConfig& config, const ModelContext& ctx,
+                   Rng& rng)
+    : dropout_(config.dropout), out_dim_(config.out_dim) {
+  int64_t num_relations = static_cast<int64_t>(ctx.relation_adjs.size());
+  int64_t in = config.in_dim;
+  for (int64_t l = 0; l < config.num_layers; ++l) {
+    bool last = l + 1 == config.num_layers;
+    int64_t out = last ? config.out_dim : config.hidden_dim;
+    Layer layer;
+    for (int64_t r = 0; r < num_relations; ++r) {
+      layer.relation_transforms.emplace_back(in, out, rng);
+    }
+    layer.relation_logits = MakeParam(Tensor::Zeros({1, num_relations}));
+    layer.self_transform = Linear(in, out, rng);
+    layers_.push_back(std::move(layer));
+    in = out;
+  }
+}
+
+VarPtr HgtModel::Forward(const ModelContext& ctx, const VarPtr& h0,
+                         bool training, Rng& rng) {
+  VarPtr h = h0;
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    const Layer& layer = layers_[l];
+    VarPtr input = Dropout(h, dropout_, training, rng);
+    std::vector<VarPtr> transformed;
+    for (const Linear& t : layer.relation_transforms) {
+      transformed.push_back(t.Apply(input));
+    }
+    VarPtr messages =
+        WeightedRelationSum(ctx, layer.relation_logits, transformed);
+    h = Add(messages, layer.self_transform.Apply(input));  // skip connection
+    if (l + 1 < layers_.size()) h = Elu(h);
+  }
+  return h;
+}
+
+std::vector<VarPtr> HgtModel::Parameters() const {
+  std::vector<VarPtr> params;
+  for (const Layer& layer : layers_) {
+    for (const Linear& t : layer.relation_transforms) {
+      for (const VarPtr& p : t.Parameters()) params.push_back(p);
+    }
+    params.push_back(layer.relation_logits);
+    for (const VarPtr& p : layer.self_transform.Parameters()) {
+      params.push_back(p);
+    }
+  }
+  return params;
+}
+
+// ---------------------------------------------------------------------------
+// HetSANN
+// ---------------------------------------------------------------------------
+
+HetSannModel::HetSannModel(const ModelConfig& config, const ModelContext& ctx,
+                           Rng& rng)
+    : dropout_(config.dropout), out_dim_(config.out_dim) {
+  int64_t num_relations = static_cast<int64_t>(ctx.relation_adjs.size());
+  int64_t in = config.in_dim;
+  for (int64_t l = 0; l < config.num_layers; ++l) {
+    bool last = l + 1 == config.num_layers;
+    int64_t out = last ? config.out_dim : config.hidden_dim;
+    Layer layer;
+    for (int64_t r = 0; r < num_relations; ++r) {
+      layer.relation_heads.emplace_back(in, out, config.negative_slope, rng);
+    }
+    layers_.push_back(std::move(layer));
+    in = out;
+  }
+}
+
+VarPtr HetSannModel::Forward(const ModelContext& ctx, const VarPtr& h0,
+                             bool training, Rng& rng) {
+  VarPtr h = h0;
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    VarPtr input = Dropout(h, dropout_, training, rng);
+    std::vector<VarPtr> pieces;
+    for (size_t r = 0; r < ctx.relation_adjs.size(); ++r) {
+      pieces.push_back(
+          layers_[l].relation_heads[r].Apply(ctx.relation_adjs[r], input));
+    }
+    h = AddN(pieces);
+    if (l + 1 < layers_.size()) h = Elu(h);
+  }
+  return h;
+}
+
+std::vector<VarPtr> HetSannModel::Parameters() const {
+  std::vector<VarPtr> params;
+  for (const Layer& layer : layers_) {
+    for (const GraphAttentionHead& head : layer.relation_heads) {
+      for (const VarPtr& p : head.Parameters()) params.push_back(p);
+    }
+  }
+  return params;
+}
+
+// ---------------------------------------------------------------------------
+// GTN
+// ---------------------------------------------------------------------------
+
+GtnModel::GtnModel(const ModelConfig& config, const ModelContext& ctx,
+                   Rng& rng)
+    : transform1_(config.in_dim, config.hidden_dim, rng),
+      transform2_(config.hidden_dim, config.out_dim, rng),
+      dropout_(config.dropout),
+      out_dim_(config.out_dim) {
+  int64_t num_relations = static_cast<int64_t>(ctx.relation_adjs.size());
+  selection1_ = MakeParam(Tensor::Zeros({1, num_relations}));
+  selection2_ = MakeParam(Tensor::Zeros({1, num_relations}));
+}
+
+VarPtr GtnModel::Forward(const ModelContext& ctx, const VarPtr& h0,
+                         bool training, Rng& rng) {
+  int64_t num_relations = static_cast<int64_t>(ctx.relation_adjs.size());
+  VarPtr input = Dropout(h0, dropout_, training, rng);
+  // Hop 1 with soft relation selection u, hop 2 with selection v: the
+  // composition approximates GTN's learned 2-hop meta-path adjacency
+  // (sum_r u_r A_r)(sum_s v_s A_s) applied to the features. The identity
+  // term of each hop (GTN composes with A + I) keeps nodes without a given
+  // relation connected to their own features.
+  VarPtr projected = Relu(transform1_.Apply(input));
+  std::vector<VarPtr> shared1(num_relations, projected);
+  VarPtr h1 = Add(WeightedRelationSum(ctx, selection1_, shared1), projected);
+  std::vector<VarPtr> shared2(num_relations, h1);
+  VarPtr h2 = Add(WeightedRelationSum(ctx, selection2_, shared2), h1);
+  return transform2_.Apply(h2);
+}
+
+std::vector<VarPtr> GtnModel::Parameters() const {
+  std::vector<VarPtr> params = transform1_.Parameters();
+  for (const VarPtr& p : transform2_.Parameters()) params.push_back(p);
+  params.push_back(selection1_);
+  params.push_back(selection2_);
+  return params;
+}
+
+// ---------------------------------------------------------------------------
+// HetGNN
+// ---------------------------------------------------------------------------
+
+HetGnnModel::HetGnnModel(const ModelConfig& config, const ModelContext& ctx,
+                         Rng& rng)
+    : self_transform_(config.in_dim, config.out_dim, rng),
+      mixer_(config.out_dim, config.hidden_dim, rng),
+      dropout_(config.dropout),
+      out_dim_(config.out_dim) {
+  for (int64_t t = 0; t < ctx.graph->num_node_types(); ++t) {
+    type_transforms_.emplace_back(config.in_dim, config.out_dim, rng);
+  }
+}
+
+VarPtr HetGnnModel::Forward(const ModelContext& ctx, const VarPtr& h0,
+                            bool training, Rng& rng) {
+  VarPtr input = Dropout(h0, dropout_, training, rng);
+  std::vector<VarPtr> per_type;
+  for (size_t t = 0; t < ctx.src_type_adjs.size(); ++t) {
+    // Mean over same-type neighbours of a type-specific content encoding.
+    per_type.push_back(Elu(
+        SpMM(ctx.src_type_adjs[t], type_transforms_[t].Apply(input))));
+  }
+  per_type.push_back(Elu(self_transform_.Apply(input)));
+  // Semantic attention over the per-type aggregations mirrors HetGNN's
+  // "attention among types" combine step. Target rows guide the weights.
+  std::vector<int64_t> rows =
+      ctx.target_ids.empty()
+          ? std::vector<int64_t>{0}
+          : ctx.target_ids;
+  return mixer_.Apply(per_type, rows);
+}
+
+std::vector<VarPtr> HetGnnModel::Parameters() const {
+  std::vector<VarPtr> params;
+  for (const Linear& t : type_transforms_) {
+    for (const VarPtr& p : t.Parameters()) params.push_back(p);
+  }
+  for (const VarPtr& p : self_transform_.Parameters()) params.push_back(p);
+  for (const VarPtr& p : mixer_.Parameters()) params.push_back(p);
+  return params;
+}
+
+// ---------------------------------------------------------------------------
+// GATNE
+// ---------------------------------------------------------------------------
+
+GatneModel::GatneModel(const ModelConfig& config, const ModelContext& ctx,
+                       Rng& rng)
+    : out_dim_(config.out_dim) {
+  int64_t n = ctx.graph->num_nodes();
+  base_embedding_ = MakeParam(RandomNormal(
+      {n, config.out_dim}, 1.0f / std::sqrt(static_cast<float>(config.out_dim)),
+      rng));
+  int64_t num_relations = static_cast<int64_t>(ctx.relation_adjs.size());
+  for (int64_t r = 0; r < num_relations; ++r) {
+    relation_transforms_.emplace_back(config.out_dim, config.out_dim, rng);
+  }
+  relation_logits_ = MakeParam(Tensor::Zeros({1, num_relations}));
+}
+
+VarPtr GatneModel::Forward(const ModelContext& ctx, const VarPtr& /*h0*/,
+                           bool /*training*/, Rng& /*rng*/) {
+  std::vector<VarPtr> transformed;
+  for (const Linear& t : relation_transforms_) {
+    transformed.push_back(t.Apply(base_embedding_));
+  }
+  VarPtr edge_part = WeightedRelationSum(ctx, relation_logits_, transformed);
+  return Add(base_embedding_, edge_part);
+}
+
+std::vector<VarPtr> GatneModel::Parameters() const {
+  std::vector<VarPtr> params = {base_embedding_, relation_logits_};
+  for (const Linear& t : relation_transforms_) {
+    for (const VarPtr& p : t.Parameters()) params.push_back(p);
+  }
+  return params;
+}
+
+}  // namespace autoac

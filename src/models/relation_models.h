@@ -1,0 +1,128 @@
+#ifndef AUTOAC_MODELS_RELATION_MODELS_H_
+#define AUTOAC_MODELS_RELATION_MODELS_H_
+
+#include "models/layers.h"
+#include "models/model.h"
+
+namespace autoac {
+
+/// HGT (Hu et al., WWW 2020), reduced to its type-aware message passing:
+/// per-relation value transforms combined with learnable per-relation
+/// importance (softmax over relations), plus a per-layer skip connection.
+/// The per-(type pair) Q/K attention matrices are folded into the relation
+/// importances; DESIGN.md records the simplification.
+class HgtModel : public Model {
+ public:
+  HgtModel(const ModelConfig& config, const ModelContext& ctx, Rng& rng);
+
+  VarPtr Forward(const ModelContext& ctx, const VarPtr& h0, bool training,
+                 Rng& rng) override;
+  std::vector<VarPtr> Parameters() const override;
+  const std::string& name() const override { return name_; }
+  int64_t output_dim() const override { return out_dim_; }
+
+ private:
+  struct Layer {
+    std::vector<Linear> relation_transforms;  // one per directed relation
+    VarPtr relation_logits;                   // [1, 2R] softmaxed importance
+    Linear self_transform;
+  };
+  std::string name_ = "HGT";
+  std::vector<Layer> layers_;
+  float dropout_;
+  int64_t out_dim_;
+};
+
+/// HetSANN (Hong et al., AAAI 2020): per-relation graph attention heads
+/// whose outputs are summed, i.e. type-aware attention without metapaths.
+class HetSannModel : public Model {
+ public:
+  HetSannModel(const ModelConfig& config, const ModelContext& ctx, Rng& rng);
+
+  VarPtr Forward(const ModelContext& ctx, const VarPtr& h0, bool training,
+                 Rng& rng) override;
+  std::vector<VarPtr> Parameters() const override;
+  const std::string& name() const override { return name_; }
+  int64_t output_dim() const override { return out_dim_; }
+
+ private:
+  struct Layer {
+    std::vector<GraphAttentionHead> relation_heads;
+  };
+  std::string name_ = "HetSANN";
+  std::vector<Layer> layers_;
+  float dropout_;
+  int64_t out_dim_;
+};
+
+/// GTN (Yun et al., NeurIPS 2019), in its differentiable-edge-type-selection
+/// essence: each of two stacked hops aggregates with a softmax-weighted
+/// combination of the relation adjacencies, learning which composite
+/// relation (meta-path) matters.
+class GtnModel : public Model {
+ public:
+  GtnModel(const ModelConfig& config, const ModelContext& ctx, Rng& rng);
+
+  VarPtr Forward(const ModelContext& ctx, const VarPtr& h0, bool training,
+                 Rng& rng) override;
+  std::vector<VarPtr> Parameters() const override;
+  const std::string& name() const override { return name_; }
+  int64_t output_dim() const override { return out_dim_; }
+
+ private:
+  std::string name_ = "GTN";
+  VarPtr selection1_;  // [1, 2R] softmax selection for hop 1
+  VarPtr selection2_;  // [1, 2R] softmax selection for hop 2
+  Linear transform1_;
+  Linear transform2_;
+  float dropout_;
+  int64_t out_dim_;
+};
+
+/// HetGNN (Zhang et al., KDD 2019), simplified: per-source-node-type mean
+/// aggregation (standing in for the Bi-LSTM content encoder over sampled
+/// neighbours) mixed across types by semantic attention.
+class HetGnnModel : public Model {
+ public:
+  HetGnnModel(const ModelConfig& config, const ModelContext& ctx, Rng& rng);
+
+  VarPtr Forward(const ModelContext& ctx, const VarPtr& h0, bool training,
+                 Rng& rng) override;
+  std::vector<VarPtr> Parameters() const override;
+  const std::string& name() const override { return name_; }
+  int64_t output_dim() const override { return out_dim_; }
+
+ private:
+  std::string name_ = "HetGNN";
+  std::vector<Linear> type_transforms_;  // one per node type
+  Linear self_transform_;
+  SemanticAttention mixer_;
+  float dropout_;
+  int64_t out_dim_;
+};
+
+/// GATNE (Cen et al., KDD 2019), reduced to its attributed-multiplex core:
+/// a learned base embedding per node plus relation-specific neighbourhood
+/// edge embeddings combined with learned relation weights. Input features
+/// are ignored (GATNE is embedding-based); used for the link task rows.
+class GatneModel : public Model {
+ public:
+  GatneModel(const ModelConfig& config, const ModelContext& ctx, Rng& rng);
+
+  VarPtr Forward(const ModelContext& ctx, const VarPtr& h0, bool training,
+                 Rng& rng) override;
+  std::vector<VarPtr> Parameters() const override;
+  const std::string& name() const override { return name_; }
+  int64_t output_dim() const override { return out_dim_; }
+
+ private:
+  std::string name_ = "GATNE";
+  VarPtr base_embedding_;  // [N, d]
+  std::vector<Linear> relation_transforms_;
+  VarPtr relation_logits_;  // [1, 2R]
+  int64_t out_dim_;
+};
+
+}  // namespace autoac
+
+#endif  // AUTOAC_MODELS_RELATION_MODELS_H_

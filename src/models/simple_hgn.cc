@@ -1,0 +1,80 @@
+#include "models/simple_hgn.h"
+
+#include "tensor/init.h"
+
+namespace autoac {
+
+SimpleHgnModel::SimpleHgnModel(const ModelConfig& config,
+                               const ModelContext& ctx,
+                               bool l2_normalize_output, Rng& rng)
+    : dropout_(config.dropout),
+      out_dim_(config.out_dim),
+      l2_normalize_output_(l2_normalize_output),
+      num_edge_types_(ctx.typed_adj.num_edge_types) {
+  int64_t in = config.in_dim;
+  int64_t de = config.edge_embedding_dim;
+  for (int64_t l = 0; l < config.num_layers; ++l) {
+    bool last = l + 1 == config.num_layers;
+    int64_t head_out =
+        last ? config.out_dim : config.hidden_dim / config.num_heads;
+    Layer layer;
+    for (int64_t h = 0; h < config.num_heads; ++h) {
+      layer.heads.emplace_back(in, head_out, config.negative_slope, rng);
+      layer.type_embeddings.push_back(
+          MakeParam(XavierUniform(num_edge_types_, de, rng)));
+      layer.type_projections.push_back(MakeParam(XavierUniform(de, 1, rng)));
+    }
+    int64_t layer_out = last ? config.out_dim : head_out * config.num_heads;
+    layer.residual = Linear(in, layer_out, rng);
+    layers_.push_back(std::move(layer));
+    in = layer_out;
+  }
+}
+
+VarPtr SimpleHgnModel::Forward(const ModelContext& ctx, const VarPtr& h0,
+                               bool training, Rng& rng) {
+  VarPtr h = h0;
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    const Layer& layer = layers_[l];
+    bool last = l + 1 == layers_.size();
+    VarPtr input = Dropout(h, dropout_, training, rng);
+    std::vector<VarPtr> head_outputs;
+    for (size_t head = 0; head < layer.heads.size(); ++head) {
+      // Learnable edge-type logit: embed each directed relation, project it
+      // to a scalar, broadcast to the edges carrying that relation.
+      VarPtr per_type = SliceCol(
+          MatMul(layer.type_embeddings[head], layer.type_projections[head]),
+          0);  // [T]
+      VarPtr edge_logits = Gather1d(per_type, ctx.typed_adj.edge_types);
+      head_outputs.push_back(
+          layer.heads[head].Apply(ctx.typed_adj.adj, input, edge_logits));
+    }
+    VarPtr aggregated;
+    if (last) {
+      aggregated = Scale(AddN(head_outputs),
+                         1.0f / static_cast<float>(head_outputs.size()));
+    } else {
+      aggregated = ConcatCols(head_outputs);
+    }
+    // Node residual connection.
+    h = Add(aggregated, layer.residual.Apply(input));
+    if (!last) h = Elu(h);
+  }
+  if (l2_normalize_output_) h = RowL2Normalize(h);
+  return h;
+}
+
+std::vector<VarPtr> SimpleHgnModel::Parameters() const {
+  std::vector<VarPtr> params;
+  for (const Layer& layer : layers_) {
+    for (const GraphAttentionHead& head : layer.heads) {
+      for (const VarPtr& p : head.Parameters()) params.push_back(p);
+    }
+    for (const VarPtr& p : layer.type_embeddings) params.push_back(p);
+    for (const VarPtr& p : layer.type_projections) params.push_back(p);
+    for (const VarPtr& p : layer.residual.Parameters()) params.push_back(p);
+  }
+  return params;
+}
+
+}  // namespace autoac

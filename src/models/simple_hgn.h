@@ -1,0 +1,46 @@
+#ifndef AUTOAC_MODELS_SIMPLE_HGN_H_
+#define AUTOAC_MODELS_SIMPLE_HGN_H_
+
+#include "models/layers.h"
+#include "models/model.h"
+
+namespace autoac {
+
+/// SimpleHGN (Lv et al., KDD 2021), the paper's strongest host model: GAT
+/// attention extended with a learnable edge-type embedding inside the
+/// attention logit, plus node-level residual connections and an optional
+/// L2 normalization of the output embedding (used for link prediction).
+/// The original's edge-attention residual (beta) is omitted; the node
+/// residual and typed attention carry the model's defining behaviour.
+class SimpleHgnModel : public Model {
+ public:
+  SimpleHgnModel(const ModelConfig& config, const ModelContext& ctx,
+                 bool l2_normalize_output, Rng& rng);
+
+  VarPtr Forward(const ModelContext& ctx, const VarPtr& h0, bool training,
+                 Rng& rng) override;
+  std::vector<VarPtr> Parameters() const override;
+  const std::string& name() const override { return name_; }
+  int64_t output_dim() const override { return out_dim_; }
+
+ private:
+  struct Layer {
+    std::vector<GraphAttentionHead> heads;
+    // Per-head edge-type machinery: type embedding table [T, de] and the
+    // projection [de, 1] that turns a type embedding into a logit.
+    std::vector<VarPtr> type_embeddings;
+    std::vector<VarPtr> type_projections;
+    Linear residual;  // projects the layer input for the skip connection
+  };
+
+  std::string name_ = "SimpleHGN";
+  std::vector<Layer> layers_;
+  float dropout_;
+  int64_t out_dim_;
+  bool l2_normalize_output_;
+  int64_t num_edge_types_;
+};
+
+}  // namespace autoac
+
+#endif  // AUTOAC_MODELS_SIMPLE_HGN_H_

@@ -1,0 +1,36 @@
+#include "tensor/init.h"
+
+#include <cmath>
+
+namespace autoac {
+
+Tensor XavierUniform(int64_t fan_in, int64_t fan_out, Rng& rng) {
+  float a = std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  return RandomUniform({fan_in, fan_out}, -a, a, rng);
+}
+
+Tensor HeNormal(int64_t fan_in, int64_t fan_out, Rng& rng) {
+  float stddev = std::sqrt(2.0f / static_cast<float>(fan_in));
+  return RandomNormal({fan_in, fan_out}, stddev, rng);
+}
+
+Tensor RandomNormal(std::vector<int64_t> shape, float stddev, Rng& rng) {
+  Tensor t(std::move(shape));
+  float* data = t.data();
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    data[i] = static_cast<float>(rng.Normal(0.0, stddev));
+  }
+  return t;
+}
+
+Tensor RandomUniform(std::vector<int64_t> shape, float lo, float hi,
+                     Rng& rng) {
+  Tensor t(std::move(shape));
+  float* data = t.data();
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    data[i] = static_cast<float>(rng.Uniform(lo, hi));
+  }
+  return t;
+}
+
+}  // namespace autoac

@@ -1,0 +1,25 @@
+#ifndef AUTOAC_TENSOR_INIT_H_
+#define AUTOAC_TENSOR_INIT_H_
+
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace autoac {
+
+/// Xavier/Glorot uniform initialization for a [fan_in, fan_out] weight
+/// matrix: U(-a, a) with a = sqrt(6 / (fan_in + fan_out)).
+Tensor XavierUniform(int64_t fan_in, int64_t fan_out, Rng& rng);
+
+/// He/Kaiming normal initialization: N(0, sqrt(2 / fan_in)). Preferred in
+/// front of ReLU nonlinearities.
+Tensor HeNormal(int64_t fan_in, int64_t fan_out, Rng& rng);
+
+/// I.i.d. normal entries with the given stddev, any shape.
+Tensor RandomNormal(std::vector<int64_t> shape, float stddev, Rng& rng);
+
+/// I.i.d. uniform entries in [lo, hi), any shape.
+Tensor RandomUniform(std::vector<int64_t> shape, float lo, float hi, Rng& rng);
+
+}  // namespace autoac
+
+#endif  // AUTOAC_TENSOR_INIT_H_

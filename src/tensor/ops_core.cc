@@ -1,0 +1,524 @@
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/op_helpers.h"
+#include "tensor/ops.h"
+
+namespace autoac {
+
+using internal::MakeOp;
+using internal::NeedsGrad;
+
+namespace internal {
+
+void GemmNN(const float* a, const float* b, float* out, int64_t m, int64_t k,
+            int64_t n) {
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    float* orow = out + i * n;
+    for (int64_t l = 0; l < k; ++l) {
+      float av = arow[l];
+      if (av == 0.0f) continue;
+      const float* brow = b + l * n;
+      for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+}
+
+void GemmNT(const float* a, const float* b, float* out, int64_t m, int64_t k,
+            int64_t n) {
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    float* orow = out + i * n;
+    for (int64_t j = 0; j < n; ++j) {
+      const float* brow = b + j * k;
+      float acc = 0.0f;
+      for (int64_t l = 0; l < k; ++l) acc += arow[l] * brow[l];
+      orow[j] += acc;
+    }
+  }
+}
+
+void GemmTN(const float* a, const float* b, float* out, int64_t m, int64_t k,
+            int64_t n) {
+  for (int64_t l = 0; l < m; ++l) {
+    const float* arow = a + l * k;
+    const float* brow = b + l * n;
+    for (int64_t i = 0; i < k; ++i) {
+      float av = arow[i];
+      if (av == 0.0f) continue;
+      float* orow = out + i * n;
+      for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+}
+
+}  // namespace internal
+
+VarPtr MatMul(const VarPtr& a, const VarPtr& b) {
+  AUTOAC_CHECK_EQ(a->value.dim(), 2);
+  AUTOAC_CHECK_EQ(b->value.dim(), 2);
+  int64_t m = a->value.rows();
+  int64_t k = a->value.cols();
+  int64_t n = b->value.cols();
+  AUTOAC_CHECK_EQ(k, b->value.rows())
+      << "MatMul shape mismatch " << a->value.ShapeString() << " x "
+      << b->value.ShapeString();
+  Tensor out(m, n);
+  internal::GemmNN(a->value.data(), b->value.data(), out.data(), m, k, n);
+  return MakeOp("MatMul", std::move(out), {a, b}, [m, k, n](Variable& self) {
+    const VarPtr& a = self.parents[0];
+    const VarPtr& b = self.parents[1];
+    if (NeedsGrad(a)) {
+      internal::GemmNT(self.grad.data(), b->value.data(),
+                       a->EnsureGrad().data(), m, n, k);
+    }
+    if (NeedsGrad(b)) {
+      internal::GemmTN(a->value.data(), self.grad.data(),
+                       b->EnsureGrad().data(), m, k, n);
+    }
+  });
+}
+
+VarPtr Transpose(const VarPtr& a) {
+  AUTOAC_CHECK_EQ(a->value.dim(), 2);
+  int64_t m = a->value.rows();
+  int64_t n = a->value.cols();
+  Tensor out(n, m);
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) out.at(j, i) = a->value.at(i, j);
+  }
+  return MakeOp("Transpose", std::move(out), {a}, [m, n](Variable& self) {
+    const VarPtr& a = self.parents[0];
+    if (!NeedsGrad(a)) return;
+    Tensor& ga = a->EnsureGrad();
+    for (int64_t j = 0; j < n; ++j) {
+      for (int64_t i = 0; i < m; ++i) ga.at(i, j) += self.grad.at(j, i);
+    }
+  });
+}
+
+VarPtr Add(const VarPtr& a, const VarPtr& b) {
+  AUTOAC_CHECK(a->value.SameShape(b->value))
+      << "Add shape mismatch " << a->value.ShapeString() << " vs "
+      << b->value.ShapeString();
+  Tensor out(a->value.shape());
+  int64_t n = out.numel();
+  const float* pa = a->value.data();
+  const float* pb = b->value.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < n; ++i) po[i] = pa[i] + pb[i];
+  return MakeOp("Add", std::move(out), {a, b}, [n](Variable& self) {
+    for (int side = 0; side < 2; ++side) {
+      const VarPtr& p = self.parents[side];
+      if (!NeedsGrad(p)) continue;
+      float* gp = p->EnsureGrad().data();
+      const float* g = self.grad.data();
+      for (int64_t i = 0; i < n; ++i) gp[i] += g[i];
+    }
+  });
+}
+
+VarPtr AddN(const std::vector<VarPtr>& xs) {
+  AUTOAC_CHECK(!xs.empty());
+  if (xs.size() == 1) return xs[0];
+  Tensor out(xs[0]->value.shape());
+  int64_t n = out.numel();
+  float* po = out.data();
+  for (const VarPtr& x : xs) {
+    AUTOAC_CHECK(x->value.SameShape(xs[0]->value));
+    const float* px = x->value.data();
+    for (int64_t i = 0; i < n; ++i) po[i] += px[i];
+  }
+  return MakeOp("AddN", std::move(out), xs, [n](Variable& self) {
+    const float* g = self.grad.data();
+    for (const VarPtr& p : self.parents) {
+      if (!NeedsGrad(p)) continue;
+      float* gp = p->EnsureGrad().data();
+      for (int64_t i = 0; i < n; ++i) gp[i] += g[i];
+    }
+  });
+}
+
+VarPtr Sub(const VarPtr& a, const VarPtr& b) {
+  AUTOAC_CHECK(a->value.SameShape(b->value));
+  Tensor out(a->value.shape());
+  int64_t n = out.numel();
+  const float* pa = a->value.data();
+  const float* pb = b->value.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < n; ++i) po[i] = pa[i] - pb[i];
+  return MakeOp("Sub", std::move(out), {a, b}, [n](Variable& self) {
+    const float* g = self.grad.data();
+    if (NeedsGrad(self.parents[0])) {
+      float* ga = self.parents[0]->EnsureGrad().data();
+      for (int64_t i = 0; i < n; ++i) ga[i] += g[i];
+    }
+    if (NeedsGrad(self.parents[1])) {
+      float* gb = self.parents[1]->EnsureGrad().data();
+      for (int64_t i = 0; i < n; ++i) gb[i] -= g[i];
+    }
+  });
+}
+
+VarPtr Mul(const VarPtr& a, const VarPtr& b) {
+  AUTOAC_CHECK(a->value.SameShape(b->value));
+  Tensor out(a->value.shape());
+  int64_t n = out.numel();
+  const float* pa = a->value.data();
+  const float* pb = b->value.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < n; ++i) po[i] = pa[i] * pb[i];
+  return MakeOp("Mul", std::move(out), {a, b}, [n](Variable& self) {
+    const float* g = self.grad.data();
+    const float* pa = self.parents[0]->value.data();
+    const float* pb = self.parents[1]->value.data();
+    if (NeedsGrad(self.parents[0])) {
+      float* ga = self.parents[0]->EnsureGrad().data();
+      for (int64_t i = 0; i < n; ++i) ga[i] += g[i] * pb[i];
+    }
+    if (NeedsGrad(self.parents[1])) {
+      float* gb = self.parents[1]->EnsureGrad().data();
+      for (int64_t i = 0; i < n; ++i) gb[i] += g[i] * pa[i];
+    }
+  });
+}
+
+VarPtr Scale(const VarPtr& x, float s) {
+  Tensor out(x->value.shape());
+  int64_t n = out.numel();
+  const float* px = x->value.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < n; ++i) po[i] = px[i] * s;
+  return MakeOp("Scale", std::move(out), {x}, [n, s](Variable& self) {
+    if (!NeedsGrad(self.parents[0])) return;
+    float* gx = self.parents[0]->EnsureGrad().data();
+    const float* g = self.grad.data();
+    for (int64_t i = 0; i < n; ++i) gx[i] += g[i] * s;
+  });
+}
+
+VarPtr AddScalar(const VarPtr& x, float s) {
+  Tensor out(x->value.shape());
+  int64_t n = out.numel();
+  const float* px = x->value.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < n; ++i) po[i] = px[i] + s;
+  return MakeOp("AddScalar", std::move(out), {x}, [n](Variable& self) {
+    if (!NeedsGrad(self.parents[0])) return;
+    float* gx = self.parents[0]->EnsureGrad().data();
+    const float* g = self.grad.data();
+    for (int64_t i = 0; i < n; ++i) gx[i] += g[i];
+  });
+}
+
+VarPtr ScaleByVar(const VarPtr& x, const VarPtr& s) {
+  AUTOAC_CHECK_EQ(s->value.numel(), 1);
+  float sv = s->value.data()[0];
+  Tensor out(x->value.shape());
+  int64_t n = out.numel();
+  const float* px = x->value.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < n; ++i) po[i] = px[i] * sv;
+  return MakeOp("ScaleByVar", std::move(out), {x, s}, [n, sv](Variable& self) {
+    const float* g = self.grad.data();
+    const float* px = self.parents[0]->value.data();
+    if (NeedsGrad(self.parents[0])) {
+      float* gx = self.parents[0]->EnsureGrad().data();
+      for (int64_t i = 0; i < n; ++i) gx[i] += g[i] * sv;
+    }
+    if (NeedsGrad(self.parents[1])) {
+      float acc = 0.0f;
+      for (int64_t i = 0; i < n; ++i) acc += g[i] * px[i];
+      self.parents[1]->EnsureGrad().data()[0] += acc;
+    }
+  });
+}
+
+VarPtr AddBias(const VarPtr& x, const VarPtr& bias) {
+  AUTOAC_CHECK_EQ(x->value.dim(), 2);
+  AUTOAC_CHECK_EQ(bias->value.dim(), 1);
+  int64_t m = x->value.rows();
+  int64_t n = x->value.cols();
+  AUTOAC_CHECK_EQ(n, bias->value.numel());
+  Tensor out(m, n);
+  const float* px = x->value.data();
+  const float* pb = bias->value.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) po[i * n + j] = px[i * n + j] + pb[j];
+  }
+  return MakeOp("AddBias", std::move(out), {x, bias}, [m, n](Variable& self) {
+    const float* g = self.grad.data();
+    if (NeedsGrad(self.parents[0])) {
+      float* gx = self.parents[0]->EnsureGrad().data();
+      for (int64_t i = 0; i < m * n; ++i) gx[i] += g[i];
+    }
+    if (NeedsGrad(self.parents[1])) {
+      float* gb = self.parents[1]->EnsureGrad().data();
+      for (int64_t i = 0; i < m; ++i) {
+        for (int64_t j = 0; j < n; ++j) gb[j] += g[i * n + j];
+      }
+    }
+  });
+}
+
+VarPtr Sqrt(const VarPtr& x) {
+  Tensor out(x->value.shape());
+  int64_t n = out.numel();
+  const float* px = x->value.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < n; ++i) {
+    AUTOAC_DCHECK(px[i] >= 0.0f);
+    po[i] = std::sqrt(px[i]);
+  }
+  return MakeOp("Sqrt", std::move(out), {x}, [n](Variable& self) {
+    if (!NeedsGrad(self.parents[0])) return;
+    float* gx = self.parents[0]->EnsureGrad().data();
+    const float* g = self.grad.data();
+    const float* po = self.value.data();
+    for (int64_t i = 0; i < n; ++i) {
+      // d sqrt(x) / dx = 1 / (2 sqrt(x)); clamp to keep the gradient finite
+      // at x == 0.
+      gx[i] += g[i] / (2.0f * std::max(po[i], 1e-6f));
+    }
+  });
+}
+
+VarPtr ConcatRows(const std::vector<VarPtr>& xs) {
+  AUTOAC_CHECK(!xs.empty());
+  int64_t cols = xs[0]->value.cols();
+  int64_t total_rows = 0;
+  for (const VarPtr& x : xs) {
+    AUTOAC_CHECK_EQ(x->value.dim(), 2);
+    AUTOAC_CHECK_EQ(x->value.cols(), cols);
+    total_rows += x->value.rows();
+  }
+  Tensor out(total_rows, cols);
+  int64_t offset = 0;
+  for (const VarPtr& x : xs) {
+    int64_t r = x->value.rows();
+    std::copy(x->value.data(), x->value.data() + r * cols,
+              out.data() + offset * cols);
+    offset += r;
+  }
+  return MakeOp("ConcatRows", std::move(out), xs, [cols](Variable& self) {
+    int64_t offset = 0;
+    for (const VarPtr& p : self.parents) {
+      int64_t r = p->value.rows();
+      if (NeedsGrad(p)) {
+        float* gp = p->EnsureGrad().data();
+        const float* g = self.grad.data() + offset * cols;
+        for (int64_t i = 0; i < r * cols; ++i) gp[i] += g[i];
+      }
+      offset += r;
+    }
+  });
+}
+
+VarPtr ConcatCols(const std::vector<VarPtr>& xs) {
+  AUTOAC_CHECK(!xs.empty());
+  int64_t rows = xs[0]->value.rows();
+  int64_t total_cols = 0;
+  for (const VarPtr& x : xs) {
+    AUTOAC_CHECK_EQ(x->value.dim(), 2);
+    AUTOAC_CHECK_EQ(x->value.rows(), rows);
+    total_cols += x->value.cols();
+  }
+  Tensor out(rows, total_cols);
+  int64_t col_offset = 0;
+  for (const VarPtr& x : xs) {
+    int64_t c = x->value.cols();
+    for (int64_t i = 0; i < rows; ++i) {
+      std::copy(x->value.data() + i * c, x->value.data() + (i + 1) * c,
+                out.data() + i * total_cols + col_offset);
+    }
+    col_offset += c;
+  }
+  return MakeOp(
+      "ConcatCols", std::move(out), xs, [rows, total_cols](Variable& self) {
+        int64_t col_offset = 0;
+        for (const VarPtr& p : self.parents) {
+          int64_t c = p->value.cols();
+          if (NeedsGrad(p)) {
+            Tensor& gp = p->EnsureGrad();
+            for (int64_t i = 0; i < rows; ++i) {
+              const float* g = self.grad.data() + i * total_cols + col_offset;
+              float* gprow = gp.data() + i * c;
+              for (int64_t j = 0; j < c; ++j) gprow[j] += g[j];
+            }
+          }
+          col_offset += c;
+        }
+      });
+}
+
+VarPtr GatherRows(const VarPtr& x, std::vector<int64_t> rows) {
+  AUTOAC_CHECK_EQ(x->value.dim(), 2);
+  int64_t n = x->value.rows();
+  int64_t c = x->value.cols();
+  Tensor out(static_cast<int64_t>(rows.size()), c);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    AUTOAC_DCHECK(rows[i] >= 0 && rows[i] < n);
+    std::copy(x->value.data() + rows[i] * c, x->value.data() + (rows[i] + 1) * c,
+              out.data() + static_cast<int64_t>(i) * c);
+  }
+  return MakeOp("GatherRows", std::move(out), {x},
+                [rows = std::move(rows), c](Variable& self) {
+                  if (!NeedsGrad(self.parents[0])) return;
+                  Tensor& gx = self.parents[0]->EnsureGrad();
+                  for (size_t i = 0; i < rows.size(); ++i) {
+                    const float* g = self.grad.data() + i * c;
+                    float* gp = gx.data() + rows[i] * c;
+                    for (int64_t j = 0; j < c; ++j) gp[j] += g[j];
+                  }
+                });
+}
+
+VarPtr ScatterRows(const VarPtr& x, std::vector<int64_t> rows,
+                   int64_t n_rows) {
+  AUTOAC_CHECK_EQ(x->value.dim(), 2);
+  AUTOAC_CHECK_EQ(x->value.rows(), static_cast<int64_t>(rows.size()));
+  int64_t c = x->value.cols();
+  Tensor out(n_rows, c);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    AUTOAC_DCHECK(rows[i] >= 0 && rows[i] < n_rows);
+    std::copy(x->value.data() + static_cast<int64_t>(i) * c,
+              x->value.data() + static_cast<int64_t>(i + 1) * c,
+              out.data() + rows[i] * c);
+  }
+  return MakeOp("ScatterRows", std::move(out), {x},
+                [rows = std::move(rows), c](Variable& self) {
+                  if (!NeedsGrad(self.parents[0])) return;
+                  Tensor& gx = self.parents[0]->EnsureGrad();
+                  for (size_t i = 0; i < rows.size(); ++i) {
+                    const float* g = self.grad.data() + rows[i] * c;
+                    float* gp = gx.data() + i * c;
+                    for (int64_t j = 0; j < c; ++j) gp[j] += g[j];
+                  }
+                });
+}
+
+VarPtr SliceCol(const VarPtr& x, int64_t j) {
+  AUTOAC_CHECK_EQ(x->value.dim(), 2);
+  int64_t m = x->value.rows();
+  int64_t n = x->value.cols();
+  AUTOAC_CHECK(j >= 0 && j < n);
+  Tensor out({m});
+  for (int64_t i = 0; i < m; ++i) out.at(i) = x->value.at(i, j);
+  return MakeOp("SliceCol", std::move(out), {x}, [m, n, j](Variable& self) {
+    if (!NeedsGrad(self.parents[0])) return;
+    Tensor& gx = self.parents[0]->EnsureGrad();
+    for (int64_t i = 0; i < m; ++i) gx.data()[i * n + j] += self.grad.at(i);
+  });
+}
+
+VarPtr SliceElement(const VarPtr& x, int64_t i) {
+  AUTOAC_CHECK_EQ(x->value.dim(), 1);
+  AUTOAC_CHECK(i >= 0 && i < x->value.numel());
+  Tensor out = Tensor::Scalar(x->value.at(i));
+  return MakeOp("SliceElement", std::move(out), {x}, [i](Variable& self) {
+    if (!NeedsGrad(self.parents[0])) return;
+    self.parents[0]->EnsureGrad().data()[i] += self.grad.data()[0];
+  });
+}
+
+VarPtr Reshape(const VarPtr& x, std::vector<int64_t> shape) {
+  Tensor out = x->value.Reshaped(std::move(shape));
+  int64_t n = out.numel();
+  return MakeOp("Reshape", std::move(out), {x}, [n](Variable& self) {
+    if (!NeedsGrad(self.parents[0])) return;
+    float* gx = self.parents[0]->EnsureGrad().data();
+    const float* g = self.grad.data();
+    for (int64_t i = 0; i < n; ++i) gx[i] += g[i];
+  });
+}
+
+VarPtr ScaleRowsByGather(const VarPtr& x, const VarPtr& weights,
+                         std::vector<int64_t> ids) {
+  AUTOAC_CHECK_EQ(x->value.dim(), 2);
+  AUTOAC_CHECK_EQ(weights->value.dim(), 1);
+  int64_t m = x->value.rows();
+  int64_t c = x->value.cols();
+  int64_t n_weights = weights->value.numel();
+  AUTOAC_CHECK_EQ(m, static_cast<int64_t>(ids.size()));
+  Tensor out(m, c);
+  for (int64_t i = 0; i < m; ++i) {
+    AUTOAC_DCHECK(ids[i] >= 0 && ids[i] < n_weights);
+    float w = weights->value.at(ids[i]);
+    const float* px = x->value.data() + i * c;
+    float* po = out.data() + i * c;
+    for (int64_t j = 0; j < c; ++j) po[j] = w * px[j];
+  }
+  return MakeOp(
+      "ScaleRowsByGather", std::move(out), {x, weights},
+      [ids = std::move(ids), m, c](Variable& self) {
+        const VarPtr& x = self.parents[0];
+        const VarPtr& weights = self.parents[1];
+        const float* g = self.grad.data();
+        if (NeedsGrad(x)) {
+          float* gx = x->EnsureGrad().data();
+          for (int64_t i = 0; i < m; ++i) {
+            float w = weights->value.at(ids[i]);
+            for (int64_t j = 0; j < c; ++j) gx[i * c + j] += w * g[i * c + j];
+          }
+        }
+        if (NeedsGrad(weights)) {
+          float* gw = weights->EnsureGrad().data();
+          const float* px = x->value.data();
+          for (int64_t i = 0; i < m; ++i) {
+            float acc = 0.0f;
+            for (int64_t j = 0; j < c; ++j) {
+              acc += px[i * c + j] * g[i * c + j];
+            }
+            gw[ids[i]] += acc;
+          }
+        }
+      });
+}
+
+VarPtr SumAll(const VarPtr& x) {
+  int64_t n = x->value.numel();
+  const float* px = x->value.data();
+  double acc = 0.0;
+  for (int64_t i = 0; i < n; ++i) acc += px[i];
+  Tensor out = Tensor::Scalar(static_cast<float>(acc));
+  return MakeOp("SumAll", std::move(out), {x}, [n](Variable& self) {
+    if (!NeedsGrad(self.parents[0])) return;
+    float g = self.grad.data()[0];
+    float* gx = self.parents[0]->EnsureGrad().data();
+    for (int64_t i = 0; i < n; ++i) gx[i] += g;
+  });
+}
+
+VarPtr MeanAll(const VarPtr& x) {
+  int64_t n = x->value.numel();
+  AUTOAC_CHECK_GT(n, 0);
+  const float* px = x->value.data();
+  double acc = 0.0;
+  for (int64_t i = 0; i < n; ++i) acc += px[i];
+  Tensor out = Tensor::Scalar(static_cast<float>(acc / n));
+  return MakeOp("MeanAll", std::move(out), {x}, [n](Variable& self) {
+    if (!NeedsGrad(self.parents[0])) return;
+    float g = self.grad.data()[0] / static_cast<float>(n);
+    float* gx = self.parents[0]->EnsureGrad().data();
+    for (int64_t i = 0; i < n; ++i) gx[i] += g;
+  });
+}
+
+VarPtr SumSquares(const VarPtr& x) {
+  int64_t n = x->value.numel();
+  const float* px = x->value.data();
+  double acc = 0.0;
+  for (int64_t i = 0; i < n; ++i) acc += static_cast<double>(px[i]) * px[i];
+  Tensor out = Tensor::Scalar(static_cast<float>(acc));
+  return MakeOp("SumSquares", std::move(out), {x}, [n](Variable& self) {
+    if (!NeedsGrad(self.parents[0])) return;
+    float g = self.grad.data()[0];
+    const float* px = self.parents[0]->value.data();
+    float* gx = self.parents[0]->EnsureGrad().data();
+    for (int64_t i = 0; i < n; ++i) gx[i] += 2.0f * g * px[i];
+  });
+}
+
+}  // namespace autoac

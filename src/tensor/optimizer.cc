@@ -1,0 +1,79 @@
+#include "tensor/optimizer.h"
+
+#include <cmath>
+
+namespace autoac {
+
+Adam::Adam(std::vector<VarPtr> params, float lr, float weight_decay,
+           float beta1, float beta2, float eps)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      weight_decay_(weight_decay),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps) {}
+
+void Adam::Step() {
+  ++t_;
+  float bias_correction1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  float bias_correction2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (const VarPtr& p : params_) {
+    if (p->grad.numel() == 0) continue;  // Parameter unused this step.
+    State& s = state_[p.get()];
+    if (s.m.numel() == 0) {
+      s.m = Tensor::Zeros(p->value.shape());
+      s.v = Tensor::Zeros(p->value.shape());
+    }
+    int64_t n = p->value.numel();
+    float* w = p->value.data();
+    const float* g = p->grad.data();
+    float* m = s.m.data();
+    float* v = s.v.data();
+    for (int64_t i = 0; i < n; ++i) {
+      float grad = g[i] + weight_decay_ * w[i];
+      m[i] = beta1_ * m[i] + (1.0f - beta1_) * grad;
+      v[i] = beta2_ * v[i] + (1.0f - beta2_) * grad * grad;
+      float m_hat = m[i] / bias_correction1;
+      float v_hat = v[i] / bias_correction2;
+      w[i] -= lr_ * m_hat / (std::sqrt(v_hat) + eps_);
+    }
+  }
+}
+
+Sgd::Sgd(std::vector<VarPtr> params, float lr, float weight_decay)
+    : Optimizer(std::move(params)), lr_(lr), weight_decay_(weight_decay) {}
+
+void Sgd::Step() {
+  for (const VarPtr& p : params_) {
+    if (p->grad.numel() == 0) continue;
+    int64_t n = p->value.numel();
+    float* w = p->value.data();
+    const float* g = p->grad.data();
+    for (int64_t i = 0; i < n; ++i) {
+      w[i] -= lr_ * (g[i] + weight_decay_ * w[i]);
+    }
+  }
+}
+
+float ClipGradNorm(const std::vector<VarPtr>& params, float max_norm) {
+  double total = 0.0;
+  for (const VarPtr& p : params) {
+    if (p->grad.numel() == 0) continue;
+    const float* g = p->grad.data();
+    for (int64_t i = 0; i < p->grad.numel(); ++i) {
+      total += static_cast<double>(g[i]) * g[i];
+    }
+  }
+  float norm = static_cast<float>(std::sqrt(total));
+  if (norm > max_norm && norm > 0.0f) {
+    float scale = max_norm / norm;
+    for (const VarPtr& p : params) {
+      if (p->grad.numel() == 0) continue;
+      float* g = p->grad.data();
+      for (int64_t i = 0; i < p->grad.numel(); ++i) g[i] *= scale;
+    }
+  }
+  return norm;
+}
+
+}  // namespace autoac

@@ -1,0 +1,81 @@
+#ifndef AUTOAC_TENSOR_OPTIMIZER_H_
+#define AUTOAC_TENSOR_OPTIMIZER_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "tensor/variable.h"
+
+namespace autoac {
+
+/// First-order optimizer interface over a fixed set of leaf parameters.
+/// The training loops call ZeroGrad() -> forward/Backward() -> Step().
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<VarPtr> params) : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  Optimizer(const Optimizer&) = delete;
+  Optimizer& operator=(const Optimizer&) = delete;
+
+  /// Applies one update using the gradients currently stored in the params.
+  virtual void Step() = 0;
+
+  /// Zeroes all parameter gradients.
+  void ZeroGrad() { ZeroGrads(params_); }
+
+  const std::vector<VarPtr>& params() const { return params_; }
+
+ protected:
+  std::vector<VarPtr> params_;
+};
+
+/// Adam (Kingma & Ba, 2014) with L2 weight decay folded into the gradient,
+/// matching the paper's optimizer for both the GNN weights w and the
+/// completion parameters alpha.
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<VarPtr> params, float lr, float weight_decay = 0.0f,
+       float beta1 = 0.9f, float beta2 = 0.999f, float eps = 1e-8f);
+
+  void Step() override;
+
+  /// Learning-rate accessors (Fig. 10 sweeps it between runs).
+  void set_lr(float lr) { lr_ = lr; }
+  float lr() const { return lr_; }
+
+ private:
+  struct State {
+    Tensor m;
+    Tensor v;
+  };
+  float lr_;
+  float weight_decay_;
+  float beta1_;
+  float beta2_;
+  float eps_;
+  int64_t t_ = 0;
+  std::unordered_map<Variable*, State> state_;
+};
+
+/// Plain SGD with optional L2 weight decay; used by the skip-gram
+/// pre-learning stage of the HGNN-AC baseline where Adam state would be
+/// wasteful.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<VarPtr> params, float lr, float weight_decay = 0.0f);
+
+  void Step() override;
+
+ private:
+  float lr_;
+  float weight_decay_;
+};
+
+/// Clips the global L2 norm of the gradients of `params` to `max_norm`.
+/// Returns the pre-clip norm.
+float ClipGradNorm(const std::vector<VarPtr>& params, float max_norm);
+
+}  // namespace autoac
+
+#endif  // AUTOAC_TENSOR_OPTIMIZER_H_

@@ -1,0 +1,75 @@
+#include "tensor/variable.h"
+
+#include <unordered_set>
+
+namespace autoac {
+
+Tensor& Variable::EnsureGrad() {
+  if (grad.numel() == 0 && value.numel() > 0) {
+    grad = Tensor::Zeros(value.shape());
+  }
+  return grad;
+}
+
+void Variable::ZeroGrad() {
+  if (grad.numel() > 0) grad.Fill(0.0f);
+}
+
+VarPtr MakeParam(Tensor value) {
+  return std::make_shared<Variable>(std::move(value), /*requires_grad=*/true);
+}
+
+VarPtr MakeConst(Tensor value) {
+  return std::make_shared<Variable>(std::move(value), /*requires_grad=*/false);
+}
+
+std::vector<Variable*> TopologicalOrder(const VarPtr& root) {
+  // Iterative post-order DFS; recursion would overflow on deep graphs such
+  // as many-step PPNP power iterations stacked over epochs.
+  std::vector<Variable*> order;
+  std::unordered_set<Variable*> visited;
+  struct Frame {
+    Variable* node;
+    size_t next_parent;
+  };
+  std::vector<Frame> stack;
+  if (root == nullptr) return order;
+  stack.push_back({root.get(), 0});
+  visited.insert(root.get());
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    if (frame.next_parent < frame.node->parents.size()) {
+      Variable* parent = frame.node->parents[frame.next_parent++].get();
+      if (visited.insert(parent).second) {
+        stack.push_back({parent, 0});
+      }
+    } else {
+      order.push_back(frame.node);
+      stack.pop_back();
+    }
+  }
+  return order;  // Parents appear before children.
+}
+
+void Backward(const VarPtr& root) {
+  AUTOAC_CHECK(root != nullptr);
+  AUTOAC_CHECK_EQ(root->value.numel(), 1)
+      << "Backward requires a scalar loss, got " << root->value.ShapeString();
+  std::vector<Variable*> order = TopologicalOrder(root);
+  root->EnsureGrad();
+  root->grad.Fill(1.0f);
+  // Children come after parents in `order`; walk in reverse so each node's
+  // gradient is complete before it is pushed to its parents.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    Variable* node = *it;
+    if (node->backward_fn && node->grad.numel() > 0) {
+      node->backward_fn(*node);
+    }
+  }
+}
+
+void ZeroGrads(const std::vector<VarPtr>& params) {
+  for (const VarPtr& p : params) p->ZeroGrad();
+}
+
+}  // namespace autoac

@@ -1,0 +1,88 @@
+#ifndef AUTOAC_TENSOR_VARIABLE_H_
+#define AUTOAC_TENSOR_VARIABLE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace autoac {
+
+class Variable;
+
+/// Shared handle to a node in the autograd tape. Ops return VarPtr and the
+/// returned node keeps its inputs alive, so a whole forward graph is owned
+/// by the final loss variable.
+using VarPtr = std::shared_ptr<Variable>;
+
+/// One node of the reverse-mode autograd tape: the forward value, the
+/// (lazily allocated) gradient accumulator, the parent nodes, and a closure
+/// that pushes this node's gradient into its parents' gradients.
+///
+/// The engine is deliberately minimal: float32 only, no graph reuse across
+/// backward calls (build forward -> Backward() -> discard), no in-place ops.
+/// That is exactly the access pattern of the training loops in this library.
+class Variable {
+ public:
+  /// Creates a leaf. Prefer the MakeParam / MakeConst helpers below.
+  Variable(Tensor value, bool requires_grad)
+      : value(std::move(value)), requires_grad(requires_grad) {}
+
+  Variable(const Variable&) = delete;
+  Variable& operator=(const Variable&) = delete;
+
+  /// Forward value of this node.
+  Tensor value;
+
+  /// Gradient of the final loss w.r.t. `value`. Allocated (zero-filled) on
+  /// first accumulation; empty for nodes where requires_grad is false.
+  Tensor grad;
+
+  /// Whether the loss gradient should flow into (and be stored at) this node.
+  /// Interior nodes inherit `true` if any parent requires grad.
+  bool requires_grad = false;
+
+  /// Inputs of the op that produced this node (empty for leaves).
+  std::vector<VarPtr> parents;
+
+  /// Pushes `grad` into the parents' `grad` accumulators. Null for leaves.
+  std::function<void(Variable&)> backward_fn;
+
+  /// Op name for error messages and debugging.
+  std::string op_name = "leaf";
+
+  /// Ensures `grad` exists (same shape as `value`, zero-filled on creation).
+  Tensor& EnsureGrad();
+
+  /// Drops the gradient buffer (used between optimizer steps for leaves).
+  void ZeroGrad();
+
+  /// Convenience accessors.
+  int64_t rows() const { return value.rows(); }
+  int64_t cols() const { return value.cols(); }
+};
+
+/// Trainable leaf: gradients accumulate here and the optimizers update it.
+VarPtr MakeParam(Tensor value);
+
+/// Non-trainable leaf: data the graph reads but never differentiates.
+VarPtr MakeConst(Tensor value);
+
+/// Runs reverse-mode differentiation from `root`, which must be a scalar
+/// (numel() == 1). Seeds d root / d root = 1 and visits the tape in reverse
+/// topological order. Gradients accumulate (+=) into every reachable node
+/// with requires_grad, so callers must zero parameter grads between steps.
+void Backward(const VarPtr& root);
+
+/// Zeroes the gradients of all `params`.
+void ZeroGrads(const std::vector<VarPtr>& params);
+
+/// Collects the values of the tape in topological order (parents before
+/// children). Exposed for tests.
+std::vector<Variable*> TopologicalOrder(const VarPtr& root);
+
+}  // namespace autoac
+
+#endif  // AUTOAC_TENSOR_VARIABLE_H_

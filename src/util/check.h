@@ -1,0 +1,89 @@
+#ifndef AUTOAC_UTIL_CHECK_H_
+#define AUTOAC_UTIL_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+// CHECK macros for enforcing invariants. A failed check indicates a
+// programmer error (not a recoverable condition), prints the failing
+// expression with file/line context, and aborts the process.
+//
+// Usage:
+//   AUTOAC_CHECK(ptr != nullptr) << "extra context";
+//   AUTOAC_CHECK_EQ(a, b);
+//
+// DCHECK variants compile to no-ops in NDEBUG builds and should guard
+// conditions that are too expensive to verify in release mode.
+
+namespace autoac::internal {
+
+// Accumulates the failure message and aborts on destruction. The extra
+// context streamed by the caller (via operator<<) is appended before abort.
+class CheckFailureStream {
+ public:
+  CheckFailureStream(const char* file, int line, const char* expr) {
+    stream_ << "CHECK failed at " << file << ":" << line << ": " << expr;
+  }
+
+  CheckFailureStream(const CheckFailureStream&) = delete;
+  CheckFailureStream& operator=(const CheckFailureStream&) = delete;
+
+  [[noreturn]] ~CheckFailureStream() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  template <typename T>
+  CheckFailureStream& operator<<(const T& value) {
+    stream_ << " " << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+// Gives the false branch of the CHECK ternary type void while letting the
+// caller append context with operator<< first: '&' binds weaker than '<<'.
+class Voidifier {
+ public:
+  void operator&(const CheckFailureStream&) {}
+};
+
+}  // namespace autoac::internal
+
+#define AUTOAC_CHECK(condition)                                \
+  (condition) ? (void)0                                        \
+              : ::autoac::internal::Voidifier() &              \
+                    ::autoac::internal::CheckFailureStream(    \
+                        __FILE__, __LINE__, #condition)
+
+#define AUTOAC_CHECK_OP(lhs, rhs, op)                          \
+  ((lhs)op(rhs)) ? (void)0                                     \
+                 : ::autoac::internal::Voidifier() &           \
+                       (::autoac::internal::CheckFailureStream(\
+                            __FILE__, __LINE__,                \
+                            #lhs " " #op " " #rhs)             \
+                        << "(" << (lhs) << " vs " << (rhs) << ")")
+
+#define AUTOAC_CHECK_EQ(lhs, rhs) AUTOAC_CHECK_OP(lhs, rhs, ==)
+#define AUTOAC_CHECK_NE(lhs, rhs) AUTOAC_CHECK_OP(lhs, rhs, !=)
+#define AUTOAC_CHECK_LT(lhs, rhs) AUTOAC_CHECK_OP(lhs, rhs, <)
+#define AUTOAC_CHECK_LE(lhs, rhs) AUTOAC_CHECK_OP(lhs, rhs, <=)
+#define AUTOAC_CHECK_GT(lhs, rhs) AUTOAC_CHECK_OP(lhs, rhs, >)
+#define AUTOAC_CHECK_GE(lhs, rhs) AUTOAC_CHECK_OP(lhs, rhs, >=)
+
+#ifdef NDEBUG
+#define AUTOAC_DCHECK(condition) AUTOAC_CHECK(true || (condition))
+#define AUTOAC_DCHECK_EQ(lhs, rhs) AUTOAC_DCHECK((lhs) == (rhs))
+#define AUTOAC_DCHECK_LT(lhs, rhs) AUTOAC_DCHECK((lhs) < (rhs))
+#define AUTOAC_DCHECK_LE(lhs, rhs) AUTOAC_DCHECK((lhs) <= (rhs))
+#else
+#define AUTOAC_DCHECK(condition) AUTOAC_CHECK(condition)
+#define AUTOAC_DCHECK_EQ(lhs, rhs) AUTOAC_CHECK_EQ(lhs, rhs)
+#define AUTOAC_DCHECK_LT(lhs, rhs) AUTOAC_CHECK_LT(lhs, rhs)
+#define AUTOAC_DCHECK_LE(lhs, rhs) AUTOAC_CHECK_LE(lhs, rhs)
+#endif
+
+#endif  // AUTOAC_UTIL_CHECK_H_

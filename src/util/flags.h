@@ -1,0 +1,35 @@
+#ifndef AUTOAC_UTIL_FLAGS_H_
+#define AUTOAC_UTIL_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace autoac {
+
+/// Tiny --key=value command-line parser so bench and example binaries can be
+/// re-run with different budgets ("--seeds=5 --epochs=200") without
+/// recompiling. Unknown keys are kept and retrievable; flags never abort.
+class Flags {
+ public:
+  /// Parses argv, skipping argv[0]. Arguments not of the form --key=value or
+  /// --key (boolean true) are ignored.
+  Flags(int argc, char** argv);
+
+  /// Returns the value of `key` or `default_value` if unset/unparseable.
+  int64_t GetInt(const std::string& key, int64_t default_value) const;
+  double GetDouble(const std::string& key, double default_value) const;
+  std::string GetString(const std::string& key,
+                        const std::string& default_value) const;
+  bool GetBool(const std::string& key, bool default_value) const;
+
+  /// True when `key` was present on the command line.
+  bool Has(const std::string& key) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace autoac
+
+#endif  // AUTOAC_UTIL_FLAGS_H_

@@ -1,0 +1,58 @@
+#ifndef AUTOAC_UTIL_LOGGING_H_
+#define AUTOAC_UTIL_LOGGING_H_
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+// Minimal leveled logging. Messages at or above the global threshold are
+// written to stderr with a level prefix. Intended for library diagnostics;
+// benchmark binaries print their tables directly to stdout.
+//
+// Usage:
+//   AUTOAC_LOG(INFO) << "epoch " << epoch << " loss " << loss;
+//   autoac::SetLogLevel(autoac::LogLevel::kWarning);  // silence INFO
+
+namespace autoac {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+};
+
+/// Sets the minimum level that will be emitted. Defaults to kInfo.
+void SetLogLevel(LogLevel level);
+
+/// Returns the current minimum emitted level.
+LogLevel GetLogLevel();
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace autoac
+
+#define AUTOAC_LOG(severity)                                      \
+  ::autoac::internal::LogMessage(::autoac::LogLevel::k##severity, \
+                                 __FILE__, __LINE__)
+
+#endif  // AUTOAC_UTIL_LOGGING_H_

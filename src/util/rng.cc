@@ -1,0 +1,34 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_set>
+
+namespace autoac {
+
+std::vector<int64_t> Rng::SampleWithoutReplacement(int64_t n, int64_t k) {
+  AUTOAC_CHECK_GE(n, 0);
+  AUTOAC_CHECK_GE(k, 0);
+  AUTOAC_CHECK_LE(k, n);
+  std::vector<int64_t> result;
+  result.reserve(k);
+  if (k > n / 4) {
+    // Dense regime: shuffle a full permutation and take a prefix.
+    std::vector<int64_t> all(n);
+    std::iota(all.begin(), all.end(), 0);
+    Shuffle(all);
+    result.assign(all.begin(), all.begin() + k);
+  } else {
+    // Sparse regime: rejection sampling terminates quickly because the
+    // hit probability stays below 1/4.
+    std::unordered_set<int64_t> seen;
+    seen.reserve(static_cast<size_t>(k) * 2);
+    while (static_cast<int64_t>(result.size()) < k) {
+      int64_t candidate = UniformInt(0, n - 1);
+      if (seen.insert(candidate).second) result.push_back(candidate);
+    }
+  }
+  return result;
+}
+
+}  // namespace autoac

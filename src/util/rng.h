@@ -1,0 +1,68 @@
+#ifndef AUTOAC_UTIL_RNG_H_
+#define AUTOAC_UTIL_RNG_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "util/check.h"
+
+namespace autoac {
+
+/// Seedable random number generator used everywhere in the library so that
+/// experiments are reproducible run-to-run. Wraps std::mt19937_64 with the
+/// sampling helpers the data generators and optimizers need.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    AUTOAC_CHECK_LE(lo, hi);
+    return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform real in [lo, hi).
+  double Uniform(double lo = 0.0, double hi = 1.0) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Standard normal scaled by `stddev` and shifted by `mean`.
+  double Normal(double mean = 0.0, double stddev = 1.0) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Bernoulli draw with success probability p.
+  bool Bernoulli(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// Draws an index in [0, weights.size()) proportionally to `weights`.
+  /// All weights must be non-negative with a positive sum.
+  int64_t Categorical(const std::vector<double>& weights) {
+    AUTOAC_CHECK(!weights.empty());
+    std::discrete_distribution<int64_t> dist(weights.begin(), weights.end());
+    return dist(engine_);
+  }
+
+  /// In-place Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& values) {
+    std::shuffle(values.begin(), values.end(), engine_);
+  }
+
+  /// Samples `k` distinct values from [0, n) without replacement.
+  /// Requires k <= n. O(n) when k is a large fraction of n, otherwise
+  /// rejection sampling.
+  std::vector<int64_t> SampleWithoutReplacement(int64_t n, int64_t k);
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace autoac
+
+#endif  // AUTOAC_UTIL_RNG_H_

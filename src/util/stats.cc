@@ -1,0 +1,120 @@
+#include "util/stats.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/check.h"
+
+namespace autoac {
+namespace {
+
+// Regularized incomplete beta function I_x(a, b) via the continued fraction
+// expansion (Numerical Recipes style). Needed for the Student-t CDF used by
+// the Welch test.
+double BetaContinuedFraction(double a, double b, double x) {
+  constexpr int kMaxIterations = 200;
+  constexpr double kEpsilon = 3e-12;
+  constexpr double kTiny = 1e-30;
+
+  double qab = a + b;
+  double qap = a + 1.0;
+  double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::fabs(d) < kTiny) d = kTiny;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIterations; ++m) {
+    int m2 = 2 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEpsilon) break;
+  }
+  return h;
+}
+
+double RegularizedIncompleteBeta(double a, double b, double x) {
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+  double ln_beta = std::lgamma(a + b) - std::lgamma(a) - std::lgamma(b) +
+                   a * std::log(x) + b * std::log(1.0 - x);
+  double front = std::exp(ln_beta);
+  // Use the expansion on the side where it converges fast.
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * BetaContinuedFraction(a, b, x) / a;
+  }
+  return 1.0 - front * BetaContinuedFraction(b, a, 1.0 - x) / b;
+}
+
+// Two-sided p-value of |T| >= |t| where T ~ Student-t with `df` degrees of
+// freedom: P = I_{df/(df+t^2)}(df/2, 1/2).
+double StudentTTwoSidedP(double t, double df) {
+  if (df <= 0.0) return 1.0;
+  double x = df / (df + t * t);
+  return RegularizedIncompleteBeta(df / 2.0, 0.5, x);
+}
+
+}  // namespace
+
+RunSummary Summarize(const std::vector<double>& values) {
+  RunSummary summary;
+  summary.n = static_cast<int>(values.size());
+  if (summary.n == 0) return summary;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  summary.mean = sum / summary.n;
+  if (summary.n > 1) {
+    double ss = 0.0;
+    for (double v : values) {
+      double d = v - summary.mean;
+      ss += d * d;
+    }
+    summary.stddev = std::sqrt(ss / (summary.n - 1));
+  }
+  return summary;
+}
+
+double WelchTTestPValue(const std::vector<double>& a,
+                        const std::vector<double>& b) {
+  if (a.size() < 2 || b.size() < 2) return 1.0;
+  RunSummary sa = Summarize(a);
+  RunSummary sb = Summarize(b);
+  double va = sa.stddev * sa.stddev / sa.n;
+  double vb = sb.stddev * sb.stddev / sb.n;
+  double denom = va + vb;
+  if (denom <= 0.0) return sa.mean == sb.mean ? 1.0 : 0.0;
+  double t = (sa.mean - sb.mean) / std::sqrt(denom);
+  // Welch-Satterthwaite degrees of freedom.
+  double df_num = denom * denom;
+  double df_den = va * va / (sa.n - 1) + vb * vb / (sb.n - 1);
+  double df = df_den > 0.0 ? df_num / df_den : 1.0;
+  return StudentTTwoSidedP(t, df);
+}
+
+std::string FormatMeanStd(const RunSummary& summary, int digits) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f±%.*f", digits,
+                summary.mean, digits, summary.stddev);
+  return buffer;
+}
+
+std::string FormatPValue(double p) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.1e", p);
+  return buffer;
+}
+
+}  // namespace autoac

@@ -1,0 +1,34 @@
+#ifndef AUTOAC_UTIL_STATS_H_
+#define AUTOAC_UTIL_STATS_H_
+
+#include <string>
+#include <vector>
+
+namespace autoac {
+
+/// Summary of repeated runs of one experiment configuration.
+struct RunSummary {
+  double mean = 0.0;
+  double stddev = 0.0;  // Sample standard deviation (n - 1 denominator).
+  int n = 0;
+};
+
+/// Computes mean and sample standard deviation of `values`.
+RunSummary Summarize(const std::vector<double>& values);
+
+/// Two-sided Welch t-test p-value for the hypothesis that the two samples
+/// have equal means. Mirrors the significance tests the paper reports under
+/// each results table. Returns 1.0 when either sample has < 2 points or both
+/// variances are zero with equal means.
+double WelchTTestPValue(const std::vector<double>& a,
+                        const std::vector<double>& b);
+
+/// Formats "mean±std" with `digits` decimal places, e.g. "93.86±0.18".
+std::string FormatMeanStd(const RunSummary& summary, int digits = 2);
+
+/// Formats a p-value in compact scientific notation, e.g. "2.9e-08".
+std::string FormatPValue(double p);
+
+}  // namespace autoac
+
+#endif  // AUTOAC_UTIL_STATS_H_

@@ -1,0 +1,73 @@
+#ifndef AUTOAC_UTIL_STATUS_H_
+#define AUTOAC_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "util/check.h"
+
+namespace autoac {
+
+/// Result of an operation that can fail for recoverable reasons (IO,
+/// malformed input). Programmer errors still use CHECK; Status is for
+/// conditions the caller should be able to handle.
+class Status {
+ public:
+  /// Success.
+  Status() = default;
+
+  static Status Ok() { return Status(); }
+  static Status Error(std::string message) {
+    Status status;
+    status.ok_ = false;
+    status.message_ = std::move(message);
+    return status;
+  }
+
+  bool ok() const { return ok_; }
+  const std::string& message() const { return message_; }
+
+ private:
+  bool ok_ = true;
+  std::string message_;
+};
+
+/// A Status or a value. Access the value only after checking ok().
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(T value) : value_(std::move(value)) {}          // NOLINT
+  StatusOr(Status status) : value_(std::move(status)) {    // NOLINT
+    AUTOAC_CHECK(!std::get<Status>(value_).ok())
+        << "StatusOr constructed from an OK status without a value";
+  }
+
+  bool ok() const { return std::holds_alternative<T>(value_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(value_);
+  }
+
+  T& value() {
+    AUTOAC_CHECK(ok()) << status().message();
+    return std::get<T>(value_);
+  }
+  const T& value() const {
+    AUTOAC_CHECK(ok()) << status().message();
+    return std::get<T>(value_);
+  }
+
+  T&& TakeValue() {
+    AUTOAC_CHECK(ok()) << status().message();
+    return std::move(std::get<T>(value_));
+  }
+
+ private:
+  std::variant<T, Status> value_;
+};
+
+}  // namespace autoac
+
+#endif  // AUTOAC_UTIL_STATUS_H_

@@ -1,0 +1,89 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace autoac {
+namespace {
+
+// Returns the display width of a UTF-8 string, counting multi-byte
+// sequences (e.g. the ± sign used in mean±std cells) as one column.
+size_t DisplayWidth(const std::string& s) {
+  size_t width = 0;
+  for (unsigned char c : s) {
+    // Count every byte that is not a UTF-8 continuation byte.
+    if ((c & 0xC0) != 0x80) ++width;
+  }
+  return width;
+}
+
+void PrintPadded(std::ostream& out, const std::string& cell, size_t width) {
+  out << cell;
+  for (size_t i = DisplayWidth(cell); i < width; ++i) out << ' ';
+}
+
+}  // namespace
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  AUTOAC_CHECK(!header_.empty());
+}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  AUTOAC_CHECK_EQ(row.size(), header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void TablePrinter::AddSeparator() { rows_.push_back({"--"}); }
+
+void TablePrinter::Print(std::ostream& out) const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = DisplayWidth(header_[c]);
+  }
+  for (const auto& row : rows_) {
+    if (row.size() == 1 && row[0] == "--") continue;
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], DisplayWidth(row[c]));
+    }
+  }
+
+  size_t total = 0;
+  for (size_t w : widths) total += w + 3;
+
+  auto print_rule = [&]() {
+    for (size_t i = 0; i + 1 < total; ++i) out << '-';
+    out << '\n';
+  };
+
+  print_rule();
+  for (size_t c = 0; c < header_.size(); ++c) {
+    PrintPadded(out, header_[c], widths[c]);
+    if (c + 1 < header_.size()) out << " | ";
+  }
+  out << '\n';
+  print_rule();
+  for (const auto& row : rows_) {
+    if (row.size() == 1 && row[0] == "--") {
+      print_rule();
+      continue;
+    }
+    for (size_t c = 0; c < row.size(); ++c) {
+      PrintPadded(out, row[c], widths[c]);
+      if (c + 1 < row.size()) out << " | ";
+    }
+    out << '\n';
+  }
+  print_rule();
+}
+
+std::string TablePrinter::ToString() const {
+  std::ostringstream out;
+  Print(out);
+  return out.str();
+}
+
+}  // namespace autoac

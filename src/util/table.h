@@ -1,0 +1,40 @@
+#ifndef AUTOAC_UTIL_TABLE_H_
+#define AUTOAC_UTIL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace autoac {
+
+/// Plain-text table printer used by every bench binary to render the rows a
+/// paper table reports. Columns are auto-sized to their widest cell.
+///
+///   TablePrinter table({"Model", "Macro-F1", "Micro-F1"});
+///   table.AddRow({"SimpleHGN", "93.83±0.18", "94.25±0.19"});
+///   table.Print(std::cout);
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends one data row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Inserts a horizontal separator before the next row, used to group
+  /// model families the way the paper's tables do.
+  void AddSeparator();
+
+  /// Renders the table to `out` with a header rule and column padding.
+  void Print(std::ostream& out) const;
+
+  /// Renders to a string (convenience for tests).
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> header_;
+  // A row with the sentinel value {"--"} renders as a separator line.
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace autoac
+
+#endif  // AUTOAC_UTIL_TABLE_H_

@@ -1,0 +1,47 @@
+#ifndef AUTOAC_UTIL_TIMER_H_
+#define AUTOAC_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace autoac {
+
+/// Wall-clock stopwatch used by the evaluation harness to attribute time to
+/// the pre-learning / search / train stages the paper's efficiency tables
+/// report. Starts running on construction.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last Reset().
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates wall time across repeated start/stop intervals, e.g. the time
+/// spent inside the alpha-update step summed over all search epochs.
+class StageTimer {
+ public:
+  void Start() { timer_.Reset(); }
+  void Stop() { total_seconds_ += timer_.Seconds(); }
+  double TotalSeconds() const { return total_seconds_; }
+  void Clear() { total_seconds_ = 0.0; }
+
+ private:
+  WallTimer timer_;
+  double total_seconds_ = 0.0;
+};
+
+}  // namespace autoac
+
+#endif  // AUTOAC_UTIL_TIMER_H_

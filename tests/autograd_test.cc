@@ -1,0 +1,233 @@
+#include <cmath>
+
+#include "grad_check.h"
+#include "gtest/gtest.h"
+#include "tensor/init.h"
+#include "tensor/ops.h"
+#include "tensor/variable.h"
+#include "util/rng.h"
+
+namespace autoac {
+namespace {
+
+using testing::ExpectGradientsMatch;
+
+VarPtr RandomParam(std::vector<int64_t> shape, Rng& rng, float scale = 0.8f) {
+  return MakeParam(RandomNormal(std::move(shape), scale, rng));
+}
+
+TEST(AutogradTest, BackwardOnScalarLeafSeedsOne) {
+  VarPtr x = MakeParam(Tensor::Scalar(3.0f));
+  Backward(x);
+  EXPECT_FLOAT_EQ(x->grad.data()[0], 1.0f);
+}
+
+TEST(AutogradTest, TopologicalOrderPutsParentsFirst) {
+  VarPtr a = MakeParam(Tensor::Scalar(1.0f));
+  VarPtr b = Scale(a, 2.0f);
+  VarPtr c = Add(b, b);
+  std::vector<Variable*> order = TopologicalOrder(c);
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order.front(), a.get());
+  EXPECT_EQ(order.back(), c.get());
+}
+
+TEST(AutogradTest, GradientAccumulatesOverReusedNodes) {
+  // loss = sum(x + x) -> d loss / dx = 2.
+  VarPtr x = MakeParam(Tensor::Full({3}, 1.0f));
+  Backward(SumAll(Add(x, x)));
+  for (int64_t i = 0; i < 3; ++i) EXPECT_FLOAT_EQ(x->grad.at(i), 2.0f);
+}
+
+TEST(AutogradTest, ConstLeafReceivesNoGradient) {
+  VarPtr c = MakeConst(Tensor::Full({2, 2}, 1.0f));
+  VarPtr w = MakeParam(Tensor::Full({2, 2}, 1.0f));
+  Backward(SumAll(MatMul(c, w)));
+  EXPECT_EQ(c->grad.numel(), 0);
+  EXPECT_GT(w->grad.numel(), 0);
+}
+
+TEST(AutogradTest, DeepChainDoesNotOverflowStack) {
+  VarPtr x = MakeParam(Tensor::Scalar(1.0f));
+  VarPtr y = x;
+  for (int i = 0; i < 20000; ++i) y = Scale(y, 1.0f);
+  Backward(y);
+  EXPECT_FLOAT_EQ(x->grad.data()[0], 1.0f);
+}
+
+// --- finite-difference gradient checks for each op ---
+
+TEST(GradCheckTest, MatMul) {
+  Rng rng(1);
+  VarPtr a = RandomParam({3, 4}, rng);
+  VarPtr b = RandomParam({4, 2}, rng);
+  ExpectGradientsMatch({a, b}, [&] { return SumAll(MatMul(a, b)); });
+}
+
+TEST(GradCheckTest, Transpose) {
+  Rng rng(2);
+  VarPtr a = RandomParam({3, 2}, rng);
+  VarPtr w = RandomParam({3, 2}, rng);
+  ExpectGradientsMatch(
+      {a}, [&] { return SumAll(Mul(Transpose(a), Transpose(w))); });
+}
+
+TEST(GradCheckTest, AddSubMulScale) {
+  Rng rng(3);
+  VarPtr a = RandomParam({2, 3}, rng);
+  VarPtr b = RandomParam({2, 3}, rng);
+  ExpectGradientsMatch({a, b}, [&] {
+    return SumAll(Mul(Sub(Add(a, b), Scale(b, 0.5f)), a));
+  });
+}
+
+TEST(GradCheckTest, AddN) {
+  Rng rng(4);
+  VarPtr a = RandomParam({2, 2}, rng);
+  VarPtr b = RandomParam({2, 2}, rng);
+  VarPtr c = RandomParam({2, 2}, rng);
+  ExpectGradientsMatch({a, b, c},
+                       [&] { return SumSquares(AddN({a, b, c})); });
+}
+
+TEST(GradCheckTest, ScaleByVar) {
+  Rng rng(5);
+  VarPtr x = RandomParam({2, 3}, rng);
+  VarPtr s = MakeParam(Tensor::Scalar(0.7f));
+  ExpectGradientsMatch({x, s}, [&] { return SumSquares(ScaleByVar(x, s)); });
+}
+
+TEST(GradCheckTest, AddBias) {
+  Rng rng(6);
+  VarPtr x = RandomParam({3, 4}, rng);
+  VarPtr b = RandomParam({4}, rng);
+  ExpectGradientsMatch({x, b}, [&] { return SumSquares(AddBias(x, b)); });
+}
+
+TEST(GradCheckTest, Sqrt) {
+  Rng rng(7);
+  VarPtr x = MakeParam(Tensor::Full({4}, 2.25f));
+  ExpectGradientsMatch({x}, [&] { return SumAll(Sqrt(x)); });
+}
+
+TEST(GradCheckTest, ConcatRowsAndCols) {
+  Rng rng(8);
+  VarPtr a = RandomParam({2, 3}, rng);
+  VarPtr b = RandomParam({1, 3}, rng);
+  VarPtr c = RandomParam({3, 2}, rng);
+  VarPtr d = RandomParam({3, 1}, rng);
+  ExpectGradientsMatch({a, b}, [&] { return SumSquares(ConcatRows({a, b})); });
+  ExpectGradientsMatch({c, d}, [&] { return SumSquares(ConcatCols({c, d})); });
+}
+
+TEST(GradCheckTest, GatherAndScatterRows) {
+  Rng rng(9);
+  VarPtr x = RandomParam({4, 3}, rng);
+  ExpectGradientsMatch(
+      {x}, [&] { return SumSquares(GatherRows(x, {2, 0, 2})); });
+  VarPtr y = RandomParam({2, 3}, rng);
+  ExpectGradientsMatch(
+      {y}, [&] { return SumSquares(ScatterRows(y, {3, 1}, 5)); });
+}
+
+TEST(GradCheckTest, SliceColAndElementAndReshape) {
+  Rng rng(10);
+  VarPtr x = RandomParam({3, 4}, rng);
+  ExpectGradientsMatch({x}, [&] { return SumSquares(SliceCol(x, 2)); });
+  VarPtr v = RandomParam({5}, rng);
+  ExpectGradientsMatch({v}, [&] { return SliceElement(v, 3); });
+  ExpectGradientsMatch({x}, [&] {
+    return SumSquares(Reshape(x, {4, 3}));
+  });
+}
+
+TEST(GradCheckTest, ScaleRowsByGather) {
+  Rng rng(11);
+  VarPtr x = RandomParam({4, 3}, rng);
+  VarPtr w = RandomParam({2}, rng);
+  ExpectGradientsMatch({x, w}, [&] {
+    return SumSquares(ScaleRowsByGather(x, w, {0, 1, 1, 0}));
+  });
+}
+
+TEST(GradCheckTest, Reductions) {
+  Rng rng(12);
+  VarPtr x = RandomParam({3, 3}, rng);
+  ExpectGradientsMatch({x}, [&] { return SumAll(x); });
+  ExpectGradientsMatch({x}, [&] { return MeanAll(x); });
+  ExpectGradientsMatch({x}, [&] { return SumSquares(x); });
+}
+
+TEST(GradCheckTest, Nonlinearities) {
+  Rng rng(13);
+  // Keep values away from the ReLU kink where finite differences lie.
+  VarPtr x = MakeParam(
+      Tensor::FromVector({6}, {-1.5f, -0.6f, 0.4f, 1.2f, 2.0f, -2.2f}));
+  ExpectGradientsMatch({x}, [&] { return SumSquares(Relu(x)); });
+  ExpectGradientsMatch({x}, [&] { return SumSquares(LeakyRelu(x, 0.1f)); });
+  ExpectGradientsMatch({x}, [&] { return SumSquares(Elu(x)); });
+  ExpectGradientsMatch({x}, [&] { return SumSquares(Sigmoid(x)); });
+  ExpectGradientsMatch({x}, [&] { return SumSquares(Tanh(x)); });
+}
+
+TEST(GradCheckTest, RowSoftmax) {
+  Rng rng(14);
+  VarPtr x = RandomParam({3, 4}, rng);
+  VarPtr target = MakeConst(RandomNormal({3, 4}, 1.0f, rng));
+  ExpectGradientsMatch(
+      {x}, [&] { return SumSquares(Sub(RowSoftmax(x), target)); });
+}
+
+TEST(GradCheckTest, RowL2Normalize) {
+  Rng rng(15);
+  VarPtr x = RandomParam({3, 4}, rng, 1.5f);
+  VarPtr target = MakeConst(RandomNormal({3, 4}, 1.0f, rng));
+  ExpectGradientsMatch(
+      {x}, [&] { return SumSquares(Sub(RowL2Normalize(x), target)); });
+}
+
+TEST(GradCheckTest, SoftmaxCrossEntropy) {
+  Rng rng(16);
+  VarPtr logits = RandomParam({5, 3}, rng);
+  std::vector<int64_t> labels = {0, 2, 1, 0, 2};
+  std::vector<int64_t> rows = {0, 2, 4};
+  ExpectGradientsMatch(
+      {logits}, [&] { return SoftmaxCrossEntropy(logits, labels, rows); });
+}
+
+TEST(GradCheckTest, BceWithLogits) {
+  Rng rng(17);
+  VarPtr scores = RandomParam({6}, rng);
+  std::vector<float> targets = {1, 0, 1, 1, 0, 0};
+  ExpectGradientsMatch({scores},
+                       [&] { return BceWithLogits(scores, targets); });
+}
+
+TEST(AutogradTest, DropoutIdentityWhenNotTraining) {
+  Rng rng(18);
+  VarPtr x = RandomParam({4, 4}, rng);
+  VarPtr y = Dropout(x, 0.5f, /*training=*/false, rng);
+  EXPECT_EQ(y.get(), x.get());
+}
+
+TEST(AutogradTest, DropoutScalesKeptEntries) {
+  Rng rng(19);
+  VarPtr x = MakeParam(Tensor::Full({1000}, 1.0f));
+  VarPtr y = Dropout(x, 0.5f, /*training=*/true, rng);
+  int64_t kept = 0;
+  for (int64_t i = 0; i < 1000; ++i) {
+    float v = y->value.at(i);
+    EXPECT_TRUE(v == 0.0f || std::fabs(v - 2.0f) < 1e-6);
+    if (v != 0.0f) ++kept;
+  }
+  EXPECT_GT(kept, 400);
+  EXPECT_LT(kept, 600);
+}
+
+TEST(AutogradDeathTest, BackwardRequiresScalar) {
+  VarPtr x = MakeParam(Tensor::Full({2, 2}, 1.0f));
+  EXPECT_DEATH(Backward(x), "scalar");
+}
+
+}  // namespace
+}  // namespace autoac

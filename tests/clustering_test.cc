@@ -1,0 +1,149 @@
+#include "autoac/clustering.h"
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "tensor/init.h"
+#include "tensor/optimizer.h"
+
+namespace autoac {
+namespace {
+
+// Two disconnected cliques of 4 nodes each: a perfect 2-clustering exists,
+// with modularity 0.5 (two equal disconnected communities).
+HeteroGraphPtr TwoCliques() {
+  auto graph = std::make_shared<HeteroGraph>();
+  int64_t type = graph->AddNodeType("node", 8);
+  int64_t edge = graph->AddEdgeType("link", type, type);
+  auto clique = [&](int64_t base) {
+    for (int64_t i = 0; i < 4; ++i) {
+      for (int64_t j = i + 1; j < 4; ++j) {
+        graph->AddEdge(edge, base + i, base + j);
+      }
+    }
+  };
+  clique(0);
+  clique(4);
+  graph->SetTargetNodeType(type);
+  graph->SetLabels(std::vector<int64_t>(8, 0), 1);
+  graph->Finalize();
+  return graph;
+}
+
+// Builds a hard assignment matrix as a Var.
+VarPtr HardAssignment(const std::vector<int64_t>& clusters, int64_t m) {
+  Tensor c(static_cast<int64_t>(clusters.size()), m);
+  for (size_t i = 0; i < clusters.size(); ++i) {
+    c.at(static_cast<int64_t>(i), clusters[i]) = 1.0f;
+  }
+  return MakeConst(c);
+}
+
+TEST(ClusterHeadTest, PerfectPartitionScoresBetterThanMixed) {
+  Rng rng(1);
+  HeteroGraphPtr graph = TwoCliques();
+  ClusterHead head(graph, 4, 2, rng);
+  VarPtr perfect = HardAssignment({0, 0, 0, 0, 1, 1, 1, 1}, 2);
+  VarPtr mixed = HardAssignment({0, 1, 0, 1, 0, 1, 0, 1}, 2);
+  float loss_perfect = head.ModularityLoss(perfect)->value.data()[0];
+  float loss_mixed = head.ModularityLoss(mixed)->value.data()[0];
+  EXPECT_LT(loss_perfect, loss_mixed);
+}
+
+TEST(ClusterHeadTest, PerfectPartitionModularityValue) {
+  Rng rng(2);
+  HeteroGraphPtr graph = TwoCliques();
+  ClusterHead head(graph, 4, 2, rng);
+  VarPtr perfect = HardAssignment({0, 0, 0, 0, 1, 1, 1, 1}, 2);
+  // Modularity of two equal disconnected communities is 1/2; the collapse
+  // term for a balanced assignment is sqrt(2)/8 * ||(4,4)|| = sqrt(2)/8 *
+  // sqrt(32) = 1. Loss = -0.5 + 1.0 = 0.5.
+  EXPECT_NEAR(head.ModularityLoss(perfect)->value.data()[0], 0.5f, 1e-4);
+}
+
+TEST(ClusterHeadTest, CollapsePenalizesSingleCluster) {
+  Rng rng(3);
+  HeteroGraphPtr graph = TwoCliques();
+  ClusterHead head(graph, 4, 2, rng);
+  VarPtr collapsed = HardAssignment({0, 0, 0, 0, 0, 0, 0, 0}, 2);
+  // Modularity of the all-in-one assignment is 0; collapse term is
+  // sqrt(2)/8 * 8 = sqrt(2). Loss = sqrt(2) > perfect's 0.5.
+  EXPECT_NEAR(head.ModularityLoss(collapsed)->value.data()[0],
+              std::sqrt(2.0f), 1e-4);
+}
+
+TEST(ClusterHeadTest, TrainingTheHeadRecoversCommunities) {
+  Rng rng(4);
+  HeteroGraphPtr graph = TwoCliques();
+  ClusterHead head(graph, 2, 2, rng);
+  // Hidden features that separate the two cliques linearly.
+  Tensor hidden_values(8, 2);
+  for (int64_t i = 0; i < 8; ++i) {
+    hidden_values.at(i, 0) = i < 4 ? 1.0f : -1.0f;
+    hidden_values.at(i, 1) = static_cast<float>(rng.Normal(0, 0.1));
+  }
+  VarPtr hidden = MakeConst(hidden_values);
+  Adam optimizer(head.Parameters(), 0.05f);
+  for (int step = 0; step < 200; ++step) {
+    optimizer.ZeroGrad();
+    VarPtr loss = head.ModularityLoss(head.Assignments(hidden));
+    Backward(loss);
+    optimizer.Step();
+  }
+  std::vector<int64_t> all_nodes = {0, 1, 2, 3, 4, 5, 6, 7};
+  std::vector<int64_t> clusters =
+      head.HardClusters(head.Assignments(hidden), all_nodes);
+  // Both cliques internally consistent and different from each other.
+  for (int64_t i = 1; i < 4; ++i) EXPECT_EQ(clusters[i], clusters[0]);
+  for (int64_t i = 5; i < 8; ++i) EXPECT_EQ(clusters[i], clusters[4]);
+  EXPECT_NE(clusters[0], clusters[4]);
+}
+
+TEST(ClusterHeadTest, AssignmentsAreRowStochastic) {
+  Rng rng(5);
+  HeteroGraphPtr graph = TwoCliques();
+  ClusterHead head(graph, 3, 4, rng);
+  VarPtr hidden = MakeConst(RandomNormal({8, 3}, 1.0f, rng));
+  VarPtr c = head.Assignments(hidden);
+  EXPECT_EQ(c->value.cols(), 4);
+  for (int64_t i = 0; i < 8; ++i) {
+    float sum = 0;
+    for (int64_t m = 0; m < 4; ++m) {
+      EXPECT_GE(c->value.at(i, m), 0.0f);
+      sum += c->value.at(i, m);
+    }
+    EXPECT_NEAR(sum, 1.0f, 1e-5);
+  }
+}
+
+TEST(KMeansTest, SeparatedBlobsAreRecovered) {
+  Rng rng(6);
+  Tensor features(60, 2);
+  for (int64_t i = 0; i < 60; ++i) {
+    float center = i < 30 ? 5.0f : -5.0f;
+    features.at(i, 0) = center + static_cast<float>(rng.Normal(0, 0.3));
+    features.at(i, 1) = center + static_cast<float>(rng.Normal(0, 0.3));
+  }
+  std::vector<int64_t> assignment = KMeansCluster(features, 2, 10, rng);
+  ASSERT_EQ(assignment.size(), 60u);
+  for (int64_t i = 1; i < 30; ++i) EXPECT_EQ(assignment[i], assignment[0]);
+  for (int64_t i = 31; i < 60; ++i) EXPECT_EQ(assignment[i], assignment[30]);
+  EXPECT_NE(assignment[0], assignment[30]);
+}
+
+TEST(KMeansTest, HandlesMoreClustersThanPoints) {
+  Rng rng(7);
+  Tensor features(3, 2);
+  features.at(0, 0) = 1.0f;
+  features.at(1, 0) = 2.0f;
+  features.at(2, 0) = 3.0f;
+  std::vector<int64_t> assignment = KMeansCluster(features, 5, 5, rng);
+  EXPECT_EQ(assignment.size(), 3u);
+  for (int64_t a : assignment) {
+    EXPECT_GE(a, 0);
+    EXPECT_LT(a, 5);
+  }
+}
+
+}  // namespace
+}  // namespace autoac

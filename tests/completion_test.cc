@@ -1,0 +1,266 @@
+#include "completion/completion_module.h"
+
+#include <cmath>
+
+#include "autoac/completion_params.h"
+#include "gtest/gtest.h"
+#include "tensor/optimizer.h"
+
+namespace autoac {
+namespace {
+
+// Toy graph: 2 authors (missing), 3 papers (attributed, dim 2), 1 venue
+// (missing). author0 - papers {0, 1}; author1 - paper 2; venue0 - all papers.
+HeteroGraphPtr ToyGraph() {
+  auto graph = std::make_shared<HeteroGraph>();
+  int64_t author = graph->AddNodeType("author", 2);
+  int64_t paper = graph->AddNodeType("paper", 3);
+  int64_t venue = graph->AddNodeType("venue", 1);
+  int64_t pa = graph->AddEdgeType("pa", paper, author);
+  int64_t pv = graph->AddEdgeType("pv", paper, venue);
+  Tensor attrs = Tensor::FromVector({3, 2}, {1, 0, 3, 0, 0, 2});
+  graph->SetAttributes(paper, attrs);
+  graph->AddEdge(pa, 0, 0);
+  graph->AddEdge(pa, 1, 0);
+  graph->AddEdge(pa, 2, 1);
+  graph->AddEdge(pv, 0, 0);
+  graph->AddEdge(pv, 1, 0);
+  graph->AddEdge(pv, 2, 0);
+  graph->SetTargetNodeType(author);
+  graph->SetLabels({0, 1}, 2);
+  graph->Finalize();
+  return graph;
+}
+
+CompletionConfig SmallConfig() {
+  CompletionConfig config;
+  config.hidden_dim = 2;
+  config.ppnp_steps = 4;
+  return config;
+}
+
+TEST(CompletionModuleTest, MissingNodesAreNonAttributedGlobalIds) {
+  Rng rng(1);
+  CompletionModule module(ToyGraph(), SmallConfig(), rng);
+  // Missing: authors (global 0,1) and venue (global 5).
+  EXPECT_EQ(module.missing_nodes(), (std::vector<int64_t>{0, 1, 5}));
+  EXPECT_EQ(module.num_missing(), 3);
+}
+
+TEST(CompletionModuleTest, BaseFeaturesZeroForMissingRows) {
+  Rng rng(2);
+  HeteroGraphPtr graph = ToyGraph();
+  CompletionModule module(graph, SmallConfig(), rng);
+  VarPtr base = module.BaseFeatures();
+  EXPECT_EQ(base->value.rows(), graph->num_nodes());
+  EXPECT_EQ(base->value.cols(), 2);
+  for (int64_t missing : module.missing_nodes()) {
+    EXPECT_EQ(base->value.at(missing, 0), 0.0f);
+    EXPECT_EQ(base->value.at(missing, 1), 0.0f);
+  }
+  // Attributed rows are X W: paper0 projected must be nonzero for a
+  // generic random W.
+  float norm = std::fabs(base->value.at(2, 0)) + std::fabs(base->value.at(2, 1));
+  EXPECT_GT(norm, 1e-4);
+}
+
+TEST(CompletionModuleTest, MeanOpMatchesHandComputation) {
+  Rng rng(3);
+  HeteroGraphPtr graph = ToyGraph();
+  CompletionModule module(graph, SmallConfig(), rng);
+  VarPtr base = module.BaseFeatures();
+  VarPtr completed = module.RunOp(CompletionOpType::kMean, base);
+  ASSERT_EQ(completed->value.rows(), 3);
+
+  // Author0's attributed neighbours are papers 0 and 1 (global 2, 3):
+  // mean of their projected features, then the mean op's transform W_mean.
+  // With W_mean ~= I (near-identity init), verify against the projected
+  // values up to the transform by re-deriving from the module itself:
+  // completed = Gather(SpMM(mean_adj, base)) @ W_mean, so we check the
+  // aggregation part through linearity: completed(author0) applied to the
+  // same W must equal mean of projected papers applied to W. Instead verify
+  // the full computation numerically:
+  Tensor mean_paper(1, 2);
+  for (int64_t j = 0; j < 2; ++j) {
+    mean_paper.at(0, j) =
+        0.5f * (base->value.at(2, j) + base->value.at(3, j));
+  }
+  // Recover W_mean by probing with unit vectors is overkill; use the
+  // property that author1's completion equals paper2's projection times the
+  // same W as author0's mean: solve scale ratios per column when W ~ I.
+  // Simplest robust check: completed rows are finite and the venue row
+  // aggregates all three papers.
+  Tensor mean_all(1, 2);
+  for (int64_t j = 0; j < 2; ++j) {
+    mean_all.at(0, j) = (base->value.at(2, j) + base->value.at(3, j) +
+                         base->value.at(4, j)) /
+                        3.0f;
+  }
+  // W_mean is near-identity (1 + O(0.02) noise), so the completed rows must
+  // be close to the raw aggregations.
+  for (int64_t j = 0; j < 2; ++j) {
+    EXPECT_NEAR(completed->value.at(0, j), mean_paper.at(0, j), 0.15);
+    EXPECT_NEAR(completed->value.at(2, j), mean_all.at(0, j), 0.15);
+  }
+}
+
+TEST(CompletionModuleTest, GcnOpUsesSymmetricNormalization) {
+  Rng rng(4);
+  HeteroGraphPtr graph = ToyGraph();
+  CompletionModule module(graph, SmallConfig(), rng);
+  VarPtr base = module.BaseFeatures();
+  VarPtr completed = module.RunOp(CompletionOpType::kGcn, base);
+  // author1 (degree 1) aggregates paper2 (degree 2) with weight
+  // 1/sqrt(1*2); W_gcn is near-identity.
+  for (int64_t j = 0; j < 2; ++j) {
+    EXPECT_NEAR(completed->value.at(1, j),
+                base->value.at(4, j) / std::sqrt(2.0f), 0.15);
+  }
+}
+
+TEST(CompletionModuleTest, PpnpOpProducesFiniteDiffusion) {
+  Rng rng(5);
+  HeteroGraphPtr graph = ToyGraph();
+  CompletionModule module(graph, SmallConfig(), rng);
+  VarPtr base = module.BaseFeatures();
+  VarPtr completed = module.RunOp(CompletionOpType::kPpnp, base);
+  EXPECT_EQ(completed->value.rows(), 3);
+  bool any_nonzero = false;
+  for (int64_t i = 0; i < completed->value.numel(); ++i) {
+    EXPECT_TRUE(std::isfinite(completed->value.data()[i]));
+    any_nonzero = any_nonzero || completed->value.data()[i] != 0.0f;
+  }
+  EXPECT_TRUE(any_nonzero);
+}
+
+TEST(CompletionModuleTest, OneHotStartsAtZeroAndIsTrainable) {
+  Rng rng(6);
+  HeteroGraphPtr graph = ToyGraph();
+  CompletionModule module(graph, SmallConfig(), rng);
+  VarPtr base = module.BaseFeatures();
+  VarPtr completed = module.RunOp(CompletionOpType::kOneHot, base);
+  for (int64_t i = 0; i < completed->value.numel(); ++i) {
+    EXPECT_EQ(completed->value.data()[i], 0.0f);
+  }
+  // Gradients flow into the embedding tables.
+  std::vector<VarPtr> params = module.Parameters();
+  ZeroGrads(params);
+  Backward(SumSquares(AddScalar(completed, 1.0f)));
+  bool embedding_touched = false;
+  for (const VarPtr& p : params) {
+    if (p->grad.numel() > 0) embedding_touched = true;
+  }
+  EXPECT_TRUE(embedding_touched);
+}
+
+TEST(CompletionModuleTest, DiscreteEqualsWeightedWithOneHotAlpha) {
+  Rng rng(7);
+  HeteroGraphPtr graph = ToyGraph();
+  CompletionModule module(graph, SmallConfig(), rng);
+
+  std::vector<CompletionOpType> ops = {CompletionOpType::kMean,
+                                       CompletionOpType::kGcn,
+                                       CompletionOpType::kOneHot};
+  VarPtr discrete = module.CompleteDiscrete(ops);
+
+  // Equivalent alpha: 3 clusters (one per missing node), one-hot rows.
+  Tensor alpha(3, kNumCompletionOps);
+  alpha.at(0, static_cast<int>(CompletionOpType::kMean)) = 1.0f;
+  alpha.at(1, static_cast<int>(CompletionOpType::kGcn)) = 1.0f;
+  alpha.at(2, static_cast<int>(CompletionOpType::kOneHot)) = 1.0f;
+  VarPtr weighted = module.CompleteWeighted(MakeConst(alpha), {0, 1, 2},
+                                            /*skip_zero_ops=*/false);
+  ASSERT_TRUE(discrete->value.SameShape(weighted->value));
+  for (int64_t i = 0; i < discrete->value.numel(); ++i) {
+    EXPECT_NEAR(discrete->value.data()[i], weighted->value.data()[i], 1e-5);
+  }
+}
+
+TEST(CompletionModuleTest, SkipZeroOpsSkipsUnusedColumns) {
+  Rng rng(8);
+  HeteroGraphPtr graph = ToyGraph();
+  CompletionModule module(graph, SmallConfig(), rng);
+  Tensor alpha(1, kNumCompletionOps);
+  alpha.at(0, static_cast<int>(CompletionOpType::kMean)) = 1.0f;
+  VarPtr with_skip = module.CompleteWeighted(MakeConst(alpha), {0, 0, 0},
+                                             /*skip_zero_ops=*/true);
+  VarPtr without_skip = module.CompleteWeighted(MakeConst(alpha), {0, 0, 0},
+                                                /*skip_zero_ops=*/false);
+  for (int64_t i = 0; i < with_skip->value.numel(); ++i) {
+    EXPECT_NEAR(with_skip->value.data()[i], without_skip->value.data()[i],
+                1e-5);
+  }
+}
+
+TEST(CompletionModuleTest, MissingPositionsOfTypeSelectsBlock) {
+  Rng rng(9);
+  HeteroGraphPtr graph = ToyGraph();
+  CompletionModule module(graph, SmallConfig(), rng);
+  EXPECT_EQ(module.MissingPositionsOfType(0), (std::vector<int64_t>{0, 1}));
+  EXPECT_EQ(module.MissingPositionsOfType(2), (std::vector<int64_t>{2}));
+  EXPECT_TRUE(module.MissingPositionsOfType(1).empty());
+}
+
+TEST(CompletionOpTest, NamesAndParsing) {
+  EXPECT_STREQ(CompletionOpName(CompletionOpType::kGcn), "GCN_AC");
+  EXPECT_EQ(CompletionOpFromString("ppnp"), CompletionOpType::kPpnp);
+  EXPECT_DEATH(CompletionOpFromString("bogus"), "unknown");
+}
+
+TEST(ProximalTest, ProxC1ProjectsRowsToOneHot) {
+  Tensor alpha = Tensor::FromVector({2, 4},
+                                    {0.1f, 0.9f, 0.3f, 0.2f,
+                                     0.5f, 0.5f, 0.4f, 0.6f});
+  Tensor projected = ProxC1(alpha);
+  EXPECT_EQ(projected.at(0, 1), 1.0f);
+  EXPECT_EQ(projected.at(1, 3), 1.0f);
+  for (int64_t i = 0; i < 2; ++i) {
+    float sum = 0;
+    for (int64_t j = 0; j < 4; ++j) sum += projected.at(i, j);
+    EXPECT_EQ(sum, 1.0f);  // ||row||_0 == 1 with unit mass
+  }
+}
+
+TEST(ProximalTest, ProxC1IsIdempotent) {
+  Tensor alpha = Tensor::FromVector({1, 4}, {0.2f, 0.7f, 0.1f, 0.0f});
+  Tensor once = ProxC1(alpha);
+  Tensor twice = ProxC1(once);
+  for (int64_t i = 0; i < once.numel(); ++i) {
+    EXPECT_EQ(once.data()[i], twice.data()[i]);
+  }
+}
+
+TEST(ProximalTest, ProxC2ClampsToUnitBox) {
+  Tensor alpha = Tensor::FromVector({1, 4}, {-0.5f, 0.5f, 1.5f, 1.0f});
+  ProxC2(alpha);
+  EXPECT_EQ(alpha.at(0, 0), 0.0f);
+  EXPECT_EQ(alpha.at(0, 1), 0.5f);
+  EXPECT_EQ(alpha.at(0, 2), 1.0f);
+  EXPECT_EQ(alpha.at(0, 3), 1.0f);
+}
+
+TEST(ProximalTest, ArgmaxOpsMatchesProxC1) {
+  Rng rng(10);
+  Tensor alpha = InitCompletionParams(16, rng);
+  Tensor projected = ProxC1(alpha);
+  std::vector<CompletionOpType> ops = ArgmaxOps(alpha);
+  for (int64_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(projected.at(i, static_cast<int>(ops[i])), 1.0f);
+  }
+}
+
+TEST(ProximalTest, InitIsNearUniformWithJitter) {
+  Rng rng(11);
+  Tensor alpha = InitCompletionParams(64, rng);
+  int histogram[kNumCompletionOps] = {0};
+  for (CompletionOpType op : ArgmaxOps(alpha)) {
+    ++histogram[static_cast<int>(op)];
+  }
+  // Jittered-uniform init: every operation should win some rows.
+  for (int o = 0; o < kNumCompletionOps; ++o) {
+    EXPECT_GT(histogram[o], 0) << "op " << o << " never initial-argmax";
+  }
+}
+
+}  // namespace
+}  // namespace autoac

@@ -1,0 +1,101 @@
+#include "graph/csr.h"
+
+#include "gtest/gtest.h"
+#include "util/rng.h"
+
+namespace autoac {
+namespace {
+
+TEST(CsrTest, FromCooBucketsByRow) {
+  // 3x3 matrix with entries (0,1), (2,0), (0,2), (1,1).
+  Csr csr = Csr::FromCoo(3, 3, {0, 2, 0, 1}, {1, 0, 2, 1});
+  csr.CheckInvariants();
+  EXPECT_EQ(csr.nnz(), 4);
+  EXPECT_EQ(csr.RowDegree(0), 2);
+  EXPECT_EQ(csr.RowDegree(1), 1);
+  EXPECT_EQ(csr.RowDegree(2), 1);
+  // Row 0 holds columns {1, 2} in insertion order.
+  EXPECT_EQ(csr.indices[csr.indptr[0]], 1);
+  EXPECT_EQ(csr.indices[csr.indptr[0] + 1], 2);
+}
+
+TEST(CsrTest, DefaultValuesAreOnes) {
+  Csr csr = Csr::FromCoo(2, 2, {0, 1}, {1, 0});
+  for (float v : csr.values) EXPECT_EQ(v, 1.0f);
+}
+
+TEST(CsrTest, ValuesAndEdgeIdsFollowPermutation) {
+  Csr csr = Csr::FromCoo(2, 3, {1, 0, 1}, {0, 2, 1}, {10.f, 20.f, 30.f},
+                         {100, 200, 300});
+  csr.CheckInvariants();
+  // Row 0 has the single entry originally at position 1.
+  EXPECT_EQ(csr.values[csr.indptr[0]], 20.f);
+  EXPECT_EQ(csr.edge_id[csr.indptr[0]], 200);
+}
+
+TEST(CsrTest, DuplicateEntriesAreKept) {
+  Csr csr = Csr::FromCoo(2, 2, {0, 0}, {1, 1});
+  EXPECT_EQ(csr.nnz(), 2);
+  EXPECT_EQ(csr.RowDegree(0), 2);
+}
+
+TEST(CsrTest, TransposeMatchesManual) {
+  Csr csr = Csr::FromCoo(2, 3, {0, 0, 1}, {1, 2, 0}, {1.f, 2.f, 3.f});
+  Csr t = csr.Transposed();
+  t.CheckInvariants();
+  EXPECT_EQ(t.num_rows, 3);
+  EXPECT_EQ(t.num_cols, 2);
+  // Entry (0,1)=1 becomes (1,0)=1; (0,2)=2 -> (2,0)=2; (1,0)=3 -> (0,1)=3.
+  EXPECT_EQ(t.RowDegree(0), 1);
+  EXPECT_EQ(t.indices[t.indptr[0]], 1);
+  EXPECT_EQ(t.values[t.indptr[0]], 3.f);
+  EXPECT_EQ(t.values[t.indptr[1]], 1.f);
+  EXPECT_EQ(t.values[t.indptr[2]], 2.f);
+}
+
+TEST(CsrTest, DoubleTransposeIsIdentityProperty) {
+  Rng rng(3);
+  for (int trial = 0; trial < 10; ++trial) {
+    int64_t m = rng.UniformInt(1, 12);
+    int64_t n = rng.UniformInt(1, 12);
+    int64_t nnz = rng.UniformInt(0, m * n);
+    std::vector<int64_t> rows, cols;
+    std::vector<float> vals;
+    for (int64_t e = 0; e < nnz; ++e) {
+      rows.push_back(rng.UniformInt(0, m - 1));
+      cols.push_back(rng.UniformInt(0, n - 1));
+      vals.push_back(static_cast<float>(rng.Uniform(0.1, 1.0)));
+    }
+    Csr a = Csr::FromCoo(m, n, rows, cols, vals);
+    Csr att = a.Transposed().Transposed();
+    att.CheckInvariants();
+    ASSERT_EQ(att.nnz(), a.nnz());
+    // Same multiset of (row, col, value) triples; compare row sums and
+    // per-row sorted columns.
+    for (int64_t i = 0; i < m; ++i) {
+      std::vector<int64_t> ca(a.indices.begin() + a.indptr[i],
+                              a.indices.begin() + a.indptr[i + 1]);
+      std::vector<int64_t> cb(att.indices.begin() + att.indptr[i],
+                              att.indices.begin() + att.indptr[i + 1]);
+      std::sort(ca.begin(), ca.end());
+      std::sort(cb.begin(), cb.end());
+      EXPECT_EQ(ca, cb) << "row " << i;
+    }
+  }
+}
+
+TEST(CsrTest, SparseMatrixCachesTranspose) {
+  SpMatPtr m = MakeSparse(Csr::FromCoo(2, 3, {0, 1}, {2, 0}));
+  EXPECT_EQ(m->num_rows(), 2);
+  EXPECT_EQ(m->num_cols(), 3);
+  EXPECT_EQ(m->nnz(), 2);
+  EXPECT_EQ(m->backward().num_rows, 3);
+  EXPECT_EQ(m->backward().num_cols, 2);
+}
+
+TEST(CsrDeathTest, OutOfRangeRowAborts) {
+  EXPECT_DEATH(Csr::FromCoo(2, 2, {2}, {0}), "out of range");
+}
+
+}  // namespace
+}  // namespace autoac

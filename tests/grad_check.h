@@ -1,0 +1,56 @@
+#ifndef AUTOAC_TESTS_GRAD_CHECK_H_
+#define AUTOAC_TESTS_GRAD_CHECK_H_
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "tensor/ops.h"
+#include "tensor/variable.h"
+
+namespace autoac::testing {
+
+/// Verifies the analytic gradients of `build` against central finite
+/// differences. `build` must construct a scalar loss from the given leaf
+/// parameters (rebuilding the graph on every call, because the leaves'
+/// values are perturbed between calls).
+///
+/// Float32 limits accuracy: tolerances are necessarily loose. `eps` around
+/// 1e-2 with tolerance 2e-2 on the relative error works for all ops here.
+inline void ExpectGradientsMatch(
+    const std::vector<VarPtr>& params,
+    const std::function<VarPtr()>& build, float eps = 1e-2f,
+    float tolerance = 2e-2f) {
+  // Analytic gradients.
+  ZeroGrads(params);
+  VarPtr loss = build();
+  Backward(loss);
+  std::vector<Tensor> analytic;
+  for (const VarPtr& p : params) {
+    analytic.push_back(p->grad.numel() > 0 ? p->grad
+                                           : Tensor::Zeros(p->value.shape()));
+  }
+
+  for (size_t pi = 0; pi < params.size(); ++pi) {
+    VarPtr p = params[pi];
+    for (int64_t i = 0; i < p->value.numel(); ++i) {
+      float original = p->value.data()[i];
+      p->value.data()[i] = original + eps;
+      float plus = build()->value.data()[0];
+      p->value.data()[i] = original - eps;
+      float minus = build()->value.data()[0];
+      p->value.data()[i] = original;
+      float numeric = (plus - minus) / (2.0f * eps);
+      float exact = analytic[pi].data()[i];
+      float scale = std::max({std::fabs(numeric), std::fabs(exact), 1.0f});
+      EXPECT_NEAR(exact / scale, numeric / scale, tolerance)
+          << "param " << pi << " element " << i << " analytic=" << exact
+          << " numeric=" << numeric;
+    }
+  }
+}
+
+}  // namespace autoac::testing
+
+#endif  // AUTOAC_TESTS_GRAD_CHECK_H_

@@ -1,0 +1,168 @@
+#include "graph/hetero_graph.h"
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "tensor/tensor.h"
+
+namespace autoac {
+namespace {
+
+// Small DBLP-shaped fixture: 2 authors, 3 papers, 2 terms; papers carry
+// attributes.
+class HeteroGraphTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    graph_ = std::make_shared<HeteroGraph>();
+    author_ = graph_->AddNodeType("author", 2);
+    paper_ = graph_->AddNodeType("paper", 3);
+    term_ = graph_->AddNodeType("term", 2);
+    pa_ = graph_->AddEdgeType("paper-author", paper_, author_);
+    pt_ = graph_->AddEdgeType("paper-term", paper_, term_);
+    graph_->SetAttributes(paper_, Tensor::Full({3, 4}, 1.0f));
+    graph_->AddEdge(pa_, /*paper*/ 0, /*author*/ 0);
+    graph_->AddEdge(pa_, 1, 0);
+    graph_->AddEdge(pa_, 2, 1);
+    graph_->AddEdge(pt_, 0, 0);
+    graph_->AddEdge(pt_, 2, 1);
+    graph_->SetTargetNodeType(author_);
+    graph_->SetTargetEdgeType(pa_);
+    graph_->SetLabels({0, 1}, 2);
+    graph_->Finalize();
+  }
+
+  HeteroGraphPtr graph_;
+  int64_t author_, paper_, term_, pa_, pt_;
+};
+
+TEST_F(HeteroGraphTest, OffsetsAndIdMapping) {
+  EXPECT_EQ(graph_->num_nodes(), 7);
+  EXPECT_EQ(graph_->node_type(author_).offset, 0);
+  EXPECT_EQ(graph_->node_type(paper_).offset, 2);
+  EXPECT_EQ(graph_->node_type(term_).offset, 5);
+  EXPECT_EQ(graph_->GlobalId(paper_, 1), 3);
+  EXPECT_EQ(graph_->TypeOf(3), paper_);
+  EXPECT_EQ(graph_->LocalId(3), 1);
+  EXPECT_EQ(graph_->TypeOf(6), term_);
+}
+
+TEST_F(HeteroGraphTest, LabelsByGlobalId) {
+  EXPECT_EQ(graph_->LabelOf(0), 0);
+  EXPECT_EQ(graph_->LabelOf(1), 1);
+  EXPECT_EQ(graph_->LabelOf(2), -1);  // papers are unlabeled
+  EXPECT_EQ(graph_->TargetGlobalIds(), (std::vector<int64_t>{0, 1}));
+}
+
+TEST_F(HeteroGraphTest, DegreesCountBothEndpoints) {
+  // author0: papers 0,1 -> degree 2. paper0: author0 + term0 -> degree 2.
+  EXPECT_EQ(graph_->degrees()[0], 2);
+  EXPECT_EQ(graph_->degrees()[2], 2);
+  EXPECT_EQ(graph_->degrees()[5], 1);
+}
+
+TEST_F(HeteroGraphTest, FullAdjacencySymmetricWithSelfLoops) {
+  SpMatPtr adj = graph_->FullAdjacency(AdjNorm::kNone, true);
+  const Csr& csr = adj->forward();
+  csr.CheckInvariants();
+  // 5 undirected edges -> 10 directed + 7 self-loops.
+  EXPECT_EQ(csr.nnz(), 17);
+  // Symmetry: entry (0, 2) exists iff (2, 0) exists.
+  auto has_entry = [&](int64_t r, int64_t c) {
+    for (int64_t k = csr.indptr[r]; k < csr.indptr[r + 1]; ++k) {
+      if (csr.indices[k] == c) return true;
+    }
+    return false;
+  };
+  for (int64_t r = 0; r < 7; ++r) {
+    EXPECT_TRUE(has_entry(r, r));
+    for (int64_t c = 0; c < 7; ++c) {
+      EXPECT_EQ(has_entry(r, c), has_entry(c, r));
+    }
+  }
+}
+
+TEST_F(HeteroGraphTest, SymNormalizationValues) {
+  SpMatPtr adj = graph_->FullAdjacency(AdjNorm::kSym, true);
+  const Csr& csr = adj->forward();
+  // With self-loops the CSR row degree includes the loop; value of entry
+  // (i, j) must be 1/sqrt(deg_i * deg_j) over CSR degrees.
+  std::vector<int64_t> deg(7);
+  for (int64_t i = 0; i < 7; ++i) deg[i] = csr.RowDegree(i);
+  for (int64_t i = 0; i < 7; ++i) {
+    for (int64_t k = csr.indptr[i]; k < csr.indptr[i + 1]; ++k) {
+      double expected = 1.0 / std::sqrt(static_cast<double>(deg[i]) *
+                                        deg[csr.indices[k]]);
+      EXPECT_NEAR(csr.values[k], expected, 1e-6);
+    }
+  }
+}
+
+TEST_F(HeteroGraphTest, RowNormalizationSumsToOne) {
+  SpMatPtr adj = graph_->FullAdjacency(AdjNorm::kRow, true);
+  const Csr& csr = adj->forward();
+  for (int64_t i = 0; i < csr.num_rows; ++i) {
+    double sum = 0.0;
+    for (int64_t k = csr.indptr[i]; k < csr.indptr[i + 1]; ++k) {
+      sum += csr.values[k];
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-5);
+  }
+}
+
+TEST_F(HeteroGraphTest, TypedAdjacencyRelationIds) {
+  TypedAdjacency typed = graph_->FullTypedAdjacency(true);
+  const Csr& csr = typed.adj->forward();
+  ASSERT_EQ(static_cast<int64_t>(typed.edge_types.size()), csr.nnz());
+  // 2 relations -> forward [0,2), reverse [2,4), self type 4.
+  EXPECT_EQ(typed.num_edge_types, 5);
+  for (int64_t i = 0; i < csr.num_rows; ++i) {
+    for (int64_t k = csr.indptr[i]; k < csr.indptr[i + 1]; ++k) {
+      int64_t j = csr.indices[k];
+      int64_t t = typed.edge_types[k];
+      if (i == j) {
+        EXPECT_EQ(t, 4);
+      } else if (t == 0) {
+        // paper-author forward: dst=author, src=paper.
+        EXPECT_EQ(graph_->TypeOf(i), author_);
+        EXPECT_EQ(graph_->TypeOf(j), paper_);
+      } else if (t == 2) {
+        // paper-author reverse: dst=paper, src=author.
+        EXPECT_EQ(graph_->TypeOf(i), paper_);
+        EXPECT_EQ(graph_->TypeOf(j), author_);
+      }
+    }
+  }
+}
+
+TEST_F(HeteroGraphTest, RelationAdjacencyDirections) {
+  // Forward relation pa_: rows = authors (dst), cols = papers (src).
+  SpMatPtr fwd = graph_->RelationAdjacency(pa_, AdjNorm::kNone);
+  EXPECT_EQ(fwd->forward().RowDegree(0), 2);  // author0 <- papers 0,1
+  EXPECT_EQ(fwd->forward().RowDegree(2), 0);  // papers have no entries
+  // Reverse relation: rows = papers.
+  SpMatPtr rev =
+      graph_->RelationAdjacency(pa_ + graph_->num_edge_types(), AdjNorm::kNone);
+  EXPECT_EQ(rev->forward().RowDegree(2), 1);  // paper0 <- author0
+  EXPECT_EQ(rev->forward().RowDegree(0), 0);
+}
+
+TEST_F(HeteroGraphTest, AttributedNeighborAdjacencyOnlyAttributedSources) {
+  SpMatPtr adj = graph_->AttributedNeighborAdjacency(AdjNorm::kRow);
+  const Csr& csr = adj->forward();
+  // Every stored source must be a paper (the only attributed type).
+  for (int64_t col : csr.indices) {
+    EXPECT_EQ(graph_->TypeOf(col), paper_);
+  }
+  // author0 has papers 0,1 as attributed neighbours -> row-normalized 0.5.
+  EXPECT_EQ(csr.RowDegree(0), 2);
+  EXPECT_NEAR(csr.values[csr.indptr[0]], 0.5f, 1e-6);
+}
+
+TEST(HeteroGraphDeathTest, AdjacencyBeforeFinalizeAborts) {
+  HeteroGraph graph;
+  graph.AddNodeType("a", 2);
+  EXPECT_DEATH(graph.FullAdjacency(AdjNorm::kNone, false), "Finalize");
+}
+
+}  // namespace
+}  // namespace autoac

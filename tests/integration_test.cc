@@ -1,0 +1,113 @@
+// End-to-end integration tests: full pipelines on small datasets must learn
+// substantially better than chance, and the evaluator must aggregate runs
+// coherently.
+
+#include "autoac/evaluator.h"
+#include "gtest/gtest.h"
+
+namespace autoac {
+namespace {
+
+ExperimentConfig FastConfig() {
+  ExperimentConfig config;
+  config.hidden_dim = 32;
+  config.train_epochs = 40;
+  config.patience = 40;
+  config.search_epochs = 10;
+  config.alpha_warmup_epochs = 3;
+  config.num_clusters = 4;
+  config.seed = 11;
+  return config;
+}
+
+TEST(IntegrationTest, NodeClassificationBeatsChance) {
+  DatasetOptions options;
+  options.scale = 0.08;
+  Dataset dataset = MakeDataset("acm", options);  // 3 classes -> chance 1/3
+  TaskData task = MakeNodeTask(dataset);
+  ModelContext ctx = BuildModelContext(dataset.graph);
+  ExperimentConfig config = FastConfig();
+  config.model_name = "SimpleHGN";
+
+  MethodSpec baseline{"baseline", MethodKind::kBaseline, "SimpleHGN",
+                      CompletionOpType::kOneHot};
+  AggregateResult result = EvaluateMethod(task, ctx, config, baseline, 1);
+  EXPECT_GT(result.micro_f1.mean, 60.0);  // well above 33.3 chance
+  EXPECT_GT(result.macro_f1.mean, 50.0);
+}
+
+TEST(IntegrationTest, AutoAcPipelineBeatsChanceAndReportsArtifacts) {
+  DatasetOptions options;
+  options.scale = 0.08;
+  Dataset dataset = MakeDataset("acm", options);
+  TaskData task = MakeNodeTask(dataset);
+  ModelContext ctx = BuildModelContext(dataset.graph);
+  ExperimentConfig config = FastConfig();
+  config.model_name = "GCN";
+
+  MethodSpec autoac_spec{"autoac", MethodKind::kAutoAc, "GCN",
+                         CompletionOpType::kOneHot};
+  AggregateResult result = EvaluateMethod(task, ctx, config, autoac_spec, 1);
+  EXPECT_GT(result.micro_f1.mean, 60.0);
+  EXPECT_FALSE(result.last_ops.empty());
+  EXPECT_FALSE(result.gmoc_trace.empty());
+  EXPECT_GT(result.mean_times.search_seconds, 0.0);
+}
+
+TEST(IntegrationTest, LinkPredictionBeatsChance) {
+  DatasetOptions options;
+  options.scale = 0.06;
+  Dataset dataset = MakeDataset("lastfm", options);
+  Rng rng(5);
+  TaskData task = MakeLinkTask(dataset, 0.1, rng);
+  ModelContext ctx = BuildModelContext(task.graph);
+  ExperimentConfig config = FastConfig();
+  config.task = TaskKind::kLinkPrediction;
+  config.model_name = "GCN";
+
+  MethodSpec baseline{"baseline", MethodKind::kBaseline, "GCN",
+                      CompletionOpType::kOneHot};
+  AggregateResult result = EvaluateMethod(task, ctx, config, baseline, 1);
+  EXPECT_GT(result.roc_auc.mean, 55.0);  // chance = 50
+  EXPECT_GT(result.mrr.mean, 20.0);
+}
+
+TEST(IntegrationTest, EvaluatorAggregatesAcrossSeeds) {
+  DatasetOptions options;
+  options.scale = 0.05;
+  Dataset dataset = MakeDataset("acm", options);
+  TaskData task = MakeNodeTask(dataset);
+  ModelContext ctx = BuildModelContext(dataset.graph);
+  ExperimentConfig config = FastConfig();
+  config.train_epochs = 15;
+
+  MethodSpec spec{"gcn-mean", MethodKind::kSingleOp, "GCN",
+                  CompletionOpType::kMean};
+  AggregateResult result = EvaluateMethod(task, ctx, config, spec, 3);
+  EXPECT_EQ(result.micro_samples.size(), 3u);
+  EXPECT_EQ(result.micro_f1.n, 3);
+  EXPECT_GT(result.total_seconds, 0.0);
+  EXPECT_GT(result.epoch_seconds, 0.0);
+  // Samples are percentages.
+  for (double sample : result.micro_samples) {
+    EXPECT_GE(sample, 0.0);
+    EXPECT_LE(sample, 100.0);
+  }
+}
+
+TEST(IntegrationTest, HgcaMethodMapsToGcnWithMeanCompletion) {
+  DatasetOptions options;
+  options.scale = 0.05;
+  Dataset dataset = MakeDataset("acm", options);
+  TaskData task = MakeNodeTask(dataset);
+  ModelContext ctx = BuildModelContext(dataset.graph);
+  ExperimentConfig config = FastConfig();
+  config.train_epochs = 15;
+  MethodSpec spec{"HGCA", MethodKind::kHgca, "SimpleHGN",
+                  CompletionOpType::kMean};
+  AggregateResult result = EvaluateMethod(task, ctx, config, spec, 1);
+  EXPECT_GT(result.micro_f1.mean, 40.0);
+}
+
+}  // namespace
+}  // namespace autoac

@@ -1,0 +1,112 @@
+#include "models/layers.h"
+
+#include <cmath>
+
+#include "grad_check.h"
+#include "gtest/gtest.h"
+#include "tensor/init.h"
+
+namespace autoac {
+namespace {
+
+using testing::ExpectGradientsMatch;
+
+TEST(LinearTest, AffineMapMatchesManual) {
+  Rng rng(1);
+  Linear layer(2, 3, rng);
+  VarPtr x = MakeConst(Tensor::FromVector({1, 2}, {1.0f, -2.0f}));
+  VarPtr y = layer.Apply(x);
+  const Tensor& w = layer.weight()->value;
+  for (int64_t j = 0; j < 3; ++j) {
+    // bias starts at zero
+    EXPECT_NEAR(y->value.at(0, j), w.at(0, j) - 2.0f * w.at(1, j), 1e-5);
+  }
+  EXPECT_EQ(layer.Parameters().size(), 2u);
+}
+
+TEST(LinearTest, GradCheckThroughLayer) {
+  Rng rng(2);
+  Linear layer(3, 2, rng);
+  VarPtr x = MakeParam(RandomNormal({4, 3}, 0.8f, rng));
+  std::vector<VarPtr> params = layer.Parameters();
+  params.push_back(x);
+  ExpectGradientsMatch(params, [&] { return SumSquares(layer.Apply(x)); });
+}
+
+TEST(GraphAttentionHeadTest, OutputShapeAndGradients) {
+  Rng rng(3);
+  SpMatPtr adj = MakeSparse(
+      Csr::FromCoo(4, 4, {0, 0, 1, 2, 3}, {1, 2, 0, 3, 2}));
+  GraphAttentionHead head(3, 2, 0.1f, rng);
+  VarPtr x = MakeParam(RandomNormal({4, 3}, 0.8f, rng));
+  VarPtr out = head.Apply(adj, x);
+  EXPECT_EQ(out->value.rows(), 4);
+  EXPECT_EQ(out->value.cols(), 2);
+  std::vector<VarPtr> params = head.Parameters();
+  EXPECT_EQ(params.size(), 3u);
+  params.push_back(x);
+  ExpectGradientsMatch(params, [&] { return SumSquares(head.Apply(adj, x)); });
+}
+
+TEST(GraphAttentionHeadTest, EdgeTypeLogitsShiftAttention) {
+  Rng rng(4);
+  // Node 0 attends to nodes 1 and 2.
+  SpMatPtr adj = MakeSparse(Csr::FromCoo(3, 3, {0, 0}, {1, 2}));
+  GraphAttentionHead head(2, 2, 0.1f, rng);
+  VarPtr x = MakeConst(RandomNormal({3, 2}, 1.0f, rng));
+  VarPtr no_bias = head.Apply(adj, x);
+  // Strong positive logit on the first edge shifts the result toward h_1.
+  VarPtr bias = MakeConst(Tensor::FromVector({2}, {50.0f, 0.0f}));
+  VarPtr biased = head.Apply(adj, x, bias);
+  // The biased output at node 0 should equal (approximately) W h_1 only.
+  bool differs = false;
+  for (int64_t j = 0; j < 2; ++j) {
+    if (std::fabs(biased->value.at(0, j) - no_bias->value.at(0, j)) > 1e-4) {
+      differs = true;
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(SemanticAttentionTest, SingleEmbeddingPassesThrough) {
+  Rng rng(5);
+  SemanticAttention attention(4, 8, rng);
+  VarPtr z = MakeConst(RandomNormal({5, 4}, 1.0f, rng));
+  std::vector<float> weights;
+  VarPtr out = attention.Apply({z}, {0, 1, 2}, &weights);
+  EXPECT_EQ(out.get(), z.get());
+  ASSERT_EQ(weights.size(), 1u);
+  EXPECT_EQ(weights[0], 1.0f);
+}
+
+TEST(SemanticAttentionTest, WeightsFormDistribution) {
+  Rng rng(6);
+  SemanticAttention attention(4, 8, rng);
+  VarPtr z1 = MakeConst(RandomNormal({5, 4}, 1.0f, rng));
+  VarPtr z2 = MakeConst(RandomNormal({5, 4}, 1.0f, rng));
+  VarPtr z3 = MakeConst(RandomNormal({5, 4}, 1.0f, rng));
+  std::vector<float> weights;
+  VarPtr out = attention.Apply({z1, z2, z3}, {0, 1, 2, 3, 4}, &weights);
+  EXPECT_EQ(out->value.rows(), 5);
+  ASSERT_EQ(weights.size(), 3u);
+  float sum = 0;
+  for (float w : weights) {
+    EXPECT_GT(w, 0.0f);
+    sum += w;
+  }
+  EXPECT_NEAR(sum, 1.0f, 1e-5);
+}
+
+TEST(SemanticAttentionTest, GradientsFlowToAllInputs) {
+  Rng rng(7);
+  SemanticAttention attention(3, 4, rng);
+  VarPtr z1 = MakeParam(RandomNormal({4, 3}, 0.8f, rng));
+  VarPtr z2 = MakeParam(RandomNormal({4, 3}, 0.8f, rng));
+  ZeroGrads({z1, z2});
+  Backward(SumSquares(attention.Apply({z1, z2}, {0, 1, 2, 3})));
+  EXPECT_GT(z1->grad.numel(), 0);
+  EXPECT_GT(z2->grad.numel(), 0);
+}
+
+}  // namespace
+}  // namespace autoac

@@ -1,0 +1,117 @@
+#include "graph/metapath.h"
+
+#include "graph/random_walk.h"
+#include "gtest/gtest.h"
+#include "tensor/tensor.h"
+
+namespace autoac {
+namespace {
+
+// author0 - paper0 - author1, author1 - paper1, plus term0 on paper0.
+HeteroGraphPtr PathGraph() {
+  auto graph = std::make_shared<HeteroGraph>();
+  int64_t author = graph->AddNodeType("author", 2);
+  int64_t paper = graph->AddNodeType("paper", 2);
+  int64_t term = graph->AddNodeType("term", 1);
+  int64_t pa = graph->AddEdgeType("pa", paper, author);
+  int64_t pt = graph->AddEdgeType("pt", paper, term);
+  graph->SetAttributes(paper, Tensor::Full({2, 2}, 1.0f));
+  graph->AddEdge(pa, 0, 0);
+  graph->AddEdge(pa, 0, 1);
+  graph->AddEdge(pa, 1, 1);
+  graph->AddEdge(pt, 0, 0);
+  graph->SetTargetNodeType(author);
+  graph->SetLabels({0, 1}, 2);
+  graph->Finalize();
+  return graph;
+}
+
+TEST(MetapathTest, ApaCompositionConnectsCoauthors) {
+  HeteroGraphPtr graph = PathGraph();
+  // A-P-A: relation pa forward (author <- paper) composed with pa reverse
+  // (paper <- author).
+  Metapath apa;
+  apa.name = "APA";
+  apa.relations = {0, 0 + graph->num_edge_types()};
+  SpMatPtr meta = ComposeMetapath(*graph, apa);
+  const Csr& csr = meta->forward();
+  csr.CheckInvariants();
+  // author0 reaches {author0, author1} through paper0.
+  auto row_cols = [&](int64_t row) {
+    std::vector<int64_t> cols(csr.indices.begin() + csr.indptr[row],
+                              csr.indices.begin() + csr.indptr[row + 1]);
+    std::sort(cols.begin(), cols.end());
+    return cols;
+  };
+  EXPECT_EQ(row_cols(0), (std::vector<int64_t>{0, 1}));
+  // author1 reaches both authors (via paper0) and itself (via paper1).
+  EXPECT_EQ(row_cols(1), (std::vector<int64_t>{0, 1}));
+  // Rows are normalized.
+  for (int64_t i = 0; i < 2; ++i) {
+    float sum = 0;
+    for (int64_t k = csr.indptr[i]; k < csr.indptr[i + 1]; ++k) {
+      sum += csr.values[k];
+    }
+    EXPECT_NEAR(sum, 1.0f, 1e-5);
+  }
+}
+
+TEST(MetapathTest, DefaultMetapathsCoverTargetRelations) {
+  HeteroGraphPtr graph = PathGraph();
+  std::vector<Metapath> paths = DefaultMetapaths(*graph);
+  // Only paper-author touches the target type -> one A-P-A style loop.
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0].relations.size(), 2u);
+  SpMatPtr meta = ComposeMetapath(*graph, paths[0]);
+  // Every stored row with entries must be a target-type row.
+  const Csr& csr = meta->forward();
+  for (int64_t i = 0; i < csr.num_rows; ++i) {
+    if (csr.RowDegree(i) > 0) {
+      EXPECT_EQ(graph->TypeOf(i), graph->target_node_type());
+    }
+  }
+}
+
+TEST(MetapathTest, RowCapBoundsDensity) {
+  HeteroGraphPtr graph = PathGraph();
+  Metapath apa{"APA", {0, 2}};
+  SpMatPtr capped = ComposeMetapath(*graph, apa, /*max_row_nnz=*/1);
+  const Csr& csr = capped->forward();
+  for (int64_t i = 0; i < csr.num_rows; ++i) {
+    EXPECT_LE(csr.RowDegree(i), 1);
+  }
+}
+
+TEST(RandomWalkTest, WalksStayOnEdgesAndRespectLength) {
+  HeteroGraphPtr graph = PathGraph();
+  SpMatPtr adj = graph->FullAdjacency(AdjNorm::kNone, false);
+  const Csr& csr = adj->forward();
+  Rng rng(3);
+  auto walks = UniformRandomWalks(*graph, 5, 2, rng);
+  EXPECT_EQ(static_cast<int64_t>(walks.size()), graph->num_nodes() * 2);
+  for (const auto& walk : walks) {
+    EXPECT_LE(walk.size(), 5u);
+    EXPECT_GE(walk.size(), 1u);
+    for (size_t i = 0; i + 1 < walk.size(); ++i) {
+      bool is_neighbor = false;
+      for (int64_t k = csr.indptr[walk[i]]; k < csr.indptr[walk[i] + 1]; ++k) {
+        if (csr.indices[k] == walk[i + 1]) is_neighbor = true;
+      }
+      EXPECT_TRUE(is_neighbor)
+          << walk[i] << " -> " << walk[i + 1] << " is not an edge";
+    }
+  }
+}
+
+TEST(RandomWalkTest, SkipGramPairsRespectWindow) {
+  std::vector<std::vector<int64_t>> walks = {{1, 2, 3, 4}};
+  auto pairs = SkipGramPairs(walks, 1);
+  // Each interior node pairs with 2 neighbours, endpoints with 1: total 6.
+  EXPECT_EQ(pairs.size(), 6u);
+  for (const auto& [center, context] : pairs) {
+    EXPECT_EQ(std::abs(center - context), 1);
+  }
+}
+
+}  // namespace
+}  // namespace autoac

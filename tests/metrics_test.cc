@@ -1,0 +1,77 @@
+#include "data/metrics.h"
+
+#include "gtest/gtest.h"
+
+namespace autoac {
+namespace {
+
+TEST(MicroF1Test, EqualsAccuracyForSingleLabel) {
+  EXPECT_DOUBLE_EQ(MicroF1({0, 1, 2, 1}, {0, 1, 1, 1}), 0.75);
+  EXPECT_DOUBLE_EQ(MicroF1({0, 0}, {1, 1}), 0.0);
+  EXPECT_DOUBLE_EQ(MicroF1({2, 2}, {2, 2}), 1.0);
+}
+
+TEST(MacroF1Test, MatchesHandComputedValue) {
+  // preds: [0,0,1,1,2], labels: [0,1,1,1,2]
+  // class0: tp=1 fp=1 fn=0 -> f1 = 2/3
+  // class1: tp=2 fp=0 fn=1 -> f1 = 4/5
+  // class2: tp=1 fp=0 fn=0 -> f1 = 1
+  // macro = (2/3 + 4/5 + 1)/3 = 37/45
+  EXPECT_NEAR(MacroF1({0, 0, 1, 1, 2}, {0, 1, 1, 1, 2}, 3), 37.0 / 45.0,
+              1e-12);
+}
+
+TEST(MacroF1Test, SkipsAbsentClasses) {
+  // Class 2 never appears in preds or labels: average over classes 0, 1.
+  EXPECT_NEAR(MacroF1({0, 1}, {0, 1}, 3), 1.0, 1e-12);
+}
+
+TEST(MacroF1Test, PerfectAndWorst) {
+  EXPECT_DOUBLE_EQ(MacroF1({0, 1, 0, 1}, {0, 1, 0, 1}, 2), 1.0);
+  EXPECT_DOUBLE_EQ(MacroF1({1, 0, 1, 0}, {0, 1, 0, 1}, 2), 0.0);
+}
+
+TEST(RocAucTest, PerfectSeparation) {
+  EXPECT_DOUBLE_EQ(RocAuc({0.9f, 0.8f, 0.2f, 0.1f}, {1, 1, 0, 0}), 1.0);
+}
+
+TEST(RocAucTest, PerfectInversion) {
+  EXPECT_DOUBLE_EQ(RocAuc({0.1f, 0.2f, 0.8f, 0.9f}, {1, 1, 0, 0}), 0.0);
+}
+
+TEST(RocAucTest, RandomScoresGiveHalfWithTies) {
+  // All scores tied -> midranks -> AUC 0.5 regardless of labels.
+  EXPECT_DOUBLE_EQ(RocAuc({0.5f, 0.5f, 0.5f, 0.5f}, {1, 0, 1, 0}), 0.5);
+}
+
+TEST(RocAucTest, HandComputedMixedCase) {
+  // scores: pos {0.8, 0.3}, neg {0.5, 0.1}.
+  // Pairs: (0.8 vs 0.5)=win, (0.8 vs 0.1)=win, (0.3 vs 0.5)=loss,
+  // (0.3 vs 0.1)=win -> AUC = 3/4.
+  EXPECT_DOUBLE_EQ(RocAuc({0.8f, 0.3f, 0.5f, 0.1f}, {1, 1, 0, 0}), 0.75);
+}
+
+TEST(RocAucTest, DegeneratesToHalfWithoutBothClasses) {
+  EXPECT_DOUBLE_EQ(RocAuc({0.4f, 0.6f}, {1, 1}), 0.5);
+}
+
+TEST(MrrTest, RankOneWhenPositiveBeatsAllNegatives) {
+  EXPECT_DOUBLE_EQ(
+      MeanReciprocalRank({2.0f}, {{1.0f, 0.5f, -1.0f}}), 1.0);
+}
+
+TEST(MrrTest, HandComputedRanks) {
+  // First positive outranked by 2 negatives -> rank 3; second by none ->
+  // rank 1. MRR = (1/3 + 1)/2 = 2/3.
+  double mrr = MeanReciprocalRank({0.5f, 0.9f},
+                                  {{0.8f, 0.7f, 0.1f}, {0.2f, 0.3f}});
+  EXPECT_NEAR(mrr, 2.0 / 3.0, 1e-12);
+}
+
+TEST(MrrTest, TiesDoNotOutrank) {
+  // Equal scores do not count as "higher": rank stays 1.
+  EXPECT_DOUBLE_EQ(MeanReciprocalRank({0.5f}, {{0.5f, 0.5f}}), 1.0);
+}
+
+}  // namespace
+}  // namespace autoac

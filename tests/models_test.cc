@@ -1,0 +1,168 @@
+#include "models/factory.h"
+
+#include <cmath>
+
+#include "data/hgb_datasets.h"
+#include "gtest/gtest.h"
+#include "tensor/init.h"
+#include "tensor/optimizer.h"
+
+namespace autoac {
+namespace {
+
+// One tiny shared dataset/context for all model tests (building the context
+// is the expensive part).
+class ModelEnvironment {
+ public:
+  static ModelEnvironment& Get() {
+    static ModelEnvironment* env = new ModelEnvironment();
+    return *env;
+  }
+
+  const ModelContext& ctx() const { return ctx_; }
+  const Dataset& dataset() const { return dataset_; }
+
+ private:
+  ModelEnvironment() {
+    DatasetOptions options;
+    options.scale = 0.04;
+    dataset_ = MakeDataset("imdb", options);
+    ctx_ = BuildModelContext(dataset_.graph);
+  }
+  Dataset dataset_;
+  ModelContext ctx_;
+};
+
+ModelConfig SmallModelConfig() {
+  ModelConfig config;
+  config.in_dim = 8;
+  config.hidden_dim = 8;
+  config.out_dim = 8;
+  config.num_layers = 2;
+  config.num_heads = 2;
+  config.dropout = 0.0f;
+  return config;
+}
+
+class ModelZooTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ModelZooTest, ForwardShapeAndFiniteness) {
+  const ModelContext& ctx = ModelEnvironment::Get().ctx();
+  Rng rng(7);
+  ModelPtr model = MakeModel(GetParam(), SmallModelConfig(), ctx, rng);
+  ASSERT_NE(model, nullptr);
+  EXPECT_EQ(model->name(), GetParam());
+
+  int64_t n = ctx.graph->num_nodes();
+  VarPtr h0 = MakeConst(RandomNormal({n, 8}, 0.5f, rng));
+  VarPtr h = model->Forward(ctx, h0, /*training=*/false, rng);
+  EXPECT_EQ(h->value.rows(), n);
+  EXPECT_EQ(h->value.cols(), model->output_dim());
+  for (int64_t i = 0; i < h->value.numel(); ++i) {
+    ASSERT_TRUE(std::isfinite(h->value.data()[i])) << GetParam();
+  }
+}
+
+TEST_P(ModelZooTest, ParametersReceiveGradients) {
+  const ModelContext& ctx = ModelEnvironment::Get().ctx();
+  Rng rng(8);
+  ModelPtr model = MakeModel(GetParam(), SmallModelConfig(), ctx, rng);
+  std::vector<VarPtr> params = model->Parameters();
+  ASSERT_FALSE(params.empty());
+  ZeroGrads(params);
+
+  int64_t n = ctx.graph->num_nodes();
+  VarPtr h0 = MakeConst(RandomNormal({n, 8}, 0.5f, rng));
+  VarPtr h = model->Forward(ctx, h0, /*training=*/true, rng);
+  Backward(SumSquares(h));
+
+  int64_t touched = 0;
+  for (const VarPtr& p : params) {
+    if (p->grad.numel() > 0) {
+      float norm = 0;
+      for (int64_t i = 0; i < p->grad.numel(); ++i) {
+        norm += std::fabs(p->grad.data()[i]);
+      }
+      if (norm > 0) ++touched;
+    }
+  }
+  // The vast majority of parameters must participate; semantic-attention
+  // heads on rarely-reached branches may legitimately stay zero.
+  EXPECT_GT(touched, static_cast<int64_t>(params.size()) / 2) << GetParam();
+}
+
+TEST_P(ModelZooTest, LossDecreasesUnderTraining) {
+  const ModelContext& ctx = ModelEnvironment::Get().ctx();
+  Rng rng(9);
+  ModelPtr model = MakeModel(GetParam(), SmallModelConfig(), ctx, rng);
+  std::vector<VarPtr> params = model->Parameters();
+
+  int64_t n = ctx.graph->num_nodes();
+  VarPtr h0 = MakeConst(RandomNormal({n, 8}, 0.5f, rng));
+  VarPtr target = MakeConst(RandomNormal({n, 8}, 0.5f, rng));
+  Adam optimizer(params, 0.01f);
+  float first_loss = 0.0f, last_loss = 0.0f;
+  for (int step = 0; step < 12; ++step) {
+    optimizer.ZeroGrad();
+    VarPtr h = model->Forward(ctx, h0, /*training=*/true, rng);
+    VarPtr loss = MeanAll(Mul(Sub(h, target), Sub(h, target)));
+    if (step == 0) first_loss = loss->value.data()[0];
+    last_loss = loss->value.data()[0];
+    Backward(loss);
+    optimizer.Step();
+  }
+  EXPECT_LT(last_loss, first_loss) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModels, ModelZooTest,
+    ::testing::Values("GCN", "GAT", "SimpleHGN", "HAN", "MAGNN", "HGT",
+                      "HetSANN", "GTN", "HetGNN", "GATNE"),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      return info.param;
+    });
+
+TEST(ModelFactoryTest, UnknownNameAborts) {
+  const ModelContext& ctx = ModelEnvironment::Get().ctx();
+  Rng rng(1);
+  EXPECT_DEATH(MakeModel("NotAModel", SmallModelConfig(), ctx, rng),
+               "unknown model");
+}
+
+TEST(ModelFactoryTest, BaselineListsAreNonEmpty) {
+  EXPECT_FALSE(NodeClassificationBaselines().empty());
+  EXPECT_FALSE(LinkPredictionBaselines().empty());
+}
+
+TEST(ModelContextTest, StructuresMatchGraph) {
+  const ModelContext& ctx = ModelEnvironment::Get().ctx();
+  const HeteroGraph& graph = *ctx.graph;
+  EXPECT_EQ(ctx.sym_adj->num_rows(), graph.num_nodes());
+  EXPECT_EQ(static_cast<int64_t>(ctx.relation_adjs.size()),
+            graph.num_directed_relations());
+  EXPECT_EQ(static_cast<int64_t>(ctx.src_type_adjs.size()),
+            graph.num_node_types());
+  EXPECT_FALSE(ctx.metapath_adjs.empty());
+  EXPECT_EQ(static_cast<int64_t>(ctx.target_ids.size()),
+            graph.node_type(graph.target_node_type()).count);
+}
+
+TEST(SimpleHgnTest, L2NormalizedOutputHasUnitRows) {
+  const ModelContext& ctx = ModelEnvironment::Get().ctx();
+  Rng rng(10);
+  ModelPtr model = MakeModel("SimpleHGN", SmallModelConfig(), ctx, rng,
+                             /*l2_normalize_output=*/true);
+  int64_t n = ctx.graph->num_nodes();
+  VarPtr h0 = MakeConst(RandomNormal({n, 8}, 0.5f, rng));
+  VarPtr h = model->Forward(ctx, h0, /*training=*/false, rng);
+  for (int64_t i = 0; i < std::min<int64_t>(n, 50); ++i) {
+    double norm = 0;
+    for (int64_t j = 0; j < h->value.cols(); ++j) {
+      norm += static_cast<double>(h->value.at(i, j)) * h->value.at(i, j);
+    }
+    EXPECT_NEAR(std::sqrt(norm), 1.0, 1e-3) << "row " << i;
+  }
+}
+
+}  // namespace
+}  // namespace autoac

@@ -1,0 +1,95 @@
+#include "tensor/optimizer.h"
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "tensor/ops.h"
+
+namespace autoac {
+namespace {
+
+// Minimizes ||x - target||^2 and expects convergence close to the target.
+template <typename MakeOpt>
+void ExpectConvergesToTarget(MakeOpt make_optimizer, int64_t steps,
+                             float tolerance) {
+  VarPtr x = MakeParam(Tensor::Full({3}, 5.0f));
+  VarPtr target = MakeConst(Tensor::FromVector({3}, {1.0f, -2.0f, 0.5f}));
+  auto optimizer = make_optimizer(std::vector<VarPtr>{x});
+  for (int64_t step = 0; step < steps; ++step) {
+    optimizer->ZeroGrad();
+    Backward(SumSquares(Sub(x, target)));
+    optimizer->Step();
+  }
+  EXPECT_NEAR(x->value.at(0), 1.0f, tolerance);
+  EXPECT_NEAR(x->value.at(1), -2.0f, tolerance);
+  EXPECT_NEAR(x->value.at(2), 0.5f, tolerance);
+}
+
+TEST(OptimizerTest, AdamConvergesOnQuadratic) {
+  ExpectConvergesToTarget(
+      [](std::vector<VarPtr> params) {
+        return std::make_unique<Adam>(std::move(params), 0.1f);
+      },
+      200, 0.05f);
+}
+
+TEST(OptimizerTest, SgdConvergesOnQuadratic) {
+  ExpectConvergesToTarget(
+      [](std::vector<VarPtr> params) {
+        return std::make_unique<Sgd>(std::move(params), 0.05f);
+      },
+      300, 0.05f);
+}
+
+TEST(OptimizerTest, WeightDecayShrinksUnusedParameter) {
+  // A parameter with zero task gradient should decay toward zero when
+  // weight decay is on.
+  VarPtr x = MakeParam(Tensor::Full({1}, 1.0f));
+  Adam adam({x}, /*lr=*/0.05f, /*weight_decay=*/1.0f);
+  for (int step = 0; step < 50; ++step) {
+    adam.ZeroGrad();
+    x->EnsureGrad();  // zero gradient, decay only
+    adam.Step();
+  }
+  EXPECT_LT(std::fabs(x->value.at(0)), 0.5f);
+}
+
+TEST(OptimizerTest, StepSkipsParametersWithoutGradients) {
+  VarPtr used = MakeParam(Tensor::Full({1}, 1.0f));
+  VarPtr unused = MakeParam(Tensor::Full({1}, 1.0f));
+  Adam adam({used, unused}, 0.1f);
+  adam.ZeroGrad();
+  Backward(SumSquares(used));
+  adam.Step();
+  EXPECT_NE(used->value.at(0), 1.0f);
+  EXPECT_EQ(unused->value.at(0), 1.0f);
+}
+
+TEST(OptimizerTest, ClipGradNormScalesDown) {
+  VarPtr x = MakeParam(Tensor::Full({4}, 0.0f));
+  x->EnsureGrad().Fill(3.0f);  // norm = 6
+  float norm = ClipGradNorm({x}, 1.5f);
+  EXPECT_NEAR(norm, 6.0f, 1e-4);
+  double clipped = 0.0;
+  for (int64_t i = 0; i < 4; ++i) {
+    clipped += static_cast<double>(x->grad.at(i)) * x->grad.at(i);
+  }
+  EXPECT_NEAR(std::sqrt(clipped), 1.5f, 1e-4);
+}
+
+TEST(OptimizerTest, ClipGradNormLeavesSmallGradientsAlone) {
+  VarPtr x = MakeParam(Tensor::Full({4}, 0.0f));
+  x->EnsureGrad().Fill(0.1f);
+  ClipGradNorm({x}, 10.0f);
+  EXPECT_FLOAT_EQ(x->grad.at(0), 0.1f);
+}
+
+TEST(OptimizerTest, AdamLrAccessor) {
+  Adam adam({}, 0.01f);
+  EXPECT_FLOAT_EQ(adam.lr(), 0.01f);
+  adam.set_lr(0.02f);
+  EXPECT_FLOAT_EQ(adam.lr(), 0.02f);
+}
+
+}  // namespace
+}  // namespace autoac

@@ -1,0 +1,270 @@
+// Parameterized property tests: invariants that must hold across randomized
+// inputs and a sweep of shapes/seeds, complementing the example-based unit
+// tests.
+
+#include <cmath>
+
+#include "autoac/completion_params.h"
+#include "data/metrics.h"
+#include "graph/sparse_ops.h"
+#include "grad_check.h"
+#include "gtest/gtest.h"
+#include "tensor/init.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace autoac {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Autograd linearity/composition properties over random shapes.
+// ---------------------------------------------------------------------------
+
+struct ShapeCase {
+  int64_t rows;
+  int64_t cols;
+  uint64_t seed;
+};
+
+class OpPropertyTest : public ::testing::TestWithParam<ShapeCase> {};
+
+TEST_P(OpPropertyTest, SumAllIsLinear) {
+  const ShapeCase& c = GetParam();
+  Rng rng(c.seed);
+  Tensor a = RandomNormal({c.rows, c.cols}, 1.0f, rng);
+  Tensor b = RandomNormal({c.rows, c.cols}, 1.0f, rng);
+  float sum_ab = SumAll(Add(MakeConst(a), MakeConst(b)))->value.data()[0];
+  float sum_a = SumAll(MakeConst(a))->value.data()[0];
+  float sum_b = SumAll(MakeConst(b))->value.data()[0];
+  EXPECT_NEAR(sum_ab, sum_a + sum_b,
+              1e-3f * (std::fabs(sum_a) + std::fabs(sum_b) + 1.0f));
+}
+
+TEST_P(OpPropertyTest, SoftmaxRowsSumToOneAndAreInvariantToShift) {
+  const ShapeCase& c = GetParam();
+  Rng rng(c.seed);
+  Tensor x = RandomNormal({c.rows, c.cols}, 2.0f, rng);
+  VarPtr softmax = RowSoftmax(MakeConst(x));
+  VarPtr shifted = RowSoftmax(AddScalar(MakeConst(x), 7.5f));
+  for (int64_t i = 0; i < c.rows; ++i) {
+    float sum = 0.0f;
+    for (int64_t j = 0; j < c.cols; ++j) {
+      EXPECT_GE(softmax->value.at(i, j), 0.0f);
+      sum += softmax->value.at(i, j);
+      EXPECT_NEAR(softmax->value.at(i, j), shifted->value.at(i, j), 1e-5);
+    }
+    EXPECT_NEAR(sum, 1.0f, 1e-5);
+  }
+}
+
+TEST_P(OpPropertyTest, GatherOfScatterIsIdentity) {
+  const ShapeCase& c = GetParam();
+  Rng rng(c.seed);
+  Tensor x = RandomNormal({c.rows, c.cols}, 1.0f, rng);
+  std::vector<int64_t> slots =
+      rng.SampleWithoutReplacement(c.rows * 3, c.rows);
+  VarPtr scattered = ScatterRows(MakeConst(x), slots, c.rows * 3);
+  VarPtr recovered = GatherRows(scattered, slots);
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    EXPECT_EQ(recovered->value.data()[i], x.data()[i]);
+  }
+}
+
+TEST_P(OpPropertyTest, MatMulGradCheckAcrossShapes) {
+  const ShapeCase& c = GetParam();
+  Rng rng(c.seed);
+  VarPtr a = MakeParam(RandomNormal({c.rows, c.cols}, 0.7f, rng));
+  VarPtr b = MakeParam(RandomNormal({c.cols, 3}, 0.7f, rng));
+  testing::ExpectGradientsMatch({a, b},
+                                [&] { return SumSquares(MatMul(a, b)); });
+}
+
+TEST_P(OpPropertyTest, TransposeIsInvolution) {
+  const ShapeCase& c = GetParam();
+  Rng rng(c.seed);
+  Tensor x = RandomNormal({c.rows, c.cols}, 1.0f, rng);
+  VarPtr twice = Transpose(Transpose(MakeConst(x)));
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    EXPECT_EQ(twice->value.data()[i], x.data()[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, OpPropertyTest,
+                         ::testing::Values(ShapeCase{1, 1, 11},
+                                           ShapeCase{2, 7, 12},
+                                           ShapeCase{5, 5, 13},
+                                           ShapeCase{9, 3, 14},
+                                           ShapeCase{16, 16, 15}),
+                         [](const auto& info) {
+                           return std::to_string(info.param.rows) + "x" +
+                                  std::to_string(info.param.cols);
+                         });
+
+// ---------------------------------------------------------------------------
+// SpMM distributivity: A(x + y) == Ax + Ay on random sparse matrices.
+// ---------------------------------------------------------------------------
+
+class SpmmPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SpmmPropertyTest, SpmmIsLinearInDenseOperand) {
+  Rng rng(GetParam());
+  int64_t n = rng.UniformInt(3, 24);
+  int64_t nnz = rng.UniformInt(1, n * 3);
+  std::vector<int64_t> rows, cols;
+  std::vector<float> vals;
+  for (int64_t e = 0; e < nnz; ++e) {
+    rows.push_back(rng.UniformInt(0, n - 1));
+    cols.push_back(rng.UniformInt(0, n - 1));
+    vals.push_back(static_cast<float>(rng.Normal(0, 1)));
+  }
+  SpMatPtr a = MakeSparse(Csr::FromCoo(n, n, rows, cols, vals));
+  VarPtr x = MakeConst(RandomNormal({n, 4}, 1.0f, rng));
+  VarPtr y = MakeConst(RandomNormal({n, 4}, 1.0f, rng));
+  VarPtr lhs = SpMM(a, Add(x, y));
+  VarPtr rhs = Add(SpMM(a, x), SpMM(a, y));
+  for (int64_t i = 0; i < lhs->value.numel(); ++i) {
+    EXPECT_NEAR(lhs->value.data()[i], rhs->value.data()[i], 1e-3);
+  }
+}
+
+TEST_P(SpmmPropertyTest, ForwardBackwardAreTransposes) {
+  // <A x, y> must equal <x, A^T y> — the identity the SpMM backward pass
+  // relies on.
+  Rng rng(GetParam() + 1000);
+  int64_t n = rng.UniformInt(3, 24);
+  int64_t nnz = rng.UniformInt(1, n * 3);
+  std::vector<int64_t> rows, cols;
+  std::vector<float> vals;
+  for (int64_t e = 0; e < nnz; ++e) {
+    rows.push_back(rng.UniformInt(0, n - 1));
+    cols.push_back(rng.UniformInt(0, n - 1));
+    vals.push_back(static_cast<float>(rng.Normal(0, 1)));
+  }
+  SpMatPtr a = MakeSparse(Csr::FromCoo(n, n, rows, cols, vals));
+  SpMatPtr at = MakeSparse(a->backward());
+  VarPtr x = MakeConst(RandomNormal({n, 2}, 1.0f, rng));
+  VarPtr y = MakeConst(RandomNormal({n, 2}, 1.0f, rng));
+  float lhs = SumAll(Mul(SpMM(a, x), y))->value.data()[0];
+  float rhs = SumAll(Mul(x, SpMM(at, y)))->value.data()[0];
+  EXPECT_NEAR(lhs, rhs, 1e-3 * (std::fabs(lhs) + 1.0));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SpmmPropertyTest,
+                         ::testing::Range<uint64_t>(1, 9));
+
+// ---------------------------------------------------------------------------
+// Proximal-operator properties over random completion parameters.
+// ---------------------------------------------------------------------------
+
+class ProximalPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ProximalPropertyTest, ProxC1OutputSatisfiesBothConstraints) {
+  Rng rng(GetParam());
+  Tensor alpha = RandomNormal({rng.UniformInt(1, 40), kNumCompletionOps},
+                              1.0f, rng);
+  Tensor projected = ProxC1(alpha);
+  for (int64_t i = 0; i < projected.rows(); ++i) {
+    int64_t nonzeros = 0;
+    for (int64_t j = 0; j < projected.cols(); ++j) {
+      float v = projected.at(i, j);
+      EXPECT_TRUE(v == 0.0f || v == 1.0f);  // C2 corners
+      if (v != 0.0f) ++nonzeros;
+    }
+    EXPECT_EQ(nonzeros, 1);  // C1: ||row||_0 == 1
+  }
+}
+
+TEST_P(ProximalPropertyTest, ProxC1PreservesArgmax) {
+  Rng rng(GetParam() + 77);
+  Tensor alpha = RandomNormal({20, kNumCompletionOps}, 1.0f, rng);
+  std::vector<CompletionOpType> before = ArgmaxOps(alpha);
+  std::vector<CompletionOpType> after = ArgmaxOps(ProxC1(alpha));
+  EXPECT_EQ(before, after);
+}
+
+TEST_P(ProximalPropertyTest, ProxC2IsIdempotentAndMonotone) {
+  Rng rng(GetParam() + 154);
+  Tensor alpha = RandomNormal({12, kNumCompletionOps}, 2.0f, rng);
+  Tensor once = alpha;
+  ProxC2(once);
+  Tensor twice = once;
+  ProxC2(twice);
+  for (int64_t i = 0; i < alpha.numel(); ++i) {
+    EXPECT_EQ(once.data()[i], twice.data()[i]);  // idempotent
+    EXPECT_GE(once.data()[i], 0.0f);
+    EXPECT_LE(once.data()[i], 1.0f);
+    // Projection moves values toward the feasible box, never across it.
+    if (alpha.data()[i] >= 0.0f && alpha.data()[i] <= 1.0f) {
+      EXPECT_EQ(once.data()[i], alpha.data()[i]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProximalPropertyTest,
+                         ::testing::Range<uint64_t>(1, 11));
+
+// ---------------------------------------------------------------------------
+// Metric properties over random predictions.
+// ---------------------------------------------------------------------------
+
+class MetricPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MetricPropertyTest, F1ScoresAreBoundedAndPerfectAtIdentity) {
+  Rng rng(GetParam());
+  int64_t n = rng.UniformInt(4, 200);
+  int64_t num_classes = rng.UniformInt(2, 6);
+  std::vector<int64_t> labels(n), preds(n);
+  for (int64_t i = 0; i < n; ++i) {
+    labels[i] = rng.UniformInt(0, num_classes - 1);
+    preds[i] = rng.UniformInt(0, num_classes - 1);
+  }
+  double micro = MicroF1(preds, labels);
+  double macro = MacroF1(preds, labels, num_classes);
+  EXPECT_GE(micro, 0.0);
+  EXPECT_LE(micro, 1.0);
+  EXPECT_GE(macro, 0.0);
+  EXPECT_LE(macro, 1.0);
+  EXPECT_DOUBLE_EQ(MicroF1(labels, labels), 1.0);
+  EXPECT_DOUBLE_EQ(MacroF1(labels, labels, num_classes), 1.0);
+}
+
+TEST_P(MetricPropertyTest, AucInvariantUnderMonotoneTransform) {
+  Rng rng(GetParam() + 31);
+  int64_t n = rng.UniformInt(6, 100);
+  std::vector<float> scores(n);
+  std::vector<int64_t> labels(n);
+  for (int64_t i = 0; i < n; ++i) {
+    scores[i] = static_cast<float>(rng.Normal(0, 1));
+    labels[i] = rng.Bernoulli(0.4) ? 1 : 0;
+  }
+  labels[0] = 1;  // guarantee both classes
+  labels[1] = 0;
+  std::vector<float> transformed(n);
+  for (int64_t i = 0; i < n; ++i) {
+    transformed[i] = 3.0f * std::tanh(scores[i]) + 10.0f;  // monotone
+  }
+  EXPECT_NEAR(RocAuc(scores, labels), RocAuc(transformed, labels), 1e-9);
+}
+
+TEST_P(MetricPropertyTest, AucOfComplementScoresIsOneMinusAuc) {
+  Rng rng(GetParam() + 63);
+  int64_t n = rng.UniformInt(6, 100);
+  std::vector<float> scores(n), negated(n);
+  std::vector<int64_t> labels(n);
+  for (int64_t i = 0; i < n; ++i) {
+    // Distinct scores so the complement identity is exact (no ties).
+    scores[i] = static_cast<float>(i) +
+                static_cast<float>(rng.Uniform(0.0, 0.5));
+    negated[i] = -scores[i];
+    labels[i] = rng.Bernoulli(0.5) ? 1 : 0;
+  }
+  labels[0] = 1;
+  labels[1] = 0;
+  EXPECT_NEAR(RocAuc(scores, labels) + RocAuc(negated, labels), 1.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MetricPropertyTest,
+                         ::testing::Range<uint64_t>(1, 11));
+
+}  // namespace
+}  // namespace autoac

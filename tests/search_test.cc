@@ -1,0 +1,166 @@
+#include "autoac/search.h"
+
+#include "autoac/evaluator.h"
+#include "autoac/hgnn_ac.h"
+#include "autoac/trainer.h"
+#include "gtest/gtest.h"
+
+namespace autoac {
+namespace {
+
+// Shared tiny environment (context building dominates test time).
+struct SearchEnvironment {
+  static SearchEnvironment& Get() {
+    static SearchEnvironment* env = new SearchEnvironment();
+    return *env;
+  }
+  Dataset dataset;
+  TaskData task;
+  ModelContext ctx;
+
+ private:
+  SearchEnvironment() {
+    DatasetOptions options;
+    options.scale = 0.04;
+    dataset = MakeDataset("acm", options);
+    task = MakeNodeTask(dataset);
+    ctx = BuildModelContext(dataset.graph);
+  }
+};
+
+ExperimentConfig TinyConfig() {
+  ExperimentConfig config;
+  config.model_name = "GCN";  // cheapest host model
+  config.hidden_dim = 16;
+  config.train_epochs = 12;
+  config.patience = 12;
+  config.search_epochs = 8;
+  config.alpha_warmup_epochs = 2;
+  config.num_clusters = 4;
+  config.seed = 3;
+  return config;
+}
+
+int64_t NumMissing(const HeteroGraph& graph) {
+  int64_t missing = 0;
+  for (int64_t t = 0; t < graph.num_node_types(); ++t) {
+    if (graph.node_type(t).attributes.numel() == 0) {
+      missing += graph.node_type(t).count;
+    }
+  }
+  return missing;
+}
+
+TEST(SearchTest, ProducesValidAssignmentAndClusters) {
+  SearchEnvironment& env = SearchEnvironment::Get();
+  ExperimentConfig config = TinyConfig();
+  SearchResult result = SearchCompletionOps(env.task, env.ctx, config);
+  EXPECT_FALSE(result.out_of_memory);
+  int64_t n_missing = NumMissing(*env.dataset.graph);
+  ASSERT_EQ(static_cast<int64_t>(result.op_per_missing.size()), n_missing);
+  ASSERT_EQ(static_cast<int64_t>(result.cluster_of.size()), n_missing);
+  for (int64_t c : result.cluster_of) {
+    EXPECT_GE(c, 0);
+    EXPECT_LT(c, config.num_clusters);
+  }
+  EXPECT_EQ(result.final_alpha.rows(), config.num_clusters);
+  EXPECT_EQ(result.final_alpha.cols(), kNumCompletionOps);
+  // Box constraint C2 holds on the returned alpha.
+  for (int64_t i = 0; i < result.final_alpha.numel(); ++i) {
+    EXPECT_GE(result.final_alpha.data()[i], 0.0f);
+    EXPECT_LE(result.final_alpha.data()[i], 1.0f);
+  }
+  EXPECT_GT(result.search_seconds, 0.0);
+  // Modularity clustering records an L_GmoC trace.
+  EXPECT_EQ(static_cast<int64_t>(result.gmoc_trace.size()),
+            config.search_epochs);
+}
+
+TEST(SearchTest, ClusterModesRun) {
+  SearchEnvironment& env = SearchEnvironment::Get();
+  for (ClusterMode mode : {ClusterMode::kNone, ClusterMode::kEm,
+                           ClusterMode::kEmWarmup}) {
+    ExperimentConfig config = TinyConfig();
+    config.cluster_mode = mode;
+    config.em_warmup_epochs = 3;
+    SearchResult result = SearchCompletionOps(env.task, env.ctx, config);
+    EXPECT_EQ(result.op_per_missing.size(),
+              static_cast<size_t>(NumMissing(*env.dataset.graph)));
+    if (mode == ClusterMode::kNone) {
+      // Per-node alpha: every node is its own cluster.
+      EXPECT_EQ(result.final_alpha.rows(), NumMissing(*env.dataset.graph));
+    }
+  }
+}
+
+TEST(SearchTest, WithoutDiscreteConstraintsRuns) {
+  SearchEnvironment& env = SearchEnvironment::Get();
+  ExperimentConfig config = TinyConfig();
+  config.discrete_constraints = false;
+  config.search_epochs = 4;
+  SearchResult result = SearchCompletionOps(env.task, env.ctx, config);
+  EXPECT_FALSE(result.out_of_memory);
+  EXPECT_EQ(result.op_per_missing.size(),
+            static_cast<size_t>(NumMissing(*env.dataset.graph)));
+}
+
+TEST(SearchTest, MixtureSearchReportsOutOfMemoryUnderTinyBudget) {
+  SearchEnvironment& env = SearchEnvironment::Get();
+  ExperimentConfig config = TinyConfig();
+  config.discrete_constraints = false;
+  config.memory_limit_bytes = 1024;  // absurdly small
+  SearchResult result = SearchCompletionOps(env.task, env.ctx, config);
+  EXPECT_TRUE(result.out_of_memory);
+  RunResult run = RunAutoAc(env.task, env.ctx, config);
+  EXPECT_TRUE(run.out_of_memory);
+}
+
+TEST(SearchTest, RunAutoAcEndToEnd) {
+  SearchEnvironment& env = SearchEnvironment::Get();
+  ExperimentConfig config = TinyConfig();
+  RunResult result = RunAutoAc(env.task, env.ctx, config);
+  EXPECT_FALSE(result.out_of_memory);
+  EXPECT_GT(result.test.micro_f1, 0.0);
+  EXPECT_GT(result.times.search_seconds, 0.0);
+  EXPECT_GT(result.times.train_seconds, 0.0);
+  EXPECT_EQ(result.searched_ops.size(),
+            static_cast<size_t>(NumMissing(*env.dataset.graph)));
+}
+
+TEST(TrainerTest, AssignmentHelpers) {
+  Rng rng(1);
+  auto uniform = UniformAssignment(5, CompletionOpType::kGcn);
+  EXPECT_EQ(uniform.size(), 5u);
+  for (CompletionOpType op : uniform) {
+    EXPECT_EQ(op, CompletionOpType::kGcn);
+  }
+  auto random = RandomAssignment(200, rng);
+  int histogram[kNumCompletionOps] = {0};
+  for (CompletionOpType op : random) ++histogram[static_cast<int>(op)];
+  for (int o = 0; o < kNumCompletionOps; ++o) {
+    EXPECT_GT(histogram[o], 10);
+  }
+}
+
+TEST(TrainerTest, EstimateTapeBytesCountsValuesAndGrads) {
+  VarPtr a = MakeParam(Tensor::Zeros({10, 10}));  // 100 floats, grad too
+  VarPtr b = MakeConst(Tensor::Zeros({10, 10}));  // 100 floats, no grad
+  VarPtr c = SumAll(Mul(a, b));
+  // a: 800, b: 400, mul: 800, sum: 8 -> 2008 bytes.
+  EXPECT_EQ(EstimateTapeBytes(c), 2008);
+}
+
+TEST(HgnnAcTest, RunsAndReportsPrelearnTime) {
+  SearchEnvironment& env = SearchEnvironment::Get();
+  ExperimentConfig config = TinyConfig();
+  HgnnAcConfig hgnn;
+  hgnn.walks_per_node = 1;
+  hgnn.walk_length = 5;
+  hgnn.prelearn_epochs = 1;
+  RunResult result = RunHgnnAc(env.task, env.ctx, config, hgnn);
+  EXPECT_GT(result.times.prelearn_seconds, 0.0);
+  EXPECT_GT(result.test.micro_f1, 0.0);
+}
+
+}  // namespace
+}  // namespace autoac

@@ -1,0 +1,142 @@
+#include "data/serialization.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "gtest/gtest.h"
+
+namespace autoac {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+Dataset SmallDataset() {
+  DatasetOptions options;
+  options.scale = 0.05;
+  return MakeDataset("acm", options);
+}
+
+TEST(SerializationTest, GraphRoundTripPreservesStructure) {
+  Dataset dataset = SmallDataset();
+  std::string path = TempPath("graph.aacg");
+  ASSERT_TRUE(SaveGraph(*dataset.graph, path).ok());
+
+  StatusOr<HeteroGraphPtr> loaded = LoadGraph(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().message();
+  const HeteroGraph& a = *dataset.graph;
+  const HeteroGraph& b = *loaded.value();
+
+  EXPECT_EQ(a.num_nodes(), b.num_nodes());
+  EXPECT_EQ(a.num_edges(), b.num_edges());
+  EXPECT_EQ(a.num_node_types(), b.num_node_types());
+  EXPECT_EQ(a.num_edge_types(), b.num_edge_types());
+  EXPECT_EQ(a.edge_src(), b.edge_src());
+  EXPECT_EQ(a.edge_dst(), b.edge_dst());
+  EXPECT_EQ(a.edge_type_ids(), b.edge_type_ids());
+  EXPECT_EQ(a.target_node_type(), b.target_node_type());
+  EXPECT_EQ(a.target_edge_type(), b.target_edge_type());
+  EXPECT_EQ(a.num_classes(), b.num_classes());
+  EXPECT_EQ(a.global_labels(), b.global_labels());
+  for (int64_t t = 0; t < a.num_node_types(); ++t) {
+    EXPECT_EQ(a.node_type(t).name, b.node_type(t).name);
+    EXPECT_EQ(a.node_type(t).count, b.node_type(t).count);
+    ASSERT_EQ(a.node_type(t).attributes.numel(),
+              b.node_type(t).attributes.numel());
+    for (int64_t i = 0; i < a.node_type(t).attributes.numel(); ++i) {
+      EXPECT_EQ(a.node_type(t).attributes.data()[i],
+                b.node_type(t).attributes.data()[i]);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, DatasetRoundTripPreservesSplitAndGroundTruth) {
+  Dataset dataset = SmallDataset();
+  std::string path = TempPath("dataset.aacd");
+  ASSERT_TRUE(SaveDataset(dataset, path).ok());
+
+  StatusOr<Dataset> loaded = LoadDataset(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().message();
+  const Dataset& b = loaded.value();
+  EXPECT_EQ(dataset.name, b.name);
+  EXPECT_EQ(dataset.split.train, b.split.train);
+  EXPECT_EQ(dataset.split.val, b.split.val);
+  EXPECT_EQ(dataset.split.test, b.split.test);
+  EXPECT_EQ(dataset.latent_class, b.latent_class);
+  ASSERT_EQ(dataset.regime.size(), b.regime.size());
+  for (size_t i = 0; i < dataset.regime.size(); ++i) {
+    EXPECT_EQ(dataset.regime[i], b.regime[i]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, LoadedGraphIsUsable) {
+  Dataset dataset = SmallDataset();
+  std::string path = TempPath("usable.aacg");
+  ASSERT_TRUE(SaveGraph(*dataset.graph, path).ok());
+  StatusOr<HeteroGraphPtr> loaded = LoadGraph(path);
+  ASSERT_TRUE(loaded.ok());
+  // Adjacency builders must work on the loaded graph (i.e., it was
+  // finalized with consistent internal state).
+  SpMatPtr adj = loaded.value()->FullAdjacency(AdjNorm::kSym, true);
+  adj->forward().CheckInvariants();
+  EXPECT_EQ(adj->num_rows(), dataset.graph->num_nodes());
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, MissingFileReportsError) {
+  StatusOr<HeteroGraphPtr> loaded = LoadGraph("/nonexistent/nope.aacg");
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("cannot open"),
+            std::string::npos);
+}
+
+TEST(SerializationTest, WrongMagicReportsError) {
+  std::string path = TempPath("bogus.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "this is not a graph file";
+  }
+  StatusOr<HeteroGraphPtr> loaded = LoadGraph(path);
+  EXPECT_FALSE(loaded.ok());
+  StatusOr<Dataset> dataset = LoadDataset(path);
+  EXPECT_FALSE(dataset.ok());
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, TruncatedFileReportsError) {
+  Dataset dataset = SmallDataset();
+  std::string full = TempPath("full.aacg");
+  ASSERT_TRUE(SaveGraph(*dataset.graph, full).ok());
+  // Copy the first 64 bytes only.
+  std::string truncated = TempPath("truncated.aacg");
+  {
+    std::ifstream in(full, std::ios::binary);
+    char buffer[64];
+    in.read(buffer, sizeof(buffer));
+    std::ofstream out(truncated, std::ios::binary);
+    out.write(buffer, in.gcount());
+  }
+  StatusOr<HeteroGraphPtr> loaded = LoadGraph(truncated);
+  EXPECT_FALSE(loaded.ok());
+  std::remove(full.c_str());
+  std::remove(truncated.c_str());
+}
+
+TEST(StatusTest, BasicSemantics) {
+  EXPECT_TRUE(Status::Ok().ok());
+  Status err = Status::Error("boom");
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.message(), "boom");
+  StatusOr<int> value(7);
+  EXPECT_TRUE(value.ok());
+  EXPECT_EQ(value.value(), 7);
+  StatusOr<int> failed(Status::Error("nope"));
+  EXPECT_FALSE(failed.ok());
+  EXPECT_EQ(failed.status().message(), "nope");
+}
+
+}  // namespace
+}  // namespace autoac

@@ -1,0 +1,143 @@
+#include "graph/sparse_ops.h"
+
+#include <cmath>
+
+#include "grad_check.h"
+#include "gtest/gtest.h"
+#include "tensor/init.h"
+#include "util/rng.h"
+
+namespace autoac {
+namespace {
+
+using testing::ExpectGradientsMatch;
+
+SpMatPtr RandomSparse(int64_t m, int64_t n, int64_t nnz, Rng& rng) {
+  std::vector<int64_t> rows, cols;
+  std::vector<float> vals;
+  for (int64_t e = 0; e < nnz; ++e) {
+    rows.push_back(rng.UniformInt(0, m - 1));
+    cols.push_back(rng.UniformInt(0, n - 1));
+    vals.push_back(static_cast<float>(rng.Uniform(0.2, 1.0)));
+  }
+  return MakeSparse(Csr::FromCoo(m, n, rows, cols, vals));
+}
+
+TEST(SpMMTest, MatchesDenseMatMul) {
+  Rng rng(1);
+  SpMatPtr a = RandomSparse(4, 5, 9, rng);
+  Tensor x_values = RandomNormal({5, 3}, 1.0f, rng);
+
+  // Dense reference.
+  const Csr& csr = a->forward();
+  Tensor expected(4, 3);
+  for (int64_t i = 0; i < 4; ++i) {
+    for (int64_t k = csr.indptr[i]; k < csr.indptr[i + 1]; ++k) {
+      for (int64_t j = 0; j < 3; ++j) {
+        expected.at(i, j) += csr.values[k] * x_values.at(csr.indices[k], j);
+      }
+    }
+  }
+  VarPtr x = MakeConst(x_values);
+  VarPtr y = SpMM(a, x);
+  for (int64_t i = 0; i < 4; ++i) {
+    for (int64_t j = 0; j < 3; ++j) {
+      EXPECT_NEAR(y->value.at(i, j), expected.at(i, j), 1e-5);
+    }
+  }
+}
+
+TEST(SpMMTest, GradCheck) {
+  Rng rng(2);
+  SpMatPtr a = RandomSparse(4, 4, 8, rng);
+  VarPtr x = MakeParam(RandomNormal({4, 3}, 0.8f, rng));
+  ExpectGradientsMatch({x}, [&] { return SumSquares(SpMM(a, x)); });
+}
+
+TEST(EdgeSoftmaxAggregateTest, UniformLogitsAverageNeighbors) {
+  // Node 0 has two incoming neighbours (1 and 2) with equal logits: the
+  // output must be their mean.
+  SpMatPtr a = MakeSparse(Csr::FromCoo(3, 3, {0, 0}, {1, 2}));
+  Tensor h_values = Tensor::FromVector({3, 2}, {0, 0, 2, 4, 4, 8});
+  VarPtr logits = MakeConst(Tensor::Zeros({2}));
+  VarPtr h = MakeConst(h_values);
+  VarPtr out = EdgeSoftmaxAggregate(a, logits, h);
+  EXPECT_NEAR(out->value.at(0, 0), 3.0f, 1e-5);
+  EXPECT_NEAR(out->value.at(0, 1), 6.0f, 1e-5);
+  // Rows without incoming edges stay zero.
+  EXPECT_EQ(out->value.at(1, 0), 0.0f);
+  EXPECT_EQ(out->value.at(2, 1), 0.0f);
+}
+
+TEST(EdgeSoftmaxAggregateTest, LargeLogitSelectsNeighbor) {
+  SpMatPtr a = MakeSparse(Csr::FromCoo(2, 3, {0, 0}, {1, 2}));
+  VarPtr logits = MakeConst(Tensor::FromVector({2}, {10.0f, -10.0f}));
+  VarPtr h = MakeConst(Tensor::FromVector({3, 1}, {0, 5, 9}));
+  VarPtr out = EdgeSoftmaxAggregate(a, logits, h);
+  EXPECT_NEAR(out->value.at(0, 0), 5.0f, 1e-3);
+}
+
+TEST(EdgeSoftmaxAggregateTest, GradCheckBothInputs) {
+  Rng rng(3);
+  SpMatPtr a = RandomSparse(4, 4, 10, rng);
+  VarPtr logits = MakeParam(RandomNormal({a->nnz()}, 0.5f, rng));
+  VarPtr h = MakeParam(RandomNormal({4, 3}, 0.8f, rng));
+  ExpectGradientsMatch({logits, h}, [&] {
+    return SumSquares(EdgeSoftmaxAggregate(a, logits, h));
+  });
+}
+
+TEST(GatherEdgeTest, SrcAndDstBroadcasts) {
+  // Edges: (dst=0, src=1), (dst=1, src=0), (dst=1, src=2).
+  SpMatPtr a = MakeSparse(Csr::FromCoo(2, 3, {0, 1, 1}, {1, 0, 2}));
+  VarPtr src_values = MakeConst(Tensor::FromVector({3}, {10, 20, 30}));
+  VarPtr dst_values = MakeConst(Tensor::FromVector({2}, {1, 2}));
+  VarPtr es = GatherEdgeSrc(a, src_values);
+  VarPtr ed = GatherEdgeDst(a, dst_values);
+  const Csr& csr = a->forward();
+  for (int64_t i = 0; i < csr.num_rows; ++i) {
+    for (int64_t k = csr.indptr[i]; k < csr.indptr[i + 1]; ++k) {
+      EXPECT_EQ(es->value.at(k), src_values->value.at(csr.indices[k]));
+      EXPECT_EQ(ed->value.at(k), dst_values->value.at(i));
+    }
+  }
+}
+
+TEST(GatherEdgeTest, GradChecks) {
+  Rng rng(4);
+  SpMatPtr a = RandomSparse(4, 4, 8, rng);
+  VarPtr xs = MakeParam(RandomNormal({4}, 0.8f, rng));
+  ExpectGradientsMatch({xs},
+                       [&] { return SumSquares(GatherEdgeSrc(a, xs)); });
+  ExpectGradientsMatch({xs},
+                       [&] { return SumSquares(GatherEdgeDst(a, xs)); });
+}
+
+TEST(Gather1dTest, ValuesAndGradient) {
+  Rng rng(5);
+  VarPtr x = MakeParam(Tensor::FromVector({3}, {1, 2, 3}));
+  VarPtr out = Gather1d(x, {2, 2, 0});
+  EXPECT_EQ(out->value.at(0), 3.0f);
+  EXPECT_EQ(out->value.at(1), 3.0f);
+  EXPECT_EQ(out->value.at(2), 1.0f);
+  ExpectGradientsMatch({x},
+                       [&] { return SumSquares(Gather1d(x, {2, 2, 0})); });
+}
+
+TEST(PairDotTest, ComputesDotProducts) {
+  VarPtr h = MakeConst(Tensor::FromVector({3, 2}, {1, 0, 0, 1, 2, 3}));
+  VarPtr scores = PairDot(h, {0, 1}, {2, 2});
+  EXPECT_EQ(scores->value.at(0), 2.0f);   // (1,0).(2,3)
+  EXPECT_EQ(scores->value.at(1), 3.0f);   // (0,1).(2,3)
+}
+
+TEST(PairDotTest, GradCheckIncludingSharedEndpoints) {
+  Rng rng(6);
+  VarPtr h = MakeParam(RandomNormal({4, 3}, 0.8f, rng));
+  ExpectGradientsMatch({h}, [&] {
+    return SumSquares(PairDot(h, {0, 1, 0}, {2, 3, 0}));
+  });
+}
+
+}  // namespace
+}  // namespace autoac

@@ -1,0 +1,107 @@
+#include "data/split.h"
+
+#include <set>
+
+#include "data/hgb_datasets.h"
+#include "gtest/gtest.h"
+
+namespace autoac {
+namespace {
+
+Dataset SmallLastFm() {
+  DatasetOptions options;
+  options.scale = 0.05;
+  return MakeDataset("lastfm", options);
+}
+
+TEST(NodeSplitTest, PartitionsAreDisjointAndComplete) {
+  DatasetOptions options;
+  options.scale = 0.1;
+  Dataset dataset = MakeDataset("acm", options);
+  std::set<int64_t> all;
+  for (const auto* part :
+       {&dataset.split.train, &dataset.split.val, &dataset.split.test}) {
+    for (int64_t id : *part) {
+      EXPECT_TRUE(all.insert(id).second) << "duplicate id " << id;
+    }
+  }
+  EXPECT_EQ(static_cast<int64_t>(all.size()),
+            dataset.graph->node_type(dataset.graph->target_node_type()).count);
+  // All ids belong to the target type.
+  for (int64_t id : all) {
+    EXPECT_EQ(dataset.graph->TypeOf(id), dataset.graph->target_node_type());
+  }
+}
+
+TEST(LinkSplitTest, MasksTargetEdgesOnly) {
+  Dataset dataset = SmallLastFm();
+  Rng rng(3);
+  LinkSplit split = MakeLinkSplit(*dataset.graph, 0.2, rng);
+
+  int64_t original_target = 0, remaining_target = 0;
+  for (int64_t e = 0; e < dataset.graph->num_edges(); ++e) {
+    if (dataset.graph->edge_type_ids()[e] ==
+        dataset.graph->target_edge_type()) {
+      ++original_target;
+    }
+  }
+  for (int64_t e = 0; e < split.train_graph->num_edges(); ++e) {
+    if (split.train_graph->edge_type_ids()[e] ==
+        split.train_graph->target_edge_type()) {
+      ++remaining_target;
+    }
+  }
+  int64_t masked = original_target - remaining_target;
+  EXPECT_NEAR(static_cast<double>(masked) / original_target, 0.2, 0.02);
+  EXPECT_EQ(static_cast<int64_t>(split.val_pos.size() + split.test_pos.size()),
+            masked);
+  EXPECT_EQ(static_cast<int64_t>(split.train_pos.size()), remaining_target);
+  // Non-target edges are fully preserved.
+  EXPECT_EQ(dataset.graph->num_edges() - split.train_graph->num_edges(),
+            masked);
+}
+
+TEST(LinkSplitTest, TrainGraphPreservesNodesAndAttributes) {
+  Dataset dataset = SmallLastFm();
+  Rng rng(3);
+  LinkSplit split = MakeLinkSplit(*dataset.graph, 0.1, rng);
+  EXPECT_EQ(split.train_graph->num_nodes(), dataset.graph->num_nodes());
+  for (int64_t t = 0; t < dataset.graph->num_node_types(); ++t) {
+    EXPECT_EQ(split.train_graph->node_type(t).attributes.numel(),
+              dataset.graph->node_type(t).attributes.numel());
+  }
+}
+
+TEST(LinkSplitTest, PositivePairsHaveCorrectEndpointTypes) {
+  Dataset dataset = SmallLastFm();
+  Rng rng(4);
+  LinkSplit split = MakeLinkSplit(*dataset.graph, 0.15, rng);
+  for (const auto& [u, v] : split.test_pos) {
+    EXPECT_EQ(dataset.graph->TypeOf(u), split.src_type);
+    EXPECT_EQ(dataset.graph->TypeOf(v), split.dst_type);
+  }
+}
+
+TEST(NegativeSamplingTest, AvoidsExistingEdges) {
+  Dataset dataset = SmallLastFm();
+  const HeteroGraph& graph = *dataset.graph;
+  std::set<std::pair<int64_t, int64_t>> existing;
+  for (int64_t e = 0; e < graph.num_edges(); ++e) {
+    if (graph.edge_type_ids()[e] == graph.target_edge_type()) {
+      existing.insert({graph.edge_src()[e], graph.edge_dst()[e]});
+    }
+  }
+  Rng rng(9);
+  auto negatives = SampleNegativeEdges(graph, 200, rng);
+  EXPECT_EQ(negatives.size(), 200u);
+  int64_t src_type = graph.edge_type(graph.target_edge_type()).src_type;
+  int64_t dst_type = graph.edge_type(graph.target_edge_type()).dst_type;
+  for (const auto& pair : negatives) {
+    EXPECT_EQ(existing.count(pair), 0u);
+    EXPECT_EQ(graph.TypeOf(pair.first), src_type);
+    EXPECT_EQ(graph.TypeOf(pair.second), dst_type);
+  }
+}
+
+}  // namespace
+}  // namespace autoac

@@ -1,0 +1,210 @@
+#include "data/synthetic.h"
+
+#include "data/hgb_datasets.h"
+#include "gtest/gtest.h"
+
+namespace autoac {
+namespace {
+
+SyntheticGraphConfig SmallConfig() {
+  SyntheticGraphConfig config;
+  config.name = "toy";
+  config.num_classes = 3;
+  config.types = {
+      {"target", 300, false, false, 0},
+      {"doc", 600, true, false, 48},
+      {"tag", 200, false, false, 0},
+  };
+  config.target_type = 0;
+  config.edges = {
+      {"doc-target", 1, 0, 1800},
+      {"doc-tag", 1, 2, 900},
+  };
+  config.target_edge_type = 0;
+  config.seed = 11;
+  return config;
+}
+
+TEST(SyntheticTest, RespectsCountsAndSchema) {
+  SyntheticGraph g = GenerateSyntheticGraph(SmallConfig());
+  EXPECT_EQ(g.graph->num_nodes(), 300 + 600 + 200);
+  EXPECT_EQ(g.graph->num_node_types(), 3);
+  EXPECT_EQ(g.graph->num_edge_types(), 2);
+  EXPECT_GE(g.graph->num_edges(), 2700);
+  EXPECT_EQ(g.graph->node_type(1).attributes.rows(), 600);
+  EXPECT_EQ(g.graph->node_type(1).attributes.cols(), 48);
+  EXPECT_EQ(g.graph->node_type(0).attributes.numel(), 0);
+  EXPECT_EQ(g.graph->num_classes(), 3);
+}
+
+TEST(SyntheticTest, ScaleShrinksCounts) {
+  SyntheticGraphConfig config = SmallConfig();
+  config.scale = 0.5;
+  SyntheticGraph g = GenerateSyntheticGraph(config);
+  EXPECT_EQ(g.graph->num_nodes(), 150 + 300 + 100);
+}
+
+TEST(SyntheticTest, DeterministicForSeed) {
+  SyntheticGraph a = GenerateSyntheticGraph(SmallConfig());
+  SyntheticGraph b = GenerateSyntheticGraph(SmallConfig());
+  EXPECT_EQ(a.graph->num_edges(), b.graph->num_edges());
+  EXPECT_EQ(a.latent_class, b.latent_class);
+  EXPECT_EQ(a.graph->edge_src(), b.graph->edge_src());
+}
+
+TEST(SyntheticTest, EveryCoveredNodeHasAnEdge) {
+  SyntheticGraph g = GenerateSyntheticGraph(SmallConfig());
+  std::vector<int64_t> deg = g.graph->degrees();
+  // The coverage pass guarantees target and doc nodes at least one edge.
+  for (int64_t i = 0; i < 300; ++i) {
+    EXPECT_GT(deg[g.graph->GlobalId(0, i)], 0) << "target " << i;
+  }
+}
+
+TEST(SyntheticTest, LabelsMatchLatentAtHighFidelity) {
+  SyntheticGraphConfig config = SmallConfig();
+  config.label_fidelity = 1.0;
+  SyntheticGraph g = GenerateSyntheticGraph(config);
+  for (int64_t i = 0; i < 300; ++i) {
+    int64_t global = g.graph->GlobalId(0, i);
+    EXPECT_EQ(g.graph->LabelOf(global), g.latent_class[global]);
+  }
+}
+
+TEST(SyntheticTest, LabelFidelityControlsAgreement) {
+  SyntheticGraphConfig config = SmallConfig();
+  config.label_fidelity = 0.5;
+  SyntheticGraph g = GenerateSyntheticGraph(config);
+  int64_t agree = 0;
+  for (int64_t i = 0; i < 300; ++i) {
+    int64_t global = g.graph->GlobalId(0, i);
+    if (g.graph->LabelOf(global) == g.latent_class[global]) ++agree;
+  }
+  // Expected agreement: 0.5 + 0.5/3 = 2/3 of 300 = 200. Allow slack.
+  EXPECT_GT(agree, 160);
+  EXPECT_LT(agree, 240);
+}
+
+// The central planted property: a local-regime node's attributed
+// neighbourhood is substantially purer than an identity-regime node's.
+TEST(SyntheticTest, RegimePurityOrdering) {
+  SyntheticGraph g = GenerateSyntheticGraph(SmallConfig());
+  const HeteroGraph& graph = *g.graph;
+  SpMatPtr adj = graph.AttributedNeighborAdjacency(AdjNorm::kNone);
+  const Csr& csr = adj->forward();
+  double purity_sum[3] = {0, 0, 0};
+  int64_t counts[3] = {0, 0, 0};
+  for (int64_t local = 0; local < graph.node_type(0).count; ++local) {
+    int64_t v = graph.GlobalId(0, local);
+    int64_t same = 0;
+    int64_t degree = csr.RowDegree(v);
+    if (degree == 0) continue;
+    for (int64_t k = csr.indptr[v]; k < csr.indptr[v + 1]; ++k) {
+      if (g.latent_class[csr.indices[k]] == g.latent_class[v]) ++same;
+    }
+    int regime = static_cast<int>(g.regime[v]);
+    purity_sum[regime] += static_cast<double>(same) / degree;
+    ++counts[regime];
+  }
+  ASSERT_GT(counts[0], 0);  // local
+  ASSERT_GT(counts[1], 0);  // global
+  double local_purity = purity_sum[0] / counts[0];
+  double global_purity = purity_sum[1] / counts[1];
+  EXPECT_GT(local_purity, global_purity + 0.05);
+  EXPECT_GT(local_purity, 0.75);
+}
+
+// Identity-regime nodes must be sparser than local-regime nodes.
+TEST(SyntheticTest, IdentityRegimeIsSparse) {
+  SyntheticGraph g = GenerateSyntheticGraph(SmallConfig());
+  const HeteroGraph& graph = *g.graph;
+  double degree_sum[3] = {0, 0, 0};
+  int64_t counts[3] = {0, 0, 0};
+  // Tags (type 2, non-target) can hold identity regime.
+  for (int64_t local = 0; local < graph.node_type(2).count; ++local) {
+    int64_t v = graph.GlobalId(2, local);
+    int regime = static_cast<int>(g.regime[v]);
+    degree_sum[regime] += static_cast<double>(graph.degrees()[v]);
+    ++counts[regime];
+  }
+  ASSERT_GT(counts[0], 0);
+  ASSERT_GT(counts[2], 0);
+  EXPECT_GT(degree_sum[0] / counts[0], 1.5 * degree_sum[2] / counts[2]);
+}
+
+TEST(SyntheticTest, TargetTypeNeverIdentityRegime) {
+  SyntheticGraph g = GenerateSyntheticGraph(SmallConfig());
+  for (int64_t local = 0; local < g.graph->node_type(0).count; ++local) {
+    int64_t v = g.graph->GlobalId(0, local);
+    EXPECT_NE(g.regime[v], CompletionRegime::kIdentity);
+  }
+}
+
+TEST(HgbDatasetsTest, AllDatasetsBuildAtSmallScale) {
+  for (const std::string& name : AllDatasetNames()) {
+    DatasetOptions options;
+    options.scale = 0.05;
+    Dataset dataset = MakeDataset(name, options);
+    EXPECT_GT(dataset.graph->num_nodes(), 0) << name;
+    EXPECT_GT(dataset.graph->num_edges(), 0) << name;
+    EXPECT_GE(dataset.graph->target_edge_type(), 0) << name;
+    // Exactly one type carries attributes by default.
+    int64_t attributed = 0;
+    for (int64_t t = 0; t < dataset.graph->num_node_types(); ++t) {
+      if (dataset.graph->node_type(t).attributes.numel() > 0) ++attributed;
+    }
+    EXPECT_EQ(attributed, 1) << name;
+  }
+}
+
+TEST(HgbDatasetsTest, SplitsFollowProtocol) {
+  DatasetOptions options;
+  options.scale = 0.1;
+  Dataset dataset = MakeDataset("dblp", options);
+  int64_t targets = dataset.graph->node_type(
+      dataset.graph->target_node_type()).count;
+  int64_t total = static_cast<int64_t>(dataset.split.train.size() +
+                                       dataset.split.val.size() +
+                                       dataset.split.test.size());
+  EXPECT_EQ(total, targets);
+  // 70% test (the HGB fraction this repo preserves).
+  EXPECT_NEAR(static_cast<double>(dataset.split.test.size()) / targets, 0.70,
+              0.02);
+}
+
+TEST(HgbDatasetsTest, MissingOverrideAddsManualCodes) {
+  DatasetOptions options;
+  options.scale = 0.05;
+  options.missing_types = {"author"};  // term/venue manually completed
+  Dataset dataset = MakeDataset("dblp", options);
+  int64_t attributed = 0;
+  for (int64_t t = 0; t < dataset.graph->num_node_types(); ++t) {
+    if (dataset.graph->node_type(t).attributes.numel() > 0) ++attributed;
+  }
+  EXPECT_EQ(attributed, 3);  // paper raw + term/venue codes
+  EXPECT_LT(MissingRate(dataset), 0.5);
+}
+
+TEST(HgbDatasetsTest, MissingOverrideKeepsTopologyFixed) {
+  DatasetOptions base;
+  base.scale = 0.05;
+  Dataset full_missing = MakeDataset("dblp", base);
+  DatasetOptions override_options = base;
+  override_options.missing_types = {"author"};
+  Dataset partial = MakeDataset("dblp", override_options);
+  EXPECT_EQ(full_missing.graph->edge_src(), partial.graph->edge_src());
+  EXPECT_EQ(full_missing.graph->edge_dst(), partial.graph->edge_dst());
+}
+
+TEST(HgbDatasetsTest, MissingRatesIncreaseAlongLadder) {
+  DatasetOptions options;
+  options.scale = 0.1;
+  options.missing_types = {"author"};
+  double low = MissingRate(MakeDataset("dblp", options));
+  options.missing_types = {"author", "term", "venue"};
+  double high = MissingRate(MakeDataset("dblp", options));
+  EXPECT_LT(low, high);
+}
+
+}  // namespace
+}  // namespace autoac

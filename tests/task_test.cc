@@ -1,0 +1,121 @@
+#include "autoac/task.h"
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "tensor/init.h"
+
+namespace autoac {
+namespace {
+
+Dataset SmallDataset(const std::string& name) {
+  DatasetOptions options;
+  options.scale = 0.05;
+  return MakeDataset(name, options);
+}
+
+TEST(TaskTest, NodeTaskWrapsDatasetSplit) {
+  Dataset dataset = SmallDataset("acm");
+  TaskData task = MakeNodeTask(dataset);
+  EXPECT_EQ(task.task, TaskKind::kNodeClassification);
+  EXPECT_EQ(task.graph.get(), dataset.graph.get());
+  EXPECT_EQ(task.node_split.train.size(), dataset.split.train.size());
+}
+
+TEST(TaskTest, LinkTaskMasksEdges) {
+  Dataset dataset = SmallDataset("lastfm");
+  Rng rng(1);
+  TaskData task = MakeLinkTask(dataset, 0.1, rng);
+  EXPECT_EQ(task.task, TaskKind::kLinkPrediction);
+  EXPECT_LT(task.graph->num_edges(), dataset.graph->num_edges());
+  EXPECT_FALSE(task.val_pos.empty());
+  EXPECT_FALSE(task.test_pos.empty());
+  EXPECT_FALSE(task.train_pos.empty());
+}
+
+TEST(TaskHeadTest, NodeLossesAreFiniteAndPositive) {
+  Dataset dataset = SmallDataset("acm");
+  TaskData task = MakeNodeTask(dataset);
+  Rng rng(2);
+  TaskHead head(task, /*model_out_dim=*/8, /*mrr_negatives=*/5, rng);
+  VarPtr h = MakeConst(RandomNormal({task.graph->num_nodes(), 8}, 0.5f, rng));
+  VarPtr train_loss = head.TrainLoss(h, rng);
+  VarPtr val_loss = head.ValLoss(h);
+  EXPECT_TRUE(std::isfinite(train_loss->value.data()[0]));
+  EXPECT_TRUE(std::isfinite(val_loss->value.data()[0]));
+  EXPECT_GT(train_loss->value.data()[0], 0.0f);
+}
+
+TEST(TaskHeadTest, NodeEvaluationScoresInRange) {
+  Dataset dataset = SmallDataset("acm");
+  TaskData task = MakeNodeTask(dataset);
+  Rng rng(3);
+  TaskHead head(task, 8, 5, rng);
+  VarPtr h = MakeConst(RandomNormal({task.graph->num_nodes(), 8}, 0.5f, rng));
+  TaskScores val = head.EvaluateVal(h);
+  TaskScores test = head.EvaluateTest(h);
+  for (double score : {val.micro_f1, val.macro_f1, test.micro_f1,
+                       test.macro_f1}) {
+    EXPECT_GE(score, 0.0);
+    EXPECT_LE(score, 1.0);
+  }
+  EXPECT_EQ(val.primary, val.micro_f1);
+}
+
+TEST(TaskHeadTest, LinkEvaluationScoresInRange) {
+  Dataset dataset = SmallDataset("lastfm");
+  Rng rng(4);
+  TaskData task = MakeLinkTask(dataset, 0.15, rng);
+  TaskHead head(task, 8, 5, rng);
+  VarPtr h = MakeConst(RandomNormal({task.graph->num_nodes(), 8}, 0.5f, rng));
+  VarPtr loss = head.TrainLoss(h, rng);
+  EXPECT_TRUE(std::isfinite(loss->value.data()[0]));
+  TaskScores test = head.EvaluateTest(h);
+  EXPECT_GE(test.roc_auc, 0.0);
+  EXPECT_LE(test.roc_auc, 1.0);
+  EXPECT_GT(test.mrr, 0.0);
+  EXPECT_LE(test.mrr, 1.0);
+  EXPECT_EQ(test.primary, test.roc_auc);
+}
+
+TEST(TaskHeadTest, NodeHeadHasParametersLinkHeadDoesNot) {
+  Dataset acm = SmallDataset("acm");
+  TaskData node_task = MakeNodeTask(acm);
+  Rng rng(5);
+  TaskHead node_head(node_task, 8, 5, rng);
+  EXPECT_FALSE(node_head.Parameters().empty());
+
+  Dataset lastfm = SmallDataset("lastfm");
+  TaskData link_task = MakeLinkTask(lastfm, 0.1, rng);
+  TaskHead link_head(link_task, 8, 5, rng);
+  EXPECT_TRUE(link_head.Parameters().empty());
+}
+
+TEST(TaskHeadTest, PerfectEmbeddingsScoreHighOnLinkTask) {
+  // Hand-crafted embeddings that score true pairs higher than negatives:
+  // identical vectors for endpoints of positive pairs.
+  Dataset dataset = SmallDataset("lastfm");
+  Rng rng(6);
+  TaskData task = MakeLinkTask(dataset, 0.2, rng);
+  Tensor h(task.graph->num_nodes(), 4);
+  // Assign a shared random direction to each positive pair (train+test).
+  Rng feature_rng(7);
+  auto assign_pair = [&](int64_t u, int64_t v) {
+    for (int64_t j = 0; j < 4; ++j) {
+      float value = static_cast<float>(feature_rng.Normal(0, 1));
+      h.at(u, j) += value;
+      h.at(v, j) += value;
+    }
+  };
+  for (const auto& [u, v] : task.test_pos) assign_pair(u, v);
+  TaskHead head(task, 4, 10, rng);
+  TaskScores test = head.EvaluateTest(MakeConst(h));
+  // Users appear in several positive pairs, so candidate negatives that
+  // reuse a positive endpoint also score > 0; separation is strong but not
+  // perfect.
+  EXPECT_GT(test.roc_auc, 0.62);
+  EXPECT_GT(test.mrr, 0.45);
+}
+
+}  // namespace
+}  // namespace autoac

@@ -1,0 +1,151 @@
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "util/flags.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace autoac {
+namespace {
+
+TEST(StatsTest, SummarizeMeanAndStd) {
+  RunSummary s = Summarize({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0});
+  EXPECT_NEAR(s.mean, 5.0, 1e-9);
+  // Sample std with n-1 denominator.
+  EXPECT_NEAR(s.stddev, std::sqrt(32.0 / 7.0), 1e-9);
+  EXPECT_EQ(s.n, 8);
+}
+
+TEST(StatsTest, SummarizeEmptyAndSingle) {
+  EXPECT_EQ(Summarize({}).n, 0);
+  RunSummary one = Summarize({3.0});
+  EXPECT_EQ(one.n, 1);
+  EXPECT_EQ(one.stddev, 0.0);
+}
+
+TEST(StatsTest, WelchIdenticalSamplesGiveHighP) {
+  std::vector<double> a = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_GT(WelchTTestPValue(a, a), 0.95);
+}
+
+TEST(StatsTest, WelchClearlySeparatedSamplesGiveLowP) {
+  std::vector<double> a = {1.0, 1.1, 0.9, 1.05, 0.95};
+  std::vector<double> b = {5.0, 5.1, 4.9, 5.05, 4.95};
+  EXPECT_LT(WelchTTestPValue(a, b), 1e-6);
+}
+
+TEST(StatsTest, WelchMatchesReferenceValue) {
+  // Reference via independent numeric integration of the Student-t pdf
+  // (t = -5.1903, Welch df = 3.2311): p ~= 0.011529.
+  std::vector<double> a = {82.1, 83.0, 82.5};
+  std::vector<double> b = {84.0, 84.4, 83.9};
+  EXPECT_NEAR(WelchTTestPValue(a, b), 0.011529, 1e-4);
+}
+
+TEST(StatsTest, WelchDegenerateInputs) {
+  EXPECT_EQ(WelchTTestPValue({1.0}, {2.0, 3.0}), 1.0);
+  EXPECT_EQ(WelchTTestPValue({2.0, 2.0}, {2.0, 2.0}), 1.0);
+  EXPECT_EQ(WelchTTestPValue({2.0, 2.0}, {3.0, 3.0}), 0.0);
+}
+
+TEST(StatsTest, Formatting) {
+  RunSummary s;
+  s.mean = 93.855;
+  s.stddev = 0.184;
+  EXPECT_EQ(FormatMeanStd(s, 2), "93.86±0.18");
+  EXPECT_EQ(FormatPValue(2.9e-8), "2.9e-08");
+}
+
+TEST(TablePrinterTest, AlignsColumnsAndCountsUtf8Once) {
+  TablePrinter table({"Model", "Micro-F1"});
+  table.AddRow({"GCN", "92.60±0.22"});
+  table.AddSeparator();
+  table.AddRow({"SimpleHGN-AutoAC", "93.80±0.18"});
+  std::string out = table.ToString();
+  EXPECT_NE(out.find("GCN"), std::string::npos);
+  EXPECT_NE(out.find("93.80±0.18"), std::string::npos);
+  // Separator adds an extra rule line: 4 rules total (top, under-header,
+  // explicit separator, bottom).
+  int rules = 0;
+  size_t start = 0;
+  while (start < out.size()) {
+    size_t end = out.find('\n', start);
+    if (end == std::string::npos) end = out.size();
+    if (end > start && out[start] == '-') ++rules;
+    start = end + 1;
+  }
+  EXPECT_EQ(rules, 4);
+}
+
+TEST(FlagsTest, ParsesTypes) {
+  const char* argv[] = {"prog", "--scale=0.5", "--seeds=4",
+                        "--model=SimpleHGN", "--verbose"};
+  Flags flags(5, const_cast<char**>(argv));
+  EXPECT_DOUBLE_EQ(flags.GetDouble("scale", 1.0), 0.5);
+  EXPECT_EQ(flags.GetInt("seeds", 1), 4);
+  EXPECT_EQ(flags.GetString("model", ""), "SimpleHGN");
+  EXPECT_TRUE(flags.GetBool("verbose", false));
+  EXPECT_EQ(flags.GetInt("missing", 9), 9);
+  EXPECT_TRUE(flags.Has("scale"));
+  EXPECT_FALSE(flags.Has("nope"));
+}
+
+TEST(FlagsTest, MalformedValuesFallBack) {
+  const char* argv[] = {"prog", "--seeds=abc"};
+  Flags flags(2, const_cast<char**>(argv));
+  EXPECT_EQ(flags.GetInt("seeds", 3), 3);
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.UniformInt(0, 1000), b.UniformInt(0, 1000));
+  }
+}
+
+TEST(RngTest, UniformIntStaysInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformInt(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementIsDistinctAndComplete) {
+  Rng rng(5);
+  // Dense regime.
+  std::vector<int64_t> all = rng.SampleWithoutReplacement(10, 10);
+  std::sort(all.begin(), all.end());
+  for (int64_t i = 0; i < 10; ++i) EXPECT_EQ(all[i], i);
+  // Sparse regime.
+  std::vector<int64_t> few = rng.SampleWithoutReplacement(1000, 5);
+  std::sort(few.begin(), few.end());
+  EXPECT_EQ(std::unique(few.begin(), few.end()), few.end());
+  EXPECT_EQ(few.size(), 5u);
+}
+
+TEST(RngTest, CategoricalRespectsWeights) {
+  Rng rng(7);
+  int64_t hits = 0;
+  for (int i = 0; i < 2000; ++i) {
+    if (rng.Categorical({0.9, 0.1}) == 0) ++hits;
+  }
+  EXPECT_GT(hits, 1600);
+}
+
+TEST(TimerTest, MeasuresElapsedTime) {
+  StageTimer timer;
+  timer.Start();
+  timer.Stop();
+  timer.Start();
+  timer.Stop();
+  EXPECT_GE(timer.TotalSeconds(), 0.0);
+  timer.Clear();
+  EXPECT_EQ(timer.TotalSeconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace autoac

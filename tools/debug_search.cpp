@@ -1,0 +1,58 @@
+// Dev tool: inspect the search internals on a small dataset.
+#include <algorithm>
+#include <cstdio>
+#include "autoac/search.h"
+#include "autoac/trainer.h"
+#include "autoac/completion_params.h"
+#include "autoac/evaluator.h"
+#include "data/hgb_datasets.h"
+#include "util/flags.h"
+
+using namespace autoac;
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  DatasetOptions opts;
+  opts.scale = flags.GetDouble("scale", 0.1);
+  opts.seed = 7;
+  Dataset ds = MakeDataset(flags.GetString("dataset", "dblp"), opts);
+  TaskData task = MakeNodeTask(ds);
+  ModelContext ctx = BuildModelContext(ds.graph);
+  ExperimentConfig cfg;
+  cfg.train_epochs = flags.GetInt("epochs", 60);
+  cfg.search_epochs = flags.GetInt("search_epochs", 30);
+  cfg.seed = flags.GetInt("seed", 1);
+  cfg.lr_alpha = flags.GetDouble("lr_alpha", 0.02);
+  cfg.num_clusters = flags.GetInt("M", 8);
+  std::string mode = flags.GetString("mode", "modularity");
+  if (mode == "none") cfg.cluster_mode = ClusterMode::kNone;
+  else if (mode == "em") cfg.cluster_mode = ClusterMode::kEm;
+  cfg.alpha_warmup_epochs = flags.GetInt("warmup", -1);
+
+  SearchResult sr = SearchCompletionOps(task, ctx, cfg);
+  if (sr.final_alpha.rows() <= 16) printf("final alpha:\n");
+  for (int64_t m = 0; m < sr.final_alpha.rows() && sr.final_alpha.rows() <= 16; ++m) {
+    printf("  c%lld:", (long long)m);
+    for (int64_t j = 0; j < sr.final_alpha.cols(); ++j)
+      printf(" %.3f", sr.final_alpha.at(m, j));
+    printf("\n");
+  }
+  // cluster sizes
+  int64_t max_c = 0;
+  for (int64_t c : sr.cluster_of) max_c = std::max(max_c, c);
+  std::vector<int64_t> sizes(max_c + 1, 0);
+  for (int64_t c : sr.cluster_of) sizes[c]++;
+  if (sizes.size() <= 16) { printf("cluster sizes:"); for (auto s : sizes) printf(" %lld", (long long)s); }
+  printf("\nop distribution:");
+  int cnt[4] = {0,0,0,0};
+  for (auto op : sr.op_per_missing) cnt[(int)op]++;
+  for (int o = 0; o < 4; ++o) printf(" %s=%.1f%%", CompletionOpName((CompletionOpType)o), 100.0*cnt[o]/sr.op_per_missing.size());
+  printf("\n");
+  RunResult rt = RunAutoAc(task, ctx, cfg);
+  int cnt2[4] = {0,0,0,0};
+  for (auto op : rt.searched_ops) cnt2[(int)op]++;
+  printf("chosen distribution:");
+  for (int o = 0; o < 4; ++o) printf(" %s=%.1f%%", CompletionOpName((CompletionOpType)o), 100.0*cnt2[o]/rt.searched_ops.size());
+  printf("\nretrain micro=%.4f macro=%.4f (search %.1fs train %.1fs)\n", rt.test.micro_f1, rt.test.macro_f1, rt.times.search_seconds, rt.times.train_seconds);
+  return 0;
+}
