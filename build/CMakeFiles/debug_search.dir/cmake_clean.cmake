@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debug_search.dir/tools/debug_search.cpp.o"
+  "CMakeFiles/debug_search.dir/tools/debug_search.cpp.o.d"
+  "debug_search"
+  "debug_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debug_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

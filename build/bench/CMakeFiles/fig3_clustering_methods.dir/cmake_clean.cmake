@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_clustering_methods.dir/fig3_clustering_methods.cpp.o"
+  "CMakeFiles/fig3_clustering_methods.dir/fig3_clustering_methods.cpp.o.d"
+  "fig3_clustering_methods"
+  "fig3_clustering_methods.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_clustering_methods.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_7_op_by_type.dir/fig6_7_op_by_type.cpp.o"
+  "CMakeFiles/fig6_7_op_by_type.dir/fig6_7_op_by_type.cpp.o.d"
+  "fig6_7_op_by_type"
+  "fig6_7_op_by_type.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_7_op_by_type.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table10_masked_edges.dir/table10_masked_edges.cpp.o"
+  "CMakeFiles/table10_masked_edges.dir/table10_masked_edges.cpp.o.d"
+  "table10_masked_edges"
+  "table10_masked_edges.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table10_masked_edges.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_node_classification.dir/table2_node_classification.cpp.o"
+  "CMakeFiles/table2_node_classification.dir/table2_node_classification.cpp.o.d"
+  "table2_node_classification"
+  "table2_node_classification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_node_classification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

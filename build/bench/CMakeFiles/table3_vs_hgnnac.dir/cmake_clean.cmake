@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_vs_hgnnac.dir/table3_vs_hgnnac.cpp.o"
+  "CMakeFiles/table3_vs_hgnnac.dir/table3_vs_hgnnac.cpp.o.d"
+  "table3_vs_hgnnac"
+  "table3_vs_hgnnac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_vs_hgnnac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

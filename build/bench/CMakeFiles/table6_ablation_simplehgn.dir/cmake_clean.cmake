@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_ablation_simplehgn.dir/table6_ablation_simplehgn.cpp.o"
+  "CMakeFiles/table6_ablation_simplehgn.dir/table6_ablation_simplehgn.cpp.o.d"
+  "table6_ablation_simplehgn"
+  "table6_ablation_simplehgn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_ablation_simplehgn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_ablation_magnn.dir/table7_ablation_magnn.cpp.o"
+  "CMakeFiles/table7_ablation_magnn.dir/table7_ablation_magnn.cpp.o.d"
+  "table7_ablation_magnn"
+  "table7_ablation_magnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_ablation_magnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

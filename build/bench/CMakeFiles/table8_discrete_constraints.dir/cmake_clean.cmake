@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table8_discrete_constraints.dir/table8_discrete_constraints.cpp.o"
+  "CMakeFiles/table8_discrete_constraints.dir/table8_discrete_constraints.cpp.o.d"
+  "table8_discrete_constraints"
+  "table8_discrete_constraints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table8_discrete_constraints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

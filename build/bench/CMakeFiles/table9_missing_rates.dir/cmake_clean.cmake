@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table9_missing_rates.dir/table9_missing_rates.cpp.o"
+  "CMakeFiles/table9_missing_rates.dir/table9_missing_rates.cpp.o.d"
+  "table9_missing_rates"
+  "table9_missing_rates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table9_missing_rates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autoac_run.dir/autoac_run.cc.o"
+  "CMakeFiles/autoac_run.dir/autoac_run.cc.o.d"
+  "autoac_run"
+  "autoac_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autoac_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

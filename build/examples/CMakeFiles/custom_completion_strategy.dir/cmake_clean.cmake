@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_completion_strategy.dir/custom_completion_strategy.cpp.o"
+  "CMakeFiles/custom_completion_strategy.dir/custom_completion_strategy.cpp.o.d"
+  "custom_completion_strategy"
+  "custom_completion_strategy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_completion_strategy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

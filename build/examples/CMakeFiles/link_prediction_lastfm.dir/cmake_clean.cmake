@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/link_prediction_lastfm.dir/link_prediction_lastfm.cpp.o"
+  "CMakeFiles/link_prediction_lastfm.dir/link_prediction_lastfm.cpp.o.d"
+  "link_prediction_lastfm"
+  "link_prediction_lastfm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/link_prediction_lastfm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

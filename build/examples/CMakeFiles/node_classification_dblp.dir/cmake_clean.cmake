@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/node_classification_dblp.dir/node_classification_dblp.cpp.o"
+  "CMakeFiles/node_classification_dblp.dir/node_classification_dblp.cpp.o.d"
+  "node_classification_dblp"
+  "node_classification_dblp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/node_classification_dblp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

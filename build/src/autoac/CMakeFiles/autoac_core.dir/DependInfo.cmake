@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/autoac/clustering.cc" "src/autoac/CMakeFiles/autoac_core.dir/clustering.cc.o" "gcc" "src/autoac/CMakeFiles/autoac_core.dir/clustering.cc.o.d"
+  "/root/repo/src/autoac/completion_params.cc" "src/autoac/CMakeFiles/autoac_core.dir/completion_params.cc.o" "gcc" "src/autoac/CMakeFiles/autoac_core.dir/completion_params.cc.o.d"
+  "/root/repo/src/autoac/evaluator.cc" "src/autoac/CMakeFiles/autoac_core.dir/evaluator.cc.o" "gcc" "src/autoac/CMakeFiles/autoac_core.dir/evaluator.cc.o.d"
+  "/root/repo/src/autoac/hgnn_ac.cc" "src/autoac/CMakeFiles/autoac_core.dir/hgnn_ac.cc.o" "gcc" "src/autoac/CMakeFiles/autoac_core.dir/hgnn_ac.cc.o.d"
+  "/root/repo/src/autoac/search.cc" "src/autoac/CMakeFiles/autoac_core.dir/search.cc.o" "gcc" "src/autoac/CMakeFiles/autoac_core.dir/search.cc.o.d"
+  "/root/repo/src/autoac/task.cc" "src/autoac/CMakeFiles/autoac_core.dir/task.cc.o" "gcc" "src/autoac/CMakeFiles/autoac_core.dir/task.cc.o.d"
+  "/root/repo/src/autoac/trainer.cc" "src/autoac/CMakeFiles/autoac_core.dir/trainer.cc.o" "gcc" "src/autoac/CMakeFiles/autoac_core.dir/trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/completion/CMakeFiles/autoac_completion.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/autoac_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/autoac_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/autoac_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/autoac_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/autoac_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

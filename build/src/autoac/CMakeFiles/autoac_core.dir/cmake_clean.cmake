@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autoac_core.dir/clustering.cc.o"
+  "CMakeFiles/autoac_core.dir/clustering.cc.o.d"
+  "CMakeFiles/autoac_core.dir/completion_params.cc.o"
+  "CMakeFiles/autoac_core.dir/completion_params.cc.o.d"
+  "CMakeFiles/autoac_core.dir/evaluator.cc.o"
+  "CMakeFiles/autoac_core.dir/evaluator.cc.o.d"
+  "CMakeFiles/autoac_core.dir/hgnn_ac.cc.o"
+  "CMakeFiles/autoac_core.dir/hgnn_ac.cc.o.d"
+  "CMakeFiles/autoac_core.dir/search.cc.o"
+  "CMakeFiles/autoac_core.dir/search.cc.o.d"
+  "CMakeFiles/autoac_core.dir/task.cc.o"
+  "CMakeFiles/autoac_core.dir/task.cc.o.d"
+  "CMakeFiles/autoac_core.dir/trainer.cc.o"
+  "CMakeFiles/autoac_core.dir/trainer.cc.o.d"
+  "libautoac_core.a"
+  "libautoac_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autoac_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autoac_completion.dir/completion_module.cc.o"
+  "CMakeFiles/autoac_completion.dir/completion_module.cc.o.d"
+  "CMakeFiles/autoac_completion.dir/op.cc.o"
+  "CMakeFiles/autoac_completion.dir/op.cc.o.d"
+  "libautoac_completion.a"
+  "libautoac_completion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autoac_completion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/hgb_datasets.cc" "src/data/CMakeFiles/autoac_data.dir/hgb_datasets.cc.o" "gcc" "src/data/CMakeFiles/autoac_data.dir/hgb_datasets.cc.o.d"
+  "/root/repo/src/data/metrics.cc" "src/data/CMakeFiles/autoac_data.dir/metrics.cc.o" "gcc" "src/data/CMakeFiles/autoac_data.dir/metrics.cc.o.d"
+  "/root/repo/src/data/serialization.cc" "src/data/CMakeFiles/autoac_data.dir/serialization.cc.o" "gcc" "src/data/CMakeFiles/autoac_data.dir/serialization.cc.o.d"
+  "/root/repo/src/data/split.cc" "src/data/CMakeFiles/autoac_data.dir/split.cc.o" "gcc" "src/data/CMakeFiles/autoac_data.dir/split.cc.o.d"
+  "/root/repo/src/data/synthetic.cc" "src/data/CMakeFiles/autoac_data.dir/synthetic.cc.o" "gcc" "src/data/CMakeFiles/autoac_data.dir/synthetic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/autoac_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/autoac_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/autoac_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autoac_data.dir/hgb_datasets.cc.o"
+  "CMakeFiles/autoac_data.dir/hgb_datasets.cc.o.d"
+  "CMakeFiles/autoac_data.dir/metrics.cc.o"
+  "CMakeFiles/autoac_data.dir/metrics.cc.o.d"
+  "CMakeFiles/autoac_data.dir/serialization.cc.o"
+  "CMakeFiles/autoac_data.dir/serialization.cc.o.d"
+  "CMakeFiles/autoac_data.dir/split.cc.o"
+  "CMakeFiles/autoac_data.dir/split.cc.o.d"
+  "CMakeFiles/autoac_data.dir/synthetic.cc.o"
+  "CMakeFiles/autoac_data.dir/synthetic.cc.o.d"
+  "libautoac_data.a"
+  "libautoac_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autoac_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libautoac_data.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/csr.cc" "src/graph/CMakeFiles/autoac_graph.dir/csr.cc.o" "gcc" "src/graph/CMakeFiles/autoac_graph.dir/csr.cc.o.d"
+  "/root/repo/src/graph/hetero_graph.cc" "src/graph/CMakeFiles/autoac_graph.dir/hetero_graph.cc.o" "gcc" "src/graph/CMakeFiles/autoac_graph.dir/hetero_graph.cc.o.d"
+  "/root/repo/src/graph/metapath.cc" "src/graph/CMakeFiles/autoac_graph.dir/metapath.cc.o" "gcc" "src/graph/CMakeFiles/autoac_graph.dir/metapath.cc.o.d"
+  "/root/repo/src/graph/random_walk.cc" "src/graph/CMakeFiles/autoac_graph.dir/random_walk.cc.o" "gcc" "src/graph/CMakeFiles/autoac_graph.dir/random_walk.cc.o.d"
+  "/root/repo/src/graph/sparse_ops.cc" "src/graph/CMakeFiles/autoac_graph.dir/sparse_ops.cc.o" "gcc" "src/graph/CMakeFiles/autoac_graph.dir/sparse_ops.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/autoac_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/autoac_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

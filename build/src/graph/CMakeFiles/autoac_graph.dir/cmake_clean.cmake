@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autoac_graph.dir/csr.cc.o"
+  "CMakeFiles/autoac_graph.dir/csr.cc.o.d"
+  "CMakeFiles/autoac_graph.dir/hetero_graph.cc.o"
+  "CMakeFiles/autoac_graph.dir/hetero_graph.cc.o.d"
+  "CMakeFiles/autoac_graph.dir/metapath.cc.o"
+  "CMakeFiles/autoac_graph.dir/metapath.cc.o.d"
+  "CMakeFiles/autoac_graph.dir/random_walk.cc.o"
+  "CMakeFiles/autoac_graph.dir/random_walk.cc.o.d"
+  "CMakeFiles/autoac_graph.dir/sparse_ops.cc.o"
+  "CMakeFiles/autoac_graph.dir/sparse_ops.cc.o.d"
+  "libautoac_graph.a"
+  "libautoac_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autoac_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/factory.cc" "src/models/CMakeFiles/autoac_models.dir/factory.cc.o" "gcc" "src/models/CMakeFiles/autoac_models.dir/factory.cc.o.d"
+  "/root/repo/src/models/homogeneous.cc" "src/models/CMakeFiles/autoac_models.dir/homogeneous.cc.o" "gcc" "src/models/CMakeFiles/autoac_models.dir/homogeneous.cc.o.d"
+  "/root/repo/src/models/layers.cc" "src/models/CMakeFiles/autoac_models.dir/layers.cc.o" "gcc" "src/models/CMakeFiles/autoac_models.dir/layers.cc.o.d"
+  "/root/repo/src/models/metapath_models.cc" "src/models/CMakeFiles/autoac_models.dir/metapath_models.cc.o" "gcc" "src/models/CMakeFiles/autoac_models.dir/metapath_models.cc.o.d"
+  "/root/repo/src/models/model.cc" "src/models/CMakeFiles/autoac_models.dir/model.cc.o" "gcc" "src/models/CMakeFiles/autoac_models.dir/model.cc.o.d"
+  "/root/repo/src/models/relation_models.cc" "src/models/CMakeFiles/autoac_models.dir/relation_models.cc.o" "gcc" "src/models/CMakeFiles/autoac_models.dir/relation_models.cc.o.d"
+  "/root/repo/src/models/simple_hgn.cc" "src/models/CMakeFiles/autoac_models.dir/simple_hgn.cc.o" "gcc" "src/models/CMakeFiles/autoac_models.dir/simple_hgn.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/autoac_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/autoac_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/autoac_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

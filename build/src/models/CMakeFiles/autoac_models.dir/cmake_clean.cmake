@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autoac_models.dir/factory.cc.o"
+  "CMakeFiles/autoac_models.dir/factory.cc.o.d"
+  "CMakeFiles/autoac_models.dir/homogeneous.cc.o"
+  "CMakeFiles/autoac_models.dir/homogeneous.cc.o.d"
+  "CMakeFiles/autoac_models.dir/layers.cc.o"
+  "CMakeFiles/autoac_models.dir/layers.cc.o.d"
+  "CMakeFiles/autoac_models.dir/metapath_models.cc.o"
+  "CMakeFiles/autoac_models.dir/metapath_models.cc.o.d"
+  "CMakeFiles/autoac_models.dir/model.cc.o"
+  "CMakeFiles/autoac_models.dir/model.cc.o.d"
+  "CMakeFiles/autoac_models.dir/relation_models.cc.o"
+  "CMakeFiles/autoac_models.dir/relation_models.cc.o.d"
+  "CMakeFiles/autoac_models.dir/simple_hgn.cc.o"
+  "CMakeFiles/autoac_models.dir/simple_hgn.cc.o.d"
+  "libautoac_models.a"
+  "libautoac_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autoac_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tensor/init.cc" "src/tensor/CMakeFiles/autoac_tensor.dir/init.cc.o" "gcc" "src/tensor/CMakeFiles/autoac_tensor.dir/init.cc.o.d"
+  "/root/repo/src/tensor/ops_core.cc" "src/tensor/CMakeFiles/autoac_tensor.dir/ops_core.cc.o" "gcc" "src/tensor/CMakeFiles/autoac_tensor.dir/ops_core.cc.o.d"
+  "/root/repo/src/tensor/ops_nn.cc" "src/tensor/CMakeFiles/autoac_tensor.dir/ops_nn.cc.o" "gcc" "src/tensor/CMakeFiles/autoac_tensor.dir/ops_nn.cc.o.d"
+  "/root/repo/src/tensor/optimizer.cc" "src/tensor/CMakeFiles/autoac_tensor.dir/optimizer.cc.o" "gcc" "src/tensor/CMakeFiles/autoac_tensor.dir/optimizer.cc.o.d"
+  "/root/repo/src/tensor/tensor.cc" "src/tensor/CMakeFiles/autoac_tensor.dir/tensor.cc.o" "gcc" "src/tensor/CMakeFiles/autoac_tensor.dir/tensor.cc.o.d"
+  "/root/repo/src/tensor/variable.cc" "src/tensor/CMakeFiles/autoac_tensor.dir/variable.cc.o" "gcc" "src/tensor/CMakeFiles/autoac_tensor.dir/variable.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/autoac_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

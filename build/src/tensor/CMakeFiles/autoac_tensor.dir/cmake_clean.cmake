@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autoac_tensor.dir/init.cc.o"
+  "CMakeFiles/autoac_tensor.dir/init.cc.o.d"
+  "CMakeFiles/autoac_tensor.dir/ops_core.cc.o"
+  "CMakeFiles/autoac_tensor.dir/ops_core.cc.o.d"
+  "CMakeFiles/autoac_tensor.dir/ops_nn.cc.o"
+  "CMakeFiles/autoac_tensor.dir/ops_nn.cc.o.d"
+  "CMakeFiles/autoac_tensor.dir/optimizer.cc.o"
+  "CMakeFiles/autoac_tensor.dir/optimizer.cc.o.d"
+  "CMakeFiles/autoac_tensor.dir/tensor.cc.o"
+  "CMakeFiles/autoac_tensor.dir/tensor.cc.o.d"
+  "CMakeFiles/autoac_tensor.dir/variable.cc.o"
+  "CMakeFiles/autoac_tensor.dir/variable.cc.o.d"
+  "libautoac_tensor.a"
+  "libautoac_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autoac_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

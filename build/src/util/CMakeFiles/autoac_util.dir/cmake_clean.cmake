@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autoac_util.dir/flags.cc.o"
+  "CMakeFiles/autoac_util.dir/flags.cc.o.d"
+  "CMakeFiles/autoac_util.dir/logging.cc.o"
+  "CMakeFiles/autoac_util.dir/logging.cc.o.d"
+  "CMakeFiles/autoac_util.dir/rng.cc.o"
+  "CMakeFiles/autoac_util.dir/rng.cc.o.d"
+  "CMakeFiles/autoac_util.dir/stats.cc.o"
+  "CMakeFiles/autoac_util.dir/stats.cc.o.d"
+  "CMakeFiles/autoac_util.dir/table.cc.o"
+  "CMakeFiles/autoac_util.dir/table.cc.o.d"
+  "libautoac_util.a"
+  "libautoac_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autoac_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/search_test.cc" "tests/CMakeFiles/search_test.dir/search_test.cc.o" "gcc" "tests/CMakeFiles/search_test.dir/search_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/autoac/CMakeFiles/autoac_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/autoac_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/completion/CMakeFiles/autoac_completion.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/autoac_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/autoac_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/autoac_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/autoac_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
