@@ -12,6 +12,7 @@
 #include "data/hgb_datasets.h"
 #include "models/factory.h"
 #include "util/flags.h"
+#include "util/parallel.h"
 #include "util/table.h"
 
 namespace autoac::bench {
@@ -29,6 +30,9 @@ struct BenchOptions {
 
   static BenchOptions FromFlags(const Flags& flags) {
     BenchOptions options;
+    // Applied immediately: every kernel behind this bench runs on the shared
+    // pool. 0 keeps the AUTOAC_NUM_THREADS / hardware default.
+    SetNumThreads(static_cast<int>(flags.GetInt("num_threads", 0)));
     options.scale = flags.GetDouble("scale", options.scale);
     options.seeds = flags.GetInt("seeds", options.seeds);
     options.epochs = flags.GetInt("epochs", options.epochs);

@@ -1,6 +1,12 @@
 // google-benchmark microbenchmarks for the kernels every experiment is
 // built from: dense GEMM, sparse SpMM, edge-softmax attention, the four
 // completion operations, the proximal projections, and the modularity loss.
+//
+// The hot kernels sweep the thread count of the shared parallel runtime
+// (util/parallel.h) as their last argument; run
+//   micro_kernels --benchmark_filter='MatMul|SpMM'
+//       --benchmark_out=BENCH_kernels.json --benchmark_out_format=json
+// to record the 1-vs-N scaling (see BENCH_kernels.json at the repo root).
 
 #include <benchmark/benchmark.h>
 
@@ -11,9 +17,20 @@
 #include "graph/sparse_ops.h"
 #include "tensor/init.h"
 #include "tensor/ops.h"
+#include "util/parallel.h"
 
 namespace autoac {
 namespace {
+
+/// Pins the pool to the benchmark's thread-count argument for the duration
+/// of one benchmark run, restoring the default afterwards.
+class ThreadCountScope {
+ public:
+  explicit ThreadCountScope(int64_t n) {
+    SetNumThreads(static_cast<int>(n));
+  }
+  ~ThreadCountScope() { SetNumThreads(0); }
+};
 
 Dataset& BenchDataset() {
   static Dataset* dataset = [] {
@@ -26,6 +43,7 @@ Dataset& BenchDataset() {
 
 void BM_MatMul(benchmark::State& state) {
   int64_t n = state.range(0);
+  ThreadCountScope threads(state.range(1));
   Rng rng(1);
   VarPtr a = MakeConst(RandomNormal({n, 64}, 1.0f, rng));
   VarPtr b = MakeConst(RandomNormal({64, 64}, 1.0f, rng));
@@ -34,10 +52,11 @@ void BM_MatMul(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * n * 64 * 64);
 }
-BENCHMARK(BM_MatMul)->Arg(1024)->Arg(4096);
+BENCHMARK(BM_MatMul)->ArgsProduct({{1024, 4096}, {1, 2, 4, 8}});
 
 void BM_SpMM(benchmark::State& state) {
   Dataset& dataset = BenchDataset();
+  ThreadCountScope threads(state.range(0));
   SpMatPtr adj = dataset.graph->FullAdjacency(AdjNorm::kSym, true);
   Rng rng(2);
   VarPtr x =
@@ -47,10 +66,11 @@ void BM_SpMM(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * adj->nnz() * 64);
 }
-BENCHMARK(BM_SpMM);
+BENCHMARK(BM_SpMM)->ArgsProduct({{1, 2, 4, 8}});
 
 void BM_EdgeSoftmaxAggregate(benchmark::State& state) {
   Dataset& dataset = BenchDataset();
+  ThreadCountScope threads(state.range(0));
   SpMatPtr adj = dataset.graph->FullAdjacency(AdjNorm::kNone, true);
   Rng rng(3);
   VarPtr logits = MakeConst(RandomNormal({adj->nnz()}, 1.0f, rng));
@@ -61,7 +81,7 @@ void BM_EdgeSoftmaxAggregate(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * adj->nnz() * 64);
 }
-BENCHMARK(BM_EdgeSoftmaxAggregate);
+BENCHMARK(BM_EdgeSoftmaxAggregate)->ArgsProduct({{1, 2, 4, 8}});
 
 void BM_CompletionOp(benchmark::State& state) {
   Dataset& dataset = BenchDataset();

@@ -16,6 +16,7 @@
 #include "data/serialization.h"
 #include "util/flags.h"
 #include "util/logging.h"
+#include "util/parallel.h"
 
 namespace autoac {
 namespace {
@@ -46,6 +47,9 @@ MethodSpec SpecFromName(const std::string& method, const std::string& model) {
 
 int Run(int argc, char** argv) {
   Flags flags(argc, argv);
+  // 0 keeps the AUTOAC_NUM_THREADS / hardware default; results are bitwise
+  // identical at every thread count.
+  SetNumThreads(static_cast<int>(flags.GetInt("num_threads", 0)));
   if (flags.GetBool("help", false)) {
     std::printf(
         "usage: autoac_run [--task=node|link] [--dataset=dblp|acm|imdb|"
@@ -55,7 +59,7 @@ int Run(int argc, char** argv) {
         "  [--model=SimpleHGN] [--scale=0.25] [--seeds=3] [--epochs=N]\n"
         "  [--search_epochs=N] [--clusters=M] [--lambda=F] [--lr=F]\n"
         "  [--lr_alpha=F] [--mask_rate=0.1] [--no_discrete]\n"
-        "  [--save_dataset=PATH] [--load_dataset=PATH]\n");
+        "  [--save_dataset=PATH] [--load_dataset=PATH] [--num_threads=N]\n");
     return 0;
   }
 

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Builds the parallel runtime under ThreadSanitizer and runs the
+# parallelism tests. Usage: scripts/tsan_check.sh [build-dir]
+#
+# TSan serializes and slows everything ~5-15x, so only the tests that
+# exercise the thread pool are run here; the full suite stays on the
+# regular Release build.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-tsan}"
+
+cmake -B "${BUILD_DIR}" -S . -DAUTOAC_TSAN=ON
+cmake --build "${BUILD_DIR}" -j"$(nproc)" \
+  --target parallel_test parallel_determinism_test sparse_ops_test \
+           tensor_test
+
+# halt_on_error makes any data-race report fail the run loudly instead of
+# being buried in test output.
+export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
+
+# Exercise the pool at several widths, including more threads than cores.
+for threads in 2 4 7; do
+  echo "== TSan pass with AUTOAC_NUM_THREADS=${threads} =="
+  AUTOAC_NUM_THREADS="${threads}" "${BUILD_DIR}/tests/parallel_test"
+  AUTOAC_NUM_THREADS="${threads}" \
+    "${BUILD_DIR}/tests/parallel_determinism_test"
+  AUTOAC_NUM_THREADS="${threads}" "${BUILD_DIR}/tests/sparse_ops_test"
+  AUTOAC_NUM_THREADS="${threads}" "${BUILD_DIR}/tests/tensor_test"
+done
+
+echo "TSan check passed."

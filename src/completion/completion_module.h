@@ -37,6 +37,11 @@ struct CompletionConfig {
 /// All completion parameters here belong to the lower-level variables w of
 /// the bi-level problem (Eq. 6); the upper-level completion parameters alpha
 /// live in autoac/completion_params.h.
+///
+/// Every operation (MEAN/GCN/PPNP aggregation, projections, one-hot
+/// scatter) executes on the shared parallel runtime (util/parallel.h) via
+/// the SpMM/MatMul/Gather/Scatter primitives; results are bitwise identical
+/// at every thread count.
 class CompletionModule {
  public:
   CompletionModule(HeteroGraphPtr graph, const CompletionConfig& config,

@@ -78,6 +78,20 @@ void Csr::CheckInvariants() const {
   if (!edge_id.empty()) AUTOAC_CHECK_EQ(edge_id.size(), indices.size());
 }
 
+SparseMatrix::SparseMatrix(Csr forward)
+    : forward_(std::move(forward)), backward_(forward_.Transposed()) {
+  // Replicates the cursor walk of Transposed() so slot k of backward_ maps
+  // to the forward slot that produced it.
+  backward_to_forward_.resize(forward_.nnz());
+  std::vector<int64_t> cursor(backward_.indptr.begin(),
+                              backward_.indptr.end() - 1);
+  for (int64_t row = 0; row < forward_.num_rows; ++row) {
+    for (int64_t k = forward_.indptr[row]; k < forward_.indptr[row + 1]; ++k) {
+      backward_to_forward_[cursor[forward_.indices[k]]++] = k;
+    }
+  }
+}
+
 SpMatPtr MakeSparse(Csr forward) {
   return std::make_shared<SparseMatrix>(std::move(forward));
 }

@@ -53,8 +53,7 @@ struct Csr {
 /// every step. Immutable after construction; ops capture it by shared_ptr.
 class SparseMatrix {
  public:
-  explicit SparseMatrix(Csr forward)
-      : forward_(std::move(forward)), backward_(forward_.Transposed()) {}
+  explicit SparseMatrix(Csr forward);
 
   const Csr& forward() const { return forward_; }
   const Csr& backward() const { return backward_; }
@@ -62,9 +61,20 @@ class SparseMatrix {
   int64_t num_cols() const { return forward_.num_cols; }
   int64_t nnz() const { return forward_.nnz(); }
 
+  /// Maps each nonzero slot of backward() to its slot in forward(). Lets
+  /// kernels that cache per-edge state in forward order (e.g. edge-softmax
+  /// attention weights) run their backward pass partitioned over the rows of
+  /// the transpose — deterministic and free of atomics. Within one backward
+  /// row the mapped forward slots are strictly increasing, so accumulation
+  /// order matches a serial sweep of the forward matrix.
+  const std::vector<int64_t>& backward_to_forward() const {
+    return backward_to_forward_;
+  }
+
  private:
   Csr forward_;
   Csr backward_;
+  std::vector<int64_t> backward_to_forward_;
 };
 
 using SpMatPtr = std::shared_ptr<const SparseMatrix>;

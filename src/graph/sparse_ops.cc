@@ -4,11 +4,54 @@
 #include <cmath>
 
 #include "tensor/op_helpers.h"
+#include "util/parallel.h"
 
 namespace autoac {
 
 using internal::MakeOp;
 using internal::NeedsGrad;
+
+namespace {
+
+/// Grain for row-partitioned sparse kernels: sized from the average row cost
+/// so chunks carry comparable work even on skewed degree distributions.
+int64_t SparseRowGrain(const Csr& csr, int64_t d) {
+  int64_t rows = csr.num_rows > 0 ? csr.num_rows : 1;
+  int64_t avg_row_work = (csr.nnz() / rows + 1) * d;
+  return GrainForRows(avg_row_work);
+}
+
+/// Shared CSR × dense kernel: out[i, :] (+)= sum_k values[k] * x[indices[k], :]
+/// over row i's nonzeros. Row-partitioned: each chunk owns a disjoint span of
+/// output rows. Empty rows are skipped outright (out is already
+/// zero-initialized), and the first nonzero of a row assigns instead of
+/// accumulating, so the zeroed row is never re-read.
+void SpMMKernel(const Csr& csr, const float* x, float* out, int64_t d) {
+  const int64_t* indptr = csr.indptr.data();
+  const int64_t* indices = csr.indices.data();
+  const float* values = csr.values.data();
+  ParallelFor(0, csr.num_rows, SparseRowGrain(csr, d),
+              [=](int64_t row_begin, int64_t row_end) {
+                for (int64_t i = row_begin; i < row_end; ++i) {
+                  int64_t begin = indptr[i];
+                  int64_t end = indptr[i + 1];
+                  if (begin == end) continue;
+                  float* orow = out + i * d;
+                  {
+                    float w = values[begin];
+                    const float* xrow = x + indices[begin] * d;
+                    for (int64_t j = 0; j < d; ++j) orow[j] = w * xrow[j];
+                  }
+                  for (int64_t k = begin + 1; k < end; ++k) {
+                    float w = values[k];
+                    const float* xrow = x + indices[k] * d;
+                    for (int64_t j = 0; j < d; ++j) orow[j] += w * xrow[j];
+                  }
+                }
+              });
+}
+
+}  // namespace
 
 VarPtr SpMM(const SpMatPtr& a, const VarPtr& x) {
   AUTOAC_CHECK(a != nullptr);
@@ -18,30 +61,32 @@ VarPtr SpMM(const SpMatPtr& a, const VarPtr& x) {
   int64_t m = csr.num_rows;
   int64_t d = x->value.cols();
   Tensor out(m, d);
-  const float* px = x->value.data();
-  float* po = out.data();
-  for (int64_t i = 0; i < m; ++i) {
-    float* orow = po + i * d;
-    for (int64_t k = csr.indptr[i]; k < csr.indptr[i + 1]; ++k) {
-      float w = csr.values[k];
-      const float* xrow = px + csr.indices[k] * d;
-      for (int64_t j = 0; j < d; ++j) orow[j] += w * xrow[j];
-    }
-  }
+  SpMMKernel(csr, x->value.data(), out.data(), d);
   return MakeOp("SpMM", std::move(out), {x}, [a, d](Variable& self) {
     if (!NeedsGrad(self.parents[0])) return;
-    // dX = A^T dY, computed with the cached transpose.
+    // dX = A^T dY, computed with the cached transpose. Unlike the forward,
+    // this must accumulate (gx may already hold gradient from other ops),
+    // so there is no first-nonzero assign shortcut here.
     const Csr& csr_t = a->backward();
     float* gx = self.parents[0]->EnsureGrad().data();
     const float* g = self.grad.data();
-    for (int64_t i = 0; i < csr_t.num_rows; ++i) {
-      float* gxrow = gx + i * d;
-      for (int64_t k = csr_t.indptr[i]; k < csr_t.indptr[i + 1]; ++k) {
-        float w = csr_t.values[k];
-        const float* grow = g + csr_t.indices[k] * d;
-        for (int64_t j = 0; j < d; ++j) gxrow[j] += w * grow[j];
-      }
-    }
+    const int64_t* indptr = csr_t.indptr.data();
+    const int64_t* indices = csr_t.indices.data();
+    const float* values = csr_t.values.data();
+    ParallelFor(0, csr_t.num_rows, SparseRowGrain(csr_t, d),
+                [=](int64_t row_begin, int64_t row_end) {
+                  for (int64_t i = row_begin; i < row_end; ++i) {
+                    int64_t begin = indptr[i];
+                    int64_t end = indptr[i + 1];
+                    if (begin == end) continue;
+                    float* gxrow = gx + i * d;
+                    for (int64_t k = begin; k < end; ++k) {
+                      float w = values[k];
+                      const float* grow = g + indices[k] * d;
+                      for (int64_t j = 0; j < d; ++j) gxrow[j] += w * grow[j];
+                    }
+                  }
+                });
   });
 }
 
@@ -58,32 +103,41 @@ VarPtr EdgeSoftmaxAggregate(const SpMatPtr& a, const VarPtr& logits,
   int64_t d = h->value.cols();
   Tensor out(m, d);
   // Per-edge attention weights after the row-wise softmax; cached for the
-  // backward pass.
+  // backward pass. Each destination row owns a disjoint slice of the edge
+  // array, so the forward is row-partitioned with no shared writes.
   std::vector<float> attention(csr.nnz());
-  const float* pl = logits->value.data();
-  const float* ph = h->value.data();
-  float* po = out.data();
-  for (int64_t i = 0; i < m; ++i) {
-    int64_t begin = csr.indptr[i];
-    int64_t end = csr.indptr[i + 1];
-    if (begin == end) continue;
-    float max_logit = pl[begin];
-    for (int64_t k = begin + 1; k < end; ++k) {
-      max_logit = std::max(max_logit, pl[k]);
-    }
-    float sum = 0.0f;
-    for (int64_t k = begin; k < end; ++k) {
-      attention[k] = std::exp(pl[k] - max_logit);
-      sum += attention[k];
-    }
-    float inv = 1.0f / sum;
-    float* orow = po + i * d;
-    for (int64_t k = begin; k < end; ++k) {
-      attention[k] *= inv;
-      const float* hrow = ph + csr.indices[k] * d;
-      float w = attention[k];
-      for (int64_t j = 0; j < d; ++j) orow[j] += w * hrow[j];
-    }
+  {
+    const float* pl = logits->value.data();
+    const float* ph = h->value.data();
+    float* po = out.data();
+    float* pattn = attention.data();
+    const int64_t* indptr = csr.indptr.data();
+    const int64_t* indices = csr.indices.data();
+    ParallelFor(0, m, SparseRowGrain(csr, d + 2),
+                [=](int64_t row_begin, int64_t row_end) {
+                  for (int64_t i = row_begin; i < row_end; ++i) {
+                    int64_t begin = indptr[i];
+                    int64_t end = indptr[i + 1];
+                    if (begin == end) continue;
+                    float max_logit = pl[begin];
+                    for (int64_t k = begin + 1; k < end; ++k) {
+                      max_logit = std::max(max_logit, pl[k]);
+                    }
+                    float sum = 0.0f;
+                    for (int64_t k = begin; k < end; ++k) {
+                      pattn[k] = std::exp(pl[k] - max_logit);
+                      sum += pattn[k];
+                    }
+                    float inv = 1.0f / sum;
+                    float* orow = po + i * d;
+                    for (int64_t k = begin; k < end; ++k) {
+                      pattn[k] *= inv;
+                      const float* hrow = ph + indices[k] * d;
+                      float w = pattn[k];
+                      for (int64_t j = 0; j < d; ++j) orow[j] += w * hrow[j];
+                    }
+                  }
+                });
   }
   return MakeOp(
       "EdgeSoftmaxAggregate", std::move(out), {logits, h},
@@ -93,40 +147,64 @@ VarPtr EdgeSoftmaxAggregate(const SpMatPtr& a, const VarPtr& logits,
         const Csr& csr = a->forward();
         const float* g = self.grad.data();
         const float* ph = h->value.data();
-        bool need_logits = NeedsGrad(logits);
-        bool need_h = NeedsGrad(h);
-        float* gl = need_logits ? logits->EnsureGrad().data() : nullptr;
-        float* gh = need_h ? h->EnsureGrad().data() : nullptr;
-        std::vector<float> da;  // d loss / d attention weight per edge.
-        if (need_logits) da.resize(csr.nnz());
-        for (int64_t i = 0; i < csr.num_rows; ++i) {
-          int64_t begin = csr.indptr[i];
-          int64_t end = csr.indptr[i + 1];
-          if (begin == end) continue;
-          const float* grow = g + i * d;
-          for (int64_t k = begin; k < end; ++k) {
-            const float* hrow = ph + csr.indices[k] * d;
-            if (need_h) {
-              float w = attention[k];
-              float* ghrow = gh + csr.indices[k] * d;
-              for (int64_t j = 0; j < d; ++j) ghrow[j] += w * grow[j];
-            }
-            if (need_logits) {
-              float acc = 0.0f;
-              for (int64_t j = 0; j < d; ++j) acc += grow[j] * hrow[j];
-              da[k] = acc;
-            }
-          }
-          if (need_logits) {
-            // Softmax Jacobian: de_k = a_k (da_k - sum_k' a_k' da_k').
-            float dot = 0.0f;
-            for (int64_t k = begin; k < end; ++k) {
-              dot += attention[k] * da[k];
-            }
-            for (int64_t k = begin; k < end; ++k) {
-              gl[k] += attention[k] * (da[k] - dot);
-            }
-          }
+        const float* pattn = attention.data();
+        const int64_t* indptr = csr.indptr.data();
+        const int64_t* indices = csr.indices.data();
+        // dH pass, partitioned over the rows of A^T (source nodes): each
+        // chunk owns a disjoint span of gh rows. The transpose lists a
+        // source's edges in ascending forward-slot order, so the per-row
+        // accumulation order matches the serial destination-major sweep.
+        if (NeedsGrad(h)) {
+          float* gh = h->EnsureGrad().data();
+          const Csr& csr_t = a->backward();
+          const int64_t* t_indptr = csr_t.indptr.data();
+          const int64_t* t_indices = csr_t.indices.data();
+          const int64_t* t2f = a->backward_to_forward().data();
+          ParallelFor(0, csr_t.num_rows, SparseRowGrain(csr_t, d),
+                      [=](int64_t src_begin, int64_t src_end) {
+                        for (int64_t s = src_begin; s < src_end; ++s) {
+                          float* ghrow = gh + s * d;
+                          for (int64_t k = t_indptr[s]; k < t_indptr[s + 1];
+                               ++k) {
+                            float w = pattn[t2f[k]];
+                            const float* grow = g + t_indices[k] * d;
+                            for (int64_t j = 0; j < d; ++j) {
+                              ghrow[j] += w * grow[j];
+                            }
+                          }
+                        }
+                      });
+        }
+        // dLogits pass, partitioned over destination rows: the da and gl
+        // slices of a row are disjoint from every other row's.
+        if (NeedsGrad(logits)) {
+          float* gl = logits->EnsureGrad().data();
+          std::vector<float> da(csr.nnz());  // d loss / d attention per edge
+          float* pda = da.data();
+          ParallelFor(
+              0, csr.num_rows, SparseRowGrain(csr, 2 * d),
+              [=](int64_t row_begin, int64_t row_end) {
+                for (int64_t i = row_begin; i < row_end; ++i) {
+                  int64_t begin = indptr[i];
+                  int64_t end = indptr[i + 1];
+                  if (begin == end) continue;
+                  const float* grow = g + i * d;
+                  for (int64_t k = begin; k < end; ++k) {
+                    const float* hrow = ph + indices[k] * d;
+                    float acc = 0.0f;
+                    for (int64_t j = 0; j < d; ++j) acc += grow[j] * hrow[j];
+                    pda[k] = acc;
+                  }
+                  // Softmax Jacobian: de_k = a_k (da_k - sum_k' a_k' da_k').
+                  float dot = 0.0f;
+                  for (int64_t k = begin; k < end; ++k) {
+                    dot += pattn[k] * pda[k];
+                  }
+                  for (int64_t k = begin; k < end; ++k) {
+                    gl[k] += pattn[k] * (pda[k] - dot);
+                  }
+                }
+              });
         }
       });
 }
@@ -136,14 +214,32 @@ VarPtr GatherEdgeSrc(const SpMatPtr& a, const VarPtr& x) {
   AUTOAC_CHECK_EQ(x->value.dim(), 1);
   AUTOAC_CHECK_EQ(x->value.numel(), csr.num_cols);
   Tensor out({csr.nnz()});
-  const float* px = x->value.data();
-  for (int64_t k = 0; k < csr.nnz(); ++k) out.at(k) = px[csr.indices[k]];
+  {
+    const float* px = x->value.data();
+    float* po = out.data();
+    const int64_t* indices = csr.indices.data();
+    ParallelFor(0, csr.nnz(), kElementwiseGrain, [=](int64_t lo, int64_t hi) {
+      for (int64_t k = lo; k < hi; ++k) po[k] = px[indices[k]];
+    });
+  }
   return MakeOp("GatherEdgeSrc", std::move(out), {x}, [a](Variable& self) {
     if (!NeedsGrad(self.parents[0])) return;
-    const Csr& csr = a->forward();
+    // Partitioned over the rows of A^T so each chunk owns a disjoint span of
+    // gx; per-source accumulation order (ascending forward slot) matches the
+    // serial edge sweep.
+    const Csr& csr_t = a->backward();
     float* gx = self.parents[0]->EnsureGrad().data();
     const float* g = self.grad.data();
-    for (int64_t k = 0; k < csr.nnz(); ++k) gx[csr.indices[k]] += g[k];
+    const int64_t* t_indptr = csr_t.indptr.data();
+    const int64_t* t2f = a->backward_to_forward().data();
+    ParallelFor(0, csr_t.num_rows, SparseRowGrain(csr_t, 1),
+                [=](int64_t src_begin, int64_t src_end) {
+                  for (int64_t s = src_begin; s < src_end; ++s) {
+                    for (int64_t k = t_indptr[s]; k < t_indptr[s + 1]; ++k) {
+                      gx[s] += g[t2f[k]];
+                    }
+                  }
+                });
   });
 }
 
@@ -152,36 +248,57 @@ VarPtr GatherEdgeDst(const SpMatPtr& a, const VarPtr& x) {
   AUTOAC_CHECK_EQ(x->value.dim(), 1);
   AUTOAC_CHECK_EQ(x->value.numel(), csr.num_rows);
   Tensor out({csr.nnz()});
-  const float* px = x->value.data();
-  for (int64_t i = 0; i < csr.num_rows; ++i) {
-    for (int64_t k = csr.indptr[i]; k < csr.indptr[i + 1]; ++k) {
-      out.at(k) = px[i];
-    }
+  {
+    const float* px = x->value.data();
+    float* po = out.data();
+    const int64_t* indptr = csr.indptr.data();
+    ParallelFor(0, csr.num_rows, SparseRowGrain(csr, 1),
+                [=](int64_t row_begin, int64_t row_end) {
+                  for (int64_t i = row_begin; i < row_end; ++i) {
+                    for (int64_t k = indptr[i]; k < indptr[i + 1]; ++k) {
+                      po[k] = px[i];
+                    }
+                  }
+                });
   }
   return MakeOp("GatherEdgeDst", std::move(out), {x}, [a](Variable& self) {
     if (!NeedsGrad(self.parents[0])) return;
     const Csr& csr = a->forward();
     float* gx = self.parents[0]->EnsureGrad().data();
     const float* g = self.grad.data();
-    for (int64_t i = 0; i < csr.num_rows; ++i) {
-      for (int64_t k = csr.indptr[i]; k < csr.indptr[i + 1]; ++k) {
-        gx[i] += g[k];
-      }
-    }
+    const int64_t* indptr = csr.indptr.data();
+    ParallelFor(0, csr.num_rows, SparseRowGrain(csr, 1),
+                [=](int64_t row_begin, int64_t row_end) {
+                  for (int64_t i = row_begin; i < row_end; ++i) {
+                    for (int64_t k = indptr[i]; k < indptr[i + 1]; ++k) {
+                      gx[i] += g[k];
+                    }
+                  }
+                });
   });
 }
 
 VarPtr Gather1d(const VarPtr& x, std::vector<int64_t> ids) {
   AUTOAC_CHECK_EQ(x->value.dim(), 1);
   int64_t n = x->value.numel();
-  Tensor out({static_cast<int64_t>(ids.size())});
-  for (size_t i = 0; i < ids.size(); ++i) {
-    AUTOAC_DCHECK(ids[i] >= 0 && ids[i] < n);
-    out.at(static_cast<int64_t>(i)) = x->value.at(ids[i]);
+  int64_t m = static_cast<int64_t>(ids.size());
+  Tensor out({m});
+  {
+    const float* px = x->value.data();
+    float* po = out.data();
+    const int64_t* pids = ids.data();
+    ParallelFor(0, m, kElementwiseGrain, [=](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) {
+        AUTOAC_DCHECK(pids[i] >= 0 && pids[i] < n);
+        po[i] = px[pids[i]];
+      }
+    });
   }
   return MakeOp("Gather1d", std::move(out), {x},
                 [ids = std::move(ids)](Variable& self) {
                   if (!NeedsGrad(self.parents[0])) return;
+                  // Serial: `ids` may repeat, so the scatter-add is not
+                  // partitionable without atomics.
                   float* gx = self.parents[0]->EnsureGrad().data();
                   const float* g = self.grad.data();
                   for (size_t i = 0; i < ids.size(); ++i) gx[ids[i]] += g[i];
@@ -196,19 +313,28 @@ VarPtr PairDot(const VarPtr& h, std::vector<int64_t> us,
   int64_t d = h->value.cols();
   int64_t m = static_cast<int64_t>(us.size());
   Tensor out({m});
-  const float* ph = h->value.data();
-  for (int64_t i = 0; i < m; ++i) {
-    AUTOAC_DCHECK(us[i] >= 0 && us[i] < n);
-    AUTOAC_DCHECK(vs[i] >= 0 && vs[i] < n);
-    const float* hu = ph + us[i] * d;
-    const float* hv = ph + vs[i] * d;
-    float acc = 0.0f;
-    for (int64_t j = 0; j < d; ++j) acc += hu[j] * hv[j];
-    out.at(i) = acc;
+  {
+    const float* ph = h->value.data();
+    float* po = out.data();
+    const int64_t* pus = us.data();
+    const int64_t* pvs = vs.data();
+    ParallelFor(0, m, GrainForRows(d), [=](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) {
+        AUTOAC_DCHECK(pus[i] >= 0 && pus[i] < n);
+        AUTOAC_DCHECK(pvs[i] >= 0 && pvs[i] < n);
+        const float* hu = ph + pus[i] * d;
+        const float* hv = ph + pvs[i] * d;
+        float acc = 0.0f;
+        for (int64_t j = 0; j < d; ++j) acc += hu[j] * hv[j];
+        po[i] = acc;
+      }
+    });
   }
   return MakeOp("PairDot", std::move(out), {h},
                 [us = std::move(us), vs = std::move(vs), d](Variable& self) {
                   if (!NeedsGrad(self.parents[0])) return;
+                  // Serial: a node can appear in many pairs, so the
+                  // scatter-add into gh is not partitionable without atomics.
                   const float* ph = self.parents[0]->value.data();
                   float* gh = self.parents[0]->EnsureGrad().data();
                   const float* g = self.grad.data();

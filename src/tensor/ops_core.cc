@@ -3,6 +3,7 @@
 
 #include "tensor/op_helpers.h"
 #include "tensor/ops.h"
+#include "util/parallel.h"
 
 namespace autoac {
 
@@ -11,46 +12,63 @@ using internal::NeedsGrad;
 
 namespace internal {
 
+// All three GEMMs are blocked over *output* rows: each ParallelFor chunk
+// owns a disjoint span of output rows and accumulates contributions in the
+// same order as the serial loop, so results are bitwise identical at every
+// thread count.
+
 void GemmNN(const float* a, const float* b, float* out, int64_t m, int64_t k,
             int64_t n) {
-  for (int64_t i = 0; i < m; ++i) {
-    const float* arow = a + i * k;
-    float* orow = out + i * n;
-    for (int64_t l = 0; l < k; ++l) {
-      float av = arow[l];
-      if (av == 0.0f) continue;
-      const float* brow = b + l * n;
-      for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+  ParallelFor(0, m, GrainForRows(k * n), [=](int64_t row_begin,
+                                             int64_t row_end) {
+    for (int64_t i = row_begin; i < row_end; ++i) {
+      const float* arow = a + i * k;
+      float* orow = out + i * n;
+      for (int64_t l = 0; l < k; ++l) {
+        float av = arow[l];
+        if (av == 0.0f) continue;
+        const float* brow = b + l * n;
+        for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+      }
     }
-  }
+  });
 }
 
 void GemmNT(const float* a, const float* b, float* out, int64_t m, int64_t k,
             int64_t n) {
-  for (int64_t i = 0; i < m; ++i) {
-    const float* arow = a + i * k;
-    float* orow = out + i * n;
-    for (int64_t j = 0; j < n; ++j) {
-      const float* brow = b + j * k;
-      float acc = 0.0f;
-      for (int64_t l = 0; l < k; ++l) acc += arow[l] * brow[l];
-      orow[j] += acc;
+  ParallelFor(0, m, GrainForRows(k * n), [=](int64_t row_begin,
+                                             int64_t row_end) {
+    for (int64_t i = row_begin; i < row_end; ++i) {
+      const float* arow = a + i * k;
+      float* orow = out + i * n;
+      for (int64_t j = 0; j < n; ++j) {
+        const float* brow = b + j * k;
+        float acc = 0.0f;
+        for (int64_t l = 0; l < k; ++l) acc += arow[l] * brow[l];
+        orow[j] += acc;
+      }
     }
-  }
+  });
 }
 
 void GemmTN(const float* a, const float* b, float* out, int64_t m, int64_t k,
             int64_t n) {
-  for (int64_t l = 0; l < m; ++l) {
-    const float* arow = a + l * k;
-    const float* brow = b + l * n;
-    for (int64_t i = 0; i < k; ++i) {
-      float av = arow[i];
-      if (av == 0.0f) continue;
-      float* orow = out + i * n;
-      for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+  // Output is [k, n]; the reduction runs over the m rows of a and b. Each
+  // chunk restricts the inner column walk to its own output-row span
+  // [i_begin, i_end), keeping the per-element accumulation order (ascending
+  // l) identical to the serial sweep.
+  ParallelFor(0, k, GrainForRows(m * n), [=](int64_t i_begin, int64_t i_end) {
+    for (int64_t l = 0; l < m; ++l) {
+      const float* arow = a + l * k;
+      const float* brow = b + l * n;
+      for (int64_t i = i_begin; i < i_end; ++i) {
+        float av = arow[i];
+        if (av == 0.0f) continue;
+        float* orow = out + i * n;
+        for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+      }
     }
-  }
+  });
 }
 
 }  // namespace internal
@@ -85,16 +103,25 @@ VarPtr Transpose(const VarPtr& a) {
   int64_t m = a->value.rows();
   int64_t n = a->value.cols();
   Tensor out(n, m);
-  for (int64_t i = 0; i < m; ++i) {
-    for (int64_t j = 0; j < n; ++j) out.at(j, i) = a->value.at(i, j);
+  {
+    const float* pa = a->value.data();
+    float* po = out.data();
+    ParallelFor(0, n, GrainForRows(m), [=](int64_t lo, int64_t hi) {
+      for (int64_t j = lo; j < hi; ++j) {
+        for (int64_t i = 0; i < m; ++i) po[j * m + i] = pa[i * n + j];
+      }
+    });
   }
   return MakeOp("Transpose", std::move(out), {a}, [m, n](Variable& self) {
     const VarPtr& a = self.parents[0];
     if (!NeedsGrad(a)) return;
-    Tensor& ga = a->EnsureGrad();
-    for (int64_t j = 0; j < n; ++j) {
-      for (int64_t i = 0; i < m; ++i) ga.at(i, j) += self.grad.at(j, i);
-    }
+    float* ga = a->EnsureGrad().data();
+    const float* g = self.grad.data();
+    ParallelFor(0, m, GrainForRows(n), [=](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) {
+        for (int64_t j = 0; j < n; ++j) ga[i * n + j] += g[j * m + i];
+      }
+    });
   });
 }
 
@@ -107,14 +134,18 @@ VarPtr Add(const VarPtr& a, const VarPtr& b) {
   const float* pa = a->value.data();
   const float* pb = b->value.data();
   float* po = out.data();
-  for (int64_t i = 0; i < n; ++i) po[i] = pa[i] + pb[i];
+  ParallelFor(0, n, kElementwiseGrain, [=](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) po[i] = pa[i] + pb[i];
+  });
   return MakeOp("Add", std::move(out), {a, b}, [n](Variable& self) {
     for (int side = 0; side < 2; ++side) {
       const VarPtr& p = self.parents[side];
       if (!NeedsGrad(p)) continue;
       float* gp = p->EnsureGrad().data();
       const float* g = self.grad.data();
-      for (int64_t i = 0; i < n; ++i) gp[i] += g[i];
+      ParallelFor(0, n, kElementwiseGrain, [=](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) gp[i] += g[i];
+      });
     }
   });
 }
@@ -125,17 +156,23 @@ VarPtr AddN(const std::vector<VarPtr>& xs) {
   Tensor out(xs[0]->value.shape());
   int64_t n = out.numel();
   float* po = out.data();
-  for (const VarPtr& x : xs) {
-    AUTOAC_CHECK(x->value.SameShape(xs[0]->value));
-    const float* px = x->value.data();
-    for (int64_t i = 0; i < n; ++i) po[i] += px[i];
-  }
+  for (const VarPtr& x : xs) AUTOAC_CHECK(x->value.SameShape(xs[0]->value));
+  // Summed input-major within each span so the accumulation order per
+  // element matches the serial sweep.
+  ParallelFor(0, n, kElementwiseGrain, [&](int64_t lo, int64_t hi) {
+    for (const VarPtr& x : xs) {
+      const float* px = x->value.data();
+      for (int64_t i = lo; i < hi; ++i) po[i] += px[i];
+    }
+  });
   return MakeOp("AddN", std::move(out), xs, [n](Variable& self) {
     const float* g = self.grad.data();
     for (const VarPtr& p : self.parents) {
       if (!NeedsGrad(p)) continue;
       float* gp = p->EnsureGrad().data();
-      for (int64_t i = 0; i < n; ++i) gp[i] += g[i];
+      ParallelFor(0, n, kElementwiseGrain, [=](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) gp[i] += g[i];
+      });
     }
   });
 }
@@ -147,16 +184,22 @@ VarPtr Sub(const VarPtr& a, const VarPtr& b) {
   const float* pa = a->value.data();
   const float* pb = b->value.data();
   float* po = out.data();
-  for (int64_t i = 0; i < n; ++i) po[i] = pa[i] - pb[i];
+  ParallelFor(0, n, kElementwiseGrain, [=](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) po[i] = pa[i] - pb[i];
+  });
   return MakeOp("Sub", std::move(out), {a, b}, [n](Variable& self) {
     const float* g = self.grad.data();
     if (NeedsGrad(self.parents[0])) {
       float* ga = self.parents[0]->EnsureGrad().data();
-      for (int64_t i = 0; i < n; ++i) ga[i] += g[i];
+      ParallelFor(0, n, kElementwiseGrain, [=](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) ga[i] += g[i];
+      });
     }
     if (NeedsGrad(self.parents[1])) {
       float* gb = self.parents[1]->EnsureGrad().data();
-      for (int64_t i = 0; i < n; ++i) gb[i] -= g[i];
+      ParallelFor(0, n, kElementwiseGrain, [=](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) gb[i] -= g[i];
+      });
     }
   });
 }
@@ -168,18 +211,24 @@ VarPtr Mul(const VarPtr& a, const VarPtr& b) {
   const float* pa = a->value.data();
   const float* pb = b->value.data();
   float* po = out.data();
-  for (int64_t i = 0; i < n; ++i) po[i] = pa[i] * pb[i];
+  ParallelFor(0, n, kElementwiseGrain, [=](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) po[i] = pa[i] * pb[i];
+  });
   return MakeOp("Mul", std::move(out), {a, b}, [n](Variable& self) {
     const float* g = self.grad.data();
     const float* pa = self.parents[0]->value.data();
     const float* pb = self.parents[1]->value.data();
     if (NeedsGrad(self.parents[0])) {
       float* ga = self.parents[0]->EnsureGrad().data();
-      for (int64_t i = 0; i < n; ++i) ga[i] += g[i] * pb[i];
+      ParallelFor(0, n, kElementwiseGrain, [=](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) ga[i] += g[i] * pb[i];
+      });
     }
     if (NeedsGrad(self.parents[1])) {
       float* gb = self.parents[1]->EnsureGrad().data();
-      for (int64_t i = 0; i < n; ++i) gb[i] += g[i] * pa[i];
+      ParallelFor(0, n, kElementwiseGrain, [=](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) gb[i] += g[i] * pa[i];
+      });
     }
   });
 }
@@ -189,12 +238,16 @@ VarPtr Scale(const VarPtr& x, float s) {
   int64_t n = out.numel();
   const float* px = x->value.data();
   float* po = out.data();
-  for (int64_t i = 0; i < n; ++i) po[i] = px[i] * s;
+  ParallelFor(0, n, kElementwiseGrain, [=](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) po[i] = px[i] * s;
+  });
   return MakeOp("Scale", std::move(out), {x}, [n, s](Variable& self) {
     if (!NeedsGrad(self.parents[0])) return;
     float* gx = self.parents[0]->EnsureGrad().data();
     const float* g = self.grad.data();
-    for (int64_t i = 0; i < n; ++i) gx[i] += g[i] * s;
+    ParallelFor(0, n, kElementwiseGrain, [=](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) gx[i] += g[i] * s;
+    });
   });
 }
 
@@ -203,12 +256,16 @@ VarPtr AddScalar(const VarPtr& x, float s) {
   int64_t n = out.numel();
   const float* px = x->value.data();
   float* po = out.data();
-  for (int64_t i = 0; i < n; ++i) po[i] = px[i] + s;
+  ParallelFor(0, n, kElementwiseGrain, [=](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) po[i] = px[i] + s;
+  });
   return MakeOp("AddScalar", std::move(out), {x}, [n](Variable& self) {
     if (!NeedsGrad(self.parents[0])) return;
     float* gx = self.parents[0]->EnsureGrad().data();
     const float* g = self.grad.data();
-    for (int64_t i = 0; i < n; ++i) gx[i] += g[i];
+    ParallelFor(0, n, kElementwiseGrain, [=](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) gx[i] += g[i];
+    });
   });
 }
 
@@ -219,18 +276,26 @@ VarPtr ScaleByVar(const VarPtr& x, const VarPtr& s) {
   int64_t n = out.numel();
   const float* px = x->value.data();
   float* po = out.data();
-  for (int64_t i = 0; i < n; ++i) po[i] = px[i] * sv;
+  ParallelFor(0, n, kElementwiseGrain, [=](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) po[i] = px[i] * sv;
+  });
   return MakeOp("ScaleByVar", std::move(out), {x, s}, [n, sv](Variable& self) {
     const float* g = self.grad.data();
     const float* px = self.parents[0]->value.data();
     if (NeedsGrad(self.parents[0])) {
       float* gx = self.parents[0]->EnsureGrad().data();
-      for (int64_t i = 0; i < n; ++i) gx[i] += g[i] * sv;
+      ParallelFor(0, n, kElementwiseGrain, [=](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) gx[i] += g[i] * sv;
+      });
     }
     if (NeedsGrad(self.parents[1])) {
-      float acc = 0.0f;
-      for (int64_t i = 0; i < n; ++i) acc += g[i] * px[i];
-      self.parents[1]->EnsureGrad().data()[0] += acc;
+      double acc = ParallelReduce(
+          0, n, kReduceGrain, [=](int64_t lo, int64_t hi) {
+            double partial = 0.0;
+            for (int64_t i = lo; i < hi; ++i) partial += g[i] * px[i];
+            return partial;
+          });
+      self.parents[1]->EnsureGrad().data()[0] += static_cast<float>(acc);
     }
   });
 }
@@ -245,20 +310,29 @@ VarPtr AddBias(const VarPtr& x, const VarPtr& bias) {
   const float* px = x->value.data();
   const float* pb = bias->value.data();
   float* po = out.data();
-  for (int64_t i = 0; i < m; ++i) {
-    for (int64_t j = 0; j < n; ++j) po[i * n + j] = px[i * n + j] + pb[j];
-  }
+  ParallelFor(0, m, GrainForRows(n), [=](int64_t row_begin, int64_t row_end) {
+    for (int64_t i = row_begin; i < row_end; ++i) {
+      for (int64_t j = 0; j < n; ++j) po[i * n + j] = px[i * n + j] + pb[j];
+    }
+  });
   return MakeOp("AddBias", std::move(out), {x, bias}, [m, n](Variable& self) {
     const float* g = self.grad.data();
     if (NeedsGrad(self.parents[0])) {
       float* gx = self.parents[0]->EnsureGrad().data();
-      for (int64_t i = 0; i < m * n; ++i) gx[i] += g[i];
+      ParallelFor(0, m * n, kElementwiseGrain, [=](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) gx[i] += g[i];
+      });
     }
     if (NeedsGrad(self.parents[1])) {
+      // Column-partitioned so each chunk owns a disjoint span of gb; the
+      // per-column accumulation order (ascending i) matches the serial loop.
       float* gb = self.parents[1]->EnsureGrad().data();
-      for (int64_t i = 0; i < m; ++i) {
-        for (int64_t j = 0; j < n; ++j) gb[j] += g[i * n + j];
-      }
+      ParallelFor(0, n, GrainForRows(m), [=](int64_t col_begin,
+                                             int64_t col_end) {
+        for (int64_t i = 0; i < m; ++i) {
+          for (int64_t j = col_begin; j < col_end; ++j) gb[j] += g[i * n + j];
+        }
+      });
     }
   });
 }
@@ -268,20 +342,24 @@ VarPtr Sqrt(const VarPtr& x) {
   int64_t n = out.numel();
   const float* px = x->value.data();
   float* po = out.data();
-  for (int64_t i = 0; i < n; ++i) {
-    AUTOAC_DCHECK(px[i] >= 0.0f);
-    po[i] = std::sqrt(px[i]);
-  }
+  ParallelFor(0, n, kElementwiseGrain, [=](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      AUTOAC_DCHECK(px[i] >= 0.0f);
+      po[i] = std::sqrt(px[i]);
+    }
+  });
   return MakeOp("Sqrt", std::move(out), {x}, [n](Variable& self) {
     if (!NeedsGrad(self.parents[0])) return;
     float* gx = self.parents[0]->EnsureGrad().data();
     const float* g = self.grad.data();
     const float* po = self.value.data();
-    for (int64_t i = 0; i < n; ++i) {
-      // d sqrt(x) / dx = 1 / (2 sqrt(x)); clamp to keep the gradient finite
-      // at x == 0.
-      gx[i] += g[i] / (2.0f * std::max(po[i], 1e-6f));
-    }
+    ParallelFor(0, n, kElementwiseGrain, [=](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) {
+        // d sqrt(x) / dx = 1 / (2 sqrt(x)); clamp to keep the gradient
+        // finite at x == 0.
+        gx[i] += g[i] / (2.0f * std::max(po[i], 1e-6f));
+      }
+    });
   });
 }
 
@@ -358,14 +436,21 @@ VarPtr GatherRows(const VarPtr& x, std::vector<int64_t> rows) {
   int64_t n = x->value.rows();
   int64_t c = x->value.cols();
   Tensor out(static_cast<int64_t>(rows.size()), c);
-  for (size_t i = 0; i < rows.size(); ++i) {
-    AUTOAC_DCHECK(rows[i] >= 0 && rows[i] < n);
-    std::copy(x->value.data() + rows[i] * c, x->value.data() + (rows[i] + 1) * c,
-              out.data() + static_cast<int64_t>(i) * c);
-  }
+  int64_t m = static_cast<int64_t>(rows.size());
+  const float* px = x->value.data();
+  float* po = out.data();
+  const int64_t* prows = rows.data();
+  ParallelFor(0, m, GrainForRows(c), [=](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      AUTOAC_DCHECK(prows[i] >= 0 && prows[i] < n);
+      std::copy(px + prows[i] * c, px + (prows[i] + 1) * c, po + i * c);
+    }
+  });
   return MakeOp("GatherRows", std::move(out), {x},
                 [rows = std::move(rows), c](Variable& self) {
                   if (!NeedsGrad(self.parents[0])) return;
+                  // Serial: `rows` may repeat, so the scatter-add is not
+                  // row-partitionable without atomics.
                   Tensor& gx = self.parents[0]->EnsureGrad();
                   for (size_t i = 0; i < rows.size(); ++i) {
                     const float* g = self.grad.data() + i * c;
@@ -381,21 +466,36 @@ VarPtr ScatterRows(const VarPtr& x, std::vector<int64_t> rows,
   AUTOAC_CHECK_EQ(x->value.rows(), static_cast<int64_t>(rows.size()));
   int64_t c = x->value.cols();
   Tensor out(n_rows, c);
-  for (size_t i = 0; i < rows.size(); ++i) {
-    AUTOAC_DCHECK(rows[i] >= 0 && rows[i] < n_rows);
-    std::copy(x->value.data() + static_cast<int64_t>(i) * c,
-              x->value.data() + static_cast<int64_t>(i + 1) * c,
-              out.data() + rows[i] * c);
-  }
+  // Callers scatter to distinct target rows (missing-node ids, per-type
+  // offsets), so the row-partitioned writes below never collide.
+  int64_t m = static_cast<int64_t>(rows.size());
+  const float* px = x->value.data();
+  float* po = out.data();
+  const int64_t* prows = rows.data();
+  ParallelFor(0, m, GrainForRows(c), [=](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      AUTOAC_DCHECK(prows[i] >= 0 && prows[i] < n_rows);
+      std::copy(px + i * c, px + (i + 1) * c, po + prows[i] * c);
+    }
+  });
   return MakeOp("ScatterRows", std::move(out), {x},
                 [rows = std::move(rows), c](Variable& self) {
                   if (!NeedsGrad(self.parents[0])) return;
                   Tensor& gx = self.parents[0]->EnsureGrad();
-                  for (size_t i = 0; i < rows.size(); ++i) {
-                    const float* g = self.grad.data() + rows[i] * c;
-                    float* gp = gx.data() + i * c;
-                    for (int64_t j = 0; j < c; ++j) gp[j] += g[j];
-                  }
+                  const float* g = self.grad.data();
+                  float* gp = gx.data();
+                  const int64_t* prows = rows.data();
+                  int64_t m = static_cast<int64_t>(rows.size());
+                  ParallelFor(0, m, GrainForRows(c),
+                              [=](int64_t lo, int64_t hi) {
+                                for (int64_t i = lo; i < hi; ++i) {
+                                  const float* grow = g + prows[i] * c;
+                                  float* gprow = gp + i * c;
+                                  for (int64_t j = 0; j < c; ++j) {
+                                    gprow[j] += grow[j];
+                                  }
+                                }
+                              });
                 });
 }
 
@@ -430,7 +530,9 @@ VarPtr Reshape(const VarPtr& x, std::vector<int64_t> shape) {
     if (!NeedsGrad(self.parents[0])) return;
     float* gx = self.parents[0]->EnsureGrad().data();
     const float* g = self.grad.data();
-    for (int64_t i = 0; i < n; ++i) gx[i] += g[i];
+    ParallelFor(0, n, kElementwiseGrain, [=](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) gx[i] += g[i];
+    });
   });
 }
 
@@ -443,12 +545,20 @@ VarPtr ScaleRowsByGather(const VarPtr& x, const VarPtr& weights,
   int64_t n_weights = weights->value.numel();
   AUTOAC_CHECK_EQ(m, static_cast<int64_t>(ids.size()));
   Tensor out(m, c);
-  for (int64_t i = 0; i < m; ++i) {
-    AUTOAC_DCHECK(ids[i] >= 0 && ids[i] < n_weights);
-    float w = weights->value.at(ids[i]);
-    const float* px = x->value.data() + i * c;
-    float* po = out.data() + i * c;
-    for (int64_t j = 0; j < c; ++j) po[j] = w * px[j];
+  {
+    const float* pw = weights->value.data();
+    const float* px = x->value.data();
+    float* po = out.data();
+    const int64_t* pids = ids.data();
+    ParallelFor(0, m, GrainForRows(c), [=](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) {
+        AUTOAC_DCHECK(pids[i] >= 0 && pids[i] < n_weights);
+        float w = pw[pids[i]];
+        const float* xrow = px + i * c;
+        float* orow = po + i * c;
+        for (int64_t j = 0; j < c; ++j) orow[j] = w * xrow[j];
+      }
+    });
   }
   return MakeOp(
       "ScaleRowsByGather", std::move(out), {x, weights},
@@ -458,12 +568,20 @@ VarPtr ScaleRowsByGather(const VarPtr& x, const VarPtr& weights,
         const float* g = self.grad.data();
         if (NeedsGrad(x)) {
           float* gx = x->EnsureGrad().data();
-          for (int64_t i = 0; i < m; ++i) {
-            float w = weights->value.at(ids[i]);
-            for (int64_t j = 0; j < c; ++j) gx[i * c + j] += w * g[i * c + j];
-          }
+          const float* pw = weights->value.data();
+          const int64_t* pids = ids.data();
+          ParallelFor(0, m, GrainForRows(c), [=](int64_t lo, int64_t hi) {
+            for (int64_t i = lo; i < hi; ++i) {
+              float w = pw[pids[i]];
+              for (int64_t j = 0; j < c; ++j) {
+                gx[i * c + j] += w * g[i * c + j];
+              }
+            }
+          });
         }
         if (NeedsGrad(weights)) {
+          // Serial: `ids` repeat (many rows share a cluster weight), so the
+          // scatter-add is not row-partitionable without atomics.
           float* gw = weights->EnsureGrad().data();
           const float* px = x->value.data();
           for (int64_t i = 0; i < m; ++i) {
@@ -480,14 +598,19 @@ VarPtr ScaleRowsByGather(const VarPtr& x, const VarPtr& weights,
 VarPtr SumAll(const VarPtr& x) {
   int64_t n = x->value.numel();
   const float* px = x->value.data();
-  double acc = 0.0;
-  for (int64_t i = 0; i < n; ++i) acc += px[i];
+  double acc = ParallelReduce(0, n, kReduceGrain, [=](int64_t lo, int64_t hi) {
+    double partial = 0.0;
+    for (int64_t i = lo; i < hi; ++i) partial += px[i];
+    return partial;
+  });
   Tensor out = Tensor::Scalar(static_cast<float>(acc));
   return MakeOp("SumAll", std::move(out), {x}, [n](Variable& self) {
     if (!NeedsGrad(self.parents[0])) return;
     float g = self.grad.data()[0];
     float* gx = self.parents[0]->EnsureGrad().data();
-    for (int64_t i = 0; i < n; ++i) gx[i] += g;
+    ParallelFor(0, n, kElementwiseGrain, [=](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) gx[i] += g;
+    });
   });
 }
 
@@ -495,29 +618,41 @@ VarPtr MeanAll(const VarPtr& x) {
   int64_t n = x->value.numel();
   AUTOAC_CHECK_GT(n, 0);
   const float* px = x->value.data();
-  double acc = 0.0;
-  for (int64_t i = 0; i < n; ++i) acc += px[i];
+  double acc = ParallelReduce(0, n, kReduceGrain, [=](int64_t lo, int64_t hi) {
+    double partial = 0.0;
+    for (int64_t i = lo; i < hi; ++i) partial += px[i];
+    return partial;
+  });
   Tensor out = Tensor::Scalar(static_cast<float>(acc / n));
   return MakeOp("MeanAll", std::move(out), {x}, [n](Variable& self) {
     if (!NeedsGrad(self.parents[0])) return;
     float g = self.grad.data()[0] / static_cast<float>(n);
     float* gx = self.parents[0]->EnsureGrad().data();
-    for (int64_t i = 0; i < n; ++i) gx[i] += g;
+    ParallelFor(0, n, kElementwiseGrain, [=](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) gx[i] += g;
+    });
   });
 }
 
 VarPtr SumSquares(const VarPtr& x) {
   int64_t n = x->value.numel();
   const float* px = x->value.data();
-  double acc = 0.0;
-  for (int64_t i = 0; i < n; ++i) acc += static_cast<double>(px[i]) * px[i];
+  double acc = ParallelReduce(0, n, kReduceGrain, [=](int64_t lo, int64_t hi) {
+    double partial = 0.0;
+    for (int64_t i = lo; i < hi; ++i) {
+      partial += static_cast<double>(px[i]) * px[i];
+    }
+    return partial;
+  });
   Tensor out = Tensor::Scalar(static_cast<float>(acc));
   return MakeOp("SumSquares", std::move(out), {x}, [n](Variable& self) {
     if (!NeedsGrad(self.parents[0])) return;
     float g = self.grad.data()[0];
     const float* px = self.parents[0]->value.data();
     float* gx = self.parents[0]->EnsureGrad().data();
-    for (int64_t i = 0; i < n; ++i) gx[i] += 2.0f * g * px[i];
+    ParallelFor(0, n, kElementwiseGrain, [=](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) gx[i] += 2.0f * g * px[i];
+    });
   });
 }
 

@@ -1,0 +1,77 @@
+#ifndef AUTOAC_UTIL_PARALLEL_H_
+#define AUTOAC_UTIL_PARALLEL_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace autoac {
+
+/// Shared thread-pool runtime for the hot kernels (GEMM, SpMM, edge-softmax,
+/// elementwise ops). The pool is lazily created on the first parallel call
+/// and lives for the process lifetime.
+///
+/// Determinism contract: every kernel parallelised through this interface
+/// partitions work over *output* rows (or disjoint flat index ranges), so no
+/// two workers ever write the same element and the per-element accumulation
+/// order is exactly the serial order. Results are therefore bitwise
+/// identical for every thread count, and `AUTOAC_NUM_THREADS=1` reproduces
+/// the serial path exactly.
+
+/// Number of hardware threads (never < 1).
+int HardwareConcurrency();
+
+/// The thread count parallel kernels will use. Resolution order:
+/// SetNumThreads() override > AUTOAC_NUM_THREADS env var > hardware
+/// concurrency. Always >= 1.
+int NumThreads();
+
+/// Overrides the thread count (e.g. from a --num_threads flag). `n <= 0`
+/// clears the override, falling back to the env var / hardware default.
+/// Raising the count lazily grows the shared pool; lowering it simply uses
+/// fewer workers per call.
+void SetNumThreads(int n);
+
+/// True while called from inside a ParallelFor/ParallelReduce worker. Nested
+/// parallel calls detect this and degrade to serial execution.
+bool InParallelRegion();
+
+/// Runs `fn(chunk_begin, chunk_end)` over a partition of [begin, end) into
+/// contiguous chunks of at least `grain` iterations. Chunks may execute
+/// concurrently on the shared pool; `fn` must only write state owned by its
+/// chunk (e.g. output rows in [chunk_begin, chunk_end)).
+///
+/// Runs serially (a single `fn(begin, end)` call on the caller's thread)
+/// when NumThreads() == 1, when the range has fewer than 2*grain
+/// iterations, or when already inside a parallel region. Exceptions thrown
+/// by `fn` are rethrown on the calling thread (first one wins).
+void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                 const std::function<void(int64_t, int64_t)>& fn);
+
+/// Deterministic chunked reduction: partitions [begin, end) into fixed
+/// chunks of exactly `grain` iterations (the chunking depends only on the
+/// range and grain, never on the thread count), evaluates
+/// `fn(chunk_begin, chunk_end) -> double` per chunk (possibly in parallel),
+/// and sums the partials in ascending chunk order on the calling thread.
+/// The result is bitwise identical for every thread count.
+double ParallelReduce(int64_t begin, int64_t end, int64_t grain,
+                      const std::function<double(int64_t, int64_t)>& fn);
+
+/// Grain helper for row-partitioned kernels: aims for chunks of roughly
+/// `kGrainWork` scalar operations given the per-row cost, clamped to >= 1.
+inline int64_t GrainForRows(int64_t work_per_row) {
+  constexpr int64_t kGrainWork = 16384;
+  if (work_per_row < 1) work_per_row = 1;
+  int64_t grain = kGrainWork / work_per_row;
+  return grain < 1 ? 1 : grain;
+}
+
+/// Default grains for flat elementwise loops and scalar reductions. Sized so
+/// per-chunk work dwarfs dispatch overhead; kReduceGrain also fixes the
+/// deterministic chunk boundaries of ParallelReduce, so changing it changes
+/// reduction rounding (see DESIGN.md "Parallel runtime").
+inline constexpr int64_t kElementwiseGrain = 1 << 13;
+inline constexpr int64_t kReduceGrain = 1 << 15;
+
+}  // namespace autoac
+
+#endif  // AUTOAC_UTIL_PARALLEL_H_

@@ -1,0 +1,198 @@
+// The determinism contract of the parallel runtime (util/parallel.h): every
+// kernel partitions work over output rows in serial accumulation order, so
+// forward values AND gradients are bitwise identical at every thread count.
+// These tests pin that down for the three kernel families the contract is
+// hardest to keep — dense GEMM (three matmuls per backward), SpMM with its
+// cached-transpose backward, and edge-softmax attention — on deliberately
+// ragged shapes: empty rows, d=1, and row counts that do not divide evenly
+// among 2 or 7 workers.
+
+#include <cstring>
+#include <functional>
+#include <vector>
+
+#include "grad_check.h"
+#include "graph/sparse_ops.h"
+#include "gtest/gtest.h"
+#include "tensor/init.h"
+#include "tensor/ops.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+
+namespace autoac {
+namespace {
+
+using testing::ExpectGradientsMatch;
+
+constexpr int kThreadCounts[] = {1, 2, 7};
+
+void ExpectBitwiseEqual(const Tensor& a, const Tensor& b,
+                        const char* what, int threads) {
+  ASSERT_EQ(a.numel(), b.numel()) << what;
+  EXPECT_EQ(std::memcmp(a.data(), b.data(),
+                        sizeof(float) * static_cast<size_t>(a.numel())),
+            0)
+      << what << " differs between 1 and " << threads << " threads";
+}
+
+/// Runs `build` (fresh graph per call) with each thread count and asserts
+/// the loss, every intermediate output, and every parameter gradient are
+/// bitwise identical to the single-threaded run. `build` fills `outputs`
+/// with the variables whose forward values should be compared.
+void ExpectDeterministicAcrossThreads(
+    const std::vector<VarPtr>& params,
+    const std::function<VarPtr(std::vector<VarPtr>&)>& build) {
+  Tensor ref_loss;
+  std::vector<Tensor> ref_outputs;
+  std::vector<Tensor> ref_grads;
+  for (int threads : kThreadCounts) {
+    SetNumThreads(threads);
+    ZeroGrads(params);
+    std::vector<VarPtr> outputs;
+    VarPtr loss = build(outputs);
+    Backward(loss);
+    if (threads == 1) {
+      ref_loss = loss->value;
+      for (const VarPtr& out : outputs) ref_outputs.push_back(out->value);
+      for (const VarPtr& p : params) ref_grads.push_back(p->grad);
+      continue;
+    }
+    ExpectBitwiseEqual(loss->value, ref_loss, "loss", threads);
+    ASSERT_EQ(outputs.size(), ref_outputs.size());
+    for (size_t i = 0; i < outputs.size(); ++i) {
+      ExpectBitwiseEqual(outputs[i]->value, ref_outputs[i], "output",
+                         threads);
+    }
+    for (size_t i = 0; i < params.size(); ++i) {
+      ExpectBitwiseEqual(params[i]->grad, ref_grads[i], "gradient", threads);
+    }
+  }
+  SetNumThreads(0);
+}
+
+/// 37x29 sparse matrix with rows 0-4 and every third row empty, plus a few
+/// parallel (duplicate) edges. Non-divisible by 2 and 7 on purpose.
+SpMatPtr RaggedSparse(Rng& rng) {
+  std::vector<int64_t> rows, cols;
+  std::vector<float> vals;
+  for (int64_t i = 5; i < 37; ++i) {
+    if (i % 3 == 0) continue;  // empty destination rows
+    int64_t degree = 1 + rng.UniformInt(0, 4);
+    for (int64_t e = 0; e < degree; ++e) {
+      rows.push_back(i);
+      cols.push_back(rng.UniformInt(0, 28));
+      vals.push_back(static_cast<float>(rng.Uniform(0.2, 1.0)));
+    }
+  }
+  // Parallel edges: both entries must contribute separately.
+  rows.push_back(7); cols.push_back(2); vals.push_back(0.5f);
+  rows.push_back(7); cols.push_back(2); vals.push_back(0.25f);
+  return MakeSparse(Csr::FromCoo(37, 29, rows, cols, vals));
+}
+
+TEST(ParallelDeterminismTest, MatMulForwardBackward) {
+  Rng rng(11);
+  VarPtr a = MakeParam(RandomNormal({37, 19}, 0.8f, rng));
+  VarPtr b = MakeParam(RandomNormal({19, 23}, 0.8f, rng));
+  ExpectDeterministicAcrossThreads({a, b}, [&](std::vector<VarPtr>& outputs) {
+    VarPtr y = MatMul(a, b);
+    outputs.push_back(y);
+    return SumSquares(y);
+  });
+}
+
+TEST(ParallelDeterminismTest, MatMulSingleColumn) {
+  Rng rng(12);
+  VarPtr a = MakeParam(RandomNormal({101, 7}, 0.8f, rng));
+  VarPtr b = MakeParam(RandomNormal({7, 1}, 0.8f, rng));  // d = 1
+  ExpectDeterministicAcrossThreads({a, b}, [&](std::vector<VarPtr>& outputs) {
+    VarPtr y = MatMul(a, b);
+    outputs.push_back(y);
+    return SumSquares(y);
+  });
+}
+
+TEST(ParallelDeterminismTest, SpMMForwardBackward) {
+  Rng rng(13);
+  SpMatPtr adj = RaggedSparse(rng);
+  VarPtr x = MakeParam(RandomNormal({29, 5}, 0.8f, rng));
+  ExpectDeterministicAcrossThreads({x}, [&](std::vector<VarPtr>& outputs) {
+    VarPtr y = SpMM(adj, x);
+    outputs.push_back(y);
+    return SumSquares(y);
+  });
+}
+
+TEST(ParallelDeterminismTest, SpMMSingleFeature) {
+  Rng rng(14);
+  SpMatPtr adj = RaggedSparse(rng);
+  VarPtr x = MakeParam(RandomNormal({29, 1}, 0.8f, rng));  // d = 1
+  ExpectDeterministicAcrossThreads({x}, [&](std::vector<VarPtr>& outputs) {
+    VarPtr y = SpMM(adj, x);
+    outputs.push_back(y);
+    return SumSquares(y);
+  });
+}
+
+TEST(ParallelDeterminismTest, SpMMEmptyRowsStayZero) {
+  Rng rng(15);
+  SpMatPtr adj = RaggedSparse(rng);
+  VarPtr x = MakeConst(RandomNormal({29, 4}, 1.0f, rng));
+  SetNumThreads(7);
+  VarPtr y = SpMM(adj, x);
+  SetNumThreads(0);
+  const Csr& csr = adj->forward();
+  for (int64_t i = 0; i < csr.num_rows; ++i) {
+    if (csr.RowDegree(i) > 0) continue;
+    for (int64_t j = 0; j < 4; ++j) {
+      EXPECT_EQ(y->value.at(i, j), 0.0f) << "row " << i;
+    }
+  }
+}
+
+TEST(ParallelDeterminismTest, EdgeSoftmaxForwardBackward) {
+  Rng rng(16);
+  std::vector<int64_t> rows, cols;
+  for (int64_t i = 0; i < 37; ++i) {
+    if (i % 5 == 0) continue;  // empty destination rows
+    int64_t degree = 1 + rng.UniformInt(0, 3);
+    for (int64_t e = 0; e < degree; ++e) {
+      rows.push_back(i);
+      cols.push_back(rng.UniformInt(0, 36));
+    }
+  }
+  SpMatPtr adj = MakeSparse(Csr::FromCoo(37, 37, rows, cols));
+  VarPtr logits = MakeParam(RandomNormal({adj->nnz()}, 0.8f, rng));
+  VarPtr h = MakeParam(RandomNormal({37, 6}, 0.8f, rng));
+  ExpectDeterministicAcrossThreads(
+      {logits, h}, [&](std::vector<VarPtr>& outputs) {
+        VarPtr y = EdgeSoftmaxAggregate(adj, logits, h);
+        outputs.push_back(y);
+        return SumSquares(y);
+      });
+  // Gradients are not just stable but *correct* in parallel: finite
+  // differences with the pool pinned at 7 threads.
+  SetNumThreads(7);
+  ExpectGradientsMatch({logits, h}, [&] {
+    return SumSquares(EdgeSoftmaxAggregate(adj, logits, h));
+  });
+  SetNumThreads(0);
+}
+
+TEST(ParallelDeterminismTest, GatherScatterPipeline) {
+  // The attention-adjacent gather ops share the transpose-partitioned
+  // backward; run them through the same bitwise check.
+  Rng rng(17);
+  SpMatPtr adj = RaggedSparse(rng);
+  VarPtr src = MakeParam(RandomNormal({29}, 0.8f, rng));
+  VarPtr dst = MakeParam(RandomNormal({37}, 0.8f, rng));
+  ExpectDeterministicAcrossThreads(
+      {src, dst}, [&](std::vector<VarPtr>& outputs) {
+        VarPtr e = Add(GatherEdgeSrc(adj, src), GatherEdgeDst(adj, dst));
+        outputs.push_back(e);
+        return SumSquares(e);
+      });
+}
+
+}  // namespace
+}  // namespace autoac

@@ -1,0 +1,167 @@
+#include "util/parallel.h"
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace autoac {
+namespace {
+
+/// Pins the pool thread count for one test and restores the default after.
+class ScopedThreads {
+ public:
+  explicit ScopedThreads(int n) { SetNumThreads(n); }
+  ~ScopedThreads() { SetNumThreads(0); }
+};
+
+TEST(ParallelForTest, EmptyRangeNeverInvokes) {
+  ScopedThreads threads(4);
+  std::atomic<int> calls{0};
+  ParallelFor(0, 0, 1, [&](int64_t, int64_t) { ++calls; });
+  ParallelFor(5, 5, 8, [&](int64_t, int64_t) { ++calls; });
+  ParallelFor(7, 3, 1, [&](int64_t, int64_t) { ++calls; });  // inverted
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ParallelForTest, RangeSmallerThanGrainRunsAsSingleSpan) {
+  ScopedThreads threads(4);
+  std::atomic<int> calls{0};
+  int64_t seen_begin = -1, seen_end = -1;
+  ParallelFor(3, 10, 100, [&](int64_t begin, int64_t end) {
+    ++calls;
+    seen_begin = begin;
+    seen_end = end;
+  });
+  EXPECT_EQ(calls.load(), 1);
+  EXPECT_EQ(seen_begin, 3);
+  EXPECT_EQ(seen_end, 10);
+}
+
+TEST(ParallelForTest, SpansPartitionTheRangeExactly) {
+  for (int threads : {1, 2, 3, 7}) {
+    ScopedThreads scope(threads);
+    for (int64_t n : {1, 2, 13, 64, 1000, 1001}) {
+      for (int64_t grain : {1, 3, 64}) {
+        std::vector<std::atomic<int>> hits(n);
+        ParallelFor(0, n, grain, [&](int64_t begin, int64_t end) {
+          ASSERT_LT(begin, end);
+          for (int64_t i = begin; i < end; ++i) ++hits[i];
+        });
+        for (int64_t i = 0; i < n; ++i) {
+          EXPECT_EQ(hits[i].load(), 1)
+              << "index " << i << " n=" << n << " grain=" << grain
+              << " threads=" << threads;
+        }
+      }
+    }
+  }
+}
+
+TEST(ParallelForTest, WorkerExceptionPropagatesToCaller) {
+  ScopedThreads threads(4);
+  EXPECT_THROW(
+      ParallelFor(0, 1000, 1,
+                  [&](int64_t begin, int64_t) {
+                    if (begin >= 500) throw std::runtime_error("boom");
+                  }),
+      std::runtime_error);
+  // The pool must remain usable after a failed job.
+  std::atomic<int64_t> sum{0};
+  ParallelFor(0, 100, 1, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) sum += i;
+  });
+  EXPECT_EQ(sum.load(), 4950);
+}
+
+TEST(ParallelForTest, NestedCallDegradesToSerial) {
+  ScopedThreads threads(4);
+  EXPECT_FALSE(InParallelRegion());
+  std::atomic<int64_t> total{0};
+  ParallelFor(0, 8, 1, [&](int64_t obegin, int64_t oend) {
+    EXPECT_TRUE(InParallelRegion());
+    for (int64_t o = obegin; o < oend; ++o) {
+      // The inner call must run inline on this worker (single span covering
+      // the whole range) instead of deadlocking on the shared pool.
+      int inner_calls = 0;
+      ParallelFor(0, 100, 1, [&](int64_t begin, int64_t end) {
+        ++inner_calls;
+        for (int64_t i = begin; i < end; ++i) total += 1;
+      });
+      EXPECT_EQ(inner_calls, 1);
+    }
+  });
+  EXPECT_FALSE(InParallelRegion());
+  EXPECT_EQ(total.load(), 800);
+}
+
+TEST(ParallelReduceTest, MatchesSerialSum) {
+  ScopedThreads threads(4);
+  std::vector<double> values(10007);
+  for (size_t i = 0; i < values.size(); ++i) {
+    values[i] = 0.001 * static_cast<double>(i) - 3.0;
+  }
+  double expected = 0.0;
+  for (size_t i = 0; i < values.size(); i += 64) {
+    double partial = 0.0;
+    for (size_t j = i; j < std::min(i + 64, values.size()); ++j) {
+      partial += values[j];
+    }
+    expected += partial;
+  }
+  double got = ParallelReduce(
+      0, static_cast<int64_t>(values.size()), 64,
+      [&](int64_t begin, int64_t end) {
+        double partial = 0.0;
+        for (int64_t i = begin; i < end; ++i) partial += values[i];
+        return partial;
+      });
+  EXPECT_EQ(got, expected);
+}
+
+TEST(ParallelReduceTest, BitwiseIdenticalAcrossThreadCounts) {
+  std::vector<double> values(4099);
+  for (size_t i = 0; i < values.size(); ++i) {
+    values[i] = 1.0 / (1.0 + static_cast<double>(i));
+  }
+  auto reduce = [&] {
+    return ParallelReduce(0, static_cast<int64_t>(values.size()), 128,
+                          [&](int64_t begin, int64_t end) {
+                            double partial = 0.0;
+                            for (int64_t i = begin; i < end; ++i) {
+                              partial += values[i];
+                            }
+                            return partial;
+                          });
+  };
+  SetNumThreads(1);
+  double serial = reduce();
+  for (int threads : {2, 3, 7}) {
+    SetNumThreads(threads);
+    EXPECT_EQ(reduce(), serial) << "threads=" << threads;
+  }
+  SetNumThreads(0);
+}
+
+TEST(ParallelConfigTest, SetNumThreadsOverridesAndResets) {
+  SetNumThreads(3);
+  EXPECT_EQ(NumThreads(), 3);
+  SetNumThreads(1);
+  EXPECT_EQ(NumThreads(), 1);
+  SetNumThreads(0);  // back to AUTOAC_NUM_THREADS / hardware default
+  EXPECT_GE(NumThreads(), 1);
+  EXPECT_GE(HardwareConcurrency(), 1);
+}
+
+TEST(ParallelConfigTest, GrainForRowsTargetsConstantWork) {
+  EXPECT_GE(GrainForRows(1), 1);
+  EXPECT_EQ(GrainForRows(16384), 1);
+  EXPECT_EQ(GrainForRows(1 << 30), 1);  // never below one row
+  EXPECT_GT(GrainForRows(16), GrainForRows(1024));
+}
+
+}  // namespace
+}  // namespace autoac
