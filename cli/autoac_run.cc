@@ -17,6 +17,7 @@
 #include "util/flags.h"
 #include "util/logging.h"
 #include "util/parallel.h"
+#include "util/telemetry.h"
 
 namespace autoac {
 namespace {
@@ -50,6 +51,8 @@ int Run(int argc, char** argv) {
   // 0 keeps the AUTOAC_NUM_THREADS / hardware default; results are bitwise
   // identical at every thread count.
   SetNumThreads(static_cast<int>(flags.GetInt("num_threads", 0)));
+  // JSONL metrics sink + kernel profiler (also honors AUTOAC_METRICS_OUT).
+  InitTelemetryFromFlag(flags.GetString("metrics_out", ""));
   if (flags.GetBool("help", false)) {
     std::printf(
         "usage: autoac_run [--task=node|link] [--dataset=dblp|acm|imdb|"
@@ -59,7 +62,10 @@ int Run(int argc, char** argv) {
         "  [--model=SimpleHGN] [--scale=0.25] [--seeds=3] [--epochs=N]\n"
         "  [--search_epochs=N] [--clusters=M] [--lambda=F] [--lr=F]\n"
         "  [--lr_alpha=F] [--mask_rate=0.1] [--no_discrete]\n"
-        "  [--save_dataset=PATH] [--load_dataset=PATH] [--num_threads=N]\n");
+        "  [--save_dataset=PATH] [--load_dataset=PATH] [--num_threads=N]\n"
+        "  [--metrics_out=PATH]   JSONL telemetry sink (also: env\n"
+        "                         AUTOAC_METRICS_OUT); enables the kernel\n"
+        "                         profiler and an end-of-run summary table\n");
     return 0;
   }
 
@@ -160,4 +166,10 @@ int Run(int argc, char** argv) {
 }  // namespace
 }  // namespace autoac
 
-int main(int argc, char** argv) { return autoac::Run(argc, argv); }
+int main(int argc, char** argv) {
+  int rc = autoac::Run(argc, argv);
+  // Emits the per-kernel profile records + registry snapshot to the JSONL
+  // sink and prints the profile summary table (no-op when telemetry is off).
+  autoac::ShutdownTelemetry();
+  return rc;
+}

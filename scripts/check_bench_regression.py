@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Gate a micro_kernels telemetry run against the committed baseline.
+
+Usage:
+    check_bench_regression.py BENCH_kernels.json run1.jsonl [run2.jsonl ...]
+        [--max-ratio 2.0]
+
+The baseline is the checked-in BENCH_kernels.json (sweep of wall_time_ns per
+benchmark per thread count). Each run file is the JSONL emitted by
+`micro_kernels --metrics_out=...` ("bench" records named e.g.
+"BM_MatMul/1024/2" where the last argument is the thread count, plus one
+"bench_context" record).
+
+The gate fails (exit 1) when any benchmark present in both the baseline and
+a run is slower than max-ratio x its baseline wall time. It is skipped
+(exit 0 with a notice) when the run hardware does not match the baseline's
+hardware_note fingerprint (num_cpus): wall-time comparisons across different
+machines are meaningless, per the note in BENCH_kernels.json itself.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_run(path):
+    """Returns (context dict or None, {bench_name: wall_time_ns})."""
+    context = None
+    benches = {}
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            if record.get("type") == "bench_context":
+                context = record
+            elif record.get("type") == "bench":
+                benches[record["name"]] = record["wall_time_ns"]
+    return context, benches
+
+
+def baseline_lookup(baseline):
+    """Flattens the sweep to {"BM_MatMul/1024/2": wall_time_ns, ...}."""
+    flat = {}
+    for name, data in baseline.get("sweep", {}).items():
+        for threads, wall_ns in data.get("wall_time_ns", {}).items():
+            flat[f"{name}/{threads}"] = wall_ns
+    return flat
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("runs", nargs="+")
+    parser.add_argument("--max-ratio", type=float, default=2.0,
+                        help="fail when run wall time exceeds this multiple "
+                             "of the baseline (default: 2.0)")
+    args = parser.parse_args()
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    flat_baseline = baseline_lookup(baseline)
+    baseline_cpus = baseline.get("context", {}).get("num_cpus")
+
+    failures = []
+    compared = 0
+    for run_path in args.runs:
+        context, benches = load_run(run_path)
+        run_cpus = context.get("num_cpus") if context else None
+        if baseline_cpus is not None and run_cpus != baseline_cpus:
+            print(f"SKIP {run_path}: hardware mismatch with baseline "
+                  f"(baseline num_cpus={baseline_cpus}, run "
+                  f"num_cpus={run_cpus}); see hardware_note in "
+                  f"{args.baseline} — wall-time gate not applicable.")
+            continue
+        for name, wall_ns in sorted(benches.items()):
+            base_ns = flat_baseline.get(name)
+            if base_ns is None:
+                continue
+            compared += 1
+            ratio = wall_ns / base_ns
+            status = "FAIL" if ratio > args.max_ratio else "ok"
+            print(f"{status:4} {name}: {wall_ns:12.1f} ns vs baseline "
+                  f"{base_ns:12.1f} ns ({ratio:.2f}x)")
+            if ratio > args.max_ratio:
+                failures.append((run_path, name, ratio))
+
+    if failures:
+        print(f"\n{len(failures)} benchmark(s) regressed beyond "
+              f"{args.max_ratio}x:")
+        for run_path, name, ratio in failures:
+            print(f"  {name} ({ratio:.2f}x) in {run_path}")
+        return 1
+    if compared:
+        print(f"\nbench gate passed: {compared} comparison(s) within "
+              f"{args.max_ratio}x of baseline.")
+    else:
+        print("\nbench gate skipped: no comparable benchmarks "
+              "(hardware mismatch or disjoint benchmark sets).")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

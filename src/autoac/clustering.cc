@@ -3,6 +3,8 @@
 #include <cmath>
 #include <limits>
 
+#include "util/telemetry.h"
+
 namespace autoac {
 
 ClusterHead::ClusterHead(HeteroGraphPtr graph, int64_t input_dim,
@@ -45,7 +47,18 @@ VarPtr ClusterHead::ModularityLoss(const VarPtr& assignments) const {
       Sqrt(SumSquares(column_sums)),
       std::sqrt(static_cast<float>(num_clusters_)) / static_cast<float>(n));
 
-  return Add(Scale(modularity, -1.0f), collapse);
+  VarPtr loss = Add(Scale(modularity, -1.0f), collapse);
+  if (Telemetry::Enabled()) {
+    // The relaxed modularity Tr(C^T B C) / 2|E| itself, not the loss — the
+    // quantity Fig. 4 plots. Sampled per call; the sink's "gauge" snapshot
+    // keeps the final value.
+    Telemetry& sink = Telemetry::Get();
+    sink.GetGauge("clustering.modularity")
+        .Set(modularity->value.data()[0]);
+    sink.GetGauge("clustering.gmoc_loss").Set(loss->value.data()[0]);
+    sink.GetCounter("clustering.modularity_loss_calls").Increment();
+  }
+  return loss;
 }
 
 std::vector<int64_t> ClusterHead::HardClusters(
@@ -60,6 +73,15 @@ std::vector<int64_t> ClusterHead::HardClusters(
     }
     clusters.push_back(best);
   }
+  if (Telemetry::Enabled() && num_clusters_ > 0 && !clusters.empty()) {
+    std::vector<int64_t> sizes(num_clusters_, 0);
+    for (int64_t c : clusters) ++sizes[c];
+    int64_t active = 0;
+    for (int64_t s : sizes) active += s > 0 ? 1 : 0;
+    Telemetry::Get()
+        .GetGauge("clustering.active_clusters")
+        .Set(static_cast<double>(active));
+  }
   return clusters;
 }
 
@@ -70,6 +92,9 @@ std::vector<int64_t> KMeansCluster(const Tensor& features, int64_t k,
   int64_t d = features.cols();
   AUTOAC_CHECK_GT(k, 0);
   if (n == 0) return {};
+  if (Telemetry::Enabled()) {
+    Telemetry::Get().GetCounter("clustering.kmeans_calls").Increment();
+  }
 
   // Initialize centers from random distinct points.
   std::vector<int64_t> seeds =

@@ -1,6 +1,7 @@
 #include "autoac/completion_params.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/check.h"
 
@@ -48,6 +49,48 @@ Tensor InitCompletionParams(int64_t num_rows, Rng& rng) {
     }
   }
   return alpha;
+}
+
+double MeanRowEntropy(const Tensor& alpha) {
+  AUTOAC_CHECK_EQ(alpha.dim(), 2);
+  if (alpha.rows() == 0) return 0.0;
+  double total = 0.0;
+  for (int64_t i = 0; i < alpha.rows(); ++i) {
+    double max_value = alpha.at(i, 0);
+    for (int64_t j = 1; j < alpha.cols(); ++j) {
+      max_value = std::max(max_value, static_cast<double>(alpha.at(i, j)));
+    }
+    double sum = 0.0;
+    for (int64_t j = 0; j < alpha.cols(); ++j) {
+      sum += std::exp(alpha.at(i, j) - max_value);
+    }
+    // H(p) with p = softmax(row): log(sum) - (1/sum) * sum_j e_j * z_j,
+    // z_j = a_j - max.
+    double weighted = 0.0;
+    for (int64_t j = 0; j < alpha.cols(); ++j) {
+      double z = alpha.at(i, j) - max_value;
+      weighted += std::exp(z) * z;
+    }
+    total += std::log(sum) - weighted / sum;
+  }
+  return total / alpha.rows();
+}
+
+std::vector<int64_t> OpHistogram(const std::vector<CompletionOpType>& ops) {
+  std::vector<int64_t> counts(kNumCompletionOps, 0);
+  for (CompletionOpType op : ops) ++counts[static_cast<int>(op)];
+  return counts;
+}
+
+int64_t CountArgmaxFlips(const Tensor& before, const Tensor& after) {
+  AUTOAC_CHECK(before.SameShape(after));
+  std::vector<CompletionOpType> ops_before = ArgmaxOps(before);
+  std::vector<CompletionOpType> ops_after = ArgmaxOps(after);
+  int64_t flips = 0;
+  for (size_t i = 0; i < ops_before.size(); ++i) {
+    if (ops_before[i] != ops_after[i]) ++flips;
+  }
+  return flips;
 }
 
 }  // namespace autoac

@@ -25,6 +25,21 @@ std::vector<CompletionOpType> ArgmaxOps(const Tensor& alpha);
 /// the initial argmax is unbiased across operations. Shape [num_rows, |O|].
 Tensor InitCompletionParams(int64_t num_rows, Rng& rng);
 
+/// Mean Shannon entropy (nats) of the softmax-normalized rows of `alpha`:
+/// ~ln|O| while the search is undecided, -> 0 as rows harden toward a
+/// single operation. The telemetry layer logs it per search epoch.
+double MeanRowEntropy(const Tensor& alpha);
+
+/// Per-operation occurrence counts of a discrete assignment, index-aligned
+/// with CompletionOpType. The telemetry layer logs it as the op-selection
+/// histogram.
+std::vector<int64_t> OpHistogram(const std::vector<CompletionOpType>& ops);
+
+/// Number of rows whose argmax operation differs between two alpha
+/// snapshots of identical shape — the "flip count" of one proximal /
+/// gradient step on the completion parameters.
+int64_t CountArgmaxFlips(const Tensor& before, const Tensor& after);
+
 }  // namespace autoac
 
 #endif  // AUTOAC_AUTOAC_COMPLETION_PARAMS_H_

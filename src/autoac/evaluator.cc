@@ -4,6 +4,7 @@
 #include "autoac/search.h"
 #include "autoac/trainer.h"
 #include "completion/completion_module.h"
+#include "util/telemetry.h"
 
 namespace autoac {
 namespace {
@@ -69,6 +70,21 @@ AggregateResult EvaluateMethod(const TaskData& data, const ModelContext& ctx,
       aggregate.out_of_memory = true;
       return aggregate;
     }
+    if (Telemetry::Enabled()) {
+      Telemetry::Get().Emit(
+          MetricRecord("run_result")
+              .Add("method", spec.display_name)
+              .Add("seed", static_cast<int64_t>(config.seed))
+              .Add("macro_f1", run.test.macro_f1)
+              .Add("micro_f1", run.test.micro_f1)
+              .Add("roc_auc", run.test.roc_auc)
+              .Add("mrr", run.test.mrr)
+              .Add("val_primary", run.val_primary)
+              .Add("epochs_run", run.epochs_run)
+              .Add("prelearn_seconds", run.times.prelearn_seconds)
+              .Add("search_seconds", run.times.search_seconds)
+              .Add("train_seconds", run.times.train_seconds));
+    }
     aggregate.macro_samples.push_back(run.test.macro_f1 * 100.0);
     aggregate.micro_samples.push_back(run.test.micro_f1 * 100.0);
     aggregate.auc_samples.push_back(run.test.roc_auc * 100.0);
@@ -90,6 +106,18 @@ AggregateResult EvaluateMethod(const TaskData& data, const ModelContext& ctx,
   aggregate.mean_times.prelearn_seconds /= num_seeds;
   aggregate.mean_times.search_seconds /= num_seeds;
   aggregate.mean_times.train_seconds /= num_seeds;
+  if (Telemetry::Enabled()) {
+    Telemetry::Get().Emit(
+        MetricRecord("aggregate_result")
+            .Add("method", spec.display_name)
+            .Add("seeds", num_seeds)
+            .Add("macro_f1_mean", aggregate.macro_f1.mean)
+            .Add("micro_f1_mean", aggregate.micro_f1.mean)
+            .Add("roc_auc_mean", aggregate.roc_auc.mean)
+            .Add("mrr_mean", aggregate.mrr.mean)
+            .Add("mean_run_seconds", aggregate.total_seconds)
+            .Add("mean_epoch_seconds", aggregate.epoch_seconds));
+  }
   return aggregate;
 }
 

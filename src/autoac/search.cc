@@ -3,12 +3,15 @@
 #include <algorithm>
 #include <cmath>
 
+#include <limits>
+
 #include "autoac/clustering.h"
 #include "autoac/completion_params.h"
 #include "autoac/trainer.h"
 #include "models/factory.h"
 #include "tensor/optimizer.h"
 #include "util/logging.h"
+#include "util/telemetry.h"
 #include "util/timer.h"
 
 namespace autoac {
@@ -172,6 +175,14 @@ SearchResult SearchCompletionOps(const TaskData& data,
                        ? config.alpha_warmup_epochs
                        : config.search_epochs / 4;
   for (int64_t epoch = 0; epoch < config.search_epochs; ++epoch) {
+    // Telemetry: alpha snapshot for the per-epoch flip count, and the
+    // epoch's loss values as they become available. All of it is skipped
+    // when no sink is open.
+    bool telemetry = Telemetry::Enabled();
+    Tensor alpha_before = telemetry ? alpha->value : Tensor();
+    double epoch_val_loss = std::numeric_limits<double>::quiet_NaN();
+    double epoch_gmoc = std::numeric_limits<double>::quiet_NaN();
+
     // ----- upper level: update alpha on the validation loss -----
     ZeroGrads(w_params);
     alpha->ZeroGrad();
@@ -229,6 +240,7 @@ SearchResult SearchCompletionOps(const TaskData& data,
         finish();
         return result;
       }
+      epoch_val_loss = loss_val->value.data()[0];
       track_assignment(h);
       Backward(loss_val);
       alpha->EnsureGrad();
@@ -267,6 +279,7 @@ SearchResult SearchCompletionOps(const TaskData& data,
       h0 = completion.CompleteWeighted(mix, cluster_of, false);
       h = model->Forward(ctx, h0, /*training=*/false, rng);
       VarPtr loss_val = head.ValLoss(h);
+      epoch_val_loss = loss_val->value.data()[0];
       track_assignment(h);
       Backward(loss_val);
       Tensor alpha_grad = alpha->grad.numel() > 0
@@ -326,6 +339,7 @@ SearchResult SearchCompletionOps(const TaskData& data,
       assignments = cluster_head.Assignments(h_train);
       VarPtr gmoc = cluster_head.ModularityLoss(assignments);
       result.gmoc_trace.push_back(gmoc->value.data()[0]);
+      epoch_gmoc = gmoc->value.data()[0];
       loss = Add(loss, Scale(gmoc, config.lambda));
     }
     Backward(loss);
@@ -356,6 +370,31 @@ SearchResult SearchCompletionOps(const TaskData& data,
         break;
       }
     }
+
+    if (telemetry) {
+      Telemetry& sink = Telemetry::Get();
+      int64_t flips = CountArgmaxFlips(alpha_before, alpha->value);
+      sink.GetCounter("search.alpha_flips").Increment(flips);
+      sink.GetCounter("search.epochs").Increment();
+      std::vector<int64_t> histogram = OpHistogram(current_assignment());
+      MetricRecord record("search_epoch");
+      record.Add("epoch", epoch)
+          .Add("phase", epoch < warmup ? "warmup"
+               : config.discrete_constraints ? "discrete"
+                                             : "darts")
+          .Add("train_loss", static_cast<double>(loss->value.data()[0]))
+          .Add("val_loss", epoch_val_loss)
+          .Add("alpha_entropy", MeanRowEntropy(alpha->value))
+          .Add("alpha_flips", flips)
+          .Add("gmoc_loss", epoch_gmoc)
+          .Add("best_track_val", best_track_val);
+      for (int o = 0; o < kNumCompletionOps; ++o) {
+        record.Add(std::string("op_") +
+                       CompletionOpName(static_cast<CompletionOpType>(o)),
+                   histogram[o]);
+      }
+      sink.Emit(record);
+    }
   }
   // Final derivation: score the candidate assignments under the trained
   // supernet and keep the winner. Candidates: the converged argmax
@@ -385,6 +424,20 @@ SearchResult SearchCompletionOps(const TaskData& data,
       duplicate = duplicate || ops == kept;
     }
     if (!duplicate) result.runner_up_ops.push_back(ops);
+  }
+  if (Telemetry::Enabled()) {
+    std::vector<int64_t> histogram = OpHistogram(result.op_per_missing);
+    MetricRecord record("search_result");
+    record.Add("candidates", static_cast<int64_t>(candidates.size()))
+        .Add("best_val", ranked[0].first)
+        .Add("alpha_entropy", MeanRowEntropy(result.final_alpha))
+        .Add("search_seconds", result.search_seconds);
+    for (int o = 0; o < kNumCompletionOps; ++o) {
+      record.Add(std::string("op_") +
+                     CompletionOpName(static_cast<CompletionOpType>(o)),
+                 histogram[o]);
+    }
+    Telemetry::Get().Emit(record);
   }
   return result;
 }

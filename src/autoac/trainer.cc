@@ -2,6 +2,7 @@
 
 #include "models/factory.h"
 #include "tensor/optimizer.h"
+#include "util/telemetry.h"
 #include "util/timer.h"
 
 namespace autoac {
@@ -80,6 +81,13 @@ RunResult TrainFixedCompletion(const TaskData& data, const ModelContext& ctx,
 
     if ((epoch + 1) % config.eval_every != 0 &&
         epoch + 1 != config.train_epochs) {
+      if (Telemetry::Enabled()) {
+        Telemetry::Get().Emit(MetricRecord("train_epoch")
+                                  .Add("epoch", epoch)
+                                  .Add("train_loss",
+                                       static_cast<double>(
+                                           loss->value.data()[0])));
+      }
       continue;
     }
     // Evaluation forward (no dropout).
@@ -87,6 +95,13 @@ RunResult TrainFixedCompletion(const TaskData& data, const ModelContext& ctx,
     VarPtr h_eval = model->Forward(ctx, h0_eval, /*training=*/false, rng);
     TaskScores val = head.EvaluateVal(h_eval);
     val_history.push_back(val.primary);
+    if (Telemetry::Enabled()) {
+      Telemetry::Get().Emit(
+          MetricRecord("train_epoch")
+              .Add("epoch", epoch)
+              .Add("train_loss", static_cast<double>(loss->value.data()[0]))
+              .Add("val_primary", val.primary));
+    }
     if (val.primary > best_val) {
       best_val = val.primary;
       since_best = 0;
@@ -109,6 +124,15 @@ RunResult TrainFixedCompletion(const TaskData& data, const ModelContext& ctx,
       result.epochs_run > 0 ? result.times.train_seconds / result.epochs_run
                             : 0.0;
   result.searched_ops = op_of;
+  if (Telemetry::Enabled()) {
+    Telemetry& sink = Telemetry::Get();
+    sink.GetCounter("train.epochs").Increment(result.epochs_run);
+    sink.Emit(MetricRecord("train_run")
+                  .Add("epochs_run", result.epochs_run)
+                  .Add("best_val", best_val)
+                  .Add("val_smoothed", result.val_smoothed)
+                  .Add("train_seconds", result.times.train_seconds));
+  }
   return result;
 }
 

@@ -5,6 +5,7 @@
 
 #include "tensor/op_helpers.h"
 #include "util/parallel.h"
+#include "util/profiler.h"
 
 namespace autoac {
 
@@ -61,9 +62,13 @@ VarPtr SpMM(const SpMatPtr& a, const VarPtr& x) {
   int64_t m = csr.num_rows;
   int64_t d = x->value.cols();
   Tensor out(m, d);
-  SpMMKernel(csr, x->value.data(), out.data(), d);
+  {
+    AUTOAC_PROFILE_SCOPE("spmm.forward");
+    SpMMKernel(csr, x->value.data(), out.data(), d);
+  }
   return MakeOp("SpMM", std::move(out), {x}, [a, d](Variable& self) {
     if (!NeedsGrad(self.parents[0])) return;
+    AUTOAC_PROFILE_SCOPE("spmm.backward");
     // dX = A^T dY, computed with the cached transpose. Unlike the forward,
     // this must accumulate (gx may already hold gradient from other ops),
     // so there is no first-nonzero assign shortcut here.
@@ -107,6 +112,7 @@ VarPtr EdgeSoftmaxAggregate(const SpMatPtr& a, const VarPtr& logits,
   // array, so the forward is row-partitioned with no shared writes.
   std::vector<float> attention(csr.nnz());
   {
+    AUTOAC_PROFILE_SCOPE("edge_softmax.forward");
     const float* pl = logits->value.data();
     const float* ph = h->value.data();
     float* po = out.data();
@@ -142,6 +148,7 @@ VarPtr EdgeSoftmaxAggregate(const SpMatPtr& a, const VarPtr& logits,
   return MakeOp(
       "EdgeSoftmaxAggregate", std::move(out), {logits, h},
       [a, d, attention = std::move(attention)](Variable& self) {
+        AUTOAC_PROFILE_SCOPE("edge_softmax.backward");
         const VarPtr& logits = self.parents[0];
         const VarPtr& h = self.parents[1];
         const Csr& csr = a->forward();
@@ -215,6 +222,7 @@ VarPtr GatherEdgeSrc(const SpMatPtr& a, const VarPtr& x) {
   AUTOAC_CHECK_EQ(x->value.numel(), csr.num_cols);
   Tensor out({csr.nnz()});
   {
+    AUTOAC_PROFILE_SCOPE("gather_edge_src.forward");
     const float* px = x->value.data();
     float* po = out.data();
     const int64_t* indices = csr.indices.data();
@@ -224,6 +232,7 @@ VarPtr GatherEdgeSrc(const SpMatPtr& a, const VarPtr& x) {
   }
   return MakeOp("GatherEdgeSrc", std::move(out), {x}, [a](Variable& self) {
     if (!NeedsGrad(self.parents[0])) return;
+    AUTOAC_PROFILE_SCOPE("gather_edge_src.backward");
     // Partitioned over the rows of A^T so each chunk owns a disjoint span of
     // gx; per-source accumulation order (ascending forward slot) matches the
     // serial edge sweep.
@@ -249,6 +258,7 @@ VarPtr GatherEdgeDst(const SpMatPtr& a, const VarPtr& x) {
   AUTOAC_CHECK_EQ(x->value.numel(), csr.num_rows);
   Tensor out({csr.nnz()});
   {
+    AUTOAC_PROFILE_SCOPE("gather_edge_dst.forward");
     const float* px = x->value.data();
     float* po = out.data();
     const int64_t* indptr = csr.indptr.data();
@@ -263,6 +273,7 @@ VarPtr GatherEdgeDst(const SpMatPtr& a, const VarPtr& x) {
   }
   return MakeOp("GatherEdgeDst", std::move(out), {x}, [a](Variable& self) {
     if (!NeedsGrad(self.parents[0])) return;
+    AUTOAC_PROFILE_SCOPE("gather_edge_dst.backward");
     const Csr& csr = a->forward();
     float* gx = self.parents[0]->EnsureGrad().data();
     const float* g = self.grad.data();
@@ -297,6 +308,7 @@ VarPtr Gather1d(const VarPtr& x, std::vector<int64_t> ids) {
   return MakeOp("Gather1d", std::move(out), {x},
                 [ids = std::move(ids)](Variable& self) {
                   if (!NeedsGrad(self.parents[0])) return;
+                  AUTOAC_PROFILE_SCOPE("gather1d.scatter_backward");
                   // Serial: `ids` may repeat, so the scatter-add is not
                   // partitionable without atomics.
                   float* gx = self.parents[0]->EnsureGrad().data();
@@ -333,6 +345,7 @@ VarPtr PairDot(const VarPtr& h, std::vector<int64_t> us,
   return MakeOp("PairDot", std::move(out), {h},
                 [us = std::move(us), vs = std::move(vs), d](Variable& self) {
                   if (!NeedsGrad(self.parents[0])) return;
+                  AUTOAC_PROFILE_SCOPE("pair_dot.scatter_backward");
                   // Serial: a node can appear in many pairs, so the
                   // scatter-add into gh is not partitionable without atomics.
                   const float* ph = self.parents[0]->value.data();

@@ -4,6 +4,7 @@
 #include "tensor/op_helpers.h"
 #include "tensor/ops.h"
 #include "util/parallel.h"
+#include "util/profiler.h"
 
 namespace autoac {
 
@@ -83,8 +84,12 @@ VarPtr MatMul(const VarPtr& a, const VarPtr& b) {
       << "MatMul shape mismatch " << a->value.ShapeString() << " x "
       << b->value.ShapeString();
   Tensor out(m, n);
-  internal::GemmNN(a->value.data(), b->value.data(), out.data(), m, k, n);
+  {
+    AUTOAC_PROFILE_SCOPE("gemm.forward");
+    internal::GemmNN(a->value.data(), b->value.data(), out.data(), m, k, n);
+  }
   return MakeOp("MatMul", std::move(out), {a, b}, [m, k, n](Variable& self) {
+    AUTOAC_PROFILE_SCOPE("gemm.backward");
     const VarPtr& a = self.parents[0];
     const VarPtr& b = self.parents[1];
     if (NeedsGrad(a)) {

@@ -1,0 +1,87 @@
+#include "util/profiler.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "util/table.h"
+#include "util/telemetry.h"
+
+namespace autoac {
+
+std::atomic<bool> Profiler::enabled_{false};
+
+Profiler& Profiler::Get() {
+  static Profiler* instance = new Profiler();
+  return *instance;
+}
+
+ProfileEntry* Profiler::Register(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    it = entries_
+             .emplace(std::string(name),
+                      std::make_unique<ProfileEntry>(std::string(name)))
+             .first;
+  }
+  return it->second.get();
+}
+
+std::vector<const ProfileEntry*> Profiler::ActiveEntries() const {
+  std::vector<const ProfileEntry*> active;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [name, entry] : entries_) {
+      if (entry->calls.load(std::memory_order_relaxed) > 0) {
+        active.push_back(entry.get());
+      }
+    }
+  }
+  std::sort(active.begin(), active.end(),
+            [](const ProfileEntry* a, const ProfileEntry* b) {
+              return a->total_ns.load(std::memory_order_relaxed) >
+                     b->total_ns.load(std::memory_order_relaxed);
+            });
+  return active;
+}
+
+std::string Profiler::SummaryTable() const {
+  std::vector<const ProfileEntry*> active = ActiveEntries();
+  if (active.empty()) return "";
+  TablePrinter table({"scope", "calls", "total ms", "mean us"});
+  for (const ProfileEntry* entry : active) {
+    int64_t calls = entry->calls.load(std::memory_order_relaxed);
+    int64_t total_ns = entry->total_ns.load(std::memory_order_relaxed);
+    char total_ms[32];
+    std::snprintf(total_ms, sizeof(total_ms), "%.2f", total_ns / 1e6);
+    char mean_us[32];
+    std::snprintf(mean_us, sizeof(mean_us), "%.2f",
+                  total_ns / 1e3 / static_cast<double>(calls));
+    table.AddRow({entry->name, std::to_string(calls), total_ms, mean_us});
+  }
+  return table.ToString();
+}
+
+void Profiler::EmitJsonl(Telemetry& telemetry) const {
+  for (const ProfileEntry* entry : ActiveEntries()) {
+    int64_t calls = entry->calls.load(std::memory_order_relaxed);
+    int64_t total_ns = entry->total_ns.load(std::memory_order_relaxed);
+    telemetry.Emit(MetricRecord("profile")
+                       .Add("scope", entry->name)
+                       .Add("calls", calls)
+                       .Add("total_ms", total_ns / 1e6)
+                       .Add("mean_us",
+                            total_ns / 1e3 / static_cast<double>(calls)));
+  }
+}
+
+void Profiler::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, entry] : entries_) {
+    entry->total_ns.store(0, std::memory_order_relaxed);
+    entry->calls.store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace autoac

@@ -1,0 +1,128 @@
+#ifndef AUTOAC_UTIL_PROFILER_H_
+#define AUTOAC_UTIL_PROFILER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+// Named wall-time scope profiler for the hot kernels (GEMM, SpMM,
+// edge-softmax, gathers). Each instrumented site registers a ProfileEntry
+// once (a function-local static) and then opens a RAII ProfileScope per
+// call:
+//
+//   VarPtr SpMM(...) {
+//     AUTOAC_PROFILE_SCOPE("spmm.forward");
+//     ...
+//   }
+//
+// When the profiler is off (the default) a scope is a single relaxed
+// atomic load — the instrumented kernels measure within noise of the
+// uninstrumented build (see DESIGN.md §8 for numbers). When on, entry
+// totals accumulate with relaxed atomic adds, so scopes are safe from any
+// thread, including ParallelFor workers running nested (serialized) ops.
+//
+// Timing accumulation is intentionally not deterministic — it meters the
+// machine, not the math; numeric results stay bitwise identical because
+// the profiler never touches data values.
+
+namespace autoac {
+
+class Telemetry;
+
+/// Accumulated wall time + call count of one named scope. Stable address
+/// for the process lifetime once registered.
+struct ProfileEntry {
+  explicit ProfileEntry(std::string scope_name)
+      : name(std::move(scope_name)) {}
+  std::string name;
+  std::atomic<int64_t> total_ns{0};
+  std::atomic<int64_t> calls{0};
+};
+
+class Profiler {
+ public:
+  static Profiler& Get();
+
+  /// Relaxed load; the fast path of every ProfileScope.
+  static bool EnabledFast() {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  bool enabled() const { return EnabledFast(); }
+
+  void Enable() { enabled_.store(true, std::memory_order_relaxed); }
+  void Disable() { enabled_.store(false, std::memory_order_relaxed); }
+
+  /// Registers (or finds) the entry for `name`. The returned pointer never
+  /// dangles; call sites cache it in a function-local static.
+  ProfileEntry* Register(std::string_view name);
+
+  /// Entries with at least one recorded call, sorted by descending total
+  /// time.
+  std::vector<const ProfileEntry*> ActiveEntries() const;
+
+  /// Plain-text summary (util/table.h) of the active entries: scope,
+  /// calls, total ms, mean µs. Empty string when nothing was recorded.
+  std::string SummaryTable() const;
+
+  /// One {"type":"profile",...} record per active entry.
+  void EmitJsonl(Telemetry& telemetry) const;
+
+  /// Zeroes all totals/call counts (entries stay registered).
+  void Reset();
+
+ private:
+  Profiler() = default;
+
+  static std::atomic<bool> enabled_;
+
+  mutable std::mutex mutex_;  // guards the registry map only
+  std::map<std::string, std::unique_ptr<ProfileEntry>, std::less<>>
+      entries_;
+};
+
+/// RAII timer: adds the scope's elapsed wall time to `entry` when the
+/// profiler is enabled at construction; does nothing otherwise.
+class ProfileScope {
+ public:
+  explicit ProfileScope(ProfileEntry* entry)
+      : entry_(Profiler::EnabledFast() ? entry : nullptr) {
+    if (entry_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+  ~ProfileScope() {
+    if (entry_ == nullptr) return;
+    int64_t ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                     std::chrono::steady_clock::now() - start_)
+                     .count();
+    entry_->total_ns.fetch_add(ns, std::memory_order_relaxed);
+    entry_->calls.fetch_add(1, std::memory_order_relaxed);
+  }
+  ProfileScope(const ProfileScope&) = delete;
+  ProfileScope& operator=(const ProfileScope&) = delete;
+
+ private:
+  ProfileEntry* entry_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+#define AUTOAC_PROFILE_CONCAT_INNER(a, b) a##b
+#define AUTOAC_PROFILE_CONCAT(a, b) AUTOAC_PROFILE_CONCAT_INNER(a, b)
+
+/// Times the rest of the enclosing block under `name`. Registration
+/// happens once per call site (thread-safe function-local static).
+#define AUTOAC_PROFILE_SCOPE(name)                                      \
+  static ::autoac::ProfileEntry* AUTOAC_PROFILE_CONCAT(                 \
+      autoac_profile_entry_, __LINE__) =                                \
+      ::autoac::Profiler::Get().Register(name);                         \
+  ::autoac::ProfileScope AUTOAC_PROFILE_CONCAT(autoac_profile_scope_,   \
+                                               __LINE__)(               \
+      AUTOAC_PROFILE_CONCAT(autoac_profile_entry_, __LINE__))
+
+}  // namespace autoac
+
+#endif  // AUTOAC_UTIL_PROFILER_H_

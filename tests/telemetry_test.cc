@@ -1,0 +1,281 @@
+#include "util/telemetry.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "util/parallel.h"
+#include "util/profiler.h"
+
+namespace autoac {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+std::vector<std::string> ReadLines(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+// Minimal parser for the flat JSON objects the sink writes (string /
+// number / bool / null values, no nesting) — the serialization-style
+// round-trip half of the tests. Returns key -> raw token; string values
+// are unescaped.
+std::map<std::string, std::string> ParseFlatJson(const std::string& line) {
+  std::map<std::string, std::string> out;
+  EXPECT_GE(line.size(), 2u);
+  EXPECT_EQ(line.front(), '{');
+  EXPECT_EQ(line.back(), '}');
+  size_t i = 1;
+  auto parse_string = [&]() {
+    EXPECT_EQ(line[i], '"');
+    ++i;
+    std::string s;
+    while (i < line.size() && line[i] != '"') {
+      if (line[i] == '\\') {
+        ++i;
+        switch (line[i]) {
+          case 'n': s += '\n'; break;
+          case 'r': s += '\r'; break;
+          case 't': s += '\t'; break;
+          case 'u': {
+            int code = std::stoi(line.substr(i + 1, 4), nullptr, 16);
+            s += static_cast<char>(code);
+            i += 4;
+            break;
+          }
+          default: s += line[i];
+        }
+      } else {
+        s += line[i];
+      }
+      ++i;
+    }
+    EXPECT_EQ(line[i], '"');
+    ++i;
+    return s;
+  };
+  while (i < line.size() - 1) {
+    if (line[i] == ',') ++i;
+    std::string key = parse_string();
+    EXPECT_EQ(line[i], ':');
+    ++i;
+    std::string value;
+    if (line[i] == '"') {
+      value = parse_string();
+    } else {
+      while (i < line.size() - 1 && line[i] != ',') value += line[i++];
+    }
+    out[key] = value;
+  }
+  return out;
+}
+
+class TelemetryTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    Telemetry::Get().Disable();
+    Profiler::Get().Disable();
+    Profiler::Get().Reset();
+  }
+};
+
+TEST_F(TelemetryTest, CounterSemantics) {
+  Telemetry& t = Telemetry::Get();
+  Counter& c = t.GetCounter("test.counter_semantics");
+  EXPECT_EQ(c.value(), 0);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.value(), 42);
+  // Same name resolves to the same counter.
+  EXPECT_EQ(&t.GetCounter("test.counter_semantics"), &c);
+  EXPECT_EQ(c.name(), "test.counter_semantics");
+}
+
+TEST_F(TelemetryTest, GaugeSemantics) {
+  Telemetry& t = Telemetry::Get();
+  Gauge& g = t.GetGauge("test.gauge_semantics");
+  EXPECT_EQ(g.value(), 0.0);
+  g.Set(2.5);
+  g.Set(-1.25);  // last write wins
+  EXPECT_EQ(g.value(), -1.25);
+  EXPECT_EQ(&t.GetGauge("test.gauge_semantics"), &g);
+}
+
+TEST_F(TelemetryTest, JsonlRoundTrip) {
+  const std::string path = TempPath("telemetry_roundtrip.jsonl");
+  ASSERT_TRUE(Telemetry::Get().Enable(path));
+  Telemetry::Get().Emit(MetricRecord("epoch")
+                            .Add("loss", 0.5)
+                            .Add("step", int64_t{7})
+                            .Add("converged", false)
+                            .Add("note", "quote\" slash\\ tab\t nl\n"));
+  Telemetry::Get().Emit(
+      MetricRecord("edge").Add("nan_value", std::nan("")).Add("big", 1e300));
+  Telemetry::Get().Disable();
+
+  std::vector<std::string> lines = ReadLines(path);
+  ASSERT_EQ(lines.size(), 2u);
+
+  std::map<std::string, std::string> first = ParseFlatJson(lines[0]);
+  EXPECT_EQ(first["type"], "epoch");
+  EXPECT_DOUBLE_EQ(std::stod(first["loss"]), 0.5);
+  EXPECT_EQ(first["step"], "7");
+  EXPECT_EQ(first["converged"], "false");
+  EXPECT_EQ(first["note"], "quote\" slash\\ tab\t nl\n");
+  // Every record carries the relative timestamp.
+  EXPECT_GE(std::stod(first["t"]), 0.0);
+
+  std::map<std::string, std::string> second = ParseFlatJson(lines[1]);
+  // JSON has no NaN; non-finite doubles serialize as null.
+  EXPECT_EQ(second["nan_value"], "null");
+  EXPECT_DOUBLE_EQ(std::stod(second["big"]), 1e300);
+}
+
+TEST_F(TelemetryTest, DisabledSinkIsInert) {
+  ASSERT_FALSE(Telemetry::Enabled());
+  // Emit with no sink: must be a no-op, not a crash.
+  Telemetry::Get().Emit(MetricRecord("dropped").Add("x", 1.0));
+  Telemetry::Get().EmitRegistrySnapshot();
+
+  // A profiler scope while disabled records nothing.
+  ProfileEntry* entry =
+      Profiler::Get().Register("test.disabled_scope");
+  {
+    AUTOAC_PROFILE_SCOPE("test.disabled_scope");
+  }
+  EXPECT_EQ(entry->calls.load(), 0);
+  EXPECT_EQ(entry->total_ns.load(), 0);
+}
+
+TEST_F(TelemetryTest, ProfileScopeAccumulates) {
+  Profiler::Get().Enable();
+  ProfileEntry* entry = Profiler::Get().Register("test.timed_scope");
+  for (int i = 0; i < 3; ++i) {
+    AUTOAC_PROFILE_SCOPE("test.timed_scope");
+  }
+  EXPECT_EQ(entry->calls.load(), 3);
+  EXPECT_GE(entry->total_ns.load(), 0);
+  // Same name registers to the same entry.
+  EXPECT_EQ(Profiler::Get().Register("test.timed_scope"), entry);
+
+  std::string table = Profiler::Get().SummaryTable();
+  EXPECT_NE(table.find("test.timed_scope"), std::string::npos);
+
+  Profiler::Get().Reset();
+  EXPECT_EQ(entry->calls.load(), 0);
+}
+
+TEST_F(TelemetryTest, ProfilerEmitsJsonl) {
+  const std::string path = TempPath("telemetry_profile.jsonl");
+  ASSERT_TRUE(Telemetry::Get().Enable(path));
+  Profiler::Get().Enable();
+  {
+    AUTOAC_PROFILE_SCOPE("test.profile_jsonl");
+  }
+  Profiler::Get().EmitJsonl(Telemetry::Get());
+  Telemetry::Get().Disable();
+
+  bool found = false;
+  for (const std::string& line : ReadLines(path)) {
+    std::map<std::string, std::string> record = ParseFlatJson(line);
+    if (record["type"] == "profile" &&
+        record["scope"] == "test.profile_jsonl") {
+      found = true;
+      EXPECT_EQ(record["calls"], "1");
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(TelemetryTest, RegistrySnapshotEmitsCountersAndGauges) {
+  const std::string path = TempPath("telemetry_snapshot.jsonl");
+  ASSERT_TRUE(Telemetry::Get().Enable(path));
+  Telemetry::Get().GetCounter("test.snapshot_counter").Increment(5);
+  Telemetry::Get().GetGauge("test.snapshot_gauge").Set(3.5);
+  Telemetry::Get().EmitRegistrySnapshot();
+  Telemetry::Get().Disable();
+
+  bool counter_seen = false;
+  bool gauge_seen = false;
+  for (const std::string& line : ReadLines(path)) {
+    std::map<std::string, std::string> record = ParseFlatJson(line);
+    if (record["type"] == "counter" &&
+        record["name"] == "test.snapshot_counter") {
+      counter_seen = true;
+      EXPECT_EQ(record["value"], "5");
+    }
+    if (record["type"] == "gauge" &&
+        record["name"] == "test.snapshot_gauge") {
+      gauge_seen = true;
+      EXPECT_DOUBLE_EQ(std::stod(record["value"]), 3.5);
+    }
+  }
+  EXPECT_TRUE(counter_seen);
+  EXPECT_TRUE(gauge_seen);
+}
+
+TEST_F(TelemetryTest, CounterIsExactUnderParallelFor) {
+  Counter& c = Telemetry::Get().GetCounter("test.parallel_counter");
+  constexpr int64_t kN = 200000;
+  // One increment per index, issued from pool workers in parallel chunks.
+  ParallelFor(0, kN, 1024, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) c.Increment();
+  });
+  EXPECT_EQ(c.value(), kN);
+}
+
+TEST_F(TelemetryTest, EmitIsThreadSafeUnderParallelFor) {
+  const std::string path = TempPath("telemetry_parallel_emit.jsonl");
+  ASSERT_TRUE(Telemetry::Get().Enable(path));
+  constexpr int64_t kChunks = 64;
+  ParallelFor(0, kChunks, 1, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      Telemetry::Get().Emit(
+          MetricRecord("parallel_emit").Add("chunk", i));
+    }
+  });
+  Telemetry::Get().Disable();
+
+  std::vector<std::string> lines = ReadLines(path);
+  ASSERT_EQ(lines.size(), static_cast<size_t>(kChunks));
+  std::vector<bool> seen(kChunks, false);
+  for (const std::string& line : lines) {
+    // No torn/interleaved writes: every line parses on its own.
+    std::map<std::string, std::string> record = ParseFlatJson(line);
+    EXPECT_EQ(record["type"], "parallel_emit");
+    seen[std::stoll(record["chunk"])] = true;
+  }
+  for (int64_t i = 0; i < kChunks; ++i) EXPECT_TRUE(seen[i]);
+}
+
+TEST_F(TelemetryTest, ProfileScopeIsThreadSafeUnderParallelFor) {
+  Profiler::Get().Enable();
+  ProfileEntry* entry = Profiler::Get().Register("test.parallel_scope");
+  constexpr int64_t kN = 4096;
+  ParallelFor(0, kN, 64, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      AUTOAC_PROFILE_SCOPE("test.parallel_scope");
+    }
+  });
+  EXPECT_EQ(entry->calls.load(), kN);
+}
+
+TEST_F(TelemetryTest, EnableFailsOnUnwritablePath) {
+  EXPECT_FALSE(
+      Telemetry::Get().Enable("/nonexistent-dir-xyz/metrics.jsonl"));
+  EXPECT_FALSE(Telemetry::Enabled());
+}
+
+}  // namespace
+}  // namespace autoac

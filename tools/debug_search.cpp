@@ -7,11 +7,13 @@
 #include "autoac/evaluator.h"
 #include "data/hgb_datasets.h"
 #include "util/flags.h"
+#include "util/telemetry.h"
 
 using namespace autoac;
 
 int main(int argc, char** argv) {
   Flags flags(argc, argv);
+  InitTelemetryFromFlag(flags.GetString("metrics_out", ""));
   DatasetOptions opts;
   opts.scale = flags.GetDouble("scale", 0.1);
   opts.seed = 7;
@@ -54,5 +56,6 @@ int main(int argc, char** argv) {
   printf("chosen distribution:");
   for (int o = 0; o < 4; ++o) printf(" %s=%.1f%%", CompletionOpName((CompletionOpType)o), 100.0*cnt2[o]/rt.searched_ops.size());
   printf("\nretrain micro=%.4f macro=%.4f (search %.1fs train %.1fs)\n", rt.test.micro_f1, rt.test.macro_f1, rt.times.search_seconds, rt.times.train_seconds);
+  ShutdownTelemetry();
   return 0;
 }

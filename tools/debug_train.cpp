@@ -6,11 +6,13 @@
 #include "data/hgb_datasets.h"
 #include "util/flags.h"
 #include "util/stats.h"
+#include "util/telemetry.h"
 
 using namespace autoac;
 
 int main(int argc, char** argv) {
   Flags flags(argc, argv);
+  InitTelemetryFromFlag(flags.GetString("metrics_out", ""));
   DatasetOptions opts;
   opts.scale = flags.GetDouble("scale", 0.1);
   opts.seed = 7;
@@ -55,5 +57,6 @@ int main(int argc, char** argv) {
   }
   RunSummary sum = Summarize(micro);
   printf("==> %s\n", FormatMeanStd(sum).c_str());
+  ShutdownTelemetry();
   return 0;
 }
