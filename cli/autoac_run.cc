@@ -10,13 +10,17 @@
 // the library defaults.
 
 #include <cstdio>
+#include <memory>
 #include <string>
+#include <vector>
 
+#include "autoac/checkpoint.h"
 #include "autoac/evaluator.h"
 #include "data/serialization.h"
 #include "util/flags.h"
 #include "util/logging.h"
 #include "util/parallel.h"
+#include "util/shutdown.h"
 #include "util/telemetry.h"
 
 namespace autoac {
@@ -46,8 +50,47 @@ MethodSpec SpecFromName(const std::string& method, const std::string& model) {
   return {std::string(CompletionOpName(op)), MethodKind::kSingleOp, model, op};
 }
 
+// The CLI's full flag table; anything else on the command line is a usage
+// error (satellite hardening: a typo'd flag must not silently run with
+// defaults).
+const std::vector<Flags::Spec>& FlagTable() {
+  using Type = Flags::Spec::Type;
+  static const std::vector<Flags::Spec> kSpecs = {
+      {"help", Type::kBool},          {"task", Type::kString},
+      {"dataset", Type::kString},     {"method", Type::kString},
+      {"model", Type::kString},       {"scale", Type::kDouble},
+      {"seeds", Type::kInt},          {"epochs", Type::kInt},
+      {"search_epochs", Type::kInt},  {"clusters", Type::kInt},
+      {"lambda", Type::kDouble},      {"lr", Type::kDouble},
+      {"lr_alpha", Type::kDouble},    {"mask_rate", Type::kDouble},
+      {"no_discrete", Type::kBool},   {"save_dataset", Type::kString},
+      {"load_dataset", Type::kString},{"num_threads", Type::kInt},
+      {"metrics_out", Type::kString}, {"seed", Type::kInt},
+      {"train_seed", Type::kInt},     {"checkpoint_dir", Type::kString},
+      {"checkpoint_every", Type::kInt},
+      {"checkpoint_keep", Type::kInt},
+      {"resume", Type::kBool},
+  };
+  return kSpecs;
+}
+
 int Run(int argc, char** argv) {
   Flags flags(argc, argv);
+  std::vector<std::string> problems = flags.Validate(FlagTable());
+  if (flags.Has("resume") && flags.GetBool("resume", false) &&
+      flags.GetString("checkpoint_dir", "").empty()) {
+    problems.push_back("--resume requires --checkpoint_dir");
+  }
+  if (!problems.empty()) {
+    for (const std::string& p : problems) {
+      std::fprintf(stderr, "error: %s\n", p.c_str());
+    }
+    std::fprintf(stderr, "run with --help for usage\n");
+    return 64;  // EX_USAGE
+  }
+  // SIGINT/SIGTERM request a cooperative stop at the next epoch boundary
+  // (final checkpoint + telemetry flush) instead of killing the process.
+  InstallShutdownHandler();
   // 0 keeps the AUTOAC_NUM_THREADS / hardware default; results are bitwise
   // identical at every thread count.
   SetNumThreads(static_cast<int>(flags.GetInt("num_threads", 0)));
@@ -65,7 +108,17 @@ int Run(int argc, char** argv) {
         "  [--save_dataset=PATH] [--load_dataset=PATH] [--num_threads=N]\n"
         "  [--metrics_out=PATH]   JSONL telemetry sink (also: env\n"
         "                         AUTOAC_METRICS_OUT); enables the kernel\n"
-        "                         profiler and an end-of-run summary table\n");
+        "                         profiler and an end-of-run summary table\n"
+        "  [--checkpoint_dir=DIR] crash-safe checkpoints: persist resumable\n"
+        "                         search/training state to DIR\n"
+        "  [--checkpoint_every=N] epochs between checkpoint writes (5)\n"
+        "  [--checkpoint_keep=K]  checkpoint files retained (3)\n"
+        "  [--resume]             continue from the newest valid checkpoint\n"
+        "                         in --checkpoint_dir (bitwise-identical\n"
+        "                         trajectory)\n"
+        "SIGINT/SIGTERM stop cooperatively at the next epoch boundary\n"
+        "(writing a final checkpoint when enabled) and exit with status "
+        "130.\n");
     return 0;
   }
 
@@ -125,12 +178,51 @@ int Run(int argc, char** argv) {
     config.discrete_constraints = false;
   }
 
+  config.checkpoint.dir = flags.GetString("checkpoint_dir", "");
+  config.checkpoint.every =
+      flags.GetInt("checkpoint_every", config.checkpoint.every);
+  config.checkpoint.keep =
+      flags.GetInt("checkpoint_keep", config.checkpoint.keep);
+  config.checkpoint.resume = flags.GetBool("resume", false);
+
   MethodSpec spec = SpecFromName(flags.GetString("method", "autoac"), model);
   int64_t seeds = flags.GetInt("seeds", 3);
+
+  // A checkpoint only resumes the run it was written by: fingerprint the
+  // trajectory-determining configuration plus the dataset/task/method
+  // identity this binary adds on top of ExperimentConfig.
+  std::unique_ptr<CheckpointManager> ckpt;
+  if (!config.checkpoint.dir.empty()) {
+    uint64_t fingerprint = ConfigFingerprint(config);
+    const std::string& ds = dataset.name;
+    fingerprint = Fnv1a(ds.data(), ds.size(), fingerprint);
+    fingerprint = Fnv1a(&link, sizeof(link), fingerprint);
+    double mask_rate = flags.GetDouble("mask_rate", 0.1);
+    fingerprint = Fnv1a(&mask_rate, sizeof(mask_rate), fingerprint);
+    const std::string& method = spec.display_name;
+    fingerprint = Fnv1a(method.data(), method.size(), fingerprint);
+    fingerprint = Fnv1a(&seeds, sizeof(seeds), fingerprint);
+    StatusOr<std::unique_ptr<CheckpointManager>> opened =
+        CheckpointManager::Open(config.checkpoint, fingerprint);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "error: %s\n", opened.status().message().c_str());
+      return 1;
+    }
+    ckpt = opened.TakeValue();
+  }
+
   std::printf("%s on %s (%s task, %lld seeds)\n", spec.display_name.c_str(),
               dataset.name.c_str(), link ? "link" : "node",
               static_cast<long long>(seeds));
-  AggregateResult result = EvaluateMethod(task, ctx, config, spec, seeds);
+  AggregateResult result =
+      EvaluateMethod(task, ctx, config, spec, seeds, ckpt.get());
+  if (result.interrupted) {
+    std::printf("interrupted — stopped at an epoch boundary%s\n",
+                ckpt ? "; resume with --resume to continue the exact "
+                       "trajectory"
+                     : "");
+    return 130;
+  }
   if (result.out_of_memory) {
     std::printf("out of memory (tape exceeded --memory limit)\n");
     return 2;
@@ -160,6 +252,11 @@ int Run(int argc, char** argv) {
     }
     std::printf("\n");
   }
+  // Single-value bitwise-identity witness: final parameters + metrics +
+  // searched assignment, chained over all seeds. crash_resume_check.sh
+  // compares this line between killed-and-resumed and uninterrupted runs.
+  std::printf("state digest: %016llx\n",
+              static_cast<unsigned long long>(result.state_digest));
   return 0;
 }
 

@@ -1,0 +1,88 @@
+#!/usr/bin/env bash
+# End-to-end crash/resume verification for the checkpoint subsystem.
+# Usage: scripts/crash_resume_check.sh [build-dir]
+#
+# For thread counts 1 and 4:
+#   1. Run the pipeline uninterrupted and record its `state digest:` line
+#      (FNV-1a over final weights + searched assignment, all seeds).
+#   2. Kill the process with AUTOAC_FAULT_INJECT=search_epoch:5 — a
+#      simulated power loss mid-search — then --resume and require the
+#      digest to match the uninterrupted run bit for bit.
+#   3. Kill the process in the MIDDLE of a checkpoint write
+#      (AUTOAC_FAULT_INJECT=atomic_write:2, before the rename) and require
+#      --resume to recover from the previous intact checkpoint, again with
+#      an identical digest.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+cmake -B "${BUILD_DIR}" -S . >/dev/null
+cmake --build "${BUILD_DIR}" -j"$(nproc)" --target autoac_run
+RUN="${BUILD_DIR}/cli/autoac_run"
+
+WORK="$(mktemp -d)"
+trap 'rm -rf "${WORK}"' EXIT
+
+# Small but non-trivial: the search runs long enough to hit fault site 5
+# and write several checkpoints at --checkpoint_every=2, and the scale is
+# high enough that partial states exceed 1 MiB (which once tripped an
+# over-eager sanity cap in ReadString).
+COMMON=(--dataset=dblp --scale=0.08 --seeds=1 --epochs=12
+        --search_epochs=8 --checkpoint_every=2)
+FAULT_EXIT=42  # kFaultInjectExitCode
+
+digest_of() {
+  grep '^state digest:' "$1" | tail -1
+}
+
+# run_killed <log> <fault-spec> <args...> — expects the injected _exit(42).
+run_killed() {
+  local log="$1" fault="$2"
+  shift 2
+  local status=0
+  AUTOAC_FAULT_INJECT="${fault}" "${RUN}" "$@" >"${log}" 2>&1 || status=$?
+  if [ "${status}" -ne "${FAULT_EXIT}" ]; then
+    echo "FAIL: expected fault-injected exit ${FAULT_EXIT}," \
+         "got ${status} (${fault})" >&2
+    cat "${log}" >&2
+    exit 1
+  fi
+}
+
+for threads in 1 4; do
+  echo "== crash/resume pass with --num_threads=${threads} =="
+
+  base_log="${WORK}/base-t${threads}.log"
+  "${RUN}" "${COMMON[@]}" --num_threads="${threads}" >"${base_log}"
+  base_digest="$(digest_of "${base_log}")"
+  if [ -z "${base_digest}" ]; then
+    echo "FAIL: baseline run printed no state digest" >&2
+    exit 1
+  fi
+  echo "baseline ${base_digest}"
+
+  for fault in search_epoch:5 atomic_write:2; do
+    dir="${WORK}/ckpt-${fault%%:*}-t${threads}"
+    run_killed "${WORK}/kill-${fault%%:*}-t${threads}.log" "${fault}" \
+      "${COMMON[@]}" --num_threads="${threads}" --checkpoint_dir="${dir}"
+    if ! ls "${dir}"/ckpt-*.aacc >/dev/null 2>&1; then
+      echo "FAIL: ${fault} kill left no checkpoint in ${dir}" >&2
+      exit 1
+    fi
+
+    resume_log="${WORK}/resume-${fault%%:*}-t${threads}.log"
+    "${RUN}" "${COMMON[@]}" --num_threads="${threads}" \
+      --checkpoint_dir="${dir}" --resume >"${resume_log}"
+    resume_digest="$(digest_of "${resume_log}")"
+    if [ "${resume_digest}" != "${base_digest}" ]; then
+      echo "FAIL: resumed run diverged after ${fault} kill" >&2
+      echo "  baseline: ${base_digest}" >&2
+      echo "  resumed:  ${resume_digest}" >&2
+      exit 1
+    fi
+    echo "${fault} kill -> resume matches baseline"
+  done
+done
+
+echo "Crash/resume check passed."

@@ -1,0 +1,497 @@
+#include "autoac/checkpoint.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+#include <type_traits>
+#include <utility>
+
+#include "autoac/search.h"
+#include "data/serialization.h"
+#include "util/logging.h"
+#include "util/shutdown.h"
+
+namespace autoac {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr char kCheckpointMagic[4] = {'A', 'A', 'C', 'K'};
+constexpr char kFilePrefix[] = "ckpt-";
+constexpr char kFileSuffix[] = ".aacc";
+
+std::string CheckpointPath(const std::string& dir, int64_t seq) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "ckpt-%06lld.aacc",
+                static_cast<long long>(seq));
+  return dir + "/" + name;
+}
+
+/// Extracts the sequence number from a "ckpt-NNNNNN.aacc" basename, or -1.
+int64_t SequenceOf(const std::string& basename) {
+  const size_t prefix = sizeof(kFilePrefix) - 1;
+  const size_t suffix = sizeof(kFileSuffix) - 1;
+  if (basename.size() <= prefix + suffix) return -1;
+  if (basename.compare(0, prefix, kFilePrefix) != 0) return -1;
+  if (basename.compare(basename.size() - suffix, suffix, kFileSuffix) != 0) {
+    return -1;
+  }
+  int64_t seq = 0;
+  for (size_t i = prefix; i < basename.size() - suffix; ++i) {
+    char c = basename[i];
+    if (c < '0' || c > '9') return -1;
+    seq = seq * 10 + (c - '0');
+  }
+  return seq;
+}
+
+/// All checkpoint files in `dir`, sorted by ascending sequence number.
+std::vector<std::pair<int64_t, std::string>> ListCheckpoints(
+    const std::string& dir) {
+  std::vector<std::pair<int64_t, std::string>> found;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    int64_t seq = SequenceOf(entry.path().filename().string());
+    if (seq >= 0) found.emplace_back(seq, entry.path().string());
+  }
+  std::sort(found.begin(), found.end());
+  return found;
+}
+
+void WriteAdamState(std::ostream& out, const AdamState& state) {
+  io::WriteI64(out, state.t);
+  io::WriteU64(out, state.m.size());
+  for (size_t i = 0; i < state.m.size(); ++i) {
+    io::WriteTensor(out, state.m[i]);
+    io::WriteTensor(out, state.v[i]);
+  }
+}
+
+bool ReadAdamState(std::istream& in, AdamState* state) {
+  uint64_t n = 0;
+  if (!io::ReadI64(in, &state->t) || !io::ReadU64(in, &n)) return false;
+  if (n > (1ull << 20)) return false;
+  state->m.resize(n);
+  state->v.resize(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    if (!io::ReadTensor(in, &state->m[i]) ||
+        !io::ReadTensor(in, &state->v[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void WriteTensorList(std::ostream& out, const std::vector<Tensor>& list) {
+  io::WriteU64(out, list.size());
+  for (const Tensor& t : list) io::WriteTensor(out, t);
+}
+
+bool ReadTensorList(std::istream& in, std::vector<Tensor>* list) {
+  uint64_t n = 0;
+  if (!io::ReadU64(in, &n) || n > (1ull << 20)) return false;
+  list->resize(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    if (!io::ReadTensor(in, &(*list)[i])) return false;
+  }
+  return true;
+}
+
+void WriteScores(std::ostream& out, const TaskScores& s) {
+  io::WriteF64(out, s.primary);
+  io::WriteF64(out, s.macro_f1);
+  io::WriteF64(out, s.micro_f1);
+  io::WriteF64(out, s.roc_auc);
+  io::WriteF64(out, s.mrr);
+}
+
+bool ReadScores(std::istream& in, TaskScores* s) {
+  return io::ReadF64(in, &s->primary) && io::ReadF64(in, &s->macro_f1) &&
+         io::ReadF64(in, &s->micro_f1) && io::ReadF64(in, &s->roc_auc) &&
+         io::ReadF64(in, &s->mrr);
+}
+
+void WriteOps(std::ostream& out, const std::vector<CompletionOpType>& ops) {
+  std::vector<int64_t> raw(ops.size());
+  for (size_t i = 0; i < ops.size(); ++i) raw[i] = static_cast<int64_t>(ops[i]);
+  io::WriteI64Vector(out, raw);
+}
+
+bool ReadOps(std::istream& in, std::vector<CompletionOpType>* ops) {
+  std::vector<int64_t> raw;
+  if (!io::ReadI64Vector(in, &raw)) return false;
+  ops->resize(raw.size());
+  for (size_t i = 0; i < raw.size(); ++i) {
+    if (raw[i] < 0 || raw[i] >= kNumCompletionOps) return false;
+    (*ops)[i] = static_cast<CompletionOpType>(raw[i]);
+  }
+  return true;
+}
+
+uint64_t MixPod(uint64_t h, const void* data, size_t size) {
+  return Fnv1a(data, size, h);
+}
+
+template <typename T>
+uint64_t Mix(uint64_t h, const T& v) {
+  static_assert(std::is_trivially_copyable<T>::value, "POD only");
+  return MixPod(h, &v, sizeof(v));
+}
+
+}  // namespace
+
+uint64_t Fnv1a(const void* data, size_t size, uint64_t h) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < size; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+uint64_t DigestTensor(uint64_t h, const Tensor& t) {
+  for (int64_t e : t.shape()) h = Mix(h, e);
+  return Fnv1a(t.data(), sizeof(float) * static_cast<size_t>(t.numel()), h);
+}
+
+std::string SerializeSearchPartial(const SearchPartialState& state) {
+  std::ostringstream out;
+  io::WriteI64(out, state.epoch);
+  io::WriteTensor(out, state.alpha);
+  WriteTensorList(out, state.w_params);
+  io::WriteI64Vector(out, state.w_grad_alloc);
+  WriteAdamState(out, state.alpha_opt);
+  WriteAdamState(out, state.w_opt);
+  io::WriteString(out, state.rng_state);
+  io::WriteI64Vector(out, state.cluster_of);
+  io::WriteF64(out, state.best_track_val);
+  io::WriteI64Vector(out, state.tracked_ops);
+  io::WriteF32Vector(out, state.gmoc_trace);
+  io::WriteF64(out, state.elapsed_seconds);
+  return out.str();
+}
+
+bool DeserializeSearchPartial(const std::string& payload,
+                              SearchPartialState* state) {
+  std::istringstream in(payload);
+  return io::ReadI64(in, &state->epoch) && io::ReadTensor(in, &state->alpha) &&
+         ReadTensorList(in, &state->w_params) &&
+         io::ReadI64Vector(in, &state->w_grad_alloc) &&
+         ReadAdamState(in, &state->alpha_opt) &&
+         ReadAdamState(in, &state->w_opt) &&
+         io::ReadString(in, &state->rng_state) &&
+         io::ReadI64Vector(in, &state->cluster_of) &&
+         io::ReadF64(in, &state->best_track_val) &&
+         io::ReadI64Vector(in, &state->tracked_ops) &&
+         io::ReadF32Vector(in, &state->gmoc_trace) &&
+         io::ReadF64(in, &state->elapsed_seconds);
+}
+
+std::string SerializeTrainerPartial(const TrainerPartialState& state) {
+  std::ostringstream out;
+  io::WriteI64(out, state.epoch);
+  io::WriteU64(out, state.assignment_digest);
+  WriteTensorList(out, state.params);
+  io::WriteI64Vector(out, state.params_grad_alloc);
+  WriteAdamState(out, state.opt);
+  io::WriteString(out, state.rng_state);
+  io::WriteF64(out, state.best_val);
+  io::WriteI64(out, state.since_best);
+  io::WriteF64Vector(out, state.val_history);
+  for (double s : state.test_scores) io::WriteF64(out, s);
+  io::WriteI64(out, state.epochs_run);
+  io::WriteF64(out, state.elapsed_seconds);
+  return out.str();
+}
+
+bool DeserializeTrainerPartial(const std::string& payload,
+                               TrainerPartialState* state) {
+  std::istringstream in(payload);
+  if (!(io::ReadI64(in, &state->epoch) &&
+        io::ReadU64(in, &state->assignment_digest) &&
+        ReadTensorList(in, &state->params) &&
+        io::ReadI64Vector(in, &state->params_grad_alloc) &&
+        ReadAdamState(in, &state->opt) &&
+        io::ReadString(in, &state->rng_state) &&
+        io::ReadF64(in, &state->best_val) &&
+        io::ReadI64(in, &state->since_best) &&
+        io::ReadF64Vector(in, &state->val_history))) {
+    return false;
+  }
+  for (double& s : state->test_scores) {
+    if (!io::ReadF64(in, &s)) return false;
+  }
+  return io::ReadI64(in, &state->epochs_run) &&
+         io::ReadF64(in, &state->elapsed_seconds);
+}
+
+std::string SerializeSearchResult(const SearchResult& result) {
+  std::ostringstream out;
+  WriteOps(out, result.op_per_missing);
+  io::WriteI64Vector(out, result.cluster_of);
+  io::WriteTensor(out, result.final_alpha);
+  io::WriteF64(out, result.search_seconds);
+  io::WriteF32Vector(out, result.gmoc_trace);
+  io::WriteU32(out, result.out_of_memory ? 1 : 0);
+  io::WriteU64(out, result.runner_up_ops.size());
+  for (const auto& ops : result.runner_up_ops) WriteOps(out, ops);
+  return out.str();
+}
+
+bool DeserializeSearchResult(const std::string& payload, SearchResult* result) {
+  std::istringstream in(payload);
+  uint32_t oom = 0;
+  uint64_t runners = 0;
+  if (!(ReadOps(in, &result->op_per_missing) &&
+        io::ReadI64Vector(in, &result->cluster_of) &&
+        io::ReadTensor(in, &result->final_alpha) &&
+        io::ReadF64(in, &result->search_seconds) &&
+        io::ReadF32Vector(in, &result->gmoc_trace) && io::ReadU32(in, &oom) &&
+        io::ReadU64(in, &runners))) {
+    return false;
+  }
+  if (runners > (1ull << 20)) return false;
+  result->out_of_memory = oom != 0;
+  result->runner_up_ops.resize(runners);
+  for (uint64_t i = 0; i < runners; ++i) {
+    if (!ReadOps(in, &result->runner_up_ops[i])) return false;
+  }
+  return true;
+}
+
+std::string SerializeRunResult(const RunResult& result) {
+  std::ostringstream out;
+  WriteScores(out, result.test);
+  io::WriteF64(out, result.val_primary);
+  io::WriteF64(out, result.val_smoothed);
+  io::WriteF64(out, result.times.prelearn_seconds);
+  io::WriteF64(out, result.times.search_seconds);
+  io::WriteF64(out, result.times.train_seconds);
+  io::WriteF64(out, result.epoch_seconds);
+  io::WriteI64(out, result.epochs_run);
+  io::WriteU32(out, result.out_of_memory ? 1 : 0);
+  io::WriteU32(out, result.interrupted ? 1 : 0);
+  io::WriteU64(out, result.state_digest);
+  WriteOps(out, result.searched_ops);
+  io::WriteF32Vector(out, result.gmoc_trace);
+  return out.str();
+}
+
+bool DeserializeRunResult(const std::string& payload, RunResult* result) {
+  std::istringstream in(payload);
+  uint32_t oom = 0;
+  uint32_t interrupted = 0;
+  if (!(ReadScores(in, &result->test) &&
+        io::ReadF64(in, &result->val_primary) &&
+        io::ReadF64(in, &result->val_smoothed) &&
+        io::ReadF64(in, &result->times.prelearn_seconds) &&
+        io::ReadF64(in, &result->times.search_seconds) &&
+        io::ReadF64(in, &result->times.train_seconds) &&
+        io::ReadF64(in, &result->epoch_seconds) &&
+        io::ReadI64(in, &result->epochs_run) && io::ReadU32(in, &oom) &&
+        io::ReadU32(in, &interrupted) &&
+        io::ReadU64(in, &result->state_digest) &&
+        ReadOps(in, &result->searched_ops) &&
+        io::ReadF32Vector(in, &result->gmoc_trace))) {
+    return false;
+  }
+  result->out_of_memory = oom != 0;
+  result->interrupted = interrupted != 0;
+  return true;
+}
+
+StatusOr<std::unique_ptr<CheckpointManager>> CheckpointManager::Open(
+    const CheckpointOptions& options, uint64_t config_fingerprint) {
+  AUTOAC_CHECK(!options.dir.empty());
+  std::error_code ec;
+  fs::create_directories(options.dir, ec);
+  if (ec) {
+    return Status::Error("cannot create checkpoint dir '" + options.dir +
+                         "': " + ec.message());
+  }
+  std::unique_ptr<CheckpointManager> manager(
+      new CheckpointManager(options, config_fingerprint));
+  auto existing = ListCheckpoints(options.dir);
+  if (!existing.empty()) manager->next_seq_ = existing.back().first + 1;
+  if (options.resume) {
+    Status loaded = manager->LoadNewestValid();
+    if (!loaded.ok()) return loaded;
+  }
+  return manager;
+}
+
+Status CheckpointManager::LoadNewestValid() {
+  auto files = ListCheckpoints(options_.dir);
+  for (auto it = files.rbegin(); it != files.rend(); ++it) {
+    StatusOr<std::string> payload =
+        io::ReadFileChecked(it->second, kCheckpointMagic);
+    if (!payload.ok()) {
+      AUTOAC_LOG(Warning) << "skipping checkpoint " << it->second << ": "
+                          << payload.status().message();
+      continue;
+    }
+    std::istringstream in(payload.TakeValue());
+    uint64_t fingerprint = 0;
+    uint64_t num_completed = 0;
+    uint32_t has_partial = 0;
+    std::vector<std::pair<std::string, std::string>> completed;
+    std::string partial_kind;
+    std::string partial_payload;
+    bool ok = io::ReadU64(in, &fingerprint);
+    if (ok && fingerprint != fingerprint_) {
+      return Status::Error(
+          "checkpoint " + it->second +
+          " was written under a different configuration "
+          "(dataset/model/budget changed); refusing to resume from it");
+    }
+    ok = ok && io::ReadU64(in, &num_completed) && num_completed < (1ull << 20);
+    if (ok) {
+      completed.resize(num_completed);
+      for (auto& unit : completed) {
+        ok = ok && io::ReadString(in, &unit.first) &&
+             io::ReadString(in, &unit.second);
+      }
+    }
+    ok = ok && io::ReadU32(in, &has_partial);
+    if (ok && has_partial != 0) {
+      ok = io::ReadString(in, &partial_kind) &&
+           io::ReadString(in, &partial_payload);
+    }
+    if (!ok) {
+      AUTOAC_LOG(Warning) << "skipping checkpoint " << it->second
+                          << ": malformed journal payload";
+      continue;
+    }
+    completed_ = std::move(completed);
+    has_partial_ = has_partial != 0;
+    partial_kind_ = std::move(partial_kind);
+    partial_payload_ = std::move(partial_payload);
+    AUTOAC_LOG(Info) << "resuming from " << it->second << " ("
+                     << completed_.size() << " completed units"
+                     << (has_partial_ ? ", partial " + partial_kind_ : "")
+                     << ")";
+    return Status::Ok();
+  }
+  return Status::Error("--resume requested but no valid checkpoint found in '" +
+                       options_.dir + "'");
+}
+
+CheckpointManager::UnitHandle CheckpointManager::BeginUnit(
+    const std::string& kind) {
+  UnitHandle handle;
+  handle.ordinal = next_ordinal_++;
+  if (handle.ordinal < static_cast<int64_t>(completed_.size())) {
+    const auto& unit = completed_[handle.ordinal];
+    AUTOAC_CHECK(unit.first == kind)
+        << "checkpoint journal diverged: unit " << handle.ordinal << " is '"
+        << unit.first << "' on disk but the pipeline requested '" << kind
+        << "'";
+    handle.completed = true;
+    handle.payload = unit.second;
+    return handle;
+  }
+  active_kind_ = kind;
+  if (handle.ordinal == static_cast<int64_t>(completed_.size()) &&
+      has_partial_) {
+    AUTOAC_CHECK(partial_kind_ == kind)
+        << "checkpoint journal diverged: partial unit is '" << partial_kind_
+        << "' on disk but the pipeline requested '" << kind << "'";
+    handle.has_partial = true;
+    handle.payload = partial_payload_;
+  }
+  return handle;
+}
+
+void CheckpointManager::CompleteUnit(const UnitHandle& unit,
+                                     std::string result_payload) {
+  AUTOAC_CHECK_EQ(unit.ordinal, static_cast<int64_t>(completed_.size()));
+  completed_.emplace_back(active_kind_, std::move(result_payload));
+  has_partial_ = false;
+  partial_kind_.clear();
+  partial_payload_.clear();
+  Persist();
+}
+
+void CheckpointManager::SavePartial(const UnitHandle& unit,
+                                    std::string state_payload) {
+  AUTOAC_CHECK_EQ(unit.ordinal, static_cast<int64_t>(completed_.size()));
+  has_partial_ = true;
+  partial_kind_ = active_kind_;
+  partial_payload_ = std::move(state_payload);
+  Persist();
+}
+
+void CheckpointManager::Persist() {
+  std::ostringstream out;
+  io::WriteU64(out, fingerprint_);
+  io::WriteU64(out, completed_.size());
+  for (const auto& unit : completed_) {
+    io::WriteString(out, unit.first);
+    io::WriteString(out, unit.second);
+  }
+  io::WriteU32(out, has_partial_ ? 1 : 0);
+  if (has_partial_) {
+    io::WriteString(out, partial_kind_);
+    io::WriteString(out, partial_payload_);
+  }
+  std::string path = CheckpointPath(options_.dir, next_seq_);
+  Status written = io::WriteFileAtomic(path, kCheckpointMagic, out.str());
+  if (!written.ok()) {
+    // A failed save must not kill a healthy run; the previous checkpoint is
+    // still the recovery point.
+    AUTOAC_LOG(Warning) << "checkpoint save failed: " << written.message();
+    return;
+  }
+  ++next_seq_;
+  ++saves_;
+  auto files = ListCheckpoints(options_.dir);
+  if (options_.keep > 0 &&
+      static_cast<int64_t>(files.size()) > options_.keep) {
+    size_t excess = files.size() - static_cast<size_t>(options_.keep);
+    for (size_t i = 0; i < excess; ++i) {
+      std::error_code ec;
+      fs::remove(files[i].second, ec);
+    }
+  }
+}
+
+bool StopRequestedAtEpoch(const ExperimentConfig& config,
+                          int64_t epochs_completed) {
+  if (ShutdownRequested()) return true;
+  return config.checkpoint.interrupt_after_epochs >= 0 &&
+         epochs_completed >= config.checkpoint.interrupt_after_epochs;
+}
+
+uint64_t ConfigFingerprint(const ExperimentConfig& config) {
+  uint64_t h = Fnv1a(config.model_name.data(), config.model_name.size());
+  h = Mix(h, config.task);
+  h = Mix(h, config.hidden_dim);
+  h = Mix(h, config.num_layers);
+  h = Mix(h, config.num_heads);
+  h = Mix(h, config.dropout);
+  h = Mix(h, config.negative_slope);
+  h = Mix(h, config.train_epochs);
+  h = Mix(h, config.patience);
+  h = Mix(h, config.eval_every);
+  h = Mix(h, config.lr_w);
+  h = Mix(h, config.wd_w);
+  h = Mix(h, config.lr_alpha);
+  h = Mix(h, config.wd_alpha);
+  h = Mix(h, config.search_epochs);
+  h = Mix(h, config.alpha_warmup_epochs);
+  h = Mix(h, config.num_clusters);
+  h = Mix(h, config.lambda);
+  h = Mix(h, config.cluster_mode);
+  h = Mix(h, config.discrete_constraints);
+  h = Mix(h, config.em_warmup_epochs);
+  h = Mix(h, config.memory_limit_bytes);
+  h = Mix(h, config.mrr_negatives);
+  h = Mix(h, config.completion.hidden_dim);
+  h = Mix(h, config.completion.ppnp_restart);
+  h = Mix(h, config.completion.ppnp_steps);
+  h = Mix(h, config.seed);
+  return h;
+}
+
+}  // namespace autoac

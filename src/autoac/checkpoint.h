@@ -1,0 +1,169 @@
+#ifndef AUTOAC_AUTOAC_CHECKPOINT_H_
+#define AUTOAC_AUTOAC_CHECKPOINT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "autoac/experiment.h"
+#include "tensor/optimizer.h"
+#include "util/status.h"
+
+namespace autoac {
+
+struct SearchResult;  // search.h (which includes this header)
+
+// Crash-safe checkpoint/resume for the AutoAC pipeline (DESIGN.md §9).
+//
+// A pipeline run is a deterministic sequence of *units* — the bi-level
+// search, then one TrainFixedCompletion per probe/retrain, repeated per
+// seed. The CheckpointManager journals that sequence: completed units store
+// their final result payload (replayed instantly on resume), and the single
+// in-progress unit stores its mid-stage state (parameters, optimizer
+// moments, RNG stream, counters) on a --checkpoint_every cadence. Each save
+// rewrites one self-contained container file via io::WriteFileAtomic, so a
+// crash at ANY instant — including mid-checkpoint-write — leaves the newest
+// intact file as the recovery point. Retention keeps the last
+// --checkpoint_keep files; resume scans newest-to-oldest and skips corrupt
+// files (CRC-verified) with a warning.
+//
+// Resume restores the exact trajectory: a resumed run is bitwise-identical
+// to an uninterrupted one, at any thread count (the kernels are already
+// thread-count-invariant; all remaining state lives in the payloads).
+
+/// FNV-1a 64-bit over raw bytes; pass a previous digest as `h` to chain.
+inline constexpr uint64_t kFnvOffsetBasis = 14695981039346656037ull;
+uint64_t Fnv1a(const void* data, size_t size,
+               uint64_t h = kFnvOffsetBasis);
+
+/// Chains a tensor's shape and float contents into a digest.
+uint64_t DigestTensor(uint64_t h, const Tensor& t);
+
+/// Mid-search state at the top of epoch `epoch` — everything
+/// SearchCompletionOps needs to continue the exact trajectory.
+struct SearchPartialState {
+  int64_t epoch = 0;
+  Tensor alpha;
+  std::vector<Tensor> w_params;
+  /// 0/1 per w_param: whether its gradient buffer was allocated. Adam
+  /// applies weight decay to allocated-but-zero gradients and skips
+  /// unallocated ones, so allocation is trajectory state: an operation's
+  /// parameters keep decaying after the search deselects it.
+  std::vector<int64_t> w_grad_alloc;
+  AdamState alpha_opt;
+  AdamState w_opt;
+  std::string rng_state;
+  std::vector<int64_t> cluster_of;
+  double best_track_val = -1.0;
+  std::vector<int64_t> tracked_ops;  // CompletionOpType as int64
+  std::vector<float> gmoc_trace;
+  double elapsed_seconds = 0.0;
+};
+
+/// Mid-training state at the top of epoch `epoch` of TrainFixedCompletion.
+struct TrainerPartialState {
+  int64_t epoch = 0;
+  uint64_t assignment_digest = 0;  // guards against op_of drift on resume
+  std::vector<Tensor> params;
+  std::vector<int64_t> params_grad_alloc;  // see SearchPartialState
+  AdamState opt;
+  std::string rng_state;
+  double best_val = -1.0;
+  int64_t since_best = 0;
+  std::vector<double> val_history;
+  double test_scores[5] = {0, 0, 0, 0, 0};  // primary/macro/micro/auc/mrr
+  int64_t epochs_run = 0;
+  double elapsed_seconds = 0.0;
+};
+
+// Payload codecs. Serialize into an opaque byte string stored by the
+// manager; Deserialize returns false on malformed payloads (only reachable
+// if a checkpoint from an incompatible build slipped past the fingerprint).
+std::string SerializeSearchPartial(const SearchPartialState& state);
+bool DeserializeSearchPartial(const std::string& payload,
+                              SearchPartialState* state);
+std::string SerializeTrainerPartial(const TrainerPartialState& state);
+bool DeserializeTrainerPartial(const std::string& payload,
+                               TrainerPartialState* state);
+std::string SerializeSearchResult(const SearchResult& result);
+bool DeserializeSearchResult(const std::string& payload,
+                             SearchResult* result);
+std::string SerializeRunResult(const RunResult& result);
+bool DeserializeRunResult(const std::string& payload, RunResult* result);
+
+/// Orchestrates checkpoint persistence for one pipeline invocation. Not
+/// thread-safe; the pipeline drives units strictly sequentially.
+class CheckpointManager {
+ public:
+  /// Opens `options.dir` (created if needed). With options.resume, loads
+  /// the newest valid checkpoint: corrupt or truncated files are skipped
+  /// with a warning; no valid file at all, or a checkpoint written under a
+  /// different `config_fingerprint` (dataset/model/budget drift), is a
+  /// Status error.
+  static StatusOr<std::unique_ptr<CheckpointManager>> Open(
+      const CheckpointOptions& options, uint64_t config_fingerprint);
+
+  const CheckpointOptions& options() const { return options_; }
+
+  /// What BeginUnit found in the journal for the unit it registered.
+  struct UnitHandle {
+    int64_t ordinal = -1;
+    bool completed = false;    // payload holds the unit's final result
+    bool has_partial = false;  // payload holds mid-stage state
+    std::string payload;
+  };
+
+  /// Registers the next unit of the deterministic pipeline sequence.
+  /// `kind` ("search" / "train") must match the journal on resume; a
+  /// mismatch means the caller's pipeline diverged from the checkpointed
+  /// one and is a fatal error.
+  UnitHandle BeginUnit(const std::string& kind);
+
+  /// Marks the unit complete with its result payload and persists. The
+  /// unit's partial state, if any, is dropped.
+  void CompleteUnit(const UnitHandle& unit, std::string result_payload);
+
+  /// Cadence predicate for mid-unit saves.
+  bool ShouldSave(int64_t epoch) const {
+    return options_.every > 0 && epoch > 0 && epoch % options_.every == 0;
+  }
+
+  /// Persists mid-unit state for the active (last begun) unit.
+  void SavePartial(const UnitHandle& unit, std::string state_payload);
+
+  /// Number of checkpoint files successfully written by this manager.
+  int64_t saves() const { return saves_; }
+
+ private:
+  CheckpointManager(CheckpointOptions options, uint64_t fingerprint)
+      : options_(std::move(options)), fingerprint_(fingerprint) {}
+
+  Status LoadNewestValid();
+  void Persist();
+
+  CheckpointOptions options_;
+  uint64_t fingerprint_ = 0;
+  int64_t next_ordinal_ = 0;
+  std::string active_kind_;  // kind of the unit currently being executed
+  int64_t next_seq_ = 0;     // next checkpoint file sequence number
+  int64_t saves_ = 0;
+  std::vector<std::pair<std::string, std::string>> completed_;  // kind,payload
+  bool has_partial_ = false;
+  std::string partial_kind_;
+  std::string partial_payload_;
+};
+
+/// True when the current stage should stop at this epoch boundary: a
+/// shutdown signal arrived, or the config's interrupt_after_epochs test
+/// hook fired for `epoch`.
+bool StopRequestedAtEpoch(const ExperimentConfig& config, int64_t epoch);
+
+/// Fingerprint of the configuration fields that determine the trajectory;
+/// the CLI mixes in dataset/task/method identity. Resuming under a
+/// different fingerprint is refused.
+uint64_t ConfigFingerprint(const ExperimentConfig& config);
+
+}  // namespace autoac
+
+#endif  // AUTOAC_AUTOAC_CHECKPOINT_H_

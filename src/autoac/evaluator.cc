@@ -1,5 +1,6 @@
 #include "autoac/evaluator.h"
 
+#include "autoac/checkpoint.h"
 #include "autoac/hgnn_ac.h"
 #include "autoac/search.h"
 #include "autoac/trainer.h"
@@ -22,31 +23,46 @@ int64_t CountMissing(const HeteroGraph& graph) {
 }
 
 RunResult RunOne(const TaskData& data, const ModelContext& ctx,
-                 const ExperimentConfig& config, const MethodSpec& spec) {
+                 const ExperimentConfig& config, const MethodSpec& spec,
+                 CheckpointManager* ckpt) {
   int64_t n_missing = CountMissing(*data.graph);
   switch (spec.kind) {
     case MethodKind::kBaseline:
       return TrainFixedCompletion(
           data, ctx, config,
-          UniformAssignment(n_missing, CompletionOpType::kOneHot));
+          UniformAssignment(n_missing, CompletionOpType::kOneHot), ckpt);
     case MethodKind::kSingleOp:
       return TrainFixedCompletion(
-          data, ctx, config, UniformAssignment(n_missing, spec.single_op));
+          data, ctx, config, UniformAssignment(n_missing, spec.single_op),
+          ckpt);
     case MethodKind::kRandomOp: {
       Rng rng(config.seed * 31 + 5);
       return TrainFixedCompletion(data, ctx, config,
-                                  RandomAssignment(n_missing, rng));
+                                  RandomAssignment(n_missing, rng), ckpt);
     }
     case MethodKind::kAutoAc:
-      return RunAutoAc(data, ctx, config);
-    case MethodKind::kHgnnAc:
-      return RunHgnnAc(data, ctx, config);
+      return RunAutoAc(data, ctx, config, ckpt);
+    case MethodKind::kHgnnAc: {
+      // HGNN-AC has no mid-run state capture; it checkpoints at unit
+      // granularity only (replay when already completed).
+      if (ckpt == nullptr) return RunHgnnAc(data, ctx, config);
+      CheckpointManager::UnitHandle handle = ckpt->BeginUnit("hgnnac");
+      if (handle.completed) {
+        RunResult replay;
+        AUTOAC_CHECK(DeserializeRunResult(handle.payload, &replay))
+            << "checkpointed hgnnac-unit result failed to parse";
+        return replay;
+      }
+      RunResult run = RunHgnnAc(data, ctx, config);
+      ckpt->CompleteUnit(handle, SerializeRunResult(run));
+      return run;
+    }
     case MethodKind::kHgca:
       // HGCA-lite: unsupervised attribute completion is approximated by
       // topology-mean completion feeding a GCN (see DESIGN.md).
       return TrainFixedCompletion(
           data, ctx, config,
-          UniformAssignment(n_missing, CompletionOpType::kMean));
+          UniformAssignment(n_missing, CompletionOpType::kMean), ckpt);
   }
   AUTOAC_CHECK(false) << "unreachable";
   return {};
@@ -56,8 +72,10 @@ RunResult RunOne(const TaskData& data, const ModelContext& ctx,
 
 AggregateResult EvaluateMethod(const TaskData& data, const ModelContext& ctx,
                                const ExperimentConfig& base_config,
-                               const MethodSpec& spec, int64_t num_seeds) {
+                               const MethodSpec& spec, int64_t num_seeds,
+                               CheckpointManager* ckpt) {
   AggregateResult aggregate;
+  aggregate.state_digest = kFnvOffsetBasis;
   double total_time = 0.0;
   double epoch_time = 0.0;
   for (int64_t s = 0; s < num_seeds; ++s) {
@@ -65,11 +83,18 @@ AggregateResult EvaluateMethod(const TaskData& data, const ModelContext& ctx,
     config.seed = base_config.seed + static_cast<uint64_t>(s);
     config.model_name = spec.model;
     if (spec.kind == MethodKind::kHgca) config.model_name = "GCN";
-    RunResult run = RunOne(data, ctx, config, spec);
+    RunResult run = RunOne(data, ctx, config, spec, ckpt);
+    if (run.interrupted) {
+      aggregate.interrupted = true;
+      return aggregate;
+    }
     if (run.out_of_memory) {
       aggregate.out_of_memory = true;
       return aggregate;
     }
+    aggregate.state_digest =
+        Fnv1a(&run.state_digest, sizeof(run.state_digest),
+              aggregate.state_digest);
     if (Telemetry::Enabled()) {
       Telemetry::Get().Emit(
           MetricRecord("run_result")

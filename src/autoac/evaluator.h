@@ -10,6 +10,8 @@
 
 namespace autoac {
 
+class CheckpointManager;  // autoac/checkpoint.h
+
 /// The completion strategies the benchmark tables compare.
 enum class MethodKind {
   kBaseline,  // handcrafted completion: one-hot for every missing node
@@ -42,16 +44,26 @@ struct AggregateResult {
   double epoch_seconds = 0.0;    // mean per-epoch wall time
   StageTimes mean_times;
   bool out_of_memory = false;
+  /// Set when a seed's run stopped at a shutdown request; the aggregate
+  /// covers only the seeds finished before it and is not reportable.
+  bool interrupted = false;
+  /// Chained FNV-1a over every seed's RunResult::state_digest; the value
+  /// crash_resume_check.sh compares between interrupted-and-resumed and
+  /// uninterrupted runs.
+  uint64_t state_digest = 0;
   std::vector<CompletionOpType> last_ops;  // searched ops of the last seed
   std::vector<float> gmoc_trace;           // of the last seed
 };
 
 /// Runs `spec` for `num_seeds` seeds (config.seed + s) and aggregates.
 /// All F1/AUC/MRR samples are stored as percentages (x100), matching the
-/// paper's tables.
+/// paper's tables. `ckpt` threads crash-safe checkpoint/resume through
+/// every per-seed run (autoac/checkpoint.h); the multi-seed sequence is
+/// deterministic, so finished seeds replay from the journal.
 AggregateResult EvaluateMethod(const TaskData& data, const ModelContext& ctx,
                                const ExperimentConfig& base_config,
-                               const MethodSpec& spec, int64_t num_seeds);
+                               const MethodSpec& spec, int64_t num_seeds,
+                               CheckpointManager* ckpt = nullptr);
 
 /// Convenience formatting for a mean±std cell, already in percent.
 std::string Cell(const RunSummary& summary);

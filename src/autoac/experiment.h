@@ -18,6 +18,24 @@ enum class ClusterMode {
   kEmWarmup,    // k-means, but frozen clusters for the first epochs
 };
 
+/// Crash-safe checkpoint/resume knobs (DESIGN.md §9). When `dir` is set the
+/// search and training loops persist their complete resumable state there
+/// on an epoch cadence, and `resume` restores the newest valid checkpoint
+/// and provably continues the exact trajectory: a resumed run is
+/// bitwise-identical to an uninterrupted one at any thread count.
+struct CheckpointOptions {
+  std::string dir;    // empty = checkpointing disabled
+  int64_t every = 5;  // epochs between mid-stage checkpoint writes
+  int64_t keep = 3;   // retained checkpoint files (bounded disk usage)
+  bool resume = false;
+  /// Test hook: behave as if SIGINT arrived once this many epochs of the
+  /// current stage completed (cooperative stop at the epoch boundary,
+  /// final checkpoint written). -1 disables. Lets tests exercise the
+  /// interrupt→resume path in-process, without killing themselves; real
+  /// kills are covered by AUTOAC_FAULT_INJECT + crash_resume_check.sh.
+  int64_t interrupt_after_epochs = -1;
+};
+
 /// Everything one experiment run needs. Field defaults follow Section V-B
 /// (Adam, lr/wd for w and alpha) with budgets sized for the scaled datasets.
 struct ExperimentConfig {
@@ -71,6 +89,8 @@ struct ExperimentConfig {
 
   CompletionConfig completion;
   uint64_t seed = 1;
+
+  CheckpointOptions checkpoint;
 };
 
 /// Wall time attributed to each pipeline stage (Table IV's columns).
@@ -95,6 +115,16 @@ struct RunResult {
   double epoch_seconds = 0.0;  // mean wall time per training epoch
   int64_t epochs_run = 0;
   bool out_of_memory = false;
+  /// True when the run stopped early at an epoch boundary because a
+  /// shutdown was requested (SIGINT/SIGTERM or the test hook). The partial
+  /// metrics above are not comparable to a completed run's.
+  bool interrupted = false;
+  /// FNV-1a digest over the final parameter tensors, test metrics, and (for
+  /// AutoAC runs) the searched assignment + alpha. Bitwise-reproducible
+  /// across thread counts and across crash→resume, so the crash-recovery
+  /// harness compares resumed runs against uninterrupted ones with a single
+  /// value.
+  uint64_t state_digest = 0;
 
   // Search artifacts (AutoAC runs only).
   std::vector<CompletionOpType> searched_ops;  // per missing node

@@ -5,11 +5,13 @@
 
 #include <limits>
 
+#include "autoac/checkpoint.h"
 #include "autoac/clustering.h"
 #include "autoac/completion_params.h"
 #include "autoac/trainer.h"
 #include "models/factory.h"
 #include "tensor/optimizer.h"
+#include "util/fault.h"
 #include "util/logging.h"
 #include "util/telemetry.h"
 #include "util/timer.h"
@@ -103,7 +105,21 @@ class GradPause {
 
 SearchResult SearchCompletionOps(const TaskData& data,
                                  const ModelContext& ctx,
-                                 const ExperimentConfig& config) {
+                                 const ExperimentConfig& config,
+                                 CheckpointManager* ckpt) {
+  // The search is one checkpoint unit; a journal that already holds its
+  // result replays it without touching the supernet at all.
+  CheckpointManager::UnitHandle unit;
+  if (ckpt != nullptr) {
+    unit = ckpt->BeginUnit("search");
+    if (unit.completed) {
+      SearchResult replay;
+      AUTOAC_CHECK(DeserializeSearchResult(unit.payload, &replay))
+          << "checkpointed search-unit result failed to parse";
+      return replay;
+    }
+  }
+
   Rng rng(config.seed * 2654435761u + 97);
   WallTimer timer;
 
@@ -149,6 +165,8 @@ SearchResult SearchCompletionOps(const TaskData& data,
   }
 
   SearchResult result;
+  int64_t start_epoch = 0;
+  double elapsed_before = 0.0;  // search seconds from previous processes
   // Candidate assignments visited during the search. Validation scores
   // measured under different supernet states are not comparable, so the
   // final choice re-scores every candidate under the *trained* supernet
@@ -168,13 +186,78 @@ SearchResult SearchCompletionOps(const TaskData& data,
     result.op_per_missing = current_assignment();
     result.cluster_of = cluster_of;
     result.final_alpha = alpha->value;
-    result.search_seconds = timer.Seconds();
+    result.search_seconds = elapsed_before + timer.Seconds();
+  };
+
+  if (ckpt != nullptr && unit.has_partial) {
+    // Resume mid-search: the modules above were rebuilt with the identical
+    // seeded construction draws; now overwrite every piece of evolving
+    // state, including the RNG stream, so epoch `start_epoch` onward is
+    // bitwise-identical to the uninterrupted run.
+    SearchPartialState st;
+    AUTOAC_CHECK(DeserializeSearchPartial(unit.payload, &st))
+        << "checkpointed search-unit partial state failed to parse";
+    AUTOAC_CHECK(st.alpha.SameShape(alpha->value));
+    alpha->value = st.alpha;
+    AUTOAC_CHECK_EQ(st.w_params.size(), w_params.size());
+    AUTOAC_CHECK_EQ(st.w_grad_alloc.size(), w_params.size());
+    for (size_t i = 0; i < w_params.size(); ++i) {
+      AUTOAC_CHECK(st.w_params[i].SameShape(w_params[i]->value));
+      w_params[i]->value = st.w_params[i];
+      if (st.w_grad_alloc[i] != 0) w_params[i]->EnsureGrad();
+    }
+    alpha_optimizer.ImportState(st.alpha_opt);
+    w_optimizer.ImportState(st.w_opt);
+    AUTOAC_CHECK(rng.LoadState(st.rng_state));
+    AUTOAC_CHECK_EQ(st.cluster_of.size(), cluster_of.size());
+    cluster_of = st.cluster_of;
+    best_track_val = st.best_track_val;
+    tracked_ops.clear();
+    for (int64_t raw : st.tracked_ops) {
+      AUTOAC_CHECK(raw >= 0 && raw < kNumCompletionOps);
+      tracked_ops.push_back(static_cast<CompletionOpType>(raw));
+    }
+    result.gmoc_trace = st.gmoc_trace;
+    start_epoch = st.epoch;
+    elapsed_before = st.elapsed_seconds;
+  }
+  // State at the top of epoch `at_epoch`, serialized for SavePartial.
+  auto capture = [&](int64_t at_epoch) {
+    SearchPartialState st;
+    st.epoch = at_epoch;
+    st.alpha = alpha->value;
+    st.w_params.reserve(w_params.size());
+    for (const VarPtr& p : w_params) {
+      st.w_params.push_back(p->value);
+      st.w_grad_alloc.push_back(p->grad.numel() > 0 ? 1 : 0);
+    }
+    st.alpha_opt = alpha_optimizer.ExportState();
+    st.w_opt = w_optimizer.ExportState();
+    st.rng_state = rng.SaveState();
+    st.cluster_of = cluster_of;
+    st.best_track_val = best_track_val;
+    for (CompletionOpType op : tracked_ops) {
+      st.tracked_ops.push_back(static_cast<int64_t>(op));
+    }
+    st.gmoc_trace = result.gmoc_trace;
+    st.elapsed_seconds = elapsed_before + timer.Seconds();
+    return SerializeSearchPartial(st);
   };
 
   int64_t warmup = config.alpha_warmup_epochs >= 0
                        ? config.alpha_warmup_epochs
                        : config.search_epochs / 4;
-  for (int64_t epoch = 0; epoch < config.search_epochs; ++epoch) {
+  for (int64_t epoch = start_epoch; epoch < config.search_epochs; ++epoch) {
+    if (StopRequestedAtEpoch(config, epoch)) {
+      if (ckpt != nullptr) ckpt->SavePartial(unit, capture(epoch));
+      result.interrupted = true;
+      finish();
+      return result;
+    }
+    if (ckpt != nullptr && epoch > start_epoch && ckpt->ShouldSave(epoch)) {
+      ckpt->SavePartial(unit, capture(epoch));
+    }
+    FaultPoint("search_epoch");
     // Telemetry: alpha snapshot for the per-epoch flip count, and the
     // epoch's loss values as they become available. All of it is skipped
     // when no sink is open.
@@ -238,6 +321,9 @@ SearchResult SearchCompletionOps(const TaskData& data,
           EstimateTapeBytes(loss_val) > config.memory_limit_bytes) {
         result.out_of_memory = true;
         finish();
+        if (ckpt != nullptr) {
+          ckpt->CompleteUnit(unit, SerializeSearchResult(result));
+        }
         return result;
       }
       epoch_val_loss = loss_val->value.data()[0];
@@ -265,6 +351,9 @@ SearchResult SearchCompletionOps(const TaskData& data,
           EstimateTapeBytes(loss_train) > config.memory_limit_bytes) {
         result.out_of_memory = true;
         finish();
+        if (ckpt != nullptr) {
+          ckpt->CompleteUnit(unit, SerializeSearchResult(result));
+        }
         return result;
       }
       Backward(loss_train);
@@ -439,17 +528,23 @@ SearchResult SearchCompletionOps(const TaskData& data,
     }
     Telemetry::Get().Emit(record);
   }
+  if (ckpt != nullptr) {
+    ckpt->CompleteUnit(unit, SerializeSearchResult(result));
+  }
   return result;
 }
 
 RunResult RunAutoAc(const TaskData& data, const ModelContext& ctx,
-                    const ExperimentConfig& config) {
-  WallTimer search_timer;
-  SearchResult search = SearchCompletionOps(data, ctx, config);
+                    const ExperimentConfig& config, CheckpointManager* ckpt) {
+  SearchResult search = SearchCompletionOps(data, ctx, config, ckpt);
   RunResult result;
   result.gmoc_trace = search.gmoc_trace;
+  result.times.search_seconds = search.search_seconds;
+  if (search.interrupted) {
+    result.interrupted = true;
+    return result;
+  }
   if (search.out_of_memory) {
-    result.times.search_seconds = search.search_seconds;
     result.out_of_memory = true;
     return result;
   }
@@ -461,31 +556,47 @@ RunResult RunAutoAc(const TaskData& data, const ModelContext& ctx,
   std::vector<std::vector<CompletionOpType>> finalists;
   finalists.push_back(search.op_per_missing);
   for (const auto& ops : search.runner_up_ops) finalists.push_back(ops);
-  result.times.search_seconds = search_timer.Seconds();
 
   // Rank the finalists with short fresh retrains (one third of the budget,
   // smoothed validation score), then fully retrain only the winner under
   // the evaluation protocol — selection on validation, reporting on test.
-  // The probe retrains are billed to training time.
-  WallTimer train_timer;
+  // The probe retrains are billed to training time. Each retrain is its own
+  // checkpoint unit, so completed probes replay instantly on resume and
+  // their selection is reproduced exactly.
   std::vector<CompletionOpType> chosen = finalists[0];
+  double probe_seconds = 0.0;
   if (finalists.size() > 1) {
     ExperimentConfig probe_config = config;
     probe_config.train_epochs = std::max<int64_t>(10, config.train_epochs / 3);
     double best_val = -1.0;
     for (const auto& ops : finalists) {
-      RunResult probe = TrainFixedCompletion(data, ctx, probe_config, ops);
+      RunResult probe = TrainFixedCompletion(data, ctx, probe_config, ops, ckpt);
+      if (probe.interrupted) {
+        result.interrupted = true;
+        result.times.train_seconds = probe_seconds + probe.times.train_seconds;
+        return result;
+      }
+      probe_seconds += probe.times.train_seconds;
       if (probe.val_smoothed > best_val) {
         best_val = probe.val_smoothed;
         chosen = ops;
       }
     }
   }
-  RunResult best_run = TrainFixedCompletion(data, ctx, config, chosen);
+  RunResult best_run = TrainFixedCompletion(data, ctx, config, chosen, ckpt);
   best_run.searched_ops = chosen;
   best_run.times.search_seconds = result.times.search_seconds;
-  best_run.times.train_seconds = train_timer.Seconds();
+  best_run.times.train_seconds += probe_seconds;
   best_run.gmoc_trace = result.gmoc_trace;
+  if (best_run.interrupted) return best_run;
+  // Fold the searched assignment and alpha into the run digest so crash →
+  // resume comparisons also cover the search artifacts.
+  uint64_t digest = best_run.state_digest;
+  digest = DigestTensor(digest, search.final_alpha);
+  for (int64_t c : search.cluster_of) {
+    digest = Fnv1a(&c, sizeof(c), digest);
+  }
+  best_run.state_digest = digest;
   return best_run;
 }
 

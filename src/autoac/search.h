@@ -6,6 +6,8 @@
 
 namespace autoac {
 
+class CheckpointManager;  // autoac/checkpoint.h
+
 /// Output of the completion-operation search stage.
 struct SearchResult {
   std::vector<CompletionOpType> op_per_missing;
@@ -14,6 +16,9 @@ struct SearchResult {
   double search_seconds = 0.0;
   std::vector<float> gmoc_trace;  // L_GmoC per search epoch (kModularity)
   bool out_of_memory = false;
+  /// True when the search stopped early at an epoch boundary because a
+  /// shutdown was requested; the fields above describe the partial state.
+  bool interrupted = false;
   /// Runner-up assignments ranked by supernet validation score (the winner
   /// is op_per_missing). RunAutoAc re-ranks the top few with short fresh
   /// retrains to remove the supernet co-adaptation bias.
@@ -35,15 +40,24 @@ struct SearchResult {
 ///
 /// Cluster assignments follow `config.cluster_mode`; kModularity trains the
 /// soft assignment head jointly via L_GmoC (Eq. 12).
+///
+/// With a CheckpointManager the search registers itself as one pipeline
+/// unit: it replays instantly when the journal already holds its result,
+/// restores mid-epoch state when a partial save exists, and persists its
+/// full resumable state on the checkpoint cadence and at cooperative
+/// shutdown. A resumed search continues the exact trajectory bitwise.
 SearchResult SearchCompletionOps(const TaskData& data,
                                  const ModelContext& ctx,
-                                 const ExperimentConfig& config);
+                                 const ExperimentConfig& config,
+                                 CheckpointManager* ckpt = nullptr);
 
 /// Full AutoAC pipeline: search, then retrain from scratch with the
 /// discovered assignment (the paper's Search + Train/Retrain staging whose
-/// times Table IV reports).
+/// times Table IV reports). `ckpt` threads checkpoint/resume through every
+/// stage (search, probe retrains, final retrain).
 RunResult RunAutoAc(const TaskData& data, const ModelContext& ctx,
-                    const ExperimentConfig& config);
+                    const ExperimentConfig& config,
+                    CheckpointManager* ckpt = nullptr);
 
 }  // namespace autoac
 

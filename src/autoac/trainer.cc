@@ -1,7 +1,9 @@
 #include "autoac/trainer.h"
 
+#include "autoac/checkpoint.h"
 #include "models/factory.h"
 #include "tensor/optimizer.h"
+#include "util/fault.h"
 #include "util/telemetry.h"
 #include "util/timer.h"
 
@@ -36,7 +38,8 @@ int64_t EstimateTapeBytes(const VarPtr& root) {
 
 RunResult TrainFixedCompletion(const TaskData& data, const ModelContext& ctx,
                                const ExperimentConfig& config,
-                               const std::vector<CompletionOpType>& op_of) {
+                               const std::vector<CompletionOpType>& op_of,
+                               CheckpointManager* ckpt) {
   Rng rng(config.seed);
   CompletionConfig completion_config = config.completion;
   completion_config.hidden_dim = config.hidden_dim;
@@ -69,7 +72,89 @@ RunResult TrainFixedCompletion(const TaskData& data, const ModelContext& ctx,
   double best_val = -1.0;
   int64_t since_best = 0;
   std::vector<double> val_history;
-  for (int64_t epoch = 0; epoch < config.train_epochs; ++epoch) {
+
+  // Checkpoint/resume: the whole run is one "train" unit (see
+  // autoac/checkpoint.h). The assignment digest ties a partial state to its
+  // op_of, so a journal that drifted out of sync fails loudly.
+  uint64_t assignment_digest = kFnvOffsetBasis;
+  for (CompletionOpType op : op_of) {
+    auto raw = static_cast<int64_t>(op);
+    assignment_digest = Fnv1a(&raw, sizeof(raw), assignment_digest);
+  }
+  CheckpointManager::UnitHandle unit;
+  int64_t start_epoch = 0;
+  double elapsed_before = 0.0;
+  if (ckpt != nullptr) {
+    unit = ckpt->BeginUnit("train");
+    if (unit.completed) {
+      RunResult replay;
+      AUTOAC_CHECK(DeserializeRunResult(unit.payload, &replay))
+          << "checkpointed train-unit result failed to parse";
+      return replay;
+    }
+    if (unit.has_partial) {
+      TrainerPartialState st;
+      AUTOAC_CHECK(DeserializeTrainerPartial(unit.payload, &st))
+          << "checkpointed train-unit partial state failed to parse";
+      AUTOAC_CHECK_EQ(st.assignment_digest, assignment_digest)
+          << "checkpointed training state belongs to a different assignment";
+      AUTOAC_CHECK_EQ(st.params.size(), params.size());
+      AUTOAC_CHECK_EQ(st.params_grad_alloc.size(), params.size());
+      for (size_t i = 0; i < params.size(); ++i) {
+        AUTOAC_CHECK(st.params[i].SameShape(params[i]->value));
+        params[i]->value = st.params[i];
+        if (st.params_grad_alloc[i] != 0) params[i]->EnsureGrad();
+      }
+      optimizer.ImportState(st.opt);
+      AUTOAC_CHECK(rng.LoadState(st.rng_state));
+      start_epoch = st.epoch;
+      best_val = st.best_val;
+      since_best = st.since_best;
+      val_history = st.val_history;
+      result.test.primary = st.test_scores[0];
+      result.test.macro_f1 = st.test_scores[1];
+      result.test.micro_f1 = st.test_scores[2];
+      result.test.roc_auc = st.test_scores[3];
+      result.test.mrr = st.test_scores[4];
+      result.epochs_run = st.epochs_run;
+      elapsed_before = st.elapsed_seconds;
+    }
+  }
+  // State at the top of epoch `at_epoch`, serialized for SavePartial.
+  auto capture = [&](int64_t at_epoch) {
+    TrainerPartialState st;
+    st.epoch = at_epoch;
+    st.assignment_digest = assignment_digest;
+    st.params.reserve(params.size());
+    for (const VarPtr& p : params) {
+      st.params.push_back(p->value);
+      st.params_grad_alloc.push_back(p->grad.numel() > 0 ? 1 : 0);
+    }
+    st.opt = optimizer.ExportState();
+    st.rng_state = rng.SaveState();
+    st.best_val = best_val;
+    st.since_best = since_best;
+    st.val_history = val_history;
+    st.test_scores[0] = result.test.primary;
+    st.test_scores[1] = result.test.macro_f1;
+    st.test_scores[2] = result.test.micro_f1;
+    st.test_scores[3] = result.test.roc_auc;
+    st.test_scores[4] = result.test.mrr;
+    st.epochs_run = result.epochs_run;
+    st.elapsed_seconds = elapsed_before + train_timer.Seconds();
+    return SerializeTrainerPartial(st);
+  };
+
+  for (int64_t epoch = start_epoch; epoch < config.train_epochs; ++epoch) {
+    if (StopRequestedAtEpoch(config, epoch)) {
+      if (ckpt != nullptr) ckpt->SavePartial(unit, capture(epoch));
+      result.interrupted = true;
+      break;
+    }
+    if (ckpt != nullptr && epoch > start_epoch && ckpt->ShouldSave(epoch)) {
+      ckpt->SavePartial(unit, capture(epoch));
+    }
+    FaultPoint("train_epoch");
     optimizer.ZeroGrad();
     VarPtr h0 = completion.CompleteDiscrete(op_of);
     VarPtr h = model->Forward(ctx, h0, /*training=*/true, rng);
@@ -119,11 +204,25 @@ RunResult TrainFixedCompletion(const TaskData& data, const ModelContext& ctx,
     }
     result.val_smoothed = sum / window;
   }
-  result.times.train_seconds = train_timer.Seconds();
+  result.times.train_seconds = elapsed_before + train_timer.Seconds();
   result.epoch_seconds =
       result.epochs_run > 0 ? result.times.train_seconds / result.epochs_run
                             : 0.0;
   result.searched_ops = op_of;
+  // Digest over the final parameters, test metrics, and assignment (wall
+  // times excluded — they legitimately differ run-to-run). A resumed run
+  // must reproduce this value bit for bit.
+  uint64_t digest = assignment_digest;
+  for (const VarPtr& p : params) digest = DigestTensor(digest, p->value);
+  for (double s : {result.test.primary, result.test.macro_f1,
+                   result.test.micro_f1, result.test.roc_auc,
+                   result.test.mrr, result.val_primary}) {
+    digest = Fnv1a(&s, sizeof(s), digest);
+  }
+  result.state_digest = digest;
+  if (ckpt != nullptr && !result.interrupted) {
+    ckpt->CompleteUnit(unit, SerializeRunResult(result));
+  }
   if (Telemetry::Enabled()) {
     Telemetry& sink = Telemetry::Get();
     sink.GetCounter("train.epochs").Increment(result.epochs_run);

@@ -6,6 +6,8 @@
 
 namespace autoac {
 
+class CheckpointManager;  // autoac/checkpoint.h
+
 /// Trains `config.model_name` end-to-end with a FIXED per-missing-node
 /// completion assignment (the lower-level problem with frozen alpha): this
 /// is the retraining stage of AutoAC and, with an all-one-hot assignment,
@@ -14,9 +16,16 @@ namespace autoac {
 /// `ctx` must be built from `data.graph`. Early stopping tracks the
 /// validation primary metric; test scores are taken at the best-validation
 /// epoch.
+///
+/// With a CheckpointManager the run registers itself as one "train" unit
+/// (replay / partial-restore / periodic save; see autoac/checkpoint.h) and
+/// honors cooperative shutdown at epoch boundaries, returning with
+/// `interrupted` set. The result's `state_digest` summarizes the final
+/// parameters, test metrics, and assignment for bitwise-identity checks.
 RunResult TrainFixedCompletion(const TaskData& data, const ModelContext& ctx,
                                const ExperimentConfig& config,
-                               const std::vector<CompletionOpType>& op_of);
+                               const std::vector<CompletionOpType>& op_of,
+                               CheckpointManager* ckpt = nullptr);
 
 /// Convenience: assignment filling every missing node with one operation.
 std::vector<CompletionOpType> UniformAssignment(int64_t num_missing,

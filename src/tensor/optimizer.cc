@@ -40,6 +40,39 @@ void Adam::Step() {
   }
 }
 
+AdamState Adam::ExportState() const {
+  AdamState snapshot;
+  snapshot.t = t_;
+  snapshot.m.reserve(params_.size());
+  snapshot.v.reserve(params_.size());
+  for (const VarPtr& p : params_) {
+    auto it = state_.find(p.get());
+    if (it == state_.end()) {
+      snapshot.m.emplace_back();
+      snapshot.v.emplace_back();
+    } else {
+      snapshot.m.push_back(it->second.m);
+      snapshot.v.push_back(it->second.v);
+    }
+  }
+  return snapshot;
+}
+
+void Adam::ImportState(const AdamState& state) {
+  AUTOAC_CHECK_EQ(state.m.size(), params_.size());
+  AUTOAC_CHECK_EQ(state.v.size(), params_.size());
+  t_ = state.t;
+  state_.clear();
+  for (size_t i = 0; i < params_.size(); ++i) {
+    if (state.m[i].numel() == 0) continue;
+    AUTOAC_CHECK(state.m[i].SameShape(params_[i]->value));
+    AUTOAC_CHECK(state.v[i].SameShape(params_[i]->value));
+    State& s = state_[params_[i].get()];
+    s.m = state.m[i];
+    s.v = state.v[i];
+  }
+}
+
 Sgd::Sgd(std::vector<VarPtr> params, float lr, float weight_decay)
     : Optimizer(std::move(params)), lr_(lr), weight_decay_(weight_decay) {}
 

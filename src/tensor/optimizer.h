@@ -30,6 +30,16 @@ class Optimizer {
   std::vector<VarPtr> params_;
 };
 
+/// Snapshot of an Adam instance's mutable state, aligned with the
+/// optimizer's params() order. `m`/`v` entries are empty tensors for
+/// parameters that have not received a gradient yet. The checkpoint layer
+/// persists this so a resumed run applies bitwise-identical updates.
+struct AdamState {
+  int64_t t = 0;
+  std::vector<Tensor> m;
+  std::vector<Tensor> v;
+};
+
 /// Adam (Kingma & Ba, 2014) with L2 weight decay folded into the gradient,
 /// matching the paper's optimizer for both the GNN weights w and the
 /// completion parameters alpha.
@@ -43,6 +53,14 @@ class Adam : public Optimizer {
   /// Learning-rate accessors (Fig. 10 sweeps it between runs).
   void set_lr(float lr) { lr_ = lr; }
   float lr() const { return lr_; }
+
+  /// Copies out {t, m, v} in params() order (for checkpointing).
+  AdamState ExportState() const;
+
+  /// Restores a state captured by ExportState on an optimizer over the same
+  /// parameter list (sizes are CHECKed). Continuing training after
+  /// ImportState is bitwise-identical to never having snapshotted.
+  void ImportState(const AdamState& state);
 
  private:
   struct State {

@@ -1,0 +1,68 @@
+#include "util/fault.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace autoac {
+namespace {
+
+struct FaultSpec {
+  bool active = false;
+  std::string site;
+  int64_t count = 0;
+};
+
+const FaultSpec& GetSpec() {
+  static const FaultSpec spec = [] {
+    FaultSpec s;
+    const char* env = std::getenv("AUTOAC_FAULT_INJECT");
+    if (env == nullptr || env[0] == '\0') return s;
+    if (!ParseFaultSpec(env, &s.site, &s.count)) {
+      std::fprintf(stderr,
+                   "warning: ignoring malformed AUTOAC_FAULT_INJECT='%s' "
+                   "(expected <site>:<n>)\n",
+                   env);
+      return s;
+    }
+    s.active = true;
+    return s;
+  }();
+  return spec;
+}
+
+}  // namespace
+
+bool ParseFaultSpec(const std::string& spec, std::string* site,
+                    int64_t* count) {
+  size_t colon = spec.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 == spec.size()) {
+    return false;
+  }
+  char* end = nullptr;
+  long long n = std::strtoll(spec.c_str() + colon + 1, &end, 10);
+  if (end == nullptr || *end != '\0' || n < 0) return false;
+  *site = spec.substr(0, colon);
+  *count = n;
+  return true;
+}
+
+void FaultPoint(const char* site) {
+  const FaultSpec& spec = GetSpec();
+  if (!spec.active) return;
+  if (spec.site != site) return;
+  // Counts hits of the matching site only; one counter suffices because a
+  // process is killed by at most one spec.
+  static std::atomic<int64_t> hits{0};
+  int64_t hit = hits.fetch_add(1, std::memory_order_relaxed);
+  if (hit == spec.count) {
+    std::fprintf(stderr, "fault injected: site '%s' hit %lld — dying\n",
+                 site, static_cast<long long>(hit));
+    _exit(kFaultInjectExitCode);
+  }
+}
+
+}  // namespace autoac

@@ -1,0 +1,42 @@
+#ifndef AUTOAC_UTIL_FAULT_H_
+#define AUTOAC_UTIL_FAULT_H_
+
+#include <cstdint>
+#include <string>
+
+// Deterministic fault injection for crash-safety testing.
+//
+// Long-running stages call FaultPoint("<site>") at well-defined points
+// (epoch boundaries, the middle of an atomic file write). Normally the call
+// is a single branch on a process-wide bool. When the environment variable
+//
+//   AUTOAC_FAULT_INJECT=<site>:<n>
+//
+// is set, the n-th (0-based) hit of that site terminates the process
+// immediately via _exit(kFaultInjectExitCode) — no destructors, no stdio
+// flushing, no atexit handlers — simulating a SIGKILL / power loss at that
+// exact point. scripts/crash_resume_check.sh uses this to verify that a
+// killed run recovers from its last good checkpoint.
+//
+// Registered sites (see DESIGN.md §9):
+//   search_epoch  — top of each bi-level search epoch
+//   train_epoch   — top of each (re)training epoch
+//   atomic_write  — mid-payload inside io::WriteFileAtomic, before rename
+
+namespace autoac {
+
+/// Exit code used by injected faults, distinguishable from normal failures.
+inline constexpr int kFaultInjectExitCode = 42;
+
+/// Possibly terminates the process (see file comment). Near-zero cost when
+/// AUTOAC_FAULT_INJECT is unset.
+void FaultPoint(const char* site);
+
+/// Parses "<site>:<n>" into its parts. Returns false (and leaves the
+/// outputs untouched) when the spec is malformed. Exposed for tests.
+bool ParseFaultSpec(const std::string& spec, std::string* site,
+                    int64_t* count);
+
+}  // namespace autoac
+
+#endif  // AUTOAC_UTIL_FAULT_H_

@@ -3,11 +3,50 @@
 #include <cstdlib>
 
 namespace autoac {
+namespace {
+
+bool ParsesAsInt(const std::string& value) {
+  if (value.empty()) return false;
+  char* end = nullptr;
+  std::strtoll(value.c_str(), &end, 10);
+  return end != nullptr && *end == '\0';
+}
+
+bool ParsesAsDouble(const std::string& value) {
+  if (value.empty()) return false;
+  char* end = nullptr;
+  std::strtod(value.c_str(), &end);
+  return end != nullptr && *end == '\0';
+}
+
+bool ParsesAsBool(const std::string& value) {
+  return value == "true" || value == "false" || value == "1" ||
+         value == "0" || value == "yes" || value == "no";
+}
+
+const char* TypeName(Flags::Spec::Type type) {
+  switch (type) {
+    case Flags::Spec::Type::kInt:
+      return "integer";
+    case Flags::Spec::Type::kDouble:
+      return "number";
+    case Flags::Spec::Type::kString:
+      return "string";
+    case Flags::Spec::Type::kBool:
+      return "boolean (true/false/1/0/yes/no)";
+  }
+  return "value";
+}
+
+}  // namespace
 
 Flags::Flags(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
-    if (arg.rfind("--", 0) != 0) continue;
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
     arg = arg.substr(2);
     size_t eq = arg.find('=');
     if (eq == std::string::npos) {
@@ -48,6 +87,48 @@ bool Flags::GetBool(const std::string& key, bool default_value) const {
 
 bool Flags::Has(const std::string& key) const {
   return values_.count(key) > 0;
+}
+
+std::vector<std::string> Flags::Validate(
+    const std::vector<Spec>& specs) const {
+  std::vector<std::string> errors;
+  for (const std::string& arg : positional_) {
+    errors.push_back("unexpected argument '" + arg +
+                     "' (flags look like --key=value)");
+  }
+  for (const auto& [key, value] : values_) {
+    const Spec* spec = nullptr;
+    for (const Spec& candidate : specs) {
+      if (candidate.name == key) {
+        spec = &candidate;
+        break;
+      }
+    }
+    if (spec == nullptr) {
+      errors.push_back("unknown flag --" + key);
+      continue;
+    }
+    bool ok = true;
+    switch (spec->type) {
+      case Spec::Type::kInt:
+        ok = ParsesAsInt(value);
+        break;
+      case Spec::Type::kDouble:
+        ok = ParsesAsDouble(value);
+        break;
+      case Spec::Type::kString:
+        ok = true;
+        break;
+      case Spec::Type::kBool:
+        ok = ParsesAsBool(value);
+        break;
+    }
+    if (!ok) {
+      errors.push_back("invalid value for --" + key + ": '" + value +
+                       "' (expected " + TypeName(spec->type) + ")");
+    }
+  }
+  return errors;
 }
 
 }  // namespace autoac

@@ -4,16 +4,30 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 namespace autoac {
 
 /// Tiny --key=value command-line parser so bench and example binaries can be
 /// re-run with different budgets ("--seeds=5 --epochs=200") without
-/// recompiling. Unknown keys are kept and retrievable; flags never abort.
+/// recompiling. The typed getters fall back to their defaults on absent or
+/// unparseable values; binaries that want strict parsing (the CLI driver)
+/// declare their flag table and call Validate(), which reports unknown
+/// flags, malformed values, and stray positional arguments so the binary
+/// can print a usage error and exit non-zero instead of silently running
+/// with defaults.
 class Flags {
  public:
-  /// Parses argv, skipping argv[0]. Arguments not of the form --key=value or
-  /// --key (boolean true) are ignored.
+  /// Declares one accepted flag for Validate().
+  struct Spec {
+    enum class Type { kInt, kDouble, kString, kBool };
+    std::string name;
+    Type type = Type::kString;
+  };
+
+  /// Parses argv, skipping argv[0]. --key=value sets a value; bare --key
+  /// means boolean true. Arguments not starting with "--" are recorded as
+  /// positional errors (reported by Validate(); ignored otherwise).
   Flags(int argc, char** argv);
 
   /// Returns the value of `key` or `default_value` if unset/unparseable.
@@ -26,8 +40,15 @@ class Flags {
   /// True when `key` was present on the command line.
   bool Has(const std::string& key) const;
 
+  /// Strict check against a declared flag table. Returns one human-readable
+  /// message per problem: flags not in `specs`, values that do not parse as
+  /// the declared type, and positional (non --key) arguments. Empty result
+  /// means the command line is clean.
+  std::vector<std::string> Validate(const std::vector<Spec>& specs) const;
+
  private:
   std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;  // non-flag arguments, verbatim
 };
 
 }  // namespace autoac

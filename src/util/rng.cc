@@ -2,9 +2,25 @@
 
 #include <algorithm>
 #include <numeric>
+#include <sstream>
 #include <unordered_set>
 
 namespace autoac {
+
+std::string Rng::SaveState() const {
+  std::ostringstream out;
+  out << engine_;
+  return out.str();
+}
+
+bool Rng::LoadState(const std::string& state) {
+  std::istringstream in(state);
+  std::mt19937_64 restored;
+  in >> restored;
+  if (in.fail()) return false;
+  engine_ = restored;
+  return true;
+}
 
 std::vector<int64_t> Rng::SampleWithoutReplacement(int64_t n, int64_t k) {
   AUTOAC_CHECK_GE(n, 0);

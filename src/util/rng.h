@@ -57,6 +57,15 @@ class Rng {
   /// rejection sampling.
   std::vector<int64_t> SampleWithoutReplacement(int64_t n, int64_t k);
 
+  /// Serializes the full engine state (the checkpoint layer persists it so
+  /// a resumed run continues the exact random stream). The format is
+  /// mt19937_64's standard textual state.
+  std::string SaveState() const;
+
+  /// Restores a state produced by SaveState. Returns false (engine
+  /// unchanged) when `state` is not a valid mt19937_64 state string.
+  bool LoadState(const std::string& state);
+
   std::mt19937_64& engine() { return engine_; }
 
  private:

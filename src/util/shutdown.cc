@@ -1,0 +1,35 @@
+#include "util/shutdown.h"
+
+#include <csignal>
+
+namespace autoac {
+namespace {
+
+// Async-signal-safe: the handler only stores to this flag (and re-arms the
+// default disposition for a second Ctrl-C).
+volatile std::sig_atomic_t g_shutdown_requested = 0;
+
+void HandleSignal(int signum) {
+  if (g_shutdown_requested != 0) {
+    // Second signal: give up on graceful shutdown and die the default way.
+    std::signal(signum, SIG_DFL);
+    std::raise(signum);
+    return;
+  }
+  g_shutdown_requested = 1;
+}
+
+}  // namespace
+
+void InstallShutdownHandler() {
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+}
+
+bool ShutdownRequested() { return g_shutdown_requested != 0; }
+
+void RequestShutdown() { g_shutdown_requested = 1; }
+
+void ClearShutdownRequestForTest() { g_shutdown_requested = 0; }
+
+}  // namespace autoac

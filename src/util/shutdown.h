@@ -1,0 +1,32 @@
+#ifndef AUTOAC_UTIL_SHUTDOWN_H_
+#define AUTOAC_UTIL_SHUTDOWN_H_
+
+// Cooperative graceful shutdown.
+//
+// Binaries call InstallShutdownHandler() once at startup; SIGINT and
+// SIGTERM then set a process-wide flag instead of killing the process.
+// The search and training loops poll ShutdownRequested() at epoch
+// boundaries and wind down cleanly: write a final checkpoint (when
+// checkpointing is on), flush the telemetry sink, and return with the
+// `interrupted` bit set so callers can exit with a distinct status.
+//
+// A second SIGINT while shutdown is already pending restores the default
+// disposition, so a stuck run can still be killed with a double Ctrl-C.
+
+namespace autoac {
+
+/// Installs the SIGINT/SIGTERM handler. Idempotent.
+void InstallShutdownHandler();
+
+/// True once a shutdown signal arrived (or RequestShutdown was called).
+bool ShutdownRequested();
+
+/// Programmatic equivalent of receiving SIGTERM. Safe from any thread.
+void RequestShutdown();
+
+/// Test hook: clears the flag so later tests see a clean slate.
+void ClearShutdownRequestForTest();
+
+}  // namespace autoac
+
+#endif  // AUTOAC_UTIL_SHUTDOWN_H_

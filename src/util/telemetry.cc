@@ -149,6 +149,11 @@ void Telemetry::Emit(const MetricRecord& record) {
   AppendDouble(line, SteadySeconds() - enable_time_);
   line += "}\n";
   std::fwrite(line.data(), 1, line.size(), sink_);
+  // Flush per record: metric lines are emitted at epoch granularity, so the
+  // cost is negligible, and a crash (or SIGKILL) can never lose records to
+  // the userspace stdio buffer — the sink always reflects every completed
+  // epoch.
+  std::fflush(sink_);
 }
 
 void Telemetry::Flush() {

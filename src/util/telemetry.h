@@ -113,7 +113,9 @@ class Telemetry {
   void Disable();
 
   /// Appends one record line to the sink (no-op when disabled). Each line
-  /// additionally carries "t": seconds since the sink was enabled.
+  /// additionally carries "t": seconds since the sink was enabled. The
+  /// line is flushed to the OS before returning, so records written before
+  /// a crash are never lost in the stdio buffer.
   void Emit(const MetricRecord& record);
 
   void Flush();

@@ -1,0 +1,593 @@
+#include "autoac/checkpoint.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "autoac/evaluator.h"
+#include "autoac/search.h"
+#include "autoac/trainer.h"
+#include "gtest/gtest.h"
+#include "util/check.h"
+#include "util/shutdown.h"
+
+namespace autoac {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Shared tiny environment (context building dominates test time).
+struct CheckpointEnvironment {
+  static CheckpointEnvironment& Get() {
+    static CheckpointEnvironment* env = new CheckpointEnvironment();
+    return *env;
+  }
+  Dataset dataset;
+  TaskData task;
+  ModelContext ctx;
+
+ private:
+  CheckpointEnvironment() {
+    DatasetOptions options;
+    options.scale = 0.04;
+    dataset = MakeDataset("acm", options);
+    task = MakeNodeTask(dataset);
+    ctx = BuildModelContext(dataset.graph);
+  }
+};
+
+ExperimentConfig TinyConfig() {
+  ExperimentConfig config;
+  config.model_name = "GCN";  // cheapest host model
+  config.hidden_dim = 16;
+  config.train_epochs = 12;
+  config.patience = 12;
+  config.search_epochs = 6;
+  config.alpha_warmup_epochs = 2;
+  config.num_clusters = 4;
+  config.seed = 3;
+  return config;
+}
+
+int64_t NumMissing(const HeteroGraph& graph) {
+  int64_t missing = 0;
+  for (int64_t t = 0; t < graph.num_node_types(); ++t) {
+    if (graph.node_type(t).attributes.numel() == 0) {
+      missing += graph.node_type(t).count;
+    }
+  }
+  return missing;
+}
+
+// Empty checkpoint directory unique to one test.
+std::string FreshDir(const char* name) {
+  std::string dir = std::string(::testing::TempDir()) + "/" + name;
+  fs::remove_all(dir);
+  return dir;
+}
+
+CheckpointOptions Opts(const std::string& dir, bool resume,
+                       int64_t interrupt_after = -1) {
+  CheckpointOptions o;
+  o.dir = dir;
+  o.every = 2;
+  o.keep = 2;
+  o.resume = resume;
+  o.interrupt_after_epochs = interrupt_after;
+  return o;
+}
+
+std::unique_ptr<CheckpointManager> MustOpen(const CheckpointOptions& options,
+                                            uint64_t fingerprint) {
+  StatusOr<std::unique_ptr<CheckpointManager>> opened =
+      CheckpointManager::Open(options, fingerprint);
+  AUTOAC_CHECK(opened.ok()) << opened.status().message();
+  return opened.TakeValue();
+}
+
+std::vector<std::string> CheckpointFiles(const std::string& dir) {
+  std::vector<std::string> files;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    std::string name = entry.path().filename().string();
+    if (name.size() > 5 && name.substr(name.size() - 5) == ".aacc") {
+      files.push_back(entry.path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+TEST(DigestTest, Fnv1aMatchesReferenceValues) {
+  EXPECT_EQ(Fnv1a("", 0), kFnvOffsetBasis);
+  // Published FNV-1a 64-bit test vectors.
+  EXPECT_EQ(Fnv1a("a", 1), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(Fnv1a("foobar", 6), 0x85944171f73967e8ull);
+  // Chaining matches one-shot.
+  uint64_t chained = Fnv1a("foo", 3);
+  chained = Fnv1a("bar", 3, chained);
+  EXPECT_EQ(chained, Fnv1a("foobar", 6));
+}
+
+TEST(DigestTest, DigestTensorSeesShapeAndValues) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b = Tensor::FromVector({3, 2}, {1, 2, 3, 4, 5, 6});
+  Tensor c = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 7});
+  uint64_t da = DigestTensor(kFnvOffsetBasis, a);
+  EXPECT_NE(da, DigestTensor(kFnvOffsetBasis, b));  // same data, new shape
+  EXPECT_NE(da, DigestTensor(kFnvOffsetBasis, c));  // same shape, new data
+  EXPECT_EQ(da, DigestTensor(kFnvOffsetBasis, a));
+}
+
+TEST(CheckpointCodecTest, SearchPartialRoundTrip) {
+  SearchPartialState state;
+  state.epoch = 7;
+  state.alpha = Tensor::FromVector({2, 2}, {0.1f, 0.9f, 0.4f, 0.6f});
+  state.w_params = {Tensor::Full({3}, 1.5f), Tensor::FromVector({2}, {2, 3})};
+  state.w_grad_alloc = {0, 1};
+  state.alpha_opt.t = 5;
+  state.alpha_opt.m = {Tensor::Full({2, 2}, 0.25f)};
+  state.alpha_opt.v = {Tensor::Full({2, 2}, 0.5f)};
+  state.w_opt.t = 9;
+  state.w_opt.m = {Tensor(), Tensor::Full({2}, 1.0f)};  // untouched + touched
+  state.w_opt.v = {Tensor(), Tensor::Full({2}, 2.0f)};
+  state.rng_state = "12345 67890 42";
+  state.cluster_of = {0, 1, 1, 0};
+  state.best_track_val = 0.75;
+  state.tracked_ops = {0, 2, 1, 3};
+  state.gmoc_trace = {0.5f, 0.25f};
+  state.elapsed_seconds = 12.5;
+
+  SearchPartialState loaded;
+  ASSERT_TRUE(
+      DeserializeSearchPartial(SerializeSearchPartial(state), &loaded));
+  EXPECT_EQ(loaded.epoch, 7);
+  EXPECT_EQ(DigestTensor(kFnvOffsetBasis, loaded.alpha),
+            DigestTensor(kFnvOffsetBasis, state.alpha));
+  ASSERT_EQ(loaded.w_params.size(), 2u);
+  EXPECT_EQ(loaded.w_params[1].at(1), 3.0f);
+  EXPECT_EQ(loaded.w_grad_alloc, state.w_grad_alloc);
+  EXPECT_EQ(loaded.alpha_opt.t, 5);
+  EXPECT_EQ(loaded.w_opt.t, 9);
+  ASSERT_EQ(loaded.w_opt.m.size(), 2u);
+  EXPECT_EQ(loaded.w_opt.m[0].numel(), 0);  // emptiness preserved
+  EXPECT_EQ(loaded.w_opt.m[1].at(0), 1.0f);
+  EXPECT_EQ(loaded.rng_state, state.rng_state);
+  EXPECT_EQ(loaded.cluster_of, state.cluster_of);
+  EXPECT_EQ(loaded.best_track_val, 0.75);
+  EXPECT_EQ(loaded.tracked_ops, state.tracked_ops);
+  ASSERT_EQ(loaded.gmoc_trace.size(), 2u);
+  EXPECT_EQ(loaded.gmoc_trace[1], 0.25f);
+  EXPECT_EQ(loaded.elapsed_seconds, 12.5);
+
+  SearchPartialState garbage;
+  EXPECT_FALSE(DeserializeSearchPartial("not a payload", &garbage));
+}
+
+TEST(CheckpointCodecTest, TrainerPartialRoundTrip) {
+  TrainerPartialState state;
+  state.epoch = 11;
+  state.assignment_digest = 0xdeadbeefcafef00dull;
+  state.params = {Tensor::FromVector({2}, {1.0f, -1.0f})};
+  state.params_grad_alloc = {1};
+  state.opt.t = 11;
+  state.opt.m = {Tensor::Full({2}, 0.125f)};
+  state.opt.v = {Tensor::Full({2}, 0.0625f)};
+  state.rng_state = "999 111";
+  state.best_val = 0.875;
+  state.since_best = 3;
+  state.val_history = {0.5, 0.75, 0.875};
+  state.test_scores[0] = 0.9;
+  state.test_scores[4] = 0.1;
+  state.epochs_run = 10;
+  state.elapsed_seconds = 4.25;
+
+  TrainerPartialState loaded;
+  ASSERT_TRUE(
+      DeserializeTrainerPartial(SerializeTrainerPartial(state), &loaded));
+  EXPECT_EQ(loaded.epoch, 11);
+  EXPECT_EQ(loaded.assignment_digest, state.assignment_digest);
+  EXPECT_EQ(loaded.params[0].at(1), -1.0f);
+  EXPECT_EQ(loaded.params_grad_alloc, state.params_grad_alloc);
+  EXPECT_EQ(loaded.opt.t, 11);
+  EXPECT_EQ(loaded.rng_state, "999 111");
+  EXPECT_EQ(loaded.best_val, 0.875);
+  EXPECT_EQ(loaded.since_best, 3);
+  EXPECT_EQ(loaded.val_history, state.val_history);
+  EXPECT_EQ(loaded.test_scores[0], 0.9);
+  EXPECT_EQ(loaded.test_scores[4], 0.1);
+  EXPECT_EQ(loaded.epochs_run, 10);
+  EXPECT_EQ(loaded.elapsed_seconds, 4.25);
+
+  TrainerPartialState garbage;
+  EXPECT_FALSE(DeserializeTrainerPartial("", &garbage));
+}
+
+TEST(CheckpointCodecTest, SearchAndRunResultRoundTrip) {
+  SearchResult search;
+  search.op_per_missing = {CompletionOpType::kMean, CompletionOpType::kGcn};
+  search.cluster_of = {1, 0};
+  search.final_alpha = Tensor::FromVector({1, 2}, {0.25f, 0.75f});
+  search.search_seconds = 2.5;
+  search.gmoc_trace = {0.5f};
+  search.runner_up_ops = {{CompletionOpType::kOneHot,
+                           CompletionOpType::kPpnp}};
+  SearchResult search_loaded;
+  ASSERT_TRUE(DeserializeSearchResult(SerializeSearchResult(search),
+                                      &search_loaded));
+  EXPECT_EQ(search_loaded.op_per_missing, search.op_per_missing);
+  EXPECT_EQ(search_loaded.cluster_of, search.cluster_of);
+  EXPECT_EQ(search_loaded.final_alpha.at(0, 1), 0.75f);
+  EXPECT_EQ(search_loaded.search_seconds, 2.5);
+  ASSERT_EQ(search_loaded.runner_up_ops.size(), 1u);
+  EXPECT_EQ(search_loaded.runner_up_ops[0], search.runner_up_ops[0]);
+
+  RunResult run;
+  run.test.primary = 0.9;
+  run.test.micro_f1 = 0.91;
+  run.val_primary = 0.88;
+  run.val_smoothed = 0.87;
+  run.times.train_seconds = 3.5;
+  run.epochs_run = 12;
+  run.state_digest = 0x1234abcdull;
+  run.searched_ops = {CompletionOpType::kOneHot};
+  run.gmoc_trace = {0.125f};
+  RunResult run_loaded;
+  ASSERT_TRUE(DeserializeRunResult(SerializeRunResult(run), &run_loaded));
+  EXPECT_EQ(run_loaded.test.primary, 0.9);
+  EXPECT_EQ(run_loaded.test.micro_f1, 0.91);
+  EXPECT_EQ(run_loaded.val_primary, 0.88);
+  EXPECT_EQ(run_loaded.times.train_seconds, 3.5);
+  EXPECT_EQ(run_loaded.epochs_run, 12);
+  EXPECT_EQ(run_loaded.state_digest, 0x1234abcdull);
+  EXPECT_EQ(run_loaded.searched_ops, run.searched_ops);
+}
+
+TEST(CheckpointManagerTest, JournalReplayAcrossReopen) {
+  std::string dir = FreshDir("ckpt_journal");
+  {
+    auto mgr = MustOpen(Opts(dir, /*resume=*/false), /*fingerprint=*/7);
+    CheckpointManager::UnitHandle unit = mgr->BeginUnit("search");
+    EXPECT_EQ(unit.ordinal, 0);
+    EXPECT_FALSE(unit.completed);
+    EXPECT_FALSE(unit.has_partial);
+    mgr->CompleteUnit(unit, "search-result");
+    CheckpointManager::UnitHandle train = mgr->BeginUnit("train");
+    EXPECT_EQ(train.ordinal, 1);
+    mgr->SavePartial(train, "train-midpoint");
+  }
+  {
+    auto mgr = MustOpen(Opts(dir, /*resume=*/true), /*fingerprint=*/7);
+    CheckpointManager::UnitHandle unit = mgr->BeginUnit("search");
+    EXPECT_TRUE(unit.completed);
+    EXPECT_EQ(unit.payload, "search-result");
+    CheckpointManager::UnitHandle train = mgr->BeginUnit("train");
+    EXPECT_FALSE(train.completed);
+    ASSERT_TRUE(train.has_partial);
+    EXPECT_EQ(train.payload, "train-midpoint");
+    // Completing the resumed unit supersedes its partial state.
+    mgr->CompleteUnit(train, "train-result");
+  }
+  {
+    auto mgr = MustOpen(Opts(dir, /*resume=*/true), /*fingerprint=*/7);
+    mgr->BeginUnit("search");
+    CheckpointManager::UnitHandle train = mgr->BeginUnit("train");
+    EXPECT_TRUE(train.completed);
+    EXPECT_FALSE(train.has_partial);
+    EXPECT_EQ(train.payload, "train-result");
+  }
+}
+
+TEST(CheckpointManagerTest, MultiMegabytePartialPayloadRoundTrips) {
+  // Real partial states carry every model weight; at paper scale that is
+  // well past any "reasonable string" sanity cap. Regression test for a
+  // 1 MiB limit in ReadString that rejected valid checkpoints as corrupt.
+  std::string dir = FreshDir("ckpt_large_payload");
+  std::string payload(3u << 20, 'x');
+  payload[1u << 20] = 'y';
+  {
+    auto mgr = MustOpen(Opts(dir, /*resume=*/false), /*fingerprint=*/7);
+    mgr->SavePartial(mgr->BeginUnit("train"), payload);
+  }
+  auto mgr = MustOpen(Opts(dir, /*resume=*/true), /*fingerprint=*/7);
+  CheckpointManager::UnitHandle train = mgr->BeginUnit("train");
+  ASSERT_TRUE(train.has_partial);
+  EXPECT_EQ(train.payload, payload);
+}
+
+TEST(CheckpointManagerTest, RetentionBoundsFileCount) {
+  std::string dir = FreshDir("ckpt_retention");
+  auto mgr = MustOpen(Opts(dir, /*resume=*/false), 7);
+  CheckpointManager::UnitHandle unit = mgr->BeginUnit("train");
+  for (int i = 0; i < 5; ++i) {
+    mgr->SavePartial(unit, "state-" + std::to_string(i));
+  }
+  EXPECT_EQ(mgr->saves(), 5);
+  EXPECT_EQ(CheckpointFiles(dir).size(), 2u);  // keep = 2
+}
+
+TEST(CheckpointManagerTest, CorruptNewestFallsBackToOlderCheckpoint) {
+  std::string dir = FreshDir("ckpt_corrupt");
+  {
+    auto mgr = MustOpen(Opts(dir, /*resume=*/false), 7);
+    CheckpointManager::UnitHandle unit = mgr->BeginUnit("train");
+    mgr->SavePartial(unit, "older-state");
+    mgr->SavePartial(unit, "newer-state");
+  }
+  std::vector<std::string> files = CheckpointFiles(dir);
+  ASSERT_EQ(files.size(), 2u);
+  {
+    // Flip a payload byte in the newest file; its CRC no longer matches.
+    std::fstream f(files.back(),
+                   std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(40);
+    char b = 0;
+    f.seekg(40);
+    f.get(b);
+    b = static_cast<char>(b ^ 0x20);
+    f.seekp(40);
+    f.put(b);
+  }
+  auto mgr = MustOpen(Opts(dir, /*resume=*/true), 7);
+  CheckpointManager::UnitHandle unit = mgr->BeginUnit("train");
+  ASSERT_TRUE(unit.has_partial);
+  EXPECT_EQ(unit.payload, "older-state");
+}
+
+TEST(CheckpointManagerTest, StrayTempFilesAreNotCheckpoints) {
+  std::string dir = FreshDir("ckpt_stray_tmp");
+  fs::create_directories(dir);
+  {
+    // What a crash mid-atomic-write leaves behind: a temp file only.
+    std::ofstream out(dir + "/ckpt-000000.aacc.tmp", std::ios::binary);
+    out << "torn half-written checkpoint";
+  }
+  StatusOr<std::unique_ptr<CheckpointManager>> resumed =
+      CheckpointManager::Open(Opts(dir, /*resume=*/true), 7);
+  ASSERT_FALSE(resumed.ok());
+  EXPECT_NE(resumed.status().message().find("no valid checkpoint"),
+            std::string::npos);
+  // A fresh (non-resume) run in the same directory is fine.
+  EXPECT_TRUE(CheckpointManager::Open(Opts(dir, /*resume=*/false), 7).ok());
+}
+
+TEST(CheckpointManagerTest, FingerprintMismatchRefusesResume) {
+  std::string dir = FreshDir("ckpt_fingerprint");
+  {
+    auto mgr = MustOpen(Opts(dir, /*resume=*/false), /*fingerprint=*/111);
+    CheckpointManager::UnitHandle unit = mgr->BeginUnit("train");
+    mgr->SavePartial(unit, "state");
+  }
+  StatusOr<std::unique_ptr<CheckpointManager>> resumed =
+      CheckpointManager::Open(Opts(dir, /*resume=*/true), /*fingerprint=*/222);
+  ASSERT_FALSE(resumed.ok());
+  EXPECT_NE(resumed.status().message().find("different configuration"),
+            std::string::npos);
+}
+
+TEST(CheckpointManagerTest, ResumeWithoutAnyCheckpointIsAnError) {
+  std::string dir = FreshDir("ckpt_empty_resume");
+  StatusOr<std::unique_ptr<CheckpointManager>> resumed =
+      CheckpointManager::Open(Opts(dir, /*resume=*/true), 7);
+  ASSERT_FALSE(resumed.ok());
+  EXPECT_NE(resumed.status().message().find("no valid checkpoint"),
+            std::string::npos);
+}
+
+TEST(CheckpointConfigTest, FingerprintTracksTrajectoryFields) {
+  ExperimentConfig base = TinyConfig();
+  EXPECT_EQ(ConfigFingerprint(base), ConfigFingerprint(base));
+
+  ExperimentConfig other = base;
+  other.hidden_dim = 32;
+  EXPECT_NE(ConfigFingerprint(base), ConfigFingerprint(other));
+  other = base;
+  other.seed = base.seed + 1;
+  EXPECT_NE(ConfigFingerprint(base), ConfigFingerprint(other));
+  other = base;
+  other.model_name = "SimpleHGN";
+  EXPECT_NE(ConfigFingerprint(base), ConfigFingerprint(other));
+
+  // Checkpoint knobs do NOT change the trajectory fingerprint: resuming
+  // with a different cadence (or with the test interrupt hook cleared)
+  // must be allowed.
+  other = base;
+  other.checkpoint.every = 1;
+  other.checkpoint.resume = true;
+  other.checkpoint.interrupt_after_epochs = 5;
+  EXPECT_EQ(ConfigFingerprint(base), ConfigFingerprint(other));
+}
+
+TEST(CheckpointConfigTest, StopRequestedAtEpochSemantics) {
+  ClearShutdownRequestForTest();
+  ExperimentConfig config = TinyConfig();
+  EXPECT_FALSE(StopRequestedAtEpoch(config, 0));
+  EXPECT_FALSE(StopRequestedAtEpoch(config, 1000));
+  config.checkpoint.interrupt_after_epochs = 3;
+  EXPECT_FALSE(StopRequestedAtEpoch(config, 2));
+  EXPECT_TRUE(StopRequestedAtEpoch(config, 3));
+  EXPECT_TRUE(StopRequestedAtEpoch(config, 4));
+  config.checkpoint.interrupt_after_epochs = -1;
+  RequestShutdown();
+  EXPECT_TRUE(StopRequestedAtEpoch(config, 0));
+  ClearShutdownRequestForTest();
+  EXPECT_FALSE(StopRequestedAtEpoch(config, 0));
+}
+
+// --- Crash -> resume determinism (the PR's acceptance property) ----------
+//
+// The interrupt_after_epochs hook stops a stage at an epoch boundary
+// exactly like SIGINT would, then a second manager resumes from the saved
+// checkpoint. The resumed run must land on bitwise-identical final state;
+// state_digest hashes the final parameters, metrics, and (for AutoAC) the
+// searched assignment + alpha. Process-kill variants of the same property
+// run in scripts/crash_resume_check.sh.
+
+TEST(CheckpointResumeTest, TrainerInterruptThenResumeIsBitwiseIdentical) {
+  ClearShutdownRequestForTest();
+  CheckpointEnvironment& env = CheckpointEnvironment::Get();
+  ExperimentConfig config = TinyConfig();
+  std::vector<CompletionOpType> ops = UniformAssignment(
+      NumMissing(*env.dataset.graph), CompletionOpType::kOneHot);
+
+  RunResult baseline = TrainFixedCompletion(env.task, env.ctx, config, ops);
+  ASSERT_FALSE(baseline.interrupted);
+  ASSERT_NE(baseline.state_digest, 0u);
+
+  std::string dir = FreshDir("ckpt_trainer_resume");
+  ExperimentConfig stopped = config;
+  stopped.checkpoint = Opts(dir, /*resume=*/false, /*interrupt_after=*/5);
+  auto m1 = MustOpen(stopped.checkpoint, ConfigFingerprint(stopped));
+  RunResult interrupted =
+      TrainFixedCompletion(env.task, env.ctx, stopped, ops, m1.get());
+  EXPECT_TRUE(interrupted.interrupted);
+  EXPECT_GT(m1->saves(), 0);
+
+  ExperimentConfig resumed_config = config;
+  resumed_config.checkpoint = Opts(dir, /*resume=*/true);
+  auto m2 =
+      MustOpen(resumed_config.checkpoint, ConfigFingerprint(resumed_config));
+  RunResult resumed =
+      TrainFixedCompletion(env.task, env.ctx, resumed_config, ops, m2.get());
+  EXPECT_FALSE(resumed.interrupted);
+  EXPECT_EQ(resumed.state_digest, baseline.state_digest);
+  EXPECT_EQ(resumed.test.primary, baseline.test.primary);
+  EXPECT_EQ(resumed.test.macro_f1, baseline.test.macro_f1);
+  EXPECT_EQ(resumed.test.micro_f1, baseline.test.micro_f1);
+  EXPECT_EQ(resumed.val_primary, baseline.val_primary);
+  EXPECT_EQ(resumed.epochs_run, baseline.epochs_run);
+
+  // A third resume replays the completed unit straight from the journal.
+  auto m3 =
+      MustOpen(resumed_config.checkpoint, ConfigFingerprint(resumed_config));
+  RunResult replayed =
+      TrainFixedCompletion(env.task, env.ctx, resumed_config, ops, m3.get());
+  EXPECT_EQ(replayed.state_digest, baseline.state_digest);
+  EXPECT_EQ(replayed.test.micro_f1, baseline.test.micro_f1);
+}
+
+TEST(CheckpointResumeTest, TrainerResumeRejectsDifferentAssignment) {
+  ClearShutdownRequestForTest();
+  CheckpointEnvironment& env = CheckpointEnvironment::Get();
+  ExperimentConfig config = TinyConfig();
+  int64_t n = NumMissing(*env.dataset.graph);
+
+  std::string dir = FreshDir("ckpt_wrong_assignment");
+  ExperimentConfig stopped = config;
+  stopped.checkpoint = Opts(dir, /*resume=*/false, /*interrupt_after=*/5);
+  auto m1 = MustOpen(stopped.checkpoint, ConfigFingerprint(stopped));
+  RunResult interrupted = TrainFixedCompletion(
+      env.task, env.ctx, stopped,
+      UniformAssignment(n, CompletionOpType::kOneHot), m1.get());
+  ASSERT_TRUE(interrupted.interrupted);
+
+  ExperimentConfig resumed = config;
+  resumed.checkpoint = Opts(dir, /*resume=*/true);
+  auto m2 = MustOpen(resumed.checkpoint, ConfigFingerprint(resumed));
+  // Resuming the checkpoint under a different completion assignment must
+  // die loudly (assignment digest guard), not silently continue.
+  EXPECT_DEATH(TrainFixedCompletion(env.task, env.ctx, resumed,
+                                    UniformAssignment(n,
+                                                      CompletionOpType::kMean),
+                                    m2.get()),
+               "different assignment");
+}
+
+TEST(CheckpointResumeTest, SearchStageInterruptResumeMatchesBaseline) {
+  ClearShutdownRequestForTest();
+  CheckpointEnvironment& env = CheckpointEnvironment::Get();
+  ExperimentConfig config = TinyConfig();
+  SearchResult baseline = SearchCompletionOps(env.task, env.ctx, config);
+  ASSERT_FALSE(baseline.interrupted);
+
+  std::string dir = FreshDir("ckpt_search_only");
+  ExperimentConfig stopped = config;
+  stopped.checkpoint = Opts(dir, /*resume=*/false, /*interrupt_after=*/3);
+  auto m1 = MustOpen(stopped.checkpoint, ConfigFingerprint(stopped));
+  SearchResult interrupted =
+      SearchCompletionOps(env.task, env.ctx, stopped, m1.get());
+  ASSERT_TRUE(interrupted.interrupted);
+
+  ExperimentConfig resumed_config = config;
+  resumed_config.checkpoint = Opts(dir, /*resume=*/true);
+  auto m2 =
+      MustOpen(resumed_config.checkpoint, ConfigFingerprint(resumed_config));
+  SearchResult resumed =
+      SearchCompletionOps(env.task, env.ctx, resumed_config, m2.get());
+  EXPECT_FALSE(resumed.interrupted);
+  EXPECT_EQ(resumed.op_per_missing, baseline.op_per_missing);
+  EXPECT_EQ(resumed.cluster_of, baseline.cluster_of);
+  EXPECT_EQ(DigestTensor(kFnvOffsetBasis, resumed.final_alpha),
+            DigestTensor(kFnvOffsetBasis, baseline.final_alpha));
+  ASSERT_EQ(resumed.gmoc_trace.size(), baseline.gmoc_trace.size());
+  for (size_t i = 0; i < baseline.gmoc_trace.size(); ++i) {
+    EXPECT_EQ(resumed.gmoc_trace[i], baseline.gmoc_trace[i]) << "epoch " << i;
+  }
+  ASSERT_EQ(resumed.runner_up_ops.size(), baseline.runner_up_ops.size());
+  for (size_t i = 0; i < baseline.runner_up_ops.size(); ++i) {
+    EXPECT_EQ(resumed.runner_up_ops[i], baseline.runner_up_ops[i]);
+  }
+}
+
+// Shared uninterrupted AutoAC baseline for the two pipeline resume tests.
+const RunResult& AutoAcBaseline() {
+  static RunResult* baseline = [] {
+    CheckpointEnvironment& env = CheckpointEnvironment::Get();
+    RunResult* r = new RunResult(RunAutoAc(env.task, env.ctx, TinyConfig()));
+    return r;
+  }();
+  return *baseline;
+}
+
+void ExpectMatchesBaseline(const RunResult& resumed) {
+  const RunResult& baseline = AutoAcBaseline();
+  EXPECT_FALSE(resumed.interrupted);
+  EXPECT_EQ(resumed.state_digest, baseline.state_digest);
+  EXPECT_EQ(resumed.test.primary, baseline.test.primary);
+  EXPECT_EQ(resumed.test.macro_f1, baseline.test.macro_f1);
+  EXPECT_EQ(resumed.test.micro_f1, baseline.test.micro_f1);
+  EXPECT_EQ(resumed.val_primary, baseline.val_primary);
+  ASSERT_EQ(resumed.searched_ops.size(), baseline.searched_ops.size());
+  EXPECT_EQ(resumed.searched_ops, baseline.searched_ops);
+}
+
+RunResult RunAutoAcWithCheckpoint(const std::string& dir, bool resume,
+                                  int64_t interrupt_after) {
+  CheckpointEnvironment& env = CheckpointEnvironment::Get();
+  ExperimentConfig config = TinyConfig();
+  config.checkpoint = Opts(dir, resume, interrupt_after);
+  auto mgr = MustOpen(config.checkpoint, ConfigFingerprint(config));
+  return RunAutoAc(env.task, env.ctx, config, mgr.get());
+}
+
+TEST(CheckpointResumeTest, SearchInterruptThenResumeIsBitwiseIdentical) {
+  ClearShutdownRequestForTest();
+  ASSERT_FALSE(AutoAcBaseline().interrupted);
+  std::string dir = FreshDir("ckpt_search_resume");
+  // Hook fires at search epoch 3 of 6: the interruption lands mid-search.
+  RunResult interrupted =
+      RunAutoAcWithCheckpoint(dir, /*resume=*/false, /*interrupt_after=*/3);
+  ASSERT_TRUE(interrupted.interrupted);
+  RunResult resumed =
+      RunAutoAcWithCheckpoint(dir, /*resume=*/true, /*interrupt_after=*/-1);
+  ExpectMatchesBaseline(resumed);
+}
+
+TEST(CheckpointResumeTest, RetrainInterruptThenResumeIsBitwiseIdentical) {
+  ClearShutdownRequestForTest();
+  ASSERT_FALSE(AutoAcBaseline().interrupted);
+  std::string dir = FreshDir("ckpt_retrain_resume");
+  // All 6 search epochs stay below the hook, so the search unit completes
+  // and the first probe retrain (10 epochs) interrupts at its epoch 7:
+  // the journal then holds a completed unit plus a partial one.
+  RunResult interrupted =
+      RunAutoAcWithCheckpoint(dir, /*resume=*/false, /*interrupt_after=*/7);
+  ASSERT_TRUE(interrupted.interrupted);
+  RunResult resumed =
+      RunAutoAcWithCheckpoint(dir, /*resume=*/true, /*interrupt_after=*/-1);
+  ExpectMatchesBaseline(resumed);
+}
+
+}  // namespace
+}  // namespace autoac

@@ -84,6 +84,52 @@ TEST(OptimizerTest, ClipGradNormLeavesSmallGradientsAlone) {
   EXPECT_FLOAT_EQ(x->grad.at(0), 0.1f);
 }
 
+TEST(OptimizerTest, AdamExportImportResumesBitwise) {
+  VarPtr target = MakeConst(Tensor::FromVector({3}, {1.0f, -2.0f, 0.5f}));
+  auto step = [&](const VarPtr& x, Adam& adam) {
+    adam.ZeroGrad();
+    Backward(SumSquares(Sub(x, target)));
+    adam.Step();
+  };
+
+  // Straight run: 20 uninterrupted steps.
+  VarPtr a = MakeParam(Tensor::Full({3}, 5.0f));
+  Adam adam_a({a}, 0.1f, /*weight_decay=*/0.01f);
+  for (int i = 0; i < 20; ++i) step(a, adam_a);
+
+  // Snapshot run: 10 steps, export {params, moments}, rebuild both from the
+  // snapshot, 10 more steps. Must land on bitwise-identical floats.
+  VarPtr b = MakeParam(Tensor::Full({3}, 5.0f));
+  Adam adam_b({b}, 0.1f, /*weight_decay=*/0.01f);
+  for (int i = 0; i < 10; ++i) step(b, adam_b);
+  AdamState snapshot = adam_b.ExportState();
+  Tensor value = b->value;
+
+  VarPtr c = MakeParam(Tensor::Full({3}, 0.0f));
+  c->value = value;
+  Adam adam_c({c}, 0.1f, /*weight_decay=*/0.01f);
+  adam_c.ImportState(snapshot);
+  for (int i = 0; i < 10; ++i) step(c, adam_c);
+
+  for (int64_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(a->value.at(i), c->value.at(i)) << "component " << i;
+  }
+}
+
+TEST(OptimizerTest, AdamExportLeavesUntouchedParamsEmpty) {
+  VarPtr used = MakeParam(Tensor::Full({2}, 1.0f));
+  VarPtr unused = MakeParam(Tensor::Full({4}, 1.0f));
+  Adam adam({used, unused}, 0.1f);
+  adam.ZeroGrad();
+  used->EnsureGrad().Fill(1.0f);
+  adam.Step();
+  AdamState state = adam.ExportState();
+  EXPECT_EQ(state.t, 1);
+  ASSERT_EQ(state.m.size(), 2u);
+  EXPECT_EQ(state.m[0].numel(), 2);  // touched: moments materialized
+  EXPECT_EQ(state.m[1].numel(), 0);  // untouched: stays empty
+}
+
 TEST(OptimizerTest, AdamLrAccessor) {
   Adam adam({}, 0.01f);
   EXPECT_FLOAT_EQ(adam.lr(), 0.01f);

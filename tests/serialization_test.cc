@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <sstream>
 
 #include "gtest/gtest.h"
 
@@ -123,6 +124,98 @@ TEST(SerializationTest, TruncatedFileReportsError) {
   EXPECT_FALSE(loaded.ok());
   std::remove(full.c_str());
   std::remove(truncated.c_str());
+}
+
+TEST(SerializationTest, Crc32MatchesReferenceValue) {
+  // IEEE 802.3 check value for the standard test vector.
+  EXPECT_EQ(io::Crc32("123456789", 9), 0xCBF43926u);
+  // Chunked computation must match one-shot.
+  uint32_t chunked = io::Crc32("12345", 5);
+  chunked = io::Crc32("6789", 4, chunked);
+  EXPECT_EQ(chunked, 0xCBF43926u);
+  EXPECT_EQ(io::Crc32("", 0), 0u);
+}
+
+TEST(SerializationTest, UnsupportedVersionReportsError) {
+  Dataset dataset = SmallDataset();
+  std::string path = TempPath("oldversion.aacg");
+  ASSERT_TRUE(SaveGraph(*dataset.graph, path).ok());
+  {
+    // Patch the version field (bytes 4..7, little-endian u32) to 1. The
+    // CRC covers the payload only, so the rejection must come from the
+    // version check, not the checksum.
+    std::fstream file(path, std::ios::in | std::ios::out | std::ios::binary);
+    file.seekp(4);
+    char v1[4] = {1, 0, 0, 0};
+    file.write(v1, 4);
+  }
+  StatusOr<HeteroGraphPtr> loaded = LoadGraph(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("unsupported container version"),
+            std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, ByteFlipFuzzAlwaysFailsCleanly) {
+  Dataset dataset = SmallDataset();
+  std::string clean = TempPath("fuzz_clean.aacg");
+  ASSERT_TRUE(SaveGraph(*dataset.graph, clean).ok());
+  std::string bytes;
+  {
+    std::ifstream in(clean, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    bytes = buf.str();
+  }
+  ASSERT_GT(bytes.size(), 16u);
+
+  // Flip one byte at a sweep of positions covering the magic, version,
+  // size, CRC fields and the payload. Every mutant must be rejected with a
+  // Status — never parsed, never a crash.
+  std::string mutant_path = TempPath("fuzz_mutant.aacg");
+  size_t stride = bytes.size() / 97 + 1;
+  size_t header_end = 20;  // 4 magic + 4 version + 8 size + 4 crc
+  for (size_t pos = 0; pos < bytes.size();
+       pos += (pos < header_end ? 1 : stride)) {
+    std::string mutant = bytes;
+    mutant[pos] ^= 0x40;
+    {
+      std::ofstream out(mutant_path, std::ios::binary | std::ios::trunc);
+      out.write(mutant.data(), static_cast<std::streamsize>(mutant.size()));
+    }
+    StatusOr<HeteroGraphPtr> loaded = LoadGraph(mutant_path);
+    EXPECT_FALSE(loaded.ok()) << "byte flip at offset " << pos
+                              << " was not detected";
+    if (pos >= header_end) {
+      // Payload flips are specifically the CRC's job.
+      EXPECT_NE(loaded.status().message().find("checksum mismatch"),
+                std::string::npos)
+          << "offset " << pos << ": " << loaded.status().message();
+    }
+  }
+
+  // Truncation at a sweep of lengths must also fail cleanly.
+  for (size_t len : {size_t{0}, size_t{3}, size_t{11}, size_t{19},
+                     bytes.size() / 2, bytes.size() - 1}) {
+    std::ofstream out(mutant_path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(len));
+    out.close();
+    EXPECT_FALSE(LoadGraph(mutant_path).ok())
+        << "truncation to " << len << " bytes was not detected";
+  }
+
+  // Trailing garbage is corruption too.
+  {
+    std::ofstream out(mutant_path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out << "extra";
+  }
+  StatusOr<HeteroGraphPtr> trailing = LoadGraph(mutant_path);
+  ASSERT_FALSE(trailing.ok());
+  EXPECT_NE(trailing.status().message().find("trailing"), std::string::npos);
+
+  std::remove(clean.c_str());
+  std::remove(mutant_path.c_str());
 }
 
 TEST(StatusTest, BasicSemantics) {

@@ -142,6 +142,20 @@ TEST_F(TelemetryTest, JsonlRoundTrip) {
   EXPECT_DOUBLE_EQ(std::stod(second["big"]), 1e300);
 }
 
+TEST_F(TelemetryTest, EmitFlushesEachRecordToDisk) {
+  const std::string path = TempPath("telemetry_flush.jsonl");
+  ASSERT_TRUE(Telemetry::Get().Enable(path));
+  Telemetry::Get().Emit(MetricRecord("durable").Add("epoch", int64_t{3}));
+  // The sink is still open: the record must already be on disk, so a crash
+  // right after Emit cannot lose it to a stdio buffer.
+  std::vector<std::string> lines = ReadLines(path);
+  ASSERT_EQ(lines.size(), 1u);
+  std::map<std::string, std::string> record = ParseFlatJson(lines[0]);
+  EXPECT_EQ(record["type"], "durable");
+  EXPECT_EQ(record["epoch"], "3");
+  Telemetry::Get().Disable();
+}
+
 TEST_F(TelemetryTest, DisabledSinkIsInert) {
   ASSERT_FALSE(Telemetry::Enabled());
   // Emit with no sink: must be a no-op, not a crash.
