@@ -1,0 +1,247 @@
+// google-benchmark microbenchmarks for the serving subsystem
+// (src/serving/): the taped vs tape-free evaluation forward (the NoGradGuard
+// speedup the serving path and the trainer's eval block both rely on), the
+// InferenceSession logits recomputation across thread counts, the
+// per-request prediction lookup, and the request-line parser.
+//
+// Run with --metrics_out=... to emit the telemetry JSONL that
+// scripts/check_bench_regression.py gates against BENCH_serving.json.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <string_view>
+
+#include "data/hgb_datasets.h"
+#include "models/factory.h"
+#include "serving/frozen_model.h"
+#include "serving/inference_session.h"
+#include "serving/server.h"
+#include "tensor/init.h"
+#include "tensor/ops.h"
+#include "util/parallel.h"
+#include "util/telemetry.h"
+
+namespace autoac {
+namespace {
+
+/// Pins the pool to the benchmark's thread-count argument for the duration
+/// of one benchmark run, restoring the default afterwards.
+class ThreadCountScope {
+ public:
+  explicit ThreadCountScope(int64_t n) {
+    SetNumThreads(static_cast<int>(n));
+  }
+  ~ThreadCountScope() { SetNumThreads(0); }
+};
+
+Dataset& BenchDataset() {
+  static Dataset* dataset = [] {
+    DatasetOptions options;
+    options.scale = 0.1;
+    return new Dataset(MakeDataset("dblp", options));
+  }();
+  return *dataset;
+}
+
+ModelContext& BenchContext() {
+  static ModelContext* ctx =
+      new ModelContext(BuildModelContext(BenchDataset().graph));
+  return *ctx;
+}
+
+/// A frozen model with untrained (random) weights: forward-pass cost does
+/// not depend on the values, so the bench skips the training stage.
+FrozenModel& BenchFrozen() {
+  static FrozenModel* frozen = [] {
+    Dataset& dataset = BenchDataset();
+    ModelContext& ctx = BenchContext();
+    auto* model = new FrozenModel();
+    model->model_name = "SimpleHGN";
+    model->hidden_dim = 64;
+    model->num_layers = 2;
+    model->num_heads = 2;
+    model->dropout = 0.1f;
+    model->negative_slope = 0.05f;
+    model->seed = 1;
+    model->num_classes = dataset.graph->num_classes();
+    model->graph = dataset.graph;
+    Rng rng(model->seed);
+    ModelConfig config;
+    config.in_dim = model->hidden_dim;
+    config.hidden_dim = model->hidden_dim;
+    config.out_dim = model->hidden_dim;
+    config.num_layers = model->num_layers;
+    config.num_heads = model->num_heads;
+    config.dropout = model->dropout;
+    config.negative_slope = model->negative_slope;
+    ModelPtr gnn = MakeModel(model->model_name, config, ctx, rng,
+                             /*l2_normalize_output=*/false);
+    for (const VarPtr& p : gnn->Parameters()) {
+      model->model_params.push_back(p->value);
+    }
+    model->h0 = RandomNormal({dataset.graph->num_nodes(), model->hidden_dim},
+                             0.5f, rng);
+    model->classifier_weight =
+        RandomNormal({model->hidden_dim, model->num_classes}, 0.1f, rng);
+    model->classifier_bias = Tensor::Zeros({model->num_classes});
+    model->fingerprint = ComputeFrozenFingerprint(*model);
+    return model;
+  }();
+  return *frozen;
+}
+
+/// The full evaluation forward (GNN + linear head), taped: what the trainer
+/// paid per validation evaluation before the NoGradGuard satellite.
+void BM_EvalForwardTaped(benchmark::State& state) {
+  ThreadCountScope threads(state.range(0));
+  FrozenModel& frozen = BenchFrozen();
+  ModelContext& ctx = BenchContext();
+  ModelConfig config;
+  config.in_dim = frozen.hidden_dim;
+  config.hidden_dim = frozen.hidden_dim;
+  config.out_dim = frozen.hidden_dim;
+  config.num_layers = frozen.num_layers;
+  config.num_heads = frozen.num_heads;
+  config.dropout = frozen.dropout;
+  config.negative_slope = frozen.negative_slope;
+  Rng rng(frozen.seed);
+  ModelPtr model = MakeModel(frozen.model_name, config, ctx, rng,
+                             /*l2_normalize_output=*/false);
+  VarPtr h0 = MakeConst(frozen.h0);
+  VarPtr w = MakeConst(frozen.classifier_weight);
+  VarPtr b = MakeConst(frozen.classifier_bias);
+  for (auto _ : state) {
+    VarPtr h = model->Forward(ctx, h0, /*training=*/false, rng);
+    benchmark::DoNotOptimize(AddBias(MatMul(h, w), b));
+  }
+}
+BENCHMARK(BM_EvalForwardTaped)->ArgsProduct({{1, 2, 4, 8}});
+
+/// The same forward under NoGradGuard: no closures, no parent retention,
+/// intermediates freed eagerly. The ratio to BM_EvalForwardTaped is the
+/// eval-path speedup quoted in the PR description.
+void BM_EvalForwardTapeFree(benchmark::State& state) {
+  ThreadCountScope threads(state.range(0));
+  FrozenModel& frozen = BenchFrozen();
+  ModelContext& ctx = BenchContext();
+  ModelConfig config;
+  config.in_dim = frozen.hidden_dim;
+  config.hidden_dim = frozen.hidden_dim;
+  config.out_dim = frozen.hidden_dim;
+  config.num_layers = frozen.num_layers;
+  config.num_heads = frozen.num_heads;
+  config.dropout = frozen.dropout;
+  config.negative_slope = frozen.negative_slope;
+  Rng rng(frozen.seed);
+  ModelPtr model = MakeModel(frozen.model_name, config, ctx, rng,
+                             /*l2_normalize_output=*/false);
+  VarPtr h0 = MakeConst(frozen.h0);
+  VarPtr w = MakeConst(frozen.classifier_weight);
+  VarPtr b = MakeConst(frozen.classifier_bias);
+  for (auto _ : state) {
+    NoGradGuard no_grad;
+    VarPtr h = model->Forward(ctx, h0, /*training=*/false, rng);
+    benchmark::DoNotOptimize(AddBias(MatMul(h, w), b));
+  }
+}
+BENCHMARK(BM_EvalForwardTapeFree)->ArgsProduct({{1, 2, 4, 8}});
+
+/// InferenceSession's cache refresh (the cost of serving a graph update).
+void BM_RecomputeLogits(benchmark::State& state) {
+  ThreadCountScope threads(state.range(0));
+  InferenceSession session(BenchFrozen());
+  for (auto _ : state) {
+    session.RecomputeLogits();
+  }
+}
+BENCHMARK(BM_RecomputeLogits)->ArgsProduct({{1, 2, 4, 8}});
+
+/// The steady-state per-request cost: an O(num_classes) row scan.
+void BM_Predict(benchmark::State& state) {
+  ThreadCountScope threads(state.range(0));
+  InferenceSession session(BenchFrozen());
+  int64_t node = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(session.Predict(node));
+    node = (node + 1) % session.num_targets();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Predict)->ArgsProduct({{1}});
+
+void BM_ParseServeRequestLine(benchmark::State& state) {
+  ThreadCountScope threads(state.range(0));
+  const std::string line = R"({"id": "req-123456", "node": 4242})";
+  ServeRequest request;
+  std::string error;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ParseServeRequestLine(line, &request, &error));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ParseServeRequestLine)->ArgsProduct({{1}});
+
+/// Mirrors micro_kernels.cpp: forwards every finished run to the telemetry
+/// sink so check_bench_regression.py can gate the wall times.
+class TelemetryReporter : public benchmark::ConsoleReporter {
+ public:
+  bool ReportContext(const Context& context) override {
+    if (Telemetry::Enabled()) {
+      Telemetry::Get().Emit(
+          MetricRecord("bench_context")
+              .Add("num_cpus",
+                   static_cast<int64_t>(context.cpu_info.num_cpus))
+              .Add("mhz_per_cpu",
+                   context.cpu_info.cycles_per_second / 1e6)
+              .Add("num_threads_env", static_cast<int64_t>(NumThreads())));
+    }
+    return ConsoleReporter::ReportContext(context);
+  }
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    if (Telemetry::Enabled()) {
+      for (const Run& run : reports) {
+        if (run.run_type != Run::RT_Iteration || run.error_occurred ||
+            run.iterations <= 0) {
+          continue;
+        }
+        double wall_ns = run.real_accumulated_time /
+                         static_cast<double>(run.iterations) * 1e9;
+        Telemetry::Get().Emit(MetricRecord("bench")
+                                  .Add("name", run.benchmark_name())
+                                  .Add("iterations", run.iterations)
+                                  .Add("wall_time_ns", wall_ns));
+      }
+    }
+    ConsoleReporter::ReportRuns(reports);
+  }
+};
+
+}  // namespace
+}  // namespace autoac
+
+int main(int argc, char** argv) {
+  // --metrics_out is ours, not google-benchmark's: capture and strip it
+  // before Initialize() would reject it as unrecognized.
+  std::string metrics_out;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    constexpr std::string_view kFlag = "--metrics_out=";
+    std::string_view arg(argv[i]);
+    if (arg.substr(0, kFlag.size()) == kFlag) {
+      metrics_out = std::string(arg.substr(kFlag.size()));
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+  autoac::InitTelemetryFromFlag(metrics_out);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  autoac::TelemetryReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  autoac::ShutdownTelemetry(/*print_profile_table=*/false);
+  return 0;
+}

@@ -17,6 +17,7 @@
 #include "autoac/checkpoint.h"
 #include "autoac/evaluator.h"
 #include "data/serialization.h"
+#include "serving/frozen_model.h"
 #include "util/flags.h"
 #include "util/logging.h"
 #include "util/parallel.h"
@@ -70,6 +71,7 @@ const std::vector<Flags::Spec>& FlagTable() {
       {"checkpoint_every", Type::kInt},
       {"checkpoint_keep", Type::kInt},
       {"resume", Type::kBool},
+      {"export_model", Type::kString},
   };
   return kSpecs;
 }
@@ -80,6 +82,10 @@ int Run(int argc, char** argv) {
   if (flags.Has("resume") && flags.GetBool("resume", false) &&
       flags.GetString("checkpoint_dir", "").empty()) {
     problems.push_back("--resume requires --checkpoint_dir");
+  }
+  if (flags.Has("export_model") &&
+      flags.GetString("task", "node") == "link") {
+    problems.push_back("--export_model supports --task=node only");
   }
   if (!problems.empty()) {
     for (const std::string& p : problems) {
@@ -116,6 +122,9 @@ int Run(int argc, char** argv) {
         "  [--resume]             continue from the newest valid checkpoint\n"
         "                         in --checkpoint_dir (bitwise-identical\n"
         "                         trajectory)\n"
+        "  [--export_model=PATH]  freeze the last seed's trained run into a\n"
+        "                         serving artifact (node task only); serve\n"
+        "                         it with autoac_serve --model=PATH\n"
         "SIGINT/SIGTERM stop cooperatively at the next epoch boundary\n"
         "(writing a final checkpoint when enabled) and exit with status "
         "130.\n");
@@ -177,6 +186,10 @@ int Run(int argc, char** argv) {
   if (flags.GetBool("no_discrete", false)) {
     config.discrete_constraints = false;
   }
+
+  // Export needs the trained parameter values; capture is off otherwise
+  // (the tensors are large and nothing else consumes them).
+  config.capture_final_params = flags.Has("export_model");
 
   config.checkpoint.dir = flags.GetString("checkpoint_dir", "");
   config.checkpoint.every =
@@ -257,6 +270,25 @@ int Run(int argc, char** argv) {
   // compares this line between killed-and-resumed and uninterrupted runs.
   std::printf("state digest: %016llx\n",
               static_cast<unsigned long long>(result.state_digest));
+  if (flags.Has("export_model")) {
+    const std::string path = flags.GetString("export_model", "");
+    StatusOr<FrozenModel> frozen =
+        FreezeTrainedRun(task, ctx, result.last_config, result.last_run);
+    if (!frozen.ok()) {
+      std::fprintf(stderr, "error: --export_model: %s\n",
+                   frozen.status().message().c_str());
+      return 1;
+    }
+    Status saved = SaveFrozenModel(frozen.value(), path);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "error: --export_model: %s\n",
+                   saved.message().c_str());
+      return 1;
+    }
+    std::printf("frozen model written to %s (fingerprint %016llx)\n",
+                path.c_str(),
+                static_cast<unsigned long long>(frozen.value().fingerprint));
+  }
   return 0;
 }
 

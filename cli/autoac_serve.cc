@@ -1,0 +1,266 @@
+// autoac_serve: batched inference serving for frozen AutoAC models.
+//
+// Server (loads the artifact, answers node-classification requests):
+//   autoac_serve --model=dblp.aacm --socket=/tmp/autoac.sock
+//   autoac_serve --model=dblp.aacm --port=7071
+//
+// Requests are newline-delimited JSON, one object per line:
+//   {"id": "r1", "node": 42}
+// and each response echoes the id:
+//   {"id":"r1","node":42,"label":3,"score":5.17,"latency_us":812}
+//
+// Client (for smoke tests and quick probes; sends one request per node id
+// and prints each response line):
+//   autoac_serve --client --socket=/tmp/autoac.sock --nodes=0,1,2
+//
+// SIGINT/SIGTERM shut the server down cooperatively: in-flight requests are
+// answered, stats printed, exit status 0.
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <netinet/in.h>
+#include <arpa/inet.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "serving/frozen_model.h"
+#include "serving/inference_session.h"
+#include "serving/server.h"
+#include "util/flags.h"
+#include "util/parallel.h"
+#include "util/shutdown.h"
+#include "util/telemetry.h"
+
+namespace autoac {
+namespace {
+
+const std::vector<Flags::Spec>& FlagTable() {
+  using Type = Flags::Spec::Type;
+  static const std::vector<Flags::Spec> kSpecs = {
+      {"help", Type::kBool},
+      {"model", Type::kString},
+      {"socket", Type::kString},
+      {"port", Type::kInt},
+      {"max_batch", Type::kInt},
+      {"batch_timeout_ms", Type::kInt},
+      {"max_queue", Type::kInt},
+      {"num_threads", Type::kInt},
+      {"metrics_out", Type::kString},
+      {"client", Type::kBool},
+      {"nodes", Type::kString},
+  };
+  return kSpecs;
+}
+
+void PrintUsage() {
+  std::printf(
+      "usage: autoac_serve --model=PATH [--socket=PATH | --port=N]\n"
+      "  [--max_batch=16]        requests per inference batch\n"
+      "  [--batch_timeout_ms=5]  max wait before a partial batch fires\n"
+      "  [--max_queue=1024]      bounded queue depth; overflow is shed\n"
+      "  [--num_threads=N]       forward-pass threads (0 = default)\n"
+      "  [--metrics_out=PATH]    JSONL telemetry (latency, batch occupancy)\n"
+      "client mode (for smoke tests):\n"
+      "  autoac_serve --client [--socket=PATH | --port=N] --nodes=0,1,2\n"
+      "SIGINT/SIGTERM stop the server cooperatively (exit status 0).\n");
+}
+
+std::vector<int64_t> ParseNodeList(const std::string& csv) {
+  std::vector<int64_t> nodes;
+  size_t start = 0;
+  while (start <= csv.size()) {
+    size_t comma = csv.find(',', start);
+    if (comma == std::string::npos) comma = csv.size();
+    if (comma > start) {
+      nodes.push_back(std::strtoll(csv.substr(start, comma - start).c_str(),
+                                   nullptr, 10));
+    }
+    start = comma + 1;
+  }
+  return nodes;
+}
+
+int Connect(const std::string& unix_path, int port) {
+  if (!unix_path.empty()) {
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) return -1;
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, unix_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      ::close(fd);
+      return -1;
+    }
+    return fd;
+  }
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+// Sends one request per node id, reads one response line per request, and
+// prints each to stdout. Returns 0 only when every response arrived.
+int RunClient(const Flags& flags) {
+  std::string unix_path = flags.GetString("socket", "");
+  int port = static_cast<int>(flags.GetInt("port", 0));
+  if (unix_path.empty() && port <= 0) {
+    std::fprintf(stderr, "error: --client needs --socket or --port\n");
+    return 64;
+  }
+  std::vector<int64_t> nodes = ParseNodeList(flags.GetString("nodes", ""));
+  if (nodes.empty()) {
+    std::fprintf(stderr, "error: --client needs --nodes=0,1,...\n");
+    return 64;
+  }
+  int fd = Connect(unix_path, port);
+  if (fd < 0) {
+    std::fprintf(stderr, "error: connect failed: %s\n", std::strerror(errno));
+    return 1;
+  }
+  std::string out;
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    out += "{\"id\": \"r" + std::to_string(i) + "\", \"node\": " +
+           std::to_string(nodes[i]) + "}\n";
+  }
+  size_t off = 0;
+  while (off < out.size()) {
+    ssize_t n = ::send(fd, out.data() + off, out.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) {
+      std::fprintf(stderr, "error: send failed\n");
+      ::close(fd);
+      return 1;
+    }
+    off += static_cast<size_t>(n);
+  }
+  size_t lines = 0;
+  std::string pending;
+  char buf[4096];
+  while (lines < nodes.size()) {
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    pending.append(buf, static_cast<size_t>(n));
+    size_t start = 0;
+    for (size_t nl = pending.find('\n', start); nl != std::string::npos;
+         nl = pending.find('\n', start)) {
+      std::printf("%s\n", pending.substr(start, nl - start).c_str());
+      start = nl + 1;
+      ++lines;
+    }
+    pending.erase(0, start);
+  }
+  ::close(fd);
+  if (lines != nodes.size()) {
+    std::fprintf(stderr, "error: got %zu of %zu responses\n", lines,
+                 nodes.size());
+    return 1;
+  }
+  return 0;
+}
+
+int Run(int argc, char** argv) {
+  Flags flags(argc, argv);
+  std::vector<std::string> problems = flags.Validate(FlagTable());
+  if (!flags.GetBool("client", false) && !flags.GetBool("help", false) &&
+      flags.GetString("model", "").empty()) {
+    problems.push_back("--model is required");
+  }
+  if (!problems.empty()) {
+    for (const std::string& p : problems) {
+      std::fprintf(stderr, "error: %s\n", p.c_str());
+    }
+    std::fprintf(stderr, "run with --help for usage\n");
+    return 64;  // EX_USAGE
+  }
+  if (flags.GetBool("help", false)) {
+    PrintUsage();
+    return 0;
+  }
+  if (flags.GetBool("client", false)) return RunClient(flags);
+
+  InstallShutdownHandler();
+  SetNumThreads(static_cast<int>(flags.GetInt("num_threads", 0)));
+  InitTelemetryFromFlag(flags.GetString("metrics_out", ""));
+
+  const std::string model_path = flags.GetString("model", "");
+  StatusOr<FrozenModel> frozen = LoadFrozenModel(model_path);
+  if (!frozen.ok()) {
+    std::fprintf(stderr, "error: %s\n", frozen.status().message().c_str());
+    return 1;
+  }
+  std::printf("loaded %s (%s, fingerprint %016llx)\n", model_path.c_str(),
+              frozen.value().model_name.c_str(),
+              static_cast<unsigned long long>(frozen.value().fingerprint));
+  InferenceSession session(frozen.TakeValue());
+  std::printf("serving %lld target nodes, %lld classes\n",
+              static_cast<long long>(session.num_targets()),
+              static_cast<long long>(session.num_classes()));
+
+  ServerOptions options;
+  options.unix_path = flags.GetString("socket", "");
+  options.tcp_port = static_cast<int>(flags.GetInt("port", 0));
+  if (options.unix_path.empty() && !flags.Has("port")) {
+    std::fprintf(stderr, "error: need --socket or --port\n");
+    return 64;
+  }
+  options.max_batch = flags.GetInt("max_batch", options.max_batch);
+  options.batch_timeout_ms =
+      flags.GetInt("batch_timeout_ms", options.batch_timeout_ms);
+  options.max_queue = flags.GetInt("max_queue", options.max_queue);
+
+  InferenceServer server(&session, options);
+  Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "error: %s\n", started.message().c_str());
+    return 1;
+  }
+  if (!options.unix_path.empty()) {
+    std::printf("listening on %s\n", options.unix_path.c_str());
+  } else {
+    std::printf("listening on 127.0.0.1:%d\n", server.port());
+  }
+  std::fflush(stdout);
+  server.Serve();
+
+  ServeStats stats = server.stats();
+  double occupancy =
+      stats.batches > 0
+          ? static_cast<double>(stats.batched_requests) /
+                (static_cast<double>(stats.batches) *
+                 static_cast<double>(options.max_batch))
+          : 0.0;
+  std::printf(
+      "shutdown: %lld connections, %lld requests, %lld responses, "
+      "%lld malformed, %lld shed, %lld batches (occupancy %.2f)\n",
+      static_cast<long long>(stats.connections),
+      static_cast<long long>(stats.requests),
+      static_cast<long long>(stats.responses),
+      static_cast<long long>(stats.malformed),
+      static_cast<long long>(stats.shed),
+      static_cast<long long>(stats.batches), occupancy);
+  return 0;
+}
+
+}  // namespace
+}  // namespace autoac
+
+int main(int argc, char** argv) {
+  int rc = autoac::Run(argc, argv);
+  autoac::ShutdownTelemetry();
+  return rc;
+}

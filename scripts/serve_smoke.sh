@@ -1,0 +1,141 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for the serving subsystem (src/serving/, DESIGN.md
+# §10). Usage: scripts/serve_smoke.sh [build-dir]
+#
+#   1. Train a small run and export it with `autoac_run --export_model`.
+#   2. Load the artifact twice more via `autoac_serve` and require the
+#      printed fingerprint to be identical every time (the artifact is
+#      self-validating: container CRC + content fingerprint).
+#   3. Start the server on a unix socket and fire several concurrent
+#      clients at it; every request must get a response line, and the
+#      responses must be identical across clients (same frozen logits).
+#   4. SIGTERM the server and require a cooperative shutdown: exit status
+#      0, a final stats line, and request/response counters that add up.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+cmake -B "${BUILD_DIR}" -S . >/dev/null
+cmake --build "${BUILD_DIR}" -j"$(nproc)" --target autoac_run autoac_serve
+RUN="${BUILD_DIR}/cli/autoac_run"
+SERVE="${BUILD_DIR}/cli/autoac_serve"
+
+WORK="$(mktemp -d)"
+SERVER_PID=""
+cleanup() {
+  if [ -n "${SERVER_PID}" ] && kill -0 "${SERVER_PID}" 2>/dev/null; then
+    kill -KILL "${SERVER_PID}" 2>/dev/null || true
+  fi
+  rm -rf "${WORK}"
+}
+trap cleanup EXIT
+
+MODEL="${WORK}/model.aacm"
+SOCK="${WORK}/serve.sock"
+NODES="0,1,2,3,4,5,6,7"
+NUM_CLIENTS=4
+
+echo "== export =="
+"${RUN}" --dataset=dblp --scale=0.05 --method=onehot --seeds=1 --epochs=4 \
+  --export_model="${MODEL}" | tee "${WORK}/export.log"
+grep -q 'frozen model written to' "${WORK}/export.log"
+fingerprint="$(grep -o 'fingerprint [0-9a-f]*' "${WORK}/export.log" | head -1)"
+
+echo "== server =="
+"${SERVE}" --model="${MODEL}" --socket="${SOCK}" \
+  --max_batch=4 --batch_timeout_ms=2 \
+  --metrics_out="${WORK}/serve_metrics.jsonl" \
+  >"${WORK}/server.log" 2>&1 &
+SERVER_PID=$!
+
+for _ in $(seq 1 100); do
+  [ -S "${SOCK}" ] && break
+  if ! kill -0 "${SERVER_PID}" 2>/dev/null; then
+    echo "FAIL: server exited before binding its socket" >&2
+    cat "${WORK}/server.log" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+[ -S "${SOCK}" ] || { echo "FAIL: socket never appeared" >&2; exit 1; }
+
+# The server must report the exporter's fingerprint: same artifact, loaded
+# through the full validation path.
+grep -q "${fingerprint}" "${WORK}/server.log" || {
+  echo "FAIL: server loaded a different fingerprint" >&2
+  cat "${WORK}/server.log" >&2
+  exit 1
+}
+
+echo "== ${NUM_CLIENTS} concurrent clients =="
+client_pids=()
+for c in $(seq 1 "${NUM_CLIENTS}"); do
+  "${SERVE}" --client --socket="${SOCK}" --nodes="${NODES}" \
+    >"${WORK}/client-${c}.log" 2>&1 &
+  client_pids+=("$!")
+done
+for pid in "${client_pids[@]}"; do
+  wait "${pid}" || {
+    echo "FAIL: a client did not receive all its responses" >&2
+    cat "${WORK}"/client-*.log >&2
+    exit 1
+  }
+done
+
+expected_lines=$(awk -F, '{print NF}' <<<"${NODES}")
+for c in $(seq 1 "${NUM_CLIENTS}"); do
+  lines="$(wc -l <"${WORK}/client-${c}.log")"
+  if [ "${lines}" -ne "${expected_lines}" ]; then
+    echo "FAIL: client ${c} got ${lines}/${expected_lines} responses" >&2
+    exit 1
+  fi
+  grep -q '"error"' "${WORK}/client-${c}.log" && {
+    echo "FAIL: client ${c} received an error response" >&2
+    cat "${WORK}/client-${c}.log" >&2
+    exit 1
+  }
+done
+
+# Same frozen logits => every client saw identical labels/scores (latency
+# differs per request, so strip it before comparing).
+for c in $(seq 2 "${NUM_CLIENTS}"); do
+  if ! diff <(sed 's/,"latency_us":[0-9]*//' "${WORK}/client-1.log") \
+            <(sed 's/,"latency_us":[0-9]*//' "${WORK}/client-${c}.log"); then
+    echo "FAIL: client ${c} answers differ from client 1" >&2
+    exit 1
+  fi
+done
+
+echo "== cooperative shutdown =="
+kill -TERM "${SERVER_PID}"
+status=0
+wait "${SERVER_PID}" || status=$?
+SERVER_PID=""
+if [ "${status}" -ne 0 ]; then
+  echo "FAIL: server exited ${status} on SIGTERM (expected 0)" >&2
+  cat "${WORK}/server.log" >&2
+  exit 1
+fi
+grep -q '^shutdown:' "${WORK}/server.log" || {
+  echo "FAIL: no shutdown stats line" >&2
+  cat "${WORK}/server.log" >&2
+  exit 1
+}
+total=$((NUM_CLIENTS * expected_lines))
+stats="$(grep '^shutdown:' "${WORK}/server.log")"
+echo "${stats}"
+echo "${stats}" | grep -q " ${NUM_CLIENTS} connections" || {
+  echo "FAIL: expected ${NUM_CLIENTS} connections in: ${stats}" >&2
+  exit 1
+}
+echo "${stats}" | grep -q " ${total} requests, ${total} responses" || {
+  echo "FAIL: expected ${total} requests and responses in: ${stats}" >&2
+  exit 1
+}
+# Telemetry captured per-request latencies and per-batch occupancy.
+grep -q '"type":"serve_request"' "${WORK}/serve_metrics.jsonl"
+grep -q '"type":"serve_batch"' "${WORK}/serve_metrics.jsonl"
+
+echo "PASS: export -> serve -> ${NUM_CLIENTS}x${expected_lines} identical" \
+     "responses -> clean shutdown"

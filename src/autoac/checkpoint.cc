@@ -275,6 +275,8 @@ std::string SerializeRunResult(const RunResult& result) {
   io::WriteU64(out, result.state_digest);
   WriteOps(out, result.searched_ops);
   io::WriteF32Vector(out, result.gmoc_trace);
+  io::WriteI64(out, static_cast<int64_t>(result.final_params.size()));
+  for (const Tensor& t : result.final_params) io::WriteTensor(out, t);
   return out.str();
 }
 
@@ -295,6 +297,15 @@ bool DeserializeRunResult(const std::string& payload, RunResult* result) {
         ReadOps(in, &result->searched_ops) &&
         io::ReadF32Vector(in, &result->gmoc_trace))) {
     return false;
+  }
+  int64_t num_params = 0;
+  if (!io::ReadI64(in, &num_params) || num_params < 0 ||
+      num_params > (int64_t{1} << 20)) {
+    return false;
+  }
+  result->final_params.resize(num_params);
+  for (int64_t i = 0; i < num_params; ++i) {
+    if (!io::ReadTensor(in, &result->final_params[i])) return false;
   }
   result->out_of_memory = oom != 0;
   result->interrupted = interrupted != 0;

@@ -121,6 +121,10 @@ AggregateResult EvaluateMethod(const TaskData& data, const ModelContext& ctx,
     aggregate.mean_times.train_seconds += run.times.train_seconds;
     aggregate.last_ops = run.searched_ops;
     if (!run.gmoc_trace.empty()) aggregate.gmoc_trace = run.gmoc_trace;
+    if (base_config.capture_final_params) {
+      aggregate.last_config = config;
+      aggregate.last_run = std::move(run);
+    }
   }
   aggregate.macro_f1 = Summarize(aggregate.macro_samples);
   aggregate.micro_f1 = Summarize(aggregate.micro_samples);

@@ -53,6 +53,13 @@ struct AggregateResult {
   uint64_t state_digest = 0;
   std::vector<CompletionOpType> last_ops;  // searched ops of the last seed
   std::vector<float> gmoc_trace;           // of the last seed
+  /// Full result and effective per-seed config of the last seed, populated
+  /// only when base_config.capture_final_params is set. This is what the
+  /// frozen-model export (src/serving/frozen_model.h) consumes: last_run
+  /// carries the trained parameter values, last_config the construction
+  /// recipe (seed, model name) that produced them.
+  RunResult last_run;
+  ExperimentConfig last_config;
 };
 
 /// Runs `spec` for `num_seeds` seeds (config.seed + s) and aggregates.

@@ -87,6 +87,13 @@ struct ExperimentConfig {
   // Link prediction.
   int64_t mrr_negatives = 20;
 
+  /// When set, TrainFixedCompletion stores the final parameter values
+  /// (completion, model, head — Parameters() order) in
+  /// RunResult::final_params so the run can be frozen into a serving
+  /// artifact (src/serving/). Off by default: the tensors are large and
+  /// only the export path needs them.
+  bool capture_final_params = false;
+
   CompletionConfig completion;
   uint64_t seed = 1;
 
@@ -129,6 +136,12 @@ struct RunResult {
   // Search artifacts (AutoAC runs only).
   std::vector<CompletionOpType> searched_ops;  // per missing node
   std::vector<float> gmoc_trace;               // L_GmoC per search epoch
+
+  /// Final parameter values in TrainFixedCompletion's Parameters() order
+  /// (completion module, then model, then task head). Populated only when
+  /// ExperimentConfig::capture_final_params is set; consumed by the frozen
+  /// model export (src/serving/frozen_model.h).
+  std::vector<Tensor> final_params;
 };
 
 }  // namespace autoac

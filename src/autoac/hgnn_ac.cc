@@ -134,13 +134,21 @@ RunResult RunHgnnAc(const TaskData& data, const ModelContext& ctx,
         epoch + 1 != config.train_epochs) {
       continue;
     }
-    VarPtr h_eval =
-        model->Forward(ctx, completed_h0(), /*training=*/false, rng);
-    TaskScores val = head.EvaluateVal(h_eval);
-    if (val.primary > best_val) {
+    TaskScores val;
+    bool new_best = false;
+    {
+      NoGradGuard no_grad;  // tape-free evaluation forward
+      VarPtr h_eval =
+          model->Forward(ctx, completed_h0(), /*training=*/false, rng);
+      val = head.EvaluateVal(h_eval);
+      if (val.primary > best_val) {
+        new_best = true;
+        result.test = head.EvaluateTest(h_eval);
+      }
+    }
+    if (new_best) {
       best_val = val.primary;
       since_best = 0;
-      result.test = head.EvaluateTest(h_eval);
     } else if (++since_best >= config.patience / config.eval_every) {
       break;
     }

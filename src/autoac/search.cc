@@ -286,14 +286,17 @@ SearchResult SearchCompletionOps(const TaskData& data,
       // before per-cluster refinement begins.
       double probe_scores[kNumCompletionOps];
       double lo = 1.0, hi = 0.0;
-      for (int o = 0; o < kNumCompletionOps; ++o) {
-        auto op = static_cast<CompletionOpType>(o);
-        std::vector<CompletionOpType> uniform(n_missing, op);
-        VarPtr h0 = completion.CompleteDiscrete(uniform);
-        VarPtr h = model->Forward(ctx, h0, /*training=*/false, rng);
-        probe_scores[o] = head.EvaluateVal(h).primary;
-        lo = std::min(lo, probe_scores[o]);
-        hi = std::max(hi, probe_scores[o]);
+      {
+        NoGradGuard no_grad;  // probes only read scores, never backprop
+        for (int o = 0; o < kNumCompletionOps; ++o) {
+          auto op = static_cast<CompletionOpType>(o);
+          std::vector<CompletionOpType> uniform(n_missing, op);
+          VarPtr h0 = completion.CompleteDiscrete(uniform);
+          VarPtr h = model->Forward(ctx, h0, /*training=*/false, rng);
+          probe_scores[o] = head.EvaluateVal(h).primary;
+          lo = std::min(lo, probe_scores[o]);
+          hi = std::max(hi, probe_scores[o]);
+        }
       }
       double span = std::max(hi - lo, 1e-6);
       for (int64_t m = 0; m < alpha->value.rows(); ++m) {
@@ -496,10 +499,13 @@ SearchResult SearchCompletionOps(const TaskData& data,
     candidates.emplace_back(n_missing, static_cast<CompletionOpType>(o));
   }
   std::vector<std::pair<double, size_t>> ranked;
-  for (size_t c = 0; c < candidates.size(); ++c) {
-    VarPtr h0 = completion.CompleteDiscrete(candidates[c]);
-    VarPtr h = model->Forward(ctx, h0, /*training=*/false, rng);
-    ranked.emplace_back(head.EvaluateVal(h).primary, c);
+  {
+    NoGradGuard no_grad;  // pure scoring pass over the trained supernet
+    for (size_t c = 0; c < candidates.size(); ++c) {
+      VarPtr h0 = completion.CompleteDiscrete(candidates[c]);
+      VarPtr h = model->Forward(ctx, h0, /*training=*/false, rng);
+      ranked.emplace_back(head.EvaluateVal(h).primary, c);
+    }
   }
   std::sort(ranked.begin(), ranked.end(),
             [](const auto& a, const auto& b) { return a.first > b.first; });

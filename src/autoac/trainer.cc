@@ -175,10 +175,22 @@ RunResult TrainFixedCompletion(const TaskData& data, const ModelContext& ctx,
       }
       continue;
     }
-    // Evaluation forward (no dropout).
-    VarPtr h0_eval = completion.CompleteDiscrete(op_of);
-    VarPtr h_eval = model->Forward(ctx, h0_eval, /*training=*/false, rng);
-    TaskScores val = head.EvaluateVal(h_eval);
+    // Evaluation forward (no dropout). Tape-free: validation/test forwards
+    // never call Backward, so the guard drops all reverse-mode bookkeeping
+    // (closure allocation, parent retention) while producing bitwise the
+    // same values as a taped forward.
+    TaskScores val;
+    bool new_best = false;
+    {
+      NoGradGuard no_grad;
+      VarPtr h0_eval = completion.CompleteDiscrete(op_of);
+      VarPtr h_eval = model->Forward(ctx, h0_eval, /*training=*/false, rng);
+      val = head.EvaluateVal(h_eval);
+      if (val.primary > best_val) {
+        new_best = true;
+        result.test = head.EvaluateTest(h_eval);
+      }
+    }
     val_history.push_back(val.primary);
     if (Telemetry::Enabled()) {
       Telemetry::Get().Emit(
@@ -187,10 +199,9 @@ RunResult TrainFixedCompletion(const TaskData& data, const ModelContext& ctx,
               .Add("train_loss", static_cast<double>(loss->value.data()[0]))
               .Add("val_primary", val.primary));
     }
-    if (val.primary > best_val) {
+    if (new_best) {
       best_val = val.primary;
       since_best = 0;
-      result.test = head.EvaluateTest(h_eval);
     } else if (++since_best >= config.patience / config.eval_every) {
       break;
     }
@@ -209,6 +220,10 @@ RunResult TrainFixedCompletion(const TaskData& data, const ModelContext& ctx,
       result.epochs_run > 0 ? result.times.train_seconds / result.epochs_run
                             : 0.0;
   result.searched_ops = op_of;
+  if (config.capture_final_params) {
+    result.final_params.reserve(params.size());
+    for (const VarPtr& p : params) result.final_params.push_back(p->value);
+  }
   // Digest over the final parameters, test metrics, and assignment (wall
   // times excluded — they legitimately differ run-to-run). A resumed run
   // must reproduce this value bit for bit.

@@ -419,6 +419,14 @@ StatusOr<HeteroGraphPtr> ReadGraphBody(std::istream& in) {
 
 }  // namespace
 
+void WriteGraphPayload(std::ostream& out, const HeteroGraph& graph) {
+  WriteGraphBody(out, graph);
+}
+
+StatusOr<HeteroGraphPtr> ReadGraphPayload(std::istream& in) {
+  return ReadGraphBody(in);
+}
+
 Status SaveGraph(const HeteroGraph& graph, const std::string& path) {
   std::ostringstream body;
   WriteGraphBody(body, graph);

@@ -87,6 +87,15 @@ bool ReadTensor(std::istream& in, Tensor* t);
 
 }  // namespace io
 
+/// Serializes the graph body — the payload SaveGraph wraps in the container
+/// framing — onto a stream. Exposed so other container kinds (the frozen
+/// serving artifact) can embed a full graph in their own payload.
+void WriteGraphPayload(std::ostream& out, const HeteroGraph& graph);
+
+/// Parses a graph body written by WriteGraphPayload. The returned graph is
+/// finalized. Allocation-bounded: corrupted length fields fail cleanly.
+StatusOr<HeteroGraphPtr> ReadGraphPayload(std::istream& in);
+
 /// Writes `graph` to `path` (atomically). Returns an error status on IO
 /// failure.
 Status SaveGraph(const HeteroGraph& graph, const std::string& path);

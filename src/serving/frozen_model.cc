@@ -1,0 +1,275 @@
+#include "serving/frozen_model.h"
+
+#include <sstream>
+#include <utility>
+
+#include "autoac/checkpoint.h"
+#include "completion/completion_module.h"
+#include "data/serialization.h"
+#include "models/factory.h"
+
+namespace autoac {
+namespace {
+
+constexpr char kFrozenMagic[4] = {'A', 'A', 'C', 'M'};
+
+/// Upper bound on stored model parameter tensors; real models have a few
+/// dozen. Keeps corrupted count fields from driving huge allocations.
+constexpr int64_t kMaxModelParams = int64_t{1} << 16;
+
+uint64_t MixI64(uint64_t h, int64_t v) { return Fnv1a(&v, sizeof(v), h); }
+uint64_t MixU64(uint64_t h, uint64_t v) { return Fnv1a(&v, sizeof(v), h); }
+uint64_t MixF32(uint64_t h, float v) { return Fnv1a(&v, sizeof(v), h); }
+uint64_t MixString(uint64_t h, const std::string& s) {
+  h = MixI64(h, static_cast<int64_t>(s.size()));
+  return Fnv1a(s.data(), s.size(), h);
+}
+uint64_t MixI64Vector(uint64_t h, const std::vector<int64_t>& v) {
+  h = MixI64(h, static_cast<int64_t>(v.size()));
+  return Fnv1a(v.data(), v.size() * sizeof(int64_t), h);
+}
+
+}  // namespace
+
+uint64_t ComputeFrozenFingerprint(const FrozenModel& model) {
+  uint64_t h = kFnvOffsetBasis;
+  h = MixString(h, model.model_name);
+  h = MixI64(h, model.hidden_dim);
+  h = MixI64(h, model.num_layers);
+  h = MixI64(h, model.num_heads);
+  h = MixF32(h, model.dropout);
+  h = MixF32(h, model.negative_slope);
+  h = MixU64(h, model.seed);
+  h = MixI64(h, model.num_classes);
+  // Graph identity: structure, attributes, and task annotations all change
+  // the meaning of the weights, so all of them feed the fingerprint.
+  const HeteroGraph& g = *model.graph;
+  h = MixI64(h, g.num_nodes());
+  h = MixI64(h, g.num_node_types());
+  h = MixI64(h, g.num_edge_types());
+  h = MixI64(h, g.target_node_type());
+  h = MixI64(h, g.num_classes());
+  for (int64_t t = 0; t < g.num_node_types(); ++t) {
+    const HeteroGraph::NodeTypeInfo& info = g.node_type(t);
+    h = MixString(h, info.name);
+    h = MixI64(h, info.count);
+    h = DigestTensor(h, info.attributes);
+  }
+  h = MixI64Vector(h, g.edge_src());
+  h = MixI64Vector(h, g.edge_dst());
+  h = MixI64Vector(h, g.edge_type_ids());
+  h = MixI64Vector(h, g.global_labels());
+  h = MixI64(h, static_cast<int64_t>(model.op_of.size()));
+  h = Fnv1a(model.op_of.data(),
+            model.op_of.size() * sizeof(CompletionOpType), h);
+  h = DigestTensor(h, model.h0);
+  h = MixI64(h, static_cast<int64_t>(model.model_params.size()));
+  for (const Tensor& p : model.model_params) h = DigestTensor(h, p);
+  h = DigestTensor(h, model.classifier_weight);
+  h = DigestTensor(h, model.classifier_bias);
+  return h;
+}
+
+StatusOr<FrozenModel> FreezeTrainedRun(const TaskData& data,
+                                       const ModelContext& ctx,
+                                       const ExperimentConfig& config,
+                                       const RunResult& run) {
+  if (data.task != TaskKind::kNodeClassification) {
+    return Status::Error(
+        "frozen model export supports node classification only");
+  }
+  if (run.final_params.empty()) {
+    return Status::Error(
+        "run carries no final parameters; rerun with capture_final_params "
+        "(the method may not train through TrainFixedCompletion)");
+  }
+  if (run.searched_ops.empty()) {
+    return Status::Error("run carries no completion-op assignment");
+  }
+
+  // Mirror TrainFixedCompletion's construction order exactly: the Rng
+  // stream determines nothing we keep (every value is overwritten below)
+  // but the construction sequence determines the parameter shapes and
+  // their order in the flattened list.
+  Rng rng(config.seed);
+  CompletionConfig completion_config = config.completion;
+  completion_config.hidden_dim = config.hidden_dim;
+  CompletionModule completion(data.graph, completion_config, rng);
+  if (static_cast<int64_t>(run.searched_ops.size()) !=
+      completion.num_missing()) {
+    return Status::Error("assignment length does not match the graph's "
+                         "missing-node count");
+  }
+
+  ModelConfig model_config;
+  model_config.in_dim = config.hidden_dim;
+  model_config.hidden_dim = config.hidden_dim;
+  model_config.out_dim = config.hidden_dim;
+  model_config.num_layers = config.num_layers;
+  model_config.num_heads = config.num_heads;
+  model_config.dropout = config.dropout;
+  model_config.negative_slope = config.negative_slope;
+  ModelPtr model = MakeModel(config.model_name, model_config, ctx, rng,
+                             /*l2_normalize_output=*/false);
+  TaskHead head(data, model_config.out_dim, config.mrr_negatives, rng);
+
+  std::vector<VarPtr> params = completion.Parameters();
+  for (const VarPtr& p : model->Parameters()) params.push_back(p);
+  std::vector<VarPtr> head_params = head.Parameters();
+  for (const VarPtr& p : head_params) params.push_back(p);
+  if (params.size() != run.final_params.size()) {
+    return Status::Error(
+        "parameter count mismatch between the run and the rebuilt model "
+        "(config drift?)");
+  }
+  for (size_t i = 0; i < params.size(); ++i) {
+    if (!params[i]->value.SameShape(run.final_params[i])) {
+      return Status::Error("parameter shape mismatch at index " +
+                           std::to_string(i) + " (config drift?)");
+    }
+    params[i]->value = run.final_params[i];
+  }
+  if (head_params.size() != 2 || head_params[0]->value.dim() != 2 ||
+      head_params[1]->value.dim() != 1) {
+    return Status::Error("unexpected task-head parameter layout");
+  }
+
+  FrozenModel frozen;
+  frozen.model_name = config.model_name;
+  frozen.hidden_dim = config.hidden_dim;
+  frozen.num_layers = config.num_layers;
+  frozen.num_heads = config.num_heads;
+  frozen.dropout = config.dropout;
+  frozen.negative_slope = config.negative_slope;
+  frozen.seed = config.seed;
+  frozen.num_classes = data.graph->num_classes();
+  frozen.graph = data.graph;
+  frozen.op_of = run.searched_ops;
+  {
+    // Materialize the completed attributes once, tape-free: serving never
+    // re-runs the completion aggregations.
+    NoGradGuard no_grad;
+    frozen.h0 = completion.CompleteDiscrete(run.searched_ops)->value;
+  }
+  for (const VarPtr& p : model->Parameters()) {
+    frozen.model_params.push_back(p->value);
+  }
+  frozen.classifier_weight = head_params[0]->value;
+  frozen.classifier_bias = head_params[1]->value;
+  frozen.fingerprint = ComputeFrozenFingerprint(frozen);
+  return frozen;
+}
+
+Status SaveFrozenModel(const FrozenModel& model, const std::string& path) {
+  if (model.graph == nullptr) {
+    return Status::Error("frozen model has no graph");
+  }
+  std::ostringstream payload;
+  io::WriteString(payload, model.model_name);
+  io::WriteI64(payload, model.hidden_dim);
+  io::WriteI64(payload, model.num_layers);
+  io::WriteI64(payload, model.num_heads);
+  io::WriteF64(payload, model.dropout);
+  io::WriteF64(payload, model.negative_slope);
+  io::WriteU64(payload, model.seed);
+  io::WriteI64(payload, model.num_classes);
+  io::WriteU64(payload, model.fingerprint);
+  WriteGraphPayload(payload, *model.graph);
+  std::vector<int64_t> ops;
+  ops.reserve(model.op_of.size());
+  for (CompletionOpType op : model.op_of) {
+    ops.push_back(static_cast<int64_t>(op));
+  }
+  io::WriteI64Vector(payload, ops);
+  io::WriteTensor(payload, model.h0);
+  io::WriteI64(payload, static_cast<int64_t>(model.model_params.size()));
+  for (const Tensor& p : model.model_params) io::WriteTensor(payload, p);
+  io::WriteTensor(payload, model.classifier_weight);
+  io::WriteTensor(payload, model.classifier_bias);
+  return io::WriteFileAtomic(path, kFrozenMagic, payload.str());
+}
+
+StatusOr<FrozenModel> LoadFrozenModel(const std::string& path) {
+  StatusOr<std::string> payload = io::ReadFileChecked(path, kFrozenMagic);
+  if (!payload.ok()) return payload.status();
+  std::istringstream in(payload.value());
+  const Status malformed =
+      Status::Error("frozen model payload is malformed: " + path);
+
+  FrozenModel model;
+  double dropout = 0.0, negative_slope = 0.0;
+  uint64_t stored_fingerprint = 0;
+  if (!io::ReadString(in, &model.model_name) ||
+      !io::ReadI64(in, &model.hidden_dim) ||
+      !io::ReadI64(in, &model.num_layers) ||
+      !io::ReadI64(in, &model.num_heads) || !io::ReadF64(in, &dropout) ||
+      !io::ReadF64(in, &negative_slope) || !io::ReadU64(in, &model.seed) ||
+      !io::ReadI64(in, &model.num_classes) ||
+      !io::ReadU64(in, &stored_fingerprint)) {
+    return malformed;
+  }
+  model.dropout = static_cast<float>(dropout);
+  model.negative_slope = static_cast<float>(negative_slope);
+  if (model.hidden_dim <= 0 || model.num_layers <= 0 ||
+      model.num_heads <= 0 || model.num_classes <= 0) {
+    return malformed;
+  }
+
+  StatusOr<HeteroGraphPtr> graph = ReadGraphPayload(in);
+  if (!graph.ok()) return graph.status();
+  model.graph = graph.TakeValue();
+
+  std::vector<int64_t> ops;
+  if (!io::ReadI64Vector(in, &ops)) return malformed;
+  if (static_cast<int64_t>(ops.size()) > model.graph->num_nodes()) {
+    return malformed;
+  }
+  model.op_of.reserve(ops.size());
+  for (int64_t raw : ops) {
+    if (raw < 0 || raw >= kNumCompletionOps) return malformed;
+    model.op_of.push_back(static_cast<CompletionOpType>(raw));
+  }
+
+  if (!io::ReadTensor(in, &model.h0)) return malformed;
+  int64_t num_params = 0;
+  if (!io::ReadI64(in, &num_params) || num_params < 0 ||
+      num_params > kMaxModelParams) {
+    return malformed;
+  }
+  model.model_params.resize(num_params);
+  for (int64_t i = 0; i < num_params; ++i) {
+    if (!io::ReadTensor(in, &model.model_params[i])) return malformed;
+  }
+  if (!io::ReadTensor(in, &model.classifier_weight) ||
+      !io::ReadTensor(in, &model.classifier_bias)) {
+    return malformed;
+  }
+  if (in.peek() != std::istringstream::traits_type::eof()) {
+    return Status::Error("frozen model has trailing bytes: " + path);
+  }
+
+  // Shape validation before any consumer touches the tensors.
+  if (model.h0.dim() != 2 || model.h0.rows() != model.graph->num_nodes() ||
+      model.h0.cols() != model.hidden_dim) {
+    return malformed;
+  }
+  if (model.classifier_weight.dim() != 2 ||
+      model.classifier_weight.cols() != model.num_classes ||
+      model.classifier_bias.dim() != 1 ||
+      model.classifier_bias.numel() != model.num_classes) {
+    return malformed;
+  }
+  if (model.num_classes != model.graph->num_classes()) return malformed;
+
+  uint64_t recomputed = ComputeFrozenFingerprint(model);
+  if (recomputed != stored_fingerprint) {
+    return Status::Error(
+        "frozen model fingerprint mismatch (stored vs recomputed content): "
+        "the artifact was produced by an incompatible exporter or edited "
+        "after export: " + path);
+  }
+  model.fingerprint = stored_fingerprint;
+  return model;
+}
+
+}  // namespace autoac

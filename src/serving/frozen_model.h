@@ -1,0 +1,97 @@
+#ifndef AUTOAC_SERVING_FROZEN_MODEL_H_
+#define AUTOAC_SERVING_FROZEN_MODEL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "autoac/experiment.h"
+#include "autoac/task.h"
+#include "completion/op.h"
+#include "graph/hetero_graph.h"
+#include "models/model.h"
+#include "tensor/tensor.h"
+#include "util/status.h"
+
+namespace autoac {
+
+/// A trained AutoAC run frozen into a self-contained serving artifact
+/// (DESIGN.md §10). The artifact deliberately contains no optimizer state,
+/// no search state, and no completion parameters: the searched discrete
+/// assignment is applied *once* at export time and the resulting completed
+/// attribute matrix H0 is stored materialized, so the serving path never
+/// re-runs the MEAN/GCN/PPNP aggregations or the one-hot scatter.
+///
+/// On disk the artifact is the standard checksummed container
+/// (data/serialization.h) with magic "AACM": magic | version | size | crc |
+/// payload. On top of the CRC (which catches random corruption) the payload
+/// embeds a content fingerprint recomputed on load, which catches *coherent*
+/// edits — a payload rewritten by a drifted builder, or a field patched
+/// without re-freezing — that a checksum written alongside the edit would
+/// not.
+struct FrozenModel {
+  // --- compatibility header -------------------------------------------------
+  // Enough of the training-time ExperimentConfig to rebuild the exact GNN
+  // the weights belong to. A loader refuses an artifact whose stored
+  // fingerprint does not match the one recomputed from this content.
+  std::string model_name = "SimpleHGN";
+  int64_t hidden_dim = 64;
+  int64_t num_layers = 2;
+  int64_t num_heads = 2;
+  float dropout = 0.1f;
+  float negative_slope = 0.05f;
+  uint64_t seed = 1;          // training seed (shapes + init stream)
+  int64_t num_classes = 0;
+  uint64_t fingerprint = 0;   // ComputeFrozenFingerprint over the rest
+
+  // --- frozen content -------------------------------------------------------
+  /// The (finalized) training graph; serving rebuilds the model context
+  /// (cached adjacencies) from it.
+  HeteroGraphPtr graph;
+  /// Discretized completion-operation choice per missing node, in
+  /// CompletionModule::missing_nodes() order. Informational at serve time
+  /// (H0 is already materialized) but kept for provenance and tooling.
+  std::vector<CompletionOpType> op_of;
+  /// Materialized completed attribute matrix [num_nodes, hidden_dim]:
+  /// CompleteDiscrete(op_of) evaluated once at export under NoGradGuard.
+  Tensor h0;
+  /// Trained GNN weights in Model::Parameters() order.
+  std::vector<Tensor> model_params;
+  /// Node-classification head: logits = h @ weight + bias.
+  Tensor classifier_weight;  // [out_dim, num_classes]
+  Tensor classifier_bias;    // [num_classes]
+};
+
+/// Content fingerprint over every field except `fingerprint` itself
+/// (FNV-1a chained over the header fields, graph shape, assignment, and all
+/// tensors). Stable across save/load round trips.
+uint64_t ComputeFrozenFingerprint(const FrozenModel& model);
+
+/// Freezes a completed training run into a FrozenModel. `run` must come
+/// from a node-classification run executed with
+/// ExperimentConfig::capture_final_params set (so RunResult::final_params
+/// holds the trained values) and must carry the searched assignment.
+/// Reconstructs the completion module / model / task head exactly as
+/// TrainFixedCompletion does (same Rng(config.seed) construction order, so
+/// every shape matches), overwrites their parameters with the trained
+/// values, and materializes H0 tape-free.
+StatusOr<FrozenModel> FreezeTrainedRun(const TaskData& data,
+                                       const ModelContext& ctx,
+                                       const ExperimentConfig& config,
+                                       const RunResult& run);
+
+/// Writes the artifact atomically (temp + fsync + rename) with magic
+/// "AACM". The stored fingerprint is written verbatim from
+/// `model.fingerprint` — FreezeTrainedRun sets it; tests exercise the
+/// mismatch-refusal path by saving a tampered value.
+Status SaveFrozenModel(const FrozenModel& model, const std::string& path);
+
+/// Reads an artifact written by SaveFrozenModel: container magic / version /
+/// CRC checks first, then allocation-bounded payload parsing, then shape
+/// validation, then fingerprint recomputation. Any mismatch is a Status
+/// error, never a crash.
+StatusOr<FrozenModel> LoadFrozenModel(const std::string& path);
+
+}  // namespace autoac
+
+#endif  // AUTOAC_SERVING_FROZEN_MODEL_H_

@@ -1,0 +1,434 @@
+#include "serving/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#include "util/shutdown.h"
+#include "util/telemetry.h"
+
+namespace autoac {
+namespace {
+
+int64_t NowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// --- minimal JSON helpers ---------------------------------------------------
+// The request grammar is one flat object per line; a full JSON library is
+// not worth a dependency for that. The scanner below is strict about what
+// it accepts (unknown keys and malformed values are errors, not silently
+// ignored) and never reads past the line.
+
+struct Scanner {
+  const std::string& s;
+  size_t i = 0;
+
+  void SkipSpace() {
+    while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) {
+      ++i;
+    }
+  }
+  bool Eat(char c) {
+    SkipSpace();
+    if (i < s.size() && s[i] == c) {
+      ++i;
+      return true;
+    }
+    return false;
+  }
+  bool ParseString(std::string* out) {
+    SkipSpace();
+    if (i >= s.size() || s[i] != '"') return false;
+    ++i;
+    out->clear();
+    while (i < s.size() && s[i] != '"') {
+      char c = s[i++];
+      if (c == '\\') {
+        if (i >= s.size()) return false;
+        char esc = s[i++];
+        switch (esc) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'n': out->push_back('\n'); break;
+          case 't': out->push_back('\t'); break;
+          default: return false;  // \uXXXX etc. not needed for ids
+        }
+      } else {
+        out->push_back(c);
+      }
+    }
+    if (i >= s.size()) return false;
+    ++i;  // closing quote
+    return true;
+  }
+  bool ParseInt(int64_t* out) {
+    SkipSpace();
+    size_t start = i;
+    if (i < s.size() && (s[i] == '-' || s[i] == '+')) ++i;
+    size_t digits = i;
+    while (i < s.size() && std::isdigit(static_cast<unsigned char>(s[i]))) {
+      ++i;
+    }
+    if (i == digits) return false;
+    *out = std::strtoll(s.c_str() + start, nullptr, 10);
+    return true;
+  }
+};
+
+std::string EscapeJson(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+bool ParseServeRequestLine(const std::string& line, ServeRequest* request,
+                           std::string* error) {
+  *request = ServeRequest();
+  Scanner sc{line};
+  if (!sc.Eat('{')) {
+    *error = "expected a JSON object";
+    return false;
+  }
+  bool have_node = false;
+  if (!sc.Eat('}')) {  // non-empty object
+    while (true) {
+      std::string key;
+      if (!sc.ParseString(&key)) {
+        *error = "expected a string key";
+        return false;
+      }
+      if (!sc.Eat(':')) {
+        *error = "expected ':' after key \"" + key + "\"";
+        return false;
+      }
+      if (key == "id") {
+        // Accept a string or a bare integer token; either way the id is
+        // echoed back verbatim as a string.
+        sc.SkipSpace();
+        if (sc.i < line.size() && line[sc.i] == '"') {
+          if (!sc.ParseString(&request->id)) {
+            *error = "malformed \"id\" string";
+            return false;
+          }
+        } else {
+          int64_t v = 0;
+          if (!sc.ParseInt(&v)) {
+            *error = "malformed \"id\" value";
+            return false;
+          }
+          request->id = std::to_string(v);
+        }
+      } else if (key == "node") {
+        if (!sc.ParseInt(&request->node)) {
+          *error = "malformed \"node\" value (integer expected)";
+          return false;
+        }
+        have_node = true;
+      } else {
+        *error = "unknown key \"" + key + "\"";
+        return false;
+      }
+      if (sc.Eat(',')) continue;
+      if (sc.Eat('}')) break;
+      *error = "expected ',' or '}'";
+      return false;
+    }
+  }
+  sc.SkipSpace();
+  if (sc.i != line.size()) {
+    *error = "trailing characters after the object";
+    return false;
+  }
+  if (!have_node) {
+    *error = "missing required key \"node\"";
+    return false;
+  }
+  return true;
+}
+
+std::string FormatServeResponse(const std::string& id,
+                                const InferenceSession::Prediction& p,
+                                int64_t latency_us) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                ",\"node\":%lld,\"label\":%lld,\"score\":%.6g,"
+                "\"latency_us\":%lld}\n",
+                static_cast<long long>(p.node),
+                static_cast<long long>(p.label), p.score,
+                static_cast<long long>(latency_us));
+  return "{\"id\":\"" + EscapeJson(id) + "\"" + buf;
+}
+
+std::string FormatServeError(const std::string& id, const std::string& error) {
+  return "{\"id\":\"" + EscapeJson(id) + "\",\"error\":\"" +
+         EscapeJson(error) + "\"}\n";
+}
+
+InferenceServer::InferenceServer(InferenceSession* session,
+                                 ServerOptions options)
+    : session_(session), options_(std::move(options)) {
+  AUTOAC_CHECK(session_ != nullptr);
+  AUTOAC_CHECK(options_.max_batch > 0) << "max_batch must be positive";
+  AUTOAC_CHECK(options_.max_queue > 0) << "max_queue must be positive";
+}
+
+InferenceServer::~InferenceServer() {
+  Stop();
+  if (batcher_.joinable()) batcher_.join();
+  for (std::thread& t : readers_) {
+    if (t.joinable()) t.join();
+  }
+  for (const auto& conn : connections_) {
+    if (conn->fd >= 0) ::close(conn->fd);
+  }
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (!options_.unix_path.empty()) ::unlink(options_.unix_path.c_str());
+}
+
+Status InferenceServer::Start() {
+  if (!options_.unix_path.empty()) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (options_.unix_path.size() >= sizeof(addr.sun_path)) {
+      return Status::Error("unix socket path too long: " +
+                           options_.unix_path);
+    }
+    std::strncpy(addr.sun_path, options_.unix_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) return Status::Error("socket() failed");
+    ::unlink(options_.unix_path.c_str());  // the server owns this path
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      return Status::Error("bind failed on " + options_.unix_path + ": " +
+                           std::strerror(errno));
+    }
+  } else {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) return Status::Error("socket() failed");
+    int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<uint16_t>(options_.tcp_port));
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      return Status::Error("bind failed on 127.0.0.1:" +
+                           std::to_string(options_.tcp_port) + ": " +
+                           std::strerror(errno));
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                      &len) == 0) {
+      port_ = ntohs(bound.sin_port);
+    }
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    return Status::Error(std::string("listen failed: ") +
+                         std::strerror(errno));
+  }
+  batcher_ = std::thread(&InferenceServer::BatcherLoop, this);
+  return Status::Ok();
+}
+
+bool InferenceServer::Stopping() const {
+  return stop_.load(std::memory_order_relaxed) || ShutdownRequested();
+}
+
+void InferenceServer::Stop() {
+  stop_.store(true, std::memory_order_relaxed);
+  queue_cv_.notify_all();
+}
+
+void InferenceServer::Serve() {
+  AUTOAC_CHECK(listen_fd_ >= 0) << "call Start() before Serve()";
+  while (!Stopping()) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (ready <= 0 || (pfd.revents & POLLIN) == 0) continue;
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    auto conn = std::make_shared<Connection>();
+    conn->fd = fd;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.connections;
+      connections_.push_back(conn);
+    }
+    readers_.emplace_back(&InferenceServer::ReaderLoop, this, conn);
+  }
+  // Cooperative wind-down: stop accepting, unblock the readers, drain the
+  // queue through the batcher, then join everything so callers observe a
+  // fully quiesced server when Serve() returns.
+  Stop();
+  for (const auto& conn : connections_) {
+    if (conn->fd >= 0) ::shutdown(conn->fd, SHUT_RD);
+  }
+  for (std::thread& t : readers_) {
+    if (t.joinable()) t.join();
+  }
+  readers_.clear();
+  queue_cv_.notify_all();
+  if (batcher_.joinable()) batcher_.join();
+}
+
+void InferenceServer::WriteLine(const std::shared_ptr<Connection>& conn,
+                                const std::string& line) {
+  std::lock_guard<std::mutex> lock(conn->write_mu);
+  size_t off = 0;
+  while (off < line.size()) {
+    ssize_t n = ::send(conn->fd, line.data() + off, line.size() - off,
+                       MSG_NOSIGNAL);
+    if (n <= 0) return;  // peer gone; nothing useful to do
+    off += static_cast<size_t>(n);
+  }
+}
+
+void InferenceServer::ReaderLoop(std::shared_ptr<Connection> conn) {
+  std::string pending;
+  char buf[4096];
+  while (!Stopping()) {
+    ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    pending.append(buf, static_cast<size_t>(n));
+    size_t start = 0;
+    for (size_t nl = pending.find('\n', start); nl != std::string::npos;
+         nl = pending.find('\n', start)) {
+      std::string line = pending.substr(start, nl - start);
+      start = nl + 1;
+      if (line.empty()) continue;
+      ServeRequest request;
+      std::string error;
+      if (!ParseServeRequestLine(line, &request, &error)) {
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          ++stats_.malformed;
+        }
+        WriteLine(conn, FormatServeError(request.id, error));
+        continue;
+      }
+      bool shed = false;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (static_cast<int64_t>(queue_.size()) >= options_.max_queue) {
+          ++stats_.shed;
+          shed = true;
+        } else {
+          ++stats_.requests;
+          queue_.push_back(Pending{conn, std::move(request), NowMicros()});
+        }
+      }
+      if (shed) {
+        WriteLine(conn, FormatServeError(request.id, "overloaded"));
+      } else {
+        queue_cv_.notify_one();
+      }
+    }
+    pending.erase(0, start);
+  }
+}
+
+void InferenceServer::BatcherLoop() {
+  for (;;) {
+    std::vector<Pending> batch;
+    int64_t queue_depth = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      queue_cv_.wait_for(
+          lock, std::chrono::milliseconds(options_.batch_timeout_ms), [&] {
+            return Stopping() ||
+                   static_cast<int64_t>(queue_.size()) >= options_.max_batch;
+          });
+      if (queue_.empty()) {
+        if (Stopping()) return;
+        continue;
+      }
+      int64_t take = std::min<int64_t>(
+          static_cast<int64_t>(queue_.size()), options_.max_batch);
+      batch.reserve(take);
+      for (int64_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      ++stats_.batches;
+      stats_.batched_requests += take;
+      queue_depth = static_cast<int64_t>(queue_.size());
+    }
+    for (const Pending& pending : batch) {
+      StatusOr<InferenceSession::Prediction> prediction =
+          session_->Predict(pending.request.node);
+      int64_t latency_us = NowMicros() - pending.enqueued_us;
+      if (!prediction.ok()) {
+        WriteLine(pending.conn, FormatServeError(
+                                    pending.request.id,
+                                    prediction.status().message()));
+        continue;
+      }
+      WriteLine(pending.conn, FormatServeResponse(pending.request.id,
+                                                  prediction.value(),
+                                                  latency_us));
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.responses;
+      }
+      if (Telemetry::Enabled()) {
+        Telemetry::Get().Emit(MetricRecord("serve_request")
+                                  .Add("node", prediction.value().node)
+                                  .Add("label", prediction.value().label)
+                                  .Add("latency_us", latency_us));
+      }
+    }
+    if (Telemetry::Enabled()) {
+      Telemetry::Get().Emit(
+          MetricRecord("serve_batch")
+              .Add("size", static_cast<int64_t>(batch.size()))
+              .Add("capacity", options_.max_batch)
+              .Add("occupancy", static_cast<double>(batch.size()) /
+                                    static_cast<double>(options_.max_batch))
+              .Add("queue_depth", queue_depth));
+    }
+  }
+}
+
+ServeStats InferenceServer::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace autoac

@@ -1,0 +1,139 @@
+#ifndef AUTOAC_SERVING_SERVER_H_
+#define AUTOAC_SERVING_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serving/inference_session.h"
+#include "util/status.h"
+
+namespace autoac {
+
+/// One newline-delimited JSON request: {"id": "...", "node": N}. `id` is an
+/// opaque client token echoed back in the response (optional, may be a JSON
+/// string or number); `node` is the target-type-local node id to classify.
+struct ServeRequest {
+  std::string id;
+  int64_t node = -1;
+};
+
+/// Parses one request line. The accepted grammar is a flat JSON object with
+/// the keys above (any order, whitespace-tolerant, unknown keys rejected so
+/// typos fail loudly). Returns false with a human-readable `error` on
+/// malformed input; the server turns that into an error response rather
+/// than dropping the connection.
+bool ParseServeRequestLine(const std::string& line, ServeRequest* request,
+                           std::string* error);
+
+/// Formats a success / error response line (newline-terminated JSON).
+std::string FormatServeResponse(const std::string& id,
+                                const InferenceSession::Prediction& p,
+                                int64_t latency_us);
+std::string FormatServeError(const std::string& id, const std::string& error);
+
+struct ServerOptions {
+  /// Unix-domain socket path. Takes precedence over TCP when non-empty.
+  std::string unix_path;
+  /// TCP port on 127.0.0.1; 0 binds an ephemeral port (see
+  /// InferenceServer::port()). Used only when unix_path is empty.
+  int tcp_port = 0;
+  /// Requests per inference batch. The batcher fires when this many are
+  /// queued or when the oldest queued request has waited batch_timeout_ms.
+  int64_t max_batch = 16;
+  int64_t batch_timeout_ms = 5;
+  /// Bounded request queue; arrivals beyond this depth are shed with an
+  /// "overloaded" error response instead of growing the queue without limit.
+  int64_t max_queue = 1024;
+};
+
+/// Counters published by the server (also emitted as telemetry records when
+/// the telemetry sink is on).
+struct ServeStats {
+  int64_t connections = 0;
+  int64_t requests = 0;         // parsed OK and enqueued
+  int64_t responses = 0;        // success responses written
+  int64_t malformed = 0;        // parse failures (error response written)
+  int64_t shed = 0;             // rejected by the bounded queue
+  int64_t batches = 0;          // inference batches executed
+  int64_t batched_requests = 0; // sum of batch sizes (occupancy numerator)
+};
+
+/// Batched request/response front-end over an InferenceSession
+/// (DESIGN.md §10). One reader thread per connection parses request lines
+/// into a bounded queue; a single batcher thread drains the queue in
+/// batches of up to max_batch (or whatever is present when the oldest
+/// request has waited batch_timeout_ms), answers each request from the
+/// logits cache, and writes responses back on the owning connection.
+///
+/// Shutdown is cooperative: Serve() returns once ShutdownRequested()
+/// (util/shutdown.h) or Stop() is observed; in-flight requests are drained,
+/// responses flushed, and every thread joined before Serve() returns.
+class InferenceServer {
+ public:
+  InferenceServer(InferenceSession* session, ServerOptions options);
+  ~InferenceServer();
+
+  InferenceServer(const InferenceServer&) = delete;
+  InferenceServer& operator=(const InferenceServer&) = delete;
+
+  /// Binds and listens (unix or TCP per the options) and starts the batcher
+  /// thread. IO failures (path in use, permission) are Status errors.
+  Status Start();
+
+  /// Accepts and serves connections until shutdown is requested. Call after
+  /// Start(); blocks the calling thread.
+  void Serve();
+
+  /// Requests shutdown of this server only (Serve() also honors the
+  /// process-wide shutdown flag). Safe from any thread; idempotent.
+  void Stop();
+
+  /// Actual TCP port after Start() (== options.tcp_port unless 0 requested
+  /// an ephemeral port); -1 for unix-domain servers.
+  int port() const { return port_; }
+
+  ServeStats stats() const;
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::mutex write_mu;
+  };
+  struct Pending {
+    std::shared_ptr<Connection> conn;
+    ServeRequest request;
+    int64_t enqueued_us = 0;  // monotonic clock, for latency telemetry
+  };
+
+  void ReaderLoop(std::shared_ptr<Connection> conn);
+  void BatcherLoop();
+  void WriteLine(const std::shared_ptr<Connection>& conn,
+                 const std::string& line);
+  bool Stopping() const;
+
+  InferenceSession* session_;
+  ServerOptions options_;
+  int listen_fd_ = -1;
+  int port_ = -1;
+  std::atomic<bool> stop_{false};
+
+  mutable std::mutex mu_;
+  std::condition_variable queue_cv_;
+  std::deque<Pending> queue_;
+  ServeStats stats_;
+
+  std::thread batcher_;
+  std::vector<std::thread> readers_;
+  std::vector<std::shared_ptr<Connection>> connections_;
+};
+
+}  // namespace autoac
+
+#endif  // AUTOAC_SERVING_SERVER_H_

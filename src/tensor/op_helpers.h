@@ -15,19 +15,25 @@ namespace autoac::internal {
 
 /// Builds an interior tape node: requires_grad is inherited from the
 /// parents, and the backward closure is attached only when a gradient can
-/// actually flow.
+/// actually flow. Under a NoGradGuard the node is a plain value instead:
+/// no parents (the upstream graph can be freed eagerly), no closure, and
+/// requires_grad forced off — the tape-free inference path.
 inline VarPtr MakeOp(std::string name, Tensor value,
                      std::vector<VarPtr> parents,
                      std::function<void(Variable&)> backward) {
+  const bool grad_mode = GradModeEnabled();
   bool requires_grad = false;
   for (const VarPtr& p : parents) {
     AUTOAC_CHECK(p != nullptr) << "null input to op" << name;
-    requires_grad = requires_grad || p->requires_grad;
+    requires_grad = requires_grad || (grad_mode && p->requires_grad);
   }
   auto node = std::make_shared<Variable>(std::move(value), requires_grad);
   node->op_name = std::move(name);
-  node->parents = std::move(parents);
-  if (requires_grad) node->backward_fn = std::move(backward);
+  if (grad_mode) node->parents = std::move(parents);
+  if (requires_grad) {
+    node->backward_fn = std::move(backward);
+    NoteBackwardClosure();
+  }
   return node;
 }
 

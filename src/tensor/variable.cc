@@ -1,8 +1,30 @@
 #include "tensor/variable.h"
 
+#include <atomic>
 #include <unordered_set>
 
 namespace autoac {
+
+namespace {
+thread_local bool t_grad_mode = true;
+std::atomic<int64_t> g_backward_closures{0};
+}  // namespace
+
+NoGradGuard::NoGradGuard() : prev_(t_grad_mode) { t_grad_mode = false; }
+
+NoGradGuard::~NoGradGuard() { t_grad_mode = prev_; }
+
+bool GradModeEnabled() { return t_grad_mode; }
+
+int64_t BackwardClosuresAllocated() {
+  return g_backward_closures.load(std::memory_order_relaxed);
+}
+
+namespace internal {
+void NoteBackwardClosure() {
+  g_backward_closures.fetch_add(1, std::memory_order_relaxed);
+}
+}  // namespace internal
 
 Tensor& Variable::EnsureGrad() {
   if (grad.numel() == 0 && value.numel() > 0) {

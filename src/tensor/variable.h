@@ -64,6 +64,42 @@ class Variable {
   int64_t cols() const { return value.cols(); }
 };
 
+/// Scoped reverse-mode off-switch. While any NoGradGuard is alive on a
+/// thread, ops built through internal::MakeOp produce plain value nodes:
+/// requires_grad is false, no parents are retained (intermediates free as
+/// soon as their last consumer releases them instead of living until the
+/// tape is discarded), and no backward closure is allocated. This is the
+/// inference/evaluation fast path: the forward values are bitwise identical
+/// to a taped forward, only the bookkeeping disappears.
+///
+/// Guards nest; the flag is thread-local, so a guard on the main thread
+/// does not affect ParallelFor workers (which never build tape nodes).
+class NoGradGuard {
+ public:
+  NoGradGuard();
+  ~NoGradGuard();
+  NoGradGuard(const NoGradGuard&) = delete;
+  NoGradGuard& operator=(const NoGradGuard&) = delete;
+
+ private:
+  bool prev_;
+};
+
+/// True when ops on this thread should build the autograd tape (no
+/// NoGradGuard is active).
+bool GradModeEnabled();
+
+/// Process-wide count of backward closures allocated by MakeOp. Tests
+/// snapshot it around a no-grad forward to assert the tape-free path
+/// allocates exactly zero closures.
+int64_t BackwardClosuresAllocated();
+
+namespace internal {
+/// Bumps BackwardClosuresAllocated(); called by MakeOp when it attaches a
+/// backward closure.
+void NoteBackwardClosure();
+}  // namespace internal
+
 /// Trainable leaf: gradients accumulate here and the optimizers update it.
 VarPtr MakeParam(Tensor value);
 

@@ -224,6 +224,52 @@ TEST(AutogradTest, DropoutScalesKeptEntries) {
   EXPECT_LT(kept, 600);
 }
 
+TEST(NoGradTest, GuardDropsTapeBookkeepingButNotValues) {
+  Rng rng(20);
+  VarPtr x = RandomParam({4, 4}, rng);
+  VarPtr w = RandomParam({4, 4}, rng);
+
+  int64_t before = BackwardClosuresAllocated();
+  VarPtr taped = Relu(MatMul(x, w));
+  EXPECT_GT(BackwardClosuresAllocated(), before);
+  EXPECT_TRUE(taped->requires_grad);
+  EXPECT_FALSE(taped->parents.empty());
+  EXPECT_TRUE(static_cast<bool>(taped->backward_fn));
+
+  before = BackwardClosuresAllocated();
+  VarPtr plain;
+  {
+    NoGradGuard guard;
+    EXPECT_FALSE(GradModeEnabled());
+    plain = Relu(MatMul(x, w));
+  }
+  EXPECT_TRUE(GradModeEnabled());
+  EXPECT_EQ(BackwardClosuresAllocated(), before);
+  EXPECT_FALSE(plain->requires_grad);
+  EXPECT_TRUE(plain->parents.empty());
+  EXPECT_FALSE(static_cast<bool>(plain->backward_fn));
+
+  // Only the bookkeeping disappears: forward values are bitwise identical.
+  ASSERT_EQ(plain->value.numel(), taped->value.numel());
+  for (int64_t i = 0; i < plain->value.numel(); ++i) {
+    EXPECT_EQ(plain->value.data()[i], taped->value.data()[i]);
+  }
+}
+
+TEST(NoGradTest, GuardsNestAndRestore) {
+  EXPECT_TRUE(GradModeEnabled());
+  {
+    NoGradGuard outer;
+    EXPECT_FALSE(GradModeEnabled());
+    {
+      NoGradGuard inner;
+      EXPECT_FALSE(GradModeEnabled());
+    }
+    EXPECT_FALSE(GradModeEnabled());
+  }
+  EXPECT_TRUE(GradModeEnabled());
+}
+
 TEST(AutogradDeathTest, BackwardRequiresScalar) {
   VarPtr x = MakeParam(Tensor::Full({2, 2}, 1.0f));
   EXPECT_DEATH(Backward(x), "scalar");

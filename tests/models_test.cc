@@ -114,6 +114,58 @@ TEST_P(ModelZooTest, LossDecreasesUnderTraining) {
   EXPECT_LT(last_loss, first_loss) << GetParam();
 }
 
+// The training flag changes a Forward pass only through dropout (satellite
+// audit for the serving subsystem: with dropout disabled, training and
+// evaluation are the same function, and an evaluation forward never draws
+// from the rng). GATNE is the audited exception: it reads neither h0 nor
+// the training flag (pure learned embeddings), so train == eval always.
+TEST_P(ModelZooTest, TrainEvalDifferOnlyThroughDropout) {
+  const ModelContext& ctx = ModelEnvironment::Get().ctx();
+  int64_t n = ctx.graph->num_nodes();
+
+  {
+    // dropout = 0: train and eval forwards bitwise identical, even with
+    // different rng streams.
+    Rng rng(21);
+    ModelPtr model = MakeModel(GetParam(), SmallModelConfig(), ctx, rng);
+    VarPtr h0 = MakeConst(RandomNormal({n, 8}, 0.5f, rng));
+    Rng train_rng(99), eval_rng(7);
+    VarPtr train = model->Forward(ctx, h0, /*training=*/true, train_rng);
+    VarPtr eval = model->Forward(ctx, h0, /*training=*/false, eval_rng);
+    ASSERT_EQ(train->value.numel(), eval->value.numel());
+    for (int64_t i = 0; i < train->value.numel(); ++i) {
+      ASSERT_EQ(train->value.data()[i], eval->value.data()[i])
+          << GetParam() << " index " << i;
+    }
+  }
+
+  // dropout > 0: evaluation stays deterministic (dropout is a true no-op
+  // that consumes no randomness), while a training forward diverges.
+  ModelConfig config = SmallModelConfig();
+  config.dropout = 0.5f;
+  Rng rng(22);
+  ModelPtr model = MakeModel(GetParam(), config, ctx, rng);
+  VarPtr h0 = MakeConst(RandomNormal({n, 8}, 0.5f, rng));
+  Rng eval_rng1(1), eval_rng2(123456);
+  VarPtr eval1 = model->Forward(ctx, h0, /*training=*/false, eval_rng1);
+  VarPtr eval2 = model->Forward(ctx, h0, /*training=*/false, eval_rng2);
+  for (int64_t i = 0; i < eval1->value.numel(); ++i) {
+    ASSERT_EQ(eval1->value.data()[i], eval2->value.data()[i])
+        << GetParam() << " index " << i;
+  }
+  Rng train_rng(5);
+  VarPtr train = model->Forward(ctx, h0, /*training=*/true, train_rng);
+  int64_t diffs = 0;
+  for (int64_t i = 0; i < train->value.numel(); ++i) {
+    if (train->value.data()[i] != eval1->value.data()[i]) ++diffs;
+  }
+  if (GetParam() == "GATNE") {
+    EXPECT_EQ(diffs, 0);
+  } else {
+    EXPECT_GT(diffs, 0) << GetParam();
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(
     AllModels, ModelZooTest,
     ::testing::Values("GCN", "GAT", "SimpleHGN", "HAN", "MAGNN", "HGT",

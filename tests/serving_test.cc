@@ -1,0 +1,473 @@
+// Tests for the frozen-model export + inference serving subsystem
+// (src/serving/, DESIGN.md §10): artifact round trips, corruption and
+// fingerprint refusal, tape-free forward identity, thread-count
+// invariance, and the batched request/response front-end.
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "autoac/trainer.h"
+#include "data/hgb_datasets.h"
+#include "gtest/gtest.h"
+#include "models/factory.h"
+#include "serving/frozen_model.h"
+#include "serving/inference_session.h"
+#include "serving/server.h"
+#include "tensor/ops.h"
+#include "util/parallel.h"
+#include "util/shutdown.h"
+
+namespace autoac {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+int64_t CountMissing(const HeteroGraph& graph) {
+  int64_t missing = 0;
+  for (int64_t t = 0; t < graph.num_node_types(); ++t) {
+    if (graph.node_type(t).attributes.numel() == 0) {
+      missing += graph.node_type(t).count;
+    }
+  }
+  return missing;
+}
+
+void ExpectTensorsBitwiseEqual(const Tensor& a, const Tensor& b) {
+  ASSERT_TRUE(a.SameShape(b));
+  ASSERT_EQ(std::memcmp(a.data(), b.data(),
+                        static_cast<size_t>(a.numel()) * sizeof(float)),
+            0);
+}
+
+// One small trained run shared by every test: training (and freezing) once
+// is the expensive part; the tests only read the result.
+class ServingEnvironment {
+ public:
+  static ServingEnvironment& Get() {
+    static ServingEnvironment* env = new ServingEnvironment();
+    return *env;
+  }
+
+  const TaskData& data() const { return data_; }
+  const ModelContext& ctx() const { return ctx_; }
+  const ExperimentConfig& config() const { return config_; }
+  const RunResult& run() const { return run_; }
+  const FrozenModel& frozen() const { return frozen_; }
+
+ private:
+  ServingEnvironment() {
+    DatasetOptions options;
+    options.scale = 0.05;
+    dataset_ = MakeDataset("dblp", options);
+    data_ = MakeNodeTask(dataset_);
+    ctx_ = BuildModelContext(data_.graph);
+    config_.model_name = "SimpleHGN";
+    config_.hidden_dim = 16;
+    config_.train_epochs = 6;
+    config_.eval_every = 2;
+    config_.patience = 100;
+    config_.seed = 3;
+    config_.capture_final_params = true;
+    run_ = TrainFixedCompletion(
+        data_, ctx_, config_,
+        UniformAssignment(CountMissing(*data_.graph),
+                          CompletionOpType::kOneHot));
+    StatusOr<FrozenModel> frozen =
+        FreezeTrainedRun(data_, ctx_, config_, run_);
+    AUTOAC_CHECK(frozen.ok()) << frozen.status().message();
+    frozen_ = frozen.TakeValue();
+  }
+
+  Dataset dataset_;
+  TaskData data_;
+  ModelContext ctx_;
+  ExperimentConfig config_;
+  RunResult run_;
+  FrozenModel frozen_;
+};
+
+TEST(FreezeTest, RequiresCapturedParamsAndAssignment) {
+  const ServingEnvironment& env = ServingEnvironment::Get();
+
+  RunResult no_params = env.run();
+  no_params.final_params.clear();
+  StatusOr<FrozenModel> frozen =
+      FreezeTrainedRun(env.data(), env.ctx(), env.config(), no_params);
+  ASSERT_FALSE(frozen.ok());
+  EXPECT_NE(frozen.status().message().find("no final parameters"),
+            std::string::npos);
+
+  RunResult no_ops = env.run();
+  no_ops.searched_ops.clear();
+  EXPECT_FALSE(
+      FreezeTrainedRun(env.data(), env.ctx(), env.config(), no_ops).ok());
+
+  RunResult short_ops = env.run();
+  short_ops.searched_ops.pop_back();
+  EXPECT_FALSE(
+      FreezeTrainedRun(env.data(), env.ctx(), env.config(), short_ops).ok());
+}
+
+TEST(FreezeTest, HeaderMirrorsConfigAndData) {
+  const ServingEnvironment& env = ServingEnvironment::Get();
+  const FrozenModel& frozen = env.frozen();
+  EXPECT_EQ(frozen.model_name, env.config().model_name);
+  EXPECT_EQ(frozen.hidden_dim, env.config().hidden_dim);
+  EXPECT_EQ(frozen.seed, env.config().seed);
+  EXPECT_EQ(frozen.num_classes, env.data().graph->num_classes());
+  EXPECT_EQ(frozen.h0.rows(), env.data().graph->num_nodes());
+  EXPECT_EQ(frozen.h0.cols(), env.config().hidden_dim);
+  EXPECT_EQ(frozen.op_of, env.run().searched_ops);
+  EXPECT_EQ(frozen.fingerprint, ComputeFrozenFingerprint(frozen));
+}
+
+// The tape-free serving forward must be bitwise identical to the taped
+// in-process evaluation forward: same ops in the same order, only the
+// autograd bookkeeping removed.
+TEST(InferenceSessionTest, MatchesTapedForwardBitwise) {
+  const ServingEnvironment& env = ServingEnvironment::Get();
+  InferenceSession session(env.frozen());
+
+  const FrozenModel& frozen = env.frozen();
+  ModelConfig model_config;
+  model_config.in_dim = frozen.hidden_dim;
+  model_config.hidden_dim = frozen.hidden_dim;
+  model_config.out_dim = frozen.hidden_dim;
+  model_config.num_layers = frozen.num_layers;
+  model_config.num_heads = frozen.num_heads;
+  model_config.dropout = frozen.dropout;
+  model_config.negative_slope = frozen.negative_slope;
+  Rng init_rng(frozen.seed);
+  ModelPtr model = MakeModel(frozen.model_name, model_config, env.ctx(),
+                             init_rng, /*l2_normalize_output=*/false);
+  std::vector<VarPtr> params = model->Parameters();
+  ASSERT_EQ(params.size(), frozen.model_params.size());
+  for (size_t i = 0; i < params.size(); ++i) {
+    params[i]->value = frozen.model_params[i];
+  }
+  ASSERT_TRUE(GradModeEnabled());
+  Rng fwd_rng(frozen.seed);
+  VarPtr h0 = MakeConst(frozen.h0);
+  VarPtr h = model->Forward(env.ctx(), h0, /*training=*/false, fwd_rng);
+  VarPtr taped = AddBias(MatMul(h, MakeConst(frozen.classifier_weight)),
+                         MakeConst(frozen.classifier_bias));
+  EXPECT_FALSE(taped->parents.empty());  // the reference really is taped
+
+  ExpectTensorsBitwiseEqual(session.logits(), taped->value);
+}
+
+// Acceptance gate: the serving forward allocates zero backward closures.
+TEST(InferenceSessionTest, ForwardAllocatesZeroBackwardClosures) {
+  const ServingEnvironment& env = ServingEnvironment::Get();
+  InferenceSession session(env.frozen());
+  int64_t before = BackwardClosuresAllocated();
+  session.RecomputeLogits();
+  EXPECT_EQ(BackwardClosuresAllocated(), before);
+}
+
+TEST(InferenceSessionTest, PredictionsThreadCountInvariant) {
+  const ServingEnvironment& env = ServingEnvironment::Get();
+  SetNumThreads(1);
+  InferenceSession session(env.frozen());
+  Tensor single = session.logits();
+  StatusOr<InferenceSession::Prediction> p1 = session.Predict(0);
+  SetNumThreads(4);
+  session.RecomputeLogits();
+  StatusOr<InferenceSession::Prediction> p4 = session.Predict(0);
+  SetNumThreads(0);
+  ExpectTensorsBitwiseEqual(single, session.logits());
+  ASSERT_TRUE(p1.ok());
+  ASSERT_TRUE(p4.ok());
+  EXPECT_EQ(p1.value().label, p4.value().label);
+  EXPECT_EQ(p1.value().score, p4.value().score);
+}
+
+TEST(InferenceSessionTest, PredictRejectsOutOfRangeNodes) {
+  const ServingEnvironment& env = ServingEnvironment::Get();
+  InferenceSession session(env.frozen());
+  EXPECT_FALSE(session.Predict(-1).ok());
+  EXPECT_FALSE(session.Predict(session.num_targets()).ok());
+  ASSERT_TRUE(session.Predict(session.num_targets() - 1).ok());
+}
+
+// Export → load → predict must be bitwise identical to the in-process
+// session, at one thread and at four.
+TEST(FrozenModelIoTest, RoundTripPredictionsBitwiseIdentical) {
+  const ServingEnvironment& env = ServingEnvironment::Get();
+  std::string path = TempPath("roundtrip.aacm");
+  ASSERT_TRUE(SaveFrozenModel(env.frozen(), path).ok());
+  StatusOr<FrozenModel> loaded = LoadFrozenModel(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().message();
+
+  const FrozenModel& a = env.frozen();
+  const FrozenModel& b = loaded.value();
+  EXPECT_EQ(a.model_name, b.model_name);
+  EXPECT_EQ(a.seed, b.seed);
+  EXPECT_EQ(a.fingerprint, b.fingerprint);
+  EXPECT_EQ(a.op_of, b.op_of);
+  ExpectTensorsBitwiseEqual(a.h0, b.h0);
+  ASSERT_EQ(a.model_params.size(), b.model_params.size());
+  for (size_t i = 0; i < a.model_params.size(); ++i) {
+    ExpectTensorsBitwiseEqual(a.model_params[i], b.model_params[i]);
+  }
+  ExpectTensorsBitwiseEqual(a.classifier_weight, b.classifier_weight);
+  ExpectTensorsBitwiseEqual(a.classifier_bias, b.classifier_bias);
+
+  for (int threads : {1, 4}) {
+    SetNumThreads(threads);
+    InferenceSession original(a);
+    InferenceSession reloaded(loaded.value());
+    ExpectTensorsBitwiseEqual(original.logits(), reloaded.logits());
+    for (int64_t node = 0; node < original.num_targets();
+         node += original.num_targets() / 7 + 1) {
+      StatusOr<InferenceSession::Prediction> pa = original.Predict(node);
+      StatusOr<InferenceSession::Prediction> pb = reloaded.Predict(node);
+      ASSERT_TRUE(pa.ok());
+      ASSERT_TRUE(pb.ok());
+      EXPECT_EQ(pa.value().label, pb.value().label);
+      EXPECT_EQ(pa.value().score, pb.value().score);
+    }
+  }
+  SetNumThreads(0);
+  std::remove(path.c_str());
+}
+
+// A coherent edit — payload rewritten with a fresh CRC but without
+// re-freezing — must be caught by the content fingerprint.
+TEST(FrozenModelIoTest, FingerprintMismatchIsRefused) {
+  const ServingEnvironment& env = ServingEnvironment::Get();
+  std::string path = TempPath("tampered.aacm");
+
+  // Stored fingerprint patched: the content no longer matches it.
+  FrozenModel stale = env.frozen();
+  stale.fingerprint ^= 0x1;
+  ASSERT_TRUE(SaveFrozenModel(stale, path).ok());
+  StatusOr<FrozenModel> loaded = LoadFrozenModel(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("fingerprint"),
+            std::string::npos);
+
+  // Content edited under an unchanged stored fingerprint: the CRC is
+  // recomputed by the (honest) writer, so only the fingerprint check can
+  // notice the drift.
+  FrozenModel edited = env.frozen();
+  edited.classifier_bias.data()[0] += 1.0f;
+  ASSERT_TRUE(SaveFrozenModel(edited, path).ok());
+  loaded = LoadFrozenModel(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("fingerprint"),
+            std::string::npos);
+  std::remove(path.c_str());
+}
+
+// Same discipline as SerializationTest.ByteFlipFuzzAlwaysFailsCleanly, on
+// the serving artifact: every single-byte flip, truncation, and trailing
+// byte must yield a Status error, never a parse or a crash.
+TEST(FrozenModelIoTest, ByteFlipFuzzAlwaysFailsCleanly) {
+  const ServingEnvironment& env = ServingEnvironment::Get();
+  std::string clean = TempPath("fuzz_clean.aacm");
+  ASSERT_TRUE(SaveFrozenModel(env.frozen(), clean).ok());
+  std::string bytes;
+  {
+    std::ifstream in(clean, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    bytes = buf.str();
+  }
+  ASSERT_GT(bytes.size(), 20u);
+
+  std::string mutant_path = TempPath("fuzz_mutant.aacm");
+  size_t stride = bytes.size() / 97 + 1;
+  size_t header_end = 20;  // 4 magic + 4 version + 8 size + 4 crc
+  for (size_t pos = 0; pos < bytes.size();
+       pos += (pos < header_end ? 1 : stride)) {
+    std::string mutant = bytes;
+    mutant[pos] ^= 0x40;
+    {
+      std::ofstream out(mutant_path, std::ios::binary | std::ios::trunc);
+      out.write(mutant.data(), static_cast<std::streamsize>(mutant.size()));
+    }
+    StatusOr<FrozenModel> loaded = LoadFrozenModel(mutant_path);
+    EXPECT_FALSE(loaded.ok())
+        << "byte flip at offset " << pos << " was not detected";
+    if (pos >= header_end) {
+      EXPECT_NE(loaded.status().message().find("checksum mismatch"),
+                std::string::npos)
+          << "offset " << pos << ": " << loaded.status().message();
+    }
+  }
+
+  for (size_t len : {size_t{0}, size_t{3}, size_t{11}, size_t{19},
+                     bytes.size() / 2, bytes.size() - 1}) {
+    std::ofstream out(mutant_path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(len));
+    out.close();
+    EXPECT_FALSE(LoadFrozenModel(mutant_path).ok())
+        << "truncation to " << len << " bytes was not detected";
+  }
+
+  {
+    std::ofstream out(mutant_path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out << "extra";
+  }
+  EXPECT_FALSE(LoadFrozenModel(mutant_path).ok());
+
+  std::remove(clean.c_str());
+  std::remove(mutant_path.c_str());
+}
+
+TEST(ServeProtocolTest, ParsesWellFormedRequests) {
+  ServeRequest request;
+  std::string error;
+
+  ASSERT_TRUE(
+      ParseServeRequestLine(R"({"id": "r1", "node": 42})", &request, &error))
+      << error;
+  EXPECT_EQ(request.id, "r1");
+  EXPECT_EQ(request.node, 42);
+
+  // Key order and whitespace are free; a numeric id is echoed as a string.
+  ASSERT_TRUE(ParseServeRequestLine("  { \"node\" : 7 , \"id\" : 3 }  ",
+                                    &request, &error))
+      << error;
+  EXPECT_EQ(request.id, "3");
+  EXPECT_EQ(request.node, 7);
+
+  // id is optional.
+  ASSERT_TRUE(ParseServeRequestLine(R"({"node": 0})", &request, &error))
+      << error;
+  EXPECT_EQ(request.id, "");
+  EXPECT_EQ(request.node, 0);
+}
+
+TEST(ServeProtocolTest, RejectsMalformedRequests) {
+  ServeRequest request;
+  std::string error;
+  const char* bad[] = {
+      "",                              // not an object
+      "hello",                         // not JSON
+      "{}",                            // missing node
+      R"({"id": "x"})",                // missing node
+      R"({"node": "five"})",           // node must be an integer
+      R"({"node": 1, "extra": 2})",    // unknown keys fail loudly
+      R"({"node": 1} trailing)",       // trailing characters
+      R"({"id": "unterminated)",       // unterminated string
+      R"({"node": 1,})",               // dangling comma
+  };
+  for (const char* line : bad) {
+    EXPECT_FALSE(ParseServeRequestLine(line, &request, &error))
+        << "accepted: " << line;
+    EXPECT_FALSE(error.empty());
+  }
+}
+
+TEST(ServeProtocolTest, ResponseFormatting) {
+  InferenceSession::Prediction p;
+  p.node = 4;
+  p.label = 2;
+  p.score = 1.5f;
+  EXPECT_EQ(FormatServeResponse("r9", p, 120),
+            "{\"id\":\"r9\",\"node\":4,\"label\":2,\"score\":1.5,"
+            "\"latency_us\":120}\n");
+  EXPECT_EQ(FormatServeError("x\"y", "bad \"input\""),
+            "{\"id\":\"x\\\"y\",\"error\":\"bad \\\"input\\\"\"}\n");
+}
+
+// End-to-end over a real TCP loopback socket: valid, malformed, and
+// out-of-range requests each get the right response line, the stats
+// counters add up, and Stop() quiesces the server.
+TEST(InferenceServerTest, EndToEndOverLoopbackTcp) {
+  const ServingEnvironment& env = ServingEnvironment::Get();
+  InferenceSession session(env.frozen());
+  ServerOptions options;
+  options.tcp_port = 0;  // ephemeral
+  options.max_batch = 4;
+  options.batch_timeout_ms = 2;
+  InferenceServer server(&session, options);
+  Status started = server.Start();
+  ASSERT_TRUE(started.ok()) << started.message();
+  ASSERT_GT(server.port(), 0);
+  std::thread serving([&] { server.Serve(); });
+
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  timeval timeout{10, 0};
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(server.port()));
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+
+  std::string out =
+      "{\"id\": \"a\", \"node\": 0}\n"
+      "this is not json\n"
+      "{\"id\": \"b\", \"node\": 1}\n"
+      "{\"id\": \"big\", \"node\": 999999999}\n";
+  ASSERT_EQ(::send(fd, out.data(), out.size(), 0),
+            static_cast<ssize_t>(out.size()));
+
+  // Four response lines come back; the reader answers malformed lines
+  // directly while the batcher answers the rest, so order is not fixed.
+  std::string received;
+  size_t newlines = 0;
+  char buf[4096];
+  while (newlines < 4) {
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    ASSERT_GT(n, 0) << "timed out waiting for responses";
+    received.append(buf, static_cast<size_t>(n));
+    newlines = static_cast<size_t>(
+        std::count(received.begin(), received.end(), '\n'));
+  }
+  ::close(fd);
+  EXPECT_NE(received.find("\"id\":\"a\",\"node\":0,\"label\":"),
+            std::string::npos)
+      << received;
+  EXPECT_NE(received.find("\"id\":\"b\",\"node\":1,\"label\":"),
+            std::string::npos)
+      << received;
+  EXPECT_NE(received.find("\"id\":\"big\",\"error\":\"node id"),
+            std::string::npos)
+      << received;
+  EXPECT_NE(received.find("expected a JSON object"), std::string::npos)
+      << received;
+
+  server.Stop();
+  serving.join();
+  ServeStats stats = server.stats();
+  EXPECT_EQ(stats.connections, 1);
+  EXPECT_EQ(stats.requests, 3);   // parsed OK (incl. the out-of-range node)
+  EXPECT_EQ(stats.responses, 2);  // successful predictions only
+  EXPECT_EQ(stats.malformed, 1);
+  EXPECT_EQ(stats.shed, 0);
+  EXPECT_EQ(stats.batched_requests, 3);
+}
+
+// Serve() also honors the process-wide cooperative shutdown flag.
+TEST(InferenceServerTest, HonorsProcessShutdownFlag) {
+  const ServingEnvironment& env = ServingEnvironment::Get();
+  InferenceSession session(env.frozen());
+  ServerOptions options;
+  options.tcp_port = 0;
+  InferenceServer server(&session, options);
+  ASSERT_TRUE(server.Start().ok());
+  std::thread serving([&] { server.Serve(); });
+  RequestShutdown();
+  serving.join();
+  ClearShutdownRequestForTest();
+}
+
+}  // namespace
+}  // namespace autoac
