@@ -9,13 +9,16 @@
 
 #include <benchmark/benchmark.h>
 
+#include <memory>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "data/hgb_datasets.h"
 #include "models/factory.h"
 #include "serving/frozen_model.h"
 #include "serving/inference_session.h"
+#include "serving/model_registry.h"
 #include "serving/server.h"
 #include "tensor/init.h"
 #include "tensor/ops.h"
@@ -181,6 +184,29 @@ void BM_ParseServeRequestLine(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_ParseServeRequestLine)->ArgsProduct({{1}});
+
+/// The per-request routing cost added by the tentpole: resolving the
+/// "model" key against the registry (shared_ptr copy out of a
+/// mutex-guarded map). All names share one session so the bench measures
+/// lookup, not session construction.
+void BM_RegistryLookup(benchmark::State& state) {
+  ThreadCountScope threads(state.range(0));
+  ModelRegistry registry;
+  auto session = std::make_shared<InferenceSession>(BenchFrozen());
+  std::vector<std::string> names;
+  for (int i = 0; i < 8; ++i) {
+    names.push_back("model-" + std::to_string(i));
+    registry.Register(names.back(), session);
+  }
+  size_t next = 0;
+  std::string resolved;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(registry.Lookup(names[next], &resolved));
+    next = (next + 1) % names.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RegistryLookup)->ArgsProduct({{1}});
 
 /// Mirrors micro_kernels.cpp: forwards every finished run to the telemetry
 /// sink so check_bench_regression.py can gate the wall times.

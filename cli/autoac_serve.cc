@@ -1,17 +1,30 @@
 // autoac_serve: batched inference serving for frozen AutoAC models.
 //
-// Server (loads the artifact, answers node-classification requests):
+// Server (loads one or more artifacts, answers node-classification
+// requests):
 //   autoac_serve --model=dblp.aacm --socket=/tmp/autoac.sock
-//   autoac_serve --model=dblp.aacm --port=7071
+//   autoac_serve --models=dblp=dblp.aacm,acm=acm.aacm --port=7071
+//   autoac_serve --model_dir=/models --socket=/tmp/autoac.sock
 //
 // Requests are newline-delimited JSON, one object per line:
 //   {"id": "r1", "node": 42}
+//   {"id": "r2", "node": 42, "model": "acm", "deadline_ms": 50}
 // and each response echoes the id:
 //   {"id":"r1","node":42,"label":3,"score":5.17,"latency_us":812}
+// Omitting "model" routes to the default model (the --model artifact, the
+// first --models entry, or the first *.aacm in --model_dir). A request
+// still queued when its deadline_ms expires is answered with a
+// {"error":"deadline exceeded"} line and never reaches the model.
+//
+// SIGHUP atomically re-reads the artifact set from the --models/--model_dir
+// spec: in-flight requests finish against the sessions they resolved,
+// new requests see the new artifacts, fingerprint-unchanged artifacts are
+// not reloaded.
 //
 // Client (for smoke tests and quick probes; sends one request per node id
 // and prints each response line):
 //   autoac_serve --client --socket=/tmp/autoac.sock --nodes=0,1,2
+//   autoac_serve --client --port=7071 --nodes=0,1 --model_name=acm
 //
 // SIGINT/SIGTERM shut the server down cooperatively: in-flight requests are
 // answered, stats printed, exit status 0.
@@ -23,6 +36,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -31,6 +45,7 @@
 
 #include "serving/frozen_model.h"
 #include "serving/inference_session.h"
+#include "serving/model_registry.h"
 #include "serving/server.h"
 #include "util/flags.h"
 #include "util/parallel.h"
@@ -40,34 +55,52 @@
 namespace autoac {
 namespace {
 
+volatile std::sig_atomic_t g_sighup_pending = 0;
+
+void OnSighup(int) { g_sighup_pending = 1; }
+
 const std::vector<Flags::Spec>& FlagTable() {
   using Type = Flags::Spec::Type;
   static const std::vector<Flags::Spec> kSpecs = {
       {"help", Type::kBool},
       {"model", Type::kString},
+      {"models", Type::kString},
+      {"model_dir", Type::kString},
       {"socket", Type::kString},
       {"port", Type::kInt},
       {"max_batch", Type::kInt},
       {"batch_timeout_ms", Type::kInt},
       {"max_queue", Type::kInt},
+      {"max_line_bytes", Type::kInt},
       {"num_threads", Type::kInt},
       {"metrics_out", Type::kString},
       {"client", Type::kBool},
       {"nodes", Type::kString},
+      {"model_name", Type::kString},
+      {"deadline_ms", Type::kInt},
   };
   return kSpecs;
 }
 
 void PrintUsage() {
   std::printf(
-      "usage: autoac_serve --model=PATH [--socket=PATH | --port=N]\n"
+      "usage: autoac_serve (--model=PATH | --models=NAME=PATH[,..] |\n"
+      "                     --model_dir=DIR) [--socket=PATH | --port=N]\n"
       "  [--max_batch=16]        requests per inference batch\n"
       "  [--batch_timeout_ms=5]  max wait before a partial batch fires\n"
-      "  [--max_queue=1024]      bounded queue depth; overflow is shed\n"
+      "  [--max_queue=1024]      bounded queue; overload evicts from the\n"
+      "                          connection with the most queued requests\n"
+      "  [--max_line_bytes=65536] request-line bound; longer drops the\n"
+      "                          connection\n"
       "  [--num_threads=N]       forward-pass threads (0 = default)\n"
       "  [--metrics_out=PATH]    JSONL telemetry (latency, batch occupancy)\n"
+      "requests may carry \"model\" (routes by registry name) and\n"
+      "\"deadline_ms\" (expired-in-queue requests get a distinct error).\n"
+      "SIGHUP re-reads the artifact set (fingerprint-unchanged artifacts\n"
+      "keep their session; in-flight requests finish on the old one).\n"
       "client mode (for smoke tests):\n"
       "  autoac_serve --client [--socket=PATH | --port=N] --nodes=0,1,2\n"
+      "    [--model_name=NAME] [--deadline_ms=M]\n"
       "SIGINT/SIGTERM stop the server cooperatively (exit status 0).\n");
 }
 
@@ -128,6 +161,8 @@ int RunClient(const Flags& flags) {
     std::fprintf(stderr, "error: --client needs --nodes=0,1,...\n");
     return 64;
   }
+  std::string model_name = flags.GetString("model_name", "");
+  int64_t deadline_ms = flags.GetInt("deadline_ms", -1);
   int fd = Connect(unix_path, port);
   if (fd < 0) {
     std::fprintf(stderr, "error: connect failed: %s\n", std::strerror(errno));
@@ -135,18 +170,17 @@ int RunClient(const Flags& flags) {
   }
   std::string out;
   for (size_t i = 0; i < nodes.size(); ++i) {
-    out += "{\"id\": \"r" + std::to_string(i) + "\", \"node\": " +
-           std::to_string(nodes[i]) + "}\n";
-  }
-  size_t off = 0;
-  while (off < out.size()) {
-    ssize_t n = ::send(fd, out.data() + off, out.size() - off, MSG_NOSIGNAL);
-    if (n <= 0) {
-      std::fprintf(stderr, "error: send failed\n");
-      ::close(fd);
-      return 1;
+    out += "{\"id\": \"r" + std::to_string(i) + "\"";
+    if (!model_name.empty()) out += ", \"model\": \"" + model_name + "\"";
+    if (deadline_ms >= 0) {
+      out += ", \"deadline_ms\": " + std::to_string(deadline_ms);
     }
-    off += static_cast<size_t>(n);
+    out += ", \"node\": " + std::to_string(nodes[i]) + "}\n";
+  }
+  if (!SendAll(fd, out.data(), out.size())) {
+    std::fprintf(stderr, "error: send failed\n");
+    ::close(fd);
+    return 1;
   }
   size_t lines = 0;
   std::string pending;
@@ -173,12 +207,58 @@ int RunClient(const Flags& flags) {
   return 0;
 }
 
+void PrintModelTable(const ModelRegistry& registry) {
+  for (const ModelRegistry::ModelInfo& info : registry.Models()) {
+    std::printf("loaded %s%s: %s (%s, fingerprint %016llx)\n",
+                info.name.c_str(), info.is_default ? " [default]" : "",
+                info.path.c_str(), info.arch.c_str(),
+                static_cast<unsigned long long>(info.fingerprint));
+  }
+}
+
+void HandleSighupReload(ModelRegistry* registry) {
+  std::printf("SIGHUP: re-reading artifact set\n");
+  StatusOr<ModelRegistry::ReloadReport> report = registry->Reload();
+  if (!report.ok()) {
+    // A failed reload leaves the current serving set untouched.
+    std::fprintf(stderr, "reload failed (serving set unchanged): %s\n",
+                 report.status().message().c_str());
+    std::fflush(stderr);
+    return;
+  }
+  auto join = [](const std::vector<std::string>& names) {
+    std::string joined;
+    for (const std::string& name : names) {
+      if (!joined.empty()) joined += ",";
+      joined += name;
+    }
+    return joined.empty() ? std::string("-") : joined;
+  };
+  const ModelRegistry::ReloadReport& r = report.value();
+  std::printf(
+      "reload: %zu loaded [%s], %zu reloaded [%s], %zu unchanged [%s], "
+      "%zu removed [%s]\n",
+      r.loaded.size(), join(r.loaded).c_str(), r.reloaded.size(),
+      join(r.reloaded).c_str(), r.unchanged.size(),
+      join(r.unchanged).c_str(), r.removed.size(), join(r.removed).c_str());
+  PrintModelTable(*registry);
+  std::fflush(stdout);
+}
+
 int Run(int argc, char** argv) {
   Flags flags(argc, argv);
   std::vector<std::string> problems = flags.Validate(FlagTable());
-  if (!flags.GetBool("client", false) && !flags.GetBool("help", false) &&
-      flags.GetString("model", "").empty()) {
-    problems.push_back("--model is required");
+  const bool client = flags.GetBool("client", false);
+  const bool help = flags.GetBool("help", false);
+  const std::string model_path = flags.GetString("model", "");
+  const std::string models_spec = flags.GetString("models", "");
+  const std::string model_dir = flags.GetString("model_dir", "");
+  int specs_given = (model_path.empty() ? 0 : 1) +
+                    (models_spec.empty() ? 0 : 1) +
+                    (model_dir.empty() ? 0 : 1);
+  if (!client && !help && specs_given != 1) {
+    problems.push_back(
+        "exactly one of --model, --models, --model_dir is required");
   }
   if (!problems.empty()) {
     for (const std::string& p : problems) {
@@ -187,29 +267,37 @@ int Run(int argc, char** argv) {
     std::fprintf(stderr, "run with --help for usage\n");
     return 64;  // EX_USAGE
   }
-  if (flags.GetBool("help", false)) {
+  if (help) {
     PrintUsage();
     return 0;
   }
-  if (flags.GetBool("client", false)) return RunClient(flags);
+  if (client) return RunClient(flags);
 
   InstallShutdownHandler();
+  std::signal(SIGHUP, OnSighup);
   SetNumThreads(static_cast<int>(flags.GetInt("num_threads", 0)));
   InitTelemetryFromFlag(flags.GetString("metrics_out", ""));
 
-  const std::string model_path = flags.GetString("model", "");
-  StatusOr<FrozenModel> frozen = LoadFrozenModel(model_path);
-  if (!frozen.ok()) {
-    std::fprintf(stderr, "error: %s\n", frozen.status().message().c_str());
+  ModelRegistry registry;
+  // Single-artifact mode is multi-model mode with one entry named
+  // "default"; the wire protocol is unchanged (requests without "model"
+  // route to it).
+  Status loaded = registry.LoadFromSpec(
+      model_path.empty() ? models_spec : "default=" + model_path, model_dir);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "error: %s\n", loaded.message().c_str());
     return 1;
   }
-  std::printf("loaded %s (%s, fingerprint %016llx)\n", model_path.c_str(),
-              frozen.value().model_name.c_str(),
-              static_cast<unsigned long long>(frozen.value().fingerprint));
-  InferenceSession session(frozen.TakeValue());
-  std::printf("serving %lld target nodes, %lld classes\n",
-              static_cast<long long>(session.num_targets()),
-              static_cast<long long>(session.num_classes()));
+  PrintModelTable(registry);
+  {
+    std::shared_ptr<InferenceSession> session = registry.Lookup("");
+    std::printf("serving %lld models; default \"%s\": %lld target nodes, "
+                "%lld classes\n",
+                static_cast<long long>(registry.size()),
+                registry.default_model().c_str(),
+                static_cast<long long>(session->num_targets()),
+                static_cast<long long>(session->num_classes()));
+  }
 
   ServerOptions options;
   options.unix_path = flags.GetString("socket", "");
@@ -222,8 +310,15 @@ int Run(int argc, char** argv) {
   options.batch_timeout_ms =
       flags.GetInt("batch_timeout_ms", options.batch_timeout_ms);
   options.max_queue = flags.GetInt("max_queue", options.max_queue);
+  options.max_line_bytes =
+      flags.GetInt("max_line_bytes", options.max_line_bytes);
+  options.poll_hook = [&registry] {
+    if (!g_sighup_pending) return;
+    g_sighup_pending = 0;
+    HandleSighupReload(&registry);
+  };
 
-  InferenceServer server(&session, options);
+  InferenceServer server(&registry, options);
   Status started = server.Start();
   if (!started.ok()) {
     std::fprintf(stderr, "error: %s\n", started.message().c_str());
@@ -246,12 +341,18 @@ int Run(int argc, char** argv) {
           : 0.0;
   std::printf(
       "shutdown: %lld connections, %lld requests, %lld responses, "
-      "%lld malformed, %lld shed, %lld batches (occupancy %.2f)\n",
+      "%lld malformed, %lld unknown-model, %lld overlong, %lld shed, "
+      "%lld deadline-expired, %lld write-errors, %lld batches "
+      "(occupancy %.2f)\n",
       static_cast<long long>(stats.connections),
       static_cast<long long>(stats.requests),
       static_cast<long long>(stats.responses),
       static_cast<long long>(stats.malformed),
+      static_cast<long long>(stats.unknown_model),
+      static_cast<long long>(stats.overlong_lines),
       static_cast<long long>(stats.shed),
+      static_cast<long long>(stats.deadline_expired),
+      static_cast<long long>(stats.write_errors),
       static_cast<long long>(stats.batches), occupancy);
   return 0;
 }

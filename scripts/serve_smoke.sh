@@ -2,15 +2,23 @@
 # End-to-end smoke test for the serving subsystem (src/serving/, DESIGN.md
 # §10). Usage: scripts/serve_smoke.sh [build-dir]
 #
-#   1. Train a small run and export it with `autoac_run --export_model`.
-#   2. Load the artifact twice more via `autoac_serve` and require the
-#      printed fingerprint to be identical every time (the artifact is
+#   1. Train two small runs and export them with `autoac_run
+#      --export_model` (different epoch counts => different fingerprints).
+#   2. Load the first artifact again via `autoac_serve` and require the
+#      printed fingerprint to be identical (the artifact is
 #      self-validating: container CRC + content fingerprint).
 #   3. Start the server on a unix socket and fire several concurrent
 #      clients at it; every request must get a response line, and the
 #      responses must be identical across clients (same frozen logits).
 #   4. SIGTERM the server and require a cooperative shutdown: exit status
 #      0, a final stats line, and request/response counters that add up.
+#   5. Start a two-model server (--models=a=..,b=..); routed clients must
+#      reproduce the single-model answers exactly, and the default route
+#      must be model a.
+#   6. SIGHUP with untouched artifacts must keep both sessions
+#      (fingerprint match => "unchanged"); after overwriting artifact a
+#      with b's bytes, SIGHUP must reload only a, and a's answers must
+#      flip to b's.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -32,15 +40,27 @@ cleanup() {
 trap cleanup EXIT
 
 MODEL="${WORK}/model.aacm"
+MODEL2="${WORK}/model2.aacm"
 SOCK="${WORK}/serve.sock"
 NODES="0,1,2,3,4,5,6,7"
 NUM_CLIENTS=4
+strip_latency() { sed 's/,"latency_us":[0-9]*//' "$1"; }
 
 echo "== export =="
 "${RUN}" --dataset=dblp --scale=0.05 --method=onehot --seeds=1 --epochs=4 \
   --export_model="${MODEL}" | tee "${WORK}/export.log"
 grep -q 'frozen model written to' "${WORK}/export.log"
 fingerprint="$(grep -o 'fingerprint [0-9a-f]*' "${WORK}/export.log" | head -1)"
+
+echo "== export second artifact =="
+"${RUN}" --dataset=dblp --scale=0.05 --method=onehot --seeds=1 --epochs=6 \
+  --export_model="${MODEL2}" | tee "${WORK}/export2.log"
+grep -q 'frozen model written to' "${WORK}/export2.log"
+fingerprint2="$(grep -o 'fingerprint [0-9a-f]*' "${WORK}/export2.log" | head -1)"
+if [ "${fingerprint}" = "${fingerprint2}" ]; then
+  echo "FAIL: the two exports share a fingerprint (expected distinct)" >&2
+  exit 1
+fi
 
 echo "== server =="
 "${SERVE}" --model="${MODEL}" --socket="${SOCK}" \
@@ -137,5 +157,124 @@ echo "${stats}" | grep -q " ${total} requests, ${total} responses" || {
 grep -q '"type":"serve_request"' "${WORK}/serve_metrics.jsonl"
 grep -q '"type":"serve_batch"' "${WORK}/serve_metrics.jsonl"
 
+echo "== two-model server =="
+# Serve private copies so overwriting one later cannot corrupt the
+# originals mid-read.
+ARTIFACT_A="${WORK}/a.aacm"
+ARTIFACT_B="${WORK}/b.aacm"
+cp "${MODEL}" "${ARTIFACT_A}"
+cp "${MODEL2}" "${ARTIFACT_B}"
+SOCK2="${WORK}/serve2.sock"
+"${SERVE}" --models="a=${ARTIFACT_A},b=${ARTIFACT_B}" --socket="${SOCK2}" \
+  --max_batch=4 --batch_timeout_ms=2 \
+  >"${WORK}/server2.log" 2>&1 &
+SERVER_PID=$!
+
+for _ in $(seq 1 100); do
+  [ -S "${SOCK2}" ] && break
+  if ! kill -0 "${SERVER_PID}" 2>/dev/null; then
+    echo "FAIL: two-model server exited before binding its socket" >&2
+    cat "${WORK}/server2.log" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+[ -S "${SOCK2}" ] || { echo "FAIL: socket never appeared" >&2; exit 1; }
+# Both artifacts loaded under their registry names, a is the default.
+grep -q "loaded a \[default\].*${fingerprint}" "${WORK}/server2.log" || {
+  echo "FAIL: model a not loaded as default with its fingerprint" >&2
+  cat "${WORK}/server2.log" >&2
+  exit 1
+}
+grep -q "loaded b:.*${fingerprint2}" "${WORK}/server2.log" || {
+  echo "FAIL: model b not loaded with its fingerprint" >&2
+  cat "${WORK}/server2.log" >&2
+  exit 1
+}
+
+echo "== routing =="
+"${SERVE}" --client --socket="${SOCK2}" --nodes="${NODES}" --model_name=a \
+  >"${WORK}/routed-a.log" 2>&1
+"${SERVE}" --client --socket="${SOCK2}" --nodes="${NODES}" --model_name=b \
+  >"${WORK}/routed-b.log" 2>&1
+"${SERVE}" --client --socket="${SOCK2}" --nodes="${NODES}" \
+  >"${WORK}/routed-default.log" 2>&1
+# Routing to a reproduces the single-model server's answers exactly.
+diff <(strip_latency "${WORK}/client-1.log") \
+     <(strip_latency "${WORK}/routed-a.log") || {
+  echo "FAIL: model-a answers differ from the single-model server" >&2
+  exit 1
+}
+# Omitting "model" routes to the default (a): single-model clients keep
+# working against a multi-model server.
+diff <(strip_latency "${WORK}/routed-a.log") \
+     <(strip_latency "${WORK}/routed-default.log") || {
+  echo "FAIL: default route differs from model a" >&2
+  exit 1
+}
+# The artifacts genuinely differ, so the routes must too.
+if diff <(strip_latency "${WORK}/routed-a.log") \
+        <(strip_latency "${WORK}/routed-b.log") >/dev/null; then
+  echo "FAIL: models a and b answered identically (routing broken?)" >&2
+  exit 1
+fi
+
+await_reloads() {  # await_reloads COUNT -- wait for the Nth reload report
+  for _ in $(seq 1 50); do
+    [ "$(grep -c '^reload:' "${WORK}/server2.log")" -ge "$1" ] && return 0
+    sleep 0.1
+  done
+  echo "FAIL: SIGHUP reload $1 never reported" >&2
+  cat "${WORK}/server2.log" >&2
+  exit 1
+}
+
+echo "== SIGHUP with unchanged artifacts =="
+kill -HUP "${SERVER_PID}"
+await_reloads 1
+grep -q 'reload: 0 loaded \[-\], 0 reloaded \[-\], 2 unchanged \[a,b\], 0 removed \[-\]' \
+  "${WORK}/server2.log" || {
+  echo "FAIL: no-op SIGHUP should keep both sessions (fingerprint match)" >&2
+  cat "${WORK}/server2.log" >&2
+  exit 1
+}
+
+echo "== SIGHUP after overwriting artifact a =="
+cp "${ARTIFACT_B}" "${ARTIFACT_A}"
+kill -HUP "${SERVER_PID}"
+await_reloads 2
+grep -q 'reload: 0 loaded \[-\], 1 reloaded \[a\], 1 unchanged \[b\], 0 removed \[-\]' \
+  "${WORK}/server2.log" || {
+  echo "FAIL: expected exactly model a to reload" >&2
+  cat "${WORK}/server2.log" >&2
+  exit 1
+}
+"${SERVE}" --client --socket="${SOCK2}" --nodes="${NODES}" --model_name=a \
+  >"${WORK}/routed-a-reloaded.log" 2>&1
+diff <(strip_latency "${WORK}/routed-b.log") \
+     <(strip_latency "${WORK}/routed-a-reloaded.log") || {
+  echo "FAIL: model a does not answer like b after the reload" >&2
+  exit 1
+}
+
+echo "== two-model shutdown =="
+kill -TERM "${SERVER_PID}"
+status=0
+wait "${SERVER_PID}" || status=$?
+SERVER_PID=""
+if [ "${status}" -ne 0 ]; then
+  echo "FAIL: two-model server exited ${status} on SIGTERM (expected 0)" >&2
+  cat "${WORK}/server2.log" >&2
+  exit 1
+fi
+grep '^shutdown:' "${WORK}/server2.log"
+total2=$((4 * expected_lines))
+grep -q " ${total2} requests, ${total2} responses" \
+  <(grep '^shutdown:' "${WORK}/server2.log") || {
+  echo "FAIL: two-model request/response counters do not add up" >&2
+  cat "${WORK}/server2.log" >&2
+  exit 1
+}
+
 echo "PASS: export -> serve -> ${NUM_CLIENTS}x${expected_lines} identical" \
-     "responses -> clean shutdown"
+     "responses -> clean shutdown -> two-model routing -> SIGHUP reload"

@@ -31,8 +31,8 @@ int64_t NowMicros() {
 // --- minimal JSON helpers ---------------------------------------------------
 // The request grammar is one flat object per line; a full JSON library is
 // not worth a dependency for that. The scanner below is strict about what
-// it accepts (unknown keys and malformed values are errors, not silently
-// ignored) and never reads past the line.
+// it accepts (unknown keys, malformed values, and out-of-range integers are
+// errors, not silently ignored) and never reads past the line.
 
 struct Scanner {
   const std::string& s;
@@ -86,7 +86,10 @@ struct Scanner {
       ++i;
     }
     if (i == digits) return false;
-    *out = std::strtoll(s.c_str() + start, nullptr, 10);
+    errno = 0;
+    int64_t value = std::strtoll(s.c_str() + start, nullptr, 10);
+    if (errno == ERANGE) return false;  // overflow is malformed, not INT64_MAX
+    *out = value;
     return true;
   }
 };
@@ -100,14 +103,20 @@ std::string EscapeJson(const std::string& s) {
       case '\\': out += "\\\\"; break;
       case '\n': out += "\\n"; break;
       case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
+      default: {
+        // Escape via the byte value: a negative signed char fed to %04x
+        // would sign-extend into garbage like ￿ffc3. Bytes >= 0x20
+        // (including UTF-8 continuation bytes) pass through verbatim.
+        unsigned char byte = static_cast<unsigned char>(c);
+        if (byte < 0x20) {
           char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(byte));
           out += buf;
         } else {
           out.push_back(c);
         }
+      }
     }
   }
   return out;
@@ -158,6 +167,20 @@ bool ParseServeRequestLine(const std::string& line, ServeRequest* request,
           return false;
         }
         have_node = true;
+      } else if (key == "model") {
+        if (!sc.ParseString(&request->model)) {
+          *error = "malformed \"model\" value (string expected)";
+          return false;
+        }
+      } else if (key == "deadline_ms") {
+        int64_t v = 0;
+        if (!sc.ParseInt(&v) || v < 0) {
+          *error =
+              "malformed \"deadline_ms\" value (non-negative integer "
+              "expected)";
+          return false;
+        }
+        request->deadline_ms = v;
       } else {
         *error = "unknown key \"" + key + "\"";
         return false;
@@ -198,23 +221,56 @@ std::string FormatServeError(const std::string& id, const std::string& error) {
          EscapeJson(error) + "\"}\n";
 }
 
-InferenceServer::InferenceServer(InferenceSession* session,
+bool SendAll(int fd, const char* data, size_t size) {
+  size_t off = 0;
+  while (off < size) {
+    ssize_t n = ::send(fd, data + off, size - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // Send buffer full (or SO_SNDTIMEO fired): wait until writable, then
+      // retry. A dead peer turns this into POLLERR/POLLHUP and the next
+      // send fails for real instead of looping.
+      pollfd pfd{fd, POLLOUT, 0};
+      ::poll(&pfd, 1, /*timeout_ms=*/100);
+      continue;
+    }
+    return false;  // genuine failure (EPIPE, ECONNRESET, EBADF, ...)
+  }
+  return true;
+}
+
+InferenceServer::Connection::~Connection() {
+  if (fd >= 0) ::close(fd);
+}
+
+InferenceServer::InferenceServer(ModelRegistry* registry,
                                  ServerOptions options)
-    : session_(session), options_(std::move(options)) {
-  AUTOAC_CHECK(session_ != nullptr);
+    : registry_(registry), options_(std::move(options)) {
+  AUTOAC_CHECK(registry_ != nullptr);
   AUTOAC_CHECK(options_.max_batch > 0) << "max_batch must be positive";
   AUTOAC_CHECK(options_.max_queue > 0) << "max_queue must be positive";
+  AUTOAC_CHECK(options_.max_line_bytes > 0)
+      << "max_line_bytes must be positive";
 }
 
 InferenceServer::~InferenceServer() {
   Stop();
   if (batcher_.joinable()) batcher_.join();
-  for (std::thread& t : readers_) {
-    if (t.joinable()) t.join();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& conn : connections_) {
+      if (conn->fd >= 0) ::shutdown(conn->fd, SHUT_RDWR);
+    }
   }
-  for (const auto& conn : connections_) {
-    if (conn->fd >= 0) ::close(conn->fd);
+  for (auto& [id, thread] : readers_) {
+    (void)id;
+    if (thread.joinable()) thread.join();
   }
+  // Connection fds close in ~Connection when the last reference drops.
   if (listen_fd_ >= 0) ::close(listen_fd_);
   if (!options_.unix_path.empty()) ::unlink(options_.unix_path.c_str());
 }
@@ -276,9 +332,25 @@ void InferenceServer::Stop() {
   queue_cv_.notify_all();
 }
 
+void InferenceServer::ReapFinishedReaders() {
+  std::vector<uint64_t> finished;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    finished.swap(finished_readers_);
+  }
+  for (uint64_t id : finished) {
+    auto it = readers_.find(id);
+    if (it == readers_.end()) continue;
+    if (it->second.joinable()) it->second.join();
+    readers_.erase(it);
+  }
+}
+
 void InferenceServer::Serve() {
   AUTOAC_CHECK(listen_fd_ >= 0) << "call Start() before Serve()";
   while (!Stopping()) {
+    ReapFinishedReaders();
+    if (options_.poll_hook) options_.poll_hook();
     pollfd pfd{listen_fd_, POLLIN, 0};
     int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
     if (ready <= 0 || (pfd.revents & POLLIN) == 0) continue;
@@ -291,40 +363,54 @@ void InferenceServer::Serve() {
       ++stats_.connections;
       connections_.push_back(conn);
     }
-    readers_.emplace_back(&InferenceServer::ReaderLoop, this, conn);
+    uint64_t id = next_reader_id_++;
+    readers_.emplace(id, std::thread(&InferenceServer::ReaderLoop, this, id,
+                                     std::move(conn)));
   }
   // Cooperative wind-down: stop accepting, unblock the readers, drain the
   // queue through the batcher, then join everything so callers observe a
   // fully quiesced server when Serve() returns.
   Stop();
-  for (const auto& conn : connections_) {
-    if (conn->fd >= 0) ::shutdown(conn->fd, SHUT_RD);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& conn : connections_) {
+      if (conn->fd >= 0) ::shutdown(conn->fd, SHUT_RD);
+    }
   }
-  for (std::thread& t : readers_) {
-    if (t.joinable()) t.join();
+  for (auto& [id, thread] : readers_) {
+    (void)id;
+    if (thread.joinable()) thread.join();
   }
   readers_.clear();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    finished_readers_.clear();
+  }
   queue_cv_.notify_all();
   if (batcher_.joinable()) batcher_.join();
 }
 
-void InferenceServer::WriteLine(const std::shared_ptr<Connection>& conn,
+bool InferenceServer::WriteLine(const std::shared_ptr<Connection>& conn,
                                 const std::string& line) {
-  std::lock_guard<std::mutex> lock(conn->write_mu);
-  size_t off = 0;
-  while (off < line.size()) {
-    ssize_t n = ::send(conn->fd, line.data() + off, line.size() - off,
-                       MSG_NOSIGNAL);
-    if (n <= 0) return;  // peer gone; nothing useful to do
-    off += static_cast<size_t>(n);
+  bool sent;
+  {
+    std::lock_guard<std::mutex> lock(conn->write_mu);
+    sent = SendAll(conn->fd, line.data(), line.size());
   }
+  if (!sent) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.write_errors;
+  }
+  return sent;
 }
 
-void InferenceServer::ReaderLoop(std::shared_ptr<Connection> conn) {
+void InferenceServer::ReaderLoop(uint64_t reader_id,
+                                 std::shared_ptr<Connection> conn) {
   std::string pending;
   char buf[4096];
   while (!Stopping()) {
     ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
     if (n <= 0) break;
     pending.append(buf, static_cast<size_t>(n));
     size_t start = 0;
@@ -343,67 +429,185 @@ void InferenceServer::ReaderLoop(std::shared_ptr<Connection> conn) {
         WriteLine(conn, FormatServeError(request.id, error));
         continue;
       }
-      bool shed = false;
+      // Resolve the model now: the session is pinned for the lifetime of
+      // the queued request, so a hot reload never changes what an already
+      // accepted request is answered from.
+      std::string resolved_model;
+      std::shared_ptr<InferenceSession> session =
+          registry_->Lookup(request.model, &resolved_model);
+      if (session == nullptr) {
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          ++stats_.unknown_model;
+        }
+        WriteLine(conn, FormatServeError(
+                            request.id,
+                            "unknown model \"" + request.model + "\""));
+        continue;
+      }
+      int64_t now = NowMicros();
+      Pending entry{conn, std::move(request), std::move(session), now,
+                    /*deadline_us=*/-1};
+      if (entry.request.deadline_ms >= 0) {
+        entry.deadline_us = now + entry.request.deadline_ms * 1000;
+      }
+      // Overload policy: evict from the connection with the most queued
+      // requests instead of tail-dropping the newest arrival — a single
+      // flooding client loses its own newest request, everyone else's
+      // traffic keeps flowing.
+      std::shared_ptr<Connection> victim_conn;
+      std::string victim_id;
+      bool shed_incoming = false;
       {
         std::lock_guard<std::mutex> lock(mu_);
-        if (static_cast<int64_t>(queue_.size()) >= options_.max_queue) {
-          ++stats_.shed;
-          shed = true;
-        } else {
+        if (queued_total_ >= options_.max_queue) {
+          int64_t max_queued = 0;
+          for (const auto& [name, queue] : queues_) {
+            (void)name;
+            for (const Pending& p : queue) {
+              max_queued = std::max(max_queued, p.conn->queued);
+            }
+          }
+          if (conn->queued >= max_queued) {
+            // The incoming connection is (one of) the most loaded; its
+            // newest request is the one that just arrived.
+            ++stats_.shed;
+            shed_incoming = true;
+          } else {
+            // Newest entry of the most-loaded connection.
+            std::deque<Pending>* victim_queue = nullptr;
+            std::deque<Pending>::iterator victim_it;
+            int64_t victim_enqueued = -1;
+            for (auto& [name, queue] : queues_) {
+              (void)name;
+              for (auto it = queue.begin(); it != queue.end(); ++it) {
+                // >=: queues are FIFO, so on a timestamp tie (microsecond
+                // granularity) the later position is the newer request.
+                if (it->conn->queued == max_queued &&
+                    it->enqueued_us >= victim_enqueued) {
+                  victim_enqueued = it->enqueued_us;
+                  victim_queue = &queue;
+                  victim_it = it;
+                }
+              }
+            }
+            AUTOAC_CHECK(victim_queue != nullptr);
+            victim_conn = victim_it->conn;
+            victim_id = victim_it->request.id;
+            --victim_it->conn->queued;
+            victim_queue->erase(victim_it);
+            --queued_total_;
+            ++stats_.shed;
+            for (auto it = queues_.begin(); it != queues_.end();) {
+              it = it->second.empty() ? queues_.erase(it) : std::next(it);
+            }
+          }
+        }
+        if (!shed_incoming) {
           ++stats_.requests;
-          queue_.push_back(Pending{conn, std::move(request), NowMicros()});
+          ++conn->queued;
+          ++queued_total_;
+          std::string model_key = resolved_model;
+          queues_[model_key].push_back(std::move(entry));
         }
       }
-      if (shed) {
-        WriteLine(conn, FormatServeError(request.id, "overloaded"));
+      if (victim_conn != nullptr) {
+        WriteLine(victim_conn, FormatServeError(victim_id, "overloaded"));
+      }
+      if (shed_incoming) {
+        WriteLine(conn, FormatServeError(entry.request.id, "overloaded"));
       } else {
         queue_cv_.notify_one();
       }
     }
     pending.erase(0, start);
+    if (static_cast<int64_t>(pending.size()) > options_.max_line_bytes) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.overlong_lines;
+      }
+      WriteLine(conn,
+                FormatServeError(
+                    "", "request line exceeds " +
+                            std::to_string(options_.max_line_bytes) +
+                            " bytes"));
+      break;  // unbounded buffer growth: drop the connection
+    }
+  }
+  // Client gone (or this server is being dropped): stop both directions so
+  // a batcher mid-write fails fast, prune the connection from the live
+  // list, and hand the thread to the accept loop for joining. The fd
+  // itself closes in ~Connection once the last queued request or write
+  // releases it — never while another thread could still be using it.
+  ::shutdown(conn->fd, SHUT_RDWR);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    connections_.erase(
+        std::remove(connections_.begin(), connections_.end(), conn),
+        connections_.end());
+    finished_readers_.push_back(reader_id);
   }
 }
 
 void InferenceServer::BatcherLoop() {
   for (;;) {
     std::vector<Pending> batch;
+    std::vector<Pending> expired;
     int64_t queue_depth = 0;
     {
       std::unique_lock<std::mutex> lock(mu_);
       queue_cv_.wait_for(
           lock, std::chrono::milliseconds(options_.batch_timeout_ms), [&] {
-            return Stopping() ||
-                   static_cast<int64_t>(queue_.size()) >= options_.max_batch;
+            return Stopping() || queued_total_ >= options_.max_batch;
           });
-      if (queue_.empty()) {
+      if (queued_total_ == 0) {
         if (Stopping()) return;
         continue;
       }
-      int64_t take = std::min<int64_t>(
-          static_cast<int64_t>(queue_.size()), options_.max_batch);
-      batch.reserve(take);
-      for (int64_t i = 0; i < take; ++i) {
-        batch.push_back(std::move(queue_.front()));
-        queue_.pop_front();
+      int64_t now = NowMicros();
+      // Round-robin across the per-model queues: each slot of the batch is
+      // taken from the next model after the previous slot's, so a model
+      // with a deep queue gets at most its fair share per batch.
+      while (static_cast<int64_t>(batch.size()) < options_.max_batch &&
+             queued_total_ > 0) {
+        auto it = queues_.upper_bound(rr_cursor_);
+        if (it == queues_.end()) it = queues_.begin();
+        rr_cursor_ = it->first;
+        Pending entry = std::move(it->second.front());
+        it->second.pop_front();
+        if (it->second.empty()) queues_.erase(it);
+        --queued_total_;
+        --entry.conn->queued;
+        if (entry.deadline_us >= 0 && now > entry.deadline_us) {
+          ++stats_.deadline_expired;
+          expired.push_back(std::move(entry));
+          continue;  // never reaches Predict
+        }
+        batch.push_back(std::move(entry));
       }
-      ++stats_.batches;
-      stats_.batched_requests += take;
-      queue_depth = static_cast<int64_t>(queue_.size());
+      if (!batch.empty()) {
+        ++stats_.batches;
+        stats_.batched_requests += static_cast<int64_t>(batch.size());
+      }
+      queue_depth = queued_total_;
     }
-    for (const Pending& pending : batch) {
+    for (const Pending& entry : expired) {
+      WriteLine(entry.conn,
+                FormatServeError(entry.request.id, "deadline exceeded"));
+    }
+    for (const Pending& entry : batch) {
       StatusOr<InferenceSession::Prediction> prediction =
-          session_->Predict(pending.request.node);
-      int64_t latency_us = NowMicros() - pending.enqueued_us;
+          entry.session->Predict(entry.request.node);
+      int64_t latency_us = NowMicros() - entry.enqueued_us;
       if (!prediction.ok()) {
-        WriteLine(pending.conn, FormatServeError(
-                                    pending.request.id,
-                                    prediction.status().message()));
+        WriteLine(entry.conn, FormatServeError(
+                                  entry.request.id,
+                                  prediction.status().message()));
         continue;
       }
-      WriteLine(pending.conn, FormatServeResponse(pending.request.id,
-                                                  prediction.value(),
-                                                  latency_us));
-      {
+      if (WriteLine(entry.conn,
+                    FormatServeResponse(entry.request.id,
+                                        prediction.value(), latency_us))) {
         std::lock_guard<std::mutex> lock(mu_);
         ++stats_.responses;
       }
@@ -414,7 +618,7 @@ void InferenceServer::BatcherLoop() {
                                   .Add("latency_us", latency_us));
       }
     }
-    if (Telemetry::Enabled()) {
+    if (!batch.empty() && Telemetry::Enabled()) {
       Telemetry::Get().Emit(
           MetricRecord("serve_batch")
               .Add("size", static_cast<int64_t>(batch.size()))

@@ -5,6 +5,8 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -12,23 +14,33 @@
 #include <vector>
 
 #include "serving/inference_session.h"
+#include "serving/model_registry.h"
 #include "util/status.h"
 
 namespace autoac {
 
-/// One newline-delimited JSON request: {"id": "...", "node": N}. `id` is an
-/// opaque client token echoed back in the response (optional, may be a JSON
-/// string or number); `node` is the target-type-local node id to classify.
+/// One newline-delimited JSON request:
+///   {"id": "...", "node": N, "model": "...", "deadline_ms": M}
+/// `id` is an opaque client token echoed back in the response (optional,
+/// may be a JSON string or number); `node` is the target-type-local node
+/// id to classify; `model` routes to a hosted model by registry name
+/// (optional, empty = default model); `deadline_ms` is an optional
+/// client-side deadline relative to arrival — a request still queued when
+/// it expires is answered with a distinct "deadline exceeded" error and
+/// never reaches Predict.
 struct ServeRequest {
   std::string id;
   int64_t node = -1;
+  std::string model;
+  int64_t deadline_ms = -1;  // -1 = no deadline
 };
 
 /// Parses one request line. The accepted grammar is a flat JSON object with
 /// the keys above (any order, whitespace-tolerant, unknown keys rejected so
-/// typos fail loudly). Returns false with a human-readable `error` on
-/// malformed input; the server turns that into an error response rather
-/// than dropping the connection.
+/// typos fail loudly; integers that overflow int64 are malformed, not
+/// saturated). Returns false with a human-readable `error` on malformed
+/// input; the server turns that into an error response rather than
+/// dropping the connection.
 bool ParseServeRequestLine(const std::string& line, ServeRequest* request,
                            std::string* error);
 
@@ -37,6 +49,13 @@ std::string FormatServeResponse(const std::string& id,
                                 const InferenceSession::Prediction& p,
                                 int64_t latency_us);
 std::string FormatServeError(const std::string& id, const std::string& error);
+
+/// Writes all `size` bytes to `fd`, retrying interrupted and would-block
+/// sends (EINTR immediately; EAGAIN/EWOULDBLOCK after polling for
+/// writability). Returns false only on a genuine write failure (e.g. the
+/// peer is gone). Exposed for the retry regression tests; the server's
+/// per-connection writes go through it.
+bool SendAll(int fd, const char* data, size_t size);
 
 struct ServerOptions {
   /// Unix-domain socket path. Takes precedence over TCP when non-empty.
@@ -48,36 +67,60 @@ struct ServerOptions {
   /// queued or when the oldest queued request has waited batch_timeout_ms.
   int64_t max_batch = 16;
   int64_t batch_timeout_ms = 5;
-  /// Bounded request queue; arrivals beyond this depth are shed with an
-  /// "overloaded" error response instead of growing the queue without limit.
+  /// Bounded total queue depth across all per-model queues. An arrival
+  /// beyond this evicts a queued request from the connection with the most
+  /// queued requests (the incoming one itself when its connection is the
+  /// most loaded) with an "overloaded" error, instead of tail-dropping the
+  /// newest arrival regardless of who is flooding.
   int64_t max_queue = 1024;
+  /// A connection streaming more than this many bytes without a newline is
+  /// answered with a malformed-request error and dropped (bounds the
+  /// per-connection read buffer).
+  int64_t max_line_bytes = 1 << 16;
+  /// Called from the accept loop every poll interval (<= ~100ms) when set.
+  /// The CLI uses it to run SIGHUP artifact reloads on the serve thread.
+  std::function<void()> poll_hook;
 };
 
 /// Counters published by the server (also emitted as telemetry records when
 /// the telemetry sink is on).
 struct ServeStats {
   int64_t connections = 0;
-  int64_t requests = 0;         // parsed OK and enqueued
-  int64_t responses = 0;        // success responses written
-  int64_t malformed = 0;        // parse failures (error response written)
-  int64_t shed = 0;             // rejected by the bounded queue
-  int64_t batches = 0;          // inference batches executed
-  int64_t batched_requests = 0; // sum of batch sizes (occupancy numerator)
+  int64_t requests = 0;          // parsed OK and enqueued
+  int64_t responses = 0;         // success responses written
+  int64_t malformed = 0;         // parse failures (error response written)
+  int64_t unknown_model = 0;     // "model" key named no hosted model
+  int64_t overlong_lines = 0;    // read-buffer bound hit, connection dropped
+  int64_t shed = 0;              // evicted/rejected on overload
+  int64_t deadline_expired = 0;  // expired in queue, never reached Predict
+  int64_t write_errors = 0;      // response writes that failed after retries
+  int64_t batches = 0;           // inference batches executed
+  int64_t batched_requests = 0;  // sum of batch sizes (occupancy numerator)
 };
 
-/// Batched request/response front-end over an InferenceSession
-/// (DESIGN.md §10). One reader thread per connection parses request lines
-/// into a bounded queue; a single batcher thread drains the queue in
-/// batches of up to max_batch (or whatever is present when the oldest
-/// request has waited batch_timeout_ms), answers each request from the
+/// Batched request/response front-end over a ModelRegistry (DESIGN.md §10).
+/// One reader thread per connection parses request lines, resolves the
+/// "model" key to a session (pinning it: a hot reload swaps the registry
+/// entry, queued requests finish against the session they resolved), and
+/// enqueues into that model's queue. A single batcher thread assembles
+/// batches of up to max_batch by draining the per-model queues round-robin
+/// — one hot model cannot starve the others — drops entries whose deadline
+/// expired with a distinct error, answers the rest from each session's
 /// logits cache, and writes responses back on the owning connection.
+///
+/// Connection lifecycle: a reader that observes client disconnect shuts the
+/// socket down, prunes the connection from the server's list, and hands its
+/// thread to the accept loop for reaping; the fd itself closes when the
+/// last reference (queued request or in-progress write) releases the
+/// Connection. Long-running servers hold fds and threads only for live
+/// connections.
 ///
 /// Shutdown is cooperative: Serve() returns once ShutdownRequested()
 /// (util/shutdown.h) or Stop() is observed; in-flight requests are drained,
 /// responses flushed, and every thread joined before Serve() returns.
 class InferenceServer {
  public:
-  InferenceServer(InferenceSession* session, ServerOptions options);
+  InferenceServer(ModelRegistry* registry, ServerOptions options);
   ~InferenceServer();
 
   InferenceServer(const InferenceServer&) = delete;
@@ -103,22 +146,30 @@ class InferenceServer {
 
  private:
   struct Connection {
+    ~Connection();
     int fd = -1;
     std::mutex write_mu;
+    int64_t queued = 0;  // requests of this connection in queue; under mu_
   };
   struct Pending {
     std::shared_ptr<Connection> conn;
     ServeRequest request;
-    int64_t enqueued_us = 0;  // monotonic clock, for latency telemetry
+    std::shared_ptr<InferenceSession> session;  // pinned at enqueue
+    int64_t enqueued_us = 0;   // monotonic clock, for latency telemetry
+    int64_t deadline_us = -1;  // absolute expiry; -1 = none
   };
 
-  void ReaderLoop(std::shared_ptr<Connection> conn);
+  void ReaderLoop(uint64_t reader_id, std::shared_ptr<Connection> conn);
   void BatcherLoop();
-  void WriteLine(const std::shared_ptr<Connection>& conn,
+  /// Serializes one line onto the connection (per-connection write mutex),
+  /// retrying via SendAll. Counts a genuine failure in write_errors.
+  bool WriteLine(const std::shared_ptr<Connection>& conn,
                  const std::string& line);
+  /// Joins reader threads whose loops have exited (accept thread only).
+  void ReapFinishedReaders();
   bool Stopping() const;
 
-  InferenceSession* session_;
+  ModelRegistry* registry_;
   ServerOptions options_;
   int listen_fd_ = -1;
   int port_ = -1;
@@ -126,12 +177,20 @@ class InferenceServer {
 
   mutable std::mutex mu_;
   std::condition_variable queue_cv_;
-  std::deque<Pending> queue_;
+  /// Per-model queues, keyed by resolved model name; only non-empty queues
+  /// are kept in the map so round-robin iteration touches live models only.
+  std::map<std::string, std::deque<Pending>> queues_;
+  int64_t queued_total_ = 0;
+  std::string rr_cursor_;  // last model a batch entry was taken from
   ServeStats stats_;
+  std::vector<uint64_t> finished_readers_;  // ids awaiting join; under mu_
+  std::vector<std::shared_ptr<Connection>> connections_;  // live; under mu_
 
   std::thread batcher_;
-  std::vector<std::thread> readers_;
-  std::vector<std::shared_ptr<Connection>> connections_;
+  /// Reader threads by id; accessed only from the accept thread and the
+  /// destructor (readers announce exit via finished_readers_).
+  std::map<uint64_t, std::thread> readers_;
+  uint64_t next_reader_id_ = 0;
 };
 
 }  // namespace autoac

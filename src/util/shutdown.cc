@@ -1,22 +1,27 @@
 #include "util/shutdown.h"
 
+#include <atomic>
 #include <csignal>
 
 namespace autoac {
 namespace {
 
-// Async-signal-safe: the handler only stores to this flag (and re-arms the
-// default disposition for a second Ctrl-C).
-volatile std::sig_atomic_t g_shutdown_requested = 0;
+// The flag is read by worker threads (ShutdownRequested poll loops) and
+// written both from signal handlers and from other threads
+// (RequestShutdown), so it must be a lock-free atomic: volatile
+// sig_atomic_t is only safe against the *same* thread's handler, and
+// cross-thread access to it is a data race.
+std::atomic<int> g_shutdown_requested{0};
+static_assert(std::atomic<int>::is_always_lock_free,
+              "signal handlers may only touch lock-free atomics");
 
 void HandleSignal(int signum) {
-  if (g_shutdown_requested != 0) {
+  if (g_shutdown_requested.exchange(1, std::memory_order_relaxed) != 0) {
     // Second signal: give up on graceful shutdown and die the default way.
     std::signal(signum, SIG_DFL);
     std::raise(signum);
     return;
   }
-  g_shutdown_requested = 1;
 }
 
 }  // namespace
@@ -26,10 +31,16 @@ void InstallShutdownHandler() {
   std::signal(SIGTERM, HandleSignal);
 }
 
-bool ShutdownRequested() { return g_shutdown_requested != 0; }
+bool ShutdownRequested() {
+  return g_shutdown_requested.load(std::memory_order_relaxed) != 0;
+}
 
-void RequestShutdown() { g_shutdown_requested = 1; }
+void RequestShutdown() {
+  g_shutdown_requested.store(1, std::memory_order_relaxed);
+}
 
-void ClearShutdownRequestForTest() { g_shutdown_requested = 0; }
+void ClearShutdownRequestForTest() {
+  g_shutdown_requested.store(0, std::memory_order_relaxed);
+}
 
 }  // namespace autoac

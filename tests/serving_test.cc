@@ -1,16 +1,27 @@
 // Tests for the frozen-model export + inference serving subsystem
 // (src/serving/, DESIGN.md §10): artifact round trips, corruption and
 // fingerprint refusal, tape-free forward identity, thread-count
-// invariance, and the batched request/response front-end.
+// invariance, the batched request/response front-end, multi-model routing
+// through ModelRegistry, hot artifact reload, deadline expiry, and the
+// connection-lifecycle hardening (fd reaping, bounded read buffers,
+// interrupted-write retries).
 
+#include <dirent.h>
 #include <netinet/in.h>
+#include <pthread.h>
 #include <sys/socket.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <map>
+#include <memory>
 #include <sstream>
 #include <thread>
 
@@ -20,6 +31,7 @@
 #include "models/factory.h"
 #include "serving/frozen_model.h"
 #include "serving/inference_session.h"
+#include "serving/model_registry.h"
 #include "serving/server.h"
 #include "tensor/ops.h"
 #include "util/parallel.h"
@@ -47,6 +59,95 @@ void ExpectTensorsBitwiseEqual(const Tensor& a, const Tensor& b) {
   ASSERT_EQ(std::memcmp(a.data(), b.data(),
                         static_cast<size_t>(a.numel()) * sizeof(float)),
             0);
+}
+
+/// A frozen model with the same graph/weights but a perturbed classifier
+/// bias (and the matching recomputed fingerprint): a valid, loadable
+/// artifact whose predictions differ from the base model's.
+FrozenModel MakeVariantFrozen(const FrozenModel& base, float bias_delta) {
+  FrozenModel variant = base;
+  for (int64_t c = 0; c < variant.classifier_bias.numel(); ++c) {
+    variant.classifier_bias.data()[c] += (c == 0 ? bias_delta : -bias_delta);
+  }
+  variant.fingerprint = ComputeFrozenFingerprint(variant);
+  return variant;
+}
+
+int ConnectLoopback(int port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  timeval timeout{20, 0};
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+/// Reads complete newline-terminated lines from fd until `count` arrived.
+std::vector<std::string> RecvLines(int fd, size_t count) {
+  std::vector<std::string> lines;
+  std::string pending;
+  char buf[4096];
+  while (lines.size() < count) {
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;  // timeout or peer gone; caller asserts on size
+    pending.append(buf, static_cast<size_t>(n));
+    size_t start = 0;
+    for (size_t nl = pending.find('\n', start); nl != std::string::npos;
+         nl = pending.find('\n', start)) {
+      lines.push_back(pending.substr(start, nl - start));
+      start = nl + 1;
+    }
+    pending.erase(0, start);
+  }
+  return lines;
+}
+
+/// Latency differs per request; strip it so response lines compare equal.
+std::string StripLatency(const std::string& line) {
+  size_t pos = line.find(",\"latency_us\":");
+  if (pos == std::string::npos) return line;
+  size_t end = line.find('}', pos);
+  return line.substr(0, pos) + line.substr(end);
+}
+
+/// Maps response lines by their echoed id (responses may interleave across
+/// models within a batch).
+std::map<std::string, std::string> ById(
+    const std::vector<std::string>& lines) {
+  std::map<std::string, std::string> by_id;
+  for (const std::string& line : lines) {
+    size_t start = line.find("\"id\":\"") + 6;
+    size_t end = line.find('"', start);
+    by_id[line.substr(start, end - start)] = StripLatency(line);
+  }
+  return by_id;
+}
+
+/// The exact response line `session` would produce for (id, node), latency
+/// stripped — the bitwise-identity reference for routing tests.
+std::string ExpectedLine(const InferenceSession& session,
+                         const std::string& id, int64_t node) {
+  StatusOr<InferenceSession::Prediction> p = session.Predict(node);
+  AUTOAC_CHECK(p.ok()) << p.status().message();
+  std::string line = FormatServeResponse(id, p.value(), 0);
+  line.pop_back();  // trailing newline, RecvLines strips it
+  return StripLatency(line);
+}
+
+int CountOpenFds() {
+  DIR* d = ::opendir("/proc/self/fd");
+  if (d == nullptr) return -1;
+  int count = 0;
+  while (::readdir(d) != nullptr) ++count;
+  ::closedir(d);
+  return count;
 }
 
 // One small trained run shared by every test: training (and freezing) once
@@ -372,6 +473,135 @@ TEST(ServeProtocolTest, RejectsMalformedRequests) {
   }
 }
 
+TEST(ServeProtocolTest, ParsesModelAndDeadlineKeys) {
+  ServeRequest request;
+  std::string error;
+  ASSERT_TRUE(ParseServeRequestLine(
+      R"({"id": "r1", "node": 3, "model": "acm", "deadline_ms": 250})",
+      &request, &error))
+      << error;
+  EXPECT_EQ(request.id, "r1");
+  EXPECT_EQ(request.node, 3);
+  EXPECT_EQ(request.model, "acm");
+  EXPECT_EQ(request.deadline_ms, 250);
+
+  // Both keys are optional; absent means default model / no deadline.
+  ASSERT_TRUE(ParseServeRequestLine(R"({"node": 3})", &request, &error))
+      << error;
+  EXPECT_EQ(request.model, "");
+  EXPECT_EQ(request.deadline_ms, -1);
+
+  // deadline_ms 0 is legal (already expired on arrival).
+  ASSERT_TRUE(ParseServeRequestLine(R"({"node": 3, "deadline_ms": 0})",
+                                    &request, &error))
+      << error;
+  EXPECT_EQ(request.deadline_ms, 0);
+}
+
+// Integer overflow must be malformed, not silently saturated to INT64_MAX
+// (which would turn an absurd node id into a plausible out-of-range error
+// and an absurd deadline into "no deadline pressure at all").
+TEST(ServeProtocolTest, RejectsOverflowAndBadDeadlines) {
+  ServeRequest request;
+  std::string error;
+  const char* bad[] = {
+      R"({"node": 99999999999999999999})",                   // > INT64_MAX
+      R"({"node": -99999999999999999999})",                  // < INT64_MIN
+      R"({"id": 99999999999999999999, "node": 1})",          // numeric id too
+      R"({"node": 1, "deadline_ms": 99999999999999999999})",
+      R"({"node": 1, "deadline_ms": -5})",    // negative deadline
+      R"({"node": 1, "deadline_ms": "soon"})",
+      R"({"node": 1, "model": 7})",           // model must be a string
+  };
+  for (const char* line : bad) {
+    EXPECT_FALSE(ParseServeRequestLine(line, &request, &error))
+        << "accepted: " << line;
+    EXPECT_FALSE(error.empty());
+  }
+  // INT64_MAX itself is in range and still parses.
+  ASSERT_TRUE(ParseServeRequestLine(R"({"node": 9223372036854775807})",
+                                    &request, &error))
+      << error;
+  EXPECT_EQ(request.node, 9223372036854775807LL);
+}
+
+// High bytes (any UTF-8 id) must pass through the JSON escaper verbatim; a
+// signed char fed to "%04x" sign-extends into garbage like ￿ffc3.
+// Control bytes must become exactly one four-hex-digit escape.
+TEST(ServeProtocolTest, HighByteIdsEscapeCleanly) {
+  const std::string utf8_id = "caf\xc3\xa9";
+  std::string line = FormatServeError(utf8_id, "x");
+  EXPECT_NE(line.find(utf8_id), std::string::npos) << line;
+  EXPECT_EQ(line.find("ffff"), std::string::npos) << line;
+
+  const size_t empty_len = FormatServeError("", "").size();
+  for (int byte = 1; byte < 256; ++byte) {
+    char c = static_cast<char>(byte);
+    std::string out = FormatServeError(std::string(1, c), "");
+    EXPECT_EQ(out.find("ffffff"), std::string::npos)
+        << "byte " << byte << " sign-extended: " << out;
+    if (byte == '"' || byte == '\\' || byte == '\n' || byte == '\t') {
+      EXPECT_EQ(out.size(), empty_len + 2) << "byte " << byte;
+    } else if (byte < 0x20) {
+      char want[8];
+      std::snprintf(want, sizeof(want), "\\u%04x", byte);
+      EXPECT_NE(out.find(want), std::string::npos) << "byte " << byte;
+      EXPECT_EQ(out.size(), empty_len + 6) << "byte " << byte;
+    } else {
+      EXPECT_EQ(out.size(), empty_len + 1) << "byte " << byte;
+    }
+  }
+}
+
+// WriteLine must not drop (or truncate) a response because send() was
+// interrupted by a signal or timed out on a momentarily full socket
+// buffer: EINTR retries immediately, EAGAIN waits for writability.
+TEST(SendAllTest, RetriesInterruptedAndWouldBlockSends) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  int sndbuf = 4096;
+  ::setsockopt(fds[0], SOL_SOCKET, SO_SNDBUF, &sndbuf, sizeof(sndbuf));
+  // A send timeout makes a blocked send() return EAGAIN — the same errno a
+  // nonblocking socket would produce — without needing O_NONBLOCK.
+  timeval send_timeout{0, 10000};  // 10ms
+  ::setsockopt(fds[0], SOL_SOCKET, SO_SNDTIMEO, &send_timeout,
+               sizeof(send_timeout));
+  // SIGUSR1 with an empty handler and no SA_RESTART: pthread_kill makes a
+  // blocked send() fail with EINTR.
+  struct sigaction action {};
+  action.sa_handler = [](int) {};
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;
+  struct sigaction previous {};
+  ASSERT_EQ(::sigaction(SIGUSR1, &action, &previous), 0);
+
+  const std::string payload(1 << 20, 'x');
+  std::atomic<bool> sent_ok{false};
+  std::atomic<bool> done{false};
+  std::thread sender([&] {
+    sent_ok = SendAll(fds[0], payload.data(), payload.size());
+    done = true;
+  });
+  pthread_t handle = sender.native_handle();
+  for (int i = 0; i < 20 && !done.load(); ++i) {
+    ::pthread_kill(handle, SIGUSR1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  size_t received = 0;
+  char buf[65536];
+  while (received < payload.size()) {
+    ssize_t n = ::recv(fds[1], buf, sizeof(buf), 0);
+    ASSERT_GT(n, 0);
+    received += static_cast<size_t>(n);
+  }
+  sender.join();
+  EXPECT_TRUE(sent_ok.load());
+  EXPECT_EQ(received, payload.size());
+  ::sigaction(SIGUSR1, &previous, nullptr);
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
 TEST(ServeProtocolTest, ResponseFormatting) {
   InferenceSession::Prediction p;
   p.node = 4;
@@ -389,12 +619,14 @@ TEST(ServeProtocolTest, ResponseFormatting) {
 // counters add up, and Stop() quiesces the server.
 TEST(InferenceServerTest, EndToEndOverLoopbackTcp) {
   const ServingEnvironment& env = ServingEnvironment::Get();
-  InferenceSession session(env.frozen());
+  ModelRegistry registry;
+  registry.Register("default",
+                    std::make_shared<InferenceSession>(env.frozen()));
   ServerOptions options;
   options.tcp_port = 0;  // ephemeral
   options.max_batch = 4;
   options.batch_timeout_ms = 2;
-  InferenceServer server(&session, options);
+  InferenceServer server(&registry, options);
   Status started = server.Start();
   ASSERT_TRUE(started.ok()) << started.message();
   ASSERT_GT(server.port(), 0);
@@ -458,15 +690,472 @@ TEST(InferenceServerTest, EndToEndOverLoopbackTcp) {
 // Serve() also honors the process-wide cooperative shutdown flag.
 TEST(InferenceServerTest, HonorsProcessShutdownFlag) {
   const ServingEnvironment& env = ServingEnvironment::Get();
-  InferenceSession session(env.frozen());
+  ModelRegistry registry;
+  registry.Register("default",
+                    std::make_shared<InferenceSession>(env.frozen()));
   ServerOptions options;
   options.tcp_port = 0;
-  InferenceServer server(&session, options);
+  InferenceServer server(&registry, options);
   ASSERT_TRUE(server.Start().ok());
   std::thread serving([&] { server.Serve(); });
   RequestShutdown();
   serving.join();
   ClearShutdownRequestForTest();
+}
+
+// --- multi-model hosting (ModelRegistry) ------------------------------------
+
+TEST(ModelRegistryTest, LookupResolvesDefaultAndUnknown) {
+  const ServingEnvironment& env = ServingEnvironment::Get();
+  ModelRegistry registry;
+  auto session = std::make_shared<InferenceSession>(env.frozen());
+  registry.Register("alpha", session);
+  registry.Register("beta", std::make_shared<InferenceSession>(env.frozen()));
+
+  EXPECT_EQ(registry.size(), 2);
+  EXPECT_EQ(registry.default_model(), "alpha");  // first registered
+  std::string resolved;
+  EXPECT_EQ(registry.Lookup("", &resolved), session);
+  EXPECT_EQ(resolved, "alpha");
+  EXPECT_EQ(registry.Lookup("alpha"), session);
+  EXPECT_EQ(registry.Lookup("nope"), nullptr);
+  // A Register()-only registry has no artifact spec to re-read.
+  EXPECT_FALSE(registry.Reload().ok());
+}
+
+TEST(ModelRegistryTest, ReloadSwapsChangedArtifactsOnly) {
+  const ServingEnvironment& env = ServingEnvironment::Get();
+  std::string dir = TempPath("registry_dir");
+  ::mkdir(dir.c_str(), 0755);
+  FrozenModel a = env.frozen();
+  FrozenModel b = MakeVariantFrozen(a, 3.0f);
+  ASSERT_TRUE(SaveFrozenModel(a, dir + "/a.aacm").ok());
+  ASSERT_TRUE(SaveFrozenModel(b, dir + "/b.aacm").ok());
+
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.LoadFromSpec("", dir).ok());
+  EXPECT_EQ(registry.size(), 2);
+  EXPECT_EQ(registry.default_model(), "a");  // lexicographically first
+  std::shared_ptr<InferenceSession> a_before = registry.Lookup("a");
+  std::shared_ptr<InferenceSession> b_before = registry.Lookup("b");
+  ASSERT_NE(a_before, nullptr);
+  ASSERT_NE(b_before, nullptr);
+
+  // Nothing changed on disk: both sessions survive untouched (no forward
+  // recomputation).
+  StatusOr<ModelRegistry::ReloadReport> noop = registry.Reload();
+  ASSERT_TRUE(noop.ok()) << noop.status().message();
+  EXPECT_EQ(noop.value().unchanged.size(), 2u);
+  EXPECT_TRUE(noop.value().reloaded.empty());
+  EXPECT_EQ(registry.Lookup("a"), a_before);
+  EXPECT_EQ(registry.Lookup("b"), b_before);
+
+  // b rewritten with different content: only b gets a new session.
+  FrozenModel b2 = MakeVariantFrozen(a, -5.0f);
+  ASSERT_TRUE(SaveFrozenModel(b2, dir + "/b.aacm").ok());
+  StatusOr<ModelRegistry::ReloadReport> partial = registry.Reload();
+  ASSERT_TRUE(partial.ok()) << partial.status().message();
+  ASSERT_EQ(partial.value().reloaded, std::vector<std::string>{"b"});
+  ASSERT_EQ(partial.value().unchanged, std::vector<std::string>{"a"});
+  EXPECT_EQ(registry.Lookup("a"), a_before);
+  EXPECT_NE(registry.Lookup("b"), b_before);
+  // The old session object stays alive for holders of the old shared_ptr
+  // (that is what lets in-flight requests finish against it).
+  EXPECT_EQ(b_before->frozen().fingerprint, b.fingerprint);
+
+  // a removed from the directory: it leaves the set, default moves on.
+  ASSERT_EQ(std::remove((dir + "/a.aacm").c_str()), 0);
+  StatusOr<ModelRegistry::ReloadReport> removed = registry.Reload();
+  ASSERT_TRUE(removed.ok()) << removed.status().message();
+  ASSERT_EQ(removed.value().removed, std::vector<std::string>{"a"});
+  EXPECT_EQ(registry.Lookup("a"), nullptr);
+  EXPECT_EQ(registry.default_model(), "b");
+  ASSERT_NE(registry.Lookup(""), nullptr);
+
+  // A reload that cannot resolve the spec leaves the serving set intact.
+  ASSERT_EQ(std::remove((dir + "/b.aacm").c_str()), 0);
+  EXPECT_FALSE(registry.Reload().ok());
+  EXPECT_NE(registry.Lookup("b"), nullptr);
+  ::rmdir(dir.c_str());
+}
+
+// One server hosting two artifacts must answer exactly what two
+// single-model servers answer, request for request, bitwise (same
+// formatted label/score; latency stripped).
+TEST(ModelRegistryTest, TwoModelRoutingMatchesSingleModelServers) {
+  const ServingEnvironment& env = ServingEnvironment::Get();
+  FrozenModel frozen_a = env.frozen();
+  FrozenModel frozen_b = MakeVariantFrozen(frozen_a, 6.0f);
+
+  ServerOptions options;
+  options.tcp_port = 0;
+  options.max_batch = 4;
+  options.batch_timeout_ms = 2;
+
+  ModelRegistry single_a, single_b, multi;
+  single_a.Register("a", std::make_shared<InferenceSession>(frozen_a));
+  single_b.Register("b", std::make_shared<InferenceSession>(frozen_b));
+  multi.Register("a", std::make_shared<InferenceSession>(frozen_a));
+  multi.Register("b", std::make_shared<InferenceSession>(frozen_b));
+  InferenceServer server_a(&single_a, options);
+  InferenceServer server_b(&single_b, options);
+  InferenceServer server_multi(&multi, options);
+  ASSERT_TRUE(server_a.Start().ok());
+  ASSERT_TRUE(server_b.Start().ok());
+  ASSERT_TRUE(server_multi.Start().ok());
+  std::thread serve_a([&] { server_a.Serve(); });
+  std::thread serve_b([&] { server_b.Serve(); });
+  std::thread serve_multi([&] { server_multi.Serve(); });
+
+  InferenceSession reference_a(frozen_a);
+  const int64_t step = reference_a.num_targets() / 7 + 1;
+  auto query = [&](int port, const std::string& model_key) {
+    std::string out;
+    size_t count = 0;
+    for (int64_t node = 0; node < reference_a.num_targets(); node += step) {
+      out += "{\"id\": \"r" + std::to_string(count++) + "\"" + model_key +
+             ", \"node\": " + std::to_string(node) + "}\n";
+    }
+    int fd = ConnectLoopback(port);
+    EXPECT_GE(fd, 0);
+    EXPECT_TRUE(SendAll(fd, out.data(), out.size()));
+    std::vector<std::string> lines = RecvLines(fd, count);
+    ::close(fd);
+    EXPECT_EQ(lines.size(), count);
+    return ById(lines);
+  };
+
+  auto from_single_a = query(server_a.port(), "");
+  auto from_single_b = query(server_b.port(), "");
+  auto routed_a = query(server_multi.port(), ", \"model\": \"a\"");
+  auto routed_b = query(server_multi.port(), ", \"model\": \"b\"");
+  // No "model" key routes to the default (first) model for backward
+  // compatibility with single-model clients.
+  auto routed_default = query(server_multi.port(), "");
+
+  EXPECT_EQ(routed_a, from_single_a);
+  EXPECT_EQ(routed_b, from_single_b);
+  EXPECT_EQ(routed_default, from_single_a);
+  EXPECT_NE(from_single_a, from_single_b);  // the variant really differs
+
+  // Naming a model nobody hosts is a distinct error, not a crash or a
+  // silent default.
+  int fd = ConnectLoopback(server_multi.port());
+  ASSERT_GE(fd, 0);
+  std::string unknown = "{\"id\": \"u\", \"model\": \"nope\", \"node\": 0}\n";
+  ASSERT_TRUE(SendAll(fd, unknown.data(), unknown.size()));
+  std::vector<std::string> lines = RecvLines(fd, 1);
+  ::close(fd);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("unknown model \\\"nope\\\""), std::string::npos)
+      << lines[0];
+
+  server_a.Stop();
+  server_b.Stop();
+  server_multi.Stop();
+  serve_a.join();
+  serve_b.join();
+  serve_multi.join();
+  EXPECT_EQ(server_multi.stats().unknown_model, 1);
+}
+
+// Hot reload: overwriting an artifact and calling Reload() (what SIGHUP
+// triggers in the CLI) swaps what new requests see, while every request
+// in flight across the swap still gets answered — zero drops — from
+// either the old or the new session, never garbage.
+TEST(InferenceServerTest, ReloadSwapsPredictionsWithoutDroppingInFlight) {
+  const ServingEnvironment& env = ServingEnvironment::Get();
+  std::string path = TempPath("reload_model.aacm");
+  FrozenModel frozen_a = env.frozen();
+  FrozenModel frozen_b = MakeVariantFrozen(frozen_a, 8.0f);
+  ASSERT_TRUE(SaveFrozenModel(frozen_a, path).ok());
+
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.LoadFromSpec("m=" + path, "").ok());
+  InferenceSession reference_a(frozen_a);
+  InferenceSession reference_b(frozen_b);
+
+  ServerOptions options;
+  options.tcp_port = 0;
+  options.max_batch = 4;
+  options.batch_timeout_ms = 2;
+  InferenceServer server(&registry, options);
+  ASSERT_TRUE(server.Start().ok());
+  std::thread serving([&] { server.Serve(); });
+  int fd = ConnectLoopback(server.port());
+  ASSERT_GE(fd, 0);
+
+  // Phase 1: everything is answered from artifact A.
+  const int kBefore = 20;
+  std::string out;
+  for (int i = 0; i < kBefore; ++i) {
+    out += "{\"id\": \"a" + std::to_string(i) +
+           "\", \"node\": " + std::to_string(i % 3) + "}\n";
+  }
+  ASSERT_TRUE(SendAll(fd, out.data(), out.size()));
+  auto before = ById(RecvLines(fd, kBefore));
+  ASSERT_EQ(before.size(), static_cast<size_t>(kBefore));
+  for (int i = 0; i < kBefore; ++i) {
+    std::string id = "a" + std::to_string(i);
+    EXPECT_EQ(before[id], ExpectedLine(reference_a, id, i % 3)) << id;
+  }
+
+  // Phase 2: overwrite the artifact, then reload while a burst is being
+  // pumped in from another thread.
+  ASSERT_TRUE(SaveFrozenModel(frozen_b, path).ok());
+  const int kBurst = 100;
+  std::thread pump([&] {
+    for (int i = 0; i < kBurst; ++i) {
+      std::string line = "{\"id\": \"p" + std::to_string(i) +
+                         "\", \"node\": " + std::to_string(i % 3) + "}\n";
+      ASSERT_TRUE(SendAll(fd, line.data(), line.size()));
+      if (i % 10 == 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
+  });
+  StatusOr<ModelRegistry::ReloadReport> report = registry.Reload();
+  pump.join();
+  ASSERT_TRUE(report.ok()) << report.status().message();
+  EXPECT_EQ(report.value().reloaded, std::vector<std::string>{"m"});
+
+  auto during = ById(RecvLines(fd, kBurst));
+  ASSERT_EQ(during.size(), static_cast<size_t>(kBurst))
+      << "requests were dropped across the reload";
+  for (int i = 0; i < kBurst; ++i) {
+    std::string id = "p" + std::to_string(i);
+    std::string from_a = ExpectedLine(reference_a, id, i % 3);
+    std::string from_b = ExpectedLine(reference_b, id, i % 3);
+    EXPECT_TRUE(during[id] == from_a || during[id] == from_b)
+        << id << ": " << during[id];
+  }
+
+  // Phase 3: new requests are answered from artifact B.
+  std::string after_line = "{\"id\": \"z\", \"node\": 0}\n";
+  ASSERT_TRUE(SendAll(fd, after_line.data(), after_line.size()));
+  auto after = ById(RecvLines(fd, 1));
+  ASSERT_EQ(after.size(), 1u);
+  EXPECT_EQ(after["z"], ExpectedLine(reference_b, "z", 0));
+
+  // A second reload with the file untouched keeps the session: the
+  // fingerprint matched, nothing was rebuilt.
+  std::shared_ptr<InferenceSession> pinned = registry.Lookup("m");
+  StatusOr<ModelRegistry::ReloadReport> noop = registry.Reload();
+  ASSERT_TRUE(noop.ok());
+  EXPECT_EQ(noop.value().unchanged, std::vector<std::string>{"m"});
+  EXPECT_EQ(registry.Lookup("m"), pinned);
+
+  ::close(fd);
+  server.Stop();
+  serving.join();
+  ServeStats stats = server.stats();
+  EXPECT_EQ(stats.requests, kBefore + kBurst + 1);
+  EXPECT_EQ(stats.responses, kBefore + kBurst + 1);
+  EXPECT_EQ(stats.shed, 0);
+  EXPECT_EQ(stats.deadline_expired, 0);
+  std::remove(path.c_str());
+}
+
+// --- deadline- and fairness-aware batching ----------------------------------
+
+// A request whose deadline expires while queued gets the distinct
+// "deadline exceeded" error and never reaches Predict.
+TEST(InferenceServerTest, ExpiredDeadlinesGetDistinctErrorBeforePredict) {
+  const ServingEnvironment& env = ServingEnvironment::Get();
+  ModelRegistry registry;
+  registry.Register("default",
+                    std::make_shared<InferenceSession>(env.frozen()));
+  ServerOptions options;
+  options.tcp_port = 0;
+  options.max_batch = 64;        // batches fire on the timer only
+  options.batch_timeout_ms = 300;
+  InferenceServer server(&registry, options);
+  ASSERT_TRUE(server.Start().ok());
+  std::thread serving([&] { server.Serve(); });
+  int fd = ConnectLoopback(server.port());
+  ASSERT_GE(fd, 0);
+
+  // Warm-up request: its response means the batcher just started a fresh
+  // 300ms wait, so the next request reliably sits in the queue.
+  std::string warm = "{\"id\": \"w\", \"node\": 0}\n";
+  ASSERT_TRUE(SendAll(fd, warm.data(), warm.size()));
+  ASSERT_EQ(RecvLines(fd, 1).size(), 1u);
+
+  // deadline_ms 0 expires the moment any queue wait happens; a generous
+  // deadline on the same connection must be unaffected.
+  std::string out =
+      "{\"id\": \"late\", \"node\": 0, \"deadline_ms\": 0}\n"
+      "{\"id\": \"fine\", \"node\": 1, \"deadline_ms\": 60000}\n";
+  ASSERT_TRUE(SendAll(fd, out.data(), out.size()));
+  auto by_id = ById(RecvLines(fd, 2));
+  ASSERT_EQ(by_id.size(), 2u);
+  EXPECT_NE(by_id["late"].find("\"error\":\"deadline exceeded\""),
+            std::string::npos)
+      << by_id["late"];
+  EXPECT_NE(by_id["fine"].find("\"label\":"), std::string::npos)
+      << by_id["fine"];
+
+  ::close(fd);
+  server.Stop();
+  serving.join();
+  ServeStats stats = server.stats();
+  EXPECT_EQ(stats.requests, 3);
+  EXPECT_EQ(stats.deadline_expired, 1);
+  // The expired request was never part of an inference batch.
+  EXPECT_EQ(stats.batched_requests, 2);
+  EXPECT_EQ(stats.responses, 2);
+}
+
+// Overload eviction: when the queue is full, the newest request of the
+// connection with the most queued requests is evicted — not the incoming
+// arrival regardless of source (pre-PR tail-drop would punish the
+// well-behaved second connection for the first one's flood).
+TEST(InferenceServerTest, OverloadEvictsFromMostLoadedConnection) {
+  const ServingEnvironment& env = ServingEnvironment::Get();
+  ModelRegistry registry;
+  registry.Register("default",
+                    std::make_shared<InferenceSession>(env.frozen()));
+  ServerOptions options;
+  options.tcp_port = 0;
+  options.max_batch = 64;        // keep everything queued until the timer
+  options.batch_timeout_ms = 500;
+  options.max_queue = 4;
+  InferenceServer server(&registry, options);
+  ASSERT_TRUE(server.Start().ok());
+  std::thread serving([&] { server.Serve(); });
+  int flood_fd = ConnectLoopback(server.port());
+  int victim_fd = ConnectLoopback(server.port());
+  ASSERT_GE(flood_fd, 0);
+  ASSERT_GE(victim_fd, 0);
+
+  // Sync with the batcher (fresh 500ms wait after this response).
+  std::string warm = "{\"id\": \"w\", \"node\": 0}\n";
+  ASSERT_TRUE(SendAll(flood_fd, warm.data(), warm.size()));
+  ASSERT_EQ(RecvLines(flood_fd, 1).size(), 1u);
+
+  // The flooding connection fills the whole queue...
+  std::string flood;
+  for (int i = 0; i < 4; ++i) {
+    flood += "{\"id\": \"f" + std::to_string(i) + "\", \"node\": 0}\n";
+  }
+  ASSERT_TRUE(SendAll(flood_fd, flood.data(), flood.size()));
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  // ...and the late arrival from a quiet connection still gets served,
+  // displacing the flooder's newest request.
+  std::string polite = "{\"id\": \"v\", \"node\": 1}\n";
+  ASSERT_TRUE(SendAll(victim_fd, polite.data(), polite.size()));
+
+  auto flood_responses = ById(RecvLines(flood_fd, 4));
+  auto polite_responses = ById(RecvLines(victim_fd, 1));
+  ASSERT_EQ(flood_responses.size(), 4u);
+  ASSERT_EQ(polite_responses.size(), 1u);
+  EXPECT_NE(polite_responses["v"].find("\"label\":"), std::string::npos)
+      << polite_responses["v"];
+  EXPECT_NE(flood_responses["f3"].find("\"error\":\"overloaded\""),
+            std::string::npos)
+      << flood_responses["f3"];
+  for (int i = 0; i < 3; ++i) {
+    std::string id = "f" + std::to_string(i);
+    EXPECT_NE(flood_responses[id].find("\"label\":"), std::string::npos)
+        << flood_responses[id];
+  }
+
+  ::close(flood_fd);
+  ::close(victim_fd);
+  server.Stop();
+  serving.join();
+  ServeStats stats = server.stats();
+  EXPECT_EQ(stats.shed, 1);
+  EXPECT_EQ(stats.responses, 5);  // warm + f0..f2 + v
+}
+
+// --- connection lifecycle hardening -----------------------------------------
+
+// A long-running server must not accumulate one fd (and one zombie reader
+// thread) per past connection: disconnected connections are pruned, their
+// fds closed, their reader threads reaped.
+TEST(InferenceServerTest, FdCountStableAcrossConnectionChurn) {
+  const ServingEnvironment& env = ServingEnvironment::Get();
+  ModelRegistry registry;
+  registry.Register("default",
+                    std::make_shared<InferenceSession>(env.frozen()));
+  ServerOptions options;
+  options.tcp_port = 0;
+  options.max_batch = 4;
+  options.batch_timeout_ms = 2;
+  InferenceServer server(&registry, options);
+  ASSERT_TRUE(server.Start().ok());
+  std::thread serving([&] { server.Serve(); });
+
+  auto cycle = [&] {
+    int fd = ConnectLoopback(server.port());
+    ASSERT_GE(fd, 0);
+    std::string line = "{\"node\": 0}\n";
+    ASSERT_TRUE(SendAll(fd, line.data(), line.size()));
+    ASSERT_EQ(RecvLines(fd, 1).size(), 1u);
+    ::close(fd);
+  };
+  cycle();  // settle one-time allocations before taking the baseline
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  int baseline = CountOpenFds();
+  ASSERT_GT(baseline, 0);
+
+  for (int i = 0; i < 100; ++i) cycle();
+
+  // Reaping runs on the accept loop (<=100ms cadence); give it a moment.
+  int settled = -1;
+  for (int waited = 0; waited < 100; ++waited) {
+    settled = CountOpenFds();
+    if (settled <= baseline + 2) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  EXPECT_LE(settled, baseline + 2)
+      << "fds leaked across connect/disconnect cycles (baseline "
+      << baseline << ")";
+
+  server.Stop();
+  serving.join();
+  EXPECT_EQ(server.stats().connections, 101);
+}
+
+// A client streaming bytes with no newline must not grow the read buffer
+// without limit: at max_line_bytes it gets a malformed-request error and
+// the connection is dropped.
+TEST(InferenceServerTest, OverlongLineGetsErrorAndDropsConnection) {
+  const ServingEnvironment& env = ServingEnvironment::Get();
+  ModelRegistry registry;
+  registry.Register("default",
+                    std::make_shared<InferenceSession>(env.frozen()));
+  ServerOptions options;
+  options.tcp_port = 0;
+  options.max_line_bytes = 512;
+  InferenceServer server(&registry, options);
+  ASSERT_TRUE(server.Start().ok());
+  std::thread serving([&] { server.Serve(); });
+  int fd = ConnectLoopback(server.port());
+  ASSERT_GE(fd, 0);
+
+  std::string endless(4096, 'a');  // no newline anywhere
+  ASSERT_TRUE(SendAll(fd, endless.data(), endless.size()));
+  std::vector<std::string> lines = RecvLines(fd, 1);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("\"error\":"), std::string::npos) << lines[0];
+  EXPECT_NE(lines[0].find("exceeds 512 bytes"), std::string::npos)
+      << lines[0];
+  // The server hung up: recv drains to EOF instead of blocking forever.
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+  }
+  EXPECT_EQ(n, 0) << "connection was not dropped";
+  ::close(fd);
+
+  server.Stop();
+  serving.join();
+  ServeStats stats = server.stats();
+  EXPECT_EQ(stats.overlong_lines, 1);
+  EXPECT_EQ(stats.requests, 0);
 }
 
 }  // namespace
