@@ -74,6 +74,8 @@ const std::vector<Flags::Spec>& FlagTable() {
       {"max_line_bytes", Type::kInt},
       {"num_threads", Type::kInt},
       {"metrics_out", Type::kString},
+      {"no_compile", Type::kBool},
+      {"dump_ir", Type::kBool},
       {"client", Type::kBool},
       {"nodes", Type::kString},
       {"model_name", Type::kString},
@@ -94,6 +96,10 @@ void PrintUsage() {
       "                          connection\n"
       "  [--num_threads=N]       forward-pass threads (0 = default)\n"
       "  [--metrics_out=PATH]    JSONL telemetry (latency, batch occupancy)\n"
+      "  [--no_compile]          skip the graph compiler; run every forward\n"
+      "                          through the interpreted tape-free path\n"
+      "  [--dump_ir]             print each compiled model's IR + arena\n"
+      "                          plan after (re)load\n"
       "requests may carry \"model\" (routes by registry name) and\n"
       "\"deadline_ms\" (expired-in-queue requests get a distinct error).\n"
       "SIGHUP re-reads the artifact set (fingerprint-unchanged artifacts\n"
@@ -216,7 +222,26 @@ void PrintModelTable(const ModelRegistry& registry) {
   }
 }
 
-void HandleSighupReload(ModelRegistry* registry) {
+/// --dump_ir: per hosted model, the compiled IR listing + arena plan, or a
+/// note when the session runs interpreted (--no_compile, or the capture had
+/// an op without a replay kernel).
+void DumpCompiledIr(const ModelRegistry& registry) {
+  for (const ModelRegistry::ModelInfo& info : registry.Models()) {
+    std::shared_ptr<InferenceSession> session = registry.Lookup(info.name);
+    if (session == nullptr) continue;
+    const compiler::CompiledGraph* compiled = session->compiled_graph();
+    if (compiled == nullptr) {
+      std::printf("--- %s: not compiled (interpreted forward) ---\n",
+                  info.name.c_str());
+      continue;
+    }
+    std::printf("--- %s: compiled forward ---\n%s", info.name.c_str(),
+                compiled->Dump().c_str());
+  }
+  std::fflush(stdout);
+}
+
+void HandleSighupReload(ModelRegistry* registry, bool dump_ir) {
   std::printf("SIGHUP: re-reading artifact set\n");
   StatusOr<ModelRegistry::ReloadReport> report = registry->Reload();
   if (!report.ok()) {
@@ -243,6 +268,7 @@ void HandleSighupReload(ModelRegistry* registry) {
       join(r.unchanged).c_str(), r.removed.size(), join(r.removed).c_str());
   PrintModelTable(*registry);
   std::fflush(stdout);
+  if (dump_ir) DumpCompiledIr(*registry);
 }
 
 int Run(int argc, char** argv) {
@@ -279,6 +305,10 @@ int Run(int argc, char** argv) {
   InitTelemetryFromFlag(flags.GetString("metrics_out", ""));
 
   ModelRegistry registry;
+  InferenceSession::Options session_options;
+  session_options.compile = !flags.GetBool("no_compile", false);
+  registry.set_session_options(session_options);
+  const bool dump_ir = flags.GetBool("dump_ir", false);
   // Single-artifact mode is multi-model mode with one entry named
   // "default"; the wire protocol is unchanged (requests without "model"
   // route to it).
@@ -289,6 +319,7 @@ int Run(int argc, char** argv) {
     return 1;
   }
   PrintModelTable(registry);
+  if (dump_ir) DumpCompiledIr(registry);
   {
     std::shared_ptr<InferenceSession> session = registry.Lookup("");
     std::printf("serving %lld models; default \"%s\": %lld target nodes, "
@@ -312,10 +343,10 @@ int Run(int argc, char** argv) {
   options.max_queue = flags.GetInt("max_queue", options.max_queue);
   options.max_line_bytes =
       flags.GetInt("max_line_bytes", options.max_line_bytes);
-  options.poll_hook = [&registry] {
+  options.poll_hook = [&registry, dump_ir] {
     if (!g_sighup_pending) return;
     g_sighup_pending = 0;
-    HandleSighupReload(&registry);
+    HandleSighupReload(&registry, dump_ir);
   };
 
   InferenceServer server(&registry, options);

@@ -24,7 +24,7 @@ import sys
 
 
 def load_run(path):
-    """Returns (context dict or None, {bench_name: wall_time_ns})."""
+    """Returns (context dict or None, {bench_name: full bench record})."""
     context = None
     benches = {}
     with open(path) as f:
@@ -36,8 +36,35 @@ def load_run(path):
             if record.get("type") == "bench_context":
                 context = record
             elif record.get("type") == "bench":
-                benches[record["name"]] = record["wall_time_ns"]
+                benches[record["name"]] = record
     return context, benches
+
+
+def check_alloc_gate(alloc_gate, benches, run_path, failures):
+    """Applies the baseline's alloc_gate: {benchmark family: max allocs}.
+
+    The gate reads the tensor_allocs_per_iter counter the benchmarks attach
+    (heap tensor buffers per timed iteration). Unlike wall time it is
+    hardware-independent, so it runs even when the hardware fingerprint
+    does not match the baseline. Returns the number of comparisons made.
+    """
+    compared = 0
+    for name, record in sorted(benches.items()):
+        allocs = record.get("tensor_allocs_per_iter")
+        if allocs is None:
+            continue
+        family = name.split("/")[0]
+        max_allocs = alloc_gate.get(family)
+        if max_allocs is None:
+            continue
+        compared += 1
+        status = "FAIL" if allocs > max_allocs else "ok"
+        print(f"{status:4} {name}: {allocs:.1f} tensor allocs/iter "
+              f"(gate: <= {max_allocs})")
+        if allocs > max_allocs:
+            failures.append(
+                (run_path, f"{name} allocs", f"{allocs:.1f} > {max_allocs}"))
+    return compared
 
 
 def baseline_lookup(baseline):
@@ -62,19 +89,23 @@ def main():
         baseline = json.load(f)
     flat_baseline = baseline_lookup(baseline)
     baseline_cpus = baseline.get("context", {}).get("num_cpus")
+    alloc_gate = baseline.get("alloc_gate", {})
 
     failures = []
     compared = 0
     for run_path in args.runs:
         context, benches = load_run(run_path)
+        compared += check_alloc_gate(alloc_gate, benches, run_path, failures)
         run_cpus = context.get("num_cpus") if context else None
         if baseline_cpus is not None and run_cpus != baseline_cpus:
             print(f"SKIP {run_path}: hardware mismatch with baseline "
                   f"(baseline num_cpus={baseline_cpus}, run "
                   f"num_cpus={run_cpus}); see hardware_note in "
-                  f"{args.baseline} — wall-time gate not applicable.")
+                  f"{args.baseline} — wall-time gate not applicable "
+                  f"(the allocation gate above still is).")
             continue
-        for name, wall_ns in sorted(benches.items()):
+        for name, record in sorted(benches.items()):
+            wall_ns = record["wall_time_ns"]
             base_ns = flat_baseline.get(name)
             if base_ns is None:
                 continue
@@ -84,13 +115,12 @@ def main():
             print(f"{status:4} {name}: {wall_ns:12.1f} ns vs baseline "
                   f"{base_ns:12.1f} ns ({ratio:.2f}x)")
             if ratio > args.max_ratio:
-                failures.append((run_path, name, ratio))
+                failures.append((run_path, name, f"{ratio:.2f}x"))
 
     if failures:
-        print(f"\n{len(failures)} benchmark(s) regressed beyond "
-              f"{args.max_ratio}x:")
-        for run_path, name, ratio in failures:
-            print(f"  {name} ({ratio:.2f}x) in {run_path}")
+        print(f"\n{len(failures)} gate failure(s):")
+        for run_path, name, detail in failures:
+            print(f"  {name} ({detail}) in {run_path}")
         return 1
     if compared:
         print(f"\nbench gate passed: {compared} comparison(s) within "

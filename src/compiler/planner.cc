@@ -1,0 +1,186 @@
+#include "compiler/planner.h"
+
+#include <algorithm>
+#include <climits>
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "util/check.h"
+
+namespace autoac::compiler {
+
+namespace {
+
+/// last_use[v] = index of the last node reading v (INT_MAX for graph
+/// outputs, -1 for values never read).
+std::vector<int> ComputeLastUse(const ir::Graph& g) {
+  std::vector<int> last_use(g.values.size(), -1);
+  for (size_t i = 0; i < g.nodes.size(); ++i) {
+    for (int32_t in : g.nodes[i].inputs) last_use[in] = static_cast<int>(i);
+  }
+  for (int32_t o : g.outputs) last_use[o] = INT_MAX;
+  return last_use;
+}
+
+std::vector<char> OutputMask(const ir::Graph& g) {
+  std::vector<char> is_output(g.values.size(), 0);
+  for (int32_t o : g.outputs) is_output[o] = 1;
+  return is_output;
+}
+
+}  // namespace
+
+int64_t MemoryPlan::ArenaFloats() const {
+  int64_t total = scratch_capacity;
+  for (int64_t c : slot_capacity) total += c;
+  return total;
+}
+
+std::string MemoryPlan::Dump(const ir::Graph& g) const {
+  std::ostringstream out;
+  out << "arena: " << slot_capacity.size() << " slots, " << ArenaFloats()
+      << " floats (scratch " << scratch_capacity << ")\n";
+  for (size_t s = 0; s < slot_capacity.size(); ++s) {
+    out << "slot " << s << ": " << slot_capacity[s] << " floats:";
+    for (size_t v = 0; v < slot_of_value.size(); ++v) {
+      if (slot_of_value[v] == static_cast<int32_t>(s)) {
+        out << " v" << v << "(" << g.values[v].name << ")";
+      }
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+MemoryPlan PlanMemory(const ir::Graph& g) {
+  MemoryPlan plan;
+  plan.slot_of_value.assign(g.values.size(), -1);
+  std::vector<int> last_use = ComputeLastUse(g);
+  std::vector<char> is_output = OutputMask(g);
+  std::vector<int32_t> free_slots;
+
+  for (size_t i = 0; i < g.nodes.size(); ++i) {
+    const ir::Node& n = g.nodes[i];
+    plan.scratch_capacity = std::max(plan.scratch_capacity, n.scratch_numel);
+
+    if (!is_output[n.out]) {
+      int64_t need = g.values[n.out].numel();
+      if (n.inplace) {
+        // Ownership handoff: the output takes over its first input's slot
+        // (MarkInPlace guarantees equal numel and that this node is the
+        // input's final consumer).
+        int32_t s = plan.slot_of_value[n.inputs[0]];
+        AUTOAC_CHECK_GE(s, 0) << "inplace node whose input has no slot";
+        plan.slot_of_value[n.out] = s;
+      } else {
+        // Best fit: smallest free slot that already holds the value; if
+        // none fits, grow the largest free slot; if none free, a new slot.
+        int best = -1;
+        int largest = -1;
+        for (size_t f = 0; f < free_slots.size(); ++f) {
+          int32_t s = free_slots[f];
+          if (largest < 0 ||
+              plan.slot_capacity[s] > plan.slot_capacity[free_slots[largest]]) {
+            largest = static_cast<int>(f);
+          }
+          if (plan.slot_capacity[s] >= need &&
+              (best < 0 ||
+               plan.slot_capacity[s] < plan.slot_capacity[free_slots[best]])) {
+            best = static_cast<int>(f);
+          }
+        }
+        int chosen = best >= 0 ? best : largest;
+        int32_t slot;
+        if (chosen >= 0) {
+          slot = free_slots[chosen];
+          free_slots.erase(free_slots.begin() + chosen);
+          plan.slot_capacity[slot] = std::max(plan.slot_capacity[slot], need);
+        } else {
+          slot = static_cast<int32_t>(plan.slot_capacity.size());
+          plan.slot_capacity.push_back(need);
+        }
+        plan.slot_of_value[n.out] = slot;
+      }
+    }
+
+    // Release slots whose value dies at this node. Dedup (a value may
+    // appear twice in one input list); skip the inplace handoff input —
+    // its slot now belongs to the output.
+    for (size_t j = 0; j < n.inputs.size(); ++j) {
+      int32_t in = n.inputs[j];
+      bool seen = false;
+      for (size_t p = 0; p < j; ++p) seen = seen || n.inputs[p] == in;
+      if (seen) continue;
+      if (n.inplace && j == 0) continue;
+      int32_t s = plan.slot_of_value[in];
+      if (s < 0 || last_use[in] != static_cast<int>(i)) continue;
+      free_slots.push_back(s);
+    }
+  }
+  return plan;
+}
+
+Status VerifyPlan(const ir::Graph& g, const MemoryPlan& plan) {
+  if (plan.slot_of_value.size() != g.values.size()) {
+    return Status::Error("plan covers a different value count than the graph");
+  }
+  std::vector<int> last_use = ComputeLastUse(g);
+  std::vector<char> is_output = OutputMask(g);
+
+  for (size_t v = 0; v < g.values.size(); ++v) {
+    const ir::Value& val = g.values[v];
+    int32_t s = plan.slot_of_value[v];
+    bool is_intermediate =
+        val.kind == ir::ValueKind::kIntermediate && !is_output[v];
+    if (is_intermediate && val.def >= 0) {
+      if (s < 0) {
+        return Status::Error("intermediate v" + std::to_string(v) +
+                             " has no arena slot");
+      }
+      if (plan.slot_capacity[s] < val.numel()) {
+        return Status::Error("slot " + std::to_string(s) +
+                             " too small for v" + std::to_string(v));
+      }
+      if (g.nodes[val.def].scratch_numel > plan.scratch_capacity) {
+        return Status::Error("scratch capacity below node requirement");
+      }
+    } else if (s >= 0) {
+      return Status::Error("non-intermediate v" + std::to_string(v) +
+                           " was assigned a slot");
+    }
+  }
+
+  // Per slot, live ranges [def, last_use] must be disjoint, except an
+  // inplace handoff where the next value's defining node is exactly the
+  // previous value's last use and aliases it as input 0.
+  std::map<int32_t, std::vector<int32_t>> values_of_slot;
+  for (size_t v = 0; v < g.values.size(); ++v) {
+    if (plan.slot_of_value[v] >= 0 && g.values[v].def >= 0) {
+      values_of_slot[plan.slot_of_value[v]].push_back(static_cast<int32_t>(v));
+    }
+  }
+  for (auto& [slot, vals] : values_of_slot) {
+    std::sort(vals.begin(), vals.end(), [&](int32_t a, int32_t b) {
+      return g.values[a].def < g.values[b].def;
+    });
+    for (size_t j = 0; j + 1 < vals.size(); ++j) {
+      int32_t a = vals[j];
+      int32_t b = vals[j + 1];
+      int end_a = std::max(last_use[a], g.values[a].def);
+      int def_b = g.values[b].def;
+      if (end_a < def_b) continue;
+      const ir::Node& nb = g.nodes[def_b];
+      bool handoff = end_a == def_b && nb.inplace && !nb.inputs.empty() &&
+                     nb.inputs[0] == a;
+      if (!handoff) {
+        return Status::Error("slot " + std::to_string(slot) +
+                             " hosts overlapping values v" + std::to_string(a) +
+                             " and v" + std::to_string(b));
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace autoac::compiler

@@ -1,0 +1,48 @@
+#ifndef AUTOAC_COMPILER_PLANNER_H_
+#define AUTOAC_COMPILER_PLANNER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/graph_ir.h"
+#include "util/status.h"
+
+// Arena memory planner (DESIGN.md §11): assigns every intermediate IR value
+// a slot in a small preplanned buffer pool, sized by liveness analysis, so
+// the compiled forward runs with zero heap tensor allocations in steady
+// state. Graph outputs are excluded — they live in the caller's tensor.
+
+namespace autoac::compiler {
+
+struct MemoryPlan {
+  /// Capacity of each arena slot, in floats. A slot hosts one live value at
+  /// a time; its capacity is the max numel over every value it hosts.
+  std::vector<int64_t> slot_capacity;
+  /// Arena slot per value id, -1 for consts, inputs, and graph outputs.
+  std::vector<int32_t> slot_of_value;
+  /// Shared kernel workspace, sized to the largest Node::scratch_numel.
+  int64_t scratch_capacity = 0;
+
+  /// Total floats the arena holds (slots + scratch).
+  int64_t ArenaFloats() const;
+  /// One line per slot: capacity and the values it hosts.
+  std::string Dump(const ir::Graph& g) const;
+};
+
+/// Greedy liveness-driven slot coloring over the node list in execution
+/// order. A value's slot is released after its last consuming node runs;
+/// nodes marked inplace hand their first input's slot directly to their
+/// output. Slot choice is best-fit (smallest free slot that holds the
+/// value), growing the largest free slot when none fits.
+MemoryPlan PlanMemory(const ir::Graph& g);
+
+/// Structural validation, used by the planner fuzz test: every intermediate
+/// has a slot with sufficient capacity, consts/inputs/outputs have none, and
+/// no two values with overlapping live ranges share a slot (except an
+/// explicit inplace handoff at the defining node).
+Status VerifyPlan(const ir::Graph& g, const MemoryPlan& plan);
+
+}  // namespace autoac::compiler
+
+#endif  // AUTOAC_COMPILER_PLANNER_H_

@@ -2,10 +2,16 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 
 #include "tensor/op_helpers.h"
 #include "util/parallel.h"
 #include "util/profiler.h"
+
+// See ops_core.cc for the kernel-recording structure shared by all ops.
+// Sparse replay kernels capture the SpMatPtr by value; the same pointer is
+// exposed to the compiler through Attrs::handle (type-erased) so the fusion
+// pass can rebuild fused kernels around the same matrix.
 
 namespace autoac {
 
@@ -22,11 +28,11 @@ int64_t SparseRowGrain(const Csr& csr, int64_t d) {
   return GrainForRows(avg_row_work);
 }
 
-/// Shared CSR × dense kernel: out[i, :] (+)= sum_k values[k] * x[indices[k], :]
+/// Shared CSR × dense kernel: out[i, :] = sum_k values[k] * x[indices[k], :]
 /// over row i's nonzeros. Row-partitioned: each chunk owns a disjoint span of
-/// output rows. Empty rows are skipped outright (out is already
-/// zero-initialized), and the first nonzero of a row assigns instead of
-/// accumulating, so the zeroed row is never re-read.
+/// output rows. Empty rows are zero-filled explicitly and the first nonzero
+/// of a row assigns instead of accumulating, so `out` may hold garbage on
+/// entry (the arena executor recycles buffers).
 void SpMMKernel(const Csr& csr, const float* x, float* out, int64_t d) {
   const int64_t* indptr = csr.indptr.data();
   const int64_t* indices = csr.indices.data();
@@ -36,8 +42,11 @@ void SpMMKernel(const Csr& csr, const float* x, float* out, int64_t d) {
                 for (int64_t i = row_begin; i < row_end; ++i) {
                   int64_t begin = indptr[i];
                   int64_t end = indptr[i + 1];
-                  if (begin == end) continue;
                   float* orow = out + i * d;
+                  if (begin == end) {
+                    std::fill(orow, orow + d, 0.0f);
+                    continue;
+                  }
                   {
                     float w = values[begin];
                     const float* xrow = x + indices[begin] * d;
@@ -54,6 +63,58 @@ void SpMMKernel(const Csr& csr, const float* x, float* out, int64_t d) {
 
 }  // namespace
 
+namespace internal {
+
+ir::Kernel MakeFusedSpmmKernel(SpMatPtr a, bool has_bias, Act act, int64_t d) {
+  return [a = std::move(a), has_bias, act, d](const Tensor* const* ins,
+                                              Tensor& out, float* /*scratch*/) {
+    AUTOAC_PROFILE_SCOPE("fused_spmm.forward");
+    const Csr& csr = a->forward();
+    const float* x = ins[0]->data();
+    const float* b = has_bias ? ins[1]->data() : nullptr;
+    float* po = out.data();
+    const int64_t* indptr = csr.indptr.data();
+    const int64_t* indices = csr.indices.data();
+    const float* values = csr.values.data();
+    // Row-partitioned like SpMMKernel. Each row finishes its sparse
+    // accumulation before the bias add; the activation runs last — every
+    // float op matches the unfused SpMM -> AddBias -> act chain, including
+    // the `0.0f + b[j]` an empty row sees through AddBias.
+    ParallelFor(0, csr.num_rows, SparseRowGrain(csr, d),
+                [=](int64_t row_begin, int64_t row_end) {
+                  for (int64_t i = row_begin; i < row_end; ++i) {
+                    int64_t begin = indptr[i];
+                    int64_t end = indptr[i + 1];
+                    float* orow = po + i * d;
+                    if (begin == end) {
+                      std::fill(orow, orow + d, 0.0f);
+                    } else {
+                      {
+                        float w = values[begin];
+                        const float* xrow = x + indices[begin] * d;
+                        for (int64_t j = 0; j < d; ++j) orow[j] = w * xrow[j];
+                      }
+                      for (int64_t k = begin + 1; k < end; ++k) {
+                        float w = values[k];
+                        const float* xrow = x + indices[k] * d;
+                        for (int64_t j = 0; j < d; ++j) orow[j] += w * xrow[j];
+                      }
+                    }
+                    if (b != nullptr) {
+                      for (int64_t j = 0; j < d; ++j) orow[j] = orow[j] + b[j];
+                    }
+                    if (act != Act::kNone) {
+                      for (int64_t j = 0; j < d; ++j) {
+                        orow[j] = ApplyAct(act, orow[j]);
+                      }
+                    }
+                  }
+                });
+  };
+}
+
+}  // namespace internal
+
 VarPtr SpMM(const SpMatPtr& a, const VarPtr& x) {
   AUTOAC_CHECK(a != nullptr);
   AUTOAC_CHECK_EQ(x->value.dim(), 2);
@@ -62,37 +123,49 @@ VarPtr SpMM(const SpMatPtr& a, const VarPtr& x) {
   int64_t m = csr.num_rows;
   int64_t d = x->value.cols();
   Tensor out(m, d);
-  {
+  auto kernel = [a, d](const Tensor* const* ins, Tensor& out,
+                       float* /*scratch*/) {
     AUTOAC_PROFILE_SCOPE("spmm.forward");
-    SpMMKernel(csr, x->value.data(), out.data(), d);
+    SpMMKernel(a->forward(), ins[0]->data(), out.data(), d);
+  };
+  {
+    const Tensor* ins[] = {&x->value};
+    kernel(ins, out, nullptr);
   }
-  return MakeOp("SpMM", std::move(out), {x}, [a, d](Variable& self) {
-    if (!NeedsGrad(self.parents[0])) return;
-    AUTOAC_PROFILE_SCOPE("spmm.backward");
-    // dX = A^T dY, computed with the cached transpose. Unlike the forward,
-    // this must accumulate (gx may already hold gradient from other ops),
-    // so there is no first-nonzero assign shortcut here.
-    const Csr& csr_t = a->backward();
-    float* gx = self.parents[0]->EnsureGrad().data();
-    const float* g = self.grad.data();
-    const int64_t* indptr = csr_t.indptr.data();
-    const int64_t* indices = csr_t.indices.data();
-    const float* values = csr_t.values.data();
-    ParallelFor(0, csr_t.num_rows, SparseRowGrain(csr_t, d),
-                [=](int64_t row_begin, int64_t row_end) {
-                  for (int64_t i = row_begin; i < row_end; ++i) {
-                    int64_t begin = indptr[i];
-                    int64_t end = indptr[i + 1];
-                    if (begin == end) continue;
-                    float* gxrow = gx + i * d;
-                    for (int64_t k = begin; k < end; ++k) {
-                      float w = values[k];
-                      const float* grow = g + indices[k] * d;
-                      for (int64_t j = 0; j < d; ++j) gxrow[j] += w * grow[j];
-                    }
-                  }
-                });
-  });
+  internal::OpExtra extra;
+  extra.attrs.handle = a;
+  return MakeOp(
+      "SpMM", std::move(out), {x},
+      [a, d](Variable& self) {
+        if (!NeedsGrad(self.parents[0])) return;
+        AUTOAC_PROFILE_SCOPE("spmm.backward");
+        // dX = A^T dY, computed with the cached transpose. Unlike the
+        // forward, this must accumulate (gx may already hold gradient from
+        // other ops), so there is no first-nonzero assign shortcut here.
+        const Csr& csr_t = a->backward();
+        float* gx = self.parents[0]->EnsureGrad().data();
+        const float* g = self.grad.data();
+        const int64_t* indptr = csr_t.indptr.data();
+        const int64_t* indices = csr_t.indices.data();
+        const float* values = csr_t.values.data();
+        ParallelFor(0, csr_t.num_rows, SparseRowGrain(csr_t, d),
+                    [=](int64_t row_begin, int64_t row_end) {
+                      for (int64_t i = row_begin; i < row_end; ++i) {
+                        int64_t begin = indptr[i];
+                        int64_t end = indptr[i + 1];
+                        if (begin == end) continue;
+                        float* gxrow = gx + i * d;
+                        for (int64_t k = begin; k < end; ++k) {
+                          float w = values[k];
+                          const float* grow = g + indices[k] * d;
+                          for (int64_t j = 0; j < d; ++j) {
+                            gxrow[j] += w * grow[j];
+                          }
+                        }
+                      }
+                    });
+      },
+      kernel, std::move(extra));
 }
 
 VarPtr EdgeSoftmaxAggregate(const SpMatPtr& a, const VarPtr& logits,
@@ -108,22 +181,27 @@ VarPtr EdgeSoftmaxAggregate(const SpMatPtr& a, const VarPtr& logits,
   int64_t d = h->value.cols();
   Tensor out(m, d);
   // Per-edge attention weights after the row-wise softmax; cached for the
-  // backward pass. Each destination row owns a disjoint slice of the edge
-  // array, so the forward is row-partitioned with no shared writes.
+  // backward pass. On replay the weights land in the node's scratch buffer
+  // instead (scratch_numel = nnz). Each destination row owns a disjoint
+  // slice of the edge array, so the forward is row-partitioned with no
+  // shared writes.
   std::vector<float> attention(csr.nnz());
-  {
+  auto kernel = [a, d](const Tensor* const* ins, Tensor& out, float* scratch) {
     AUTOAC_PROFILE_SCOPE("edge_softmax.forward");
-    const float* pl = logits->value.data();
-    const float* ph = h->value.data();
+    const Csr& csr = a->forward();
+    const float* pl = ins[0]->data();
+    const float* ph = ins[1]->data();
     float* po = out.data();
-    float* pattn = attention.data();
+    float* pattn = scratch;
     const int64_t* indptr = csr.indptr.data();
     const int64_t* indices = csr.indices.data();
-    ParallelFor(0, m, SparseRowGrain(csr, d + 2),
+    ParallelFor(0, csr.num_rows, SparseRowGrain(csr, d + 2),
                 [=](int64_t row_begin, int64_t row_end) {
                   for (int64_t i = row_begin; i < row_end; ++i) {
                     int64_t begin = indptr[i];
                     int64_t end = indptr[i + 1];
+                    float* orow = po + i * d;
+                    std::fill(orow, orow + d, 0.0f);
                     if (begin == end) continue;
                     float max_logit = pl[begin];
                     for (int64_t k = begin + 1; k < end; ++k) {
@@ -135,7 +213,6 @@ VarPtr EdgeSoftmaxAggregate(const SpMatPtr& a, const VarPtr& logits,
                       sum += pattn[k];
                     }
                     float inv = 1.0f / sum;
-                    float* orow = po + i * d;
                     for (int64_t k = begin; k < end; ++k) {
                       pattn[k] *= inv;
                       const float* hrow = ph + indices[k] * d;
@@ -144,7 +221,14 @@ VarPtr EdgeSoftmaxAggregate(const SpMatPtr& a, const VarPtr& logits,
                     }
                   }
                 });
+  };
+  {
+    const Tensor* ins[] = {&logits->value, &h->value};
+    kernel(ins, out, attention.data());
   }
+  internal::OpExtra extra;
+  extra.attrs.handle = a;
+  extra.scratch_numel = csr.nnz();
   return MakeOp(
       "EdgeSoftmaxAggregate", std::move(out), {logits, h},
       [a, d, attention = std::move(attention)](Variable& self) {
@@ -213,7 +297,8 @@ VarPtr EdgeSoftmaxAggregate(const SpMatPtr& a, const VarPtr& logits,
                 }
               });
         }
-      });
+      },
+      kernel, std::move(extra));
 }
 
 VarPtr GatherEdgeSrc(const SpMatPtr& a, const VarPtr& x) {
@@ -221,35 +306,46 @@ VarPtr GatherEdgeSrc(const SpMatPtr& a, const VarPtr& x) {
   AUTOAC_CHECK_EQ(x->value.dim(), 1);
   AUTOAC_CHECK_EQ(x->value.numel(), csr.num_cols);
   Tensor out({csr.nnz()});
-  {
+  auto kernel = [a](const Tensor* const* ins, Tensor& out, float* /*scratch*/) {
     AUTOAC_PROFILE_SCOPE("gather_edge_src.forward");
-    const float* px = x->value.data();
+    const Csr& csr = a->forward();
+    const float* px = ins[0]->data();
     float* po = out.data();
     const int64_t* indices = csr.indices.data();
     ParallelFor(0, csr.nnz(), kElementwiseGrain, [=](int64_t lo, int64_t hi) {
       for (int64_t k = lo; k < hi; ++k) po[k] = px[indices[k]];
     });
+  };
+  {
+    const Tensor* ins[] = {&x->value};
+    kernel(ins, out, nullptr);
   }
-  return MakeOp("GatherEdgeSrc", std::move(out), {x}, [a](Variable& self) {
-    if (!NeedsGrad(self.parents[0])) return;
-    AUTOAC_PROFILE_SCOPE("gather_edge_src.backward");
-    // Partitioned over the rows of A^T so each chunk owns a disjoint span of
-    // gx; per-source accumulation order (ascending forward slot) matches the
-    // serial edge sweep.
-    const Csr& csr_t = a->backward();
-    float* gx = self.parents[0]->EnsureGrad().data();
-    const float* g = self.grad.data();
-    const int64_t* t_indptr = csr_t.indptr.data();
-    const int64_t* t2f = a->backward_to_forward().data();
-    ParallelFor(0, csr_t.num_rows, SparseRowGrain(csr_t, 1),
-                [=](int64_t src_begin, int64_t src_end) {
-                  for (int64_t s = src_begin; s < src_end; ++s) {
-                    for (int64_t k = t_indptr[s]; k < t_indptr[s + 1]; ++k) {
-                      gx[s] += g[t2f[k]];
-                    }
-                  }
-                });
-  });
+  internal::OpExtra extra;
+  extra.attrs.handle = a;
+  return MakeOp(
+      "GatherEdgeSrc", std::move(out), {x},
+      [a](Variable& self) {
+        if (!NeedsGrad(self.parents[0])) return;
+        AUTOAC_PROFILE_SCOPE("gather_edge_src.backward");
+        // Partitioned over the rows of A^T so each chunk owns a disjoint
+        // span of gx; per-source accumulation order (ascending forward slot)
+        // matches the serial edge sweep.
+        const Csr& csr_t = a->backward();
+        float* gx = self.parents[0]->EnsureGrad().data();
+        const float* g = self.grad.data();
+        const int64_t* t_indptr = csr_t.indptr.data();
+        const int64_t* t2f = a->backward_to_forward().data();
+        ParallelFor(0, csr_t.num_rows, SparseRowGrain(csr_t, 1),
+                    [=](int64_t src_begin, int64_t src_end) {
+                      for (int64_t s = src_begin; s < src_end; ++s) {
+                        for (int64_t k = t_indptr[s]; k < t_indptr[s + 1];
+                             ++k) {
+                          gx[s] += g[t2f[k]];
+                        }
+                      }
+                    });
+      },
+      kernel, std::move(extra));
 }
 
 VarPtr GatherEdgeDst(const SpMatPtr& a, const VarPtr& x) {
@@ -257,9 +353,10 @@ VarPtr GatherEdgeDst(const SpMatPtr& a, const VarPtr& x) {
   AUTOAC_CHECK_EQ(x->value.dim(), 1);
   AUTOAC_CHECK_EQ(x->value.numel(), csr.num_rows);
   Tensor out({csr.nnz()});
-  {
+  auto kernel = [a](const Tensor* const* ins, Tensor& out, float* /*scratch*/) {
     AUTOAC_PROFILE_SCOPE("gather_edge_dst.forward");
-    const float* px = x->value.data();
+    const Csr& csr = a->forward();
+    const float* px = ins[0]->data();
     float* po = out.data();
     const int64_t* indptr = csr.indptr.data();
     ParallelFor(0, csr.num_rows, SparseRowGrain(csr, 1),
@@ -270,51 +367,72 @@ VarPtr GatherEdgeDst(const SpMatPtr& a, const VarPtr& x) {
                     }
                   }
                 });
+  };
+  {
+    const Tensor* ins[] = {&x->value};
+    kernel(ins, out, nullptr);
   }
-  return MakeOp("GatherEdgeDst", std::move(out), {x}, [a](Variable& self) {
-    if (!NeedsGrad(self.parents[0])) return;
-    AUTOAC_PROFILE_SCOPE("gather_edge_dst.backward");
-    const Csr& csr = a->forward();
-    float* gx = self.parents[0]->EnsureGrad().data();
-    const float* g = self.grad.data();
-    const int64_t* indptr = csr.indptr.data();
-    ParallelFor(0, csr.num_rows, SparseRowGrain(csr, 1),
-                [=](int64_t row_begin, int64_t row_end) {
-                  for (int64_t i = row_begin; i < row_end; ++i) {
-                    for (int64_t k = indptr[i]; k < indptr[i + 1]; ++k) {
-                      gx[i] += g[k];
-                    }
-                  }
-                });
-  });
+  internal::OpExtra extra;
+  extra.attrs.handle = a;
+  return MakeOp(
+      "GatherEdgeDst", std::move(out), {x},
+      [a](Variable& self) {
+        if (!NeedsGrad(self.parents[0])) return;
+        AUTOAC_PROFILE_SCOPE("gather_edge_dst.backward");
+        const Csr& csr = a->forward();
+        float* gx = self.parents[0]->EnsureGrad().data();
+        const float* g = self.grad.data();
+        const int64_t* indptr = csr.indptr.data();
+        ParallelFor(0, csr.num_rows, SparseRowGrain(csr, 1),
+                    [=](int64_t row_begin, int64_t row_end) {
+                      for (int64_t i = row_begin; i < row_end; ++i) {
+                        for (int64_t k = indptr[i]; k < indptr[i + 1]; ++k) {
+                          gx[i] += g[k];
+                        }
+                      }
+                    });
+      },
+      kernel, std::move(extra));
 }
 
 VarPtr Gather1d(const VarPtr& x, std::vector<int64_t> ids) {
   AUTOAC_CHECK_EQ(x->value.dim(), 1);
   int64_t n = x->value.numel();
-  int64_t m = static_cast<int64_t>(ids.size());
+  auto shared_ids =
+      std::make_shared<const std::vector<int64_t>>(std::move(ids));
+  int64_t m = static_cast<int64_t>(shared_ids->size());
   Tensor out({m});
-  {
-    const float* px = x->value.data();
+  auto kernel = [shared_ids, m, n](const Tensor* const* ins, Tensor& out,
+                                   float* /*scratch*/) {
+    const float* px = ins[0]->data();
     float* po = out.data();
-    const int64_t* pids = ids.data();
+    const int64_t* pids = shared_ids->data();
     ParallelFor(0, m, kElementwiseGrain, [=](int64_t lo, int64_t hi) {
       for (int64_t i = lo; i < hi; ++i) {
         AUTOAC_DCHECK(pids[i] >= 0 && pids[i] < n);
         po[i] = px[pids[i]];
       }
     });
+  };
+  {
+    const Tensor* ins[] = {&x->value};
+    kernel(ins, out, nullptr);
   }
-  return MakeOp("Gather1d", std::move(out), {x},
-                [ids = std::move(ids)](Variable& self) {
-                  if (!NeedsGrad(self.parents[0])) return;
-                  AUTOAC_PROFILE_SCOPE("gather1d.scatter_backward");
-                  // Serial: `ids` may repeat, so the scatter-add is not
-                  // partitionable without atomics.
-                  float* gx = self.parents[0]->EnsureGrad().data();
-                  const float* g = self.grad.data();
-                  for (size_t i = 0; i < ids.size(); ++i) gx[ids[i]] += g[i];
-                });
+  internal::OpExtra extra;
+  extra.attrs.ids = shared_ids;
+  return MakeOp(
+      "Gather1d", std::move(out), {x},
+      [shared_ids](Variable& self) {
+        if (!NeedsGrad(self.parents[0])) return;
+        AUTOAC_PROFILE_SCOPE("gather1d.scatter_backward");
+        // Serial: `ids` may repeat, so the scatter-add is not
+        // partitionable without atomics.
+        const std::vector<int64_t>& ids = *shared_ids;
+        float* gx = self.parents[0]->EnsureGrad().data();
+        const float* g = self.grad.data();
+        for (size_t i = 0; i < ids.size(); ++i) gx[ids[i]] += g[i];
+      },
+      kernel, std::move(extra));
 }
 
 VarPtr PairDot(const VarPtr& h, std::vector<int64_t> us,
@@ -323,13 +441,17 @@ VarPtr PairDot(const VarPtr& h, std::vector<int64_t> us,
   AUTOAC_CHECK_EQ(us.size(), vs.size());
   int64_t n = h->value.rows();
   int64_t d = h->value.cols();
-  int64_t m = static_cast<int64_t>(us.size());
+  auto shared_us = std::make_shared<const std::vector<int64_t>>(std::move(us));
+  auto shared_vs = std::make_shared<const std::vector<int64_t>>(std::move(vs));
+  int64_t m = static_cast<int64_t>(shared_us->size());
   Tensor out({m});
-  {
-    const float* ph = h->value.data();
+  auto kernel = [shared_us, shared_vs, m, n, d](const Tensor* const* ins,
+                                                Tensor& out,
+                                                float* /*scratch*/) {
+    const float* ph = ins[0]->data();
     float* po = out.data();
-    const int64_t* pus = us.data();
-    const int64_t* pvs = vs.data();
+    const int64_t* pus = shared_us->data();
+    const int64_t* pvs = shared_vs->data();
     ParallelFor(0, m, GrainForRows(d), [=](int64_t lo, int64_t hi) {
       for (int64_t i = lo; i < hi; ++i) {
         AUTOAC_DCHECK(pus[i] >= 0 && pus[i] < n);
@@ -341,27 +463,35 @@ VarPtr PairDot(const VarPtr& h, std::vector<int64_t> us,
         po[i] = acc;
       }
     });
+  };
+  {
+    const Tensor* ins[] = {&h->value};
+    kernel(ins, out, nullptr);
   }
-  return MakeOp("PairDot", std::move(out), {h},
-                [us = std::move(us), vs = std::move(vs), d](Variable& self) {
-                  if (!NeedsGrad(self.parents[0])) return;
-                  AUTOAC_PROFILE_SCOPE("pair_dot.scatter_backward");
-                  // Serial: a node can appear in many pairs, so the
-                  // scatter-add into gh is not partitionable without atomics.
-                  const float* ph = self.parents[0]->value.data();
-                  float* gh = self.parents[0]->EnsureGrad().data();
-                  const float* g = self.grad.data();
-                  for (size_t i = 0; i < us.size(); ++i) {
-                    const float* hu = ph + us[i] * d;
-                    const float* hv = ph + vs[i] * d;
-                    float* gu = gh + us[i] * d;
-                    float* gv = gh + vs[i] * d;
-                    for (int64_t j = 0; j < d; ++j) {
-                      gu[j] += g[i] * hv[j];
-                      gv[j] += g[i] * hu[j];
-                    }
-                  }
-                });
+  return MakeOp(
+      "PairDot", std::move(out), {h},
+      [shared_us, shared_vs, d](Variable& self) {
+        if (!NeedsGrad(self.parents[0])) return;
+        AUTOAC_PROFILE_SCOPE("pair_dot.scatter_backward");
+        // Serial: a node can appear in many pairs, so the scatter-add into
+        // gh is not partitionable without atomics.
+        const std::vector<int64_t>& us = *shared_us;
+        const std::vector<int64_t>& vs = *shared_vs;
+        const float* ph = self.parents[0]->value.data();
+        float* gh = self.parents[0]->EnsureGrad().data();
+        const float* g = self.grad.data();
+        for (size_t i = 0; i < us.size(); ++i) {
+          const float* hu = ph + us[i] * d;
+          const float* hv = ph + vs[i] * d;
+          float* gu = gh + us[i] * d;
+          float* gv = gh + vs[i] * d;
+          for (int64_t j = 0; j < d; ++j) {
+            gu[j] += g[i] * hv[j];
+            gv[j] += g[i] * hu[j];
+          }
+        }
+      },
+      kernel);
 }
 
 }  // namespace autoac

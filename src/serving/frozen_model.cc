@@ -189,6 +189,24 @@ Status SaveFrozenModel(const FrozenModel& model, const std::string& path) {
   return io::WriteFileAtomic(path, kFrozenMagic, payload.str());
 }
 
+StatusOr<uint64_t> PeekFrozenFingerprint(const std::string& path) {
+  StatusOr<std::string> payload = io::ReadFileChecked(path, kFrozenMagic);
+  if (!payload.ok()) return payload.status();
+  std::istringstream in(payload.value());
+  std::string model_name;
+  int64_t i64 = 0;
+  double f64 = 0.0;
+  uint64_t seed = 0, stored_fingerprint = 0;
+  if (!io::ReadString(in, &model_name) || !io::ReadI64(in, &i64) ||
+      !io::ReadI64(in, &i64) || !io::ReadI64(in, &i64) ||
+      !io::ReadF64(in, &f64) || !io::ReadF64(in, &f64) ||
+      !io::ReadU64(in, &seed) || !io::ReadI64(in, &i64) ||
+      !io::ReadU64(in, &stored_fingerprint)) {
+    return Status::Error("frozen model payload is malformed: " + path);
+  }
+  return stored_fingerprint;
+}
+
 StatusOr<FrozenModel> LoadFrozenModel(const std::string& path) {
   StatusOr<std::string> payload = io::ReadFileChecked(path, kFrozenMagic);
   if (!payload.ok()) return payload.status();

@@ -92,6 +92,14 @@ Status SaveFrozenModel(const FrozenModel& model, const std::string& path);
 /// error, never a crash.
 StatusOr<FrozenModel> LoadFrozenModel(const std::string& path);
 
+/// Reads only the artifact header (container magic / version / CRC, then the
+/// compatibility fields) and returns the *stored* fingerprint without
+/// parsing the graph or any tensor. The CRC guards the whole payload, so a
+/// match against a live session's fingerprint proves the artifact content is
+/// unchanged — the registry uses this to make fingerprint-stable SIGHUP
+/// reloads skip the full parse and the forward entirely.
+StatusOr<uint64_t> PeekFrozenFingerprint(const std::string& path);
+
 }  // namespace autoac
 
 #endif  // AUTOAC_SERVING_FROZEN_MODEL_H_

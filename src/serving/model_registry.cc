@@ -66,6 +66,12 @@ Status ScanModelDir(const std::string& dir,
 
 }  // namespace
 
+void ModelRegistry::set_session_options(
+    const InferenceSession::Options& options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  session_options_ = options;
+}
+
 void ModelRegistry::Register(const std::string& name,
                              std::shared_ptr<InferenceSession> session) {
   AUTOAC_CHECK(session != nullptr);
@@ -93,11 +99,13 @@ Status ModelRegistry::LoadFromSpec(const std::string& models_spec,
 StatusOr<ModelRegistry::ReloadReport> ModelRegistry::Reload() {
   std::string models_spec, model_dir;
   std::map<std::string, Entry> current;
+  InferenceSession::Options session_options;
   {
     std::lock_guard<std::mutex> lock(mu_);
     models_spec = models_spec_;
     model_dir = model_dir_;
     current = entries_;
+    session_options = session_options_;
   }
   if (models_spec.empty() && model_dir.empty()) {
     return Status::Error(
@@ -118,12 +126,26 @@ StatusOr<ModelRegistry::ReloadReport> ModelRegistry::Reload() {
     if (next.count(name) != 0) {
       return Status::Error("duplicate model name \"" + name + "\"");
     }
+    auto it = current.find(name);
+    if (it != current.end()) {
+      // Fast path for hot reloads: the stored fingerprint sits in the
+      // artifact header behind the container CRC, so an unchanged artifact
+      // is detected without parsing the graph or any tensor. A peek
+      // failure falls through to the full load, whose error message names
+      // the model.
+      StatusOr<uint64_t> peeked = PeekFrozenFingerprint(path);
+      if (peeked.ok() && peeked.value() == it->second.fingerprint) {
+        next[name] = it->second;
+        next[name].path = path;
+        report.unchanged.push_back(name);
+        continue;
+      }
+    }
     StatusOr<FrozenModel> frozen = LoadFrozenModel(path);
     if (!frozen.ok()) {
       return Status::Error("model \"" + name + "\" (" + path +
                            "): " + frozen.status().message());
     }
-    auto it = current.find(name);
     if (it != current.end() &&
         it->second.fingerprint == frozen.value().fingerprint) {
       // Same content fingerprint: keep the live session, skip the forward.
@@ -133,7 +155,8 @@ StatusOr<ModelRegistry::ReloadReport> ModelRegistry::Reload() {
     } else {
       next[name] = Entry{
           path, frozen.value().fingerprint,
-          std::make_shared<InferenceSession>(frozen.TakeValue())};
+          std::make_shared<InferenceSession>(frozen.TakeValue(),
+                                             session_options)};
       (it == current.end() ? report.loaded : report.reloaded)
           .push_back(name);
     }

@@ -30,8 +30,11 @@ namespace autoac {
 ///    SIGHUP. A reload is atomic and all-or-nothing: every artifact is
 ///    loaded and validated first, then the whole entry map is swapped; any
 ///    load failure leaves the serving set untouched. Artifacts whose
-///    content fingerprint is unchanged keep their existing session (no
-///    forward recomputation).
+///    content fingerprint is unchanged keep their existing session; the
+///    fingerprint comes from the artifact header alone
+///    (PeekFrozenFingerprint), so an unchanged artifact costs one
+///    CRC-checked file read — no payload parse, no session rebuild, no
+///    forward.
 class ModelRegistry {
  public:
   ModelRegistry() = default;
@@ -43,6 +46,10 @@ class ModelRegistry {
   /// entry. The first registered model becomes the default.
   void Register(const std::string& name,
                 std::shared_ptr<InferenceSession> session);
+
+  /// Options applied to every session the registry constructs (LoadFromSpec
+  /// and Reload). Set before LoadFromSpec; --no_compile routes through here.
+  void set_session_options(const InferenceSession::Options& options);
 
   /// Configures the artifact spec and performs the initial load. Exactly
   /// one of `models_spec` ("name=path[,name=path...]") and `model_dir`
@@ -97,6 +104,7 @@ class ModelRegistry {
   std::string default_name_;
   std::string models_spec_;
   std::string model_dir_;
+  InferenceSession::Options session_options_;
 };
 
 }  // namespace autoac

@@ -625,7 +625,11 @@ void InferenceServer::BatcherLoop() {
               .Add("capacity", options_.max_batch)
               .Add("occupancy", static_cast<double>(batch.size()) /
                                     static_cast<double>(options_.max_batch))
-              .Add("queue_depth", queue_depth));
+              .Add("queue_depth", queue_depth)
+              // Flat across batches in steady state: compiled sessions run
+              // out of the preplanned arena (DESIGN.md §11), and Predict is
+              // an allocation-free row scan.
+              .Add("tensor_buffers_allocated", TensorBuffersAllocated()));
     }
   }
 }

@@ -1,0 +1,190 @@
+#include "tensor/graph_ir.h"
+
+#include <sstream>
+#include <unordered_map>
+#include <utility>
+
+#include "util/check.h"
+
+namespace autoac {
+
+namespace internal {
+thread_local bool t_ir_capture_active = false;
+}  // namespace internal
+
+struct IrCapture::Recorder {
+  ir::Graph graph;
+  // Variable address -> value id. Recorded VarPtrs are pinned in
+  // Value::leaf / node keepalives below, so an address is never reused
+  // while the capture is live.
+  std::unordered_map<const Variable*, int32_t> value_of;
+  // Pins every recorded intermediate (Value::leaf pins the leaves).
+  std::vector<VarPtr> node_keepalive;
+};
+
+namespace {
+
+thread_local IrCapture::Recorder* t_recorder = nullptr;
+
+/// Id of `v` in the capture, registering it as a const leaf on first sight.
+int32_t IdFor(IrCapture::Recorder& r, const VarPtr& v) {
+  auto it = r.value_of.find(v.get());
+  if (it != r.value_of.end()) return it->second;
+  int32_t id = static_cast<int32_t>(r.graph.values.size());
+  ir::Value value;
+  value.shape = v->value.shape();
+  value.kind = ir::ValueKind::kConst;
+  value.leaf = v;
+  value.name = v->op_name;
+  r.graph.values.push_back(std::move(value));
+  r.value_of.emplace(v.get(), id);
+  return id;
+}
+
+int32_t RecordOutputValue(IrCapture::Recorder& r, const VarPtr& node) {
+  AUTOAC_CHECK(r.value_of.find(node.get()) == r.value_of.end())
+      << "op output recorded twice: " << node->op_name;
+  int32_t id = static_cast<int32_t>(r.graph.values.size());
+  ir::Value value;
+  value.shape = node->value.shape();
+  value.kind = ir::ValueKind::kIntermediate;
+  value.name = node->op_name;
+  value.def = static_cast<int32_t>(r.graph.nodes.size());
+  r.graph.values.push_back(std::move(value));
+  r.value_of.emplace(node.get(), id);
+  r.node_keepalive.push_back(node);
+  return id;
+}
+
+void RecordNode(IrCapture::Recorder& r, const VarPtr& node,
+                const std::vector<VarPtr>& parents, ir::Kernel kernel,
+                ir::Attrs attrs, uint32_t flags, int64_t scratch_numel) {
+  ir::Node n;
+  n.op = node->op_name;
+  n.inputs.reserve(parents.size());
+  for (const VarPtr& p : parents) n.inputs.push_back(IdFor(r, p));
+  n.kernel = std::move(kernel);
+  n.attrs = std::move(attrs);
+  n.flags = flags;
+  n.scratch_numel = scratch_numel;
+  if (n.kernel == nullptr) r.graph.complete = false;
+  n.out = RecordOutputValue(r, node);
+  r.graph.nodes.push_back(std::move(n));
+}
+
+}  // namespace
+
+namespace internal {
+
+void IrRecordOp(const VarPtr& node, const std::vector<VarPtr>& parents,
+                ir::Kernel kernel, ir::Attrs attrs, uint32_t flags,
+                int64_t scratch_numel) {
+  IrCapture::Recorder* r = t_recorder;
+  if (r == nullptr) return;
+  RecordNode(*r, node, parents, std::move(kernel), std::move(attrs), flags,
+             scratch_numel);
+}
+
+void IrRecordOpaque(const VarPtr& node, const std::vector<VarPtr>& parents) {
+  IrCapture::Recorder* r = t_recorder;
+  if (r == nullptr) return;
+  RecordNode(*r, node, parents, /*kernel=*/nullptr, ir::Attrs{}, ir::kNoFlags,
+             /*scratch_numel=*/0);
+}
+
+}  // namespace internal
+
+IrCapture::IrCapture() : recorder_(new Recorder) {
+  AUTOAC_CHECK(t_recorder == nullptr) << "IrCapture does not nest";
+  t_recorder = recorder_.get();
+  internal::t_ir_capture_active = true;
+}
+
+IrCapture::~IrCapture() {
+  if (t_recorder == recorder_.get()) {
+    t_recorder = nullptr;
+    internal::t_ir_capture_active = false;
+  }
+}
+
+void IrCapture::MarkInput(const VarPtr& leaf, std::string name) {
+  AUTOAC_CHECK(leaf != nullptr);
+  Recorder& r = *recorder_;
+  AUTOAC_CHECK(r.value_of.find(leaf.get()) == r.value_of.end())
+      << "MarkInput must precede any use of the leaf";
+  int32_t id = static_cast<int32_t>(r.graph.values.size());
+  ir::Value value;
+  value.shape = leaf->value.shape();
+  value.kind = ir::ValueKind::kInput;
+  value.leaf = leaf;
+  value.name = std::move(name);
+  r.graph.values.push_back(std::move(value));
+  r.value_of.emplace(leaf.get(), id);
+}
+
+ir::Graph IrCapture::Finish(const VarPtr& output) {
+  Recorder& r = *recorder_;
+  t_recorder = nullptr;
+  internal::t_ir_capture_active = false;
+  AUTOAC_CHECK(output != nullptr);
+  auto it = r.value_of.find(output.get());
+  if (it == r.value_of.end()) {
+    // The forward never built an op (identity over a leaf) — nothing to
+    // compile.
+    r.graph.complete = false;
+  } else {
+    r.graph.outputs.push_back(it->second);
+  }
+  // Intermediates no longer need pinning: each value's producing node and
+  // consumers are fixed now, and the executor materializes its own slots.
+  r.node_keepalive.clear();
+  return std::move(r.graph);
+}
+
+namespace ir {
+
+namespace {
+std::string ShapeString(const std::vector<int64_t>& shape) {
+  std::ostringstream out;
+  out << "[";
+  for (size_t i = 0; i < shape.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << shape[i];
+  }
+  out << "]";
+  return out.str();
+}
+}  // namespace
+
+std::string Graph::Dump() const {
+  std::ostringstream out;
+  for (size_t i = 0; i < values.size(); ++i) {
+    const Value& v = values[i];
+    if (v.kind == ValueKind::kIntermediate) continue;
+    out << "v" << i << ": "
+        << (v.kind == ValueKind::kInput ? "input" : "const") << " "
+        << ShapeString(v.shape);
+    if (!v.name.empty() && v.name != "leaf") out << " \"" << v.name << "\"";
+    if (v.folded.numel() > 0) out << " folded";
+    out << "\n";
+  }
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    const Node& n = nodes[i];
+    out << "n" << i << ": " << n.op << "(";
+    for (size_t j = 0; j < n.inputs.size(); ++j) {
+      if (j > 0) out << ", ";
+      out << "v" << n.inputs[j];
+    }
+    out << ") -> v" << n.out << " " << ShapeString(values[n.out].shape);
+    if (n.inplace) out << " inplace";
+    if (n.kernel == nullptr) out << " opaque";
+    out << "\n";
+  }
+  out << "outputs:";
+  for (int32_t v : outputs) out << " v" << v;
+  out << "\n";
+  return out.str();
+}
+
+}  // namespace ir
+}  // namespace autoac

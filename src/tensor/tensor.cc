@@ -1,9 +1,18 @@
 #include "tensor/tensor.h"
 
+#include <atomic>
 #include <sstream>
 
 namespace autoac {
 namespace {
+
+std::atomic<int64_t> g_tensor_buffers{0};
+
+/// Bumps TensorBuffersAllocated() for a freshly acquired buffer of `numel`
+/// floats. Zero-sized tensors own no buffer and never count.
+void NoteBufferAllocated(int64_t numel) {
+  if (numel > 0) g_tensor_buffers.fetch_add(1, std::memory_order_relaxed);
+}
 
 int64_t ShapeProduct(const std::vector<int64_t>& shape) {
   int64_t product = 1;
@@ -16,8 +25,30 @@ int64_t ShapeProduct(const std::vector<int64_t>& shape) {
 
 }  // namespace
 
+int64_t TensorBuffersAllocated() {
+  return g_tensor_buffers.load(std::memory_order_relaxed);
+}
+
 Tensor::Tensor(std::vector<int64_t> shape) : shape_(std::move(shape)) {
   data_.assign(ShapeProduct(shape_), 0.0f);
+  NoteBufferAllocated(numel());
+}
+
+Tensor::Tensor(const Tensor& other)
+    : shape_(other.shape_), data_(other.data_) {
+  NoteBufferAllocated(numel());
+}
+
+Tensor& Tensor::operator=(const Tensor& other) {
+  if (this == &other) return *this;
+  // vector copy-assign reuses the existing buffer when it is large enough;
+  // only a genuine reallocation counts.
+  if (data_.capacity() < other.data_.size()) {
+    NoteBufferAllocated(static_cast<int64_t>(other.data_.size()));
+  }
+  shape_ = other.shape_;
+  data_ = other.data_;
+  return *this;
 }
 
 Tensor Tensor::FromVector(std::vector<int64_t> shape,
@@ -27,6 +58,8 @@ Tensor Tensor::FromVector(std::vector<int64_t> shape,
   AUTOAC_CHECK_EQ(expected, static_cast<int64_t>(values.size()));
   t.shape_ = std::move(shape);
   t.data_ = std::move(values);
+  // The buffer was heap-allocated by the caller on this tensor's behalf.
+  NoteBufferAllocated(t.numel());
   return t;
 }
 
@@ -68,7 +101,26 @@ Tensor Tensor::Reshaped(std::vector<int64_t> new_shape) const {
   Tensor t;
   t.shape_ = std::move(new_shape);
   t.data_ = data_;
+  NoteBufferAllocated(t.numel());
   return t;
+}
+
+void Tensor::ReshapeInPlace(const std::vector<int64_t>& new_shape) {
+  int64_t new_numel = ShapeProduct(new_shape);
+  AUTOAC_CHECK_LE(new_numel, static_cast<int64_t>(data_.capacity()))
+      << "ReshapeInPlace would grow past reserved capacity";
+  // resize within capacity never reallocates, and copy-assigning the shape
+  // reuses shape_'s capacity once it has held an equal-or-longer shape.
+  data_.resize(new_numel);
+  shape_ = new_shape;
+}
+
+void Tensor::ReserveNumel(int64_t numel) {
+  AUTOAC_CHECK_GE(numel, 0);
+  if (numel > static_cast<int64_t>(data_.capacity())) {
+    NoteBufferAllocated(numel);
+    data_.reserve(numel);
+  }
 }
 
 std::string Tensor::ShapeString() const {

@@ -9,6 +9,14 @@
 
 namespace autoac {
 
+/// Process-wide count of heap float buffers acquired by Tensor (shape
+/// construction, FromVector, copies that cannot reuse existing capacity).
+/// Moves and in-place reshapes do not count. Tests and the serving benchmark
+/// snapshot it around a compiled forward to prove the arena planner's
+/// near-zero-allocation claim — the allocation analogue of
+/// BackwardClosuresAllocated().
+int64_t TensorBuffersAllocated();
+
 /// Dense float32 tensor with row-major layout. The library only needs rank-1
 /// and rank-2 tensors (vectors of per-node scalars and [rows x cols] feature
 /// matrices), so the implementation favours simplicity: contiguous storage,
@@ -17,6 +25,14 @@ class Tensor {
  public:
   /// Empty tensor (numel() == 0, dim() == 0).
   Tensor() = default;
+
+  // Copies count toward TensorBuffersAllocated() when they acquire a new
+  // buffer; moves never do. Spelled out so every allocation site is visible.
+  Tensor(const Tensor& other);
+  Tensor& operator=(const Tensor& other);
+  Tensor(Tensor&& other) noexcept = default;
+  Tensor& operator=(Tensor&& other) noexcept = default;
+  ~Tensor() = default;
 
   /// Zero-initialized tensor with the given shape. Every extent must be
   /// non-negative.
@@ -75,6 +91,18 @@ class Tensor {
 
   /// Returns a copy with a new shape of identical numel.
   Tensor Reshaped(std::vector<int64_t> new_shape) const;
+
+  /// Rebinds this tensor's shape without reallocating. The new numel must
+  /// fit in the buffer's existing capacity; contents beyond the old numel
+  /// are unspecified. This is how arena slots take on the shape of each
+  /// value they host — it never counts toward TensorBuffersAllocated().
+  /// Takes a reference (not a value) so repeated reshapes in the compiled
+  /// executor's steady state reuse shape_'s capacity: no heap traffic.
+  void ReshapeInPlace(const std::vector<int64_t>& new_shape);
+
+  /// Grows the underlying buffer capacity to at least `numel` floats (one
+  /// allocation now so ReshapeInPlace never needs one later).
+  void ReserveNumel(int64_t numel);
 
   /// True if shapes match exactly.
   bool SameShape(const Tensor& other) const { return shape_ == other.shape_; }

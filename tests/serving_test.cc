@@ -301,6 +301,75 @@ TEST(InferenceSessionTest, PredictRejectsOutOfRangeNodes) {
   ASSERT_TRUE(session.Predict(session.num_targets() - 1).ok());
 }
 
+// Acceptance gate for the compiled forward (DESIGN.md §11): with the
+// default options the session compiles the capture, and the compiled
+// RecomputeLogits is bitwise identical to the interpreted one at one
+// thread and at four.
+TEST(InferenceSessionTest, CompiledMatchesInterpretedBitwise) {
+  const ServingEnvironment& env = ServingEnvironment::Get();
+  InferenceSession::Options interpreted_only;
+  interpreted_only.compile = false;
+  InferenceSession interpreted(env.frozen(), interpreted_only);
+  ASSERT_EQ(interpreted.compiled_graph(), nullptr);
+  InferenceSession compiled(env.frozen());
+  ASSERT_NE(compiled.compiled_graph(), nullptr);
+
+  SetNumThreads(1);
+  interpreted.RecomputeLogits();
+  compiled.RecomputeLogits();
+  ExpectTensorsBitwiseEqual(compiled.logits(), interpreted.logits());
+  SetNumThreads(4);
+  interpreted.RecomputeLogits();
+  compiled.RecomputeLogits();
+  ExpectTensorsBitwiseEqual(compiled.logits(), interpreted.logits());
+  SetNumThreads(0);
+}
+
+// Acceptance gate: the compiled steady state runs entirely out of the
+// preplanned arena — recomputing the logits allocates zero tensor buffers.
+TEST(InferenceSessionTest, CompiledRecomputeAllocatesZeroTensorBuffers) {
+  const ServingEnvironment& env = ServingEnvironment::Get();
+  InferenceSession session(env.frozen());
+  ASSERT_NE(session.compiled_graph(), nullptr);
+  session.RecomputeLogits();  // warm once past any first-run sizing
+  int64_t before = TensorBuffersAllocated();
+  for (int run = 0; run < 3; ++run) session.RecomputeLogits();
+  EXPECT_EQ(TensorBuffersAllocated(), before);
+}
+
+TEST(FrozenModelIoTest, PeekFingerprintMatchesWithoutFullParse) {
+  const ServingEnvironment& env = ServingEnvironment::Get();
+  std::string path = TempPath("peek.aacm");
+  ASSERT_TRUE(SaveFrozenModel(env.frozen(), path).ok());
+
+  StatusOr<uint64_t> peeked = PeekFrozenFingerprint(path);
+  ASSERT_TRUE(peeked.ok()) << peeked.status().message();
+  EXPECT_EQ(peeked.value(), env.frozen().fingerprint);
+  EXPECT_FALSE(PeekFrozenFingerprint(TempPath("absent.aacm")).ok());
+  std::remove(path.c_str());
+}
+
+TEST(ModelRegistryTest, SessionOptionsReachLoadedSessions) {
+  const ServingEnvironment& env = ServingEnvironment::Get();
+  std::string path = TempPath("registry_options.aacm");
+  ASSERT_TRUE(SaveFrozenModel(env.frozen(), path).ok());
+
+  {
+    ModelRegistry registry;  // default options: compiled sessions
+    ASSERT_TRUE(registry.LoadFromSpec("m=" + path, "").ok());
+    EXPECT_NE(registry.Lookup("m")->compiled_graph(), nullptr);
+  }
+  {
+    ModelRegistry registry;
+    InferenceSession::Options options;
+    options.compile = false;
+    registry.set_session_options(options);
+    ASSERT_TRUE(registry.LoadFromSpec("m=" + path, "").ok());
+    EXPECT_EQ(registry.Lookup("m")->compiled_graph(), nullptr);
+  }
+  std::remove(path.c_str());
+}
+
 // Export → load → predict must be bitwise identical to the in-process
 // session, at one thread and at four.
 TEST(FrozenModelIoTest, RoundTripPredictionsBitwiseIdentical) {

@@ -1,5 +1,7 @@
 #include "tensor/tensor.h"
 
+#include <utility>
+
 #include "gtest/gtest.h"
 
 namespace autoac {
@@ -69,6 +71,40 @@ TEST(TensorTest, SameShape) {
 TEST(TensorTest, ShapeString) {
   Tensor t(2, 3);
   EXPECT_EQ(t.ShapeString(), "[2, 3]");
+}
+
+// The process-wide allocation counter is the probe behind the "zero heap
+// allocations in steady state" gates (compiled forward, serving benchmark),
+// so its bump/no-bump semantics are load-bearing.
+TEST(TensorTest, BuffersAllocatedCountsOnlyNewStorage) {
+  int64_t base = TensorBuffersAllocated();
+
+  Tensor a(3, 4);  // shape construction allocates
+  EXPECT_EQ(TensorBuffersAllocated(), base + 1);
+
+  Tensor b = a;  // copy acquires its own buffer
+  EXPECT_EQ(TensorBuffersAllocated(), base + 2);
+
+  Tensor moved = std::move(b);  // moves steal, never allocate
+  EXPECT_EQ(TensorBuffersAllocated(), base + 2);
+
+  Tensor c(3, 4);  // +1
+  c = a;           // capacity suffices: copy-assign reuses it
+  EXPECT_EQ(TensorBuffersAllocated(), base + 3);
+  Tensor d(1, 1);  // +1
+  d = a;           // capacity too small: copy-assign must grow
+  EXPECT_EQ(TensorBuffersAllocated(), base + 5);
+
+  a.ReshapeInPlace({4, 3});  // same numel, same buffer
+  EXPECT_EQ(TensorBuffersAllocated(), base + 5);
+  a.ReserveNumel(12);  // already reserved: no-op
+  EXPECT_EQ(TensorBuffersAllocated(), base + 5);
+  a.ReserveNumel(64);  // growth allocates
+  EXPECT_EQ(TensorBuffersAllocated(), base + 6);
+
+  Tensor empty;  // zero-sized tensors never count
+  Tensor empty2 = empty;
+  EXPECT_EQ(TensorBuffersAllocated(), base + 6);
 }
 
 TEST(TensorDeathTest, FromVectorSizeMismatchAborts) {
