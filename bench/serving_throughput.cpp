@@ -15,11 +15,13 @@
 #include <vector>
 
 #include "compiler/compiled_graph.h"
+#include "completion/completion_module.h"
 #include "data/hgb_datasets.h"
 #include "models/factory.h"
 #include "serving/frozen_model.h"
 #include "serving/inference_session.h"
 #include "serving/model_registry.h"
+#include "serving/mutable_session.h"
 #include "serving/server.h"
 #include "tensor/graph_ir.h"
 #include "tensor/init.h"
@@ -230,6 +232,90 @@ void BM_RecomputeLogits(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_RecomputeLogits)->ArgsProduct({{1, 2, 4, 8}});
+
+/// BenchFrozen() upgraded to a v2 artifact: H0 really is the completion
+/// module's discrete-op output and the completion parameters ride along, so
+/// the streaming-mutation overlay (DESIGN.md §12) can re-run completion on
+/// a mutated graph. Built once; weights stay untrained (cost, not accuracy).
+FrozenModel& BenchFrozenV2() {
+  static FrozenModel* frozen = [] {
+    auto* model = new FrozenModel(BenchFrozen());
+    Rng rng(model->seed + 1);
+    CompletionConfig completion_config;
+    completion_config.hidden_dim = model->hidden_dim;
+    completion_config.ppnp_steps = 3;
+    CompletionModule completion(model->graph, completion_config, rng);
+    for (int64_t i = 0; i < completion.num_missing(); ++i) {
+      model->op_of.push_back(i % 2 == 0 ? CompletionOpType::kMean
+                                        : CompletionOpType::kGcn);
+    }
+    {
+      NoGradGuard no_grad;
+      model->h0 = completion.CompleteDiscrete(model->op_of)->value;
+    }
+    model->has_completion = true;
+    for (const VarPtr& p : completion.Parameters()) {
+      model->completion_params.push_back(p->value);
+    }
+    model->ppnp_restart = completion_config.ppnp_restart;
+    model->ppnp_steps = completion_config.ppnp_steps;
+    model->fingerprint = ComputeFrozenFingerprint(*model);
+    return model;
+  }();
+  return *frozen;
+}
+
+/// The tentpole's payoff: applying one isolated add_node delta through the
+/// mutation overlay. The new node has no edges, so its dirty ball is the
+/// node alone and the flush takes the partial subgraph path — the number to
+/// hold against BM_RecomputeLogits above (the full-refresh alternative).
+/// Iterations are pinned so the overlay graph stays within a few hundred
+/// nodes of the export instead of drifting with benchmark repetitions.
+void BM_PartialForwardSingleDelta(benchmark::State& state) {
+  ThreadCountScope threads(state.range(0));
+  auto base = std::make_shared<InferenceSession>(BenchFrozenV2());
+  MutableSession::Options options;  // staleness 0: Apply() flushes inline
+  MutableSession session(base, options);
+  Mutation mutation;
+  mutation.kind = Mutation::Kind::kAddNode;
+  mutation.node_type = "author";
+  AllocCounterScope allocs(state);
+  for (auto _ : state) {
+    StatusOr<MutationResult> result = session.Apply(mutation);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().message().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(result.value().dirty_rows);
+  }
+  if (session.partial_recomputes() != session.mutations_applied()) {
+    state.SkipWithError("partial path was not taken");
+    return;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PartialForwardSingleDelta)
+    ->ArgsProduct({{1, 4}})
+    ->Iterations(200);
+
+/// Clean-row prediction through the mutation overlay: the wrapper must keep
+/// InferenceSession::Predict's O(num_classes) row-scan cost and stay
+/// tensor-alloc-free (gated at 0 by BENCH_serving.json).
+void BM_MutablePredictClean(benchmark::State& state) {
+  ThreadCountScope threads(state.range(0));
+  auto base = std::make_shared<InferenceSession>(BenchFrozenV2());
+  MutableSession::Options options;
+  MutableSession session(base, options);
+  int64_t node = 0;
+  AllocCounterScope allocs(state);
+  for (auto _ : state) {
+    StatusOr<InferenceSession::Prediction> prediction = session.Predict(node);
+    benchmark::DoNotOptimize(prediction);
+    node = (node + 1) % session.num_targets();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MutablePredictClean)->ArgsProduct({{1}});
 
 /// The steady-state per-request cost: an O(num_classes) row scan.
 void BM_Predict(benchmark::State& state) {

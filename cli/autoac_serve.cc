@@ -40,12 +40,16 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "graph/mutable_graph.h"
 #include "serving/frozen_model.h"
 #include "serving/inference_session.h"
 #include "serving/model_registry.h"
+#include "serving/mutable_session.h"
 #include "serving/server.h"
 #include "util/flags.h"
 #include "util/parallel.h"
@@ -76,8 +80,13 @@ const std::vector<Flags::Spec>& FlagTable() {
       {"metrics_out", Type::kString},
       {"no_compile", Type::kBool},
       {"dump_ir", Type::kBool},
+      {"enable_mutations", Type::kBool},
+      {"staleness_ms", Type::kInt},
+      {"mutation_feed", Type::kString},
+      {"reference", Type::kBool},
       {"client", Type::kBool},
       {"nodes", Type::kString},
+      {"feed", Type::kString},
       {"model_name", Type::kString},
       {"deadline_ms", Type::kInt},
   };
@@ -100,13 +109,28 @@ void PrintUsage() {
       "                          through the interpreted tape-free path\n"
       "  [--dump_ir]             print each compiled model's IR + arena\n"
       "                          plan after (re)load\n"
+      "  [--enable_mutations]    accept streaming graph deltas (\"op\":\n"
+      "                          add_node / add_edge / remove_edge) and\n"
+      "                          serve incrementally recomputed answers\n"
+      "  [--staleness_ms=0]      0: every delta recomputes before its ack;\n"
+      "                          >0: dirty rows may serve stale this long\n"
+      "  [--mutation_feed=PATH]  replay a newline-JSON delta file into the\n"
+      "                          default model at startup (implies\n"
+      "                          --enable_mutations)\n"
       "requests may carry \"model\" (routes by registry name) and\n"
-      "\"deadline_ms\" (expired-in-queue requests get a distinct error).\n"
+      "\"deadline_ms\" (expired-in-queue requests get a distinct error);\n"
+      "mutations may carry \"expect_fingerprint\" (hex; mismatch = error).\n"
       "SIGHUP re-reads the artifact set (fingerprint-unchanged artifacts\n"
-      "keep their session; in-flight requests finish on the old one).\n"
+      "keep their session *and* accumulated deltas; a changed fingerprint\n"
+      "discards the deltas with the old session).\n"
       "client mode (for smoke tests):\n"
       "  autoac_serve --client [--socket=PATH | --port=N] --nodes=0,1,2\n"
-      "    [--model_name=NAME] [--deadline_ms=M]\n"
+      "    [--feed=PATH] [--model_name=NAME] [--deadline_ms=M]\n"
+      "  --feed sends the file's request lines verbatim before --nodes.\n"
+      "reference mode (the from-scratch answer the incremental path must\n"
+      "match bitwise):\n"
+      "  autoac_serve --reference --model=PATH --nodes=0,1,2\n"
+      "    [--mutation_feed=PATH]\n"
       "SIGINT/SIGTERM stop the server cooperatively (exit status 0).\n");
 }
 
@@ -153,8 +177,20 @@ int Connect(const std::string& unix_path, int port) {
   return fd;
 }
 
-// Sends one request per node id, reads one response line per request, and
-// prints each to stdout. Returns 0 only when every response arrived.
+/// Non-empty lines of a newline-JSON file. False on open failure.
+bool ReadFeedLines(const std::string& path, std::vector<std::string>* lines) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) lines->push_back(line);
+  }
+  return true;
+}
+
+// Sends the --feed file's request lines verbatim, then one request per
+// --nodes id; reads one response line per request and prints each to
+// stdout. Returns 0 only when every response arrived.
 int RunClient(const Flags& flags) {
   std::string unix_path = flags.GetString("socket", "");
   int port = static_cast<int>(flags.GetInt("port", 0));
@@ -163,8 +199,14 @@ int RunClient(const Flags& flags) {
     return 64;
   }
   std::vector<int64_t> nodes = ParseNodeList(flags.GetString("nodes", ""));
-  if (nodes.empty()) {
-    std::fprintf(stderr, "error: --client needs --nodes=0,1,...\n");
+  std::string feed_path = flags.GetString("feed", "");
+  std::vector<std::string> feed;
+  if (!feed_path.empty() && !ReadFeedLines(feed_path, &feed)) {
+    std::fprintf(stderr, "error: cannot read --feed %s\n", feed_path.c_str());
+    return 1;
+  }
+  if (nodes.empty() && feed.empty()) {
+    std::fprintf(stderr, "error: --client needs --nodes=0,1,... or --feed\n");
     return 64;
   }
   std::string model_name = flags.GetString("model_name", "");
@@ -175,6 +217,7 @@ int RunClient(const Flags& flags) {
     return 1;
   }
   std::string out;
+  for (const std::string& line : feed) out += line + "\n";
   for (size_t i = 0; i < nodes.size(); ++i) {
     out += "{\"id\": \"r" + std::to_string(i) + "\"";
     if (!model_name.empty()) out += ", \"model\": \"" + model_name + "\"";
@@ -188,10 +231,11 @@ int RunClient(const Flags& flags) {
     ::close(fd);
     return 1;
   }
+  const size_t expected = feed.size() + nodes.size();
   size_t lines = 0;
   std::string pending;
   char buf[4096];
-  while (lines < nodes.size()) {
+  while (lines < expected) {
     ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
     if (n <= 0) break;
     pending.append(buf, static_cast<size_t>(n));
@@ -205,10 +249,116 @@ int RunClient(const Flags& flags) {
     pending.erase(0, start);
   }
   ::close(fd);
-  if (lines != nodes.size()) {
+  if (lines != expected) {
     std::fprintf(stderr, "error: got %zu of %zu responses\n", lines,
-                 nodes.size());
+                 expected);
     return 1;
+  }
+  return 0;
+}
+
+/// Applies one parsed mutation to a from-scratch graph replica, resolving
+/// type names exactly as MutableSession does.
+Status ApplyToReplica(MutableGraph* graph, const Mutation& m,
+                      uint64_t fingerprint) {
+  if (m.expect_fingerprint != 0 && m.expect_fingerprint != fingerprint) {
+    return Status::Error("fingerprint mismatch");
+  }
+  switch (m.kind) {
+    case Mutation::Kind::kAddNode: {
+      StatusOr<int64_t> type = graph->NodeTypeIdOf(m.node_type);
+      if (!type.ok()) return type.status();
+      StatusOr<int64_t> local = graph->AddNode(type.value(), m.attributes);
+      return local.ok() ? Status::Ok() : local.status();
+    }
+    case Mutation::Kind::kAddEdge:
+    case Mutation::Kind::kRemoveEdge: {
+      StatusOr<int64_t> type = graph->EdgeTypeIdOf(m.edge_type);
+      if (!type.ok()) return type.status();
+      return m.kind == Mutation::Kind::kAddEdge
+                 ? graph->AddEdge(type.value(), m.src, m.dst)
+                 : graph->RemoveEdge(type.value(), m.src, m.dst);
+    }
+  }
+  return Status::Error("unreachable");
+}
+
+// --reference: the from-scratch answer sheet. Loads the artifact, applies
+// the --mutation_feed deltas to a plain graph replica, re-freezes the model
+// on the mutated graph (RefreezeWithGraph — a full re-export, no
+// incremental machinery), and prints one response line per --nodes id in
+// the client's output format (latency 0). The mutation-smoke CI job diffs
+// a live incremental server against this bitwise.
+int RunReference(const Flags& flags) {
+  const std::string model_path = flags.GetString("model", "");
+  if (model_path.empty()) {
+    std::fprintf(stderr, "error: --reference needs --model=PATH\n");
+    return 64;
+  }
+  std::vector<int64_t> nodes = ParseNodeList(flags.GetString("nodes", ""));
+  if (nodes.empty()) {
+    std::fprintf(stderr, "error: --reference needs --nodes=0,1,...\n");
+    return 64;
+  }
+  StatusOr<FrozenModel> loaded = LoadFrozenModel(model_path);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "error: %s\n", loaded.status().message().c_str());
+    return 1;
+  }
+  FrozenModel frozen = loaded.TakeValue();
+  MutableGraph replica(frozen.graph);
+  const std::string feed_path = flags.GetString("mutation_feed", "");
+  if (!feed_path.empty()) {
+    std::vector<std::string> feed;
+    if (!ReadFeedLines(feed_path, &feed)) {
+      std::fprintf(stderr, "error: cannot read --mutation_feed %s\n",
+                   feed_path.c_str());
+      return 1;
+    }
+    for (size_t i = 0; i < feed.size(); ++i) {
+      ServeRequest request;
+      std::string error;
+      if (!ParseServeRequestLine(feed[i], &request, &error)) {
+        std::fprintf(stderr, "error: mutation feed line %zu: %s\n", i + 1,
+                     error.c_str());
+        return 1;
+      }
+      if (!request.is_mutation) {
+        std::fprintf(stderr,
+                     "error: mutation feed line %zu is not a mutation\n",
+                     i + 1);
+        return 1;
+      }
+      Status applied =
+          ApplyToReplica(&replica, request.mutation, frozen.fingerprint);
+      if (!applied.ok()) {
+        std::fprintf(stderr, "error: mutation feed line %zu: %s\n", i + 1,
+                     applied.message().c_str());
+        return 1;
+      }
+    }
+  }
+  HeteroGraphPtr mutated = replica.Compact();
+  std::vector<CompletionOpType> op_of = ExtendOpAssignment(frozen, *mutated);
+  StatusOr<FrozenModel> refrozen = RefreezeWithGraph(frozen, mutated, op_of);
+  if (!refrozen.ok()) {
+    std::fprintf(stderr, "error: %s\n", refrozen.status().message().c_str());
+    return 1;
+  }
+  InferenceSession::Options session_options;
+  session_options.compile = false;
+  InferenceSession session(refrozen.TakeValue(), session_options);
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    StatusOr<InferenceSession::Prediction> p = session.Predict(nodes[i]);
+    if (!p.ok()) {
+      std::fprintf(stderr, "error: node %lld: %s\n",
+                   static_cast<long long>(nodes[i]),
+                   p.status().message().c_str());
+      return 1;
+    }
+    std::fputs(
+        FormatServeResponse("r" + std::to_string(i), p.value(), 0).c_str(),
+        stdout);
   }
   return 0;
 }
@@ -298,6 +448,7 @@ int Run(int argc, char** argv) {
     return 0;
   }
   if (client) return RunClient(flags);
+  if (flags.GetBool("reference", false)) return RunReference(flags);
 
   InstallShutdownHandler();
   std::signal(SIGHUP, OnSighup);
@@ -308,6 +459,11 @@ int Run(int argc, char** argv) {
   InferenceSession::Options session_options;
   session_options.compile = !flags.GetBool("no_compile", false);
   registry.set_session_options(session_options);
+  const std::string mutation_feed = flags.GetString("mutation_feed", "");
+  const bool enable_mutations =
+      flags.GetBool("enable_mutations", false) || !mutation_feed.empty();
+  const int64_t staleness_ms = flags.GetInt("staleness_ms", 0);
+  registry.set_mutation_options(enable_mutations, staleness_ms);
   const bool dump_ir = flags.GetBool("dump_ir", false);
   // Single-artifact mode is multi-model mode with one entry named
   // "default"; the wire protocol is unchanged (requests without "model"
@@ -328,6 +484,51 @@ int Run(int argc, char** argv) {
                 registry.default_model().c_str(),
                 static_cast<long long>(session->num_targets()),
                 static_cast<long long>(session->num_classes()));
+  }
+  if (enable_mutations) {
+    std::printf("mutations enabled (staleness %lld ms)\n",
+                static_cast<long long>(staleness_ms));
+  }
+  if (!mutation_feed.empty()) {
+    std::vector<std::string> feed;
+    if (!ReadFeedLines(mutation_feed, &feed)) {
+      std::fprintf(stderr, "error: cannot read --mutation_feed %s\n",
+                   mutation_feed.c_str());
+      return 1;
+    }
+    int64_t dirty = 0;
+    for (size_t i = 0; i < feed.size(); ++i) {
+      ServeRequest request;
+      std::string error;
+      if (!ParseServeRequestLine(feed[i], &request, &error)) {
+        std::fprintf(stderr, "error: mutation feed line %zu: %s\n", i + 1,
+                     error.c_str());
+        return 1;
+      }
+      if (!request.is_mutation) {
+        std::fprintf(stderr,
+                     "error: mutation feed line %zu is not a mutation\n",
+                     i + 1);
+        return 1;
+      }
+      std::shared_ptr<MutableSession> overlay =
+          registry.LookupMutable(request.model);
+      if (overlay == nullptr) {
+        std::fprintf(stderr,
+                     "error: mutation feed line %zu: unknown model \"%s\"\n",
+                     i + 1, request.model.c_str());
+        return 1;
+      }
+      StatusOr<MutationResult> applied = overlay->Apply(request.mutation);
+      if (!applied.ok()) {
+        std::fprintf(stderr, "error: mutation feed line %zu: %s\n", i + 1,
+                     applied.status().message().c_str());
+        return 1;
+      }
+      dirty += applied.value().dirty_rows;
+    }
+    std::printf("mutation feed: %zu deltas applied (%lld rows dirtied)\n",
+                feed.size(), static_cast<long long>(dirty));
   }
 
   ServerOptions options;
@@ -373,7 +574,8 @@ int Run(int argc, char** argv) {
   std::printf(
       "shutdown: %lld connections, %lld requests, %lld responses, "
       "%lld malformed, %lld unknown-model, %lld overlong, %lld shed, "
-      "%lld deadline-expired, %lld write-errors, %lld batches "
+      "%lld deadline-expired, %lld write-errors, %lld mutations, "
+      "%lld dirty-rows, %lld partial-rows, %lld batches "
       "(occupancy %.2f)\n",
       static_cast<long long>(stats.connections),
       static_cast<long long>(stats.requests),
@@ -384,6 +586,9 @@ int Run(int argc, char** argv) {
       static_cast<long long>(stats.shed),
       static_cast<long long>(stats.deadline_expired),
       static_cast<long long>(stats.write_errors),
+      static_cast<long long>(stats.mutations_applied),
+      static_cast<long long>(stats.dirty_rows),
+      static_cast<long long>(stats.partial_forward_rows),
       static_cast<long long>(stats.batches), occupancy);
   return 0;
 }

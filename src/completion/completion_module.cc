@@ -80,7 +80,11 @@ VarPtr CompletionModule::BaseFeatures() const {
     VarPtr projected = MatMul(proj.raw, proj.weight);
     pieces.push_back(ScatterRows(projected, proj.global_ids, n));
   }
-  AUTOAC_CHECK(!pieces.empty()) << "graph has no attributed node type";
+  // A graph (typically a K-hop subgraph cut by MutableGraph::Extract) can
+  // contain no attributed nodes at all; its base features are exactly zero,
+  // matching the enclosing graph where every row outside an attributed
+  // type's block is zero too.
+  if (pieces.empty()) return MakeConst(Tensor::Zeros({n, config_.hidden_dim}));
   return AddN(pieces);
 }
 

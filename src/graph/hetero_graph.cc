@@ -134,6 +134,21 @@ void HeteroGraph::Finalize() {
   finalized_ = true;
 }
 
+void HeteroGraph::SetDegreeOverrides(DegreeOverrides overrides) {
+  CheckFinalized();
+  AUTOAC_CHECK_EQ(static_cast<int64_t>(overrides.structural.size()),
+                  num_nodes_);
+  AUTOAC_CHECK_EQ(static_cast<int64_t>(overrides.attributed.size()),
+                  num_nodes_);
+  AUTOAC_CHECK_EQ(static_cast<int64_t>(overrides.relation.size()),
+                  num_directed_relations());
+  for (const std::vector<int64_t>& deg : overrides.relation) {
+    AUTOAC_CHECK_EQ(static_cast<int64_t>(deg.size()), num_nodes_);
+  }
+  degree_overrides_ = std::move(overrides);
+  has_degree_overrides_ = true;
+}
+
 int64_t HeteroGraph::GlobalId(int64_t node_type, int64_t local) const {
   CheckFinalized();
   AUTOAC_DCHECK(node_type >= 0 && node_type < num_node_types());
@@ -188,7 +203,17 @@ SpMatPtr HeteroGraph::FullAdjacency(AdjNorm norm, bool add_self_loops) const {
     }
   }
   Csr csr = Csr::FromCoo(num_nodes_, num_nodes_, rows, cols);
-  std::vector<int64_t> deg = RowDegrees(csr);
+  std::vector<int64_t> deg;
+  if (has_degree_overrides_) {
+    // Enclosing-graph structural degrees; the self-loop entry the full
+    // graph's own rows would count is restored explicitly.
+    deg = degree_overrides_.structural;
+    if (add_self_loops) {
+      for (int64_t& d : deg) ++d;
+    }
+  } else {
+    deg = RowDegrees(csr);
+  }
   NormalizeValues(csr, norm, deg, deg);
   return MakeSparse(std::move(csr));
 }
@@ -247,9 +272,17 @@ SpMatPtr HeteroGraph::RelationAdjacency(int64_t directed_relation,
     }
   }
   Csr csr = Csr::FromCoo(num_nodes_, num_nodes_, rows, cols);
-  std::vector<int64_t> dst_deg = RowDegrees(csr);
-  std::vector<int64_t> src_deg = ColDegrees(csr);
-  NormalizeValues(csr, norm, dst_deg, src_deg);
+  if (has_degree_overrides_) {
+    // Column (source) degrees of direction d are the row degrees of the
+    // opposite direction (d + R) mod 2R.
+    NormalizeValues(
+        csr, norm, degree_overrides_.relation[directed_relation],
+        degree_overrides_.relation[(directed_relation + r) % (2 * r)]);
+  } else {
+    std::vector<int64_t> dst_deg = RowDegrees(csr);
+    std::vector<int64_t> src_deg = ColDegrees(csr);
+    NormalizeValues(csr, norm, dst_deg, src_deg);
+  }
   return MakeSparse(std::move(csr));
 }
 
@@ -275,7 +308,12 @@ SpMatPtr HeteroGraph::AttributedNeighborAdjacency(AdjNorm norm) const {
   // For the GCN-style completion (Eq. 3), degrees are the full-graph
   // degrees of the endpoints, matching (deg(v) deg(u))^{-1/2}.
   if (norm == AdjNorm::kSym) {
-    NormalizeValues(csr, norm, degrees_, degrees_);
+    const std::vector<int64_t>& deg =
+        has_degree_overrides_ ? degree_overrides_.structural : degrees_;
+    NormalizeValues(csr, norm, deg, deg);
+  } else if (has_degree_overrides_) {
+    NormalizeValues(csr, norm, degree_overrides_.attributed,
+                    degree_overrides_.attributed);
   } else {
     std::vector<int64_t> dst_deg = RowDegrees(csr);
     NormalizeValues(csr, norm, dst_deg, dst_deg);

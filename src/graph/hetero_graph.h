@@ -18,6 +18,27 @@ enum class AdjNorm {
   kRow,   // 1 / deg(dst)                    (mean aggregation)
 };
 
+/// Degree vectors injected before adjacency construction so normalization
+/// uses *another* graph's degrees. Subgraph extraction
+/// (MutableGraph::Extract) installs the enclosing graph's degrees here, so
+/// an adjacency row of an interior subgraph node carries exactly the same
+/// normalized values as the corresponding full-graph row — the property the
+/// partial forward's bitwise-equivalence guarantee rests on (DESIGN.md §12).
+/// All vectors are indexed by the *subgraph's* node ids.
+struct DegreeOverrides {
+  /// Symmetrized structural degree, self-loops excluded. FullAdjacency adds
+  /// 1 per node when built with add_self_loops, matching how the full
+  /// graph's own self-loop entries contribute to its row degrees.
+  std::vector<int64_t> structural;
+  /// Attributed-neighbour incidence count per node (the row degrees of the
+  /// enclosing graph's kRow AttributedNeighborAdjacency).
+  std::vector<int64_t> attributed;
+  /// Row degrees of each directed relation adjacency, indexed by directed
+  /// relation id in [0, 2R). The column (source) degrees of direction d are
+  /// the row degrees of the opposite direction (d + R) mod 2R.
+  std::vector<std::vector<int64_t>> relation;
+};
+
 /// A sparse adjacency together with the per-stored-edge directed type ids
 /// that attention models (SimpleHGN, HGT) embed. `edge_types[k]` corresponds
 /// to the k-th stored nonzero of `adj->forward()`; type ids cover forward
@@ -146,6 +167,12 @@ class HeteroGraph {
   /// Total number of directed relations (2R) not counting the self type.
   int64_t num_directed_relations() const { return 2 * num_edge_types(); }
 
+  /// Installs degree overrides consulted by every subsequent normalized
+  /// adjacency build. Must be called after Finalize() and before any
+  /// adjacency accessor; vector sizes are validated against the graph.
+  void SetDegreeOverrides(DegreeOverrides overrides);
+  bool has_degree_overrides() const { return has_degree_overrides_; }
+
  private:
   void CheckFinalized() const { AUTOAC_CHECK(finalized_) << "call Finalize()"; }
 
@@ -157,6 +184,8 @@ class HeteroGraph {
   std::vector<int64_t> labels_;        // target-type local order
   std::vector<int64_t> global_labels_;
   std::vector<int64_t> degrees_;
+  DegreeOverrides degree_overrides_;
+  bool has_degree_overrides_ = false;
   int64_t num_nodes_ = 0;
   int64_t num_classes_ = 0;
   int64_t target_node_type_ = -1;

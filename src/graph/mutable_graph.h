@@ -1,0 +1,147 @@
+#ifndef AUTOAC_GRAPH_MUTABLE_GRAPH_H_
+#define AUTOAC_GRAPH_MUTABLE_GRAPH_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/hetero_graph.h"
+#include "util/status.h"
+
+namespace autoac {
+
+/// A mutable overlay over a frozen (finalized) HeteroGraph (DESIGN.md §12).
+///
+/// HeteroGraph is immutable after Finalize(); serving needs streaming
+/// `add_node` / `add_edge` / `remove_edge` deltas. The overlay stores the
+/// base graph's edges as ordered records plus an append log of new nodes
+/// (with attribute rows) and edges, and compacts on demand into a fresh
+/// canonical HeteroGraph.
+///
+/// The canonical-layout invariant everything downstream relies on:
+/// Compact() produces *exactly* the graph a from-scratch build would —
+/// same node-type blocks (new nodes appended at the end of their type's
+/// local range, so existing (type, local) handles are stable), same edge
+/// ordinal order (base order with dead edges elided, then appends). The
+/// incremental-vs-full bitwise equivalence proof needs this: identical
+/// insertion order gives identical CSR bucketing, hence identical
+/// per-row accumulation order in every kernel.
+class MutableGraph {
+ public:
+  /// `base` must be finalized. The overlay keeps a reference (Compact()
+  /// returns `base` itself until the first mutation).
+  explicit MutableGraph(HeteroGraphPtr base);
+
+  // --- metadata ---
+
+  int64_t num_node_types() const {
+    return static_cast<int64_t>(node_types_.size());
+  }
+  int64_t num_edge_types() const {
+    return static_cast<int64_t>(edge_types_.size());
+  }
+  /// Current node count of a type (base + appended).
+  int64_t node_count(int64_t node_type) const {
+    return node_types_[node_type].count;
+  }
+  int64_t num_nodes() const;
+  /// Name lookup; unknown names are a Status error (the serving layer's
+  /// "malformed node/edge type" rejection), never a crash.
+  StatusOr<int64_t> NodeTypeIdOf(const std::string& name) const;
+  StatusOr<int64_t> EdgeTypeIdOf(const std::string& name) const;
+  /// Whether a node type carries raw attributes, and their width.
+  bool attributed(int64_t node_type) const {
+    return node_types_[node_type].raw_dim > 0;
+  }
+  int64_t raw_dim(int64_t node_type) const {
+    return node_types_[node_type].raw_dim;
+  }
+  const HeteroGraphPtr& base() const { return base_; }
+  /// Number of mutations applied since construction.
+  int64_t version() const { return version_; }
+
+  /// Global id of (type, local) in the *current* compacted layout.
+  int64_t GlobalId(int64_t node_type, int64_t local) const;
+
+  // --- mutations ---
+
+  /// Appends a node at the end of its type's local range and returns the
+  /// new local id. For attributed types `attributes` must be empty (a zero
+  /// row) or exactly raw_dim wide; for attribute-less types it must be
+  /// empty.
+  StatusOr<int64_t> AddNode(int64_t node_type,
+                            const std::vector<float>& attributes);
+
+  /// Appends an undirected edge. Endpoint locals are validated against the
+  /// current counts of the edge type's endpoint types. Duplicate edges are
+  /// legal (a parallel edge, exactly as a from-scratch build would allow).
+  Status AddEdge(int64_t edge_type, int64_t src_local, int64_t dst_local);
+
+  /// Removes the first live edge matching (edge_type, src, dst); when the
+  /// edge type connects a type to itself the reversed orientation matches
+  /// too. Missing edges are a Status error.
+  Status RemoveEdge(int64_t edge_type, int64_t src_local, int64_t dst_local);
+
+  // --- derived structures ---
+
+  /// The canonical compacted graph. Cached; rebuilt after mutations. Equal
+  /// (bitwise, including adjacency iteration order) to a from-scratch
+  /// HeteroGraph built with the same insertion sequence.
+  const HeteroGraphPtr& Compact();
+
+  /// All nodes within `radius` hops of `seeds` (current global ids),
+  /// including the seeds, over live undirected edges. Sorted ascending.
+  std::vector<int64_t> Ball(const std::vector<int64_t>& seeds,
+                            int64_t radius);
+
+  struct Subgraph {
+    HeteroGraphPtr graph;               // finalized, degree overrides set
+    std::vector<int64_t> sub_to_full;   // sub global id -> full global id
+    std::vector<int64_t> full_to_sub;   // full global id -> sub id or -1
+  };
+
+  /// Cuts the node-induced subgraph of `nodes` (sorted unique current
+  /// global ids). Every node/edge type is registered (possibly with zero
+  /// members) so rebuilt models see identical relation arity; edges are
+  /// emitted in the canonical ordinal order; the full graph's degrees are
+  /// installed as DegreeOverrides so interior rows normalize identically
+  /// to the full graph. No target type or labels are set.
+  Subgraph Extract(const std::vector<int64_t>& nodes);
+
+ private:
+  struct NodeTypeState {
+    std::string name;
+    int64_t base_count = 0;
+    int64_t count = 0;
+    int64_t raw_dim = 0;
+    std::vector<float> appended_attrs;  // [count - base_count, raw_dim]
+  };
+
+  struct EdgeRec {
+    int64_t etype = 0;
+    int64_t src_local = 0;  // local within etype's src_type / dst_type
+    int64_t dst_local = 0;
+    bool alive = true;
+  };
+
+  void Invalidate();
+  void EnsureAdjacency();
+  /// Current type offsets (prefix sums of counts).
+  std::vector<int64_t> Offsets() const;
+
+  HeteroGraphPtr base_;
+  std::vector<NodeTypeState> node_types_;
+  std::vector<HeteroGraph::EdgeTypeInfo> edge_types_;
+  std::vector<EdgeRec> edges_;
+  int64_t version_ = 0;
+  int64_t live_edges_ = 0;
+
+  HeteroGraphPtr compact_;  // cache; null when stale
+  std::vector<std::vector<int64_t>> adjacency_;  // cache; empty when stale
+  bool adjacency_valid_ = false;
+};
+
+}  // namespace autoac
+
+#endif  // AUTOAC_GRAPH_MUTABLE_GRAPH_H_

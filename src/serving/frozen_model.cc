@@ -67,6 +67,14 @@ uint64_t ComputeFrozenFingerprint(const FrozenModel& model) {
   for (const Tensor& p : model.model_params) h = DigestTensor(h, p);
   h = DigestTensor(h, model.classifier_weight);
   h = DigestTensor(h, model.classifier_bias);
+  // The v2 completion section feeds the fingerprint only when present, so
+  // v1 artifacts keep their original fingerprints bit for bit.
+  if (model.has_completion) {
+    h = MixF32(h, model.ppnp_restart);
+    h = MixI64(h, model.ppnp_steps);
+    h = MixI64(h, static_cast<int64_t>(model.completion_params.size()));
+    for (const Tensor& p : model.completion_params) h = DigestTensor(h, p);
+  }
   return h;
 }
 
@@ -156,6 +164,14 @@ StatusOr<FrozenModel> FreezeTrainedRun(const TaskData& data,
   }
   frozen.classifier_weight = head_params[0]->value;
   frozen.classifier_bias = head_params[1]->value;
+  // v2 completion section: the trained completion parameters, so a serving
+  // mutation can re-run CompleteDiscrete for dirty rows (DESIGN.md §12).
+  frozen.has_completion = true;
+  for (const VarPtr& p : completion.Parameters()) {
+    frozen.completion_params.push_back(p->value);
+  }
+  frozen.ppnp_restart = completion_config.ppnp_restart;
+  frozen.ppnp_steps = completion_config.ppnp_steps;
   frozen.fingerprint = ComputeFrozenFingerprint(frozen);
   return frozen;
 }
@@ -186,6 +202,17 @@ Status SaveFrozenModel(const FrozenModel& model, const std::string& path) {
   for (const Tensor& p : model.model_params) io::WriteTensor(payload, p);
   io::WriteTensor(payload, model.classifier_weight);
   io::WriteTensor(payload, model.classifier_bias);
+  if (model.has_completion) {
+    // v2 completion section, appended after the v1 payload; the loader
+    // detects it by its presence before EOF.
+    io::WriteF64(payload, model.ppnp_restart);
+    io::WriteI64(payload, model.ppnp_steps);
+    io::WriteI64(payload,
+                 static_cast<int64_t>(model.completion_params.size()));
+    for (const Tensor& p : model.completion_params) {
+      io::WriteTensor(payload, p);
+    }
+  }
   return io::WriteFileAtomic(path, kFrozenMagic, payload.str());
 }
 
@@ -263,6 +290,22 @@ StatusOr<FrozenModel> LoadFrozenModel(const std::string& path) {
     return malformed;
   }
   if (in.peek() != std::istringstream::traits_type::eof()) {
+    // v2 completion section (bytes remain after the v1 payload).
+    double restart = 0.0;
+    int64_t num_completion = 0;
+    if (!io::ReadF64(in, &restart) || !io::ReadI64(in, &model.ppnp_steps) ||
+        !io::ReadI64(in, &num_completion) || num_completion < 0 ||
+        num_completion > kMaxModelParams || model.ppnp_steps < 0) {
+      return malformed;
+    }
+    model.ppnp_restart = static_cast<float>(restart);
+    model.completion_params.resize(num_completion);
+    for (int64_t i = 0; i < num_completion; ++i) {
+      if (!io::ReadTensor(in, &model.completion_params[i])) return malformed;
+    }
+    model.has_completion = true;
+  }
+  if (in.peek() != std::istringstream::traits_type::eof()) {
     return Status::Error("frozen model has trailing bytes: " + path);
   }
 
@@ -288,6 +331,287 @@ StatusOr<FrozenModel> LoadFrozenModel(const std::string& path) {
   }
   model.fingerprint = stored_fingerprint;
   return model;
+}
+
+namespace {
+
+bool TypeAttributed(const HeteroGraph& g, int64_t t) {
+  return g.node_type(t).attributes.numel() > 0;
+}
+
+// Copies `src` into the parameter value, refusing shape drift.
+Status CopySame(const VarPtr& param, const Tensor& src,
+                const std::string& what) {
+  if (!param->value.SameShape(src)) {
+    return Status::Error("frozen " + what +
+                         " has the wrong shape (artifact drift?)");
+  }
+  param->value = src;
+  return Status::Ok();
+}
+
+// Row-gathers `src` (frozen rows) into the parameter through `row_of`
+// (destination row i takes frozen row row_of[i]; -1 keeps the zero row).
+Status GatherRowsInto(const VarPtr& param, const Tensor& src,
+                      const std::vector<int64_t>& row_of,
+                      const std::string& what) {
+  Tensor& dst = param->value;
+  if (dst.dim() != 2 || src.dim() != 2 || dst.cols() != src.cols() ||
+      dst.rows() != static_cast<int64_t>(row_of.size())) {
+    return Status::Error("frozen " + what +
+                         " has the wrong shape (artifact drift?)");
+  }
+  dst = Tensor::Zeros({dst.rows(), dst.cols()});
+  for (int64_t i = 0; i < dst.rows(); ++i) {
+    int64_t r = row_of[i];
+    if (r < 0) continue;  // new node: zero row
+    if (r >= src.rows()) {
+      return Status::Error("frozen " + what + " row index out of range");
+    }
+    std::copy(src.data() + r * src.cols(), src.data() + (r + 1) * src.cols(),
+              dst.data() + i * dst.cols());
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+std::vector<CompletionOpType> ExtendOpAssignment(const FrozenModel& frozen,
+                                                 const HeteroGraph& graph) {
+  const HeteroGraph& old_g = *frozen.graph;
+  AUTOAC_CHECK_EQ(graph.num_node_types(), old_g.num_node_types());
+  std::vector<CompletionOpType> out;
+  size_t old_pos = 0;  // cursor into frozen.op_of (missing-list order)
+  for (int64_t t = 0; t < graph.num_node_types(); ++t) {
+    if (TypeAttributed(old_g, t)) continue;
+    int64_t old_count = old_g.node_type(t).count;
+    for (int64_t l = 0; l < graph.node_type(t).count; ++l) {
+      out.push_back(l < old_count
+                        ? frozen.op_of[old_pos + static_cast<size_t>(l)]
+                        : CompletionOpType::kMean);
+    }
+    old_pos += static_cast<size_t>(old_count);
+  }
+  return out;
+}
+
+Status BindFrozenParams(
+    const FrozenModel& frozen, const HeteroGraph& graph,
+    const std::vector<std::vector<int64_t>>& frozen_local_of,
+    const std::vector<VarPtr>& completion_params,
+    const std::vector<VarPtr>& model_params) {
+  if (!frozen.has_completion) {
+    return Status::Error(
+        "frozen model predates the completion section (v1 artifact); "
+        "re-export to enable mutations");
+  }
+  const HeteroGraph& old_g = *frozen.graph;
+  if (graph.num_node_types() != old_g.num_node_types()) {
+    return Status::Error("graph node-type count differs from the artifact");
+  }
+  if (static_cast<int64_t>(frozen_local_of.size()) !=
+      graph.num_node_types()) {
+    return Status::Error("node map does not cover every node type");
+  }
+
+  // Whether (type, local) maps identically onto the frozen graph — true for
+  // an unmutated graph, and the licence to copy per-node parameters whole.
+  bool identity = true;
+  for (int64_t t = 0; t < graph.num_node_types(); ++t) {
+    if (static_cast<int64_t>(frozen_local_of[t].size()) !=
+        graph.node_type(t).count) {
+      return Status::Error("node map does not cover every node");
+    }
+    if (graph.node_type(t).count != old_g.node_type(t).count) {
+      identity = false;
+    }
+    for (size_t l = 0; identity && l < frozen_local_of[t].size(); ++l) {
+      if (frozen_local_of[t][l] != static_cast<int64_t>(l)) identity = false;
+    }
+  }
+
+  // --- completion parameters ------------------------------------------------
+  // Flat CompletionModule::Parameters() order: projections of attributed
+  // types (type order), mean/gcn/ppnp transforms, one-hot tables of missing
+  // types (type order). Recover the frozen structure from the frozen graph,
+  // the rebuilt structure from `graph`, and bind by role + node type. The
+  // two structures can differ: a subgraph that cut every node of an
+  // attributed type away classifies that (now empty) type as missing.
+  std::vector<int64_t> old_proj(old_g.num_node_types(), -1);
+  std::vector<int64_t> old_onehot(old_g.num_node_types(), -1);
+  int64_t idx = 0;
+  for (int64_t t = 0; t < old_g.num_node_types(); ++t) {
+    if (TypeAttributed(old_g, t)) old_proj[t] = idx++;
+  }
+  int64_t old_mean = idx++, old_gcn = idx++, old_ppnp = idx++;
+  for (int64_t t = 0; t < old_g.num_node_types(); ++t) {
+    if (!TypeAttributed(old_g, t)) old_onehot[t] = idx++;
+  }
+  if (idx != static_cast<int64_t>(frozen.completion_params.size())) {
+    return Status::Error(
+        "completion parameter count does not match the artifact's graph");
+  }
+
+  size_t ni = 0;
+  auto next = [&]() -> const VarPtr& {
+    AUTOAC_CHECK(ni < completion_params.size());
+    return completion_params[ni++];
+  };
+  for (int64_t t = 0; t < graph.num_node_types(); ++t) {
+    if (!TypeAttributed(graph, t)) continue;
+    if (old_proj[t] < 0) {
+      return Status::Error("node type " + graph.node_type(t).name +
+                           " is attributed but was not at export");
+    }
+    Status s = CopySame(next(), frozen.completion_params[old_proj[t]],
+                        "projection for " + graph.node_type(t).name);
+    if (!s.ok()) return s;
+  }
+  for (int64_t which : {old_mean, old_gcn, old_ppnp}) {
+    Status s =
+        CopySame(next(), frozen.completion_params[which], "op transform");
+    if (!s.ok()) return s;
+  }
+  for (int64_t t = 0; t < graph.num_node_types(); ++t) {
+    if (TypeAttributed(graph, t)) continue;
+    const VarPtr& table = next();
+    if (old_onehot[t] < 0) {
+      // Attributed at export but without members in this (sub)graph: the
+      // rebuilt table has zero rows and nothing to bind.
+      if (table->value.rows() != 0) {
+        return Status::Error("node type " + graph.node_type(t).name +
+                             " lost its attributes since export");
+      }
+      continue;
+    }
+    Status s = GatherRowsInto(table, frozen.completion_params[old_onehot[t]],
+                              frozen_local_of[t],
+                              "one-hot table for " + graph.node_type(t).name);
+    if (!s.ok()) return s;
+  }
+  if (ni != completion_params.size()) {
+    return Status::Error(
+        "completion parameter count mismatch between rebuild and artifact");
+  }
+
+  // --- model parameters -----------------------------------------------------
+  if (model_params.size() != frozen.model_params.size()) {
+    return Status::Error(
+        "model parameter count mismatch between rebuild and artifact");
+  }
+  int64_t n_new = graph.num_nodes();
+  int64_t n_old = old_g.num_nodes();
+  // Per-node row map in global-id space, built lazily on first use.
+  std::vector<int64_t> row_of;
+  for (size_t i = 0; i < model_params.size(); ++i) {
+    const Tensor& src = frozen.model_params[i];
+    const VarPtr& param = model_params[i];
+    bool per_node = !identity && param->value.dim() == 2 && src.dim() == 2 &&
+                    param->value.rows() == n_new && src.rows() == n_old &&
+                    param->value.cols() == src.cols();
+    // The per-node test is shape-based (rows track num_nodes, e.g. GATNE's
+    // base embedding); a non-per-node parameter can only collide with it
+    // when some weight dimension equals the node count of both graphs.
+    if (!per_node) {
+      Status s = CopySame(param, src,
+                          "model parameter " + std::to_string(i));
+      if (!s.ok()) return s;
+      continue;
+    }
+    if (row_of.empty()) {
+      row_of.resize(n_new);
+      for (int64_t t = 0; t < graph.num_node_types(); ++t) {
+        const HeteroGraph::NodeTypeInfo& info = graph.node_type(t);
+        int64_t old_offset = old_g.node_type(t).offset;
+        for (int64_t l = 0; l < info.count; ++l) {
+          int64_t fl = frozen_local_of[t][l];
+          row_of[info.offset + l] = fl < 0 ? -1 : old_offset + fl;
+        }
+      }
+    }
+    Status s = GatherRowsInto(param, src, row_of,
+                              "model parameter " + std::to_string(i));
+    if (!s.ok()) return s;
+  }
+  return Status::Ok();
+}
+
+StatusOr<FrozenModel> RefreezeWithGraph(
+    const FrozenModel& frozen, HeteroGraphPtr graph,
+    const std::vector<CompletionOpType>& op_of) {
+  if (!frozen.has_completion) {
+    return Status::Error(
+        "frozen model predates the completion section (v1 artifact); "
+        "re-export to enable mutations");
+  }
+  // Mirror FreezeTrainedRun's construction order (completion module, then
+  // model) so shapes line up; every value is overwritten by the bind.
+  Rng rng(frozen.seed);
+  CompletionConfig completion_config;
+  completion_config.hidden_dim = frozen.hidden_dim;
+  completion_config.ppnp_restart = frozen.ppnp_restart;
+  completion_config.ppnp_steps = frozen.ppnp_steps;
+  CompletionModule completion(graph, completion_config, rng);
+  if (static_cast<int64_t>(op_of.size()) != completion.num_missing()) {
+    return Status::Error(
+        "op assignment length does not match the graph's missing nodes");
+  }
+
+  ModelContext ctx = BuildModelContext(graph);
+  ModelConfig model_config;
+  model_config.in_dim = frozen.hidden_dim;
+  model_config.hidden_dim = frozen.hidden_dim;
+  model_config.out_dim = frozen.hidden_dim;
+  model_config.num_layers = frozen.num_layers;
+  model_config.num_heads = frozen.num_heads;
+  model_config.dropout = frozen.dropout;
+  model_config.negative_slope = frozen.negative_slope;
+  ModelPtr model = MakeModel(frozen.model_name, model_config, ctx, rng,
+                             /*l2_normalize_output=*/false);
+
+  // Canonical append layout: locals below the exported count map onto
+  // themselves; everything past it is a new node.
+  std::vector<std::vector<int64_t>> frozen_local_of(graph->num_node_types());
+  for (int64_t t = 0; t < graph->num_node_types(); ++t) {
+    int64_t old_count = frozen.graph->node_type(t).count;
+    frozen_local_of[t].resize(graph->node_type(t).count);
+    for (int64_t l = 0; l < graph->node_type(t).count; ++l) {
+      frozen_local_of[t][l] = l < old_count ? l : -1;
+    }
+  }
+  Status bound = BindFrozenParams(frozen, *graph, frozen_local_of,
+                                  completion.Parameters(),
+                                  model->Parameters());
+  if (!bound.ok()) return bound;
+
+  FrozenModel out;
+  out.model_name = frozen.model_name;
+  out.hidden_dim = frozen.hidden_dim;
+  out.num_layers = frozen.num_layers;
+  out.num_heads = frozen.num_heads;
+  out.dropout = frozen.dropout;
+  out.negative_slope = frozen.negative_slope;
+  out.seed = frozen.seed;
+  out.num_classes = frozen.num_classes;
+  out.graph = graph;
+  out.op_of = op_of;
+  {
+    NoGradGuard no_grad;
+    out.h0 = completion.CompleteDiscrete(op_of)->value;
+  }
+  for (const VarPtr& p : model->Parameters()) {
+    out.model_params.push_back(p->value);
+  }
+  out.classifier_weight = frozen.classifier_weight;
+  out.classifier_bias = frozen.classifier_bias;
+  out.has_completion = true;
+  for (const VarPtr& p : completion.Parameters()) {
+    out.completion_params.push_back(p->value);
+  }
+  out.ppnp_restart = frozen.ppnp_restart;
+  out.ppnp_steps = frozen.ppnp_steps;
+  out.fingerprint = ComputeFrozenFingerprint(out);
+  return out;
 }
 
 }  // namespace autoac

@@ -60,6 +60,18 @@ struct FrozenModel {
   /// Node-classification head: logits = h @ weight + bias.
   Tensor classifier_weight;  // [out_dim, num_classes]
   Tensor classifier_bias;    // [num_classes]
+
+  // --- completion section (v2) ----------------------------------------------
+  // Streaming mutation (DESIGN.md §12) needs to *re-run* the completion
+  // operations for dirty rows, so artifacts now also carry the trained
+  // completion parameters in CompletionModule::Parameters() order plus the
+  // PPNP hyperparameters. The section is appended after the v1 payload and
+  // detected by its presence before EOF; v1 artifacts load fine (with
+  // has_completion false) but refuse mutations.
+  bool has_completion = false;
+  std::vector<Tensor> completion_params;
+  float ppnp_restart = 0.15f;
+  int64_t ppnp_steps = 6;
 };
 
 /// Content fingerprint over every field except `fingerprint` itself
@@ -99,6 +111,42 @@ StatusOr<FrozenModel> LoadFrozenModel(const std::string& path);
 /// unchanged — the registry uses this to make fingerprint-stable SIGHUP
 /// reloads skip the full parse and the forward entirely.
 StatusOr<uint64_t> PeekFrozenFingerprint(const std::string& path);
+
+/// Extends the frozen completion-op assignment to a graph grown from
+/// frozen.graph (same types, same attributed-ness, nodes appended at the
+/// end of each type's local range): existing missing nodes keep their
+/// searched operation; missing nodes attached after export get kMean — a
+/// deterministic choice shared by the incremental and the full-recompute
+/// paths, so both complete a new node identically.
+std::vector<CompletionOpType> ExtendOpAssignment(const FrozenModel& frozen,
+                                                 const HeteroGraph& graph);
+
+/// Overwrites the values of `completion_params` / `model_params` (the
+/// Parameters() of a CompletionModule / Model rebuilt on `graph`) with the
+/// frozen model's trained values. `graph` may be the full mutated graph or
+/// an extracted subgraph of it; `frozen_local_of[t][l]` maps node (t, l)
+/// of `graph` to its frozen type-local id, or -1 for nodes without a
+/// frozen counterpart (attached after export). Per-node-row parameters —
+/// one-hot embedding tables and [num_nodes, d] model parameters such as
+/// GATNE's base embedding — are row-gathered through that map with zero
+/// rows for new nodes; everything else must match shape exactly.
+Status BindFrozenParams(
+    const FrozenModel& frozen, const HeteroGraph& graph,
+    const std::vector<std::vector<int64_t>>& frozen_local_of,
+    const std::vector<VarPtr>& completion_params,
+    const std::vector<VarPtr>& model_params);
+
+/// Re-freezes `frozen` onto a mutated graph: rebuilds the completion
+/// module and GNN on `graph`, binds the trained parameters
+/// (BindFrozenParams with the canonical append layout), re-materializes H0
+/// under `op_of` (ExtendOpAssignment of the mutated graph), and recomputes
+/// the fingerprint. This *is* the from-scratch reference the incremental
+/// path is tested bitwise against, and the full-recompute fallback the
+/// serving layer uses when a delta's K-hop ball stops being local.
+/// Requires a v2 artifact (has_completion).
+StatusOr<FrozenModel> RefreezeWithGraph(const FrozenModel& frozen,
+                                        HeteroGraphPtr graph,
+                                        const std::vector<CompletionOpType>& op_of);
 
 }  // namespace autoac
 

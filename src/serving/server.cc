@@ -92,7 +92,57 @@ struct Scanner {
     *out = value;
     return true;
   }
+  bool ParseFloat(float* out) {
+    SkipSpace();
+    // Hand-rolled token scan first: strtod would happily eat "nan"/"inf"
+    // and hex floats, which JSON numbers do not include.
+    size_t start = i;
+    if (i < s.size() && (s[i] == '-' || s[i] == '+')) ++i;
+    size_t digits = i;
+    while (i < s.size() && std::isdigit(static_cast<unsigned char>(s[i]))) ++i;
+    if (i < s.size() && s[i] == '.') {
+      ++i;
+      while (i < s.size() && std::isdigit(static_cast<unsigned char>(s[i]))) {
+        ++i;
+      }
+    }
+    if (i == digits) return false;
+    if (i < s.size() && (s[i] == 'e' || s[i] == 'E')) {
+      ++i;
+      if (i < s.size() && (s[i] == '-' || s[i] == '+')) ++i;
+      size_t exp_digits = i;
+      while (i < s.size() && std::isdigit(static_cast<unsigned char>(s[i]))) {
+        ++i;
+      }
+      if (i == exp_digits) return false;
+    }
+    char* end = nullptr;
+    *out = std::strtof(s.c_str() + start, &end);
+    return end == s.c_str() + i;
+  }
+  /// "[f, f, ...]" (possibly empty) into `out`.
+  bool ParseFloatArray(std::vector<float>* out) {
+    if (!Eat('[')) return false;
+    out->clear();
+    if (Eat(']')) return true;
+    while (true) {
+      float v = 0.0f;
+      if (!ParseFloat(&v)) return false;
+      out->push_back(v);
+      if (Eat(',')) continue;
+      return Eat(']');
+    }
+  }
 };
+
+const char* MutationOpName(Mutation::Kind kind) {
+  switch (kind) {
+    case Mutation::Kind::kAddNode: return "add_node";
+    case Mutation::Kind::kAddEdge: return "add_edge";
+    case Mutation::Kind::kRemoveEdge: return "remove_edge";
+  }
+  return "?";
+}
 
 std::string EscapeJson(const std::string& s) {
   std::string out;
@@ -133,6 +183,10 @@ bool ParseServeRequestLine(const std::string& line, ServeRequest* request,
     return false;
   }
   bool have_node = false;
+  bool have_op = false;
+  bool have_type = false, have_attrs = false;
+  bool have_edge = false, have_src = false, have_dst = false;
+  std::string mutation_key;  // first mutation-only key seen, for errors
   if (!sc.Eat('}')) {  // non-empty object
     while (true) {
       std::string key;
@@ -181,6 +235,69 @@ bool ParseServeRequestLine(const std::string& line, ServeRequest* request,
           return false;
         }
         request->deadline_ms = v;
+      } else if (key == "op") {
+        std::string op;
+        if (!sc.ParseString(&op)) {
+          *error = "malformed \"op\" value (string expected)";
+          return false;
+        }
+        if (op == "add_node") {
+          request->mutation.kind = Mutation::Kind::kAddNode;
+        } else if (op == "add_edge") {
+          request->mutation.kind = Mutation::Kind::kAddEdge;
+        } else if (op == "remove_edge") {
+          request->mutation.kind = Mutation::Kind::kRemoveEdge;
+        } else {
+          *error = "unknown \"op\" value \"" + op +
+                   "\" (want add_node, add_edge or remove_edge)";
+          return false;
+        }
+        have_op = true;
+      } else if (key == "type") {
+        if (!sc.ParseString(&request->mutation.node_type)) {
+          *error = "malformed \"type\" value (string expected)";
+          return false;
+        }
+        have_type = true;
+        if (mutation_key.empty()) mutation_key = key;
+      } else if (key == "attrs") {
+        if (!sc.ParseFloatArray(&request->mutation.attributes)) {
+          *error = "malformed \"attrs\" value (array of numbers expected)";
+          return false;
+        }
+        have_attrs = true;
+        if (mutation_key.empty()) mutation_key = key;
+      } else if (key == "edge") {
+        if (!sc.ParseString(&request->mutation.edge_type)) {
+          *error = "malformed \"edge\" value (string expected)";
+          return false;
+        }
+        have_edge = true;
+        if (mutation_key.empty()) mutation_key = key;
+      } else if (key == "src" || key == "dst") {
+        int64_t* slot =
+            key == "src" ? &request->mutation.src : &request->mutation.dst;
+        if (!sc.ParseInt(slot)) {
+          *error = "malformed \"" + key + "\" value (integer expected)";
+          return false;
+        }
+        (key == "src" ? have_src : have_dst) = true;
+        if (mutation_key.empty()) mutation_key = key;
+      } else if (key == "expect_fingerprint") {
+        // Hex string, not a JSON number: fingerprints are full-range
+        // uint64 and the integer grammar is (deliberately) int64-only.
+        std::string hex;
+        if (!sc.ParseString(&hex) || hex.empty() ||
+            hex.size() > 16 ||
+            hex.find_first_not_of("0123456789abcdefABCDEF") !=
+                std::string::npos) {
+          *error =
+              "malformed \"expect_fingerprint\" value (hex string expected)";
+          return false;
+        }
+        request->mutation.expect_fingerprint =
+            std::strtoull(hex.c_str(), nullptr, 16);
+        if (mutation_key.empty()) mutation_key = key;
       } else {
         *error = "unknown key \"" + key + "\"";
         return false;
@@ -196,9 +313,46 @@ bool ParseServeRequestLine(const std::string& line, ServeRequest* request,
     *error = "trailing characters after the object";
     return false;
   }
-  if (!have_node) {
-    *error = "missing required key \"node\"";
+  if (!have_op) {
+    if (!mutation_key.empty()) {
+      *error = "key \"" + mutation_key + "\" is only valid with \"op\"";
+      return false;
+    }
+    if (!have_node) {
+      *error = "missing required key \"node\"";
+      return false;
+    }
+    return true;
+  }
+  // Mutation: per-kind required/forbidden keys, so a typo'd delta fails
+  // loudly instead of mutating something else.
+  if (have_node) {
+    *error = "\"node\" and \"op\" are mutually exclusive";
     return false;
+  }
+  request->is_mutation = true;
+  if (request->mutation.kind == Mutation::Kind::kAddNode) {
+    if (!have_type) {
+      *error = "\"op\":\"add_node\" requires \"type\"";
+      return false;
+    }
+    if (have_edge || have_src || have_dst) {
+      *error = "\"op\":\"add_node\" takes \"type\"/\"attrs\", not edge keys";
+      return false;
+    }
+  } else {
+    if (!have_edge || !have_src || !have_dst) {
+      *error = std::string("\"op\":\"") +
+               MutationOpName(request->mutation.kind) +
+               "\" requires \"edge\", \"src\" and \"dst\"";
+      return false;
+    }
+    if (have_type || have_attrs) {
+      *error = std::string("\"op\":\"") +
+               MutationOpName(request->mutation.kind) +
+               "\" takes edge keys, not \"type\"/\"attrs\"";
+      return false;
+    }
   }
   return true;
 }
@@ -219,6 +373,21 @@ std::string FormatServeResponse(const std::string& id,
 std::string FormatServeError(const std::string& id, const std::string& error) {
   return "{\"id\":\"" + EscapeJson(id) + "\",\"error\":\"" +
          EscapeJson(error) + "\"}\n";
+}
+
+std::string FormatMutationResponse(const std::string& id,
+                                   const Mutation& mutation,
+                                   const MutationResult& result,
+                                   int64_t latency_us) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                ",\"applied\":\"%s\",\"node\":%lld,\"dirty_rows\":%lld,"
+                "\"latency_us\":%lld}\n",
+                MutationOpName(mutation.kind),
+                static_cast<long long>(result.node),
+                static_cast<long long>(result.dirty_rows),
+                static_cast<long long>(latency_us));
+  return "{\"id\":\"" + EscapeJson(id) + "\"" + buf;
 }
 
 bool SendAll(int fd, const char* data, size_t size) {
@@ -433,8 +602,9 @@ void InferenceServer::ReaderLoop(uint64_t reader_id,
       // the queued request, so a hot reload never changes what an already
       // accepted request is answered from.
       std::string resolved_model;
+      std::shared_ptr<MutableSession> mutable_session;
       std::shared_ptr<InferenceSession> session =
-          registry_->Lookup(request.model, &resolved_model);
+          registry_->Lookup(request.model, &resolved_model, &mutable_session);
       if (session == nullptr) {
         {
           std::lock_guard<std::mutex> lock(mu_);
@@ -445,8 +615,19 @@ void InferenceServer::ReaderLoop(uint64_t reader_id,
                             "unknown model \"" + request.model + "\""));
         continue;
       }
+      if (request.is_mutation && mutable_session == nullptr) {
+        WriteLine(conn,
+                  FormatServeError(request.id,
+                                   "mutations disabled (start the server "
+                                   "with --enable_mutations)"));
+        continue;
+      }
       int64_t now = NowMicros();
-      Pending entry{conn, std::move(request), std::move(session), now,
+      Pending entry{conn,
+                    std::move(request),
+                    std::move(session),
+                    std::move(mutable_session),
+                    now,
                     /*deadline_us=*/-1};
       if (entry.request.deadline_ms >= 0) {
         entry.deadline_us = now + entry.request.deadline_ms * 1000;
@@ -596,9 +777,57 @@ void InferenceServer::BatcherLoop() {
                 FormatServeError(entry.request.id, "deadline exceeded"));
     }
     for (const Pending& entry : batch) {
+      if (entry.request.is_mutation) {
+        StatusOr<MutationResult> applied =
+            entry.mutable_session->Apply(entry.request.mutation);
+        int64_t latency_us = NowMicros() - entry.enqueued_us;
+        int64_t partial_rows = entry.mutable_session->TakeUnreportedPartialRows();
+        if (!applied.ok()) {
+          if (partial_rows > 0) {
+            std::lock_guard<std::mutex> lock(mu_);
+            stats_.partial_forward_rows += partial_rows;
+          }
+          WriteLine(entry.conn, FormatServeError(entry.request.id,
+                                                 applied.status().message()));
+          continue;
+        }
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          ++stats_.mutations_applied;
+          stats_.dirty_rows += applied.value().dirty_rows;
+          stats_.partial_forward_rows += partial_rows;
+        }
+        if (WriteLine(entry.conn,
+                      FormatMutationResponse(entry.request.id,
+                                             entry.request.mutation,
+                                             applied.value(), latency_us))) {
+          std::lock_guard<std::mutex> lock(mu_);
+          ++stats_.responses;
+        }
+        if (Telemetry::Enabled()) {
+          Telemetry::Get().Emit(
+              MetricRecord("serve_mutation")
+                  .Add("op", MutationOpName(entry.request.mutation.kind))
+                  .Add("dirty_rows", applied.value().dirty_rows)
+                  .Add("latency_us", latency_us));
+        }
+        continue;
+      }
+      // A model with a mutation overlay answers *all* its predictions from
+      // the overlay — a clean row is the same O(classes) lookup, and a dirty
+      // row follows the staleness policy instead of serving pre-delta state.
       StatusOr<InferenceSession::Prediction> prediction =
-          entry.session->Predict(entry.request.node);
+          entry.mutable_session != nullptr
+              ? entry.mutable_session->Predict(entry.request.node)
+              : entry.session->Predict(entry.request.node);
       int64_t latency_us = NowMicros() - entry.enqueued_us;
+      if (entry.mutable_session != nullptr) {
+        int64_t partial_rows = entry.mutable_session->TakeUnreportedPartialRows();
+        if (partial_rows > 0) {
+          std::lock_guard<std::mutex> lock(mu_);
+          stats_.partial_forward_rows += partial_rows;
+        }
+      }
       if (!prediction.ok()) {
         WriteLine(entry.conn, FormatServeError(
                                   entry.request.id,

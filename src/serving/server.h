@@ -15,11 +15,12 @@
 
 #include "serving/inference_session.h"
 #include "serving/model_registry.h"
+#include "serving/mutable_session.h"
 #include "util/status.h"
 
 namespace autoac {
 
-/// One newline-delimited JSON request:
+/// One newline-delimited JSON request. Predictions:
 ///   {"id": "...", "node": N, "model": "...", "deadline_ms": M}
 /// `id` is an opaque client token echoed back in the response (optional,
 /// may be a JSON string or number); `node` is the target-type-local node
@@ -28,11 +29,22 @@ namespace autoac {
 /// client-side deadline relative to arrival — a request still queued when
 /// it expires is answered with a distinct "deadline exceeded" error and
 /// never reaches Predict.
+///
+/// Mutations (DESIGN.md §12) share the grammar, selected by "op" instead
+/// of "node" (the two are mutually exclusive):
+///   {"id": "...", "op": "add_node", "type": "author", "attrs": [0.1, ...]}
+///   {"id": "...", "op": "add_edge", "edge": "writes", "src": 7, "dst": 12}
+///   {"id": "...", "op": "remove_edge", "edge": "writes", "src": 7, "dst": 12}
+/// plus optional "model", "deadline_ms", and "expect_fingerprint" (the
+/// artifact content fingerprint as a hex string; a mismatch — e.g. a SIGHUP
+/// swapped the model — is a distinct error and the delta is not applied).
 struct ServeRequest {
   std::string id;
   int64_t node = -1;
   std::string model;
   int64_t deadline_ms = -1;  // -1 = no deadline
+  bool is_mutation = false;  // "op" present; `mutation` is the payload
+  Mutation mutation;
 };
 
 /// Parses one request line. The accepted grammar is a flat JSON object with
@@ -49,6 +61,13 @@ std::string FormatServeResponse(const std::string& id,
                                 const InferenceSession::Prediction& p,
                                 int64_t latency_us);
 std::string FormatServeError(const std::string& id, const std::string& error);
+/// Mutation ack:
+///   {"id":"m1","applied":"add_edge","node":-1,"dirty_rows":5,"latency_us":..}
+/// `node` is the assigned type-local id for add_node, -1 otherwise.
+std::string FormatMutationResponse(const std::string& id,
+                                   const Mutation& mutation,
+                                   const MutationResult& result,
+                                   int64_t latency_us);
 
 /// Writes all `size` bytes to `fd`, retrying interrupted and would-block
 /// sends (EINTR immediately; EAGAIN/EWOULDBLOCK after polling for
@@ -96,6 +115,9 @@ struct ServeStats {
   int64_t write_errors = 0;      // response writes that failed after retries
   int64_t batches = 0;           // inference batches executed
   int64_t batched_requests = 0;  // sum of batch sizes (occupancy numerator)
+  int64_t mutations_applied = 0;     // graph deltas validated and applied
+  int64_t dirty_rows = 0;            // logits rows the deltas marked dirty
+  int64_t partial_forward_rows = 0;  // rows recomputed via the partial path
 };
 
 /// Batched request/response front-end over a ModelRegistry (DESIGN.md §10).
@@ -155,6 +177,10 @@ class InferenceServer {
     std::shared_ptr<Connection> conn;
     ServeRequest request;
     std::shared_ptr<InferenceSession> session;  // pinned at enqueue
+    /// Pinned alongside the session when the registry hosts a mutation
+    /// overlay; mutations and (for consistency) predictions of that model
+    /// dispatch through it.
+    std::shared_ptr<MutableSession> mutable_session;
     int64_t enqueued_us = 0;   // monotonic clock, for latency telemetry
     int64_t deadline_us = -1;  // absolute expiry; -1 = none
   };

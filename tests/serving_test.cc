@@ -27,11 +27,13 @@
 
 #include "autoac/trainer.h"
 #include "data/hgb_datasets.h"
+#include "graph/mutable_graph.h"
 #include "gtest/gtest.h"
 #include "models/factory.h"
 #include "serving/frozen_model.h"
 #include "serving/inference_session.h"
 #include "serving/model_registry.h"
+#include "serving/mutable_session.h"
 #include "serving/server.h"
 #include "tensor/ops.h"
 #include "util/parallel.h"
@@ -1225,6 +1227,308 @@ TEST(InferenceServerTest, OverlongLineGetsErrorAndDropsConnection) {
   ServeStats stats = server.stats();
   EXPECT_EQ(stats.overlong_lines, 1);
   EXPECT_EQ(stats.requests, 0);
+}
+
+// --- streaming graph mutations (DESIGN.md §12) -------------------------------
+
+TEST(ServeProtocolTest, ParsesMutationRequests) {
+  ServeRequest request;
+  std::string error;
+  ASSERT_TRUE(ParseServeRequestLine(
+      R"({"id": "m1", "op": "add_node", "type": "author", )"
+      R"("attrs": [1.5, -2, 3e-1]})",
+      &request, &error))
+      << error;
+  EXPECT_TRUE(request.is_mutation);
+  EXPECT_EQ(request.mutation.kind, Mutation::Kind::kAddNode);
+  EXPECT_EQ(request.mutation.node_type, "author");
+  ASSERT_EQ(request.mutation.attributes.size(), 3u);
+  EXPECT_EQ(request.mutation.attributes[0], 1.5f);
+  EXPECT_EQ(request.mutation.attributes[1], -2.0f);
+  EXPECT_EQ(request.mutation.attributes[2], 0.3f);
+
+  ASSERT_TRUE(ParseServeRequestLine(
+      R"({"op": "add_edge", "edge": "paper-author", "src": 3, "dst": 7, )"
+      R"("expect_fingerprint": "00ff00ff00ff00ff"})",
+      &request, &error))
+      << error;
+  EXPECT_EQ(request.mutation.kind, Mutation::Kind::kAddEdge);
+  EXPECT_EQ(request.mutation.edge_type, "paper-author");
+  EXPECT_EQ(request.mutation.src, 3);
+  EXPECT_EQ(request.mutation.dst, 7);
+  EXPECT_EQ(request.mutation.expect_fingerprint, 0x00ff00ff00ff00ffull);
+
+  ASSERT_TRUE(ParseServeRequestLine(
+      R"({"op": "remove_edge", "edge": "e", "src": 0, "dst": 0, )"
+      R"("model": "a"})",
+      &request, &error))
+      << error;
+  EXPECT_TRUE(request.is_mutation);
+  EXPECT_EQ(request.mutation.kind, Mutation::Kind::kRemoveEdge);
+  EXPECT_EQ(request.model, "a");
+  EXPECT_EQ(request.mutation.expect_fingerprint, 0u);
+}
+
+TEST(ServeProtocolTest, RejectsMalformedMutations) {
+  ServeRequest request;
+  std::string error;
+  const char* bad[] = {
+      R"({"op": "add_node", "type": "a", "node": 1})",  // op+node exclusive
+      R"({"op": "drop_table", "type": "a"})",           // unknown op
+      R"({"op": "add_node"})",                          // missing type
+      R"({"op": "add_node", "type": "a", "src": 1})",   // edge key on add_node
+      R"({"op": "add_edge", "edge": "e", "src": 1})",   // missing dst
+      R"({"op": "add_edge", "edge": "e", "src": 1, "dst": 2, "attrs": []})",
+      R"({"node": 1, "src": 2})",                       // "src" without "op"
+      R"({"op": "add_node", "type": "a", "attrs": [1, "x"]})",
+      R"({"op": "add_node", "type": "a", "attrs": [nan]})",
+      // Fingerprints travel as hex strings (uint64-range); integers and
+      // non-hex strings are malformed.
+      R"({"op": "add_edge", "edge": "e", "src": 1, "dst": 2, )"
+      R"("expect_fingerprint": 7})",
+      R"({"op": "add_edge", "edge": "e", "src": 1, "dst": 2, )"
+      R"("expect_fingerprint": "xyz"})",
+  };
+  for (const char* line : bad) {
+    EXPECT_FALSE(ParseServeRequestLine(line, &request, &error))
+        << "accepted: " << line;
+    EXPECT_FALSE(error.empty());
+  }
+}
+
+TEST(ServeProtocolTest, MutationResponseFormatting) {
+  Mutation m;
+  m.kind = Mutation::Kind::kAddNode;
+  MutationResult result;
+  result.node = 12;
+  result.dirty_rows = 5;
+  EXPECT_EQ(FormatMutationResponse("m1", m, result, 90),
+            "{\"id\":\"m1\",\"applied\":\"add_node\",\"node\":12,"
+            "\"dirty_rows\":5,\"latency_us\":90}\n");
+}
+
+/// The node-type id of `name` in the environment graph, for building deltas.
+int64_t NodeTypeIdOrDie(const HeteroGraph& graph, const std::string& name) {
+  for (int64_t t = 0; t < graph.num_node_types(); ++t) {
+    if (graph.node_type(t).name == name) return t;
+  }
+  AUTOAC_CHECK(false) << "no node type " << name;
+  return -1;
+}
+
+// The tentpole invariant at the socket level: every answer after a streamed
+// delta is bitwise identical to a from-scratch re-export
+// (RefreezeWithGraph) of the mutated graph.
+TEST(InferenceServerTest, MutationsOverSocketMatchFromScratchRefreeze) {
+  const ServingEnvironment& env = ServingEnvironment::Get();
+  ModelRegistry registry;
+  registry.set_mutation_options(/*enabled=*/true, /*staleness_ms=*/0);
+  registry.Register("default",
+                    std::make_shared<InferenceSession>(env.frozen()));
+  ServerOptions options;
+  options.tcp_port = 0;
+  options.max_batch = 4;
+  options.batch_timeout_ms = 2;
+  InferenceServer server(&registry, options);
+  ASSERT_TRUE(server.Start().ok());
+  std::thread serving([&] { server.Serve(); });
+  int fd = ConnectLoopback(server.port());
+  ASSERT_GE(fd, 0);
+
+  const HeteroGraph& graph = *env.frozen().graph;
+  const int64_t new_author =
+      graph.node_type(NodeTypeIdOrDie(graph, "author")).count;
+  std::string out;
+  out +=
+      "{\"id\": \"m0\", \"op\": \"add_edge\", \"edge\": \"paper-author\", "
+      "\"src\": 0, \"dst\": 1}\n";
+  out += "{\"id\": \"m1\", \"op\": \"add_node\", \"type\": \"author\"}\n";
+  out +=
+      "{\"id\": \"m2\", \"op\": \"add_edge\", \"edge\": \"paper-author\", "
+      "\"src\": 3, \"dst\": " +
+      std::to_string(new_author) + "}\n";
+  out +=
+      "{\"id\": \"m3\", \"op\": \"remove_edge\", \"edge\": \"paper-author\", "
+      "\"src\": 0, \"dst\": 1}\n";
+  const std::vector<int64_t> probes = {0, 1, 2, new_author};
+  for (size_t i = 0; i < probes.size(); ++i) {
+    out += "{\"id\": \"r" + std::to_string(i) +
+           "\", \"node\": " + std::to_string(probes[i]) + "}\n";
+  }
+  ASSERT_TRUE(SendAll(fd, out.data(), out.size()));
+  std::vector<std::string> lines = RecvLines(fd, 8);
+  ::close(fd);
+  ASSERT_EQ(lines.size(), 8u);
+  std::map<std::string, std::string> by_id = ById(lines);
+
+  // Mutation acks echo the op, the assigned local id, and the dirty count.
+  EXPECT_NE(by_id["m0"].find("\"applied\":\"add_edge\""), std::string::npos)
+      << by_id["m0"];
+  EXPECT_NE(by_id["m1"].find("\"applied\":\"add_node\",\"node\":" +
+                             std::to_string(new_author)),
+            std::string::npos)
+      << by_id["m1"];
+
+  // The from-scratch reference: same deltas on a plain graph replica, then
+  // a full re-export.
+  MutableGraph replica(env.frozen().graph);
+  int64_t author = replica.NodeTypeIdOf("author").value();
+  int64_t pa = replica.EdgeTypeIdOf("paper-author").value();
+  ASSERT_TRUE(replica.AddEdge(pa, 0, 1).ok());
+  ASSERT_EQ(replica.AddNode(author, {}).value(), new_author);
+  ASSERT_TRUE(replica.AddEdge(pa, 3, new_author).ok());
+  ASSERT_TRUE(replica.RemoveEdge(pa, 0, 1).ok());
+  StatusOr<FrozenModel> refrozen =
+      RefreezeWithGraph(env.frozen(), replica.Compact(),
+                        ExtendOpAssignment(env.frozen(), *replica.Compact()));
+  ASSERT_TRUE(refrozen.ok()) << refrozen.status().message();
+  InferenceSession::Options interpret;
+  interpret.compile = false;
+  InferenceSession reference(refrozen.TakeValue(), interpret);
+  for (size_t i = 0; i < probes.size(); ++i) {
+    std::string id = "r" + std::to_string(i);
+    EXPECT_EQ(by_id[id], ExpectedLine(reference, id, probes[i])) << id;
+  }
+
+  server.Stop();
+  serving.join();
+  ServeStats stats = server.stats();
+  EXPECT_EQ(stats.requests, 8);
+  EXPECT_EQ(stats.responses, 8);
+  EXPECT_EQ(stats.mutations_applied, 4);
+  EXPECT_GT(stats.dirty_rows, 0);
+}
+
+// Satellite: mutations with malformed node/edge types (and other invalid
+// deltas) are answered with distinct errors, never applied, and leave the
+// server healthy.
+TEST(InferenceServerTest, MalformedMutationsGetDistinctErrors) {
+  const ServingEnvironment& env = ServingEnvironment::Get();
+  ModelRegistry registry;
+  registry.set_mutation_options(/*enabled=*/true, /*staleness_ms=*/0);
+  registry.Register("default",
+                    std::make_shared<InferenceSession>(env.frozen()));
+  ServerOptions options;
+  options.tcp_port = 0;
+  options.max_batch = 4;
+  options.batch_timeout_ms = 2;
+  InferenceServer server(&registry, options);
+  ASSERT_TRUE(server.Start().ok());
+  std::thread serving([&] { server.Serve(); });
+  int fd = ConnectLoopback(server.port());
+  ASSERT_GE(fd, 0);
+
+  std::string out;
+  out += "{\"id\": \"m0\", \"op\": \"add_node\", \"type\": \"gizmo\"}\n";
+  out +=
+      "{\"id\": \"m1\", \"op\": \"add_edge\", \"edge\": \"nope\", "
+      "\"src\": 0, \"dst\": 0}\n";
+  out +=
+      "{\"id\": \"m2\", \"op\": \"add_edge\", \"edge\": \"paper-author\", "
+      "\"src\": 999999999, \"dst\": 0}\n";
+  out +=
+      "{\"id\": \"m3\", \"op\": \"add_node\", \"type\": \"author\", "
+      "\"attrs\": [1.0]}\n";
+  out += "{\"id\": \"r0\", \"node\": 0}\n";
+  ASSERT_TRUE(SendAll(fd, out.data(), out.size()));
+  std::vector<std::string> lines = RecvLines(fd, 5);
+  ::close(fd);
+  ASSERT_EQ(lines.size(), 5u);
+  std::map<std::string, std::string> by_id = ById(lines);
+  EXPECT_NE(by_id["m0"].find("unknown node type"), std::string::npos)
+      << by_id["m0"];
+  EXPECT_NE(by_id["m1"].find("unknown edge type"), std::string::npos)
+      << by_id["m1"];
+  EXPECT_NE(by_id["m2"].find("out of range"), std::string::npos)
+      << by_id["m2"];
+  EXPECT_NE(by_id["m3"].find("\"error\""), std::string::npos) << by_id["m3"];
+  EXPECT_NE(by_id["r0"].find("\"label\":"), std::string::npos) << by_id["r0"];
+
+  server.Stop();
+  serving.join();
+  ServeStats stats = server.stats();
+  EXPECT_EQ(stats.mutations_applied, 0);
+  EXPECT_EQ(stats.dirty_rows, 0);
+  EXPECT_EQ(stats.requests, 5);   // all parsed fine
+  EXPECT_EQ(stats.responses, 1);  // only the prediction succeeded
+}
+
+TEST(InferenceServerTest, MutationsDisabledIsADistinctError) {
+  const ServingEnvironment& env = ServingEnvironment::Get();
+  ModelRegistry registry;  // no set_mutation_options
+  registry.Register("default",
+                    std::make_shared<InferenceSession>(env.frozen()));
+  ServerOptions options;
+  options.tcp_port = 0;
+  options.batch_timeout_ms = 2;
+  InferenceServer server(&registry, options);
+  ASSERT_TRUE(server.Start().ok());
+  std::thread serving([&] { server.Serve(); });
+  int fd = ConnectLoopback(server.port());
+  ASSERT_GE(fd, 0);
+  std::string out =
+      "{\"id\": \"m0\", \"op\": \"add_edge\", \"edge\": \"paper-author\", "
+      "\"src\": 0, \"dst\": 0}\n";
+  ASSERT_TRUE(SendAll(fd, out.data(), out.size()));
+  std::vector<std::string> lines = RecvLines(fd, 1);
+  ::close(fd);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("mutations disabled"), std::string::npos)
+      << lines[0];
+  server.Stop();
+  serving.join();
+  EXPECT_EQ(server.stats().mutations_applied, 0);
+}
+
+// Satellite: a delta racing a model swap. An unchanged-fingerprint reload
+// keeps the overlay (accumulated deltas survive SIGHUP); a changed
+// fingerprint swaps in a fresh overlay, and a delta still expecting the old
+// fingerprint gets the distinct mismatch error instead of mutating the new
+// model.
+TEST(ModelRegistryTest, MutationOverlayAcrossReloads) {
+  const ServingEnvironment& env = ServingEnvironment::Get();
+  std::string path = TempPath("mutation_reload.aacm");
+  ASSERT_TRUE(SaveFrozenModel(env.frozen(), path).ok());
+  ModelRegistry registry;
+  InferenceSession::Options interpret;
+  interpret.compile = false;
+  registry.set_session_options(interpret);
+  registry.set_mutation_options(/*enabled=*/true, /*staleness_ms=*/0);
+  ASSERT_TRUE(registry.LoadFromSpec("m=" + path, "").ok());
+
+  std::shared_ptr<MutableSession> overlay = registry.LookupMutable("m");
+  ASSERT_NE(overlay, nullptr);
+  Mutation delta;
+  delta.kind = Mutation::Kind::kAddEdge;
+  delta.edge_type = "paper-author";
+  delta.src = 0;
+  delta.dst = 1;
+  delta.expect_fingerprint = env.frozen().fingerprint;
+  ASSERT_TRUE(overlay->Apply(delta).ok());
+
+  StatusOr<ModelRegistry::ReloadReport> noop = registry.Reload();
+  ASSERT_TRUE(noop.ok()) << noop.status().message();
+  ASSERT_EQ(noop.value().unchanged.size(), 1u);
+  EXPECT_EQ(registry.LookupMutable("m"), overlay);
+  EXPECT_EQ(overlay->mutations_applied(), 1);
+
+  FrozenModel variant = MakeVariantFrozen(env.frozen(), 0.25f);
+  ASSERT_TRUE(SaveFrozenModel(variant, path).ok());
+  StatusOr<ModelRegistry::ReloadReport> swapped = registry.Reload();
+  ASSERT_TRUE(swapped.ok()) << swapped.status().message();
+  ASSERT_EQ(swapped.value().reloaded.size(), 1u);
+  std::shared_ptr<MutableSession> fresh = registry.LookupMutable("m");
+  ASSERT_NE(fresh, nullptr);
+  EXPECT_NE(fresh, overlay);
+  EXPECT_EQ(fresh->mutations_applied(), 0);  // old deltas went with the swap
+
+  StatusOr<MutationResult> stale = fresh->Apply(delta);
+  ASSERT_FALSE(stale.ok());
+  EXPECT_NE(stale.status().message().find("fingerprint mismatch"),
+            std::string::npos)
+      << stale.status().message();
+  delta.expect_fingerprint = variant.fingerprint;
+  EXPECT_TRUE(fresh->Apply(delta).ok());
 }
 
 }  // namespace
