@@ -35,17 +35,20 @@
 #include <arpa/inet.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "graph/mutable_graph.h"
+#include "serving/feed.h"
 #include "serving/frozen_model.h"
 #include "serving/inference_session.h"
 #include "serving/model_registry.h"
@@ -76,6 +79,11 @@ const std::vector<Flags::Spec>& FlagTable() {
       {"batch_timeout_ms", Type::kInt},
       {"max_queue", Type::kInt},
       {"max_line_bytes", Type::kInt},
+      {"rate_limit_rps", Type::kDouble},
+      {"rate_limit_burst", Type::kDouble},
+      {"idle_timeout_ms", Type::kInt},
+      {"max_conns", Type::kInt},
+      {"max_inflight_per_conn", Type::kInt},
       {"num_threads", Type::kInt},
       {"metrics_out", Type::kString},
       {"no_compile", Type::kBool},
@@ -89,6 +97,8 @@ const std::vector<Flags::Spec>& FlagTable() {
       {"feed", Type::kString},
       {"model_name", Type::kString},
       {"deadline_ms", Type::kInt},
+      {"qos", Type::kString},
+      {"client_name", Type::kString},
   };
   return kSpecs;
 }
@@ -103,6 +113,14 @@ void PrintUsage() {
       "                          connection with the most queued requests\n"
       "  [--max_line_bytes=65536] request-line bound; longer drops the\n"
       "                          connection\n"
+      "  [--rate_limit_rps=0]    per-client token-bucket admission control\n"
+      "                          (0 disables); identity is the request's\n"
+      "                          \"client\" key, else the connection\n"
+      "  [--rate_limit_burst=0]  bucket capacity (0 = max(rps, 1))\n"
+      "  [--idle_timeout_ms=0]   reap connections idle this long (0 = off)\n"
+      "  [--max_conns=0]         accept gate: refuse further connections\n"
+      "                          with a structured max_conns line (0 = off)\n"
+      "  [--max_inflight_per_conn=0] per-connection queued-request cap\n"
       "  [--num_threads=N]       forward-pass threads (0 = default)\n"
       "  [--metrics_out=PATH]    JSONL telemetry (latency, batch occupancy)\n"
       "  [--no_compile]          skip the graph compiler; run every forward\n"
@@ -117,16 +135,25 @@ void PrintUsage() {
       "  [--mutation_feed=PATH]  replay a newline-JSON delta file into the\n"
       "                          default model at startup (implies\n"
       "                          --enable_mutations)\n"
-      "requests may carry \"model\" (routes by registry name) and\n"
-      "\"deadline_ms\" (expired-in-queue requests get a distinct error);\n"
-      "mutations may carry \"expect_fingerprint\" (hex; mismatch = error).\n"
+      "requests may carry \"model\" (routes by registry name),\n"
+      "\"deadline_ms\" (expired-in-queue requests get a distinct error),\n"
+      "\"qos\" (interactive|batch: interactive preempts batch in the\n"
+      "batcher, batch absorbs overload eviction first) and \"client\" (a\n"
+      "stable admission identity); mutations may carry\n"
+      "\"expect_fingerprint\" (hex; mismatch = error). Rejections are\n"
+      "structured: {\"error\":..,\"reason\":..,\"retry_after_ms\":..} with\n"
+      "reasons rate_limited, overloaded, inflight_limit, max_conns,\n"
+      "idle_timeout.\n"
       "SIGHUP re-reads the artifact set (fingerprint-unchanged artifacts\n"
       "keep their session *and* accumulated deltas; a changed fingerprint\n"
       "discards the deltas with the old session).\n"
       "client mode (for smoke tests):\n"
       "  autoac_serve --client [--socket=PATH | --port=N] --nodes=0,1,2\n"
       "    [--feed=PATH] [--model_name=NAME] [--deadline_ms=M]\n"
-      "  --feed sends the file's request lines verbatim before --nodes.\n"
+      "    [--qos=interactive|batch] [--client_name=ID]\n"
+      "  --feed sends the file's request lines verbatim before --nodes;\n"
+      "  structured rejections (reason / retry_after_ms) are summarized on\n"
+      "  stderr.\n"
       "reference mode (the from-scratch answer the incremental path must\n"
       "match bitwise):\n"
       "  autoac_serve --reference --model=PATH --nodes=0,1,2\n"
@@ -211,6 +238,8 @@ int RunClient(const Flags& flags) {
   }
   std::string model_name = flags.GetString("model_name", "");
   int64_t deadline_ms = flags.GetInt("deadline_ms", -1);
+  std::string qos = flags.GetString("qos", "");
+  std::string client_name = flags.GetString("client_name", "");
   int fd = Connect(unix_path, port);
   if (fd < 0) {
     std::fprintf(stderr, "error: connect failed: %s\n", std::strerror(errno));
@@ -224,6 +253,8 @@ int RunClient(const Flags& flags) {
     if (deadline_ms >= 0) {
       out += ", \"deadline_ms\": " + std::to_string(deadline_ms);
     }
+    if (!qos.empty()) out += ", \"qos\": \"" + qos + "\"";
+    if (!client_name.empty()) out += ", \"client\": \"" + client_name + "\"";
     out += ", \"node\": " + std::to_string(nodes[i]) + "}\n";
   }
   if (!SendAll(fd, out.data(), out.size())) {
@@ -233,6 +264,9 @@ int RunClient(const Flags& flags) {
   }
   const size_t expected = feed.size() + nodes.size();
   size_t lines = 0;
+  size_t rejected = 0;
+  int64_t max_retry_after_ms = -1;
+  std::map<std::string, int64_t> reasons;
   std::string pending;
   char buf[4096];
   while (lines < expected) {
@@ -242,13 +276,46 @@ int RunClient(const Flags& flags) {
     size_t start = 0;
     for (size_t nl = pending.find('\n', start); nl != std::string::npos;
          nl = pending.find('\n', start)) {
-      std::printf("%s\n", pending.substr(start, nl - start).c_str());
+      std::string line = pending.substr(start, nl - start);
+      std::printf("%s\n", line.c_str());
       start = nl + 1;
       ++lines;
+      // Surface structured rejections: the machine-readable "reason" and
+      // retry hint are for programs; a human running --client gets a
+      // summary on stderr.
+      size_t reason_at = line.find("\"reason\":\"");
+      if (reason_at != std::string::npos) {
+        ++rejected;
+        size_t value = reason_at + 10;
+        size_t end = line.find('"', value);
+        if (end != std::string::npos) {
+          ++reasons[line.substr(value, end - value)];
+        }
+        size_t retry_at = line.find("\"retry_after_ms\":");
+        if (retry_at != std::string::npos) {
+          max_retry_after_ms =
+              std::max(max_retry_after_ms,
+                       static_cast<int64_t>(std::strtoll(
+                           line.c_str() + retry_at + 17, nullptr, 10)));
+        }
+      }
     }
     pending.erase(0, start);
   }
   ::close(fd);
+  if (rejected > 0) {
+    std::string breakdown;
+    for (const auto& [reason, count] : reasons) {
+      if (!breakdown.empty()) breakdown += ", ";
+      breakdown += reason + "=" + std::to_string(count);
+    }
+    std::fprintf(stderr, "%zu rejected (%s)", rejected, breakdown.c_str());
+    if (max_retry_after_ms >= 0) {
+      std::fprintf(stderr, ", max retry_after_ms %lld",
+                   static_cast<long long>(max_retry_after_ms));
+    }
+    std::fprintf(stderr, "\n");
+  }
   if (lines != expected) {
     std::fprintf(stderr, "error: got %zu of %zu responses\n", lines,
                  expected);
@@ -391,7 +458,9 @@ void DumpCompiledIr(const ModelRegistry& registry) {
   std::fflush(stdout);
 }
 
-void HandleSighupReload(ModelRegistry* registry, bool dump_ir) {
+/// Returns false when the reload failed (the serving set is unchanged);
+/// the caller counts it into ServeStats::reload_failures.
+bool HandleSighupReload(ModelRegistry* registry, bool dump_ir) {
   std::printf("SIGHUP: re-reading artifact set\n");
   StatusOr<ModelRegistry::ReloadReport> report = registry->Reload();
   if (!report.ok()) {
@@ -399,7 +468,7 @@ void HandleSighupReload(ModelRegistry* registry, bool dump_ir) {
     std::fprintf(stderr, "reload failed (serving set unchanged): %s\n",
                  report.status().message().c_str());
     std::fflush(stderr);
-    return;
+    return false;
   }
   auto join = [](const std::vector<std::string>& names) {
     std::string joined;
@@ -419,6 +488,7 @@ void HandleSighupReload(ModelRegistry* registry, bool dump_ir) {
   PrintModelTable(*registry);
   std::fflush(stdout);
   if (dump_ir) DumpCompiledIr(*registry);
+  return true;
 }
 
 int Run(int argc, char** argv) {
@@ -489,6 +559,7 @@ int Run(int argc, char** argv) {
     std::printf("mutations enabled (staleness %lld ms)\n",
                 static_cast<long long>(staleness_ms));
   }
+  int64_t feed_skipped = 0;
   if (!mutation_feed.empty()) {
     std::vector<std::string> feed;
     if (!ReadFeedLines(mutation_feed, &feed)) {
@@ -496,39 +567,27 @@ int Run(int argc, char** argv) {
                    mutation_feed.c_str());
       return 1;
     }
-    int64_t dirty = 0;
-    for (size_t i = 0; i < feed.size(); ++i) {
-      ServeRequest request;
-      std::string error;
-      if (!ParseServeRequestLine(feed[i], &request, &error)) {
-        std::fprintf(stderr, "error: mutation feed line %zu: %s\n", i + 1,
-                     error.c_str());
-        return 1;
-      }
-      if (!request.is_mutation) {
-        std::fprintf(stderr,
-                     "error: mutation feed line %zu is not a mutation\n",
-                     i + 1);
-        return 1;
-      }
-      std::shared_ptr<MutableSession> overlay =
-          registry.LookupMutable(request.model);
-      if (overlay == nullptr) {
-        std::fprintf(stderr,
-                     "error: mutation feed line %zu: unknown model \"%s\"\n",
-                     i + 1, request.model.c_str());
-        return 1;
-      }
-      StatusOr<MutationResult> applied = overlay->Apply(request.mutation);
-      if (!applied.ok()) {
-        std::fprintf(stderr, "error: mutation feed line %zu: %s\n", i + 1,
-                     applied.status().message().c_str());
-        return 1;
-      }
-      dirty += applied.value().dirty_rows;
+    // Bad lines are skipped and counted, never fatal: the server must come
+    // up on the well-formed remainder of its feed.
+    FeedReplayReport report = ReplayMutationFeed(&registry, feed);
+    feed_skipped = report.skipped;
+    for (const std::string& why : report.errors) {
+      std::fprintf(stderr, "warning: mutation feed %s (skipped)\n",
+                   why.c_str());
     }
-    std::printf("mutation feed: %zu deltas applied (%lld rows dirtied)\n",
-                feed.size(), static_cast<long long>(dirty));
+    if (report.skipped >
+        static_cast<int64_t>(report.errors.size())) {
+      std::fprintf(stderr, "warning: mutation feed: %lld further skips\n",
+                   static_cast<long long>(
+                       report.skipped -
+                       static_cast<int64_t>(report.errors.size())));
+    }
+    std::printf(
+        "mutation feed: %lld deltas applied, %lld skipped "
+        "(%lld rows dirtied)\n",
+        static_cast<long long>(report.applied),
+        static_cast<long long>(report.skipped),
+        static_cast<long long>(report.dirty_rows));
   }
 
   ServerOptions options;
@@ -544,13 +603,34 @@ int Run(int argc, char** argv) {
   options.max_queue = flags.GetInt("max_queue", options.max_queue);
   options.max_line_bytes =
       flags.GetInt("max_line_bytes", options.max_line_bytes);
-  options.poll_hook = [&registry, dump_ir] {
+  options.rate_limit_rps = flags.GetDouble("rate_limit_rps", 0.0);
+  options.rate_limit_burst = flags.GetDouble("rate_limit_burst", 0.0);
+  options.idle_timeout_ms = flags.GetInt("idle_timeout_ms", 0);
+  options.max_conns = flags.GetInt("max_conns", 0);
+  options.max_inflight_per_conn = flags.GetInt("max_inflight_per_conn", 0);
+  // The hooks capture the server pointer by reference: the server does not
+  // exist until the options are consumed, and a failed reload must be
+  // counted on it.
+  InferenceServer* server_ptr = nullptr;
+  options.poll_hook = [&registry, &server_ptr, dump_ir] {
     if (!g_sighup_pending) return;
     g_sighup_pending = 0;
-    HandleSighupReload(&registry, dump_ir);
+    if (!HandleSighupReload(&registry, dump_ir) && server_ptr != nullptr) {
+      server_ptr->NoteReloadFailure();
+    }
+  };
+  options.chaos_reload_hook = [&registry, &server_ptr] {
+    // Forced mid-batch reload (chaos site serve_mid_batch_reload): same
+    // all-or-nothing registry swap the SIGHUP path runs, without waiting
+    // for a signal.
+    StatusOr<ModelRegistry::ReloadReport> report = registry.Reload();
+    if (!report.ok() && server_ptr != nullptr) {
+      server_ptr->NoteReloadFailure();
+    }
   };
 
   InferenceServer server(&registry, options);
+  server_ptr = &server;
   Status started = server.Start();
   if (!started.ok()) {
     std::fprintf(stderr, "error: %s\n", started.message().c_str());
@@ -576,7 +656,9 @@ int Run(int argc, char** argv) {
       "%lld malformed, %lld unknown-model, %lld overlong, %lld shed, "
       "%lld deadline-expired, %lld write-errors, %lld mutations, "
       "%lld dirty-rows, %lld partial-rows, %lld batches "
-      "(occupancy %.2f)\n",
+      "(occupancy %.2f), %lld rate-limited, %lld idle-closed, "
+      "%lld conns-refused, %lld inflight-rejected, %lld reload-failures, "
+      "%lld feed-skipped, %lld faults-injected\n",
       static_cast<long long>(stats.connections),
       static_cast<long long>(stats.requests),
       static_cast<long long>(stats.responses),
@@ -589,7 +671,14 @@ int Run(int argc, char** argv) {
       static_cast<long long>(stats.mutations_applied),
       static_cast<long long>(stats.dirty_rows),
       static_cast<long long>(stats.partial_forward_rows),
-      static_cast<long long>(stats.batches), occupancy);
+      static_cast<long long>(stats.batches), occupancy,
+      static_cast<long long>(stats.rate_limited),
+      static_cast<long long>(stats.idle_closed),
+      static_cast<long long>(stats.conns_refused),
+      static_cast<long long>(stats.inflight_rejected),
+      static_cast<long long>(stats.reload_failures),
+      static_cast<long long>(feed_skipped),
+      static_cast<long long>(stats.faults_injected));
   return 0;
 }
 

@@ -16,6 +16,11 @@ a run is slower than max-ratio x its baseline wall time. It is skipped
 (exit 0 with a notice) when the run hardware does not match the baseline's
 hardware_note fingerprint (num_cpus): wall-time comparisons across different
 machines are meaningless, per the note in BENCH_kernels.json itself.
+
+Baselines may also carry a "loadgen" section (BENCH_serving.json): per-QoS
+p99_us latencies from `autoac_loadgen --metrics_out=...` ("loadgen_class"
+records). Those are gated with the same max-ratio and the same hardware
+self-skip; the hardware-independent alloc gate is unaffected.
 """
 
 import argparse
@@ -24,9 +29,10 @@ import sys
 
 
 def load_run(path):
-    """Returns (context dict or None, {bench_name: full bench record})."""
+    """Returns (context or None, {bench_name: record}, {qos: record})."""
     context = None
     benches = {}
+    loadgen_classes = {}
     with open(path) as f:
         for line in f:
             line = line.strip()
@@ -37,7 +43,9 @@ def load_run(path):
                 context = record
             elif record.get("type") == "bench":
                 benches[record["name"]] = record
-    return context, benches
+            elif record.get("type") == "loadgen_class":
+                loadgen_classes[record["qos"]] = record
+    return context, benches, loadgen_classes
 
 
 def check_alloc_gate(alloc_gate, benches, run_path, failures):
@@ -64,6 +72,31 @@ def check_alloc_gate(alloc_gate, benches, run_path, failures):
         if allocs > max_allocs:
             failures.append(
                 (run_path, f"{name} allocs", f"{allocs:.1f} > {max_allocs}"))
+    return compared
+
+
+def check_loadgen_gate(loadgen_baseline, loadgen_classes, max_ratio,
+                       run_path, failures):
+    """Gates per-QoS loadgen p99_us against the baseline's loadgen section.
+
+    Called only after the hardware fingerprint matched: tail latency is as
+    machine-dependent as wall time. Returns the number of comparisons.
+    """
+    compared = 0
+    classes = loadgen_baseline.get("classes", {})
+    for qos, record in sorted(loadgen_classes.items()):
+        base = classes.get(qos, {}).get("p99_us")
+        p99 = record.get("p99_us")
+        if base is None or p99 is None:
+            continue
+        compared += 1
+        ratio = p99 / base
+        status = "FAIL" if ratio > max_ratio else "ok"
+        print(f"{status:4} loadgen {qos} p99: {p99:12.1f} us vs baseline "
+              f"{base:12.1f} us ({ratio:.2f}x)")
+        if ratio > max_ratio:
+            failures.append(
+                (run_path, f"loadgen {qos} p99", f"{ratio:.2f}x"))
     return compared
 
 
@@ -94,7 +127,7 @@ def main():
     failures = []
     compared = 0
     for run_path in args.runs:
-        context, benches = load_run(run_path)
+        context, benches, loadgen_classes = load_run(run_path)
         compared += check_alloc_gate(alloc_gate, benches, run_path, failures)
         run_cpus = context.get("num_cpus") if context else None
         if baseline_cpus is not None and run_cpus != baseline_cpus:
@@ -104,6 +137,10 @@ def main():
                   f"{args.baseline} — wall-time gate not applicable "
                   f"(the allocation gate above still is).")
             continue
+        if loadgen_classes:
+            compared += check_loadgen_gate(baseline.get("loadgen", {}),
+                                           loadgen_classes, args.max_ratio,
+                                           run_path, failures)
         for name, record in sorted(benches.items()):
             wall_ns = record["wall_time_ns"]
             base_ns = flat_baseline.get(name)

@@ -1,0 +1,88 @@
+#include "serving/admission.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace autoac {
+
+TokenBucket::TokenBucket(double rps, double burst, int64_t now_us)
+    : rps_(rps),
+      burst_(std::max(burst, 1.0)),
+      tokens_(std::max(burst, 1.0)),
+      last_us_(now_us) {
+  AUTOAC_CHECK(rps > 0.0) << "token bucket needs a positive rate";
+}
+
+double TokenBucket::tokens_at(int64_t now_us) const {
+  if (now_us <= last_us_) return tokens_;
+  double refilled =
+      tokens_ + static_cast<double>(now_us - last_us_) * rps_ / 1e6;
+  return std::min(refilled, burst_);
+}
+
+bool TokenBucket::TryAcquire(int64_t now_us, int64_t* retry_after_ms) {
+  tokens_ = tokens_at(now_us);
+  last_us_ = std::max(last_us_, now_us);
+  if (tokens_ >= 1.0) {
+    tokens_ -= 1.0;
+    return true;
+  }
+  if (retry_after_ms != nullptr) {
+    // Time until the deficit refills, rounded up so a client honoring the
+    // hint is never rejected again by the same deficit.
+    double deficit = 1.0 - tokens_;
+    *retry_after_ms =
+        static_cast<int64_t>(std::ceil(deficit / rps_ * 1e3));
+  }
+  return false;
+}
+
+bool TokenBucket::AtCapacity(int64_t now_us) const {
+  return tokens_at(now_us) >= burst_;
+}
+
+AdmissionController::AdmissionController(Options options)
+    : options_(options),
+      burst_(options.rate_limit_burst > 0.0
+                 ? options.rate_limit_burst
+                 : std::max(options.rate_limit_rps, 1.0)) {}
+
+bool AdmissionController::Admit(const std::string& client, int64_t now_us,
+                                int64_t* retry_after_ms) {
+  if (!enabled()) return true;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = buckets_.find(client);
+  if (it == buckets_.end()) {
+    if (static_cast<int64_t>(buckets_.size()) >= options_.max_clients) {
+      SweepLocked(now_us);
+    }
+    it = buckets_
+             .emplace(client,
+                      TokenBucket(options_.rate_limit_rps, burst_, now_us))
+             .first;
+  }
+  return it->second.TryAcquire(now_us, retry_after_ms);
+}
+
+int64_t AdmissionController::num_clients() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(buckets_.size());
+}
+
+void AdmissionController::SweepLocked(int64_t now_us) {
+  // A bucket back at capacity is indistinguishable from a fresh one, so
+  // dropping it changes no admit/reject decision. If every bucket is
+  // actively drained (true flood), fall back to dropping arbitrary entries
+  // — losing a flooder's deficit is the lesser evil vs unbounded memory.
+  for (auto it = buckets_.begin(); it != buckets_.end();) {
+    it = it->second.AtCapacity(now_us) ? buckets_.erase(it) : std::next(it);
+  }
+  while (static_cast<int64_t>(buckets_.size()) >= options_.max_clients &&
+         !buckets_.empty()) {
+    buckets_.erase(buckets_.begin());
+  }
+}
+
+}  // namespace autoac

@@ -1,0 +1,91 @@
+#ifndef AUTOAC_SERVING_ADMISSION_H_
+#define AUTOAC_SERVING_ADMISSION_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+// Per-client admission control for the serving front-end (DESIGN.md §13).
+//
+// A deterministic token bucket per client identity: capacity `burst`
+// tokens, refilled continuously at `rps` tokens/second. A request costs one
+// token; a client that has drained its bucket is answered with a structured
+// "rate limited" rejection carrying retry_after_ms — the exact time until
+// one token will have refilled — instead of being queued or dropped.
+//
+// Determinism: the bucket is a pure function of its (rps, burst) parameters
+// and the sequence of TryAcquire timestamps. Time is passed in by the
+// caller (the server passes its monotonic clock; tests pass literal
+// microsecond values), so the same call sequence always produces the same
+// admit/reject decisions and the same retry hints.
+
+namespace autoac {
+
+/// One client's bucket. Not thread-safe on its own; AdmissionController
+/// serializes access.
+class TokenBucket {
+ public:
+  /// `rps` must be positive; `burst` is clamped to at least 1 token.
+  TokenBucket(double rps, double burst, int64_t now_us);
+
+  /// Spends one token if available (refilling for the elapsed time first).
+  /// On rejection returns false and sets `retry_after_ms` (when non-null)
+  /// to the ceiling of the time until a full token exists — the hint the
+  /// wire rejection carries.
+  bool TryAcquire(int64_t now_us, int64_t* retry_after_ms);
+
+  /// True when the bucket has refilled to capacity: an idle client's bucket
+  /// carries no more information than a fresh one, so the controller can
+  /// drop it.
+  bool AtCapacity(int64_t now_us) const;
+
+  double tokens_at(int64_t now_us) const;
+
+ private:
+  double rps_;
+  double burst_;
+  double tokens_;
+  int64_t last_us_;
+};
+
+/// Keys token buckets by client identity and bounds their total count.
+/// Identity is the request's optional "client" key when present (one quota
+/// spanning that client's connections) and a per-connection identity
+/// otherwise. All methods are thread-safe.
+class AdmissionController {
+ public:
+  struct Options {
+    double rate_limit_rps = 0.0;    // <= 0 disables admission control
+    double rate_limit_burst = 0.0;  // <= 0 defaults to max(rps, 1)
+    /// Bound on distinct buckets held at once. When exceeded, buckets that
+    /// have refilled to capacity are swept (they are equivalent to fresh
+    /// ones); an adversary cycling identities can therefore hold at most
+    /// this many *active* quotas, not unbounded memory.
+    int64_t max_clients = 4096;
+  };
+
+  explicit AdmissionController(Options options);
+
+  bool enabled() const { return options_.rate_limit_rps > 0.0; }
+
+  /// Admits or rejects one request from `client` at `now_us`. Always admits
+  /// when disabled. On rejection fills `retry_after_ms` (when non-null).
+  bool Admit(const std::string& client, int64_t now_us,
+             int64_t* retry_after_ms);
+
+  /// Buckets currently held (test / introspection hook).
+  int64_t num_clients() const;
+
+ private:
+  void SweepLocked(int64_t now_us);
+
+  Options options_;
+  double burst_;
+  mutable std::mutex mu_;
+  std::map<std::string, TokenBucket> buckets_;
+};
+
+}  // namespace autoac
+
+#endif  // AUTOAC_SERVING_ADMISSION_H_

@@ -14,8 +14,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <thread>
 #include <utility>
 
+#include "util/fault.h"
 #include "util/shutdown.h"
 #include "util/telemetry.h"
 
@@ -235,6 +237,26 @@ bool ParseServeRequestLine(const std::string& line, ServeRequest* request,
           return false;
         }
         request->deadline_ms = v;
+      } else if (key == "qos") {
+        std::string qos;
+        if (!sc.ParseString(&qos)) {
+          *error = "malformed \"qos\" value (string expected)";
+          return false;
+        }
+        if (qos == "interactive") {
+          request->qos = QosClass::kInteractive;
+        } else if (qos == "batch") {
+          request->qos = QosClass::kBatch;
+        } else {
+          *error = "unknown \"qos\" value \"" + qos +
+                   "\" (want interactive or batch)";
+          return false;
+        }
+      } else if (key == "client") {
+        if (!sc.ParseString(&request->client)) {
+          *error = "malformed \"client\" value (string expected)";
+          return false;
+        }
       } else if (key == "op") {
         std::string op;
         if (!sc.ParseString(&op)) {
@@ -375,6 +397,19 @@ std::string FormatServeError(const std::string& id, const std::string& error) {
          EscapeJson(error) + "\"}\n";
 }
 
+std::string FormatServeReject(const std::string& id, const std::string& error,
+                              const std::string& reason,
+                              int64_t retry_after_ms) {
+  std::string out = "{\"id\":\"" + EscapeJson(id) + "\",\"error\":\"" +
+                    EscapeJson(error) + "\",\"reason\":\"" +
+                    EscapeJson(reason) + "\"";
+  if (retry_after_ms >= 0) {
+    out += ",\"retry_after_ms\":" + std::to_string(retry_after_ms);
+  }
+  out += "}\n";
+  return out;
+}
+
 std::string FormatMutationResponse(const std::string& id,
                                    const Mutation& mutation,
                                    const MutationResult& result,
@@ -393,7 +428,11 @@ std::string FormatMutationResponse(const std::string& id,
 bool SendAll(int fd, const char* data, size_t size) {
   size_t off = 0;
   while (off < size) {
-    ssize_t n = ::send(fd, data + off, size - off, MSG_NOSIGNAL);
+    size_t want = size - off;
+    // Chaos: truncate one send to a single byte; the loop below must carry
+    // the rest of the line across the "short write" unharmed.
+    if (want > 1 && FaultTriggered("serve_partial_write")) want = 1;
+    ssize_t n = ::send(fd, data + off, want, MSG_NOSIGNAL);
     if (n > 0) {
       off += static_cast<size_t>(n);
       continue;
@@ -418,12 +457,30 @@ InferenceServer::Connection::~Connection() {
 
 InferenceServer::InferenceServer(ModelRegistry* registry,
                                  ServerOptions options)
-    : registry_(registry), options_(std::move(options)) {
+    : registry_(registry),
+      options_(std::move(options)),
+      admission_(AdmissionController::Options{options_.rate_limit_rps,
+                                              options_.rate_limit_burst,
+                                              /*max_clients=*/4096}) {
   AUTOAC_CHECK(registry_ != nullptr);
   AUTOAC_CHECK(options_.max_batch > 0) << "max_batch must be positive";
   AUTOAC_CHECK(options_.max_queue > 0) << "max_queue must be positive";
   AUTOAC_CHECK(options_.max_line_bytes > 0)
       << "max_line_bytes must be positive";
+}
+
+int64_t InferenceServer::ClockNow() const {
+  return options_.clock ? options_.clock() : NowMicros();
+}
+
+void InferenceServer::NoteReloadFailure() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.reload_failures;
+  }
+  if (Telemetry::Enabled()) {
+    Telemetry::Get().Emit(MetricRecord("serve_reload").Add("ok", 0));
+  }
 }
 
 InferenceServer::~InferenceServer() {
@@ -523,16 +580,41 @@ void InferenceServer::Serve() {
     pollfd pfd{listen_fd_, POLLIN, 0};
     int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
     if (ready <= 0 || (pfd.revents & POLLIN) == 0) continue;
+    // Chaos: stall before handling the client — a slow accept loop must
+    // delay, never drop, the pending connection.
+    if (FaultTriggered("serve_delayed_accept")) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
     int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) continue;
+    if (options_.max_conns > 0) {
+      bool refuse;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        refuse = static_cast<int64_t>(connections_.size()) >=
+                 options_.max_conns;
+        if (refuse) ++stats_.conns_refused;
+      }
+      if (refuse) {
+        // Immediate structured refusal: the client learns why and when to
+        // retry instead of seeing a silent RST or hanging in the backlog.
+        std::string line = FormatServeReject(
+            "", "server at connection capacity", "max_conns",
+            /*retry_after_ms=*/1000);
+        SendAll(fd, line.data(), line.size());
+        ::close(fd);
+        continue;
+      }
+    }
     auto conn = std::make_shared<Connection>();
     conn->fd = fd;
+    uint64_t id = next_reader_id_++;
+    conn->identity = "conn:" + std::to_string(id);
     {
       std::lock_guard<std::mutex> lock(mu_);
       ++stats_.connections;
       connections_.push_back(conn);
     }
-    uint64_t id = next_reader_id_++;
     readers_.emplace(id, std::thread(&InferenceServer::ReaderLoop, this, id,
                                      std::move(conn)));
   }
@@ -573,101 +655,148 @@ bool InferenceServer::WriteLine(const std::shared_ptr<Connection>& conn,
   return sent;
 }
 
-void InferenceServer::ReaderLoop(uint64_t reader_id,
-                                 std::shared_ptr<Connection> conn) {
-  std::string pending;
-  char buf[4096];
-  while (!Stopping()) {
-    ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
-    if (n < 0 && errno == EINTR) continue;
-    if (n <= 0) break;
-    pending.append(buf, static_cast<size_t>(n));
-    size_t start = 0;
-    for (size_t nl = pending.find('\n', start); nl != std::string::npos;
-         nl = pending.find('\n', start)) {
-      std::string line = pending.substr(start, nl - start);
-      start = nl + 1;
-      if (line.empty()) continue;
-      ServeRequest request;
-      std::string error;
-      if (!ParseServeRequestLine(line, &request, &error)) {
-        {
-          std::lock_guard<std::mutex> lock(mu_);
-          ++stats_.malformed;
-        }
-        WriteLine(conn, FormatServeError(request.id, error));
-        continue;
-      }
-      // Resolve the model now: the session is pinned for the lifetime of
-      // the queued request, so a hot reload never changes what an already
-      // accepted request is answered from.
-      std::string resolved_model;
-      std::shared_ptr<MutableSession> mutable_session;
-      std::shared_ptr<InferenceSession> session =
-          registry_->Lookup(request.model, &resolved_model, &mutable_session);
-      if (session == nullptr) {
-        {
-          std::lock_guard<std::mutex> lock(mu_);
-          ++stats_.unknown_model;
-        }
-        WriteLine(conn, FormatServeError(
-                            request.id,
-                            "unknown model \"" + request.model + "\""));
-        continue;
-      }
-      if (request.is_mutation && mutable_session == nullptr) {
-        WriteLine(conn,
-                  FormatServeError(request.id,
-                                   "mutations disabled (start the server "
-                                   "with --enable_mutations)"));
-        continue;
-      }
-      int64_t now = NowMicros();
-      Pending entry{conn,
-                    std::move(request),
-                    std::move(session),
-                    std::move(mutable_session),
-                    now,
-                    /*deadline_us=*/-1};
-      if (entry.request.deadline_ms >= 0) {
-        entry.deadline_us = now + entry.request.deadline_ms * 1000;
-      }
-      // Overload policy: evict from the connection with the most queued
-      // requests instead of tail-dropping the newest arrival — a single
-      // flooding client loses its own newest request, everyone else's
-      // traffic keeps flowing.
-      std::shared_ptr<Connection> victim_conn;
-      std::string victim_id;
-      bool shed_incoming = false;
+bool InferenceServer::IngestLines(const std::shared_ptr<Connection>& conn,
+                                  std::string* pending) {
+  size_t start = 0;
+  for (size_t nl = pending->find('\n', start); nl != std::string::npos;
+       nl = pending->find('\n', start)) {
+    std::string line = pending->substr(start, nl - start);
+    start = nl + 1;
+    if (line.empty()) continue;
+    ServeRequest request;
+    std::string error;
+    if (!ParseServeRequestLine(line, &request, &error)) {
       {
         std::lock_guard<std::mutex> lock(mu_);
-        if (queued_total_ >= options_.max_queue) {
+        ++stats_.malformed;
+      }
+      WriteLine(conn, FormatServeError(request.id, error));
+      continue;
+    }
+    // Admission control runs before any heavier work (model resolution,
+    // queue locks): a rejected request costs one bucket lookup. Identity is
+    // the request's "client" key when present — one quota spanning that
+    // client's connections — and the connection itself otherwise.
+    if (admission_.enabled()) {
+      const std::string& identity =
+          request.client.empty() ? conn->identity : request.client;
+      int64_t retry_after_ms = 0;
+      if (!admission_.Admit(identity, ClockNow(), &retry_after_ms)) {
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          ++stats_.rate_limited;
+        }
+        WriteLine(conn, FormatServeReject(request.id, "rate limited",
+                                          "rate_limited", retry_after_ms));
+        continue;
+      }
+    }
+    if (options_.max_inflight_per_conn > 0) {
+      bool over;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        over = conn->queued >= options_.max_inflight_per_conn;
+        if (over) ++stats_.inflight_rejected;
+      }
+      if (over) {
+        WriteLine(conn,
+                  FormatServeReject(
+                      request.id,
+                      "too many requests in flight on this connection",
+                      "inflight_limit", options_.batch_timeout_ms));
+        continue;
+      }
+    }
+    // Resolve the model now: the session is pinned for the lifetime of
+    // the queued request, so a hot reload never changes what an already
+    // accepted request is answered from.
+    std::string resolved_model;
+    std::shared_ptr<MutableSession> mutable_session;
+    std::shared_ptr<InferenceSession> session =
+        registry_->Lookup(request.model, &resolved_model, &mutable_session);
+    if (session == nullptr) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.unknown_model;
+      }
+      WriteLine(conn,
+                FormatServeError(request.id,
+                                 "unknown model \"" + request.model + "\""));
+      continue;
+    }
+    if (request.is_mutation && mutable_session == nullptr) {
+      WriteLine(conn,
+                FormatServeError(request.id,
+                                 "mutations disabled (start the server "
+                                 "with --enable_mutations)"));
+      continue;
+    }
+    int64_t now = NowMicros();
+    Pending entry{conn,
+                  std::move(request),
+                  std::move(session),
+                  std::move(mutable_session),
+                  now,
+                  /*deadline_us=*/-1};
+    if (entry.request.deadline_ms >= 0) {
+      entry.deadline_us = now + entry.request.deadline_ms * 1000;
+    }
+    // Overload policy (DESIGN.md §13): batch-class entries absorb eviction
+    // first — an interactive arrival preempts queued batch work, and an
+    // incoming batch request never displaces queued interactive work.
+    // Within the eligible class, evict from the connection with the most
+    // queued requests (the incoming request itself when its connection is
+    // the most loaded), so a single flooding client loses its own newest
+    // request and everyone else's traffic keeps flowing.
+    std::shared_ptr<Connection> victim_conn;
+    std::string victim_id;
+    bool shed_incoming = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (queued_total_ >= options_.max_queue) {
+        bool victim_from_batch = queued_total_ > queued_interactive_;
+        if (!victim_from_batch &&
+            entry.request.qos == QosClass::kBatch) {
+          // Only interactive work is queued; the incoming batch request
+          // yields.
+          ++stats_.shed;
+          shed_incoming = true;
+        } else {
           int64_t max_queued = 0;
-          for (const auto& [name, queue] : queues_) {
+          for (const auto& [name, mq] : queues_) {
             (void)name;
-            for (const Pending& p : queue) {
+            const std::deque<Pending>& q =
+                victim_from_batch ? mq.batch : mq.interactive;
+            for (const Pending& p : q) {
               max_queued = std::max(max_queued, p.conn->queued);
             }
           }
-          if (conn->queued >= max_queued) {
-            // The incoming connection is (one of) the most loaded; its
-            // newest request is the one that just arrived.
+          // An interactive arrival competing against batch victims always
+          // wins the slot; same-class arrivals from the most-loaded
+          // connection shed themselves.
+          bool incoming_eligible =
+              !victim_from_batch ||
+              entry.request.qos == QosClass::kBatch;
+          if (incoming_eligible && conn->queued >= max_queued) {
             ++stats_.shed;
             shed_incoming = true;
           } else {
-            // Newest entry of the most-loaded connection.
+            // Newest entry of the most-loaded connection in the eligible
+            // class.
             std::deque<Pending>* victim_queue = nullptr;
             std::deque<Pending>::iterator victim_it;
             int64_t victim_enqueued = -1;
-            for (auto& [name, queue] : queues_) {
+            for (auto& [name, mq] : queues_) {
               (void)name;
-              for (auto it = queue.begin(); it != queue.end(); ++it) {
+              std::deque<Pending>& q =
+                  victim_from_batch ? mq.batch : mq.interactive;
+              for (auto it = q.begin(); it != q.end(); ++it) {
                 // >=: queues are FIFO, so on a timestamp tie (microsecond
                 // granularity) the later position is the newer request.
                 if (it->conn->queued == max_queued &&
                     it->enqueued_us >= victim_enqueued) {
                   victim_enqueued = it->enqueued_us;
-                  victim_queue = &queue;
+                  victim_queue = &q;
                   victim_it = it;
                 }
               }
@@ -678,42 +807,105 @@ void InferenceServer::ReaderLoop(uint64_t reader_id,
             --victim_it->conn->queued;
             victim_queue->erase(victim_it);
             --queued_total_;
+            if (!victim_from_batch) --queued_interactive_;
             ++stats_.shed;
             for (auto it = queues_.begin(); it != queues_.end();) {
               it = it->second.empty() ? queues_.erase(it) : std::next(it);
             }
           }
         }
-        if (!shed_incoming) {
-          ++stats_.requests;
-          ++conn->queued;
-          ++queued_total_;
-          std::string model_key = resolved_model;
-          queues_[model_key].push_back(std::move(entry));
+      }
+      if (!shed_incoming) {
+        ++stats_.requests;
+        ++conn->queued;
+        ++queued_total_;
+        ModelQueues& mq = queues_[resolved_model];
+        if (entry.request.qos == QosClass::kInteractive) {
+          ++queued_interactive_;
+          mq.interactive.push_back(std::move(entry));
+        } else {
+          mq.batch.push_back(std::move(entry));
         }
       }
-      if (victim_conn != nullptr) {
-        WriteLine(victim_conn, FormatServeError(victim_id, "overloaded"));
-      }
-      if (shed_incoming) {
-        WriteLine(conn, FormatServeError(entry.request.id, "overloaded"));
-      } else {
-        queue_cv_.notify_one();
-      }
     }
-    pending.erase(0, start);
-    if (static_cast<int64_t>(pending.size()) > options_.max_line_bytes) {
-      {
-        std::lock_guard<std::mutex> lock(mu_);
-        ++stats_.overlong_lines;
-      }
+    if (victim_conn != nullptr) {
+      WriteLine(victim_conn,
+                FormatServeReject(victim_id, "overloaded", "overloaded",
+                                  options_.batch_timeout_ms));
+    }
+    if (shed_incoming) {
       WriteLine(conn,
-                FormatServeError(
-                    "", "request line exceeds " +
-                            std::to_string(options_.max_line_bytes) +
-                            " bytes"));
-      break;  // unbounded buffer growth: drop the connection
+                FormatServeReject(entry.request.id, "overloaded",
+                                  "overloaded", options_.batch_timeout_ms));
+    } else {
+      queue_cv_.notify_one();
     }
+  }
+  pending->erase(0, start);
+  if (static_cast<int64_t>(pending->size()) > options_.max_line_bytes) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.overlong_lines;
+    }
+    WriteLine(conn,
+              FormatServeError(
+                  "", "request line exceeds " +
+                          std::to_string(options_.max_line_bytes) +
+                          " bytes"));
+    return false;  // unbounded buffer growth: drop the connection
+  }
+  return true;
+}
+
+void InferenceServer::ReaderLoop(uint64_t reader_id,
+                                 std::shared_ptr<Connection> conn) {
+  std::string pending;
+  char buf[4096];
+  int64_t last_activity_us = NowMicros();
+  bool idle_kill = false;
+  while (!Stopping()) {
+    // Poll with a bounded interval so idle connections are reaped and a
+    // stopping server does not wait on a silent client.
+    pollfd pfd{conn->fd, POLLIN, 0};
+    int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (ready == 0) {
+      if (options_.idle_timeout_ms > 0 &&
+          NowMicros() - last_activity_us >=
+              options_.idle_timeout_ms * 1000) {
+        idle_kill = true;  // slow-loris reap: notify, then drop
+        break;
+      }
+      continue;
+    }
+    ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    last_activity_us = NowMicros();
+    size_t take = static_cast<size_t>(n);
+    size_t first = take;
+    // Chaos: withhold the tail of one recv, delivering it on a second
+    // ingest pass — the line parser must treat a torn read exactly like
+    // two short network reads.
+    if (take > 1 && FaultTriggered("serve_torn_read")) first = take / 2;
+    pending.append(buf, first);
+    bool ok = IngestLines(conn, &pending);
+    if (ok && first < take) {
+      pending.append(buf + first, take - first);
+      ok = IngestLines(conn, &pending);
+    }
+    if (!ok) break;
+  }
+  if (idle_kill) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.idle_closed;
+    }
+    WriteLine(conn, FormatServeReject("", "idle timeout", "idle_timeout",
+                                      /*retry_after_ms=*/-1));
   }
   // Client gone (or this server is being dropped): stop both directions so
   // a batcher mid-write fails fast, prune the connection from the live
@@ -748,16 +940,36 @@ void InferenceServer::BatcherLoop() {
       int64_t now = NowMicros();
       // Round-robin across the per-model queues: each slot of the batch is
       // taken from the next model after the previous slot's, so a model
-      // with a deep queue gets at most its fair share per batch.
+      // with a deep queue gets at most its fair share per batch. QoS:
+      // interactive entries across all models fill slots first; batch
+      // entries only take what remains, so saturating batch traffic delays
+      // but never starves interactive work.
       while (static_cast<int64_t>(batch.size()) < options_.max_batch &&
              queued_total_ > 0) {
-        auto it = queues_.upper_bound(rr_cursor_);
-        if (it == queues_.end()) it = queues_.begin();
-        rr_cursor_ = it->first;
-        Pending entry = std::move(it->second.front());
-        it->second.pop_front();
+        bool take_interactive = queued_interactive_ > 0;
+        std::string& cursor =
+            take_interactive ? rr_interactive_ : rr_batch_;
+        auto next_with = [&](std::map<std::string, ModelQueues>::iterator
+                                 from) {
+          for (auto it = from; it != queues_.end(); ++it) {
+            const std::deque<Pending>& q = take_interactive
+                                               ? it->second.interactive
+                                               : it->second.batch;
+            if (!q.empty()) return it;
+          }
+          return queues_.end();
+        };
+        auto it = next_with(queues_.upper_bound(cursor));
+        if (it == queues_.end()) it = next_with(queues_.begin());
+        AUTOAC_CHECK(it != queues_.end());
+        cursor = it->first;
+        std::deque<Pending>& q =
+            take_interactive ? it->second.interactive : it->second.batch;
+        Pending entry = std::move(q.front());
+        q.pop_front();
         if (it->second.empty()) queues_.erase(it);
         --queued_total_;
+        if (take_interactive) --queued_interactive_;
         --entry.conn->queued;
         if (entry.deadline_us >= 0 && now > entry.deadline_us) {
           ++stats_.deadline_expired;
@@ -776,8 +988,26 @@ void InferenceServer::BatcherLoop() {
       WriteLine(entry.conn,
                 FormatServeError(entry.request.id, "deadline exceeded"));
     }
+    // Chaos: run a hot reload between batch assembly and execution. The
+    // batch below must still be answered from its pinned sessions — the
+    // reload swaps the registry, never in-flight work.
+    if (!batch.empty() && options_.chaos_reload_hook &&
+        FaultTriggered("serve_mid_batch_reload")) {
+      options_.chaos_reload_hook();
+    }
     for (const Pending& entry : batch) {
       if (entry.request.is_mutation) {
+        // Chaos: a validated mutation fails to apply — the client gets a
+        // structured error, counters stay consistent (nothing applied, no
+        // dirty rows), and the server keeps serving.
+        if (FaultTriggered("serve_mutation_apply")) {
+          WriteLine(entry.conn,
+                    FormatServeReject(entry.request.id,
+                                      "injected mutation-apply fault",
+                                      "fault_injected",
+                                      options_.batch_timeout_ms));
+          continue;
+        }
         StatusOr<MutationResult> applied =
             entry.mutable_session->Apply(entry.request.mutation);
         int64_t latency_us = NowMicros() - entry.enqueued_us;
@@ -865,7 +1095,12 @@ void InferenceServer::BatcherLoop() {
 
 ServeStats InferenceServer::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  ServeStats out = stats_;
+  // Soft chaos triggers are counted process-wide by the fault layer (the
+  // SendAll site has no server to report to); surface them here so the
+  // shutdown audit can assert every armed site fired and was contained.
+  out.faults_injected = FaultTriggersObserved();
+  return out;
 }
 
 }  // namespace autoac

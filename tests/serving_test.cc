@@ -20,6 +20,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <future>
 #include <map>
 #include <memory>
 #include <sstream>
@@ -30,12 +31,15 @@
 #include "graph/mutable_graph.h"
 #include "gtest/gtest.h"
 #include "models/factory.h"
+#include "serving/admission.h"
+#include "serving/feed.h"
 #include "serving/frozen_model.h"
 #include "serving/inference_session.h"
 #include "serving/model_registry.h"
 #include "serving/mutable_session.h"
 #include "serving/server.h"
 #include "tensor/ops.h"
+#include "util/fault.h"
 #include "util/parallel.h"
 #include "util/shutdown.h"
 
@@ -1529,6 +1533,880 @@ TEST(ModelRegistryTest, MutationOverlayAcrossReloads) {
       << stale.status().message();
   delta.expect_fingerprint = variant.fingerprint;
   EXPECT_TRUE(fresh->Apply(delta).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Serving hardening (DESIGN.md §13): request grammar for QoS and client
+// identity, structured rejections, token-bucket admission control,
+// interactive-over-batch scheduling and eviction, connection hygiene, and
+// chaos fault containment.
+// ---------------------------------------------------------------------------
+
+TEST(ServeProtocolTest, ParsesQosAndClientKeys) {
+  ServeRequest request;
+  std::string error;
+  ASSERT_TRUE(ParseServeRequestLine(
+      "{\"id\": \"q1\", \"node\": 3, \"qos\": \"batch\", "
+      "\"client\": \"alice\"}",
+      &request, &error))
+      << error;
+  EXPECT_EQ(request.qos, QosClass::kBatch);
+  EXPECT_EQ(request.client, "alice");
+
+  ASSERT_TRUE(ParseServeRequestLine(
+      "{\"id\": \"q2\", \"node\": 3, \"qos\": \"interactive\"}", &request,
+      &error))
+      << error;
+  EXPECT_EQ(request.qos, QosClass::kInteractive);
+  EXPECT_TRUE(request.client.empty());
+
+  // Default class is interactive.
+  ASSERT_TRUE(
+      ParseServeRequestLine("{\"id\": \"q3\", \"node\": 3}", &request, &error))
+      << error;
+  EXPECT_EQ(request.qos, QosClass::kInteractive);
+}
+
+TEST(ServeProtocolTest, RejectsUnknownQosValue) {
+  ServeRequest request;
+  std::string error;
+  EXPECT_FALSE(ParseServeRequestLine(
+      "{\"id\": \"q1\", \"node\": 3, \"qos\": \"turbo\"}", &request, &error));
+  EXPECT_NE(error.find("unknown \"qos\" value"), std::string::npos) << error;
+  EXPECT_FALSE(ParseServeRequestLine(
+      "{\"id\": \"q1\", \"node\": 3, \"qos\": 7}", &request, &error));
+  EXPECT_FALSE(ParseServeRequestLine(
+      "{\"id\": \"q1\", \"node\": 3, \"client\": 7}", &request, &error));
+}
+
+TEST(ServeProtocolTest, FormatServeRejectShape) {
+  EXPECT_EQ(FormatServeReject("r1", "rate limited", "rate_limited", 12),
+            "{\"id\":\"r1\",\"error\":\"rate limited\","
+            "\"reason\":\"rate_limited\",\"retry_after_ms\":12}\n");
+  // A negative retry hint omits the field entirely (idle_timeout has no
+  // meaningful retry horizon).
+  EXPECT_EQ(FormatServeReject("", "idle timeout", "idle_timeout", -1),
+            "{\"id\":\"\",\"error\":\"idle timeout\","
+            "\"reason\":\"idle_timeout\"}\n");
+}
+
+// The bucket is a pure function of (rps, burst) and the acquire timestamps:
+// the same literal time sequence must always produce the same decisions and
+// the same retry hints.
+TEST(AdmissionTest, TokenBucketIsDeterministic) {
+  TokenBucket bucket(/*rps=*/2.0, /*burst=*/4.0, /*now_us=*/0);
+  int64_t retry = -1;
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(bucket.TryAcquire(0, &retry)) << "burst token " << i;
+  }
+  // Drained: one token refills in 1/rps = 500ms.
+  EXPECT_FALSE(bucket.TryAcquire(0, &retry));
+  EXPECT_EQ(retry, 500);
+  // 250ms later only half a token exists.
+  EXPECT_FALSE(bucket.TryAcquire(250000, &retry));
+  EXPECT_EQ(retry, 250);
+  // 500ms in, exactly one token refilled; it spends, and the next acquire
+  // is back to a full-token wait.
+  EXPECT_TRUE(bucket.TryAcquire(500000, &retry));
+  EXPECT_FALSE(bucket.TryAcquire(500000, &retry));
+  EXPECT_EQ(retry, 500);
+}
+
+TEST(AdmissionTest, TokenBucketClampsRefillToBurst) {
+  TokenBucket bucket(/*rps=*/100.0, /*burst=*/2.0, /*now_us=*/0);
+  int64_t retry = -1;
+  EXPECT_TRUE(bucket.TryAcquire(0, &retry));
+  EXPECT_FALSE(bucket.AtCapacity(0));
+  // An hour of idling refills to burst, not rps * 3600.
+  EXPECT_DOUBLE_EQ(bucket.tokens_at(3600000000), 2.0);
+  EXPECT_TRUE(bucket.AtCapacity(3600000000));
+  EXPECT_TRUE(bucket.TryAcquire(3600000000, &retry));
+  EXPECT_TRUE(bucket.TryAcquire(3600000000, &retry));
+  EXPECT_FALSE(bucket.TryAcquire(3600000000, &retry));
+}
+
+TEST(AdmissionTest, ControllerSeparatesClientIdentities) {
+  AdmissionController::Options options;
+  options.rate_limit_rps = 1.0;
+  options.rate_limit_burst = 1.0;
+  AdmissionController admission(options);
+  ASSERT_TRUE(admission.enabled());
+  int64_t retry = -1;
+  EXPECT_TRUE(admission.Admit("a", 0, &retry));
+  EXPECT_FALSE(admission.Admit("a", 0, &retry));
+  EXPECT_EQ(retry, 1000);
+  // A different identity has its own untouched bucket.
+  EXPECT_TRUE(admission.Admit("b", 0, &retry));
+  EXPECT_EQ(admission.num_clients(), 2);
+}
+
+TEST(AdmissionTest, DisabledControllerAlwaysAdmits) {
+  AdmissionController admission(AdmissionController::Options{});
+  EXPECT_FALSE(admission.enabled());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(admission.Admit("flood", 0, nullptr));
+  }
+  EXPECT_EQ(admission.num_clients(), 0);
+}
+
+// An adversary cycling client identities must not grow bucket memory
+// without bound: the controller holds at most max_clients buckets,
+// sweeping refilled (information-free) ones first.
+TEST(AdmissionTest, ControllerBoundsDistinctClients) {
+  AdmissionController::Options options;
+  options.rate_limit_rps = 1.0;
+  options.rate_limit_burst = 1.0;
+  options.max_clients = 8;
+  AdmissionController admission(options);
+  for (int i = 0; i < 100; ++i) {
+    admission.Admit("client-" + std::to_string(i), 0, nullptr);
+  }
+  EXPECT_LE(admission.num_clients(), 8);
+}
+
+// Socket-level determinism: with an injected constant clock there is no
+// refill, so rps=1/burst=2 admits exactly two requests and rejects the
+// rest with the exact 1000ms retry hint — regardless of scheduling.
+TEST(InferenceServerTest, RateLimitingOverSocketIsDeterministic) {
+  const ServingEnvironment& env = ServingEnvironment::Get();
+  ModelRegistry registry;
+  registry.Register("default",
+                    std::make_shared<InferenceSession>(env.frozen()));
+  ServerOptions options;
+  options.tcp_port = 0;
+  options.max_batch = 4;
+  options.batch_timeout_ms = 2;
+  options.rate_limit_rps = 1.0;
+  options.rate_limit_burst = 2.0;
+  options.clock = [] { return int64_t{0}; };  // frozen time: zero refill
+  InferenceServer server(&registry, options);
+  ASSERT_TRUE(server.Start().ok());
+  std::thread serving([&] { server.Serve(); });
+  int fd = ConnectLoopback(server.port());
+  ASSERT_GE(fd, 0);
+
+  std::string out;
+  for (int i = 0; i < 5; ++i) {
+    out += "{\"id\": \"r" + std::to_string(i) +
+           "\", \"node\": " + std::to_string(i) +
+           ", \"client\": \"c\"}\n";
+  }
+  ASSERT_TRUE(SendAll(fd, out.data(), out.size()));
+  std::vector<std::string> lines = RecvLines(fd, 5);
+  ::close(fd);
+  ASSERT_EQ(lines.size(), 5u);
+  std::map<std::string, std::string> by_id = ById(lines);
+  int ok = 0;
+  int limited = 0;
+  for (const auto& [id, line] : by_id) {
+    if (line.find("\"label\":") != std::string::npos) {
+      ++ok;
+    } else {
+      EXPECT_NE(line.find("\"reason\":\"rate_limited\""), std::string::npos)
+          << id << ": " << line;
+      EXPECT_NE(line.find("\"retry_after_ms\":1000"), std::string::npos)
+          << id << ": " << line;
+      ++limited;
+    }
+  }
+  EXPECT_EQ(ok, 2);
+  EXPECT_EQ(limited, 3);
+  // The first two requests hold the burst tokens; parsing is in line order
+  // on one connection, so exactly r0 and r1 are the admitted ones.
+  EXPECT_NE(by_id["r0"].find("\"label\":"), std::string::npos) << by_id["r0"];
+  EXPECT_NE(by_id["r1"].find("\"label\":"), std::string::npos) << by_id["r1"];
+
+  server.Stop();
+  serving.join();
+  ServeStats stats = server.stats();
+  EXPECT_EQ(stats.rate_limited, 3);
+  EXPECT_EQ(stats.requests, 2);
+  EXPECT_EQ(stats.responses, 2);
+}
+
+// The "client" key is one quota spanning connections; absent, each
+// connection is its own identity.
+TEST(InferenceServerTest, ClientKeySharesQuotaAcrossConnections) {
+  const ServingEnvironment& env = ServingEnvironment::Get();
+  ModelRegistry registry;
+  registry.Register("default",
+                    std::make_shared<InferenceSession>(env.frozen()));
+  ServerOptions options;
+  options.tcp_port = 0;
+  options.max_batch = 4;
+  options.batch_timeout_ms = 2;
+  options.rate_limit_rps = 1.0;
+  options.rate_limit_burst = 1.0;
+  options.clock = [] { return int64_t{0}; };
+  InferenceServer server(&registry, options);
+  ASSERT_TRUE(server.Start().ok());
+  std::thread serving([&] { server.Serve(); });
+
+  int fd1 = ConnectLoopback(server.port());
+  ASSERT_GE(fd1, 0);
+  std::string a0 = "{\"id\": \"a0\", \"node\": 0, \"client\": \"shared\"}\n";
+  ASSERT_TRUE(SendAll(fd1, a0.data(), a0.size()));
+  std::vector<std::string> first = RecvLines(fd1, 1);
+  ASSERT_EQ(first.size(), 1u);
+  EXPECT_NE(first[0].find("\"label\":"), std::string::npos) << first[0];
+
+  // Same client identity on a second connection: the shared bucket is
+  // drained. A request without the key falls back to the per-connection
+  // identity, whose bucket is fresh.
+  int fd2 = ConnectLoopback(server.port());
+  ASSERT_GE(fd2, 0);
+  std::string out =
+      "{\"id\": \"a1\", \"node\": 1, \"client\": \"shared\"}\n"
+      "{\"id\": \"a2\", \"node\": 2}\n";
+  ASSERT_TRUE(SendAll(fd2, out.data(), out.size()));
+  std::vector<std::string> lines = RecvLines(fd2, 2);
+  ::close(fd1);
+  ::close(fd2);
+  ASSERT_EQ(lines.size(), 2u);
+  std::map<std::string, std::string> by_id = ById(lines);
+  EXPECT_NE(by_id["a1"].find("\"reason\":\"rate_limited\""),
+            std::string::npos)
+      << by_id["a1"];
+  EXPECT_NE(by_id["a2"].find("\"label\":"), std::string::npos) << by_id["a2"];
+
+  server.Stop();
+  serving.join();
+  EXPECT_EQ(server.stats().rate_limited, 1);
+}
+
+/// Blocks the batcher deterministically: arms serve_mid_batch_reload:0 and
+/// installs a chaos hook that signals entry then parks until released. A
+/// priming request makes the batcher assemble one batch and stall inside
+/// the hook (outside the queue lock), so the test can stage queue contents
+/// without racing the drain. Always disarm with SetFaultSpecForTest("").
+struct BatcherGate {
+  std::promise<void> entered;
+  std::promise<void> release;
+  std::shared_future<void> release_future{release.get_future().share()};
+  std::atomic<bool> signaled{false};
+
+  std::function<void()> Hook() {
+    return [this] {
+      if (!signaled.exchange(true)) entered.set_value();
+      release_future.wait();
+    };
+  }
+};
+
+// Under saturation, queued interactive requests drain before queued batch
+// requests even when the batch requests arrived first.
+TEST(InferenceServerTest, InteractiveDrainsBeforeBatchUnderSaturation) {
+  const ServingEnvironment& env = ServingEnvironment::Get();
+  ModelRegistry registry;
+  registry.Register("default",
+                    std::make_shared<InferenceSession>(env.frozen()));
+  BatcherGate gate;
+  ServerOptions options;
+  options.tcp_port = 0;
+  options.max_batch = 2;
+  options.batch_timeout_ms = 2;
+  options.chaos_reload_hook = gate.Hook();
+  SetFaultSpecForTest("serve_mid_batch_reload:0");
+  InferenceServer server(&registry, options);
+  ASSERT_TRUE(server.Start().ok());
+  std::thread serving([&] { server.Serve(); });
+
+  int prime_fd = ConnectLoopback(server.port());
+  ASSERT_GE(prime_fd, 0);
+  std::string prime = "{\"id\": \"prime\", \"node\": 0}\n";
+  ASSERT_TRUE(SendAll(prime_fd, prime.data(), prime.size()));
+  gate.entered.get_future().wait();  // batcher parked mid-batch
+
+  // Stage batch-class work ahead of interactive work in arrival order.
+  int fd = ConnectLoopback(server.port());
+  ASSERT_GE(fd, 0);
+  std::string out;
+  for (int i = 0; i < 4; ++i) {
+    out += "{\"id\": \"b" + std::to_string(i) +
+           "\", \"node\": " + std::to_string(i) +
+           ", \"qos\": \"batch\"}\n";
+  }
+  for (int i = 0; i < 2; ++i) {
+    out += "{\"id\": \"i" + std::to_string(i) +
+           "\", \"node\": " + std::to_string(4 + i) +
+           ", \"qos\": \"interactive\"}\n";
+  }
+  ASSERT_TRUE(SendAll(fd, out.data(), out.size()));
+  // All six must be queued before the batcher resumes, or the early batch
+  // arrivals would drain into the first batch unopposed.
+  for (int waited = 0; waited < 200 && server.stats().requests < 7; ++waited) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_EQ(server.stats().requests, 7);  // prime + 6 staged
+  gate.release.set_value();
+
+  std::vector<std::string> lines = RecvLines(fd, 6);
+  ASSERT_EQ(RecvLines(prime_fd, 1).size(), 1u);
+  ::close(fd);
+  ::close(prime_fd);
+  SetFaultSpecForTest("");
+  ASSERT_EQ(lines.size(), 6u);
+  // Response write order follows batch assembly order: the two interactive
+  // requests fill the first post-release batch despite arriving last.
+  auto position = [&](const std::string& id) {
+    for (size_t i = 0; i < lines.size(); ++i) {
+      if (lines[i].find("\"id\":\"" + id + "\"") != std::string::npos) {
+        return static_cast<int>(i);
+      }
+    }
+    return -1;
+  };
+  for (const char* interactive : {"i0", "i1"}) {
+    for (const char* batch : {"b0", "b1", "b2", "b3"}) {
+      EXPECT_LT(position(interactive), position(batch))
+          << interactive << " drained after " << batch;
+    }
+  }
+  for (const std::string& line : lines) {
+    EXPECT_NE(line.find("\"label\":"), std::string::npos) << line;
+  }
+
+  server.Stop();
+  serving.join();
+}
+
+// Overload policy: batch-class entries absorb eviction first (an
+// interactive arrival evicts the newest queued batch request), and an
+// incoming batch request sheds itself rather than displacing anything
+// more important.
+TEST(InferenceServerTest, BatchAbsorbsEvictionBeforeInteractive) {
+  const ServingEnvironment& env = ServingEnvironment::Get();
+  ModelRegistry registry;
+  registry.Register("default",
+                    std::make_shared<InferenceSession>(env.frozen()));
+  BatcherGate gate;
+  ServerOptions options;
+  options.tcp_port = 0;
+  options.max_batch = 8;
+  options.batch_timeout_ms = 2;
+  options.max_queue = 3;
+  options.chaos_reload_hook = gate.Hook();
+  SetFaultSpecForTest("serve_mid_batch_reload:0");
+  InferenceServer server(&registry, options);
+  ASSERT_TRUE(server.Start().ok());
+  std::thread serving([&] { server.Serve(); });
+
+  int prime_fd = ConnectLoopback(server.port());
+  ASSERT_GE(prime_fd, 0);
+  std::string prime = "{\"id\": \"prime\", \"node\": 0}\n";
+  ASSERT_TRUE(SendAll(prime_fd, prime.data(), prime.size()));
+  gate.entered.get_future().wait();
+
+  // Queue fills to [i0, b0, b1]; then an interactive arrival evicts the
+  // newest batch entry (b1), and a batch arrival sheds itself (b2).
+  int fd = ConnectLoopback(server.port());
+  ASSERT_GE(fd, 0);
+  std::string out =
+      "{\"id\": \"i0\", \"node\": 0, \"qos\": \"interactive\"}\n"
+      "{\"id\": \"b0\", \"node\": 1, \"qos\": \"batch\"}\n"
+      "{\"id\": \"b1\", \"node\": 2, \"qos\": \"batch\"}\n"
+      "{\"id\": \"i1\", \"node\": 3, \"qos\": \"interactive\"}\n"
+      "{\"id\": \"b2\", \"node\": 4, \"qos\": \"batch\"}\n";
+  ASSERT_TRUE(SendAll(fd, out.data(), out.size()));
+  // The two overload rejections are written by the reader while the
+  // batcher is still parked — queue state is fully staged, deterministic.
+  std::vector<std::string> rejects = RecvLines(fd, 2);
+  ASSERT_EQ(rejects.size(), 2u);
+  gate.release.set_value();
+
+  std::vector<std::string> answers = RecvLines(fd, 3);
+  ASSERT_EQ(RecvLines(prime_fd, 1).size(), 1u);
+  ::close(fd);
+  ::close(prime_fd);
+  SetFaultSpecForTest("");
+  ASSERT_EQ(answers.size(), 3u);
+
+  std::map<std::string, std::string> by_id = ById(rejects);
+  for (const char* victim : {"b1", "b2"}) {
+    ASSERT_NE(by_id.find(victim), by_id.end())
+        << victim << " was not the evicted request";
+    EXPECT_NE(by_id[victim].find("\"reason\":\"overloaded\""),
+              std::string::npos)
+        << by_id[victim];
+    EXPECT_NE(by_id[victim].find("\"retry_after_ms\":"), std::string::npos)
+        << by_id[victim];
+  }
+  by_id = ById(answers);
+  for (const char* survivor : {"i0", "i1", "b0"}) {
+    ASSERT_NE(by_id.find(survivor), by_id.end()) << survivor << " was lost";
+    EXPECT_NE(by_id[survivor].find("\"label\":"), std::string::npos)
+        << by_id[survivor];
+  }
+
+  server.Stop();
+  serving.join();
+  EXPECT_EQ(server.stats().shed, 2);
+}
+
+// A full queue of interactive work never yields to an incoming batch
+// request: the batch request itself is shed.
+TEST(InferenceServerTest, IncomingBatchNeverDisplacesQueuedInteractive) {
+  const ServingEnvironment& env = ServingEnvironment::Get();
+  ModelRegistry registry;
+  registry.Register("default",
+                    std::make_shared<InferenceSession>(env.frozen()));
+  BatcherGate gate;
+  ServerOptions options;
+  options.tcp_port = 0;
+  options.max_batch = 8;
+  options.batch_timeout_ms = 2;
+  options.max_queue = 2;
+  options.chaos_reload_hook = gate.Hook();
+  SetFaultSpecForTest("serve_mid_batch_reload:0");
+  InferenceServer server(&registry, options);
+  ASSERT_TRUE(server.Start().ok());
+  std::thread serving([&] { server.Serve(); });
+
+  int prime_fd = ConnectLoopback(server.port());
+  ASSERT_GE(prime_fd, 0);
+  std::string prime = "{\"id\": \"prime\", \"node\": 0}\n";
+  ASSERT_TRUE(SendAll(prime_fd, prime.data(), prime.size()));
+  gate.entered.get_future().wait();
+
+  int fd = ConnectLoopback(server.port());
+  ASSERT_GE(fd, 0);
+  std::string out =
+      "{\"id\": \"i0\", \"node\": 0}\n"
+      "{\"id\": \"i1\", \"node\": 1}\n"
+      "{\"id\": \"b0\", \"node\": 2, \"qos\": \"batch\"}\n";
+  ASSERT_TRUE(SendAll(fd, out.data(), out.size()));
+  std::vector<std::string> reject = RecvLines(fd, 1);
+  ASSERT_EQ(reject.size(), 1u);
+  EXPECT_NE(reject[0].find("\"id\":\"b0\""), std::string::npos) << reject[0];
+  EXPECT_NE(reject[0].find("\"reason\":\"overloaded\""), std::string::npos)
+      << reject[0];
+  gate.release.set_value();
+
+  std::vector<std::string> answers = RecvLines(fd, 2);
+  ASSERT_EQ(RecvLines(prime_fd, 1).size(), 1u);
+  ::close(fd);
+  ::close(prime_fd);
+  SetFaultSpecForTest("");
+  ASSERT_EQ(answers.size(), 2u);
+  std::map<std::string, std::string> by_id = ById(answers);
+  EXPECT_NE(by_id["i0"].find("\"label\":"), std::string::npos) << by_id["i0"];
+  EXPECT_NE(by_id["i1"].find("\"label\":"), std::string::npos) << by_id["i1"];
+
+  server.Stop();
+  serving.join();
+  EXPECT_EQ(server.stats().shed, 1);
+}
+
+// The per-connection in-flight cap rejects the overflow request on the
+// flooding connection with a structured inflight_limit rejection; the
+// capped requests still complete.
+TEST(InferenceServerTest, InflightCapRejectsPerConnection) {
+  const ServingEnvironment& env = ServingEnvironment::Get();
+  ModelRegistry registry;
+  registry.Register("default",
+                    std::make_shared<InferenceSession>(env.frozen()));
+  BatcherGate gate;
+  ServerOptions options;
+  options.tcp_port = 0;
+  options.max_batch = 8;
+  options.batch_timeout_ms = 2;
+  options.max_inflight_per_conn = 2;
+  options.chaos_reload_hook = gate.Hook();
+  SetFaultSpecForTest("serve_mid_batch_reload:0");
+  InferenceServer server(&registry, options);
+  ASSERT_TRUE(server.Start().ok());
+  std::thread serving([&] { server.Serve(); });
+
+  int prime_fd = ConnectLoopback(server.port());
+  ASSERT_GE(prime_fd, 0);
+  std::string prime = "{\"id\": \"prime\", \"node\": 0}\n";
+  ASSERT_TRUE(SendAll(prime_fd, prime.data(), prime.size()));
+  gate.entered.get_future().wait();
+
+  int fd = ConnectLoopback(server.port());
+  ASSERT_GE(fd, 0);
+  std::string out =
+      "{\"id\": \"r0\", \"node\": 0}\n"
+      "{\"id\": \"r1\", \"node\": 1}\n"
+      "{\"id\": \"r2\", \"node\": 2}\n";
+  ASSERT_TRUE(SendAll(fd, out.data(), out.size()));
+  std::vector<std::string> reject = RecvLines(fd, 1);
+  ASSERT_EQ(reject.size(), 1u);
+  EXPECT_NE(reject[0].find("\"id\":\"r2\""), std::string::npos) << reject[0];
+  EXPECT_NE(reject[0].find("\"reason\":\"inflight_limit\""),
+            std::string::npos)
+      << reject[0];
+  EXPECT_NE(reject[0].find("\"retry_after_ms\":"), std::string::npos)
+      << reject[0];
+  gate.release.set_value();
+
+  std::vector<std::string> answers = RecvLines(fd, 2);
+  ASSERT_EQ(RecvLines(prime_fd, 1).size(), 1u);
+  ::close(fd);
+  ::close(prime_fd);
+  SetFaultSpecForTest("");
+  ASSERT_EQ(answers.size(), 2u);
+  std::map<std::string, std::string> by_id = ById(answers);
+  EXPECT_NE(by_id["r0"].find("\"label\":"), std::string::npos) << by_id["r0"];
+  EXPECT_NE(by_id["r1"].find("\"label\":"), std::string::npos) << by_id["r1"];
+
+  server.Stop();
+  serving.join();
+  EXPECT_EQ(server.stats().inflight_rejected, 1);
+}
+
+// Slow-loris defense: a connection that never sends anything is answered
+// with a structured idle_timeout rejection and closed.
+TEST(InferenceServerTest, IdleConnectionsAreReaped) {
+  const ServingEnvironment& env = ServingEnvironment::Get();
+  ModelRegistry registry;
+  registry.Register("default",
+                    std::make_shared<InferenceSession>(env.frozen()));
+  ServerOptions options;
+  options.tcp_port = 0;
+  options.batch_timeout_ms = 2;
+  options.idle_timeout_ms = 120;
+  InferenceServer server(&registry, options);
+  ASSERT_TRUE(server.Start().ok());
+  std::thread serving([&] { server.Serve(); });
+
+  int fd = ConnectLoopback(server.port());
+  ASSERT_GE(fd, 0);
+  // Send nothing. The reaper must answer and hang up on its own.
+  std::vector<std::string> lines = RecvLines(fd, 1);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("\"reason\":\"idle_timeout\""), std::string::npos)
+      << lines[0];
+  // The server closes its side after the rejection.
+  char buf[16];
+  EXPECT_EQ(::recv(fd, buf, sizeof(buf), 0), 0);
+  ::close(fd);
+
+  server.Stop();
+  serving.join();
+  EXPECT_EQ(server.stats().idle_closed, 1);
+}
+
+// An active connection survives idle reaping as long as it keeps talking.
+TEST(InferenceServerTest, ActiveConnectionOutlivesIdleTimeout) {
+  const ServingEnvironment& env = ServingEnvironment::Get();
+  ModelRegistry registry;
+  registry.Register("default",
+                    std::make_shared<InferenceSession>(env.frozen()));
+  ServerOptions options;
+  options.tcp_port = 0;
+  options.batch_timeout_ms = 2;
+  options.idle_timeout_ms = 150;
+  InferenceServer server(&registry, options);
+  ASSERT_TRUE(server.Start().ok());
+  std::thread serving([&] { server.Serve(); });
+
+  int fd = ConnectLoopback(server.port());
+  ASSERT_GE(fd, 0);
+  for (int i = 0; i < 4; ++i) {
+    std::string line =
+        "{\"id\": \"k" + std::to_string(i) + "\", \"node\": 0}\n";
+    ASSERT_TRUE(SendAll(fd, line.data(), line.size()));
+    ASSERT_EQ(RecvLines(fd, 1).size(), 1u) << "request " << i;
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  }
+  ::close(fd);
+  server.Stop();
+  serving.join();
+  EXPECT_EQ(server.stats().idle_closed, 0);
+  EXPECT_EQ(server.stats().responses, 4);
+}
+
+// The accept gate refuses connections beyond max_conns with a structured
+// refusal instead of letting them queue invisibly; a freed slot admits new
+// connections again.
+TEST(InferenceServerTest, MaxConnsRefusesThenRecovers) {
+  const ServingEnvironment& env = ServingEnvironment::Get();
+  ModelRegistry registry;
+  registry.Register("default",
+                    std::make_shared<InferenceSession>(env.frozen()));
+  ServerOptions options;
+  options.tcp_port = 0;
+  options.batch_timeout_ms = 2;
+  options.max_conns = 1;
+  InferenceServer server(&registry, options);
+  ASSERT_TRUE(server.Start().ok());
+  std::thread serving([&] { server.Serve(); });
+
+  // Occupy the only slot and prove it serves.
+  int fd1 = ConnectLoopback(server.port());
+  ASSERT_GE(fd1, 0);
+  std::string line = "{\"id\": \"r0\", \"node\": 0}\n";
+  ASSERT_TRUE(SendAll(fd1, line.data(), line.size()));
+  ASSERT_EQ(RecvLines(fd1, 1).size(), 1u);
+
+  int fd2 = ConnectLoopback(server.port());
+  ASSERT_GE(fd2, 0);
+  std::vector<std::string> refusal = RecvLines(fd2, 1);
+  ::close(fd2);
+  ASSERT_EQ(refusal.size(), 1u);
+  EXPECT_NE(refusal[0].find("\"reason\":\"max_conns\""), std::string::npos)
+      << refusal[0];
+  EXPECT_NE(refusal[0].find("\"retry_after_ms\":"), std::string::npos)
+      << refusal[0];
+
+  // Free the slot; the reader prunes the dead connection within its poll
+  // interval and new connections are admitted again.
+  ::close(fd1);
+  bool recovered = false;
+  for (int attempt = 0; attempt < 100 && !recovered; ++attempt) {
+    int fd3 = ConnectLoopback(server.port());
+    ASSERT_GE(fd3, 0);
+    ASSERT_TRUE(SendAll(fd3, line.data(), line.size()));
+    std::vector<std::string> got = RecvLines(fd3, 1);
+    ::close(fd3);
+    ASSERT_EQ(got.size(), 1u);
+    if (got[0].find("\"label\":") != std::string::npos) {
+      recovered = true;
+    } else {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  }
+  EXPECT_TRUE(recovered);
+
+  server.Stop();
+  serving.join();
+  EXPECT_GE(server.stats().conns_refused, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Chaos containment: each soft fault site fires under traffic and the
+// failure stays contained — every well-formed request is answered, fds
+// settle back to baseline, and the trigger count is visible in stats.
+// ---------------------------------------------------------------------------
+
+/// Runs `requests` predictions against a default-model server with `spec`
+/// armed and asserts every response arrives well-formed, fds settle, and
+/// the fault actually fired.
+void RunChaosTraffic(const std::string& spec, int requests,
+                     const std::function<void(ServerOptions*)>& tweak =
+                         nullptr) {
+  const ServingEnvironment& env = ServingEnvironment::Get();
+  ModelRegistry registry;
+  registry.Register("default",
+                    std::make_shared<InferenceSession>(env.frozen()));
+  ServerOptions options;
+  options.tcp_port = 0;
+  options.max_batch = 4;
+  options.batch_timeout_ms = 2;
+  if (tweak) tweak(&options);
+  InferenceServer server(&registry, options);
+  ASSERT_TRUE(server.Start().ok());
+  std::thread serving([&] { server.Serve(); });
+
+  // Baseline after a warm-up connection so one-time allocations settle.
+  {
+    int fd = ConnectLoopback(server.port());
+    ASSERT_GE(fd, 0);
+    std::string line = "{\"id\": \"warm\", \"node\": 0}\n";
+    ASSERT_TRUE(SendAll(fd, line.data(), line.size()));
+    ASSERT_EQ(RecvLines(fd, 1).size(), 1u);
+    ::close(fd);
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  int baseline = CountOpenFds();
+  ASSERT_GT(baseline, 0);
+
+  int64_t triggers_before = FaultTriggersObserved();
+  SetFaultSpecForTest(spec);
+  int fd = ConnectLoopback(server.port());
+  ASSERT_GE(fd, 0);
+  std::string out;
+  for (int i = 0; i < requests; ++i) {
+    out += "{\"id\": \"c" + std::to_string(i) +
+           "\", \"node\": " + std::to_string(i % 8) + "}\n";
+  }
+  ASSERT_TRUE(SendAll(fd, out.data(), out.size()));
+  std::vector<std::string> lines = RecvLines(fd, static_cast<size_t>(requests));
+  ::close(fd);
+  SetFaultSpecForTest("");
+  ASSERT_EQ(lines.size(), static_cast<size_t>(requests))
+      << "dropped responses under " << spec;
+  std::map<std::string, std::string> by_id = ById(lines);
+  for (int i = 0; i < requests; ++i) {
+    const std::string& line = by_id["c" + std::to_string(i)];
+    EXPECT_NE(line.find("\"label\":"), std::string::npos)
+        << "c" << i << " under " << spec << ": " << line;
+  }
+  EXPECT_GT(FaultTriggersObserved(), triggers_before)
+      << spec << " never fired";
+  EXPECT_GT(server.stats().faults_injected, triggers_before);
+
+  // The chaos connection's fds are reaped like any other.
+  int settled = -1;
+  for (int waited = 0; waited < 100; ++waited) {
+    settled = CountOpenFds();
+    if (settled <= baseline) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  EXPECT_LE(settled, baseline) << "fds leaked under " << spec;
+
+  server.Stop();
+  serving.join();
+}
+
+TEST(ChaosTest, PartialWritesAreRetriedToCompletion) {
+  // Every send() truncated to one byte: responses must still arrive whole.
+  RunChaosTraffic("serve_partial_write:*", 6);
+}
+
+TEST(ChaosTest, TornReadsReassembleAcrossIngestPasses) {
+  RunChaosTraffic("serve_torn_read:*", 6);
+}
+
+TEST(ChaosTest, DelayedAcceptsStillServe) {
+  RunChaosTraffic("serve_delayed_accept:*", 4);
+}
+
+TEST(ChaosTest, MidBatchReloadKeepsPinnedSessionsServing) {
+  std::atomic<int> reloads{0};
+  RunChaosTraffic("serve_mid_batch_reload:*", 6, [&](ServerOptions* options) {
+    options->chaos_reload_hook = [&reloads] { ++reloads; };
+  });
+  EXPECT_GT(reloads.load(), 0);
+}
+
+// A validated mutation that fails to apply is a structured fault_injected
+// rejection; the server keeps serving and counters stay consistent
+// (nothing applied, no dirty rows from the failed delta).
+TEST(ChaosTest, MutationApplyFaultIsContained) {
+  const ServingEnvironment& env = ServingEnvironment::Get();
+  ModelRegistry registry;
+  registry.set_mutation_options(/*enabled=*/true, /*staleness_ms=*/0);
+  registry.Register("default",
+                    std::make_shared<InferenceSession>(env.frozen()));
+  ServerOptions options;
+  options.tcp_port = 0;
+  options.max_batch = 4;
+  options.batch_timeout_ms = 2;
+  InferenceServer server(&registry, options);
+  ASSERT_TRUE(server.Start().ok());
+  std::thread serving([&] { server.Serve(); });
+  SetFaultSpecForTest("serve_mutation_apply:0");
+
+  int fd = ConnectLoopback(server.port());
+  ASSERT_GE(fd, 0);
+  std::string out =
+      "{\"id\": \"m0\", \"op\": \"add_edge\", \"edge\": \"paper-author\", "
+      "\"src\": 0, \"dst\": 0}\n"
+      "{\"id\": \"m1\", \"op\": \"add_edge\", \"edge\": \"paper-author\", "
+      "\"src\": 0, \"dst\": 1}\n";
+  ASSERT_TRUE(SendAll(fd, out.data(), out.size()));
+  std::vector<std::string> lines = RecvLines(fd, 2);
+  ::close(fd);
+  SetFaultSpecForTest("");
+  ASSERT_EQ(lines.size(), 2u);
+  std::map<std::string, std::string> by_id = ById(lines);
+  // Hit 0 is the first mutation dispatched; FIFO on one connection.
+  EXPECT_NE(by_id["m0"].find("\"reason\":\"fault_injected\""),
+            std::string::npos)
+      << by_id["m0"];
+  EXPECT_NE(by_id["m1"].find("\"applied\":\"add_edge\""), std::string::npos)
+      << by_id["m1"];
+
+  server.Stop();
+  serving.join();
+  ServeStats stats = server.stats();
+  EXPECT_EQ(stats.mutations_applied, 1);
+  EXPECT_GT(stats.faults_injected, 0);
+}
+
+// Satellite: a failed hot reload must leave the old serving set untouched
+// — same predictions before and after — and be visible as reload_failures.
+TEST(InferenceServerTest, FailedReloadKeepsOldRegistryServing) {
+  const ServingEnvironment& env = ServingEnvironment::Get();
+  std::string path = TempPath("failed_reload.aacm");
+  ASSERT_TRUE(SaveFrozenModel(env.frozen(), path).ok());
+  ModelRegistry registry;
+  InferenceSession::Options interpret;
+  interpret.compile = false;
+  registry.set_session_options(interpret);
+  ASSERT_TRUE(registry.LoadFromSpec("m=" + path, "").ok());
+  ServerOptions options;
+  options.tcp_port = 0;
+  options.batch_timeout_ms = 2;
+  InferenceServer server(&registry, options);
+  ASSERT_TRUE(server.Start().ok());
+  std::thread serving([&] { server.Serve(); });
+  int fd = ConnectLoopback(server.port());
+  ASSERT_GE(fd, 0);
+
+  std::string line = "{\"id\": \"r0\", \"node\": 0, \"model\": \"m\"}\n";
+  ASSERT_TRUE(SendAll(fd, line.data(), line.size()));
+  std::vector<std::string> before = RecvLines(fd, 1);
+  ASSERT_EQ(before.size(), 1u);
+  ASSERT_NE(before[0].find("\"label\":"), std::string::npos) << before[0];
+
+  // Corrupt the artifact on disk; the reload must fail all-or-nothing.
+  {
+    std::ofstream corrupt(path, std::ios::binary | std::ios::trunc);
+    corrupt << "not a frozen model";
+  }
+  StatusOr<ModelRegistry::ReloadReport> reload = registry.Reload();
+  ASSERT_FALSE(reload.ok());
+  server.NoteReloadFailure();
+
+  ASSERT_TRUE(SendAll(fd, line.data(), line.size()));
+  std::vector<std::string> after = RecvLines(fd, 1);
+  ::close(fd);
+  ASSERT_EQ(after.size(), 1u);
+  EXPECT_EQ(StripLatency(after[0]), StripLatency(before[0]));
+
+  server.Stop();
+  serving.join();
+  EXPECT_EQ(server.stats().reload_failures, 1);
+}
+
+// Satellite: malformed mutation-feed lines are skipped and counted with
+// 1-indexed line numbers — replay never aborts.
+TEST(FeedReplayTest, SkipsAndCountsMalformedLines) {
+  const ServingEnvironment& env = ServingEnvironment::Get();
+  ModelRegistry registry;
+  registry.set_mutation_options(/*enabled=*/true, /*staleness_ms=*/0);
+  registry.Register("default",
+                    std::make_shared<InferenceSession>(env.frozen()));
+  std::vector<std::string> lines = {
+      "{\"op\": \"add_edge\", \"edge\": \"paper-author\", "
+      "\"src\": 0, \"dst\": 1}",                                  // applied
+      "{nope",                                                    // malformed
+      "{\"node\": 0}",                                            // prediction
+      "{\"op\": \"add_edge\", \"edge\": \"paper-author\", "
+      "\"src\": 0, \"dst\": 1, \"model\": \"ghost\"}",            // no model
+      "{\"op\": \"add_node\", \"type\": \"gizmo\"}",              // bad apply
+      "{\"op\": \"add_edge\", \"edge\": \"paper-author\", "
+      "\"src\": 2, \"dst\": 3}",                                  // applied
+  };
+  FeedReplayReport report = ReplayMutationFeed(&registry, lines);
+  EXPECT_EQ(report.applied, 2);
+  EXPECT_EQ(report.skipped, 4);
+  EXPECT_GT(report.dirty_rows, 0);
+  ASSERT_EQ(report.errors.size(), 4u);
+  EXPECT_EQ(report.errors[0].rfind("line 2:", 0), 0u) << report.errors[0];
+  EXPECT_EQ(report.errors[1].rfind("line 3:", 0), 0u) << report.errors[1];
+  EXPECT_NE(report.errors[1].find("not a mutation"), std::string::npos)
+      << report.errors[1];
+  EXPECT_EQ(report.errors[2].rfind("line 4:", 0), 0u) << report.errors[2];
+  EXPECT_NE(report.errors[2].find("unknown model"), std::string::npos)
+      << report.errors[2];
+  EXPECT_EQ(report.errors[3].rfind("line 5:", 0), 0u) << report.errors[3];
+}
+
+TEST(FeedReplayTest, ErrorListIsBoundedButCountsAreNot) {
+  ModelRegistry registry;  // empty: every mutation hits "unknown model"
+  std::vector<std::string> lines(
+      FeedReplayReport::kMaxErrors + 8,
+      "{\"op\": \"add_edge\", \"edge\": \"e\", \"src\": 0, \"dst\": 0}");
+  FeedReplayReport report = ReplayMutationFeed(&registry, lines);
+  EXPECT_EQ(report.applied, 0);
+  EXPECT_EQ(report.skipped,
+            static_cast<int64_t>(FeedReplayReport::kMaxErrors) + 8);
+  EXPECT_EQ(static_cast<int64_t>(report.errors.size()),
+            FeedReplayReport::kMaxErrors);
 }
 
 }  // namespace

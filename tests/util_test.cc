@@ -168,6 +168,45 @@ TEST(FaultTest, FaultPointIsANoOpWhenUnset) {
   FaultPoint("never_registered");
 }
 
+TEST(FaultTest, ParseFaultSpecStarMeansEveryHit) {
+  std::string site;
+  int64_t count = 0;
+  ASSERT_TRUE(ParseFaultSpec("serve_torn_read:*", &site, &count));
+  EXPECT_EQ(site, "serve_torn_read");
+  EXPECT_EQ(count, -1);
+}
+
+TEST(FaultTest, SoftSitesFireOnTheIndexedHitOnly) {
+  SetFaultSpecForTest("soft_site:1");
+  EXPECT_FALSE(FaultTriggered("soft_site"));  // hit 0
+  EXPECT_TRUE(FaultTriggered("soft_site"));   // hit 1: armed index
+  EXPECT_FALSE(FaultTriggered("soft_site"));  // hit 2
+  EXPECT_FALSE(FaultTriggered("unarmed_site"));
+  SetFaultSpecForTest("");
+  EXPECT_FALSE(FaultTriggered("soft_site"));  // disarmed
+}
+
+TEST(FaultTest, StarFiresEveryHitAndObservedCountIsMonotonic) {
+  SetFaultSpecForTest("soak_site:*");
+  int64_t before = FaultTriggersObserved();
+  EXPECT_TRUE(FaultTriggered("soak_site"));
+  EXPECT_TRUE(FaultTriggered("soak_site"));
+  EXPECT_TRUE(FaultTriggered("soak_site"));
+  EXPECT_EQ(FaultTriggersObserved(), before + 3);
+  SetFaultSpecForTest("");
+  EXPECT_FALSE(FaultTriggered("soak_site"));
+  EXPECT_EQ(FaultTriggersObserved(), before + 3);  // misses are not counted
+}
+
+TEST(FaultTest, SetFaultSpecForTestResetsHitCounters) {
+  SetFaultSpecForTest("reset_site:0");
+  EXPECT_TRUE(FaultTriggered("reset_site"));   // hit 0 fires
+  EXPECT_FALSE(FaultTriggered("reset_site"));  // hit 1 does not
+  SetFaultSpecForTest("reset_site:0");         // re-arm: counters reset
+  EXPECT_TRUE(FaultTriggered("reset_site"));
+  SetFaultSpecForTest("");
+}
+
 TEST(ShutdownTest, SignalSetsFlagAndClearsForTest) {
   InstallShutdownHandler();
   ClearShutdownRequestForTest();
