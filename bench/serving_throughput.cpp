@@ -8,7 +8,9 @@
 // scripts/check_bench_regression.py gates against BENCH_serving.json.
 
 #include <benchmark/benchmark.h>
+#include <sys/stat.h>
 
+#include <cstdio>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -26,6 +28,7 @@
 #include "tensor/graph_ir.h"
 #include "tensor/init.h"
 #include "tensor/ops.h"
+#include "tensor/quantize.h"
 #include "util/parallel.h"
 #include "util/telemetry.h"
 
@@ -78,42 +81,52 @@ ModelContext& BenchContext() {
 
 /// A frozen model with untrained (random) weights: forward-pass cost does
 /// not depend on the values, so the bench skips the training stage.
+FrozenModel* NewBenchFrozen(int hidden_dim) {
+  Dataset& dataset = BenchDataset();
+  ModelContext& ctx = BenchContext();
+  auto* model = new FrozenModel();
+  model->model_name = "SimpleHGN";
+  model->hidden_dim = hidden_dim;
+  model->num_layers = 2;
+  model->num_heads = 2;
+  model->dropout = 0.1f;
+  model->negative_slope = 0.05f;
+  model->seed = 1;
+  model->num_classes = dataset.graph->num_classes();
+  model->graph = dataset.graph;
+  Rng rng(model->seed);
+  ModelConfig config;
+  config.in_dim = model->hidden_dim;
+  config.hidden_dim = model->hidden_dim;
+  config.out_dim = model->hidden_dim;
+  config.num_layers = model->num_layers;
+  config.num_heads = model->num_heads;
+  config.dropout = model->dropout;
+  config.negative_slope = model->negative_slope;
+  ModelPtr gnn = MakeModel(model->model_name, config, ctx, rng,
+                           /*l2_normalize_output=*/false);
+  for (const VarPtr& p : gnn->Parameters()) {
+    model->model_params.push_back(p->value);
+  }
+  model->h0 = RandomNormal({dataset.graph->num_nodes(), model->hidden_dim},
+                           0.5f, rng);
+  model->classifier_weight =
+      RandomNormal({model->hidden_dim, model->num_classes}, 0.1f, rng);
+  model->classifier_bias = Tensor::Zeros({model->num_classes});
+  model->fingerprint = ComputeFrozenFingerprint(*model);
+  return model;
+}
+
 FrozenModel& BenchFrozen() {
-  static FrozenModel* frozen = [] {
-    Dataset& dataset = BenchDataset();
-    ModelContext& ctx = BenchContext();
-    auto* model = new FrozenModel();
-    model->model_name = "SimpleHGN";
-    model->hidden_dim = 64;
-    model->num_layers = 2;
-    model->num_heads = 2;
-    model->dropout = 0.1f;
-    model->negative_slope = 0.05f;
-    model->seed = 1;
-    model->num_classes = dataset.graph->num_classes();
-    model->graph = dataset.graph;
-    Rng rng(model->seed);
-    ModelConfig config;
-    config.in_dim = model->hidden_dim;
-    config.hidden_dim = model->hidden_dim;
-    config.out_dim = model->hidden_dim;
-    config.num_layers = model->num_layers;
-    config.num_heads = model->num_heads;
-    config.dropout = model->dropout;
-    config.negative_slope = model->negative_slope;
-    ModelPtr gnn = MakeModel(model->model_name, config, ctx, rng,
-                             /*l2_normalize_output=*/false);
-    for (const VarPtr& p : gnn->Parameters()) {
-      model->model_params.push_back(p->value);
-    }
-    model->h0 = RandomNormal({dataset.graph->num_nodes(), model->hidden_dim},
-                             0.5f, rng);
-    model->classifier_weight =
-        RandomNormal({model->hidden_dim, model->num_classes}, 0.1f, rng);
-    model->classifier_bias = Tensor::Zeros({model->num_classes});
-    model->fingerprint = ComputeFrozenFingerprint(*model);
-    return model;
-  }();
+  static FrozenModel* frozen = NewBenchFrozen(/*hidden_dim=*/64);
+  return *frozen;
+}
+
+/// Serving-width variant for the artifact-size bench: at hidden 64 the
+/// graph's un-quantizable structure bytes (edge lists) dilute the payload
+/// ratio; hidden 256 is the width the export-size claim is made at.
+FrozenModel& BenchFrozenWide() {
+  static FrozenModel* frozen = NewBenchFrozen(/*hidden_dim=*/256);
   return *frozen;
 }
 
@@ -233,6 +246,42 @@ void BM_RecomputeLogits(benchmark::State& state) {
 }
 BENCHMARK(BM_RecomputeLogits)->ArgsProduct({{1, 2, 4, 8}});
 
+/// One compiled batch-head dispatch answering kMaxBatchRows predictions
+/// against the cached hidden state: the batch-serving alternative to a full
+/// RecomputeLogits when only specific rows are requested. The relative_gate
+/// in BENCH_serving.json holds this against BM_RecomputeLogits/1, and the
+/// alloc gate pins the steady state at 0 tensor buffers (the reused
+/// [kMaxBatchRows, C] output lives in the session).
+void BM_BatchHeadPredict(benchmark::State& state) {
+  ThreadCountScope threads(state.range(0));
+  InferenceSession session(BenchFrozen());
+  if (session.batch_head_graph() == nullptr) {
+    state.SkipWithError("batch head did not compile");
+    return;
+  }
+  std::vector<int64_t> nodes(InferenceSession::kMaxBatchRows);
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    nodes[i] = static_cast<int64_t>(i * 13) % session.num_targets();
+  }
+  {
+    StatusOr<std::vector<InferenceSession::Prediction>> warm =
+        session.PredictBatch(nodes);
+    if (!warm.ok()) {
+      state.SkipWithError(warm.status().message().c_str());
+      return;
+    }
+  }
+  AllocCounterScope allocs(state);
+  for (auto _ : state) {
+    StatusOr<std::vector<InferenceSession::Prediction>> batch =
+        session.PredictBatch(nodes);
+    benchmark::DoNotOptimize(batch);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(nodes.size()));
+}
+BENCHMARK(BM_BatchHeadPredict)->ArgsProduct({{1, 4}});
+
 /// BenchFrozen() upgraded to a v2 artifact: H0 really is the completion
 /// module's discrete-op output and the completion parameters ride along, so
 /// the streaming-mutation overlay (DESIGN.md §12) can re-run completion on
@@ -316,6 +365,88 @@ void BM_MutablePredictClean(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_MutablePredictClean)->ArgsProduct({{1}});
+
+/// The issue's acceptance scenario: a mutation has landed and been flushed,
+/// and the server now needs fresh answers for a 64-row batch. The overlay's
+/// lazily compiled batch head serves them straight off the hidden cache —
+/// the number to hold against BM_RecomputeLogits (refreshing every row to
+/// answer the same 64).
+void BM_MutableBatchPredict(benchmark::State& state) {
+  ThreadCountScope threads(state.range(0));
+  auto base = std::make_shared<InferenceSession>(BenchFrozenV2());
+  MutableSession::Options options;  // staleness 0: Apply() flushes inline
+  MutableSession session(base, options);
+  Mutation mutation;
+  mutation.kind = Mutation::Kind::kAddNode;
+  mutation.node_type = "author";
+  StatusOr<MutationResult> applied = session.Apply(mutation);
+  if (!applied.ok()) {
+    state.SkipWithError(applied.status().message().c_str());
+    return;
+  }
+  std::vector<int64_t> nodes(InferenceSession::kMaxBatchRows);
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    nodes[i] = static_cast<int64_t>(i * 13) % session.num_targets();
+  }
+  {
+    StatusOr<std::vector<InferenceSession::Prediction>> warm =
+        session.PredictBatch(nodes);  // compiles the overlay batch head
+    if (!warm.ok()) {
+      state.SkipWithError(warm.status().message().c_str());
+      return;
+    }
+  }
+  AllocCounterScope allocs(state);
+  for (auto _ : state) {
+    StatusOr<std::vector<InferenceSession::Prediction>> batch =
+        session.PredictBatch(nodes);
+    benchmark::DoNotOptimize(batch);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(nodes.size()));
+}
+BENCHMARK(BM_MutableBatchPredict)->ArgsProduct({{1}});
+
+/// Artifact footprint per payload encoding. Not a timing benchmark: the
+/// counters carry the hardware-independent size signal that
+/// BENCH_serving.json's size_gate checks (fp16 export at least 1.8x smaller
+/// than f32, int8 smaller still). Uses the serving-width model so the
+/// measured payload has the tensor/structure mix the claim is made at.
+void BM_ArtifactBytes(benchmark::State& state) {
+  FrozenModel& frozen = BenchFrozenWide();
+  auto exported_bytes = [&](TensorEncoding encoding) -> int64_t {
+    const std::string path = "/tmp/autoac_bench_artifact.aacm";
+    FrozenSaveOptions options;
+    options.encoding = encoding;
+    Status status = SaveFrozenModel(frozen, path, options);
+    if (!status.ok()) {
+      state.SkipWithError(status.message().c_str());
+      return -1;
+    }
+    struct stat st;
+    if (::stat(path.c_str(), &st) != 0) {
+      state.SkipWithError("stat failed on exported artifact");
+      return -1;
+    }
+    std::remove(path.c_str());
+    return static_cast<int64_t>(st.st_size);
+  };
+  const int64_t f32 = exported_bytes(TensorEncoding::kF32);
+  const int64_t f16 = exported_bytes(TensorEncoding::kF16);
+  const int64_t i8 = exported_bytes(TensorEncoding::kI8);
+  if (f32 <= 0 || f16 <= 0 || i8 <= 0) return;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f32);
+  }
+  state.counters["f32_bytes"] = static_cast<double>(f32);
+  state.counters["f16_bytes"] = static_cast<double>(f16);
+  state.counters["i8_bytes"] = static_cast<double>(i8);
+  state.counters["f16_size_ratio"] =
+      static_cast<double>(f32) / static_cast<double>(f16);
+  state.counters["i8_size_ratio"] =
+      static_cast<double>(f32) / static_cast<double>(i8);
+}
+BENCHMARK(BM_ArtifactBytes)->Iterations(1);
 
 /// The steady-state per-request cost: an O(num_classes) row scan.
 void BM_Predict(benchmark::State& state) {

@@ -21,6 +21,18 @@ Baselines may also carry a "loadgen" section (BENCH_serving.json): per-QoS
 p99_us latencies from `autoac_loadgen --metrics_out=...` ("loadgen_class"
 records). Those are gated with the same max-ratio and the same hardware
 self-skip; the hardware-independent alloc gate is unaffected.
+
+Two further hardware-independent gates (applied even on hardware mismatch,
+like the alloc gate):
+
+  "size_gate": {benchmark family: {counter: min_value}} — counters the
+  benchmark attaches (artifact size ratios from BM_ArtifactBytes) must be
+  at least the floor. Bytes-on-disk do not depend on the machine.
+
+  "relative_gate": {"pairs": [{"name", "must_beat", "max_fraction"}]} —
+  within one run, wall_time_ns of `name` must be below max_fraction x
+  wall_time_ns of `must_beat`. Both sides come from the same machine, so
+  the comparison survives hardware changes.
 """
 
 import argparse
@@ -75,6 +87,65 @@ def check_alloc_gate(alloc_gate, benches, run_path, failures):
     return compared
 
 
+def check_size_gate(size_gate, benches, run_path, failures):
+    """Applies {family: {counter: min_value}} floors to benchmark counters.
+
+    Used for the artifact-footprint ratios BM_ArtifactBytes reports
+    (f32 bytes over quantized bytes): hardware-independent, so it runs even
+    when the hardware fingerprint does not match. Returns comparisons made.
+    """
+    compared = 0
+    for name, record in sorted(benches.items()):
+        family = name.split("/")[0]
+        floors = size_gate.get(family)
+        if not isinstance(floors, dict):
+            continue
+        for counter, floor in sorted(floors.items()):
+            if counter.startswith("_"):
+                continue
+            value = record.get(counter)
+            if value is None:
+                continue
+            compared += 1
+            status = "FAIL" if value < floor else "ok"
+            print(f"{status:4} {name} {counter}: {value:.3f} "
+                  f"(gate: >= {floor})")
+            if value < floor:
+                failures.append(
+                    (run_path, f"{name} {counter}",
+                     f"{value:.3f} < {floor}"))
+    return compared
+
+
+def check_relative_gate(relative_gate, benches, run_path, failures):
+    """Applies within-run wall-time pairs: name < max_fraction x must_beat.
+
+    Both sides come from the same run, so the gate is hardware-independent
+    and runs even on a fingerprint mismatch. Pairs whose benchmarks are not
+    both present are skipped. Returns the number of comparisons made.
+    """
+    compared = 0
+    for pair in relative_gate.get("pairs", []):
+        fast = benches.get(pair.get("name"))
+        slow = benches.get(pair.get("must_beat"))
+        if fast is None or slow is None:
+            continue
+        max_fraction = pair.get("max_fraction", 1.0)
+        fast_ns = fast["wall_time_ns"]
+        slow_ns = slow["wall_time_ns"]
+        compared += 1
+        fraction = fast_ns / slow_ns
+        status = "FAIL" if fraction > max_fraction else "ok"
+        print(f"{status:4} {pair['name']}: {fast_ns:12.1f} ns vs "
+              f"{pair['must_beat']} {slow_ns:12.1f} ns "
+              f"({fraction:.4f}x, gate: <= {max_fraction}x)")
+        if fraction > max_fraction:
+            failures.append(
+                (run_path, f"{pair['name']} vs {pair['must_beat']}",
+                 f"{fraction:.4f}x > {max_fraction}x"))
+    return compared
+
+
 def check_loadgen_gate(loadgen_baseline, loadgen_classes, max_ratio,
                        run_path, failures):
     """Gates per-QoS loadgen p99_us against the baseline's loadgen section.
@@ -123,12 +194,17 @@ def main():
     flat_baseline = baseline_lookup(baseline)
     baseline_cpus = baseline.get("context", {}).get("num_cpus")
     alloc_gate = baseline.get("alloc_gate", {})
+    size_gate = baseline.get("size_gate", {})
+    relative_gate = baseline.get("relative_gate", {})
 
     failures = []
     compared = 0
     for run_path in args.runs:
         context, benches, loadgen_classes = load_run(run_path)
         compared += check_alloc_gate(alloc_gate, benches, run_path, failures)
+        compared += check_size_gate(size_gate, benches, run_path, failures)
+        compared += check_relative_gate(relative_gate, benches, run_path,
+                                        failures)
         run_cpus = context.get("num_cpus") if context else None
         if baseline_cpus is not None and run_cpus != baseline_cpus:
             print(f"SKIP {run_path}: hardware mismatch with baseline "

@@ -28,6 +28,12 @@
 #      --reference`, the from-scratch re-export of the mutated graph. A
 #      delta guarded by the wrong expect_fingerprint must be refused with
 #      the distinct "fingerprint mismatch" error.
+#   8. Quantized artifacts (DESIGN.md §14): re-export the same training run
+#      with --quantize=int8, require the artifact to be materially smaller
+#      with a distinct stored fingerprint (it covers the decoded content),
+#      serve it next to its fp32 twin, and require the routed answers to
+#      agree on top-1 labels within tolerance while the fp32 route stays
+#      bitwise identical to the single-model baseline.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -449,6 +455,101 @@ grep -q '"type":"serve_mutation"' "${WORK}/serve3_metrics.jsonl" || {
   exit 1
 }
 
+echo "== int8 export next to the fp32 twin =="
+MODEL_I8="${WORK}/model_int8.aacm"
+"${RUN}" --dataset=dblp --scale=0.05 --method=onehot --seeds=1 --epochs=4 \
+  --export_model="${MODEL_I8}" --quantize=int8 | tee "${WORK}/export_i8.log"
+grep -q 'encoding int8' "${WORK}/export_i8.log" || {
+  echo "FAIL: int8 export did not report its encoding" >&2
+  exit 1
+}
+fingerprint_i8="$(grep -o 'fingerprint [0-9a-f]*' "${WORK}/export_i8.log" | head -1)"
+# Same training run, different payload encoding: the stored fingerprint
+# covers the *decoded* content, so the quantized twin's must differ.
+if [ "${fingerprint_i8}" = "${fingerprint}" ]; then
+  echo "FAIL: int8 twin shares the fp32 fingerprint (expected distinct)" >&2
+  exit 1
+fi
+f32_bytes="$(stat -c %s "${MODEL}")"
+i8_bytes="$(stat -c %s "${MODEL_I8}")"
+# The int8 payload must be materially smaller than the fp32 twin: at least
+# 1.5x (the un-quantizable graph structure keeps the small smoke artifact
+# below the 2.5x the serving-width benchmark model is gated at).
+if [ $((i8_bytes * 3)) -gt $((f32_bytes * 2)) ]; then
+  echo "FAIL: int8 artifact ${i8_bytes} B not 1.5x under fp32 ${f32_bytes} B" >&2
+  exit 1
+fi
+echo "int8 artifact: ${i8_bytes} B vs fp32 ${f32_bytes} B"
+
+echo "== quantized routing + tolerance diff =="
+SOCK4="${WORK}/serve4.sock"
+"${SERVE}" --models="f32=${MODEL},i8=${MODEL_I8}" --socket="${SOCK4}" \
+  --max_batch=4 --batch_timeout_ms=2 \
+  >"${WORK}/server4.log" 2>&1 &
+SERVER_PID=$!
+for _ in $(seq 1 100); do
+  [ -S "${SOCK4}" ] && break
+  if ! kill -0 "${SERVER_PID}" 2>/dev/null; then
+    echo "FAIL: quantized server exited before binding its socket" >&2
+    cat "${WORK}/server4.log" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+[ -S "${SOCK4}" ] || { echo "FAIL: socket never appeared" >&2; exit 1; }
+grep -q "loaded f32 \[default\].*${fingerprint}" "${WORK}/server4.log" || {
+  echo "FAIL: fp32 twin not loaded as default with its fingerprint" >&2
+  cat "${WORK}/server4.log" >&2
+  exit 1
+}
+grep -q "loaded i8:.*${fingerprint_i8}" "${WORK}/server4.log" || {
+  echo "FAIL: int8 twin not loaded with its stored fingerprint" >&2
+  cat "${WORK}/server4.log" >&2
+  exit 1
+}
+"${SERVE}" --client --socket="${SOCK4}" --nodes="${NODES}" --model_name=f32 \
+  >"${WORK}/routed-f32.log" 2>&1
+"${SERVE}" --client --socket="${SOCK4}" --nodes="${NODES}" --model_name=i8 \
+  >"${WORK}/routed-i8.log" 2>&1
+# The fp32 route reproduces the single-model baseline bitwise: hosting a
+# quantized neighbor must not perturb the full-precision answers.
+diff <(strip_latency "${WORK}/client-1.log") \
+     <(strip_latency "${WORK}/routed-f32.log") || {
+  echo "FAIL: fp32 route differs from the single-model baseline" >&2
+  exit 1
+}
+grep -q '"error"' "${WORK}/routed-i8.log" && {
+  echo "FAIL: int8 route returned an error response" >&2
+  cat "${WORK}/routed-i8.log" >&2
+  exit 1
+}
+# Tolerance diff: int8 dequantizes to slightly different logits, so scores
+# may drift, but the top-1 labels must agree on nearly every probe.
+agree="$(paste <(grep -o '"label":[0-9]*' "${WORK}/routed-f32.log") \
+               <(grep -o '"label":[0-9]*' "${WORK}/routed-i8.log") \
+         | awk '$1 == $2' | wc -l)"
+min_agree=$((expected_lines - 1))
+if [ "${agree}" -lt "${min_agree}" ]; then
+  echo "FAIL: int8 top-1 labels agree on ${agree}/${expected_lines}" \
+       "probes (need >= ${min_agree})" >&2
+  diff <(strip_latency "${WORK}/routed-f32.log") \
+       <(strip_latency "${WORK}/routed-i8.log") >&2 || true
+  exit 1
+fi
+echo "int8 top-1 agreement: ${agree}/${expected_lines}"
+
+echo "== quantized server shutdown =="
+kill -TERM "${SERVER_PID}"
+status=0
+wait "${SERVER_PID}" || status=$?
+SERVER_PID=""
+if [ "${status}" -ne 0 ]; then
+  echo "FAIL: quantized server exited ${status} on SIGTERM (expected 0)" >&2
+  cat "${WORK}/server4.log" >&2
+  exit 1
+fi
+
 echo "PASS: export -> serve -> ${NUM_CLIENTS}x${expected_lines} identical" \
      "responses -> clean shutdown -> two-model routing -> SIGHUP reload" \
-     "-> mutation feed == from-scratch re-export (incl. mid-feed SIGHUP)"
+     "-> mutation feed == from-scratch re-export (incl. mid-feed SIGHUP)" \
+     "-> int8 twin smaller + top-1 within tolerance"

@@ -14,6 +14,7 @@ namespace autoac::compiler {
 
 struct PassOptions {
   bool dce = true;
+  bool dequant = true;
   bool fold = true;
   bool fuse = true;
   bool inplace = true;
@@ -32,6 +33,14 @@ int DeadNodeElimination(ir::Graph& g);
 /// folded; run DeadNodeElimination afterwards to drop the now-dead inputs.
 int FoldConstants(ir::Graph& g);
 
+/// Folds every Dequantize node — a zero-input node whose kernel decodes a
+/// stored quantized payload (DESIGN.md §14) — into a kConst value by running
+/// its kernel once at compile time. Load-bearing, not an optimization:
+/// FoldConstants deliberately skips input-less nodes, so without this pass a
+/// quantized artifact's compiled forward would re-decode its classifier
+/// weight on every run. Returns the number of nodes folded.
+int DequantizeOnLoad(ir::Graph& g);
+
 /// Pattern-fuses op chains into single fused kernels:
 ///   [GatherRows] -> MatMul -> [AddBias] -> [Relu|Elu]
 ///   SpMM -> [AddBias] -> [Relu|Elu]
@@ -47,7 +56,9 @@ int FusePatterns(ir::Graph& g);
 /// assigns both values one arena slot. Returns the number of nodes marked.
 int MarkInPlace(ir::Graph& g);
 
-/// The standard pipeline: DCE, fold, DCE, fuse, DCE, in-place.
+/// The standard pipeline: DCE, dequantize-on-load, fold, DCE, fuse, DCE,
+/// in-place. Dequantize runs before fold so decoded weights participate in
+/// downstream constant folding like any frozen leaf.
 void RunPassPipeline(ir::Graph& g, const PassOptions& opts = {});
 
 }  // namespace autoac::compiler

@@ -191,6 +191,51 @@ bool ReadTensor(std::istream& in, Tensor* t) {
   return true;
 }
 
+void WriteEncodedTensor(std::ostream& out, const EncodedTensor& enc) {
+  WriteI64(out, static_cast<int64_t>(enc.encoding));
+  WriteI64Vector(out, enc.shape);
+  WriteF64(out, enc.scale);
+  WriteI64(out, enc.zero_point);
+  WriteI64(out, static_cast<int64_t>(enc.bytes.size()));
+  out.write(reinterpret_cast<const char*>(enc.bytes.data()),
+            static_cast<std::streamsize>(enc.bytes.size()));
+}
+
+bool ReadEncodedTensor(std::istream& in, EncodedTensor* enc) {
+  int64_t tag = -1;
+  if (!ReadI64(in, &tag) || tag < 0 ||
+      tag > static_cast<int64_t>(TensorEncoding::kI8)) {
+    return false;
+  }
+  enc->encoding = static_cast<TensorEncoding>(tag);
+  if (!ReadI64Vector(in, &enc->shape)) return false;
+  int64_t numel = enc->shape.empty() ? 0 : 1;
+  for (int64_t extent : enc->shape) {
+    if (extent < 0 || (extent > 0 && numel > (int64_t{1} << 48) / extent)) {
+      return false;
+    }
+    numel *= extent;
+  }
+  double scale = 1.0;
+  int64_t zero_point = 0;
+  if (!ReadF64(in, &scale) || !ReadI64(in, &zero_point) || zero_point < -128 ||
+      zero_point > 127) {
+    return false;
+  }
+  enc->scale = static_cast<float>(scale);
+  enc->zero_point = static_cast<int32_t>(zero_point);
+  int64_t nbytes = 0;
+  if (!ReadI64(in, &nbytes) ||
+      nbytes != numel * EncodedTensor::BytesPerElement(enc->encoding) ||
+      !BytesRemain(in, static_cast<uint64_t>(nbytes))) {
+    return false;
+  }
+  enc->bytes.resize(static_cast<size_t>(nbytes));
+  in.read(reinterpret_cast<char*>(enc->bytes.data()),
+          static_cast<std::streamsize>(nbytes));
+  return in.good() || nbytes == 0;
+}
+
 Status WriteFileAtomic(const std::string& path, const char magic[4],
                        const std::string& payload) {
   std::string header;
@@ -297,13 +342,14 @@ using io::WriteI64Vector;
 using io::WriteString;
 using io::WriteTensor;
 
-void WriteGraphBody(std::ostream& out, const HeteroGraph& graph) {
+void WriteGraphBody(std::ostream& out, const HeteroGraph& graph,
+                    const AttrTensorWriter& write_attr) {
   WriteI64(out, graph.num_node_types());
   for (int64_t t = 0; t < graph.num_node_types(); ++t) {
     const HeteroGraph::NodeTypeInfo& info = graph.node_type(t);
     WriteString(out, info.name);
     WriteI64(out, info.count);
-    WriteTensor(out, info.attributes);
+    write_attr(out, info.attributes);
   }
   WriteI64(out, graph.num_edge_types());
   for (int64_t e = 0; e < graph.num_edge_types(); ++e) {
@@ -331,7 +377,8 @@ void WriteGraphBody(std::ostream& out, const HeteroGraph& graph) {
   WriteI64Vector(out, labels);
 }
 
-StatusOr<HeteroGraphPtr> ReadGraphBody(std::istream& in) {
+StatusOr<HeteroGraphPtr> ReadGraphBody(std::istream& in,
+                                       const AttrTensorReader& read_attr) {
   auto fail = [](const char* what) {
     return StatusOr<HeteroGraphPtr>(
         Status::Error(std::string("malformed graph file: ") + what));
@@ -347,7 +394,7 @@ StatusOr<HeteroGraphPtr> ReadGraphBody(std::istream& in) {
     std::string name;
     int64_t count = 0;
     if (!ReadString(in, &name) || !ReadI64(in, &count) || count < 0 ||
-        !ReadTensor(in, &attributes[t])) {
+        !read_attr(in, &attributes[t])) {
       return fail("node type");
     }
     graph->AddNodeType(name, count);
@@ -420,16 +467,26 @@ StatusOr<HeteroGraphPtr> ReadGraphBody(std::istream& in) {
 }  // namespace
 
 void WriteGraphPayload(std::ostream& out, const HeteroGraph& graph) {
-  WriteGraphBody(out, graph);
+  WriteGraphBody(out, graph, io::WriteTensor);
 }
 
 StatusOr<HeteroGraphPtr> ReadGraphPayload(std::istream& in) {
-  return ReadGraphBody(in);
+  return ReadGraphBody(in, io::ReadTensor);
+}
+
+void WriteGraphPayload(std::ostream& out, const HeteroGraph& graph,
+                       const AttrTensorWriter& write_attr) {
+  WriteGraphBody(out, graph, write_attr);
+}
+
+StatusOr<HeteroGraphPtr> ReadGraphPayload(std::istream& in,
+                                          const AttrTensorReader& read_attr) {
+  return ReadGraphBody(in, read_attr);
 }
 
 Status SaveGraph(const HeteroGraph& graph, const std::string& path) {
   std::ostringstream body;
-  WriteGraphBody(body, graph);
+  WriteGraphBody(body, graph, io::WriteTensor);
   if (!body.good()) return Status::Error("serialization failed for " + path);
   return io::WriteFileAtomic(path, kGraphMagic, body.str());
 }
@@ -438,13 +495,13 @@ StatusOr<HeteroGraphPtr> LoadGraph(const std::string& path) {
   StatusOr<std::string> payload = io::ReadFileChecked(path, kGraphMagic);
   if (!payload.ok()) return payload.status();
   std::istringstream in(payload.TakeValue());
-  return ReadGraphBody(in);
+  return ReadGraphBody(in, io::ReadTensor);
 }
 
 Status SaveDataset(const Dataset& dataset, const std::string& path) {
   std::ostringstream body;
   WriteString(body, dataset.name);
-  WriteGraphBody(body, *dataset.graph);
+  WriteGraphBody(body, *dataset.graph, io::WriteTensor);
   WriteI64Vector(body, dataset.split.train);
   WriteI64Vector(body, dataset.split.val);
   WriteI64Vector(body, dataset.split.test);
@@ -466,7 +523,7 @@ StatusOr<Dataset> LoadDataset(const std::string& path) {
   if (!ReadString(in, &dataset.name)) {
     return Status::Error("malformed dataset file: name");
   }
-  StatusOr<HeteroGraphPtr> graph = ReadGraphBody(in);
+  StatusOr<HeteroGraphPtr> graph = ReadGraphBody(in, io::ReadTensor);
   if (!graph.ok()) return graph.status();
   dataset.graph = graph.TakeValue();
   std::vector<int64_t> regimes;

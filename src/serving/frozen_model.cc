@@ -17,6 +17,21 @@ constexpr char kFrozenMagic[4] = {'A', 'A', 'C', 'M'};
 /// dozen. Keeps corrupted count fields from driving huge allocations.
 constexpr int64_t kMaxModelParams = int64_t{1} << 16;
 
+/// Marks a quantized artifact. Written where the legacy layout has the graph
+/// payload's node-type count, which is validated strictly positive — so a
+/// negative value here can never be mistaken for a legacy artifact (and vice
+/// versa).
+constexpr int64_t kQuantizedSentinel = -0x51AACF01;
+
+/// Attribute-tensor reader that decodes tagged EncodedTensor payloads,
+/// plugged into ReadGraphPayload for quantized artifacts.
+bool ReadEncodedAttr(std::istream& in, Tensor* t) {
+  EncodedTensor enc;
+  if (!io::ReadEncodedTensor(in, &enc)) return false;
+  *t = DecodeTensor(enc);
+  return true;
+}
+
 uint64_t MixI64(uint64_t h, int64_t v) { return Fnv1a(&v, sizeof(v), h); }
 uint64_t MixU64(uint64_t h, uint64_t v) { return Fnv1a(&v, sizeof(v), h); }
 uint64_t MixF32(uint64_t h, float v) { return Fnv1a(&v, sizeof(v), h); }
@@ -177,9 +192,16 @@ StatusOr<FrozenModel> FreezeTrainedRun(const TaskData& data,
 }
 
 Status SaveFrozenModel(const FrozenModel& model, const std::string& path) {
+  return SaveFrozenModel(model, path, FrozenSaveOptions{});
+}
+
+Status SaveFrozenModel(const FrozenModel& model, const std::string& path,
+                       const FrozenSaveOptions& options) {
   if (model.graph == nullptr) {
     return Status::Error("frozen model has no graph");
   }
+  const TensorEncoding enc = options.encoding;
+
   std::ostringstream payload;
   io::WriteString(payload, model.model_name);
   io::WriteI64(payload, model.hidden_dim);
@@ -189,28 +211,116 @@ Status SaveFrozenModel(const FrozenModel& model, const std::string& path) {
   io::WriteF64(payload, model.negative_slope);
   io::WriteU64(payload, model.seed);
   io::WriteI64(payload, model.num_classes);
-  io::WriteU64(payload, model.fingerprint);
-  WriteGraphPayload(payload, *model.graph);
+
   std::vector<int64_t> ops;
   ops.reserve(model.op_of.size());
   for (CompletionOpType op : model.op_of) {
     ops.push_back(static_cast<int64_t>(op));
   }
+
+  if (enc == TensorEncoding::kF32) {
+    // Legacy layout, byte for byte; the stored fingerprint is taken verbatim
+    // so tests can exercise the mismatch-refusal path with a tampered value.
+    io::WriteU64(payload, model.fingerprint);
+    WriteGraphPayload(payload, *model.graph);
+    io::WriteI64Vector(payload, ops);
+    io::WriteTensor(payload, model.h0);
+    io::WriteI64(payload, static_cast<int64_t>(model.model_params.size()));
+    for (const Tensor& p : model.model_params) io::WriteTensor(payload, p);
+    io::WriteTensor(payload, model.classifier_weight);
+    io::WriteTensor(payload, model.classifier_bias);
+    if (model.has_completion) {
+      // v2 completion section, appended after the v1 payload; the loader
+      // detects it by its presence before EOF.
+      io::WriteF64(payload, model.ppnp_restart);
+      io::WriteI64(payload, model.ppnp_steps);
+      io::WriteI64(payload,
+                   static_cast<int64_t>(model.completion_params.size()));
+      for (const Tensor& p : model.completion_params) {
+        io::WriteTensor(payload, p);
+      }
+    }
+    if (options.stored_fingerprint != nullptr) {
+      *options.stored_fingerprint = model.fingerprint;
+    }
+    return io::WriteFileAtomic(path, kFrozenMagic, payload.str());
+  }
+
+  // Quantized layout. Serialize the graph once with encoded attribute
+  // payloads, then parse those bytes straight back through the decoding
+  // reader: the parsed graph is exactly the graph a loader will reconstruct,
+  // which is what the stored fingerprint must cover.
+  std::ostringstream graph_bytes;
+  WriteGraphPayload(graph_bytes, *model.graph,
+                    [enc](std::ostream& out, const Tensor& t) {
+                      io::WriteEncodedTensor(out, EncodeTensor(t, enc));
+                    });
+  std::istringstream graph_in(graph_bytes.str());
+  StatusOr<HeteroGraphPtr> decoded_graph =
+      ReadGraphPayload(graph_in, ReadEncodedAttr);
+  if (!decoded_graph.ok()) return decoded_graph.status();
+
+  EncodedTensor h0 = EncodeTensor(model.h0, enc);
+  std::vector<EncodedTensor> params;
+  params.reserve(model.model_params.size());
+  for (const Tensor& p : model.model_params) {
+    params.push_back(EncodeTensor(p, enc));
+  }
+  EncodedTensor cls_weight = EncodeTensor(model.classifier_weight, enc);
+  EncodedTensor cls_bias = EncodeTensor(model.classifier_bias, enc);
+  std::vector<EncodedTensor> completion;
+  completion.reserve(model.completion_params.size());
+  for (const Tensor& p : model.completion_params) {
+    completion.push_back(EncodeTensor(p, enc));
+  }
+
+  // The stored fingerprint covers the *decoded* content: compute it over a
+  // twin holding exactly the tensors a loader will decode, so the loader's
+  // recompute-and-refuse path needs no quantization awareness at all.
+  FrozenModel decoded;
+  decoded.model_name = model.model_name;
+  decoded.hidden_dim = model.hidden_dim;
+  decoded.num_layers = model.num_layers;
+  decoded.num_heads = model.num_heads;
+  decoded.dropout = model.dropout;
+  decoded.negative_slope = model.negative_slope;
+  decoded.seed = model.seed;
+  decoded.num_classes = model.num_classes;
+  decoded.graph = decoded_graph.TakeValue();
+  decoded.op_of = model.op_of;
+  decoded.h0 = DecodeTensor(h0);
+  for (const EncodedTensor& e : params) {
+    decoded.model_params.push_back(DecodeTensor(e));
+  }
+  decoded.classifier_weight = DecodeTensor(cls_weight);
+  decoded.classifier_bias = DecodeTensor(cls_bias);
+  decoded.has_completion = model.has_completion;
+  decoded.ppnp_restart = model.ppnp_restart;
+  decoded.ppnp_steps = model.ppnp_steps;
+  for (const EncodedTensor& e : completion) {
+    decoded.completion_params.push_back(DecodeTensor(e));
+  }
+  const uint64_t stored_fingerprint = ComputeFrozenFingerprint(decoded);
+  if (options.stored_fingerprint != nullptr) {
+    *options.stored_fingerprint = stored_fingerprint;
+  }
+
+  io::WriteU64(payload, stored_fingerprint);
+  io::WriteI64(payload, kQuantizedSentinel);
+  io::WriteI64(payload, static_cast<int64_t>(enc));
+  payload << graph_bytes.str();
   io::WriteI64Vector(payload, ops);
-  io::WriteTensor(payload, model.h0);
-  io::WriteI64(payload, static_cast<int64_t>(model.model_params.size()));
-  for (const Tensor& p : model.model_params) io::WriteTensor(payload, p);
-  io::WriteTensor(payload, model.classifier_weight);
-  io::WriteTensor(payload, model.classifier_bias);
+  io::WriteEncodedTensor(payload, h0);
+  io::WriteI64(payload, static_cast<int64_t>(params.size()));
+  for (const EncodedTensor& e : params) io::WriteEncodedTensor(payload, e);
+  io::WriteEncodedTensor(payload, cls_weight);
+  io::WriteEncodedTensor(payload, cls_bias);
   if (model.has_completion) {
-    // v2 completion section, appended after the v1 payload; the loader
-    // detects it by its presence before EOF.
     io::WriteF64(payload, model.ppnp_restart);
     io::WriteI64(payload, model.ppnp_steps);
-    io::WriteI64(payload,
-                 static_cast<int64_t>(model.completion_params.size()));
-    for (const Tensor& p : model.completion_params) {
-      io::WriteTensor(payload, p);
+    io::WriteI64(payload, static_cast<int64_t>(completion.size()));
+    for (const EncodedTensor& e : completion) {
+      io::WriteEncodedTensor(payload, e);
     }
   }
   return io::WriteFileAtomic(path, kFrozenMagic, payload.str());
@@ -260,7 +370,37 @@ StatusOr<FrozenModel> LoadFrozenModel(const std::string& path) {
     return malformed;
   }
 
-  StatusOr<HeteroGraphPtr> graph = ReadGraphPayload(in);
+  // A quantized artifact announces itself with a negative sentinel where the
+  // legacy layout continues with the graph payload's strictly positive
+  // node-type count.
+  bool quantized = false;
+  {
+    std::streampos pos = in.tellg();
+    int64_t sentinel = 0;
+    if (io::ReadI64(in, &sentinel) && sentinel == kQuantizedSentinel) {
+      quantized = true;
+    } else {
+      in.clear();
+      in.seekg(pos);
+    }
+  }
+  if (quantized) {
+    int64_t tag = 0;
+    if (!io::ReadI64(in, &tag) ||
+        (tag != static_cast<int64_t>(TensorEncoding::kF16) &&
+         tag != static_cast<int64_t>(TensorEncoding::kI8))) {
+      return malformed;
+    }
+    model.encoding = static_cast<TensorEncoding>(tag);
+  }
+  // Every tensor read below decodes a tagged EncodedTensor payload in a
+  // quantized artifact and falls back to the raw layout otherwise.
+  auto read_tensor = [&in, quantized](Tensor* t) {
+    return quantized ? ReadEncodedAttr(in, t) : io::ReadTensor(in, t);
+  };
+
+  StatusOr<HeteroGraphPtr> graph =
+      quantized ? ReadGraphPayload(in, ReadEncodedAttr) : ReadGraphPayload(in);
   if (!graph.ok()) return graph.status();
   model.graph = graph.TakeValue();
 
@@ -275,7 +415,7 @@ StatusOr<FrozenModel> LoadFrozenModel(const std::string& path) {
     model.op_of.push_back(static_cast<CompletionOpType>(raw));
   }
 
-  if (!io::ReadTensor(in, &model.h0)) return malformed;
+  if (!read_tensor(&model.h0)) return malformed;
   int64_t num_params = 0;
   if (!io::ReadI64(in, &num_params) || num_params < 0 ||
       num_params > kMaxModelParams) {
@@ -283,10 +423,19 @@ StatusOr<FrozenModel> LoadFrozenModel(const std::string& path) {
   }
   model.model_params.resize(num_params);
   for (int64_t i = 0; i < num_params; ++i) {
-    if (!io::ReadTensor(in, &model.model_params[i])) return malformed;
+    if (!read_tensor(&model.model_params[i])) return malformed;
   }
-  if (!io::ReadTensor(in, &model.classifier_weight) ||
-      !io::ReadTensor(in, &model.classifier_bias)) {
+  if (quantized) {
+    // Keep the classifier weight in stored form too: the compiler's
+    // dequantize-on-load pass folds it out of a Dequantize IR node, and the
+    // batch head capture needs the encoded bytes to build that node.
+    auto enc_weight = std::make_shared<EncodedTensor>();
+    if (!io::ReadEncodedTensor(in, enc_weight.get())) return malformed;
+    model.classifier_weight = DecodeTensor(*enc_weight);
+    model.encoded_classifier_weight = std::move(enc_weight);
+    if (!read_tensor(&model.classifier_bias)) return malformed;
+  } else if (!io::ReadTensor(in, &model.classifier_weight) ||
+             !io::ReadTensor(in, &model.classifier_bias)) {
     return malformed;
   }
   if (in.peek() != std::istringstream::traits_type::eof()) {
@@ -301,7 +450,7 @@ StatusOr<FrozenModel> LoadFrozenModel(const std::string& path) {
     model.ppnp_restart = static_cast<float>(restart);
     model.completion_params.resize(num_completion);
     for (int64_t i = 0; i < num_completion; ++i) {
-      if (!io::ReadTensor(in, &model.completion_params[i])) return malformed;
+      if (!read_tensor(&model.completion_params[i])) return malformed;
     }
     model.has_completion = true;
   }

@@ -2,6 +2,7 @@
 #define AUTOAC_SERVING_FROZEN_MODEL_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -10,6 +11,7 @@
 #include "completion/op.h"
 #include "graph/hetero_graph.h"
 #include "models/model.h"
+#include "tensor/quantize.h"
 #include "tensor/tensor.h"
 #include "util/status.h"
 
@@ -72,6 +74,20 @@ struct FrozenModel {
   std::vector<Tensor> completion_params;
   float ppnp_restart = 0.15f;
   int64_t ppnp_steps = 6;
+
+  // --- storage encoding -----------------------------------------------------
+  /// How the artifact's tensor payloads were encoded on disk (DESIGN.md §14).
+  /// kF32 artifacts are byte-identical to the pre-quantization layout. For
+  /// f16/i8 artifacts every large matrix is stored quantized and the stored
+  /// fingerprint covers the *decoded* content, so the loader's
+  /// recompute-and-refuse path needs no quantization awareness: flipping any
+  /// stored byte changes some decoded tensor and therefore the recomputed
+  /// fingerprint. Not itself part of the fingerprint.
+  TensorEncoding encoding = TensorEncoding::kF32;
+  /// The classifier weight exactly as stored, retained on quantized loads so
+  /// the compiler's dequantize-on-load pass can fold it out of a Dequantize
+  /// IR node (src/compiler/passes.cc); null for f32 artifacts.
+  std::shared_ptr<const EncodedTensor> encoded_classifier_weight;
 };
 
 /// Content fingerprint over every field except `fingerprint` itself
@@ -97,6 +113,29 @@ StatusOr<FrozenModel> FreezeTrainedRun(const TaskData& data,
 /// `model.fingerprint` — FreezeTrainedRun sets it; tests exercise the
 /// mismatch-refusal path by saving a tampered value.
 Status SaveFrozenModel(const FrozenModel& model, const std::string& path);
+
+/// Options for the encoding-aware save below.
+struct FrozenSaveOptions {
+  /// Requested payload encoding. kF32 writes the legacy layout byte for
+  /// byte (stored fingerprint taken verbatim from `model.fingerprint`).
+  /// kF16/kI8 quantize every tensor ChooseEncoding admits — H0, graph
+  /// attribute matrices, model/completion parameters, the classifier weight —
+  /// and store a fingerprint recomputed over the *decoded* content.
+  TensorEncoding encoding = TensorEncoding::kF32;
+  /// When non-null, receives the fingerprint actually written to disk (the
+  /// decoded-content fingerprint for quantized saves, `model.fingerprint`
+  /// otherwise) — what PeekFrozenFingerprint will report for the file.
+  uint64_t* stored_fingerprint = nullptr;
+};
+
+/// Encoding-aware artifact writer (DESIGN.md §14). With default options this
+/// is exactly SaveFrozenModel above. Quantized artifacts keep the same
+/// container framing and header fields; after the stored fingerprint they
+/// write a negative sentinel (unambiguous: the legacy layout continues with
+/// the graph's strictly positive node-type count), the artifact-level
+/// encoding tag, and then every tensor as a tagged EncodedTensor payload.
+Status SaveFrozenModel(const FrozenModel& model, const std::string& path,
+                       const FrozenSaveOptions& options);
 
 /// Reads an artifact written by SaveFrozenModel: container magic / version /
 /// CRC checks first, then allocation-bounded payload parsing, then shape

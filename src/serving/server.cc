@@ -10,6 +10,7 @@
 #include <algorithm>
 #include <cctype>
 #include <cerrno>
+#include <charconv>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -96,19 +97,26 @@ struct Scanner {
   }
   bool ParseFloat(float* out) {
     SkipSpace();
-    // Hand-rolled token scan first: strtod would happily eat "nan"/"inf"
-    // and hex floats, which JSON numbers do not include.
+    // Token scan enforcing the JSON number grammar exactly —
+    // -?digits[.digits][(e|E)[sign]digits] with required digits in every
+    // part — so "+1", "12.", ".5", "1.5abc", "nan"/"inf" and hex floats are
+    // all rejected at the token level. The conversion then runs over
+    // exactly that token via std::from_chars: locale-independent (strtof
+    // under a comma-decimal locale stops at the '.' and silently rejects
+    // valid requests) and unable to consume past the scanned token.
     size_t start = i;
-    if (i < s.size() && (s[i] == '-' || s[i] == '+')) ++i;
-    size_t digits = i;
+    if (i < s.size() && s[i] == '-') ++i;
+    size_t int_digits = i;
     while (i < s.size() && std::isdigit(static_cast<unsigned char>(s[i]))) ++i;
+    if (i == int_digits) return false;
     if (i < s.size() && s[i] == '.') {
       ++i;
+      size_t frac_digits = i;
       while (i < s.size() && std::isdigit(static_cast<unsigned char>(s[i]))) {
         ++i;
       }
+      if (i == frac_digits) return false;
     }
-    if (i == digits) return false;
     if (i < s.size() && (s[i] == 'e' || s[i] == 'E')) {
       ++i;
       if (i < s.size() && (s[i] == '-' || s[i] == '+')) ++i;
@@ -118,9 +126,14 @@ struct Scanner {
       }
       if (i == exp_digits) return false;
     }
-    char* end = nullptr;
-    *out = std::strtof(s.c_str() + start, &end);
-    return end == s.c_str() + i;
+    float value = 0.0f;
+    std::from_chars_result parsed =
+        std::from_chars(s.data() + start, s.data() + i, value);
+    // Out-of-range magnitudes are malformed, not saturated to inf/0 — the
+    // old strtof path ignored ERANGE and fed inf into attribute rows.
+    if (parsed.ec != std::errc() || parsed.ptr != s.data() + i) return false;
+    *out = value;
+    return true;
   }
   /// "[f, f, ...]" (possibly empty) into `out`.
   bool ParseFloatArray(std::vector<float>* out) {
@@ -995,8 +1008,10 @@ void InferenceServer::BatcherLoop() {
         FaultTriggered("serve_mid_batch_reload")) {
       options_.chaos_reload_hook();
     }
-    for (const Pending& entry : batch) {
+    for (size_t slot = 0; slot < batch.size();) {
+      const Pending& entry = batch[slot];
       if (entry.request.is_mutation) {
+        ++slot;
         // Chaos: a validated mutation fails to apply — the client gets a
         // structured error, counters stay consistent (nothing applied, no
         // dirty rows), and the server keeps serving.
@@ -1017,8 +1032,20 @@ void InferenceServer::BatcherLoop() {
             std::lock_guard<std::mutex> lock(mu_);
             stats_.partial_forward_rows += partial_rows;
           }
-          WriteLine(entry.conn, FormatServeError(entry.request.id,
-                                                 applied.status().message()));
+          const std::string& message = applied.status().message();
+          // v1 artifacts (no completion section) refuse every mutation;
+          // give clients a machine-readable reason so feeders can stop
+          // retrying and surface the re-export hint, instead of
+          // string-matching error prose.
+          if (message.find("(v1 artifact)") != std::string::npos) {
+            WriteLine(entry.conn,
+                      FormatServeReject(entry.request.id, message,
+                                        "artifact_v1_immutable",
+                                        /*retry_after_ms=*/-1));
+          } else {
+            WriteLine(entry.conn,
+                      FormatServeError(entry.request.id, message));
+          }
           continue;
         }
         {
@@ -1043,39 +1070,77 @@ void InferenceServer::BatcherLoop() {
         }
         continue;
       }
-      // A model with a mutation overlay answers *all* its predictions from
-      // the overlay — a clean row is the same O(classes) lookup, and a dirty
-      // row follows the staleness policy instead of serving pre-delta state.
-      StatusOr<InferenceSession::Prediction> prediction =
+      // Group the run of consecutive predictions pinned to the same session
+      // (and the same mutation overlay): one head-only batch forward
+      // (DESIGN.md §14) answers the whole run instead of one logits-table
+      // read per request. A mutation breaks the run, so a delta's effects
+      // stay ordered between the predictions around it. A model with a
+      // mutation overlay answers *all* its predictions from the overlay — a
+      // clean row is the same head-only gather, and a dirty row follows the
+      // staleness policy instead of serving pre-delta state.
+      size_t run_end = slot + 1;
+      while (run_end < batch.size() && !batch[run_end].request.is_mutation &&
+             batch[run_end].session == entry.session &&
+             batch[run_end].mutable_session == entry.mutable_session) {
+        ++run_end;
+      }
+      std::vector<int64_t> nodes;
+      nodes.reserve(run_end - slot);
+      for (size_t j = slot; j < run_end; ++j) {
+        nodes.push_back(batch[j].request.node);
+      }
+      StatusOr<std::vector<InferenceSession::Prediction>> group =
           entry.mutable_session != nullptr
-              ? entry.mutable_session->Predict(entry.request.node)
-              : entry.session->Predict(entry.request.node);
-      int64_t latency_us = NowMicros() - entry.enqueued_us;
+              ? entry.mutable_session->PredictBatch(nodes)
+              : entry.session->PredictBatch(nodes);
+      std::vector<InferenceSession::Prediction> results;
+      bool grouped = group.ok();
+      if (grouped) {
+        results = group.TakeValue();
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.head_batches;
+        stats_.head_batched_rows += static_cast<int64_t>(nodes.size());
+      }
+      // An out-of-range id fails the whole PredictBatch before any compute;
+      // re-answer the run per entry so each request keeps its own error or
+      // result exactly as if it had never been grouped.
+      for (size_t j = slot; j < run_end; ++j) {
+        const Pending& member = batch[j];
+        StatusOr<InferenceSession::Prediction> prediction =
+            grouped
+                ? StatusOr<InferenceSession::Prediction>(results[j - slot])
+                : (member.mutable_session != nullptr
+                       ? member.mutable_session->Predict(member.request.node)
+                       : member.session->Predict(member.request.node));
+        int64_t latency_us = NowMicros() - member.enqueued_us;
+        if (!prediction.ok()) {
+          WriteLine(member.conn, FormatServeError(
+                                     member.request.id,
+                                     prediction.status().message()));
+          continue;
+        }
+        if (WriteLine(member.conn,
+                      FormatServeResponse(member.request.id,
+                                          prediction.value(), latency_us))) {
+          std::lock_guard<std::mutex> lock(mu_);
+          ++stats_.responses;
+        }
+        if (Telemetry::Enabled()) {
+          Telemetry::Get().Emit(MetricRecord("serve_request")
+                                    .Add("node", prediction.value().node)
+                                    .Add("label", prediction.value().label)
+                                    .Add("latency_us", latency_us));
+        }
+      }
       if (entry.mutable_session != nullptr) {
-        int64_t partial_rows = entry.mutable_session->TakeUnreportedPartialRows();
+        int64_t partial_rows =
+            entry.mutable_session->TakeUnreportedPartialRows();
         if (partial_rows > 0) {
           std::lock_guard<std::mutex> lock(mu_);
           stats_.partial_forward_rows += partial_rows;
         }
       }
-      if (!prediction.ok()) {
-        WriteLine(entry.conn, FormatServeError(
-                                  entry.request.id,
-                                  prediction.status().message()));
-        continue;
-      }
-      if (WriteLine(entry.conn,
-                    FormatServeResponse(entry.request.id,
-                                        prediction.value(), latency_us))) {
-        std::lock_guard<std::mutex> lock(mu_);
-        ++stats_.responses;
-      }
-      if (Telemetry::Enabled()) {
-        Telemetry::Get().Emit(MetricRecord("serve_request")
-                                  .Add("node", prediction.value().node)
-                                  .Add("label", prediction.value().label)
-                                  .Add("latency_us", latency_us));
-      }
+      slot = run_end;
     }
     if (!batch.empty() && Telemetry::Enabled()) {
       Telemetry::Get().Emit(

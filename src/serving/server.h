@@ -81,7 +81,7 @@ std::string FormatServeError(const std::string& id, const std::string& error);
 ///   {"id":"r1","error":"rate limited","reason":"rate_limited",
 ///    "retry_after_ms":12}
 /// Reasons in use: rate_limited, overloaded, inflight_limit, max_conns,
-/// idle_timeout, fault_injected.
+/// idle_timeout, fault_injected, artifact_v1_immutable.
 std::string FormatServeReject(const std::string& id, const std::string& error,
                               const std::string& reason,
                               int64_t retry_after_ms);
@@ -168,6 +168,8 @@ struct ServeStats {
   int64_t write_errors = 0;      // response writes that failed after retries
   int64_t batches = 0;           // inference batches executed
   int64_t batched_requests = 0;  // sum of batch sizes (occupancy numerator)
+  int64_t head_batches = 0;      // grouped head-only PredictBatch dispatches
+  int64_t head_batched_rows = 0;  // predictions answered via those groups
   int64_t mutations_applied = 0;     // graph deltas validated and applied
   int64_t dirty_rows = 0;            // logits rows the deltas marked dirty
   int64_t partial_forward_rows = 0;  // rows recomputed via the partial path

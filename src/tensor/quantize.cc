@@ -1,0 +1,154 @@
+#include "tensor/quantize.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "util/check.h"
+
+namespace autoac {
+
+uint16_t FloatToHalf(float v) {
+  uint32_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  uint32_t sign = (bits >> 16) & 0x8000u;
+  int32_t exponent = static_cast<int32_t>((bits >> 23) & 0xFFu) - 127 + 15;
+  uint32_t mantissa = bits & 0x7FFFFFu;
+  if (exponent >= 0x1F) {
+    // Overflow to infinity; NaN keeps a nonzero mantissa.
+    uint32_t nan_bit = ((bits & 0x7F800000u) == 0x7F800000u && mantissa != 0)
+                           ? 0x200u
+                           : 0u;
+    return static_cast<uint16_t>(sign | 0x7C00u | nan_bit);
+  }
+  if (exponent <= 0) {
+    if (exponent < -10) return static_cast<uint16_t>(sign);  // underflow to 0
+    // Subnormal: shift the implicit leading 1 into the mantissa and round
+    // the discarded bits to nearest-even.
+    mantissa |= 0x800000u;
+    int shift = 14 - exponent;  // in [14, 24]
+    uint32_t half_mant = mantissa >> shift;
+    uint32_t rest = mantissa & ((1u << shift) - 1);
+    uint32_t halfway = 1u << (shift - 1);
+    if (rest > halfway || (rest == halfway && (half_mant & 1u))) ++half_mant;
+    return static_cast<uint16_t>(sign | half_mant);
+  }
+  uint32_t half_mant = mantissa >> 13;
+  uint32_t rest = mantissa & 0x1FFFu;
+  uint16_t h = static_cast<uint16_t>(sign | (exponent << 10) | half_mant);
+  if (rest > 0x1000u || (rest == 0x1000u && (h & 1u))) ++h;  // may carry into
+  return h;  // the exponent, which is exactly the rounding IEEE wants
+}
+
+float HalfToFloat(uint16_t h) {
+  uint32_t sign = static_cast<uint32_t>(h & 0x8000u) << 16;
+  uint32_t exponent = (h >> 10) & 0x1Fu;
+  uint32_t mantissa = h & 0x3FFu;
+  uint32_t bits;
+  if (exponent == 0x1F) {
+    bits = sign | 0x7F800000u | (mantissa << 13);
+  } else if (exponent == 0) {
+    if (mantissa == 0) {
+      bits = sign;
+    } else {
+      // Subnormal half: normalize into a float exponent.
+      int e = -1;
+      do {
+        ++e;
+        mantissa <<= 1;
+      } while ((mantissa & 0x400u) == 0);
+      bits = sign | static_cast<uint32_t>(127 - 15 - e) << 23 |
+             ((mantissa & 0x3FFu) << 13);
+    }
+  } else {
+    bits = sign | ((exponent - 15 + 127) << 23) | (mantissa << 13);
+  }
+  float out;
+  std::memcpy(&out, &bits, sizeof(out));
+  return out;
+}
+
+TensorEncoding ChooseEncoding(const Tensor& t, TensorEncoding requested) {
+  if (requested == TensorEncoding::kF32) return TensorEncoding::kF32;
+  if (t.dim() != 2 || t.numel() < 1024) return TensorEncoding::kF32;
+  return requested;
+}
+
+EncodedTensor EncodeTensor(const Tensor& t, TensorEncoding requested) {
+  EncodedTensor enc;
+  enc.encoding = ChooseEncoding(t, requested);
+  enc.shape = t.shape();
+  int64_t n = t.numel();
+  const float* src = t.data();
+  switch (enc.encoding) {
+    case TensorEncoding::kF32: {
+      enc.bytes.resize(static_cast<size_t>(n) * 4);
+      if (n > 0) std::memcpy(enc.bytes.data(), src, static_cast<size_t>(n) * 4);
+      break;
+    }
+    case TensorEncoding::kF16: {
+      enc.bytes.resize(static_cast<size_t>(n) * 2);
+      uint16_t* dst = reinterpret_cast<uint16_t*>(enc.bytes.data());
+      for (int64_t i = 0; i < n; ++i) dst[i] = FloatToHalf(src[i]);
+      break;
+    }
+    case TensorEncoding::kI8: {
+      AUTOAC_CHECK_GT(n, 0);  // ChooseEncoding keeps empty tensors f32
+      float lo = src[0], hi = src[0];
+      for (int64_t i = 1; i < n; ++i) {
+        lo = std::min(lo, src[i]);
+        hi = std::max(hi, src[i]);
+      }
+      float scale = (hi - lo) / 255.0f;
+      if (!(scale > 0.0f) || !std::isfinite(scale)) scale = 1.0f;
+      // Place -128 at lo so the full int8 range covers [lo, hi].
+      int32_t zp = static_cast<int32_t>(
+          std::lround(-128.0f - static_cast<double>(lo) / scale));
+      zp = std::max(-128, std::min(127, zp));
+      enc.scale = scale;
+      enc.zero_point = zp;
+      enc.bytes.resize(static_cast<size_t>(n));
+      int8_t* dst = reinterpret_cast<int8_t*>(enc.bytes.data());
+      for (int64_t i = 0; i < n; ++i) {
+        long q = std::lroundf(src[i] / scale) + zp;
+        dst[i] = static_cast<int8_t>(std::max(-128l, std::min(127l, q)));
+      }
+      break;
+    }
+  }
+  return enc;
+}
+
+Tensor DecodeTensor(const EncodedTensor& enc) {
+  int64_t n = enc.numel();
+  AUTOAC_CHECK_EQ(static_cast<int64_t>(enc.bytes.size()),
+                  n * EncodedTensor::BytesPerElement(enc.encoding))
+      << "encoded tensor byte count disagrees with its shape";
+  // An empty shape round-trips to the default tensor (e.g. a node type
+  // without attributes), mirroring io::ReadTensor.
+  if (enc.shape.empty()) return Tensor();
+  Tensor out(enc.shape);
+  float* dst = out.data();
+  switch (enc.encoding) {
+    case TensorEncoding::kF32: {
+      if (n > 0) std::memcpy(dst, enc.bytes.data(), static_cast<size_t>(n) * 4);
+      break;
+    }
+    case TensorEncoding::kF16: {
+      const uint16_t* src = reinterpret_cast<const uint16_t*>(enc.bytes.data());
+      for (int64_t i = 0; i < n; ++i) dst[i] = HalfToFloat(src[i]);
+      break;
+    }
+    case TensorEncoding::kI8: {
+      const int8_t* src = reinterpret_cast<const int8_t*>(enc.bytes.data());
+      for (int64_t i = 0; i < n; ++i) {
+        dst[i] = enc.scale * static_cast<float>(static_cast<int32_t>(src[i]) -
+                                                enc.zero_point);
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace autoac

@@ -1,0 +1,74 @@
+#ifndef AUTOAC_TENSOR_QUANTIZE_H_
+#define AUTOAC_TENSOR_QUANTIZE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+// Quantized tensor payloads for the frozen-model artifact (DESIGN.md §14).
+// A tensor is stored under one of three encodings: f32 (raw bytes,
+// bit-identical to the unquantized artifact), f16 (IEEE 754 half,
+// round-to-nearest-even) or i8 (per-tensor affine: q = clamp(round(v/scale)
+// + zero_point)). Decoding is deterministic — the same encoded bytes always
+// produce the same float tensor, at any thread count — which is what lets
+// the artifact fingerprint cover the *decoded* content: any flip of a
+// stored byte (payload, scale, or zero point) changes the decoded tensor
+// and therefore the recomputed fingerprint.
+
+namespace autoac {
+
+enum class TensorEncoding : int64_t {
+  kF32 = 0,
+  kF16 = 1,
+  kI8 = 2,
+};
+
+/// One tensor in its stored form: the encoding tag, the logical shape, the
+/// encoded bytes (layout per the tag), and the affine parameters (meaningful
+/// for kI8 only; identity values otherwise).
+struct EncodedTensor {
+  TensorEncoding encoding = TensorEncoding::kF32;
+  std::vector<int64_t> shape;
+  std::vector<uint8_t> bytes;
+  float scale = 1.0f;
+  int32_t zero_point = 0;
+
+  int64_t numel() const {
+    int64_t n = 1;
+    for (int64_t e : shape) n *= e;
+    return shape.empty() ? 0 : n;
+  }
+  /// Stored payload bytes per element for the tag.
+  static int64_t BytesPerElement(TensorEncoding e) {
+    return e == TensorEncoding::kF32 ? 4 : e == TensorEncoding::kF16 ? 2 : 1;
+  }
+};
+
+/// IEEE 754 binary16 conversion, round-to-nearest-even, with the usual
+/// overflow-to-infinity and subnormal handling. HalfToFloat(FloatToHalf(v))
+/// is the canonical fp16 value nearest v.
+uint16_t FloatToHalf(float v);
+float HalfToFloat(uint16_t h);
+
+/// The encoding a tensor actually gets under an artifact-level request:
+/// rank-1 tensors and tensors under 1024 elements stay f32 (biases, scalar
+/// hyperparameters and small head weights are accuracy-critical and
+/// contribute nothing to artifact size; the big [rows, cols] feature and
+/// embedding matrices dominate it).
+TensorEncoding ChooseEncoding(const Tensor& t, TensorEncoding requested);
+
+/// Encodes `t` under ChooseEncoding(t, requested). For kI8 the affine
+/// parameters are per-tensor: scale = (max - min) / 255 (1.0 for a constant
+/// tensor), zero_point = round(-128 - min/scale) clamped to int8 range.
+EncodedTensor EncodeTensor(const Tensor& t, TensorEncoding requested);
+
+/// Decodes back to float32. CHECK-fails on an internally inconsistent
+/// EncodedTensor (bytes.size() disagreeing with shape and tag) — readers
+/// validate sizes before constructing one.
+Tensor DecodeTensor(const EncodedTensor& enc);
+
+}  // namespace autoac
+
+#endif  // AUTOAC_TENSOR_QUANTIZE_H_

@@ -1,9 +1,31 @@
 #include "util/flags.h"
 
+#include <charconv>
 #include <cstdlib>
+#include <system_error>
 
 namespace autoac {
 namespace {
+
+/// Locale-independent full-string double parse. std::strtod honors the
+/// process locale: under a comma-decimal locale (de_DE etc.) it stops at
+/// the '.' in "0.5", so --dropout=0.5 silently failed validation or fell
+/// back to the flag's default. std::from_chars always uses the C grammar.
+bool ParseDoubleStrict(const std::string& value, double* out) {
+  if (value.empty()) return false;
+  // from_chars rejects a leading '+', which strtod accepted; keep
+  // "--x=+0.5" working for command lines that spell the sign out.
+  size_t start = value[0] == '+' ? 1 : 0;
+  double parsed = 0.0;
+  std::from_chars_result result = std::from_chars(
+      value.data() + start, value.data() + value.size(), parsed);
+  if (result.ec != std::errc() ||
+      result.ptr != value.data() + value.size()) {
+    return false;
+  }
+  *out = parsed;
+  return true;
+}
 
 bool ParsesAsInt(const std::string& value) {
   if (value.empty()) return false;
@@ -13,10 +35,8 @@ bool ParsesAsInt(const std::string& value) {
 }
 
 bool ParsesAsDouble(const std::string& value) {
-  if (value.empty()) return false;
-  char* end = nullptr;
-  std::strtod(value.c_str(), &end);
-  return end != nullptr && *end == '\0';
+  double unused = 0.0;
+  return ParseDoubleStrict(value, &unused);
 }
 
 bool ParsesAsBool(const std::string& value) {
@@ -68,9 +88,8 @@ int64_t Flags::GetInt(const std::string& key, int64_t default_value) const {
 double Flags::GetDouble(const std::string& key, double default_value) const {
   auto it = values_.find(key);
   if (it == values_.end()) return default_value;
-  char* end = nullptr;
-  double value = std::strtod(it->second.c_str(), &end);
-  return (end != nullptr && *end == '\0') ? value : default_value;
+  double value = 0.0;
+  return ParseDoubleStrict(it->second, &value) ? value : default_value;
 }
 
 std::string Flags::GetString(const std::string& key,

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
@@ -585,6 +586,126 @@ TEST(RefreezeTest, V1ArtifactIsRefused) {
   StatusOr<FrozenModel> refrozen = RefreezeWithGraph(fz, fz.graph, fz.op_of);
   ASSERT_FALSE(refrozen.ok());
   EXPECT_NE(refrozen.status().message().find("v1"), std::string::npos);
+}
+
+// --- batch prediction over the live overlay (DESIGN.md §14) ------------------
+
+/// Every PredictBatch answer must equal the per-row Predict answer bit for
+/// bit — the overlay invariant logits_[g] == head(hidden_[g]).
+void ExpectBatchMatchesPredict(MutableSession& session,
+                               const std::vector<int64_t>& nodes) {
+  StatusOr<std::vector<InferenceSession::Prediction>> batch =
+      session.PredictBatch(nodes);
+  ASSERT_TRUE(batch.ok()) << batch.status().message();
+  ASSERT_EQ(batch.value().size(), nodes.size());
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    StatusOr<InferenceSession::Prediction> single =
+        session.Predict(nodes[i]);
+    ASSERT_TRUE(single.ok());
+    EXPECT_EQ(batch.value()[i].node, nodes[i]);
+    EXPECT_EQ(batch.value()[i].label, single.value().label);
+    EXPECT_EQ(batch.value()[i].score, single.value().score) << "row " << i;
+  }
+}
+
+TEST(MutationBatchTest, PredictBatchMatchesPredictAcrossMutations) {
+  Harness h("SimpleHGN", RingGraph(), MixedOps);
+  std::vector<int64_t> probes = {0, 7, 3, 39, 12};
+  for (int threads : {1, 4}) {
+    SetNumThreads(threads);
+    ExpectBatchMatchesPredict(*h.session, probes);
+    if (HasFatalFailure()) break;
+    // An added node grows the overlay: the batch head recompiles at the
+    // new row count and the new node's row is immediately addressable.
+    ASSERT_TRUE(
+        h.session->Apply(EdgeMutation(Mutation::Kind::kAddEdge, "it", 3, 10))
+            .ok());
+    StatusOr<MutationResult> added =
+        h.session->Apply(AddNodeMutation("item", {0.5f, -0.25f, 0.125f, 2.f}));
+    ASSERT_TRUE(added.ok());
+    probes.push_back(added.value().node);
+    ExpectBatchMatchesPredict(*h.session, probes);
+    if (HasFatalFailure()) break;
+  }
+  SetNumThreads(0);
+}
+
+TEST(MutationBatchTest, PredictBatchUnderStalenessMatchesPredict) {
+  // An effectively-unbounded staleness window: the delta leaves rows dirty
+  // and reads serve the stale cache. PredictBatch must answer exactly what
+  // Predict answers (it falls back to per-row lookups while any requested
+  // row is dirty — an added node's logits row is zeros until the first
+  // flush, which no head-forward over its hidden row reproduces).
+  Harness h("GCN", RingGraph(), MixedOps, /*staleness_ms=*/3'600'000);
+  ASSERT_TRUE(
+      h.session->Apply(EdgeMutation(Mutation::Kind::kAddEdge, "it", 2, 9))
+          .ok());
+  StatusOr<MutationResult> added = h.session->Apply(AddNodeMutation("tag"));
+  ASSERT_TRUE(added.ok());
+  EXPECT_GT(h.session->pending_dirty_rows(), 0);
+  ExpectBatchMatchesPredict(*h.session, {0, 2, 9, 5});
+  // Still no flush forced by the batched read path.
+  EXPECT_GT(h.session->pending_dirty_rows(), 0);
+}
+
+TEST(MutationBatchTest, PredictBatchFailsWholeRequestOnBadId) {
+  Harness h("GCN", RingGraph(8), MixedOps);
+  EXPECT_FALSE(h.session->PredictBatch({0, h.session->num_targets()}).ok());
+  EXPECT_FALSE(h.session->PredictBatch({-1}).ok());
+  EXPECT_TRUE(h.session->PredictBatch({0, 1}).ok());
+}
+
+// --- quantized artifact zoo (DESIGN.md §14) ----------------------------------
+
+/// Export -> load -> Predict under fp16/int8 for every architecture the
+/// factory can freeze. Quantization is lossy by design, so the gate is the
+/// accuracy-tolerance policy, not bitwise identity: top-1 agreement with
+/// the fp32 twin stays above the per-encoding floor.
+TEST(QuantizedZooTest, QuantizedPredictionsWithinToleranceForAllModels) {
+  const char* models[] = {"GCN", "GAT", "SimpleHGN", "HAN", "MAGNN",
+                          "HGT", "HetSANN", "GTN", "HetGNN", "GATNE"};
+  // RingGraph(64) makes H0 [128, 8] = 1024 elements — just over the
+  // ChooseEncoding floor, so the dominant tensor really quantizes.
+  HeteroGraphPtr graph = RingGraph(64);
+  std::string path =
+      std::string(::testing::TempDir()) + "/quant_zoo.aacm";
+  for (const char* model_name : models) {
+    FrozenModel fz = MakeFrozen(model_name, graph, MixedOps);
+    InferenceSession::Options options;
+    options.compile = false;
+    InferenceSession exact(fz, options);
+    struct Case {
+      TensorEncoding encoding;
+      double min_agreement;
+    };
+    for (const Case& c : {Case{TensorEncoding::kF16, 0.95},
+                          Case{TensorEncoding::kI8, 0.85}}) {
+      FrozenSaveOptions save_options;
+      save_options.encoding = c.encoding;
+      uint64_t stored = 0;
+      save_options.stored_fingerprint = &stored;
+      ASSERT_TRUE(SaveFrozenModel(fz, path, save_options).ok()) << model_name;
+      StatusOr<FrozenModel> loaded = LoadFrozenModel(path);
+      ASSERT_TRUE(loaded.ok())
+          << model_name << ": " << loaded.status().message();
+      EXPECT_EQ(loaded.value().encoding, c.encoding);
+      EXPECT_EQ(loaded.value().fingerprint, stored);
+      InferenceSession quantized(loaded.TakeValue(), options);
+      int64_t agree = 0;
+      for (int64_t node = 0; node < exact.num_targets(); ++node) {
+        StatusOr<InferenceSession::Prediction> pq = quantized.Predict(node);
+        StatusOr<InferenceSession::Prediction> pe = exact.Predict(node);
+        ASSERT_TRUE(pq.ok() && pe.ok());
+        agree += pq.value().label == pe.value().label ? 1 : 0;
+      }
+      double agreement = static_cast<double>(agree) /
+                         static_cast<double>(exact.num_targets());
+      EXPECT_GE(agreement, c.min_agreement)
+          << model_name << " under encoding "
+          << static_cast<int>(c.encoding);
+    }
+  }
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -1,0 +1,182 @@
+// Unit tests for the quantized tensor codec (src/tensor/quantize.h,
+// DESIGN.md §14): half-precision conversion (round-to-nearest-even,
+// overflow, subnormals), the per-tensor int8 affine transform, the
+// encoding-selection policy, and encode/decode round trips including the
+// empty-tensor and determinism corners the artifact fingerprint relies on.
+
+#include "tensor/quantize.h"
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "gtest/gtest.h"
+#include "tensor/init.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace autoac {
+namespace {
+
+TEST(HalfConversionTest, ExactValuesRoundTripBitwise) {
+  // Every value here is exactly representable in binary16, so the float ->
+  // half -> float trip must reproduce it bit for bit.
+  const float exact[] = {0.0f,   -0.0f,  1.0f,    -1.0f,  0.5f,  2.0f,
+                         -2.75f, 1024.0f, 65504.0f /* max finite half */,
+                         6.103515625e-5f /* min normal half */};
+  for (float v : exact) {
+    float back = HalfToFloat(FloatToHalf(v));
+    uint32_t a, b;
+    std::memcpy(&a, &v, 4);
+    std::memcpy(&b, &back, 4);
+    EXPECT_EQ(a, b) << "value " << v;
+  }
+}
+
+TEST(HalfConversionTest, RoundsToNearestEven) {
+  // 1.0 + 2^-11 is exactly halfway between the halves 1.0 and 1.0 + 2^-10;
+  // nearest-even picks the even mantissa (1.0). One ulp above the halfway
+  // point must round up instead.
+  const float halfway = 1.0f + 0x1p-11f;
+  EXPECT_EQ(HalfToFloat(FloatToHalf(halfway)), 1.0f);
+  const float above = 1.0f + 0x1p-11f + 0x1p-20f;
+  EXPECT_EQ(HalfToFloat(FloatToHalf(above)), 1.0f + 0x1p-10f);
+  // Halfway between 1.0 + 2^-10 (odd mantissa) and 1.0 + 2^-9: rounds up
+  // to the even neighbor.
+  const float odd_halfway = 1.0f + 0x1p-10f + 0x1p-11f;
+  EXPECT_EQ(HalfToFloat(FloatToHalf(odd_halfway)), 1.0f + 0x1p-9f);
+}
+
+TEST(HalfConversionTest, OverflowAndSpecials) {
+  EXPECT_TRUE(std::isinf(HalfToFloat(FloatToHalf(1.0e6f))));
+  EXPECT_TRUE(HalfToFloat(FloatToHalf(-1.0e6f)) < 0.0f);
+  EXPECT_TRUE(std::isinf(HalfToFloat(
+      FloatToHalf(std::numeric_limits<float>::infinity()))));
+  EXPECT_TRUE(std::isnan(HalfToFloat(
+      FloatToHalf(std::numeric_limits<float>::quiet_NaN()))));
+  // 65520 is the first float that rounds past the max finite half.
+  EXPECT_EQ(HalfToFloat(FloatToHalf(65503.0f)), 65504.0f);
+  EXPECT_TRUE(std::isinf(HalfToFloat(FloatToHalf(65520.0f))));
+}
+
+TEST(HalfConversionTest, SubnormalsRoundTrip) {
+  // Smallest positive half subnormal is 2^-24; values representable as
+  // half subnormals survive the trip exactly.
+  EXPECT_EQ(HalfToFloat(FloatToHalf(0x1p-24f)), 0x1p-24f);
+  EXPECT_EQ(HalfToFloat(FloatToHalf(3 * 0x1p-24f)), 3 * 0x1p-24f);
+  // Below half the smallest subnormal: underflows to (signed) zero.
+  EXPECT_EQ(HalfToFloat(FloatToHalf(0x1p-26f)), 0.0f);
+  EXPECT_EQ(HalfToFloat(FloatToHalf(-0x1p-26f)), -0.0f);
+}
+
+TEST(HalfConversionTest, EveryHalfBitPatternRoundTripsThroughFloat) {
+  // binary16 -> binary32 is exact, so half -> float -> half must be the
+  // identity on all 65536 patterns (NaN payloads may legitimately differ
+  // in the quiet bit; skip them).
+  for (uint32_t h = 0; h <= 0xFFFFu; ++h) {
+    uint16_t half = static_cast<uint16_t>(h);
+    if ((half & 0x7C00u) == 0x7C00u && (half & 0x3FFu) != 0) continue;
+    EXPECT_EQ(FloatToHalf(HalfToFloat(half)), half) << "pattern " << h;
+  }
+}
+
+TEST(ChooseEncodingTest, SmallAndLowRankTensorsStayF32) {
+  Rng rng(7);
+  Tensor vec = RandomNormal({2048}, 1.0f, rng);       // rank 1: stays f32
+  Tensor small = RandomNormal({31, 31}, 1.0f, rng);   // 961 < 1024: stays f32
+  Tensor big = RandomNormal({32, 32}, 1.0f, rng);     // 1024: quantizes
+  EXPECT_EQ(ChooseEncoding(vec, TensorEncoding::kF16), TensorEncoding::kF32);
+  EXPECT_EQ(ChooseEncoding(small, TensorEncoding::kI8), TensorEncoding::kF32);
+  EXPECT_EQ(ChooseEncoding(big, TensorEncoding::kF16), TensorEncoding::kF16);
+  EXPECT_EQ(ChooseEncoding(big, TensorEncoding::kI8), TensorEncoding::kI8);
+  EXPECT_EQ(ChooseEncoding(big, TensorEncoding::kF32), TensorEncoding::kF32);
+}
+
+TEST(EncodeTensorTest, F32IsByteIdentical) {
+  Rng rng(11);
+  Tensor t = RandomNormal({40, 40}, 1.0f, rng);
+  EncodedTensor enc = EncodeTensor(t, TensorEncoding::kF32);
+  ASSERT_EQ(enc.encoding, TensorEncoding::kF32);
+  ASSERT_EQ(enc.bytes.size(), static_cast<size_t>(t.numel()) * 4);
+  EXPECT_EQ(std::memcmp(enc.bytes.data(), t.data(), enc.bytes.size()), 0);
+  Tensor back = DecodeTensor(enc);
+  ASSERT_TRUE(back.SameShape(t));
+  EXPECT_EQ(std::memcmp(back.data(), t.data(), enc.bytes.size()), 0);
+}
+
+TEST(EncodeTensorTest, F16ErrorBoundedByRelativeUlp) {
+  Rng rng(13);
+  Tensor t = RandomNormal({64, 64}, 2.0f, rng);
+  EncodedTensor enc = EncodeTensor(t, TensorEncoding::kF16);
+  ASSERT_EQ(enc.encoding, TensorEncoding::kF16);
+  ASSERT_EQ(enc.bytes.size(), static_cast<size_t>(t.numel()) * 2);
+  Tensor back = DecodeTensor(enc);
+  ASSERT_TRUE(back.SameShape(t));
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    float v = t.data()[i];
+    // Half has 11 significand bits: nearest-even error is at most 2^-11
+    // relative for normal values.
+    EXPECT_LE(std::fabs(back.data()[i] - v), std::fabs(v) * 0x1p-11f + 1e-7f)
+        << "element " << i;
+  }
+}
+
+TEST(EncodeTensorTest, I8ErrorBoundedByHalfScale) {
+  Rng rng(17);
+  Tensor t = RandomNormal({64, 64}, 0.5f, rng);
+  EncodedTensor enc = EncodeTensor(t, TensorEncoding::kI8);
+  ASSERT_EQ(enc.encoding, TensorEncoding::kI8);
+  ASSERT_EQ(enc.bytes.size(), static_cast<size_t>(t.numel()));
+  EXPECT_GT(enc.scale, 0.0f);
+  EXPECT_GE(enc.zero_point, -128);
+  EXPECT_LE(enc.zero_point, 127);
+  Tensor back = DecodeTensor(enc);
+  ASSERT_TRUE(back.SameShape(t));
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    // Affine rounding error is at most scale/2 plus a little slack for
+    // the zero-point clamp at the range edges.
+    EXPECT_LE(std::fabs(back.data()[i] - t.data()[i]), enc.scale * 0.75f)
+        << "element " << i;
+  }
+}
+
+TEST(EncodeTensorTest, I8ConstantTensorUsesIdentityScale) {
+  Tensor t = Tensor::Full({40, 40}, 3.25f);
+  EncodedTensor enc = EncodeTensor(t, TensorEncoding::kI8);
+  ASSERT_EQ(enc.encoding, TensorEncoding::kI8);
+  EXPECT_EQ(enc.scale, 1.0f);  // max == min would give scale 0; guarded
+  Tensor back = DecodeTensor(enc);
+  for (int64_t i = 0; i < back.numel(); ++i) {
+    EXPECT_NEAR(back.data()[i], 3.25f, 0.5f);
+  }
+}
+
+TEST(EncodeTensorTest, EmptyTensorRoundTripsToDefault) {
+  Tensor empty;
+  EncodedTensor enc = EncodeTensor(empty, TensorEncoding::kF16);
+  EXPECT_EQ(enc.encoding, TensorEncoding::kF32);  // policy: stays f32
+  EXPECT_TRUE(enc.shape.empty());
+  EXPECT_TRUE(enc.bytes.empty());
+  Tensor back = DecodeTensor(enc);
+  EXPECT_EQ(back.numel(), 0);
+  EXPECT_EQ(back.dim(), 0);
+}
+
+TEST(EncodeTensorTest, DecodeIsDeterministic) {
+  // The artifact fingerprint covers decoded content, which is only sound
+  // if decoding the same bytes twice is bit-identical.
+  Rng rng(23);
+  Tensor t = RandomNormal({48, 48}, 1.0f, rng);
+  for (TensorEncoding e : {TensorEncoding::kF16, TensorEncoding::kI8}) {
+    EncodedTensor enc = EncodeTensor(t, e);
+    Tensor a = DecodeTensor(enc);
+    Tensor b = DecodeTensor(enc);
+    ASSERT_TRUE(a.SameShape(b));
+    EXPECT_EQ(std::memcmp(a.data(), b.data(),
+                          static_cast<size_t>(a.numel()) * 4),
+              0);
+  }
+}
+
+}  // namespace
+}  // namespace autoac

@@ -101,6 +101,23 @@ TEST(FlagsTest, MalformedValuesFallBack) {
   EXPECT_EQ(flags.GetInt("seeds", 3), 3);
 }
 
+// Satellite bugfix: GetDouble parses with std::from_chars — full-string,
+// locale-independent, and strict about range. The old strtod path accepted
+// hex floats and saturated "1e999" to inf with ERANGE ignored.
+TEST(FlagsTest, DoubleParsingIsStrict) {
+  const char* argv[] = {"prog", "--a=1e999", "--b=0x10", "--c=+0.5",
+                        "--d=5.", "--e=1.5e-3"};
+  Flags flags(6, const_cast<char**>(argv));
+  EXPECT_EQ(flags.GetDouble("a", -1.0), -1.0);  // overflow is malformed
+  EXPECT_EQ(flags.GetDouble("b", -1.0), -1.0);  // hex floats rejected
+  EXPECT_EQ(flags.GetDouble("c", -1.0), 0.5);   // explicit '+' still works
+  EXPECT_EQ(flags.GetDouble("d", -1.0), 5.0);   // C grammar: "5." is fine
+  EXPECT_DOUBLE_EQ(flags.GetDouble("e", -1.0), 1.5e-3);
+  std::vector<Flags::Spec> specs = {{"a", Flags::Spec::Type::kDouble},
+                                    {"b", Flags::Spec::Type::kDouble}};
+  EXPECT_EQ(flags.Validate(specs).size(), 2u + 3u);  // a, b + unknown c/d/e
+}
+
 TEST(FlagsTest, ValidateAcceptsCleanCommandLine) {
   const char* argv[] = {"prog", "--seeds=4", "--scale=0.5", "--resume",
                         "--model=GCN"};
